@@ -1,0 +1,215 @@
+//! Cluster assembly and process placement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::net::NetworkModel;
+use crate::node::{Compiler, NodeSpec};
+
+/// A cluster: nodes, the fabric connecting them, and the compiler the
+/// binaries were built with (which scales each node's speed).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    pub net: NetworkModel,
+    pub compiler: Compiler,
+    /// `(node, calculator processes placed on it)` in placement order.
+    groups: Vec<(NodeSpec, usize)>,
+}
+
+/// Where each calculator process lives and how fast it runs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Per-calculator `(node index, relative speed)`.
+    pub ranks: Vec<RankInfo>,
+    /// Node hosting the manager and image generator (the "front end").
+    pub frontend_node: usize,
+    /// Relative speed of the front-end processes.
+    pub frontend_speed: f64,
+    /// Total number of nodes.
+    pub node_count: usize,
+}
+
+/// One calculator's placement.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RankInfo {
+    pub node: usize,
+    pub speed: f64,
+}
+
+impl ClusterSpec {
+    pub fn new(net: NetworkModel, compiler: Compiler) -> Self {
+        ClusterSpec { net, compiler, groups: Vec::new() }
+    }
+
+    /// Add `count` identical nodes, each running `procs_per_node`
+    /// calculator processes — mirroring the paper's "4*B (8P.)" notation
+    /// (`add_nodes(e800(), 4, 2)`).
+    pub fn add_nodes(mut self, node: NodeSpec, count: usize, procs_per_node: usize) -> Self {
+        assert!(count > 0 && procs_per_node > 0);
+        for _ in 0..count {
+            self.groups.push((node.clone(), procs_per_node));
+        }
+        self
+    }
+
+    /// A homogeneous cluster in one call.
+    pub fn homogeneous(
+        net: NetworkModel,
+        compiler: Compiler,
+        node: NodeSpec,
+        count: usize,
+        procs_per_node: usize,
+    ) -> Self {
+        ClusterSpec::new(net, compiler).add_nodes(node, count, procs_per_node)
+    }
+
+    /// Total calculator processes.
+    pub fn total_procs(&self) -> usize {
+        self.groups.iter().map(|(_, p)| p).sum()
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeSpec> {
+        self.groups.iter().map(|(n, _)| n)
+    }
+
+    /// Paper-style description, e.g. `4*B(4P.) + 2*C(2P.)`.
+    pub fn describe(&self) -> String {
+        // Compress consecutive identical groups.
+        let mut parts: Vec<(char, usize, usize)> = Vec::new(); // tag, nodes, procs
+        for (node, procs) in &self.groups {
+            match parts.last_mut() {
+                Some((tag, n, p)) if *tag == node.tag && *p == *procs => *n += 1,
+                _ => parts.push((node.tag, 1, *procs)),
+            }
+        }
+        parts
+            .iter()
+            .map(|(tag, n, p)| format!("{n}*{tag}({}P.)", n * p))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+
+    /// Compute the placement of calculators onto nodes.
+    ///
+    /// Oversubscription (more processes than CPUs on a node) divides the
+    /// per-process speed — two processes time-sharing one CPU each run at
+    /// half speed. The front end (manager + image generator) lives on node
+    /// 0; in the paper's runs the front-end work is light relative to a
+    /// calculator and the dual-CPU head node absorbs it, so it does not
+    /// consume a calculator slot.
+    pub fn placement(&self) -> Placement {
+        let mut ranks = Vec::with_capacity(self.total_procs());
+        for (node_idx, (node, procs)) in self.groups.iter().enumerate() {
+            let slowdown = if *procs > node.cpus {
+                node.cpus as f64 / *procs as f64
+            } else {
+                1.0
+            };
+            let speed = node.speed(self.compiler) * slowdown;
+            for _ in 0..*procs {
+                ranks.push(RankInfo { node: node_idx, speed });
+            }
+        }
+        let frontend_speed = self.groups[0].0.speed(self.compiler);
+        Placement {
+            ranks,
+            frontend_node: 0,
+            frontend_speed,
+            node_count: self.groups.len(),
+        }
+    }
+
+    /// Fastest single-processor sequential speed in this cluster under its
+    /// compiler — the machine the paper would run the sequential baseline
+    /// on.
+    pub fn best_sequential_speed(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(|(n, _)| n.speed(self.compiler))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Placement {
+    pub fn calculators(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Sum of calculator speeds — the ideal aggregate throughput.
+    pub fn total_speed(&self) -> f64 {
+        self.ranks.iter().map(|r| r.speed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{e60, e800, zx2000};
+
+    fn myr() -> NetworkModel {
+        NetworkModel::myrinet()
+    }
+
+    #[test]
+    fn homogeneous_table1_configs() {
+        // "8*B / 16 P." — 8 E800 nodes, two processes per node.
+        let c = ClusterSpec::homogeneous(myr(), Compiler::Gcc, e800(), 8, 2);
+        assert_eq!(c.total_procs(), 16);
+        assert_eq!(c.node_count(), 8);
+        let p = c.placement();
+        assert_eq!(p.calculators(), 16);
+        // dual-CPU nodes: no oversubscription penalty at 2 procs/node
+        assert!(p.ranks.iter().all(|r| (r.speed - 1.0).abs() < 1e-12));
+        assert_eq!(p.total_speed(), 16.0);
+    }
+
+    #[test]
+    fn oversubscription_divides_speed() {
+        let c = ClusterSpec::homogeneous(myr(), Compiler::Gcc, e800(), 1, 4);
+        let p = c.placement();
+        assert_eq!(p.calculators(), 4);
+        for r in &p.ranks {
+            assert!((r.speed - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_table2_mix() {
+        // "2*B (4P.) + 2*C (2P.) = 6 P." — the paper's best mix.
+        let c = ClusterSpec::new(NetworkModel::fast_ethernet(), Compiler::Icc)
+            .add_nodes(e800(), 2, 2)
+            .add_nodes(zx2000(), 2, 1);
+        assert_eq!(c.total_procs(), 6);
+        assert_eq!(c.describe(), "2*B(4P.) + 2*C(2P.)");
+        let p = c.placement();
+        assert_eq!(p.ranks[0].speed, e800().speed(Compiler::Icc));
+        assert_eq!(p.ranks[4].speed, zx2000().speed(Compiler::Icc));
+        // Baseline for Table 2 is the Itanium under ICC.
+        assert_eq!(c.best_sequential_speed(), zx2000().speed(Compiler::Icc));
+    }
+
+    #[test]
+    fn describe_compresses_mixed_groups() {
+        let c = ClusterSpec::new(myr(), Compiler::Gcc)
+            .add_nodes(e800(), 4, 1)
+            .add_nodes(e60(), 4, 1);
+        assert_eq!(c.describe(), "4*B(4P.) + 4*A(4P.)");
+    }
+
+    #[test]
+    fn node_indices_are_stable() {
+        let c = ClusterSpec::new(myr(), Compiler::Gcc)
+            .add_nodes(e800(), 2, 2)
+            .add_nodes(e60(), 1, 1);
+        let p = c.placement();
+        assert_eq!(
+            p.ranks.iter().map(|r| r.node).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1, 2]
+        );
+        assert_eq!(p.node_count, 3);
+        assert_eq!(p.frontend_node, 0);
+    }
+}

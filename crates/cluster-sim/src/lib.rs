@@ -1,0 +1,33 @@
+//! Heterogeneous cluster substrate.
+//!
+//! The paper's experiments ran on an 18-node HP cluster (8× NetServer E60,
+//! 8× NetServer E800, 2× zx2000 Itanium workstations) connected by Myrinet
+//! and Fast-Ethernet, compiled with GNU GCC or Intel ICC. We do not have
+//! that hardware, so this crate models it:
+//!
+//! * [`node`] / [`catalog`] — node types with per-compiler relative speeds
+//!   (calibrated so E800+GCC ≡ 1.0, the paper's GCC speed-up baseline);
+//! * [`net`] — first-order `latency + bytes/bandwidth` network models with
+//!   per-node link occupancy (switched Myrinet) or a shared medium
+//!   (Fast-Ethernet), which is what separates the paper's Table 1 from its
+//!   Fast-Ethernet results;
+//! * [`cluster`] — cluster assembly and process placement;
+//! * [`cost`] — the virtual-time cost model translating work counts
+//!   (particle·action applications, bytes, sorts) into seconds on a node.
+//!
+//! The load balancer in `psa-runtime` only ever observes (particle count,
+//! time) pairs, so a calibrated virtual clock reproduces the *decisions*
+//! the real system would make; absolute seconds differ from the 2005
+//! testbed but ratios (speed-ups) carry the signal.
+
+pub mod catalog;
+pub mod cluster;
+pub mod cost;
+pub mod net;
+pub mod node;
+
+pub use catalog::{e60, e800, zx2000};
+pub use cluster::{ClusterSpec, Placement};
+pub use cost::CostModel;
+pub use net::NetworkModel;
+pub use node::{Compiler, NodeSpec};

@@ -1,0 +1,122 @@
+//! Network cost models.
+//!
+//! A first-order α+β model: a message of `b` bytes costs
+//! `latency + b / bandwidth` of wire time, plus per-message CPU overhead on
+//! the sender (protocol stack). Two refinements carry the paper's
+//! Myrinet-vs-Fast-Ethernet signal:
+//!
+//! * **Per-node link occupancy** — a node's NIC serializes its transfers.
+//!   On switched Myrinet different node pairs communicate concurrently, but
+//!   eight calculators shipping frames into the image generator still queue
+//!   at *its* link; this is what bends the speed-up curves.
+//! * **Shared medium** — the paper's Fast-Ethernet behaves like a single
+//!   collision domain under the all-to-one traffic of frame generation; we
+//!   model it as one global link every transfer must occupy.
+
+use serde::{Deserialize, Serialize};
+
+/// A network fabric model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    pub name: String,
+    /// One-way message latency, seconds.
+    pub latency: f64,
+    /// Sustained bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// Sender CPU time per message, seconds (stack traversal, interrupt).
+    pub per_message_cpu: f64,
+    /// If true, all transfers serialize on a single shared medium
+    /// (Fast-Ethernet hub-like behaviour); if false, only per-node links
+    /// serialize (switched fabric).
+    pub shared_medium: bool,
+}
+
+impl NetworkModel {
+    /// Myrinet (Boden et al. 1995): ~9 µs latency, 1.28 Gbit/s full duplex,
+    /// OS-bypass so per-message CPU is small.
+    pub fn myrinet() -> Self {
+        NetworkModel {
+            name: "Myrinet".into(),
+            latency: 9.0e-6,
+            bandwidth: 160.0e6,
+            per_message_cpu: 2.0e-6,
+            shared_medium: false,
+        }
+    }
+
+    /// Fast-Ethernet (switched): ~70 µs latency through the kernel TCP
+    /// stack, 100 Mbit/s per link, heavier per-message CPU. Per-node links
+    /// still serialize, which is what chokes the all-to-one frame traffic.
+    pub fn fast_ethernet() -> Self {
+        NetworkModel {
+            name: "Fast-Ethernet".into(),
+            latency: 70.0e-6,
+            bandwidth: 12.5e6,
+            per_message_cpu: 25.0e-6,
+            shared_medium: false,
+        }
+    }
+
+    /// Fast-Ethernet through a hub (single collision domain) — used by the
+    /// network ablation bench to show why a switched fabric matters.
+    pub fn fast_ethernet_hub() -> Self {
+        NetworkModel { name: "Fast-Ethernet (hub)".into(), shared_medium: true, ..Self::fast_ethernet() }
+    }
+
+    /// An idealized zero-cost network (useful for isolating compute effects
+    /// in ablation benches).
+    pub fn ideal() -> Self {
+        NetworkModel {
+            name: "ideal".into(),
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+            per_message_cpu: 0.0,
+            shared_medium: false,
+        }
+    }
+
+    /// Pure wire occupancy time for `bytes` (excludes latency).
+    pub fn occupancy(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth
+    }
+
+    /// End-to-end uncontended time for one message of `bytes`.
+    pub fn message_time(&self, bytes: u64) -> f64 {
+        self.latency + self.occupancy(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn myrinet_beats_fast_ethernet() {
+        let m = NetworkModel::myrinet();
+        let fe = NetworkModel::fast_ethernet();
+        for bytes in [64u64, 4096, 1 << 20] {
+            assert!(m.message_time(bytes) < fe.message_time(bytes));
+        }
+    }
+
+    #[test]
+    fn message_time_composition() {
+        let m = NetworkModel::myrinet();
+        let t = m.message_time(160_000_000);
+        assert!((t - (9.0e-6 + 1.0)).abs() < 1e-9, "1s of occupancy plus latency");
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let n = NetworkModel::ideal();
+        assert_eq!(n.message_time(u64::MAX), 0.0);
+        assert_eq!(n.occupancy(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn medium_flags_match_fabric() {
+        assert!(!NetworkModel::myrinet().shared_medium);
+        assert!(!NetworkModel::fast_ethernet().shared_medium);
+        assert!(NetworkModel::fast_ethernet_hub().shared_medium);
+    }
+}

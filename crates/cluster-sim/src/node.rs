@@ -1,0 +1,94 @@
+//! Node specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Compiler used for a run — the paper reports separate results for GNU GCC
+/// and Intel ICC because the Itanium nodes were only competitive under ICC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Compiler {
+    #[default]
+    Gcc,
+    Icc,
+}
+
+impl std::fmt::Display for Compiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Compiler::Gcc => write!(f, "GNU/GCC"),
+            Compiler::Icc => write!(f, "Intel ICC"),
+        }
+    }
+}
+
+/// One machine of the cluster.
+///
+/// `speed_*` values are relative throughputs on the particle workload
+/// (work units per second relative to an E800 under GCC = 1.0). The paper
+/// estimates exactly this quantity by running the sequential program on
+/// each machine type (§4: "we used the sequential execution time as the
+/// comparison measure of processing power"); [`crate::cost::CostModel`]
+/// consumes it the same way.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Model name for reports ("HP NetServer E800" …).
+    pub model: String,
+    /// Short tag used in table rows ("A", "B", "C").
+    pub tag: char,
+    /// Number of processors (process slots running at full speed).
+    pub cpus: usize,
+    /// Relative speed under GCC.
+    pub speed_gcc: f64,
+    /// Relative speed under ICC.
+    pub speed_icc: f64,
+    /// MiB of RAM (only used for sanity reporting; the 2005 runs fit).
+    pub ram_mib: usize,
+}
+
+impl NodeSpec {
+    /// Relative speed of one processor of this node under `compiler`.
+    pub fn speed(&self, compiler: Compiler) -> f64 {
+        match compiler {
+            Compiler::Gcc => self.speed_gcc,
+            Compiler::Icc => self.speed_icc,
+        }
+    }
+
+    /// Aggregate speed with all processors busy.
+    pub fn total_speed(&self, compiler: Compiler) -> f64 {
+        self.speed(compiler) * self.cpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> NodeSpec {
+        NodeSpec {
+            model: "Test".into(),
+            tag: 'T',
+            cpus: 2,
+            speed_gcc: 1.0,
+            speed_icc: 1.2,
+            ram_mib: 256,
+        }
+    }
+
+    #[test]
+    fn speed_selects_compiler() {
+        let s = spec();
+        assert_eq!(s.speed(Compiler::Gcc), 1.0);
+        assert_eq!(s.speed(Compiler::Icc), 1.2);
+    }
+
+    #[test]
+    fn total_speed_scales_with_cpus() {
+        assert_eq!(spec().total_speed(Compiler::Gcc), 2.0);
+    }
+
+    #[test]
+    fn compiler_display() {
+        assert_eq!(Compiler::Gcc.to_string(), "GNU/GCC");
+        assert_eq!(Compiler::Icc.to_string(), "Intel ICC");
+    }
+}

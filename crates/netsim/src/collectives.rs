@@ -1,0 +1,155 @@
+//! Collective operations over the deterministic virtual fabric.
+//!
+//! The frame protocol uses gather (load reports), broadcast (domains) and
+//! all-to-all (exchange) patterns; these helpers implement them once with
+//! the same directed, deterministic semantics the executor uses inline, so
+//! other tools (the repro harness, the decentralized-balancer studies) can
+//! reuse them.
+
+use crate::virtual_net::VirtualNet;
+use crate::WireSize;
+
+/// Gather one message from every rank in `sources` (in order) at `root`.
+pub fn gather<M: WireSize, F: FnMut(usize) -> M>(
+    net: &mut VirtualNet<M>,
+    sources: &[usize],
+    root: usize,
+    mut produce: F,
+) -> Vec<M> {
+    for &s in sources {
+        let msg = produce(s);
+        net.send(s, root, msg);
+    }
+    sources.iter().map(|&s| net.recv(root, s)).collect()
+}
+
+/// Broadcast clones of `msg` from `root` to every rank in `dests`;
+/// returns the received copies in `dests` order.
+pub fn broadcast<M: WireSize + Clone>(
+    net: &mut VirtualNet<M>,
+    root: usize,
+    dests: &[usize],
+    msg: &M,
+) -> Vec<M> {
+    for &d in dests {
+        net.send(root, d, msg.clone());
+    }
+    dests.iter().map(|&d| net.recv(d, root)).collect()
+}
+
+/// All-to-all among `ranks`: `produce(from, to)` yields the message for
+/// each ordered pair (self-pairs skipped); `consume(to, from, msg)` receives
+/// them. Sends complete before any receive, mirroring the executor's
+/// deadlock-free exchange pattern.
+pub fn all_to_all<M: WireSize, P, C>(
+    net: &mut VirtualNet<M>,
+    ranks: &[usize],
+    mut produce: P,
+    mut consume: C,
+) where
+    P: FnMut(usize, usize) -> M,
+    C: FnMut(usize, usize, M),
+{
+    for &from in ranks {
+        for &to in ranks {
+            if from != to {
+                let m = produce(from, to);
+                net.send(from, to, m);
+            }
+        }
+    }
+    for &to in ranks {
+        for &from in ranks {
+            if from != to {
+                let m = net.recv(to, from);
+                consume(to, from, m);
+            }
+        }
+    }
+}
+
+/// Reduce values from `sources` at `root` with a fold — the "global
+/// quantities such as the energy are reduced" pattern of the related-work
+/// discussion. Messages carry the per-rank partial value.
+pub fn reduce<M, T, F, G>(
+    net: &mut VirtualNet<M>,
+    sources: &[usize],
+    root: usize,
+    mut produce: F,
+    init: T,
+    mut fold: G,
+) -> T
+where
+    M: WireSize,
+    F: FnMut(usize) -> M,
+    G: FnMut(T, M) -> T,
+{
+    let msgs = gather(net, sources, root, &mut produce);
+    msgs.into_iter().fold(init, &mut fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::NetworkModel;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Val(u64);
+
+    impl WireSize for Val {
+        fn wire_bytes(&self) -> u64 {
+            8
+        }
+    }
+
+    fn net(ranks: usize) -> VirtualNet<Val> {
+        VirtualNet::new(NetworkModel::myrinet(), (0..ranks).collect(), ranks)
+    }
+
+    #[test]
+    fn gather_collects_in_order() {
+        let mut n = net(4);
+        let got = gather(&mut n, &[0, 1, 2], 3, |s| Val(s as u64 * 10));
+        assert_eq!(got, vec![Val(0), Val(10), Val(20)]);
+        assert!(n.now(3) > 0.0, "root paid for the receives");
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let mut n = net(4);
+        let got = broadcast(&mut n, 0, &[1, 2, 3], &Val(7));
+        assert_eq!(got, vec![Val(7); 3]);
+        for r in 1..4 {
+            assert!(n.now(r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_to_all_routes_every_pair() {
+        let mut n = net(3);
+        let mut seen = Vec::new();
+        all_to_all(
+            &mut n,
+            &[0, 1, 2],
+            |from, to| Val((from * 10 + to) as u64),
+            |to, from, m| seen.push((to, from, m.0)),
+        );
+        assert_eq!(seen.len(), 6);
+        assert!(seen.contains(&(2, 0, 2)));
+        assert!(seen.contains(&(0, 2, 20)));
+    }
+
+    #[test]
+    fn reduce_folds_partials() {
+        let mut n = net(5);
+        let total = reduce(
+            &mut n,
+            &[0, 1, 2, 3],
+            4,
+            |s| Val(s as u64 + 1),
+            0u64,
+            |acc, m| acc + m.0,
+        );
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,48 @@
+//! Message-passing transports for the animation model.
+//!
+//! Two fabrics share one message vocabulary:
+//!
+//! * [`VirtualNet`] — a deterministic, single-threaded fabric with per-rank
+//!   virtual clocks and a network cost model from `cluster-sim`. The
+//!   virtual-time executor in `psa-runtime` interleaves rank execution
+//!   itself and uses this fabric to account for every byte the paper's
+//!   protocol would put on Myrinet or Fast-Ethernet. Determinism is total:
+//!   same seed, same tables.
+//! * [`ThreadNet`] — a crossbeam-channel SPMD fabric for running the same
+//!   protocol on real host threads with wall-clock timing (the
+//!   demonstration that the library actually parallelizes, not only
+//!   simulates).
+//!
+//! Messages implement [`WireSize`] so the virtual fabric can charge
+//! occupancy without serializing anything.
+
+pub mod collectives;
+pub mod thread_net;
+pub mod virtual_net;
+
+pub use collectives::{all_to_all, broadcast, gather, reduce};
+pub use thread_net::{ThreadEndpoint, ThreadNet};
+pub use virtual_net::{TrafficStats, VirtualNet};
+
+/// Bytes a message would occupy on the wire.
+///
+/// Implementations should report *payload* bytes; the fabric adds protocol
+/// framing itself.
+pub trait WireSize {
+    fn wire_bytes(&self) -> u64;
+}
+
+/// Fixed framing overhead charged per message (headers, MPI envelope).
+pub const FRAME_OVERHEAD_BYTES: u64 = 64;
+
+impl WireSize for () {
+    fn wire_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl WireSize for Vec<u8> {
+    fn wire_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}

@@ -1,0 +1,320 @@
+//! The deterministic virtual fabric.
+//!
+//! Each rank has a virtual clock. Compute advances a clock directly; a send
+//! occupies the sender until the message leaves its NIC (blocking send),
+//! occupies the involved links per the `NetworkModel`, and is stamped with
+//! a delivery time; a receive advances the receiver's clock to at least the
+//! delivery stamp. A barrier aligns every clock to the maximum plus a
+//! log₂-depth synchronization cost.
+//!
+//! The fabric is intentionally **not** thread-safe: the virtual-time
+//! executor interleaves ranks itself in a fixed order, which is what makes
+//! the reproduction bit-deterministic.
+
+use std::collections::VecDeque;
+
+use cluster_sim::NetworkModel;
+use serde::{Deserialize, Serialize};
+
+use crate::{WireSize, FRAME_OVERHEAD_BYTES};
+
+/// Aggregate traffic counters (resettable, e.g. per frame).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    pub messages: u64,
+    pub payload_bytes: u64,
+}
+
+struct Envelope<M> {
+    deliver_at: f64,
+    msg: M,
+}
+
+/// Deterministic virtual message fabric over `R` ranks placed on nodes.
+pub struct VirtualNet<M> {
+    net: NetworkModel,
+    /// Virtual clock per rank, seconds.
+    clocks: Vec<f64>,
+    /// Node hosting each rank (link contention granularity).
+    node_of: Vec<usize>,
+    /// Time each node's NIC becomes free.
+    link_free: Vec<f64>,
+    /// Time the shared medium becomes free (Fast-Ethernet mode).
+    shared_free: f64,
+    /// queues[to * ranks + from]
+    queues: Vec<VecDeque<Envelope<M>>>,
+    stats: TrafficStats,
+}
+
+impl<M: WireSize> VirtualNet<M> {
+    /// Create a fabric for ranks living on the given nodes.
+    /// `node_of[rank]` maps each rank to its node index.
+    pub fn new(net: NetworkModel, node_of: Vec<usize>, node_count: usize) -> Self {
+        let ranks = node_of.len();
+        assert!(ranks > 0);
+        assert!(node_of.iter().all(|&n| n < node_count));
+        VirtualNet {
+            net,
+            clocks: vec![0.0; ranks],
+            node_of,
+            link_free: vec![0.0; node_count],
+            shared_free: 0.0,
+            queues: (0..ranks * ranks).map(|_| VecDeque::new()).collect(),
+            stats: TrafficStats::default(),
+        }
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Current virtual time of `rank`.
+    pub fn now(&self, rank: usize) -> f64 {
+        self.clocks[rank]
+    }
+
+    /// Charge `seconds` of local compute to `rank`.
+    pub fn advance(&mut self, rank: usize, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "cannot advance time backwards ({seconds})");
+        self.clocks[rank] += seconds;
+    }
+
+    /// Blocking send of `msg` from `from` to `to`.
+    ///
+    /// Local (same-rank) sends are free of wire costs but still pass
+    /// through the queue, so protocol code does not special-case them.
+    pub fn send(&mut self, from: usize, to: usize, msg: M) {
+        let payload = msg.wire_bytes();
+        self.stats.messages += 1;
+        self.stats.payload_bytes += payload;
+        let deliver_at = if from == to {
+            self.clocks[from]
+        } else {
+            let bytes = payload + FRAME_OVERHEAD_BYTES;
+            // Sender CPU cost of initiating the message.
+            self.clocks[from] += self.net.per_message_cpu;
+            let occupancy = self.net.occupancy(bytes);
+            let start = if self.net.shared_medium {
+                self.shared_free.max(self.clocks[from])
+            } else {
+                let (src, dst) = (self.node_of[from], self.node_of[to]);
+                if src == dst {
+                    // intra-node: memory copy, no NIC involvement; charge a
+                    // fraction of wire occupancy for the copy itself.
+                    let t = self.clocks[from] + occupancy * 0.1;
+                    self.clocks[from] = t;
+                    let q = &mut self.queues[to * self.clocks.len() + from];
+                    q.push_back(Envelope { deliver_at: t, msg });
+                    return;
+                }
+                self.clocks[from]
+                    .max(self.link_free[src])
+                    .max(self.link_free[dst])
+            };
+            let done = start + occupancy;
+            if self.net.shared_medium {
+                self.shared_free = done;
+            } else {
+                let (src, dst) = (self.node_of[from], self.node_of[to]);
+                self.link_free[src] = done;
+                self.link_free[dst] = done;
+            }
+            // Blocking semantics: the sender is busy until its NIC hand-off
+            // completes.
+            self.clocks[from] = done;
+            done + self.net.latency
+        };
+        let r = self.clocks.len();
+        self.queues[to * r + from].push_back(Envelope { deliver_at, msg });
+    }
+
+    /// Receive the next message sent from `from` to `to`.
+    ///
+    /// Panics if no message is queued — under the deterministic executor a
+    /// missing message is a protocol bug, not a timing race.
+    pub fn recv(&mut self, to: usize, from: usize) -> M {
+        let r = self.clocks.len();
+        let env = self.queues[to * r + from]
+            .pop_front()
+            .unwrap_or_else(|| panic!("protocol error: rank {to} expected a message from {from}"));
+        if env.deliver_at > self.clocks[to] {
+            self.clocks[to] = env.deliver_at;
+        }
+        env.msg
+    }
+
+    /// Whether a message from `from` to `to` is queued.
+    pub fn has_message(&self, to: usize, from: usize) -> bool {
+        !self.queues[to * self.clocks.len() + from].is_empty()
+    }
+
+    /// Synchronize a set of ranks: all clocks advance to the maximum plus a
+    /// dissemination-barrier cost of `latency × ⌈log₂ n⌉`.
+    pub fn barrier(&mut self, ranks: &[usize]) {
+        let max = ranks
+            .iter()
+            .map(|&r| self.clocks[r])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let depth = (ranks.len() as f64).log2().ceil().max(0.0);
+        let t = max + self.net.latency * depth;
+        for &r in ranks {
+            self.clocks[r] = t;
+        }
+    }
+
+    /// Maximum clock across all ranks — the virtual makespan.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Reset traffic counters (per-frame accounting).
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::default();
+    }
+
+    /// The network model in use.
+    pub fn model(&self) -> &NetworkModel {
+        &self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Blob(u64);
+
+    impl WireSize for Blob {
+        fn wire_bytes(&self) -> u64 {
+            self.0
+        }
+    }
+
+    fn net2() -> VirtualNet<Blob> {
+        // two ranks on two nodes, Myrinet
+        VirtualNet::new(NetworkModel::myrinet(), vec![0, 1], 2)
+    }
+
+    #[test]
+    fn send_recv_delivers_in_order() {
+        let mut n = net2();
+        n.send(0, 1, Blob(10));
+        n.send(0, 1, Blob(20));
+        assert_eq!(n.recv(1, 0), Blob(10));
+        assert_eq!(n.recv(1, 0), Blob(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol error")]
+    fn recv_without_send_panics() {
+        let mut n = net2();
+        let _ = n.recv(1, 0);
+    }
+
+    #[test]
+    fn receiver_clock_advances_to_delivery() {
+        let mut n = net2();
+        n.advance(0, 1.0);
+        n.send(0, 1, Blob(160_000_000)); // 1s of occupancy on Myrinet
+        assert_eq!(n.now(1), 0.0);
+        n.recv(1, 0);
+        // ≈ 1.0 (sender clock) + per_message_cpu + 1.0 occupancy + latency
+        assert!(n.now(1) > 2.0 && n.now(1) < 2.1, "got {}", n.now(1));
+    }
+
+    #[test]
+    fn sender_blocks_for_occupancy() {
+        let mut n = net2();
+        n.send(0, 1, Blob(160_000_000));
+        assert!(n.now(0) >= 1.0, "blocking send occupies sender, got {}", n.now(0));
+    }
+
+    #[test]
+    fn link_contention_serializes_into_one_node() {
+        // three ranks on three nodes; 1 and 2 both ship 1s of data to 0.
+        let mut n: VirtualNet<Blob> =
+            VirtualNet::new(NetworkModel::myrinet(), vec![0, 1, 2], 3);
+        n.send(1, 0, Blob(160_000_000));
+        n.send(2, 0, Blob(160_000_000));
+        n.recv(0, 1);
+        n.recv(0, 2);
+        // The second transfer had to wait for rank 0's link.
+        assert!(n.now(0) >= 2.0, "ingress link must serialize, got {}", n.now(0));
+    }
+
+    #[test]
+    fn switched_fabric_allows_disjoint_pairs_in_parallel() {
+        // ranks 0->1 and 2->3 on four nodes can overlap on Myrinet.
+        let mut n: VirtualNet<Blob> =
+            VirtualNet::new(NetworkModel::myrinet(), vec![0, 1, 2, 3], 4);
+        n.send(0, 1, Blob(160_000_000));
+        n.send(2, 3, Blob(160_000_000));
+        n.recv(1, 0);
+        n.recv(3, 2);
+        assert!(n.now(1) < 1.1 && n.now(3) < 1.1, "disjoint transfers overlap");
+    }
+
+    #[test]
+    fn shared_medium_serializes_everything() {
+        let mut n: VirtualNet<Blob> =
+            VirtualNet::new(NetworkModel::fast_ethernet_hub(), vec![0, 1, 2, 3], 4);
+        n.send(0, 1, Blob(12_500_000)); // 1s on FE
+        n.send(2, 3, Blob(12_500_000));
+        n.recv(1, 0);
+        n.recv(3, 2);
+        assert!(n.now(3) >= 2.0, "shared medium must serialize, got {}", n.now(3));
+    }
+
+    #[test]
+    fn same_rank_send_is_free() {
+        let mut n = net2();
+        n.send(0, 0, Blob(1 << 30));
+        let t = n.now(0);
+        assert_eq!(t, 0.0);
+        n.recv(0, 0);
+        assert_eq!(n.now(0), 0.0);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut n: VirtualNet<Blob> =
+            VirtualNet::new(NetworkModel::myrinet(), vec![0, 1, 2], 3);
+        n.advance(0, 5.0);
+        n.advance(1, 1.0);
+        n.barrier(&[0, 1, 2]);
+        let t = n.now(0);
+        assert!(t >= 5.0);
+        assert_eq!(n.now(1), t);
+        assert_eq!(n.now(2), t);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut n = net2();
+        n.send(0, 1, Blob(100));
+        n.send(0, 1, Blob(50));
+        assert_eq!(n.stats().messages, 2);
+        assert_eq!(n.stats().payload_bytes, 150);
+        n.reset_stats();
+        assert_eq!(n.stats(), TrafficStats::default());
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut n = net2();
+            n.advance(0, 0.123);
+            n.send(0, 1, Blob(4096));
+            n.recv(1, 0);
+            n.barrier(&[0, 1]);
+            n.makespan()
+        };
+        assert_eq!(run(), run());
+    }
+}

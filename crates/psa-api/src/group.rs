@@ -1,0 +1,107 @@
+//! Particle groups — the unit the immediate-mode API operates on.
+
+use psa_core::{Particle, ParticleStore};
+use psa_math::Vec3;
+
+/// A named set of particles with a capacity cap, mirroring the original
+/// API's `pGenParticleGroups`/`pSetMaxParticles`.
+#[derive(Clone, Debug)]
+pub struct ParticleGroup {
+    pub name: String,
+    store: ParticleStore,
+    max_particles: usize,
+}
+
+impl ParticleGroup {
+    pub fn new(name: impl Into<String>, max_particles: usize) -> Self {
+        ParticleGroup {
+            name: name.into(),
+            store: ParticleStore::new(),
+            max_particles,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    pub fn max_particles(&self) -> usize {
+        self.max_particles
+    }
+
+    /// Add a particle unless the group is at capacity; returns whether it
+    /// was admitted (the original API silently drops over-cap emissions).
+    pub fn add(&mut self, p: Particle) -> bool {
+        if self.store.len() >= self.max_particles {
+            return false;
+        }
+        self.store.push(p);
+        true
+    }
+
+    pub fn particles(&self) -> &[Particle] {
+        self.store.as_slice()
+    }
+
+    pub fn particles_mut(&mut self) -> &mut [Particle] {
+        self.store.as_mut_slice()
+    }
+
+    pub fn retain<F: FnMut(&Particle) -> bool>(&mut self, f: F) -> usize {
+        self.store.retain_unordered(f)
+    }
+
+    pub fn clear(&mut self) {
+        self.store.clear();
+    }
+
+    /// Mean position — handy for tests and camera targeting.
+    pub fn centroid(&self) -> Vec3 {
+        if self.store.is_empty() {
+            return Vec3::ZERO;
+        }
+        self.store
+            .iter()
+            .fold(Vec3::ZERO, |acc, p| acc + p.position)
+            / self.store.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut g = ParticleGroup::new("g", 2);
+        assert!(g.add(Particle::at(Vec3::ZERO)));
+        assert!(g.add(Particle::at(Vec3::ONE)));
+        assert!(!g.add(Particle::at(Vec3::X)), "over-cap emission dropped");
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn centroid() {
+        let mut g = ParticleGroup::new("g", 10);
+        g.add(Particle::at(Vec3::new(2.0, 0.0, 0.0)));
+        g.add(Particle::at(Vec3::new(4.0, 2.0, 0.0)));
+        assert_eq!(g.centroid(), Vec3::new(3.0, 1.0, 0.0));
+        g.clear();
+        assert_eq!(g.centroid(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn retain_removes() {
+        let mut g = ParticleGroup::new("g", 10);
+        for x in 0..6 {
+            g.add(Particle::at(Vec3::new(x as f32, 0.0, 0.0)));
+        }
+        let removed = g.retain(|p| p.position.x < 3.0);
+        assert_eq!(removed, 3);
+        assert_eq!(g.len(), 3);
+    }
+}

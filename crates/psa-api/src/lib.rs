@@ -1,0 +1,27 @@
+//! A McAllister-style Particle System API.
+//!
+//! The paper validates its model by completely rewriting David McAllister's
+//! Particle System API (UNC TR 00-007) on top of the distributed model.
+//! This crate is our equivalent of that user-facing layer: an
+//! immediate-mode, stateful API in the spirit of the original —
+//! generation *domains* (`PDPoint`, `PDLine`, `PDBox`, `PDSphere`,
+//! `PDCone`, …), a current-state context that stamps new particles
+//! (`p_color`, `p_velocity`, `p_size`), and per-frame action calls
+//! (`p_source`, `p_gravity`, `p_bounce`, `p_kill_old`, `p_move`, …).
+//!
+//! Two ways to run it:
+//!
+//! * **immediate mode** — call the `p_*` methods on a [`Context`] each
+//!   frame and read back the particles (single-process, like the original
+//!   UNIX/Win32 implementation);
+//! * **compiled mode** — [`Context::compile`] lowers the recorded action
+//!   sequence onto `psa-core` action lists, which the cluster runtime
+//!   executes under the paper's model.
+
+pub mod context;
+pub mod domain_shapes;
+pub mod group;
+
+pub use context::Context;
+pub use domain_shapes::PDomain;
+pub use group::ParticleGroup;

@@ -1,0 +1,75 @@
+//! Exchange-path micro-benches + the sub-domain bucket ablation (paper §4).
+//!
+//! The authors replaced "all particles of a domain in one vector" with
+//! per-sub-domain vectors to accelerate leaver detection and balancing.
+//! `buckets/1` is the original storage; higher bucket counts are the
+//! paper's scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psa_core::{Particle, SubDomainStore};
+use psa_math::{Axis, Interval, Rng64, Vec3};
+
+fn populated(buckets: usize, n: usize, drift: f32) -> SubDomainStore {
+    let slice = Interval::new(-10.0, 10.0);
+    let mut store = SubDomainStore::new(slice, Axis::X, buckets);
+    let mut rng = Rng64::new(42);
+    for _ in 0..n {
+        let p = Particle::at(Vec3::new(rng.range(-10.0, 10.0), rng.range(0.0, 30.0), 0.0))
+            .with_velocity(Vec3::new(rng.range(-drift, drift), -5.0, 0.0));
+        store.insert(p);
+    }
+    store
+}
+
+fn bench_leaver_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("leaver_scan");
+    for buckets in [1usize, 4, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("buckets", buckets), &buckets, |b, &k| {
+            b.iter_batched(
+                || {
+                    let mut s = populated(k, 100_000, 1.0);
+                    // move particles so some leave
+                    s.for_each_mut(|p| p.position += p.velocity * 0.1);
+                    s
+                },
+                |mut s| s.collect_leavers(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_donation(c: &mut Criterion) {
+    // Donation of 5% of a 100k-particle domain: bucketed stores only sort
+    // the straddling bucket; one bucket degenerates to the full sort the
+    // paper wanted to avoid.
+    let mut g = c.benchmark_group("donation_5pct");
+    for buckets in [1usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("buckets", buckets), &buckets, |b, &k| {
+            b.iter_batched(
+                || populated(k, 100_000, 0.5),
+                |mut s| s.donate_low(5_000),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_reshape(c: &mut Criterion) {
+    c.bench_function("reshape_100k", |b| {
+        b.iter_batched(
+            || populated(8, 100_000, 0.5),
+            |mut s| s.reshape(Interval::new(-8.0, 9.0)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_leaver_scan, bench_donation, bench_reshape
+);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro table1 [--scale S] [--frames F]   Table 1 (snow, Myrinet+GCC)
+//! repro table2 ...                        Table 2 (snow, FE+ICC, heterogeneous)
+//! repro table3 ...                        Table 3 (fountain, Myrinet+GCC)
+//! repro text-snow ...                     §5.1 in-text numbers
+//! repro text-fountain ...                 §5.2 in-text numbers
+//! repro reductions ...                    §5.3 time reductions
+//! repro all ...                           everything above
+//! ```
+//!
+//! Defaults: scale 10 (40k real particles stand for each 400k-particle
+//! system), 25 frames. `--scale 1 --frames 30` runs the full paper size.
+
+use psa_bench::tables::{self, format_table, CONFIG_COLUMNS};
+use psa_bench::{paper, Experiment};
+use psa_workloads::WorkloadSize;
+
+struct Args {
+    cmd: String,
+    scale: f64,
+    frames: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| "all".to_string());
+    let mut scale = 10.0;
+    let mut frames = 25;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number");
+            }
+            "--frames" => {
+                frames = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--frames needs a number");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { cmd, scale, frames }
+}
+
+fn main() {
+    let args = parse_args();
+    let size = WorkloadSize::paper_scaled(args.scale);
+    let frames = args.frames;
+    println!(
+        "# Reproduction: {} real particles/system stand for 400k (scale {}), {} frames\n",
+        size.particles_per_system, args.scale, frames
+    );
+    let columns: Vec<&str> = CONFIG_COLUMNS.iter().map(|(c, _, _)| *c).collect();
+
+    match args.cmd.as_str() {
+        "table1" => print_table1(size, frames, &columns),
+        "table2" => print_table2(size, frames),
+        "table3" => print_table3(size, frames, &columns),
+        "text-snow" => print_text(size, frames, Experiment::Snow),
+        "text-fountain" => print_text(size, frames, Experiment::Fountain),
+        "reductions" => print_reductions(size, frames),
+        "all" => {
+            print_table1(size, frames, &columns);
+            print_table2(size, frames);
+            print_table3(size, frames, &columns);
+            print_text(size, frames, Experiment::Snow);
+            print_text(size, frames, Experiment::Fountain);
+            print_reductions(size, frames);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_table1(size: WorkloadSize, frames: u64, columns: &[&str]) {
+    let rows = tables::table1(size, frames);
+    println!(
+        "{}",
+        format_table(
+            "## Table 1 — Snow, Myrinet + GNU/GCC (speed-up vs sequential E800+GCC)",
+            columns,
+            &rows
+        )
+    );
+}
+
+fn print_table3(size: WorkloadSize, frames: u64, columns: &[&str]) {
+    let rows = tables::table3(size, frames);
+    println!(
+        "{}",
+        format_table(
+            "## Table 3 — Fountain, Myrinet + GNU/GCC (speed-up vs sequential E800+GCC)",
+            columns,
+            &rows
+        )
+    );
+}
+
+fn print_table2(size: WorkloadSize, frames: u64) {
+    let rows = tables::table2(size, frames);
+    println!(
+        "{}",
+        format_table(
+            "## Table 2 — Snow, Fast-Ethernet + ICC, FS-DLB (speed-up vs sequential Itanium+ICC)",
+            &["Speed-Up"],
+            &rows
+        )
+    );
+}
+
+fn print_text(size: WorkloadSize, frames: u64, exp: Experiment) {
+    let tn = tables::text_numbers(size, frames);
+    match exp {
+        Experiment::Snow => {
+            println!("## §5.1 in-text numbers — snow");
+            println!(
+                "exchange: {:.0} particles/process/frame (paper ≈ {:.0}); {:.0} KB/frame total (paper ≈ {:.0})",
+                tn.snow_exchange.0,
+                paper::SNOW_EXCHANGE_PER_PROC,
+                tn.snow_exchange.1,
+                paper::SNOW_EXCHANGE_TOTAL_KB
+            );
+            println!(
+                "FE+ICC 8*B/16P: FS-DLB {:.2} (paper {:.2}), FS-SLB {:.2} (paper {:.2})",
+                tn.snow_fe.0,
+                paper::SNOW_FE_DLB,
+                tn.snow_fe.1,
+                paper::SNOW_FE_SLB_FS
+            );
+            println!(
+                "4*B + 4*A Myrinet: 8P {:.2} (paper {:.2}), 16P {:.2} (paper {:.2})\n",
+                tn.snow_mixed.0,
+                paper::SNOW_MIXED_8P,
+                tn.snow_mixed.1,
+                paper::SNOW_MIXED_16P
+            );
+        }
+        Experiment::Fountain => {
+            println!("## §5.2 in-text numbers — fountain");
+            println!(
+                "exchange: {:.0} particles/process/frame (paper ≈ {:.0}); {:.0} KB/frame total (paper ≈ {:.0})",
+                tn.fountain_exchange.0,
+                paper::FOUNTAIN_EXCHANGE_PER_PROC,
+                tn.fountain_exchange.1,
+                paper::FOUNTAIN_EXCHANGE_TOTAL_KB
+            );
+            println!(
+                "16 nodes (8*B + 8*A) Myrinet: {:.2} (paper {:.2})",
+                tn.fountain_16_nodes,
+                paper::FOUNTAIN_16_NODES
+            );
+            println!(
+                "best Fast-Ethernet (2*B(4P)+2*C(2P)): {:.2} (paper {:.2})\n",
+                tn.fountain_fe_best,
+                paper::FOUNTAIN_FE_BEST
+            );
+        }
+    }
+}
+
+fn print_reductions(size: WorkloadSize, frames: u64) {
+    let r = tables::reductions(size, frames);
+    println!("## §5.3 time reductions");
+    println!(
+        "snow over Myrinet:       {:.0}% (paper {:.0}%)",
+        r.snow_myrinet.0, r.snow_myrinet.1
+    );
+    println!(
+        "snow over Fast-Ethernet: {:.0}% (paper {:.0}%)",
+        r.snow_fe.0, r.snow_fe.1
+    );
+    println!(
+        "fountain over Myrinet:   {:.0}% (paper {:.0}%)\n",
+        r.fountain_myrinet.0, r.fountain_myrinet.1
+    );
+}

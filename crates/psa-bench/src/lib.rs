@@ -1,0 +1,13 @@
+//! Reproduction harness library.
+//!
+//! One function per paper artifact (Table 1, Table 2, Table 3, the in-text
+//! §5.1/§5.2/§5.3 numbers), each returning structured rows that the `repro`
+//! binary prints alongside the paper's published values. Everything is
+//! deterministic: same seed, same table.
+
+pub mod paper;
+pub mod runner;
+pub mod tables;
+
+pub use runner::{Experiment, RunOutcome};
+pub use tables::{reductions, table1, table2, table3, text_numbers, TableRow};

@@ -1,0 +1,98 @@
+//! The paper's published numbers, used as the comparison column in every
+//! reproduced table.
+
+/// Table 1 — snow, Myrinet + GNU/GCC, speed-up vs sequential E800+GCC.
+/// Rows: 4*B/4P, 5*B/5P, 6*B/6P, 7*B/7P, 8*B/8P, 8*B/16P.
+/// Columns: IS-SLB, FS-SLB, IS-DLB, FS-DLB.
+pub const TABLE1: [[f64; 4]; 6] = [
+    [1.74, 1.74, 1.73, 1.75],
+    [0.82, 2.49, 2.90, 2.50],
+    [1.74, 3.12, 2.99, 3.11],
+    [0.92, 3.63, 3.15, 3.65],
+    [1.74, 4.14, 3.37, 4.14],
+    [1.73, 6.47, 3.75, 6.37],
+];
+
+/// Table 2 — snow, Fast-Ethernet + ICC, FS-DLB, speed-up vs sequential
+/// Itanium+ICC. Rows in paper order (see `psa_workloads::table2_rows`).
+pub const TABLE2: [f64; 8] = [1.36, 1.5, 2.4, 2.02, 2.67, 3.15, 2.84, 2.61];
+
+/// Table 3 — fountain, Myrinet + GNU/GCC, same layout as Table 1.
+pub const TABLE3: [[f64; 4]; 6] = [
+    [0.98, 1.09, 1.49, 1.49],
+    [0.92, 1.19, 1.76, 1.76],
+    [0.98, 1.31, 2.02, 2.05],
+    [0.92, 1.54, 2.34, 2.36],
+    [0.98, 1.86, 2.66, 2.67],
+    [0.98, 2.66, 3.74, 3.82],
+];
+
+/// §5.1 in-text: snow exchange ≈ 560 particles/process/frame, ≈ 613 KB
+/// total across 16 processes.
+pub const SNOW_EXCHANGE_PER_PROC: f64 = 560.0;
+pub const SNOW_EXCHANGE_TOTAL_KB: f64 = 613.0;
+
+/// §5.2 in-text: fountain exchange ≈ 4000 particles/process/frame,
+/// ≈ 4375 KB total.
+pub const FOUNTAIN_EXCHANGE_PER_PROC: f64 = 4000.0;
+pub const FOUNTAIN_EXCHANGE_TOTAL_KB: f64 = 4375.0;
+
+/// §5.1: snow on Fast-Ethernet + ICC, 8 E800 nodes / 16 processes.
+pub const SNOW_FE_DLB: f64 = 2.56;
+pub const SNOW_FE_SLB_FS: f64 = 2.65;
+
+/// §5.1: snow with 4 E800 + 4 E60 nodes (Myrinet+GCC), 8 and 16 processes.
+pub const SNOW_MIXED_8P: f64 = 2.76;
+pub const SNOW_MIXED_16P: f64 = 2.93;
+
+/// §5.2: fountain with 8 E800 + 8 E60 (16 nodes), Myrinet + GCC.
+pub const FOUNTAIN_16_NODES: f64 = 4.28;
+
+/// §5.2: fountain's best Fast-Ethernet result (2*B + 2*C, FS-DLB).
+pub const FOUNTAIN_FE_BEST: f64 = 1.26;
+
+/// §5.3: time reductions. Snow 84 % (Myrinet), 68 % (Fast-Ethernet);
+/// fountain 66 % (Myrinet).
+pub const REDUCTION_SNOW_MYRINET: f64 = 84.0;
+pub const REDUCTION_SNOW_FE: f64 = 68.0;
+pub const REDUCTION_FOUNTAIN_MYRINET: f64 = 66.0;
+
+/// Paper speed-up → time-reduction percentage: `(1 − 1/s) × 100`.
+pub fn reduction_pct(speedup: f64) -> f64 {
+    if speedup <= 0.0 {
+        0.0
+    } else {
+        (1.0 - 1.0 / speedup) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_formula_matches_paper() {
+        // 84% reduction ⇔ speed-up 6.25; the paper's best snow Myrinet
+        // speed-up is 6.47 ⇒ 84.5% — consistent with the reported 84%.
+        assert!((reduction_pct(6.47) - 84.5).abs() < 0.2);
+        // 68% ⇔ 3.125; snow FE+ICC best (SLB-FS 2.65) gives 62%; the
+        // paper's 68% likely counts a larger mix — we report ours.
+        assert!(reduction_pct(1.0) == 0.0);
+        assert_eq!(reduction_pct(0.0), 0.0);
+    }
+
+    #[test]
+    fn tables_have_paper_shapes() {
+        // IS-SLB odd rows (5P, 7P) are below 1; even rows ≈ 1.74.
+        assert!(TABLE1[1][0] < 1.0 && TABLE1[3][0] < 1.0);
+        assert!(TABLE1[0][0] > 1.7 && TABLE1[4][0] > 1.7);
+        // Fountain: DLB beats SLB everywhere.
+        for row in TABLE3 {
+            assert!(row[3] >= row[1]);
+            assert!(row[2] >= row[0]);
+        }
+        // Table 2's best mix is 2*B(4P)+2*C(2P).
+        let best = TABLE2.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(best, TABLE2[5]);
+    }
+}

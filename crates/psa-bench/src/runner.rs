@@ -1,0 +1,208 @@
+//! Experiment runner: pairs a workload with a cluster and the paper's
+//! config matrix, producing speed-ups against the right sequential
+//! baseline.
+
+use cluster_sim::{e800, zx2000, ClusterSpec, Compiler, CostModel};
+use psa_runtime::{
+    run_sequential, BalanceMode, RunConfig, RunReport, Scene, SpaceMode, VirtualSim,
+};
+use psa_workloads::{fountain_scene, paper_run_config, snow_scene, WorkloadSize};
+
+/// Which paper workload an experiment runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Experiment {
+    Snow,
+    Fountain,
+}
+
+impl Experiment {
+    pub fn scene(&self, size: WorkloadSize) -> Scene {
+        match self {
+            Experiment::Snow => snow_scene(size),
+            Experiment::Fountain => fountain_scene(size),
+        }
+    }
+
+    pub fn dt(&self) -> f32 {
+        match self {
+            Experiment::Snow => psa_workloads::snow::SNOW_DT,
+            Experiment::Fountain => psa_workloads::fountain::FOUNTAIN_DT,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Experiment::Snow => "snow",
+            Experiment::Fountain => "fountain",
+        }
+    }
+}
+
+/// One parallel run plus its baseline-relative speed-up.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    pub report: RunReport,
+    pub speedup: f64,
+}
+
+/// Shared runner state: caches the sequential baselines (they are identical
+/// across the rows of a table).
+pub struct Runner {
+    pub size: WorkloadSize,
+    pub frames: u64,
+    seq_cache: Vec<(Experiment, f64, f64)>, // (exp, speed, total_time)
+}
+
+impl Runner {
+    pub fn new(size: WorkloadSize, frames: u64) -> Self {
+        Runner { size, frames, seq_cache: Vec::new() }
+    }
+
+    fn run_config(&self, exp: Experiment, space: SpaceMode, balance: BalanceMode) -> RunConfig {
+        let mut cfg = paper_run_config(self.frames, exp.dt());
+        cfg.space = space;
+        cfg.balance = balance;
+        cfg
+    }
+
+    /// Sequential baseline time for `exp` at relative machine `speed`
+    /// (cached).
+    pub fn sequential_time(&mut self, exp: Experiment, speed: f64) -> f64 {
+        if let Some((_, _, t)) = self
+            .seq_cache
+            .iter()
+            .find(|(e, s, _)| *e == exp && (*s - speed).abs() < 1e-12)
+        {
+            return *t;
+        }
+        let scene = exp.scene(self.size);
+        let cfg = self.run_config(exp, SpaceMode::Finite, BalanceMode::Static);
+        let report = run_sequential(&scene, &cfg, &self.size.cost_model(), speed);
+        let t = report.steady_time();
+        self.seq_cache.push((exp, speed, t));
+        t
+    }
+
+    /// The paper's Myrinet/GCC baseline machine (E800).
+    pub fn baseline_gcc(&mut self, exp: Experiment) -> f64 {
+        self.sequential_time(exp, e800().speed(Compiler::Gcc))
+    }
+
+    /// The paper's Fast-Ethernet/ICC baseline machine (Itanium zx2000).
+    pub fn baseline_icc(&mut self, exp: Experiment) -> f64 {
+        self.sequential_time(exp, zx2000().speed(Compiler::Icc))
+    }
+
+    /// Run one parallel configuration and compute its speed-up against
+    /// `baseline_time`.
+    pub fn run(
+        &mut self,
+        exp: Experiment,
+        cluster: ClusterSpec,
+        space: SpaceMode,
+        balance: BalanceMode,
+        baseline_time: f64,
+    ) -> RunOutcome {
+        let scene = exp.scene(self.size);
+        let cfg = self.run_config(exp, space, balance);
+        let cost: CostModel = self.size.cost_model();
+        let mut sim = VirtualSim::new(scene, cfg, cluster, cost);
+        let report = sim.run();
+        let steady = report.steady_time();
+        let speedup = if steady > 0.0 { baseline_time / steady } else { 0.0 };
+        RunOutcome { report, speedup }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_workloads::myrinet_gcc;
+
+    fn tiny() -> WorkloadSize {
+        WorkloadSize { systems: 2, particles_per_system: 1500, scale: 100.0 }
+    }
+
+    #[test]
+    fn parallel_beats_sequential_for_finite_space() {
+        let mut r = Runner::new(tiny(), 10);
+        let base = r.baseline_gcc(Experiment::Snow);
+        assert!(base > 0.0);
+        let out = r.run(
+            Experiment::Snow,
+            myrinet_gcc(4, 1),
+            SpaceMode::Finite,
+            BalanceMode::Static,
+            base,
+        );
+        assert!(
+            out.speedup > 1.5,
+            "4 calculators should beat sequential: {}",
+            out.speedup
+        );
+        assert!(out.speedup < 4.0, "cannot exceed ideal: {}", out.speedup);
+    }
+
+    #[test]
+    fn sequential_cache_hits() {
+        let mut r = Runner::new(tiny(), 6);
+        let a = r.baseline_gcc(Experiment::Snow);
+        let b = r.baseline_gcc(Experiment::Snow);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn infinite_space_static_balancing_starves_processes() {
+        // The Table 1 IS-SLB effect: odd process counts leave one busy
+        // calculator; speed-up collapses below 1.
+        let mut r = Runner::new(tiny(), 8);
+        let base = r.baseline_gcc(Experiment::Snow);
+        let odd = r.run(
+            Experiment::Snow,
+            myrinet_gcc(5, 1),
+            SpaceMode::Infinite,
+            BalanceMode::Static,
+            base,
+        );
+        let even = r.run(
+            Experiment::Snow,
+            myrinet_gcc(4, 1),
+            SpaceMode::Infinite,
+            BalanceMode::Static,
+            base,
+        );
+        assert!(odd.speedup < 1.2, "odd IS-SLB ≈ sequential: {}", odd.speedup);
+        assert!(
+            even.speedup > odd.speedup,
+            "even split uses two calculators: {} vs {}",
+            even.speedup,
+            odd.speedup
+        );
+    }
+
+    #[test]
+    fn dynamic_balancing_recovers_infinite_space() {
+        let mut r = Runner::new(tiny(), 12);
+        let base = r.baseline_gcc(Experiment::Snow);
+        let slb = r.run(
+            Experiment::Snow,
+            myrinet_gcc(5, 1),
+            SpaceMode::Infinite,
+            BalanceMode::Static,
+            base,
+        );
+        let dlb = r.run(
+            Experiment::Snow,
+            myrinet_gcc(5, 1),
+            SpaceMode::Infinite,
+            BalanceMode::dynamic(),
+            base,
+        );
+        assert!(
+            dlb.speedup > slb.speedup * 1.3,
+            "DLB must recover IS imbalance: {} vs {}",
+            dlb.speedup,
+            slb.speedup
+        );
+    }
+}

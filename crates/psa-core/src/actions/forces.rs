@@ -1,0 +1,276 @@
+//! Property-changing force actions (paper §3.2.2): they alter velocities
+//! but never positions, so they need no inter-process communication.
+
+use super::{Action, ActionCtx, ActionKind, ActionOutcome};
+use crate::SubDomainStore;
+use psa_math::{Scalar, Vec3};
+
+/// Constant acceleration — gravity in the fountain experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Gravity {
+    pub g: Vec3,
+}
+
+impl Gravity {
+    pub fn new(g: Vec3) -> Self {
+        Gravity { g }
+    }
+
+    /// Standard Earth gravity pointing down the y axis.
+    pub fn earth() -> Self {
+        Gravity { g: Vec3::new(0.0, -9.81, 0.0) }
+    }
+}
+
+impl Action for Gravity {
+    fn kind(&self) -> ActionKind {
+        ActionKind::Property
+    }
+
+    fn name(&self) -> &'static str {
+        "gravity"
+    }
+
+    fn apply(&self, ctx: &mut ActionCtx<'_>, store: &mut SubDomainStore) -> ActionOutcome {
+        let dv = self.g * ctx.dt;
+        let mut n = 0;
+        store.for_each_mut(|p| {
+            p.velocity += dv;
+            n += 1;
+        });
+        ActionOutcome::applied(n)
+    }
+}
+
+/// Random per-particle acceleration — the snow experiment applies "a random
+/// acceleration on the particles" each frame to get flutter.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomAccel {
+    /// Maximum magnitude of the random acceleration.
+    pub magnitude: Scalar,
+}
+
+impl RandomAccel {
+    pub fn new(magnitude: Scalar) -> Self {
+        RandomAccel { magnitude }
+    }
+}
+
+impl Action for RandomAccel {
+    fn kind(&self) -> ActionKind {
+        ActionKind::Property
+    }
+
+    fn name(&self) -> &'static str {
+        "random-accel"
+    }
+
+    fn apply(&self, ctx: &mut ActionCtx<'_>, store: &mut SubDomainStore) -> ActionOutcome {
+        let mag = self.magnitude * ctx.dt;
+        let rng = &mut *ctx.rng;
+        let mut n = 0;
+        store.for_each_mut(|p| {
+            p.velocity += rng.in_unit_sphere() * mag;
+            n += 1;
+        });
+        ActionOutcome::applied(n)
+    }
+
+    fn cost_weight(&self) -> f64 {
+        // Rejection sampling for the sphere draw is ~2× the arithmetic of a
+        // plain force pass.
+        2.0
+    }
+}
+
+/// Exponential velocity damping (air drag).
+#[derive(Clone, Copy, Debug)]
+pub struct Damping {
+    /// Fraction of velocity lost per second, in `[0, 1]`.
+    pub rate: Scalar,
+}
+
+impl Damping {
+    pub fn new(rate: Scalar) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "damping rate must be in [0,1]");
+        Damping { rate }
+    }
+}
+
+impl Action for Damping {
+    fn kind(&self) -> ActionKind {
+        ActionKind::Property
+    }
+
+    fn name(&self) -> &'static str {
+        "damping"
+    }
+
+    fn apply(&self, ctx: &mut ActionCtx<'_>, store: &mut SubDomainStore) -> ActionOutcome {
+        let keep = (1.0 - self.rate).powf(ctx.dt);
+        let mut n = 0;
+        store.for_each_mut(|p| {
+            p.velocity *= keep;
+            n += 1;
+        });
+        ActionOutcome::applied(n)
+    }
+}
+
+/// Relax particle velocity toward a wind field velocity.
+#[derive(Clone, Copy, Debug)]
+pub struct Wind {
+    pub wind: Vec3,
+    /// Coupling strength per second.
+    pub drag: Scalar,
+}
+
+impl Wind {
+    pub fn new(wind: Vec3, drag: Scalar) -> Self {
+        Wind { wind, drag }
+    }
+}
+
+impl Action for Wind {
+    fn kind(&self) -> ActionKind {
+        ActionKind::Property
+    }
+
+    fn name(&self) -> &'static str {
+        "wind"
+    }
+
+    fn apply(&self, ctx: &mut ActionCtx<'_>, store: &mut SubDomainStore) -> ActionOutcome {
+        let k = (self.drag * ctx.dt).min(1.0);
+        let wind = self.wind;
+        let mut n = 0;
+        store.for_each_mut(|p| {
+            p.velocity = p.velocity.lerp(wind, k);
+            n += 1;
+        });
+        ActionOutcome::applied(n)
+    }
+}
+
+/// Attract particles toward a point with inverse-square falloff — the
+/// classic McAllister `pOrbitPoint` effect, used by the fireworks example.
+#[derive(Clone, Copy, Debug)]
+pub struct OrbitPoint {
+    pub center: Vec3,
+    pub strength: Scalar,
+    /// Softening epsilon so close particles do not explode numerically.
+    pub epsilon: Scalar,
+}
+
+impl OrbitPoint {
+    pub fn new(center: Vec3, strength: Scalar) -> Self {
+        OrbitPoint { center, strength, epsilon: 0.25 }
+    }
+}
+
+impl Action for OrbitPoint {
+    fn kind(&self) -> ActionKind {
+        ActionKind::Property
+    }
+
+    fn name(&self) -> &'static str {
+        "orbit-point"
+    }
+
+    fn apply(&self, ctx: &mut ActionCtx<'_>, store: &mut SubDomainStore) -> ActionOutcome {
+        let c = self.center;
+        let s = self.strength * ctx.dt;
+        let eps2 = self.epsilon * self.epsilon;
+        let mut n = 0;
+        store.for_each_mut(|p| {
+            let rel = c - p.position;
+            let d2 = rel.length_squared() + eps2;
+            p.velocity += rel * (s / (d2 * d2.sqrt()));
+            n += 1;
+        });
+        ActionOutcome::applied(n)
+    }
+
+    fn cost_weight(&self) -> f64 {
+        1.5 // sqrt + division per particle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_math::{Axis, Interval, Rng64};
+
+    fn store_with(ps: &[Vec3]) -> SubDomainStore {
+        let mut s = SubDomainStore::new(Interval::new(-100.0, 100.0), Axis::X, 2);
+        for &p in ps {
+            s.insert(crate::Particle::at(p));
+        }
+        s
+    }
+
+    fn run(a: &dyn Action, s: &mut SubDomainStore, dt: f32) -> ActionOutcome {
+        let mut rng = Rng64::new(7);
+        let mut ctx = ActionCtx { dt, frame: 1, rng: &mut rng };
+        a.apply(&mut ctx, s)
+    }
+
+    #[test]
+    fn gravity_accumulates_velocity_only() {
+        let mut s = store_with(&[Vec3::ZERO]);
+        let out = run(&Gravity::earth(), &mut s, 0.5);
+        assert_eq!(out.applied, 1);
+        let p = s.iter().next().unwrap();
+        assert!((p.velocity.y + 4.905).abs() < 1e-4);
+        assert_eq!(p.position, Vec3::ZERO); // property action: no movement
+    }
+
+    #[test]
+    fn random_accel_is_bounded_and_deterministic() {
+        let mut s1 = store_with(&[Vec3::ZERO; 32]);
+        let mut s2 = store_with(&[Vec3::ZERO; 32]);
+        run(&RandomAccel::new(2.0), &mut s1, 1.0);
+        run(&RandomAccel::new(2.0), &mut s2, 1.0);
+        for (a, b) in s1.iter().zip(s2.iter()) {
+            assert_eq!(a.velocity, b.velocity, "same seed, same kicks");
+            assert!(a.velocity.length() <= 2.0 + 1e-4);
+        }
+        // at least some particles actually got kicked
+        assert!(s1.iter().any(|p| p.velocity.length() > 0.0));
+    }
+
+    #[test]
+    fn damping_shrinks_speed() {
+        let mut s = store_with(&[Vec3::ZERO]);
+        s.for_each_mut(|p| p.velocity = Vec3::new(10.0, 0.0, 0.0));
+        run(&Damping::new(0.5), &mut s, 1.0);
+        let v = s.iter().next().unwrap().velocity.x;
+        assert!((v - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn damping_rejects_bad_rate() {
+        let _ = Damping::new(1.5);
+    }
+
+    #[test]
+    fn wind_converges_to_field() {
+        let mut s = store_with(&[Vec3::ZERO]);
+        let w = Wind::new(Vec3::new(3.0, 0.0, 0.0), 1.0);
+        for _ in 0..64 {
+            run(&w, &mut s, 0.25);
+        }
+        let v = s.iter().next().unwrap().velocity;
+        assert!((v.x - 3.0).abs() < 0.01, "velocity {v:?} should approach wind");
+    }
+
+    #[test]
+    fn orbit_point_pulls_inward() {
+        let mut s = store_with(&[Vec3::new(5.0, 0.0, 0.0)]);
+        run(&OrbitPoint::new(Vec3::ZERO, 50.0), &mut s, 1.0);
+        let v = s.iter().next().unwrap().velocity;
+        assert!(v.x < 0.0, "should accelerate toward center, got {v:?}");
+        assert_eq!(v.y, 0.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Inter-particle collision detection (the hook the model preserves).
+//!
+//! Paper §3.1.4: the space is divided into domains precisely so that a user
+//! can introduce "efficient particle collision detection procedures" — a
+//! particle only needs testing against particles of nearby domains, and data
+//! locality keeps neighbors on the same (or an adjacent) process.
+//!
+//! Within one calculator's domain we provide the standard uniform-grid
+//! broadphase: hash particles into cells of edge `2·r_max`, then test the 27
+//! neighboring cells. Cross-boundary pairs are handled by the runtime via a
+//! ghost-slab exchange: each calculator ships the particles within `2·r_max`
+//! of its boundary to the neighbor as read-only ghosts, exactly the
+//! "particles exchanged during the computation" mode of §3.1.5.
+
+use crate::Particle;
+use psa_math::{Scalar, Vec3};
+
+/// A uniform grid over particle positions for neighborhood queries.
+///
+/// Rebuilt each frame (construction is O(n)); query of all colliding pairs
+/// is O(n · k) with k the mean cell occupancy.
+pub struct UniformGrid {
+    cell: Scalar,
+    origin: Vec3,
+    dims: [usize; 3],
+    /// CSR layout: `starts[c]..starts[c+1]` indexes into `entries`.
+    starts: Vec<u32>,
+    entries: Vec<u32>,
+}
+
+impl UniformGrid {
+    /// Build over `particles` with the given cell edge (use `2 × max radius`).
+    pub fn build(particles: &[Particle], cell: Scalar) -> Self {
+        assert!(cell > 0.0, "cell edge must be positive");
+        if particles.is_empty() {
+            return UniformGrid {
+                cell,
+                origin: Vec3::ZERO,
+                dims: [1, 1, 1],
+                starts: vec![0, 0],
+                entries: Vec::new(),
+            };
+        }
+        let mut min = particles[0].position;
+        let mut max = min;
+        for p in particles {
+            min = min.min(p.position);
+            max = max.max(p.position);
+        }
+        let size = max - min;
+        let dims = [
+            (size.x / cell).floor() as usize + 1,
+            (size.y / cell).floor() as usize + 1,
+            (size.z / cell).floor() as usize + 1,
+        ];
+        let ncells = dims[0] * dims[1] * dims[2];
+        // Counting sort into CSR: one pass to count, one to place.
+        let mut starts = vec![0u32; ncells + 1];
+        let cell_of = |p: Vec3| -> usize {
+            let ix = (((p.x - min.x) / cell) as usize).min(dims[0] - 1);
+            let iy = (((p.y - min.y) / cell) as usize).min(dims[1] - 1);
+            let iz = (((p.z - min.z) / cell) as usize).min(dims[2] - 1);
+            (iz * dims[1] + iy) * dims[0] + ix
+        };
+        for p in particles {
+            starts[cell_of(p.position) + 1] += 1;
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        let mut cursor = starts.clone();
+        let mut entries = vec![0u32; particles.len()];
+        for (i, p) in particles.iter().enumerate() {
+            let c = cell_of(p.position);
+            entries[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        UniformGrid { cell, origin: min, dims, starts, entries }
+    }
+
+    #[inline]
+    fn cell_coords(&self, p: Vec3) -> [isize; 3] {
+        [
+            ((p.x - self.origin.x) / self.cell) as isize,
+            ((p.y - self.origin.y) / self.cell) as isize,
+            ((p.z - self.origin.z) / self.cell) as isize,
+        ]
+    }
+
+    /// Visit the indices of all particles in the 27-cell neighborhood of `p`.
+    pub fn for_neighbors<F: FnMut(u32)>(&self, p: Vec3, mut f: F) {
+        let c = self.cell_coords(p);
+        for dz in -1..=1isize {
+            for dy in -1..=1isize {
+                for dx in -1..=1isize {
+                    let (x, y, z) = (c[0] + dx, c[1] + dy, c[2] + dz);
+                    if x < 0
+                        || y < 0
+                        || z < 0
+                        || x >= self.dims[0] as isize
+                        || y >= self.dims[1] as isize
+                        || z >= self.dims[2] as isize
+                    {
+                        continue;
+                    }
+                    let cell = (z as usize * self.dims[1] + y as usize) * self.dims[0] + x as usize;
+                    let (a, b) = (self.starts[cell] as usize, self.starts[cell + 1] as usize);
+                    for &e in &self.entries[a..b] {
+                        f(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of stored particles.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Find all pairs `(i, j)` with `i < j` whose centers are closer than
+/// `radius_i + radius_j` (using `p.size` as radius).
+///
+/// `ghosts` are read-only boundary particles from neighbor domains; pairs
+/// between a local particle and a ghost are reported with the ghost index
+/// offset by `particles.len()`.
+pub fn colliding_pairs(particles: &[Particle], ghosts: &[Particle], cell: Scalar) -> Vec<(u32, u32)> {
+    let n = particles.len();
+    let mut all: Vec<Particle> = Vec::with_capacity(n + ghosts.len());
+    all.extend_from_slice(particles);
+    all.extend_from_slice(ghosts);
+    let grid = UniformGrid::build(&all, cell);
+    let mut pairs = Vec::new();
+    for (i, p) in particles.iter().enumerate() {
+        grid.for_neighbors(p.position, |j| {
+            let j = j as usize;
+            if j <= i {
+                return; // count each pair once; ghost-ghost pairs skipped via i < n
+            }
+            let q = &all[j];
+            let rsum = p.size + q.size;
+            if p.position.distance_squared(q.position) < rsum * rsum {
+                pairs.push((i as u32, j as u32));
+            }
+        });
+    }
+    pairs
+}
+
+/// Resolve local–ghost pairs symmetrically: the impulse is computed from
+/// both particles but applied only to the local one; the ghost's owning
+/// calculator computes the identical impulse for its side (it sees the
+/// mirrored pair through its own ghost slab), so momentum is conserved
+/// globally without any write-back traffic.
+pub fn resolve_elastic_with_ghosts(
+    locals: &mut [Particle],
+    ghosts: &[Particle],
+    pairs: &[(u32, u32)],
+    restitution: Scalar,
+) {
+    let n = locals.len();
+    for &(i, j) in pairs {
+        let (i, j) = (i as usize, j as usize);
+        if j < n {
+            // both local: standard two-sided resolution
+            resolve_pair(locals, i, j, restitution);
+            continue;
+        }
+        let ghost = ghosts[j - n];
+        let p = locals[i];
+        let normal = (ghost.position - p.position).normalized();
+        if normal == Vec3::ZERO {
+            continue;
+        }
+        let rel = ghost.velocity - p.velocity;
+        let vn = rel.dot(normal);
+        if vn >= 0.0 {
+            continue;
+        }
+        let m1 = p.mass.max(1e-6);
+        let m2 = ghost.mass.max(1e-6);
+        let imp = -(1.0 + restitution) * vn / (1.0 / m1 + 1.0 / m2);
+        locals[i].velocity -= normal * (imp / m1);
+    }
+}
+
+#[inline]
+fn resolve_pair(particles: &mut [Particle], i: usize, j: usize, restitution: Scalar) {
+    let (pi, pj) = (particles[i], particles[j]);
+    let normal = (pj.position - pi.position).normalized();
+    if normal == Vec3::ZERO {
+        return;
+    }
+    let rel = pj.velocity - pi.velocity;
+    let vn = rel.dot(normal);
+    if vn >= 0.0 {
+        return;
+    }
+    let m1 = pi.mass.max(1e-6);
+    let m2 = pj.mass.max(1e-6);
+    let imp = -(1.0 + restitution) * vn / (1.0 / m1 + 1.0 / m2);
+    particles[i].velocity -= normal * (imp / m1);
+    particles[j].velocity += normal * (imp / m2);
+}
+
+/// Resolve particle–particle collisions as equal-mass-weighted elastic
+/// impulses (the "efficient collision procedure" slot the model leaves to
+/// users; this is a reasonable default).
+pub fn resolve_elastic(particles: &mut [Particle], pairs: &[(u32, u32)], restitution: Scalar) {
+    for &(i, j) in pairs {
+        let (i, j) = (i as usize, j as usize);
+        if j >= particles.len() {
+            continue; // ghost pair: the ghost's owner resolves its side
+        }
+        let (pi, pj) = (particles[i], particles[j]);
+        let normal = (pj.position - pi.position).normalized();
+        if normal == Vec3::ZERO {
+            continue;
+        }
+        let rel = pj.velocity - pi.velocity;
+        let vn = rel.dot(normal);
+        if vn >= 0.0 {
+            continue; // separating
+        }
+        let m1 = pi.mass.max(1e-6);
+        let m2 = pj.mass.max(1e-6);
+        let imp = -(1.0 + restitution) * vn / (1.0 / m1 + 1.0 / m2);
+        particles[i].velocity -= normal * (imp / m1);
+        particles[j].velocity += normal * (imp / m2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_math::Rng64;
+
+    fn p(x: f32, y: f32, z: f32, size: f32) -> Particle {
+        Particle::at(Vec3::new(x, y, z)).with_size(size)
+    }
+
+    /// O(n²) reference used to verify the grid broadphase.
+    fn brute_pairs(ps: &[Particle]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                let r = ps[i].size + ps[j].size;
+                if ps[i].position.distance_squared(ps[j].position) < r * r {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let g = UniformGrid::build(&[], 1.0);
+        assert!(g.is_empty());
+        let mut count = 0;
+        g.for_neighbors(Vec3::ZERO, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn grid_matches_brute_force() {
+        let mut rng = Rng64::new(123);
+        let ps: Vec<Particle> = (0..300)
+            .map(|_| {
+                p(
+                    rng.range(-5.0, 5.0),
+                    rng.range(-5.0, 5.0),
+                    rng.range(-5.0, 5.0),
+                    0.2,
+                )
+            })
+            .collect();
+        let mut grid = colliding_pairs(&ps, &[], 0.4);
+        let mut brute = brute_pairs(&ps);
+        grid.sort_unstable();
+        brute.sort_unstable();
+        assert_eq!(grid, brute);
+        assert!(!brute.is_empty(), "test should actually exercise collisions");
+    }
+
+    #[test]
+    fn ghost_pairs_are_reported_with_offset() {
+        let local = vec![p(0.0, 0.0, 0.0, 0.3)];
+        let ghosts = vec![p(0.4, 0.0, 0.0, 0.3)];
+        let pairs = colliding_pairs(&local, &ghosts, 0.6);
+        assert_eq!(pairs, vec![(0, 1)]); // ghost index = local len + 0
+    }
+
+    #[test]
+    fn no_ghost_ghost_pairs() {
+        let ghosts = vec![p(0.0, 0.0, 0.0, 0.5), p(0.1, 0.0, 0.0, 0.5)];
+        let pairs = colliding_pairs(&[], &ghosts, 1.0);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn elastic_resolution_conserves_momentum() {
+        let mut ps = vec![
+            p(0.0, 0.0, 0.0, 0.3).with_velocity(Vec3::X),
+            p(0.5, 0.0, 0.0, 0.3).with_velocity(-Vec3::X),
+        ];
+        let before: Vec3 = ps.iter().fold(Vec3::ZERO, |a, q| a + q.velocity * q.mass);
+        let pairs = colliding_pairs(&ps, &[], 0.6);
+        assert_eq!(pairs.len(), 1);
+        resolve_elastic(&mut ps, &pairs, 1.0);
+        let after: Vec3 = ps.iter().fold(Vec3::ZERO, |a, q| a + q.velocity * q.mass);
+        assert!((before - after).length() < 1e-5);
+        // velocities swapped for equal masses under e = 1
+        assert!((ps[0].velocity.x + 1.0).abs() < 1e-5);
+        assert!((ps[1].velocity.x - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn separating_pairs_untouched() {
+        let mut ps = vec![
+            p(0.0, 0.0, 0.0, 0.3).with_velocity(-Vec3::X),
+            p(0.5, 0.0, 0.0, 0.3).with_velocity(Vec3::X),
+        ];
+        let pairs = colliding_pairs(&ps, &[], 0.6);
+        resolve_elastic(&mut ps, &pairs, 1.0);
+        assert_eq!(ps[0].velocity, -Vec3::X);
+        assert_eq!(ps[1].velocity, Vec3::X);
+    }
+
+    #[test]
+    fn ghost_resolution_is_symmetric_and_conserves_momentum() {
+        // Two calculators each hold one particle of an approaching pair;
+        // each resolves its own side against the other's ghost. The summed
+        // impulses must equal the two-sided resolution exactly.
+        let a = p(0.0, 0.0, 0.0, 0.3).with_velocity(Vec3::X);
+        let b = p(0.5, 0.0, 0.0, 0.3).with_velocity(-Vec3::X);
+
+        // reference: both local
+        let mut reference = vec![a, b];
+        let pairs = colliding_pairs(&reference, &[], 0.6);
+        resolve_elastic(&mut reference, &pairs, 1.0);
+
+        // distributed: calc L owns a (ghost b), calc R owns b (ghost a)
+        let mut left = vec![a];
+        let lp = colliding_pairs(&left, &[b], 0.6);
+        resolve_elastic_with_ghosts(&mut left, &[b], &lp, 1.0);
+        let mut right = vec![b];
+        let rp = colliding_pairs(&right, &[a], 0.6);
+        resolve_elastic_with_ghosts(&mut right, &[a], &rp, 1.0);
+
+        assert_eq!(left[0].velocity, reference[0].velocity);
+        assert_eq!(right[0].velocity, reference[1].velocity);
+        let total = left[0].velocity * left[0].mass + right[0].velocity * right[0].mass;
+        assert!((total - Vec3::ZERO).length() < 1e-5, "momentum conserved: {total:?}");
+    }
+
+    #[test]
+    fn ghost_resolution_handles_local_pairs_too() {
+        let mut locals = vec![
+            p(0.0, 0.0, 0.0, 0.3).with_velocity(Vec3::X),
+            p(0.5, 0.0, 0.0, 0.3).with_velocity(-Vec3::X),
+        ];
+        let pairs = colliding_pairs(&locals, &[], 0.6);
+        resolve_elastic_with_ghosts(&mut locals, &[], &pairs, 1.0);
+        assert!((locals[0].velocity.x + 1.0).abs() < 1e-5);
+        assert!((locals[1].velocity.x - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn coincident_particles_do_not_nan() {
+        let mut ps = vec![
+            p(1.0, 1.0, 1.0, 0.5).with_velocity(Vec3::X),
+            p(1.0, 1.0, 1.0, 0.5).with_velocity(-Vec3::X),
+        ];
+        let pairs = colliding_pairs(&ps, &[], 1.0);
+        resolve_elastic(&mut ps, &pairs, 1.0);
+        assert!(ps[0].velocity.is_finite());
+        assert!(ps[1].velocity.is_finite());
+    }
+}

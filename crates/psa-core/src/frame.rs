@@ -1,0 +1,99 @@
+//! Per-frame statistics collected by every process.
+//!
+//! Paper §3.2.4: after the exchange, calculators report to the manager their
+//! *load* (particle count) and the *time* taken to process all actions —
+//! and the time must be re-scaled to the post-exchange particle count
+//! because the count just changed. [`FrameStats`] carries exactly that
+//! report plus accounting the benches use.
+
+use serde::{Deserialize, Serialize};
+
+/// A calculator's per-frame report and local accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrameStats {
+    /// Animation frame index.
+    pub frame: u64,
+    /// Particles held after the exchange (the "load" of §3.2.4).
+    pub particles: u64,
+    /// Time spent processing actions this frame, in seconds. Virtual time
+    /// under the simulated executor, wall time under the threaded one.
+    pub compute_time: f64,
+    /// Particle-action applications performed (work units).
+    pub work_units: u64,
+    /// Particles that migrated out of this process this frame.
+    pub sent: u64,
+    /// Particles that migrated into this process this frame.
+    pub received: u64,
+    /// Particles killed by lifecycle actions this frame.
+    pub killed: u64,
+    /// Bytes shipped for migration this frame.
+    pub migration_bytes: u64,
+}
+
+impl FrameStats {
+    pub fn new(frame: u64) -> Self {
+        FrameStats { frame, ..Default::default() }
+    }
+
+    /// The time re-scaling rule of §3.2.4: the reported time must be
+    /// proportional to the *new* particle count after the exchange.
+    /// `pre_count` is the population the measured time was observed on.
+    pub fn rescale_time_to(&mut self, pre_count: u64) {
+        if pre_count > 0 && self.particles != pre_count {
+            self.compute_time *= self.particles as f64 / pre_count as f64;
+        }
+    }
+
+    /// Fold a second report (another system's pass on the same frame).
+    pub fn absorb(&mut self, o: &FrameStats) {
+        debug_assert_eq!(self.frame, o.frame);
+        self.particles += o.particles;
+        self.compute_time += o.compute_time;
+        self.work_units += o.work_units;
+        self.sent += o.sent;
+        self.received += o.received;
+        self.killed += o.killed;
+        self.migration_bytes += o.migration_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rescale_is_proportional() {
+        let mut s = FrameStats::new(1);
+        s.particles = 150;
+        s.compute_time = 2.0;
+        s.rescale_time_to(100);
+        assert!((s.compute_time - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescale_noop_when_unchanged_or_empty() {
+        let mut s = FrameStats::new(1);
+        s.particles = 100;
+        s.compute_time = 2.0;
+        s.rescale_time_to(100);
+        assert_eq!(s.compute_time, 2.0);
+        s.rescale_time_to(0);
+        assert_eq!(s.compute_time, 2.0);
+    }
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = FrameStats::new(4);
+        a.particles = 10;
+        a.sent = 1;
+        let mut b = FrameStats::new(4);
+        b.particles = 20;
+        b.received = 2;
+        b.compute_time = 0.5;
+        a.absorb(&b);
+        assert_eq!(a.particles, 30);
+        assert_eq!(a.sent, 1);
+        assert_eq!(a.received, 2);
+        assert_eq!(a.compute_time, 0.5);
+    }
+}

@@ -1,0 +1,183 @@
+//! External objects particles can collide with (paper §3.2.2).
+//!
+//! "Actions that simulate gravity, eliminate or bounce particles that
+//! collided with external objects do not change the positioning of the
+//! particles" — external-object collision is resolved locally, per particle,
+//! with no inter-process communication. Objects are replicated on every
+//! calculator as part of the global simulation information.
+
+use serde::{Deserialize, Serialize};
+
+use psa_math::{Aabb, Scalar, Vec3};
+
+/// A collidable external object.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ExternalObject {
+    /// An infinite plane `n·x = d` with unit normal `n`; particles collide
+    /// when they cross to the negative side.
+    Plane { normal: Vec3, d: Scalar },
+    /// A solid sphere.
+    Sphere { center: Vec3, radius: Scalar },
+    /// A solid axis-aligned box.
+    Box(Aabb),
+}
+
+/// Result of testing a particle position against an object.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Contact {
+    /// Outward surface normal at the contact.
+    pub normal: Vec3,
+    /// Penetration depth (>= 0 when inside/behind the surface).
+    pub depth: Scalar,
+}
+
+impl ExternalObject {
+    /// Ground plane `y = h` facing up.
+    pub fn ground(h: Scalar) -> Self {
+        ExternalObject::Plane { normal: Vec3::Y, d: h }
+    }
+
+    /// Test `p`; `Some(contact)` when penetrating.
+    pub fn contact(&self, p: Vec3) -> Option<Contact> {
+        match self {
+            ExternalObject::Plane { normal, d } => {
+                let dist = p.dot(*normal) - d;
+                (dist < 0.0).then(|| Contact { normal: *normal, depth: -dist })
+            }
+            ExternalObject::Sphere { center, radius } => {
+                let rel = p - *center;
+                let dist = rel.length();
+                (dist < *radius).then(|| Contact {
+                    normal: if dist > Scalar::EPSILON { rel / dist } else { Vec3::Y },
+                    depth: radius - dist,
+                })
+            }
+            ExternalObject::Box(b) => {
+                if !b.contains(p) {
+                    return None;
+                }
+                // Push out along the axis of least penetration.
+                let dists = [
+                    (p.x - b.min.x, -Vec3::X),
+                    (b.max.x - p.x, Vec3::X),
+                    (p.y - b.min.y, -Vec3::Y),
+                    (b.max.y - p.y, Vec3::Y),
+                    (p.z - b.min.z, -Vec3::Z),
+                    (b.max.z - p.z, Vec3::Z),
+                ];
+                let (depth, normal) = dists
+                    .iter()
+                    .copied()
+                    .min_by(|a, b| a.0.total_cmp(&b.0))
+                    .unwrap();
+                Some(Contact { normal, depth })
+            }
+        }
+    }
+
+    /// Resolve a bounce: reflect the velocity about the contact normal with
+    /// `restitution` ∈ [0,1] scaling the normal component and `friction`
+    /// ∈ [0,1] damping the tangential component, and push the position out
+    /// of penetration.
+    pub fn bounce(
+        &self,
+        position: &mut Vec3,
+        velocity: &mut Vec3,
+        restitution: Scalar,
+        friction: Scalar,
+    ) -> bool {
+        let Some(c) = self.contact(*position) else {
+            return false;
+        };
+        let vn = velocity.dot(c.normal);
+        if vn < 0.0 {
+            let normal_part = c.normal * vn;
+            let tangent_part = *velocity - normal_part;
+            *velocity = tangent_part * (1.0 - friction) - normal_part * restitution;
+        }
+        *position += c.normal * c.depth;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_contact_sign() {
+        let ground = ExternalObject::ground(0.0);
+        assert!(ground.contact(Vec3::new(0.0, 1.0, 0.0)).is_none());
+        let c = ground.contact(Vec3::new(0.0, -0.5, 0.0)).unwrap();
+        assert_eq!(c.normal, Vec3::Y);
+        assert_eq!(c.depth, 0.5);
+    }
+
+    #[test]
+    fn sphere_contact() {
+        let s = ExternalObject::Sphere { center: Vec3::ZERO, radius: 2.0 };
+        assert!(s.contact(Vec3::new(3.0, 0.0, 0.0)).is_none());
+        let c = s.contact(Vec3::new(1.0, 0.0, 0.0)).unwrap();
+        assert_eq!(c.normal, Vec3::X);
+        assert_eq!(c.depth, 1.0);
+    }
+
+    #[test]
+    fn sphere_center_degenerate_normal() {
+        let s = ExternalObject::Sphere { center: Vec3::ZERO, radius: 1.0 };
+        let c = s.contact(Vec3::ZERO).unwrap();
+        assert_eq!(c.normal, Vec3::Y); // arbitrary but defined
+        assert_eq!(c.depth, 1.0);
+    }
+
+    #[test]
+    fn box_contact_least_penetration() {
+        let b = ExternalObject::Box(Aabb::centered_cube(1.0));
+        assert!(b.contact(Vec3::new(2.0, 0.0, 0.0)).is_none());
+        // Near the +x face: should push out along +x.
+        let c = b.contact(Vec3::new(0.9, 0.0, 0.0)).unwrap();
+        assert_eq!(c.normal, Vec3::X);
+        assert!((c.depth - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounce_reflects_and_unpenetrates() {
+        let ground = ExternalObject::ground(0.0);
+        let mut pos = Vec3::new(0.0, -0.2, 0.0);
+        let mut vel = Vec3::new(1.0, -3.0, 0.0);
+        assert!(ground.bounce(&mut pos, &mut vel, 0.5, 0.0));
+        assert_eq!(pos, Vec3::new(0.0, 0.0, 0.0));
+        assert_eq!(vel, Vec3::new(1.0, 1.5, 0.0));
+    }
+
+    #[test]
+    fn bounce_with_friction_damps_tangent() {
+        let ground = ExternalObject::ground(0.0);
+        let mut pos = Vec3::new(0.0, -0.1, 0.0);
+        let mut vel = Vec3::new(2.0, -1.0, 0.0);
+        ground.bounce(&mut pos, &mut vel, 1.0, 0.5);
+        assert_eq!(vel, Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn bounce_misses_cleanly() {
+        let ground = ExternalObject::ground(0.0);
+        let mut pos = Vec3::new(0.0, 5.0, 0.0);
+        let mut vel = Vec3::new(0.0, -1.0, 0.0);
+        assert!(!ground.bounce(&mut pos, &mut vel, 0.5, 0.0));
+        assert_eq!(pos, Vec3::new(0.0, 5.0, 0.0));
+        assert_eq!(vel, Vec3::new(0.0, -1.0, 0.0));
+    }
+
+    #[test]
+    fn receding_velocity_not_reflected() {
+        // Particle inside the surface but already moving out: position is
+        // corrected, velocity untouched.
+        let ground = ExternalObject::ground(0.0);
+        let mut pos = Vec3::new(0.0, -0.1, 0.0);
+        let mut vel = Vec3::new(0.0, 4.0, 0.0);
+        assert!(ground.bounce(&mut pos, &mut vel, 0.5, 0.0));
+        assert_eq!(vel, Vec3::new(0.0, 4.0, 0.0));
+        assert_eq!(pos.y, 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Flat particle storage with O(1) unordered removal.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Particle;
+use psa_math::{Axis, Scalar};
+
+/// A growable set of particles.
+///
+/// The store is ordering-agnostic: the model never relies on particle order
+/// except transiently during load-balance donation, where particles are
+/// sorted along the decomposition axis (paper §3.2.5). Removal therefore
+/// uses `swap_remove`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParticleStore {
+    items: Vec<Particle>,
+}
+
+impl ParticleStore {
+    pub fn new() -> Self {
+        ParticleStore { items: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        ParticleStore { items: Vec::with_capacity(cap) }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    #[inline]
+    pub fn push(&mut self, p: Particle) {
+        self.items.push(p);
+    }
+
+    pub fn extend_from_slice(&mut self, ps: &[Particle]) {
+        self.items.extend_from_slice(ps);
+    }
+
+    /// O(1) unordered removal.
+    #[inline]
+    pub fn swap_remove(&mut self, i: usize) -> Particle {
+        self.items.swap_remove(i)
+    }
+
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[Particle] {
+        &self.items
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Particle] {
+        &mut self.items
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Particle> {
+        self.items.iter()
+    }
+
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Particle> {
+        self.items.iter_mut()
+    }
+
+    /// Keep only particles satisfying `f` (order not preserved); returns the
+    /// number removed. Implemented as a backwards swap_remove sweep so it is
+    /// O(n) regardless of how many die — the kill actions run every frame on
+    /// 400k-particle systems.
+    pub fn retain_unordered<F: FnMut(&Particle) -> bool>(&mut self, mut f: F) -> usize {
+        let before = self.items.len();
+        let mut i = 0;
+        while i < self.items.len() {
+            if f(&self.items[i]) {
+                i += 1;
+            } else {
+                self.items.swap_remove(i);
+            }
+        }
+        before - self.items.len()
+    }
+
+    /// Remove and return all particles for which `f` is true (the staging
+    /// step for end-of-frame domain exchange, paper §3.2.3).
+    pub fn drain_where<F: FnMut(&Particle) -> bool>(&mut self, mut f: F) -> Vec<Particle> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.items.len() {
+            if f(&self.items[i]) {
+                out.push(self.items.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Take everything, leaving the store empty but with capacity retained.
+    pub fn take_all(&mut self) -> Vec<Particle> {
+        std::mem::take(&mut self.items)
+    }
+
+    /// Sort particles by their coordinate along `axis` (ascending).
+    ///
+    /// Donation during load balancing requires the donor to pick particles
+    /// from the boundary end of its slice (paper §3.2.5), which this enables.
+    pub fn sort_along(&mut self, axis: Axis) {
+        self.items
+            .sort_unstable_by(|a, b| a.position.along(axis).total_cmp(&b.position.along(axis)));
+    }
+
+    /// Split off the `count` particles with the **lowest** coordinates along
+    /// `axis` (donation to the left neighbor). The store must already be
+    /// sorted along `axis`. Returns the donated particles.
+    pub fn donate_low(&mut self, count: usize) -> Vec<Particle> {
+        let count = count.min(self.items.len());
+        let tail = self.items.split_off(count);
+        std::mem::replace(&mut self.items, tail)
+    }
+
+    /// Split off the `count` particles with the **highest** coordinates
+    /// along `axis` (donation to the right neighbor). The store must already
+    /// be sorted along `axis`.
+    pub fn donate_high(&mut self, count: usize) -> Vec<Particle> {
+        let count = count.min(self.items.len());
+        self.items.split_off(self.items.len() - count)
+    }
+
+    /// Min/max coordinate along `axis`, or `None` when empty.
+    pub fn extent_along(&self, axis: Axis) -> Option<(Scalar, Scalar)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let mut lo = Scalar::INFINITY;
+        let mut hi = Scalar::NEG_INFINITY;
+        for p in &self.items {
+            let v = p.position.along(axis);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Total kinetic energy — the "global quantity reduced in parallel"
+    /// example from the related-work discussion, used by tests and examples.
+    pub fn total_kinetic_energy(&self) -> f64 {
+        self.items.iter().map(|p| p.kinetic_energy() as f64).sum()
+    }
+}
+
+impl FromIterator<Particle> for ParticleStore {
+    fn from_iter<T: IntoIterator<Item = Particle>>(iter: T) -> Self {
+        ParticleStore { items: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a ParticleStore {
+    type Item = &'a Particle;
+    type IntoIter = std::slice::Iter<'a, Particle>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl Extend<Particle> for ParticleStore {
+    fn extend<T: IntoIterator<Item = Particle>>(&mut self, iter: T) {
+        self.items.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_math::Vec3;
+
+    fn p(x: f32) -> Particle {
+        Particle::at(Vec3::new(x, 0.0, 0.0))
+    }
+
+    #[test]
+    fn push_len_iter() {
+        let mut s = ParticleStore::new();
+        assert!(s.is_empty());
+        s.push(p(1.0));
+        s.push(p(2.0));
+        assert_eq!(s.len(), 2);
+        let xs: Vec<f32> = s.iter().map(|q| q.position.x).collect();
+        assert_eq!(xs, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn retain_unordered_counts() {
+        let mut s: ParticleStore = (0..10).map(|i| p(i as f32)).collect();
+        let removed = s.retain_unordered(|q| q.position.x < 5.0);
+        assert_eq!(removed, 5);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|q| q.position.x < 5.0));
+    }
+
+    #[test]
+    fn drain_where_partitions() {
+        let mut s: ParticleStore = (0..10).map(|i| p(i as f32)).collect();
+        let out = s.drain_where(|q| q.position.x >= 7.0);
+        assert_eq!(out.len(), 3);
+        assert_eq!(s.len(), 7);
+        assert!(out.iter().all(|q| q.position.x >= 7.0));
+        assert!(s.iter().all(|q| q.position.x < 7.0));
+    }
+
+    #[test]
+    fn sort_and_donate_low_high() {
+        let mut s: ParticleStore = [5.0, 1.0, 3.0, 2.0, 4.0].iter().map(|&x| p(x)).collect();
+        s.sort_along(Axis::X);
+        let low = s.donate_low(2);
+        assert_eq!(low.iter().map(|q| q.position.x).collect::<Vec<_>>(), vec![1.0, 2.0]);
+        let high = s.donate_high(2);
+        assert_eq!(high.iter().map(|q| q.position.x).collect::<Vec<_>>(), vec![4.0, 5.0]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.as_slice()[0].position.x, 3.0);
+    }
+
+    #[test]
+    fn donate_more_than_available_is_clamped() {
+        let mut s: ParticleStore = [1.0, 2.0].iter().map(|&x| p(x)).collect();
+        s.sort_along(Axis::X);
+        let got = s.donate_high(10);
+        assert_eq!(got.len(), 2);
+        assert!(s.is_empty());
+        assert!(s.donate_low(3).is_empty());
+    }
+
+    #[test]
+    fn extent_along_axis() {
+        let s: ParticleStore = [3.0, -1.0, 7.0].iter().map(|&x| p(x)).collect();
+        assert_eq!(s.extent_along(Axis::X), Some((-1.0, 7.0)));
+        assert_eq!(ParticleStore::new().extent_along(Axis::X), None);
+    }
+
+    #[test]
+    fn kinetic_energy_sums() {
+        let mut s = ParticleStore::new();
+        s.push(Particle::at(Vec3::ZERO).with_velocity(Vec3::new(2.0, 0.0, 0.0)));
+        s.push(Particle::at(Vec3::ZERO).with_velocity(Vec3::new(0.0, 2.0, 0.0)));
+        assert_eq!(s.total_kinetic_energy(), 4.0);
+    }
+
+    #[test]
+    fn take_all_empties() {
+        let mut s: ParticleStore = (0..4).map(|i| p(i as f32)).collect();
+        let all = s.take_all();
+        assert_eq!(all.len(), 4);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! Sub-domain bucket storage (paper §4).
+//!
+//! Instead of keeping all particles of a calculator's domain slice in one
+//! vector, the validation library breaks the slice into `k` sub-slices and
+//! stores each in a separate vector. Two operations become cheap:
+//!
+//! * **leaver detection** at the end of a frame only needs position checks,
+//!   but re-bucketing localizes the work and keeps the donation path fast;
+//! * **donation** during load balancing takes whole buckets from the
+//!   boundary end and only sorts the one straddling bucket, instead of
+//!   sorting the entire domain population.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Particle, ParticleStore};
+use psa_math::{Axis, Interval, Scalar};
+
+/// A calculator's local particle storage for one system: its domain slice
+/// split into `k` equal-width buckets, each an independent [`ParticleStore`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SubDomainStore {
+    axis: Axis,
+    slice: Interval,
+    buckets: Vec<ParticleStore>,
+}
+
+impl SubDomainStore {
+    /// Create an empty store over `slice` with `k >= 1` buckets.
+    pub fn new(slice: Interval, axis: Axis, k: usize) -> Self {
+        assert!(k >= 1, "need at least one sub-domain bucket");
+        SubDomainStore {
+            axis,
+            slice,
+            buckets: (0..k).map(|_| ParticleStore::new()).collect(),
+        }
+    }
+
+    pub fn axis(&self) -> Axis {
+        self.axis
+    }
+
+    /// The domain slice this store covers.
+    pub fn slice(&self) -> Interval {
+        self.slice
+    }
+
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total particles across all buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(ParticleStore::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(ParticleStore::is_empty)
+    }
+
+    /// Index of the bucket that holds coordinate `v` (clamped to the edge
+    /// buckets; callers must have already routed out-of-slice particles to
+    /// the exchange path).
+    #[inline]
+    fn bucket_index(&self, v: Scalar) -> usize {
+        let k = self.buckets.len();
+        if self.slice.is_empty() {
+            return 0;
+        }
+        let t = (v - self.slice.lo) / self.slice.width();
+        let i = (t * k as Scalar).floor() as isize;
+        i.clamp(0, k as isize - 1) as usize
+    }
+
+    /// Insert a particle that belongs to this slice.
+    ///
+    /// Out-of-slice positions are accepted (they land in an edge bucket) so
+    /// that a caller may insert first and let the next `collect_leavers`
+    /// route them — matching the paper's "store in a different structure for
+    /// future exchange" being an end-of-frame step, not an insert-time one.
+    pub fn insert(&mut self, p: Particle) {
+        let b = self.bucket_index(p.position.along(self.axis));
+        self.buckets[b].push(p);
+    }
+
+    pub fn extend<I: IntoIterator<Item = Particle>>(&mut self, it: I) {
+        for p in it {
+            self.insert(p);
+        }
+    }
+
+    /// Apply `f` to every particle (compute-phase actions run through this).
+    pub fn for_each_mut<F: FnMut(&mut Particle)>(&mut self, mut f: F) {
+        for b in &mut self.buckets {
+            for p in b.iter_mut() {
+                f(p);
+            }
+        }
+    }
+
+    /// Iterate all particles immutably.
+    pub fn iter(&self) -> impl Iterator<Item = &Particle> {
+        self.buckets.iter().flat_map(|b| b.iter())
+    }
+
+    /// Remove particles failing `keep`; returns how many were removed.
+    pub fn retain<F: FnMut(&Particle) -> bool>(&mut self, mut keep: F) -> usize {
+        self.buckets.iter_mut().map(|b| b.retain_unordered(&mut keep)).sum()
+    }
+
+    /// Remove and return every particle whose coordinate left this slice
+    /// (the end-of-frame exchange staging, paper §3.2.3/§3.2.4), then
+    /// re-bucket any particle that moved across bucket boundaries but stayed
+    /// in the slice.
+    pub fn collect_leavers(&mut self) -> Vec<Particle> {
+        let axis = self.axis;
+        let slice = self.slice;
+        let k = self.buckets.len();
+        let mut leavers = Vec::new();
+        let mut movers: Vec<Particle> = Vec::new();
+        for (bi, b) in self.buckets.iter_mut().enumerate() {
+            let mut i = 0;
+            while i < b.len() {
+                let v = b.as_slice()[i].position.along(axis);
+                if !slice.contains(v) {
+                    leavers.push(b.swap_remove(i));
+                } else {
+                    // still ours; re-bucket if it crossed a bucket boundary
+                    let target = if slice.is_empty() {
+                        0
+                    } else {
+                        let t = (v - slice.lo) / slice.width();
+                        ((t * k as Scalar).floor() as isize).clamp(0, k as isize - 1) as usize
+                    };
+                    if target != bi {
+                        movers.push(b.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        for p in movers {
+            self.insert(p);
+        }
+        leavers
+    }
+
+    /// Donate the `count` particles nearest the **low** boundary (for a left
+    /// neighbor). Whole low buckets are taken unsorted; only the straddling
+    /// bucket is sorted — the §4 optimization the bucket storage exists for.
+    /// Returns the donated particles and how many particles had to be
+    /// sorted (the cost the executors charge).
+    pub fn donate_low(&mut self, count: usize) -> (Vec<Particle>, usize) {
+        let mut out = Vec::with_capacity(count.min(self.len()));
+        let mut sorted = 0;
+        for b in &mut self.buckets {
+            if out.len() >= count {
+                break;
+            }
+            let need = count - out.len();
+            if b.len() <= need {
+                out.append(&mut b.take_all());
+            } else {
+                sorted += b.len();
+                b.sort_along(self.axis);
+                out.extend(b.donate_low(need));
+            }
+        }
+        (out, sorted)
+    }
+
+    /// Donate the `count` particles nearest the **high** boundary (for a
+    /// right neighbor). Mirror image of [`Self::donate_low`].
+    pub fn donate_high(&mut self, count: usize) -> (Vec<Particle>, usize) {
+        let mut out = Vec::with_capacity(count.min(self.len()));
+        let mut sorted = 0;
+        for b in self.buckets.iter_mut().rev() {
+            if out.len() >= count {
+                break;
+            }
+            let need = count - out.len();
+            if b.len() <= need {
+                out.append(&mut b.take_all());
+            } else {
+                sorted += b.len();
+                b.sort_along(self.axis);
+                out.extend(b.donate_high(need));
+            }
+        }
+        (out, sorted)
+    }
+
+    /// Replace the slice (after the manager broadcast new dimensions) and
+    /// re-bucket everything into the new geometry. Particles now outside the
+    /// new slice are returned for exchange.
+    pub fn reshape(&mut self, new_slice: Interval) -> Vec<Particle> {
+        let all: Vec<Particle> = self.buckets.iter_mut().flat_map(|b| b.take_all()).collect();
+        self.slice = new_slice;
+        let axis = self.axis;
+        let mut leavers = Vec::new();
+        for p in all {
+            if new_slice.contains(p.position.along(axis)) {
+                self.insert(p);
+            } else {
+                leavers.push(p);
+            }
+        }
+        leavers
+    }
+
+    /// Drain every particle (used when shipping the frame to the image
+    /// generator in copy mode, and by tests).
+    pub fn take_all(&mut self) -> Vec<Particle> {
+        self.buckets.iter_mut().flat_map(|b| b.take_all()).collect()
+    }
+
+    /// Copy the particles within `width` of each slice edge — the ghost
+    /// slabs shipped to the left and right neighbor for inter-particle
+    /// collision detection (paper §3.1.4's locality argument: only these
+    /// boundary particles ever need to cross process lines mid-frame).
+    /// Returns `(low-edge slab, high-edge slab)`.
+    pub fn boundary_slabs(&self, width: Scalar) -> (Vec<Particle>, Vec<Particle>) {
+        let axis = self.axis;
+        let slice = self.slice;
+        let mut low = Vec::new();
+        let mut high = Vec::new();
+        for p in self.iter() {
+            let v = p.position.along(axis);
+            if v < slice.lo + width {
+                low.push(*p);
+            }
+            if v >= slice.hi - width {
+                high.push(*p);
+            }
+        }
+        (low, high)
+    }
+
+    /// Extreme coordinate along the axis among held particles.
+    pub fn extent(&self) -> Option<(Scalar, Scalar)> {
+        let mut lo = Scalar::INFINITY;
+        let mut hi = Scalar::NEG_INFINITY;
+        let mut any = false;
+        for b in &self.buckets {
+            if let Some((l, h)) = b.extent_along(self.axis) {
+                lo = lo.min(l);
+                hi = hi.max(h);
+                any = true;
+            }
+        }
+        any.then_some((lo, hi))
+    }
+
+    /// Per-bucket populations (exposed for the sub-domain ablation bench).
+    pub fn bucket_sizes(&self) -> Vec<usize> {
+        self.buckets.iter().map(ParticleStore::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_math::Vec3;
+
+    fn p(x: f32) -> Particle {
+        Particle::at(Vec3::new(x, 0.0, 0.0))
+    }
+
+    fn store(k: usize) -> SubDomainStore {
+        SubDomainStore::new(Interval::new(0.0, 10.0), Axis::X, k)
+    }
+
+    #[test]
+    fn insert_routes_to_buckets() {
+        let mut s = store(5);
+        for x in [0.5, 2.5, 4.5, 6.5, 8.5] {
+            s.insert(p(x));
+        }
+        assert_eq!(s.bucket_sizes(), vec![1, 1, 1, 1, 1]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn collect_leavers_takes_out_of_slice() {
+        let mut s = store(4);
+        s.insert(p(1.0));
+        s.insert(p(9.0));
+        // Move them via for_each_mut: one leaves left, one stays.
+        s.for_each_mut(|q| q.position.x -= 2.0);
+        let leavers = s.collect_leavers();
+        assert_eq!(leavers.len(), 1);
+        assert_eq!(leavers[0].position.x, -1.0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn collect_leavers_rebuckets_movers() {
+        let mut s = store(10);
+        s.insert(p(0.5)); // bucket 0
+        s.for_each_mut(|q| q.position.x = 9.5); // should end in bucket 9
+        let leavers = s.collect_leavers();
+        assert!(leavers.is_empty());
+        let sizes = s.bucket_sizes();
+        assert_eq!(sizes[9], 1);
+        assert_eq!(sizes[0], 0);
+    }
+
+    #[test]
+    fn donate_low_takes_lowest() {
+        let mut s = store(5);
+        for x in [9.0, 1.0, 3.0, 7.0, 5.0, 0.5] {
+            s.insert(p(x));
+        }
+        let (donated, _) = s.donate_low(3);
+        let mut xs: Vec<f32> = donated.iter().map(|q| q.position.x).collect();
+        xs.sort_by(f32::total_cmp);
+        assert_eq!(xs, vec![0.5, 1.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|q| q.position.x >= 5.0));
+    }
+
+    #[test]
+    fn donate_high_takes_highest() {
+        let mut s = store(5);
+        for x in [9.0, 1.0, 3.0, 7.0, 5.0, 0.5] {
+            s.insert(p(x));
+        }
+        let (donated, _) = s.donate_high(2);
+        let mut xs: Vec<f32> = donated.iter().map(|q| q.position.x).collect();
+        xs.sort_by(f32::total_cmp);
+        assert_eq!(xs, vec![7.0, 9.0]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn donate_straddling_bucket_is_exact() {
+        // All particles in one bucket: donation must still pick the correct
+        // extremes by sorting that bucket.
+        let mut s = store(1);
+        for x in [4.0, 2.0, 8.0, 6.0] {
+            s.insert(p(x));
+        }
+        let (d, sorted) = s.donate_low(2);
+        assert_eq!(sorted, 4, "the single straddling bucket must be sorted");
+        let mut xs: Vec<f32> = d.iter().map(|q| q.position.x).collect();
+        xs.sort_by(f32::total_cmp);
+        assert_eq!(xs, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn donate_more_than_population() {
+        let mut s = store(3);
+        s.insert(p(1.0));
+        let (d, sorted) = s.donate_high(10);
+        assert_eq!(sorted, 0, "whole-bucket takes need no sort");
+        assert_eq!(d.len(), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn reshape_returns_new_leavers() {
+        let mut s = store(4);
+        for x in [1.0, 4.0, 6.0, 9.0] {
+            s.insert(p(x));
+        }
+        let leavers = s.reshape(Interval::new(3.0, 7.0));
+        assert_eq!(s.slice(), Interval::new(3.0, 7.0));
+        assert_eq!(leavers.len(), 2);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|q| (3.0..7.0).contains(&q.position.x)));
+    }
+
+    #[test]
+    fn reshape_to_empty_slice_evicts_all() {
+        let mut s = store(4);
+        for x in [1.0, 2.0] {
+            s.insert(p(x));
+        }
+        let leavers = s.reshape(Interval::new(5.0, 5.0));
+        assert_eq!(leavers.len(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn retain_counts_removed() {
+        let mut s = store(4);
+        for x in [1.0, 2.0, 8.0, 9.0] {
+            s.insert(p(x));
+        }
+        let removed = s.retain(|q| q.position.x < 5.0);
+        assert_eq!(removed, 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn boundary_slabs_pick_edges() {
+        let mut s = store(4); // slice [0, 10)
+        for x in [0.2, 0.8, 5.0, 9.3, 9.9] {
+            s.insert(p(x));
+        }
+        let (low, high) = s.boundary_slabs(1.0);
+        let mut lows: Vec<f32> = low.iter().map(|q| q.position.x).collect();
+        lows.sort_by(f32::total_cmp);
+        assert_eq!(lows, vec![0.2, 0.8]);
+        let mut highs: Vec<f32> = high.iter().map(|q| q.position.x).collect();
+        highs.sort_by(f32::total_cmp);
+        assert_eq!(highs, vec![9.3, 9.9]);
+        // slabs are copies: nothing removed
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn extent_across_buckets() {
+        let mut s = store(8);
+        for x in [2.0, 5.0, 7.5] {
+            s.insert(p(x));
+        }
+        assert_eq!(s.extent(), Some((2.0, 7.5)));
+        assert_eq!(store(3).extent(), None);
+    }
+}

@@ -1,0 +1,245 @@
+//! Particle systems (paper §3.1.3).
+//!
+//! A particle system has the same properties as its particles *except age*;
+//! those properties seed the initial values of emitted particles. Systems
+//! are identified by their position in the creation-order vector, which is
+//! identical on every process because creation happens in the same order
+//! everywhere (paper §4).
+
+use serde::{Deserialize, Serialize};
+
+use psa_math::{Interval, Rng64, Scalar, Vec3};
+
+/// Index of a system in the global creation-order vector.
+///
+/// The paper explicitly uses the vector position as the identifier, relying
+/// on deterministic creation order across processes; we keep that design and
+/// make it a newtype so it cannot be confused with calculator ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SystemId(pub u16);
+
+impl std::fmt::Display for SystemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sys{}", self.0)
+    }
+}
+
+/// How initial particle positions are drawn at emission.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EmissionShape {
+    /// A single point (classic fountain nozzle).
+    Point(Vec3),
+    /// Uniform in an axis-aligned box given by corners (snow cloud layer).
+    Box { min: Vec3, max: Vec3 },
+    /// Uniform on a disc of radius `r` centered at `center` with normal `n`.
+    Disc { center: Vec3, radius: Scalar, normal: Vec3 },
+    /// Uniform on a sphere surface (explosion shell).
+    Sphere { center: Vec3, radius: Scalar },
+}
+
+impl EmissionShape {
+    /// Draw one position.
+    pub fn sample(&self, rng: &mut Rng64) -> Vec3 {
+        match self {
+            EmissionShape::Point(p) => *p,
+            EmissionShape::Box { min, max } => rng.in_box(*min, *max),
+            EmissionShape::Disc { center, radius, normal } => {
+                *center + rng.on_disc(*radius, *normal)
+            }
+            EmissionShape::Sphere { center, radius } => {
+                *center + rng.on_unit_sphere() * *radius
+            }
+        }
+    }
+}
+
+/// How initial velocities are drawn at emission.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum VelocityModel {
+    /// Constant for every particle.
+    Constant(Vec3),
+    /// Base velocity plus isotropic jitter of the given magnitude.
+    Jittered { base: Vec3, jitter: Scalar },
+    /// A cone: unit `axis` direction, speed range, half-angle in radians
+    /// (fountains spray in a cone).
+    Cone { axis: Vec3, speed_lo: Scalar, speed_hi: Scalar, half_angle: Scalar },
+}
+
+impl VelocityModel {
+    pub fn sample(&self, rng: &mut Rng64) -> Vec3 {
+        match self {
+            VelocityModel::Constant(v) => *v,
+            VelocityModel::Jittered { base, jitter } => *base + rng.in_unit_sphere() * *jitter,
+            VelocityModel::Cone { axis, speed_lo, speed_hi, half_angle } => {
+                let a = axis.normalized();
+                // sample direction within the cone by perturbing the axis
+                let perp = rng.on_disc(half_angle.tan(), a);
+                let dir = (a + perp).normalized();
+                dir * rng.range(*speed_lo, *speed_hi)
+            }
+        }
+    }
+}
+
+/// Static description of one particle system: its identity, its space, and
+/// the initial-property generators for emitted particles.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    pub id: SystemId,
+    /// Human-readable tag for logs and EXPERIMENTS.md output.
+    pub name: String,
+    /// The system's own simulated space along the decomposition axis; the
+    /// whole space interval its domains slice. `Interval::INFINITE` models
+    /// the paper's IS configuration.
+    pub space: Interval,
+    pub emission: EmissionShape,
+    pub velocity: VelocityModel,
+    /// Initial orientation assigned to emitted particles.
+    pub orientation: Vec3,
+    /// Base color assigned to emitted particles.
+    pub color: Vec3,
+    /// Render size of emitted particles.
+    pub size: Scalar,
+    /// Particle mass.
+    pub mass: Scalar,
+    /// Particles emitted per frame by the creation action.
+    pub emit_per_frame: usize,
+    /// Age (seconds) above which the kill-old action removes particles.
+    pub max_age: Scalar,
+    /// Optional steady-state pre-population emitted on frame 0: `(count,
+    /// shape)` with ages drawn uniformly in `[0, max_age)`, so the paper's
+    /// "400,000 particles per system" population exists from the first
+    /// measured frame instead of ramping up over a particle lifetime.
+    pub initial: Option<(usize, EmissionShape)>,
+}
+
+impl SystemSpec {
+    /// A reasonable default spec for tests: point emitter at origin emitting
+    /// upward with jitter over the Figure-1 space.
+    pub fn test_spec(id: u16) -> Self {
+        SystemSpec {
+            id: SystemId(id),
+            name: format!("test-{id}"),
+            space: Interval::new(-10.0, 10.0),
+            emission: EmissionShape::Point(Vec3::ZERO),
+            velocity: VelocityModel::Jittered { base: Vec3::Y * 5.0, jitter: 1.0 },
+            orientation: Vec3::Y,
+            color: Vec3::ONE,
+            size: 1.0,
+            mass: 1.0,
+            emit_per_frame: 100,
+            max_age: 5.0,
+            initial: None,
+        }
+    }
+
+    /// Emit one particle using this spec's generators.
+    pub fn emit_one(&self, rng: &mut Rng64) -> crate::Particle {
+        crate::Particle {
+            position: self.emission.sample(rng),
+            velocity: self.velocity.sample(rng),
+            orientation: self.orientation,
+            color: self.color,
+            age: 0.0,
+            size: self.size,
+            alpha: 1.0,
+            mass: self.mass,
+        }
+    }
+
+    /// Emit the frame-0 pre-population (empty when `initial` is unset):
+    /// positions from the initial shape, ages spread uniformly over the
+    /// lifetime so the kill/emit cycle is already in steady state.
+    pub fn emit_initial(&self, rng: &mut Rng64) -> Vec<crate::Particle> {
+        let Some((count, ref shape)) = self.initial else {
+            return Vec::new();
+        };
+        (0..count)
+            .map(|_| {
+                let mut p = self.emit_one(rng);
+                p.position = shape.sample(rng);
+                p.age = rng.range(0.0, self.max_age.max(1e-6));
+                p
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_id_display_and_ord() {
+        assert_eq!(SystemId(3).to_string(), "sys3");
+        assert!(SystemId(1) < SystemId(2));
+    }
+
+    #[test]
+    fn point_emission_is_exact() {
+        let mut rng = Rng64::new(1);
+        let shape = EmissionShape::Point(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(shape.sample(&mut rng), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn box_emission_in_bounds() {
+        let mut rng = Rng64::new(2);
+        let shape = EmissionShape::Box { min: Vec3::splat(-2.0), max: Vec3::splat(2.0) };
+        for _ in 0..500 {
+            let p = shape.sample(&mut rng);
+            assert!(p.x >= -2.0 && p.x < 2.0 && p.y >= -2.0 && p.y < 2.0);
+        }
+    }
+
+    #[test]
+    fn sphere_emission_on_shell() {
+        let mut rng = Rng64::new(3);
+        let c = Vec3::new(1.0, 1.0, 1.0);
+        let shape = EmissionShape::Sphere { center: c, radius: 2.0 };
+        for _ in 0..200 {
+            let p = shape.sample(&mut rng);
+            assert!((p.distance(c) - 2.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cone_velocity_respects_speed_and_angle() {
+        let mut rng = Rng64::new(4);
+        let m = VelocityModel::Cone {
+            axis: Vec3::Y,
+            speed_lo: 4.0,
+            speed_hi: 6.0,
+            half_angle: 0.3,
+        };
+        for _ in 0..500 {
+            let v = m.sample(&mut rng);
+            let speed = v.length();
+            assert!((3.9..6.1).contains(&speed), "speed {speed}");
+            let cos = v.normalized().dot(Vec3::Y);
+            assert!(cos >= (0.3f32).cos() - 1e-3, "outside cone: cos={cos}");
+        }
+    }
+
+    #[test]
+    fn emit_one_carries_spec_properties() {
+        let spec = SystemSpec::test_spec(7);
+        let mut rng = Rng64::new(5);
+        let p = spec.emit_one(&mut rng);
+        assert_eq!(p.age, 0.0);
+        assert_eq!(p.color, spec.color);
+        assert_eq!(p.size, spec.size);
+        assert_eq!(p.mass, spec.mass);
+        assert_eq!(p.orientation, spec.orientation);
+    }
+
+    #[test]
+    fn deterministic_emission() {
+        let spec = SystemSpec::test_spec(1);
+        let mut a = Rng64::new(9);
+        let mut b = Rng64::new(9);
+        for _ in 0..50 {
+            assert_eq!(spec.emit_one(&mut a), spec.emit_one(&mut b));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The decomposition axis of the paper's domain model.
+//!
+//! The IPDPS'05 model slices the simulated space along exactly one axis of
+//! the plane or space (paper §3.1.4); all domain bookkeeping therefore works
+//! on scalars projected onto that axis.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the three coordinate axes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// The horizontal axis used in the paper's Figure 1 example.
+    #[default]
+    X,
+    Y,
+    Z,
+}
+
+impl Axis {
+    /// All axes, in index order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Index of the axis in `[x, y, z]` component order.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// The other two axes, in a fixed right-handed order.
+    #[inline]
+    pub fn others(self) -> [Axis; 2] {
+        match self {
+            Axis::X => [Axis::Y, Axis::Z],
+            Axis::Y => [Axis::Z, Axis::X],
+            Axis::Z => [Axis::X, Axis::Y],
+        }
+    }
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+            Axis::Z => write!(f, "z"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_component_order() {
+        assert_eq!(Axis::X.index(), 0);
+        assert_eq!(Axis::Y.index(), 1);
+        assert_eq!(Axis::Z.index(), 2);
+    }
+
+    #[test]
+    fn others_cover_remaining_axes() {
+        for axis in Axis::ALL {
+            let [a, b] = axis.others();
+            assert_ne!(a, axis);
+            assert_ne!(b, axis);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Axis::X.to_string(), "x");
+        assert_eq!(Axis::Z.to_string(), "z");
+    }
+}

@@ -1,0 +1,123 @@
+//! Fixed-bin histograms for load-distribution reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-range, fixed-bin-count histogram of `f64` observations.
+///
+/// Used by the benches and the `animate` CLI to summarize per-calculator
+/// load distributions and per-frame times; under/overflow observations
+/// clamp into the edge bins so counts are never lost.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins >= 1` equal bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins >= 1 && hi > lo, "invalid histogram range/bins");
+        Histogram { lo, hi, bins: vec![0; bins], count: 0 }
+    }
+
+    /// Record one observation (clamped into the edge bins).
+    pub fn push(&mut self, x: f64) {
+        let k = self.bins.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let i = ((t * k as f64).floor() as isize).clamp(0, k as isize - 1) as usize;
+        self.bins[i] += 1;
+        self.count += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+
+    /// The p-quantile (0..=1) estimated from bin midpoints.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p));
+        if self.count == 0 {
+            return self.lo;
+        }
+        let target = (p * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.bins.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                let w = (self.hi - self.lo) / self.bins.len() as f64;
+                return self.bin_lo(i) + 0.5 * w;
+            }
+        }
+        self.hi
+    }
+
+    /// A terminal sparkline of the distribution (one char per bin).
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        self.bins
+            .iter()
+            .map(|&b| {
+                let level = (b * (GLYPHS.len() as u64 - 1) + max / 2) / max;
+                GLYPHS[level as usize]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_routes_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(0.5);
+        h.push(9.9);
+        h.push(-3.0); // clamps low
+        h.push(42.0); // clamps high
+        assert_eq!(h.bins(), &[2, 0, 0, 0, 2]);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_mass() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        let med = h.quantile(0.5);
+        assert!((45.0..55.0).contains(&med), "median {med}");
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.sparkline().chars().count(), 4);
+    }
+
+    #[test]
+    fn sparkline_peaks_where_mass_is() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for _ in 0..10 {
+            h.push(2.5); // third bin
+        }
+        h.push(0.5);
+        let s: Vec<char> = h.sparkline().chars().collect();
+        assert_eq!(s[2], '█');
+        assert!(s[1] == '▁');
+    }
+}

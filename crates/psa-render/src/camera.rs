@@ -1,0 +1,154 @@
+//! Minimal cameras: orthographic and look-at perspective.
+
+use psa_math::{Aabb, Scalar, Vec3};
+
+/// Projection of a world point to the screen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Projected {
+    /// Pixel x (may be off-screen; the rasterizer clips).
+    pub x: Scalar,
+    /// Pixel y.
+    pub y: Scalar,
+    /// Depth for the z-buffer (larger = farther).
+    pub z: Scalar,
+    /// World-to-pixel scale at this depth (for splat radii).
+    pub pixels_per_unit: Scalar,
+}
+
+/// A camera mapping world space to pixel coordinates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Camera {
+    /// Orthographic view down -z: the world rectangle maps to the full
+    /// viewport.
+    Ortho { view: Aabb, width: usize, height: usize },
+    /// Perspective look-at camera.
+    LookAt {
+        eye: Vec3,
+        target: Vec3,
+        up: Vec3,
+        /// Vertical field of view in radians.
+        fov_y: Scalar,
+        width: usize,
+        height: usize,
+    },
+}
+
+impl Camera {
+    /// An orthographic camera framing `view` (xy extents used; z kept for
+    /// depth ordering).
+    pub fn ortho(view: Aabb, width: usize, height: usize) -> Self {
+        Camera::Ortho { view, width, height }
+    }
+
+    pub fn look_at(eye: Vec3, target: Vec3, width: usize, height: usize) -> Self {
+        Camera::LookAt { eye, target, up: Vec3::Y, fov_y: 1.0, width, height }
+    }
+
+    pub fn viewport(&self) -> (usize, usize) {
+        match self {
+            Camera::Ortho { width, height, .. } | Camera::LookAt { width, height, .. } => {
+                (*width, *height)
+            }
+        }
+    }
+
+    /// Project a world point; `None` when behind a perspective camera.
+    pub fn project(&self, p: Vec3) -> Option<Projected> {
+        match self {
+            Camera::Ortho { view, width, height } => {
+                let size = view.size();
+                let sx = (p.x - view.min.x) / size.x;
+                // screen y grows downward
+                let sy = 1.0 - (p.y - view.min.y) / size.y;
+                Some(Projected {
+                    x: sx * *width as Scalar,
+                    y: sy * *height as Scalar,
+                    z: -p.z,
+                    pixels_per_unit: *width as Scalar / size.x,
+                })
+            }
+            Camera::LookAt { eye, target, up, fov_y, width, height } => {
+                let fwd = (*target - *eye).normalized();
+                let right = fwd.cross(*up).normalized();
+                let cup = right.cross(fwd);
+                let rel = p - *eye;
+                let zc = rel.dot(fwd);
+                if zc <= 1e-4 {
+                    return None;
+                }
+                let xc = rel.dot(right);
+                let yc = rel.dot(cup);
+                let half_h = (fov_y * 0.5).tan();
+                let aspect = *width as Scalar / *height as Scalar;
+                let ndc_x = xc / (zc * half_h * aspect);
+                let ndc_y = yc / (zc * half_h);
+                Some(Projected {
+                    x: (ndc_x * 0.5 + 0.5) * *width as Scalar,
+                    y: (1.0 - (ndc_y * 0.5 + 0.5)) * *height as Scalar,
+                    z: zc,
+                    pixels_per_unit: *height as Scalar / (2.0 * zc * half_h),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ortho() -> Camera {
+        Camera::ortho(
+            Aabb::new(Vec3::new(-10.0, -10.0, -10.0), Vec3::new(10.0, 10.0, 10.0)),
+            200,
+            100,
+        )
+    }
+
+    #[test]
+    fn ortho_center_maps_to_middle() {
+        let c = ortho();
+        let p = c.project(Vec3::ZERO).unwrap();
+        assert!((p.x - 100.0).abs() < 1e-3);
+        assert!((p.y - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ortho_y_is_flipped() {
+        let c = ortho();
+        let top = c.project(Vec3::new(0.0, 9.0, 0.0)).unwrap();
+        let bottom = c.project(Vec3::new(0.0, -9.0, 0.0)).unwrap();
+        assert!(top.y < bottom.y, "screen y grows downward");
+    }
+
+    #[test]
+    fn ortho_depth_orders_by_negative_z() {
+        let c = ortho();
+        let near = c.project(Vec3::new(0.0, 0.0, 5.0)).unwrap();
+        let far = c.project(Vec3::new(0.0, 0.0, -5.0)).unwrap();
+        assert!(near.z < far.z);
+    }
+
+    #[test]
+    fn perspective_center_ray() {
+        let c = Camera::look_at(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, 100, 100);
+        let p = c.project(Vec3::ZERO).unwrap();
+        assert!((p.x - 50.0).abs() < 1e-3);
+        assert!((p.y - 50.0).abs() < 1e-3);
+        assert!((p.z - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn perspective_culls_behind() {
+        let c = Camera::look_at(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, 100, 100);
+        assert!(c.project(Vec3::new(0.0, 0.0, 20.0)).is_none());
+    }
+
+    #[test]
+    fn perspective_shrinks_with_distance() {
+        let c = Camera::look_at(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, 100, 100);
+        let near = c.project(Vec3::new(0.0, 0.0, 5.0)).unwrap();
+        let far = c.project(Vec3::new(0.0, 0.0, -5.0)).unwrap();
+        assert!(near.pixels_per_unit > far.pixels_per_unit);
+    }
+}

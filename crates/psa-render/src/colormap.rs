@@ -1,0 +1,107 @@
+//! Color ramps for mapping particle scalars (age, speed) to colors.
+
+use psa_math::{clamp, lerp, Scalar, Vec3};
+
+/// A piecewise-linear color ramp over `t ∈ [0, 1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColorMap {
+    /// Sorted `(t, color)` control points; at least two.
+    stops: Vec<(Scalar, Vec3)>,
+}
+
+impl ColorMap {
+    /// Build from control points (must be sorted by t, at least two).
+    pub fn new(stops: Vec<(Scalar, Vec3)>) -> Self {
+        assert!(stops.len() >= 2, "a ramp needs at least two stops");
+        assert!(
+            stops.windows(2).all(|w| w[0].0 <= w[1].0),
+            "ramp stops must be sorted"
+        );
+        ColorMap { stops }
+    }
+
+    /// Black → red → orange → white: fire / fireworks.
+    pub fn fire() -> Self {
+        ColorMap::new(vec![
+            (0.0, Vec3::new(0.02, 0.0, 0.0)),
+            (0.4, Vec3::new(0.9, 0.1, 0.0)),
+            (0.7, Vec3::new(1.0, 0.6, 0.1)),
+            (1.0, Vec3::new(1.0, 1.0, 0.9)),
+        ])
+    }
+
+    /// Deep blue → cyan → white: water / fountain spray.
+    pub fn water() -> Self {
+        ColorMap::new(vec![
+            (0.0, Vec3::new(0.05, 0.15, 0.5)),
+            (0.6, Vec3::new(0.3, 0.6, 0.9)),
+            (1.0, Vec3::new(0.95, 0.98, 1.0)),
+        ])
+    }
+
+    /// Grayscale.
+    pub fn gray() -> Self {
+        ColorMap::new(vec![(0.0, Vec3::ZERO), (1.0, Vec3::ONE)])
+    }
+
+    /// Evaluate the ramp at `t` (clamped).
+    pub fn at(&self, t: Scalar) -> Vec3 {
+        let t = clamp(t, self.stops[0].0, self.stops.last().unwrap().0);
+        let mut prev = self.stops[0];
+        for &(ti, ci) in &self.stops[1..] {
+            if t <= ti {
+                let span = ti - prev.0;
+                let u = if span > 0.0 { (t - prev.0) / span } else { 1.0 };
+                return Vec3::new(
+                    lerp(prev.1.x, ci.x, u),
+                    lerp(prev.1.y, ci.y, u),
+                    lerp(prev.1.z, ci.z, u),
+                );
+            }
+            prev = (ti, ci);
+        }
+        prev.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_exact() {
+        let m = ColorMap::gray();
+        assert_eq!(m.at(0.0), Vec3::ZERO);
+        assert_eq!(m.at(1.0), Vec3::ONE);
+        assert_eq!(m.at(0.5), Vec3::splat(0.5));
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let m = ColorMap::gray();
+        assert_eq!(m.at(-5.0), Vec3::ZERO);
+        assert_eq!(m.at(5.0), Vec3::ONE);
+    }
+
+    #[test]
+    fn multi_stop_interpolation() {
+        let m = ColorMap::fire();
+        let mid = m.at(0.55);
+        // between red-ish and orange-ish
+        assert!(mid.x > 0.8);
+        assert!(mid.y > 0.1 && mid.y < 0.7);
+    }
+
+    #[test]
+    fn duplicate_stop_does_not_divide_by_zero() {
+        let m = ColorMap::new(vec![(0.0, Vec3::ZERO), (0.5, Vec3::X), (0.5, Vec3::Y), (1.0, Vec3::ONE)]);
+        let c = m.at(0.5);
+        assert!(c.is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_stops_panic() {
+        let _ = ColorMap::new(vec![(0.5, Vec3::ZERO), (0.0, Vec3::ONE)]);
+    }
+}

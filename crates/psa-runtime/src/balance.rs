@@ -1,0 +1,410 @@
+//! The centralized neighbor-pair dynamic load balancer (paper §3.2.5).
+//!
+//! After each frame the manager receives `(count, time)` from every
+//! calculator and walks neighbor pairs, ordering redistributions. The rules,
+//! verbatim from the paper:
+//!
+//! * balancing only happens between domain neighbors;
+//! * each process either sends or receives in one round, never both
+//!   ("to avoid alignment of processes");
+//! * a process participates in at most one pair per round;
+//! * when pair `(x, x+1)` is rebalanced, pair `(x+1, x+2)` is skipped and
+//!   evaluation resumes at `(x+2, x+3)`;
+//! * the starting pair alternates every round so the same pair is not
+//!   always favored;
+//! * the new loads are proportional to the processing *power* of the two
+//!   processes (estimated from sequential calibration, §4);
+//! * transfers below a minimum size are not worth their cost and skipped.
+//!
+//! Everything here is pure — the executors feed reports in and carry the
+//! decisions out — which is what makes the rules property-testable.
+
+use serde::{Deserialize, Serialize};
+
+/// A calculator's per-frame load report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoadInfo {
+    /// Particles held after the exchange.
+    pub count: usize,
+    /// Processing time for the frame, rescaled to the post-exchange count
+    /// (paper §3.2.4).
+    pub time: f64,
+}
+
+/// Balancer tuning.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BalancerConfig {
+    /// Rebalance a pair when `|t_a - t_b| > rel_threshold × max(t_a, t_b)`.
+    pub rel_threshold: f64,
+    /// Minimum particles per transfer; smaller moves are not worth the
+    /// message cost (paper: "depending on the amount of particles to be
+    /// moved … it may not be interesting to perform the transmission").
+    pub min_transfer: usize,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig { rel_threshold: 0.15, min_transfer: 32 }
+    }
+}
+
+/// One balancing order, addressed to a calculator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Order {
+    /// Donate `amount` particles to neighbor `to` (a domain neighbor:
+    /// rank ± 1).
+    Send { to: usize, amount: usize },
+    /// Expect a donation from neighbor `from`.
+    Receive { from: usize },
+}
+
+/// A decided transfer between a neighbor pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    pub donor: usize,
+    pub receiver: usize,
+    pub amount: usize,
+}
+
+/// Evaluate one balancing round.
+///
+/// `loads[i]` is calculator `i`'s report; `powers[i]` its processing power
+/// (relative speed — the paper calibrates this from sequential runs);
+/// `start` is the index of the first pair to evaluate (the manager
+/// alternates 0/1 between rounds).
+pub fn evaluate(
+    loads: &[LoadInfo],
+    powers: &[f64],
+    start: usize,
+    cfg: &BalancerConfig,
+) -> Vec<Transfer> {
+    assert_eq!(loads.len(), powers.len());
+    let n = loads.len();
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    let mut i = start.min(1); // paper alternates between the 1st and 2nd pair
+    while i + 1 < n {
+        let (a, b) = (i, i + 1);
+        let (ta, tb) = (loads[a].time, loads[b].time);
+        let scale = ta.max(tb);
+        if scale > 0.0 && (ta - tb).abs() > cfg.rel_threshold * scale {
+            let total = loads[a].count + loads[b].count;
+            let (pa, pb) = (powers[a].max(1e-9), powers[b].max(1e-9));
+            let target_a = (total as f64 * pa / (pa + pb)).round() as usize;
+            let target_a = target_a.min(total);
+            let (donor, receiver, amount) = if loads[a].count > target_a {
+                (a, b, loads[a].count - target_a)
+            } else {
+                (b, a, target_a - loads[a].count)
+            };
+            if amount >= cfg.min_transfer {
+                out.push(Transfer { donor, receiver, amount });
+                // Pair (i+1, i+2) is not evaluated this round.
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Evaluate one round of the *decentralized* balancer (paper future work,
+/// §6): every neighbor pair decides independently from the two reports it
+/// can see locally — no manager, no alternation, no one-pair-per-process
+/// rule. To damp the oscillation that simultaneous decisions invite, each
+/// pair moves only **half** the excess toward the power-proportional
+/// target. The returned set may involve one calculator in two transfers
+/// (sending left while receiving from the right), which is exactly the
+/// "alignment" the centralized rules forbid.
+pub fn evaluate_decentralized(
+    loads: &[LoadInfo],
+    powers: &[f64],
+    cfg: &BalancerConfig,
+) -> Vec<Transfer> {
+    assert_eq!(loads.len(), powers.len());
+    let n = loads.len();
+    let mut out = Vec::new();
+    for a in 0..n.saturating_sub(1) {
+        let b = a + 1;
+        let (ta, tb) = (loads[a].time, loads[b].time);
+        let scale = ta.max(tb);
+        if scale <= 0.0 || (ta - tb).abs() <= cfg.rel_threshold * scale {
+            continue;
+        }
+        let total = loads[a].count + loads[b].count;
+        let (pa, pb) = (powers[a].max(1e-9), powers[b].max(1e-9));
+        let target_a = ((total as f64) * pa / (pa + pb)).round() as usize;
+        let target_a = target_a.min(total);
+        let (donor, receiver, excess) = if loads[a].count > target_a {
+            (a, b, loads[a].count - target_a)
+        } else {
+            (b, a, target_a - loads[a].count)
+        };
+        let amount = excess / 2;
+        if amount >= cfg.min_transfer {
+            out.push(Transfer { donor, receiver, amount });
+        }
+    }
+    out
+}
+
+/// Expand transfers into per-calculator orders.
+pub fn orders_for(transfers: &[Transfer], rank: usize) -> Vec<Order> {
+    let mut out = Vec::new();
+    for t in transfers {
+        if t.donor == rank {
+            out.push(Order::Send { to: t.receiver, amount: t.amount });
+        } else if t.receiver == rank {
+            out.push(Order::Receive { from: t.donor });
+        }
+    }
+    out
+}
+
+/// Check the paper's structural invariants on a decision set; used by
+/// debug assertions and property tests.
+pub fn validate_transfers(transfers: &[Transfer], n: usize) -> Result<(), String> {
+    let mut involved = vec![0u8; n];
+    for t in transfers {
+        if t.donor >= n || t.receiver >= n {
+            return Err(format!("transfer {t:?} out of range"));
+        }
+        if t.donor.abs_diff(t.receiver) != 1 {
+            return Err(format!("transfer {t:?} is not between domain neighbors"));
+        }
+        involved[t.donor] += 1;
+        involved[t.receiver] += 1;
+    }
+    if let Some((rank, _)) = involved.iter().enumerate().find(|(_, &c)| c > 1) {
+        return Err(format!("rank {rank} participates in more than one pair"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn li(count: usize, time: f64) -> LoadInfo {
+        LoadInfo { count, time }
+    }
+
+    fn cfg() -> BalancerConfig {
+        BalancerConfig { rel_threshold: 0.15, min_transfer: 10 }
+    }
+
+    #[test]
+    fn balanced_pair_is_left_alone() {
+        let loads = [li(100, 1.0), li(100, 1.0)];
+        let t = evaluate(&loads, &[1.0, 1.0], 0, &cfg());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn imbalanced_pair_transfers_half_the_excess() {
+        let loads = [li(200, 2.0), li(100, 1.0)];
+        let t = evaluate(&loads, &[1.0, 1.0], 0, &cfg());
+        assert_eq!(t, vec![Transfer { donor: 0, receiver: 1, amount: 50 }]);
+    }
+
+    #[test]
+    fn power_weighted_targets() {
+        // Equal times are fine; force imbalance by time, then check the
+        // target respects a 2:1 power ratio.
+        let loads = [li(300, 3.0), li(0, 0.0)];
+        let t = evaluate(&loads, &[2.0, 1.0], 0, &cfg());
+        // target for rank 0 = 300 × 2/3 = 200 → donate 100 to rank 1.
+        assert_eq!(t, vec![Transfer { donor: 0, receiver: 1, amount: 100 }]);
+    }
+
+    #[test]
+    fn slow_process_donates_to_fast() {
+        let loads = [li(100, 4.0), li(100, 1.0)];
+        let t = evaluate(&loads, &[0.5, 2.0], 0, &cfg());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].donor, 0);
+        assert_eq!(t[0].receiver, 1);
+        // target_0 = 200 × 0.5/2.5 = 40 → donate 60
+        assert_eq!(t[0].amount, 60);
+    }
+
+    #[test]
+    fn below_threshold_no_action() {
+        let loads = [li(105, 1.05), li(100, 1.0)];
+        assert!(evaluate(&loads, &[1.0, 1.0], 0, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn min_transfer_suppresses_tiny_moves() {
+        let loads = [li(16, 1.3), li(8, 0.8)];
+        let c = BalancerConfig { rel_threshold: 0.15, min_transfer: 10 };
+        assert!(evaluate(&loads, &[1.0, 1.0], 0, &c).is_empty());
+        let c2 = BalancerConfig { rel_threshold: 0.15, min_transfer: 2 };
+        assert_eq!(evaluate(&loads, &[1.0, 1.0], 0, &c2).len(), 1);
+    }
+
+    #[test]
+    fn rebalanced_pair_consumes_next() {
+        // 0-1 imbalanced, 1-2 imbalanced, 2-3 imbalanced. Starting at 0:
+        // (0,1) rebalances, (1,2) skipped, (2,3) rebalances.
+        let loads = [li(400, 4.0), li(100, 1.0), li(400, 4.0), li(100, 1.0)];
+        let t = evaluate(&loads, &[1.0; 4], 0, &cfg());
+        assert_eq!(t.len(), 2);
+        assert_eq!((t[0].donor, t[0].receiver), (0, 1));
+        assert_eq!((t[1].donor, t[1].receiver), (2, 3));
+        validate_transfers(&t, 4).unwrap();
+    }
+
+    #[test]
+    fn alternating_start_shifts_pairs() {
+        let loads = [li(400, 4.0), li(100, 1.0), li(400, 4.0), li(100, 1.0)];
+        let t = evaluate(&loads, &[1.0; 4], 1, &cfg());
+        // starting at pair (1,2): 1 has 100 (t=1), 2 has 400 (t=4) → 2→1
+        assert_eq!((t[0].donor, t[0].receiver), (2, 1));
+        validate_transfers(&t, 4).unwrap();
+    }
+
+    #[test]
+    fn no_process_in_two_pairs() {
+        // Adversarial staircase loads.
+        let loads = [li(800, 8.0), li(400, 4.0), li(200, 2.0), li(100, 1.0), li(50, 0.5)];
+        for start in [0, 1] {
+            let t = evaluate(&loads, &[1.0; 5], start, &cfg());
+            validate_transfers(&t, 5).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_calculator_never_balances() {
+        assert!(evaluate(&[li(100, 1.0)], &[1.0], 0, &cfg()).is_empty());
+        assert!(evaluate(&[], &[], 0, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn zero_time_pair_is_stable() {
+        let loads = [li(0, 0.0), li(0, 0.0)];
+        assert!(evaluate(&loads, &[1.0, 1.0], 0, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn orders_expand_per_rank() {
+        let t = vec![Transfer { donor: 0, receiver: 1, amount: 50 }];
+        assert_eq!(orders_for(&t, 0), vec![Order::Send { to: 1, amount: 50 }]);
+        assert_eq!(orders_for(&t, 1), vec![Order::Receive { from: 0 }]);
+        assert!(orders_for(&t, 2).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_non_neighbors() {
+        let bad = vec![Transfer { donor: 0, receiver: 2, amount: 5 }];
+        assert!(validate_transfers(&bad, 3).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_double_participation() {
+        let bad = vec![
+            Transfer { donor: 0, receiver: 1, amount: 5 },
+            Transfer { donor: 1, receiver: 2, amount: 5 },
+        ];
+        assert!(validate_transfers(&bad, 3).is_err());
+    }
+
+    #[test]
+    fn decentralized_all_pairs_may_act() {
+        // Staircase loads: centralized consumes neighbors, decentralized
+        // lets every pair act — including a rank sending and receiving.
+        let loads = [li(800, 8.0), li(400, 4.0), li(200, 2.0), li(100, 1.0)];
+        let cfg = BalancerConfig { rel_threshold: 0.1, min_transfer: 10 };
+        let dec = evaluate_decentralized(&loads, &[1.0; 4], &cfg);
+        assert_eq!(dec.len(), 3, "all three pairs act: {dec:?}");
+        // rank 1 both receives (from 0) and sends (to 2)
+        assert!(dec.iter().any(|t| t.receiver == 1));
+        assert!(dec.iter().any(|t| t.donor == 1));
+        // half-excess damping: pair (0,1) target 600 → excess 200 → move 100
+        assert_eq!(dec[0], Transfer { donor: 0, receiver: 1, amount: 100 });
+    }
+
+    #[test]
+    fn decentralized_donor_never_overdraws() {
+        // Even when a rank donates on both sides, half-excess per pair can
+        // never exceed its holdings: each amount ≤ count/2.
+        let loads = [li(0, 0.0), li(100, 1.0), li(0, 0.0)];
+        let cfg = BalancerConfig { rel_threshold: 0.1, min_transfer: 1 };
+        let dec = evaluate_decentralized(&loads, &[1.0; 3], &cfg);
+        let total_from_1: usize = dec.iter().filter(|t| t.donor == 1).map(|t| t.amount).sum();
+        assert!(total_from_1 <= 100, "overdraw: {dec:?}");
+        assert_eq!(dec.len(), 2);
+    }
+
+    #[test]
+    fn decentralized_converges_but_damping_costs_rounds() {
+        // Point spike: decentralized diffusion converges without any
+        // manager, but its half-excess damping costs rounds relative to
+        // the centralized full-excess walk — the trade-off the ablation
+        // bench quantifies. (Empirically ~2x on this spike.)
+        let drain = |decentralized: bool| {
+            let n = 12;
+            let mut counts = vec![1_000usize; n];
+            counts[0] = 200_000;
+            let powers = vec![1.0; n];
+            let cfg = BalancerConfig { rel_threshold: 0.1, min_transfer: 32 };
+            for round in 0..2_000usize {
+                let l: Vec<LoadInfo> = counts
+                    .iter()
+                    .map(|&c| li(c, c as f64 * 1e-6))
+                    .collect();
+                let ts = if decentralized {
+                    evaluate_decentralized(&l, &powers, &cfg)
+                } else {
+                    evaluate(&l, &powers, round % 2, &cfg)
+                };
+                if ts.is_empty() {
+                    return round;
+                }
+                for t in ts {
+                    counts[t.donor] -= t.amount.min(counts[t.donor]);
+                    counts[t.receiver] += t.amount;
+                }
+            }
+            2_000
+        };
+        let dec = drain(true);
+        let cen = drain(false);
+        assert!(dec < 2_000, "decentralized must converge, took {dec}");
+        assert!(cen < 2_000, "centralized must converge, took {cen}");
+        assert!(
+            dec > cen && dec < 4 * cen,
+            "damping costs rounds but stays bounded: dec {dec} vs cen {cen}"
+        );
+    }
+
+    #[test]
+    fn convergence_under_repeated_rounds() {
+        // Simulate rounds: time proportional to count; all powers equal.
+        // The balancer must monotonically reduce imbalance to threshold.
+        let mut counts = vec![1000usize, 10, 10, 10, 10, 10, 10, 10];
+        let powers = vec![1.0; 8];
+        let c = BalancerConfig { rel_threshold: 0.1, min_transfer: 5 };
+        for round in 0..64 {
+            let loads: Vec<LoadInfo> = counts
+                .iter()
+                .map(|&n| li(n, n as f64 * 1e-3))
+                .collect();
+            let ts = evaluate(&loads, &powers, round % 2, &c);
+            validate_transfers(&ts, 8).unwrap();
+            for t in ts {
+                counts[t.donor] -= t.amount;
+                counts[t.receiver] += t.amount;
+            }
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / 8.0;
+        assert!(
+            max / mean < 1.35,
+            "neighbor balancing should flatten the spike: {counts:?}"
+        );
+    }
+}

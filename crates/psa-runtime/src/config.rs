@@ -1,0 +1,146 @@
+//! Run configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::balance::BalancerConfig;
+
+/// Whether the simulated space is restricted to the particle systems'
+/// extent (paper: "FS", finite space) or left unbounded ("IS", infinite
+/// space). With IS, static decomposition assigns almost all particles to
+/// the central domain(s) — the Table 1 pathology.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpaceMode {
+    #[default]
+    Finite,
+    Infinite,
+}
+
+/// Static (initial even split, never changed) vs dynamic load balancing.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum BalanceMode {
+    /// SLB: domains stay at their initial even split.
+    Static,
+    /// DLB: the paper's centralized neighbor-pair balancer (§3.2.5).
+    Dynamic(BalancerConfig),
+    /// The paper's future-work variant (§6): no manager involvement —
+    /// neighbors exchange load information directly and every pair decides
+    /// independently (half-excess diffusion), so a calculator may send and
+    /// receive in the same round.
+    Decentralized(BalancerConfig),
+}
+
+impl BalanceMode {
+    pub fn dynamic() -> Self {
+        BalanceMode::Dynamic(BalancerConfig::default())
+    }
+
+    pub fn decentralized() -> Self {
+        BalanceMode::Decentralized(BalancerConfig::default())
+    }
+
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, BalanceMode::Dynamic(_) | BalanceMode::Decentralized(_))
+    }
+
+    /// Short label used in table headers: SLB / DLB / DEC.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BalanceMode::Static => "SLB",
+            BalanceMode::Dynamic(_) => "DLB",
+            BalanceMode::Decentralized(_) => "DEC",
+        }
+    }
+}
+
+/// How multiple particle systems are combined within one frame — the §3.3
+/// observation that "depending on the form used, the processing may be more
+/// or less efficient".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemSchedule {
+    /// Figure 2 verbatim: each system runs its full protocol before the
+    /// next system starts. The manager's post-exchange work on system `s`
+    /// therefore gates system `s + 1` on every calculator — per-system load
+    /// spikes serialize.
+    #[default]
+    PerSystem,
+    /// Phase-batched: creation for all systems first, then calculus for
+    /// all, then exchange, balancing, shipping. Calculators absorb
+    /// per-system spikes across the frame (only the frame barrier
+    /// synchronizes), at the cost of buffering every system's state.
+    Batched,
+}
+
+/// Full configuration of one run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Animation length in frames.
+    pub frames: u64,
+    /// Frame time step, seconds of simulated time.
+    pub dt: f32,
+    /// Master seed; everything stochastic derives from it.
+    pub seed: u64,
+    pub space: SpaceMode,
+    pub balance: BalanceMode,
+    /// Sub-domain buckets per calculator per system (paper §4 storage).
+    pub buckets: usize,
+    /// Multi-system combination strategy (§3.3).
+    pub schedule: SystemSchedule,
+    /// Warm-up frames excluded from per-frame statistics (population
+    /// ramp-up).
+    pub warmup: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            frames: 30,
+            dt: 1.0 / 30.0,
+            seed: 0x5EED,
+            space: SpaceMode::Finite,
+            balance: BalanceMode::dynamic(),
+            buckets: 8,
+            schedule: SystemSchedule::PerSystem,
+            warmup: 0,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Paper-style config label, e.g. `FS-DLB`.
+    pub fn label(&self) -> String {
+        let space = match self.space {
+            SpaceMode::Finite => "FS",
+            SpaceMode::Infinite => "IS",
+        };
+        format!("{space}-{}", self.balance.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_columns() {
+        let mut c = RunConfig::default();
+        assert_eq!(c.label(), "FS-DLB");
+        c.space = SpaceMode::Infinite;
+        c.balance = BalanceMode::Static;
+        assert_eq!(c.label(), "IS-SLB");
+    }
+
+    #[test]
+    fn dynamic_detection() {
+        assert!(BalanceMode::dynamic().is_dynamic());
+        assert!(BalanceMode::decentralized().is_dynamic());
+        assert!(!BalanceMode::Static.is_dynamic());
+    }
+
+    #[test]
+    fn labels_cover_all_modes() {
+        assert_eq!(BalanceMode::Static.label(), "SLB");
+        assert_eq!(BalanceMode::dynamic().label(), "DLB");
+        assert_eq!(BalanceMode::decentralized().label(), "DEC");
+        assert_eq!(SystemSchedule::default(), SystemSchedule::PerSystem);
+    }
+}

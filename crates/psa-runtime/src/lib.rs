@@ -1,0 +1,40 @@
+//! The IPDPS'05 animation model: processes, frame protocol, load balancing.
+//!
+//! This crate turns the sequential building blocks of `psa-core` into the
+//! paper's distributed model:
+//!
+//! * [`msg`] — the message vocabulary of the frame protocol (Figure 2);
+//! * [`balance`] — the centralized neighbor-pair dynamic load balancer
+//!   (§3.2.5) as pure, heavily-tested functions;
+//! * [`scene`] — a simulation scene: systems, action lists, external
+//!   objects;
+//! * [`config`] — run configuration (finite/infinite space, SLB/DLB,
+//!   bucket counts, frame counts);
+//! * [`virtual_exec`] — the deterministic virtual-time executor that
+//!   reproduces the paper's cluster timing via `cluster-sim` + `netsim`;
+//! * [`sequential`] — the sequential baseline the paper computes speed-ups
+//!   against;
+//! * [`threaded`] — an SPMD executor over real host threads (wall-clock
+//!   demonstration that the protocol actually parallelizes);
+//! * [`report`] — run reports: per-frame stats, migration volumes, traffic,
+//!   and the virtual makespan the tables are computed from;
+//! * [`trace`] — protocol event traces used to assert the Figure-2
+//!   ordering in tests.
+
+pub mod balance;
+pub mod config;
+pub mod msg;
+pub mod report;
+pub mod scene;
+pub mod sequential;
+pub mod threaded;
+pub mod trace;
+pub mod virtual_exec;
+
+pub use balance::{BalancerConfig, LoadInfo, Order};
+pub use config::{BalanceMode, RunConfig, SpaceMode, SystemSchedule};
+pub use report::RunReport;
+pub use scene::{CollisionSpec, Scene, SystemSetup};
+pub use sequential::run_sequential;
+pub use threaded::run_threaded;
+pub use virtual_exec::VirtualSim;

@@ -1,0 +1,132 @@
+//! The frame-protocol message vocabulary (paper Figure 2).
+//!
+//! One enum covers every arrow in the paper's sequence diagram: particle
+//! batches (creation, exchange, balancing donations, shipping to the image
+//! generator), end-of-transmission notifications, load information, balance
+//! orders, new dimensions, and the domain broadcast.
+
+use netsim::WireSize;
+use psa_core::{Particle, SystemId, WIRE_BYTES};
+use psa_math::Scalar;
+
+use crate::balance::{LoadInfo, Order};
+
+/// Render payload bytes per particle shipped to the image generator.
+///
+/// Calculators quantize to screen-space (two 16-bit coordinates; color and
+/// intensity are implied by the system and age bucket) rather than shipping
+/// the full 70-byte particle — the paper's Fast-Ethernet results are only
+/// achievable if frame shipping is far lighter than migration traffic.
+pub const RENDER_WIRE_BYTES: usize = 4;
+
+/// A message of the frame protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// A batch of particles changing owner: creation (manager→calculator),
+    /// exchange (calculator→calculator), or balancing donation.
+    Particles {
+        system: SystemId,
+        batch: Vec<Particle>,
+        /// Virtual multiplier: each real particle stands for `scale`
+        /// particles in the cost model; carried so byte accounting matches.
+        scale: f64,
+    },
+    /// End of a transmission sequence (paper §3.2.1 — receivers must be
+    /// told or "they will remain blocked inside the creation action").
+    EndOfTransmission { system: SystemId },
+    /// A calculator's per-frame load report (paper §3.2.4). `migrated`
+    /// piggy-backs the calculator's exchange count for run statistics.
+    Load { system: SystemId, info: LoadInfo, migrated: usize },
+    /// The manager's balancing orders for one calculator (possibly none).
+    Orders { system: SystemId, orders: Vec<Order> },
+    /// A donor's newly computed domain boundary (paper §3.2.5).
+    NewCut { system: SystemId, boundary: usize, cut: Scalar },
+    /// The manager's broadcast of updated domain boundaries.
+    Domains { system: SystemId, cuts: Vec<Scalar> },
+    /// Read-only boundary-slab particles shipped to a domain neighbor for
+    /// inter-particle collision detection (§3.1.4 / §3.1.5's "particles
+    /// exchanged during the computation").
+    Ghosts { system: SystemId, batch: Vec<Particle>, scale: f64 },
+    /// Quantized render payload for the image generator (count of real
+    /// particles; the content travels out-of-band in the virtual executor).
+    RenderBatch { system: SystemId, count: usize, scale: f64 },
+    /// Full particles for the image generator (threaded executor renders
+    /// for real).
+    RenderParticles { system: SystemId, batch: Vec<Particle> },
+    /// Frame-complete token.
+    FrameDone { frame: u64 },
+}
+
+impl WireSize for Msg {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            Msg::Particles { batch, scale, .. } => {
+                (batch.len() as f64 * scale * WIRE_BYTES as f64).round() as u64
+            }
+            Msg::Ghosts { batch, scale, .. } => {
+                (batch.len() as f64 * scale * WIRE_BYTES as f64).round() as u64
+            }
+            Msg::EndOfTransmission { .. } => 4,
+            Msg::Load { .. } => 24,
+            Msg::Orders { orders, .. } => 8 + 16 * orders.len() as u64,
+            Msg::NewCut { .. } => 16,
+            Msg::Domains { cuts, .. } => 8 + 4 * cuts.len() as u64,
+            Msg::RenderBatch { count, scale, .. } => {
+                (*count as f64 * scale * RENDER_WIRE_BYTES as f64).round() as u64
+            }
+            Msg::RenderParticles { batch, .. } => (batch.len() * WIRE_BYTES) as u64,
+            Msg::FrameDone { .. } => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_math::Vec3;
+
+    #[test]
+    fn particle_batch_bytes_match_paper_unit() {
+        let batch = vec![Particle::at(Vec3::ZERO); 10];
+        let m = Msg::Particles { system: SystemId(0), batch, scale: 1.0 };
+        assert_eq!(m.wire_bytes(), 700); // 10 × 70 B
+    }
+
+    #[test]
+    fn scale_multiplies_bytes() {
+        let batch = vec![Particle::at(Vec3::ZERO); 10];
+        let m = Msg::Particles { system: SystemId(0), batch, scale: 10.0 };
+        assert_eq!(m.wire_bytes(), 7000);
+    }
+
+    #[test]
+    fn render_batch_is_light() {
+        let m = Msg::RenderBatch { system: SystemId(0), count: 1000, scale: 1.0 };
+        assert_eq!(m.wire_bytes(), 4000);
+        let full = Msg::RenderParticles {
+            system: SystemId(0),
+            batch: vec![Particle::at(Vec3::ZERO); 1000],
+        };
+        assert!(m.wire_bytes() < full.wire_bytes());
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert!(Msg::EndOfTransmission { system: SystemId(1) }.wire_bytes() < 16);
+        assert!(
+            Msg::Domains { system: SystemId(1), cuts: vec![0.0; 9] }.wire_bytes() < 64
+        );
+    }
+
+    #[test]
+    fn paper_exchange_volume_reproduction() {
+        // §5.1: 16 processes × ~560 particles ≈ 613 KB per frame.
+        let per_proc = Msg::Particles {
+            system: SystemId(0),
+            batch: vec![Particle::at(Vec3::ZERO); 560],
+            scale: 1.0,
+        };
+        let total_kb = 16.0 * per_proc.wire_bytes() as f64 / 1024.0;
+        assert!((total_kb - 613.0).abs() < 15.0, "got {total_kb} KB");
+    }
+}

@@ -1,0 +1,140 @@
+//! Run reports.
+
+use serde::{Deserialize, Serialize};
+
+use netsim::TrafficStats;
+use psa_math::stats::Running;
+
+/// Per-frame aggregate measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrameReport {
+    pub frame: u64,
+    /// Alive particles across all systems at frame end.
+    pub alive: u64,
+    /// Particles that changed calculator this frame (migration).
+    pub migrated: u64,
+    /// Migration payload bytes this frame.
+    pub migration_bytes: u64,
+    /// Particles moved by the load balancer this frame.
+    pub balanced: u64,
+    /// Virtual (or wall) seconds this frame added to the makespan.
+    pub frame_time: f64,
+    /// Coefficient of imbalance `max/mean − 1` across calculators.
+    pub imbalance: f64,
+}
+
+/// The result of one run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Paper-style config label (`FS-DLB` …).
+    pub label: String,
+    /// Cluster description (`8*B(16P.)` …) or "sequential".
+    pub cluster: String,
+    /// Number of calculator processes (1 for sequential).
+    pub calculators: usize,
+    /// Total makespan in virtual (or wall) seconds.
+    pub total_time: f64,
+    /// Per-frame measurements, in frame order.
+    pub frames: Vec<FrameReport>,
+    /// Fabric-level traffic totals.
+    pub traffic: TrafficStats,
+}
+
+impl RunReport {
+    /// Mean alive population over non-warm-up frames.
+    pub fn mean_alive(&self) -> f64 {
+        let mut r = Running::new();
+        for f in &self.frames {
+            r.push(f.alive as f64);
+        }
+        r.mean()
+    }
+
+    /// Mean particles migrated per frame.
+    pub fn mean_migrated(&self) -> f64 {
+        let mut r = Running::new();
+        for f in &self.frames {
+            r.push(f.migrated as f64);
+        }
+        r.mean()
+    }
+
+    /// Mean migration KB per frame (the §5.1/§5.2 in-text numbers).
+    pub fn mean_migration_kb(&self) -> f64 {
+        let mut r = Running::new();
+        for f in &self.frames {
+            r.push(f.migration_bytes as f64 / 1024.0);
+        }
+        r.mean()
+    }
+
+    /// Mean imbalance across frames.
+    pub fn mean_imbalance(&self) -> f64 {
+        let mut r = Running::new();
+        for f in &self.frames {
+            r.push(f.imbalance);
+        }
+        r.mean()
+    }
+
+    /// Steady-state time: the sum of per-frame times over the reported
+    /// (non-warm-up) frames. Speed-ups are computed on this, so the
+    /// synthetic frame-0 pre-population burst (our steady-state bootstrap,
+    /// which the paper's long-running animations do not have) cannot
+    /// distort them.
+    pub fn steady_time(&self) -> f64 {
+        self.frames.iter().map(|f| f.frame_time).sum()
+    }
+
+    /// Speed-up of this run relative to a baseline time.
+    pub fn speedup_vs(&self, baseline_time: f64) -> f64 {
+        if self.total_time > 0.0 {
+            baseline_time / self.total_time
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            label: "FS-DLB".into(),
+            cluster: "test".into(),
+            calculators: 4,
+            total_time: 2.0,
+            frames: vec![
+                FrameReport { frame: 0, alive: 100, migrated: 10, migration_bytes: 700, ..Default::default() },
+                FrameReport { frame: 1, alive: 200, migrated: 20, migration_bytes: 1400, ..Default::default() },
+            ],
+            traffic: TrafficStats::default(),
+        }
+    }
+
+    #[test]
+    fn means() {
+        let r = report();
+        assert_eq!(r.mean_alive(), 150.0);
+        assert_eq!(r.mean_migrated(), 15.0);
+        assert!((r.mean_migration_kb() - 1050.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup() {
+        let r = report();
+        assert_eq!(r.speedup_vs(8.0), 4.0);
+        let empty = RunReport::default();
+        assert_eq!(empty.speedup_vs(8.0), 0.0);
+    }
+
+    #[test]
+    fn steady_time_sums_reported_frames() {
+        let mut r = report();
+        r.frames[0].frame_time = 1.5;
+        r.frames[1].frame_time = 2.5;
+        assert_eq!(r.steady_time(), 4.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! A simulation scene: particle systems, their action lists, and external
+//! objects.
+
+use std::sync::Arc;
+
+use psa_core::actions::ActionList;
+use psa_core::objects::ExternalObject;
+use psa_core::{SystemId, SystemSpec};
+use psa_math::{Scalar, Vec3};
+
+/// Inter-particle collision settings (the user-pluggable procedure the
+/// model's data locality preserves, paper §3.1.4). When set, calculators
+/// exchange ghost slabs with their domain neighbors each frame and resolve
+/// particle–particle contacts locally.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CollisionSpec {
+    /// Broadphase cell edge; use twice the largest particle radius.
+    pub cell: Scalar,
+    /// Elastic restitution in `[0, 1]`.
+    pub restitution: Scalar,
+}
+
+/// One particle system plus the per-frame action list run on it
+/// (the body of the paper's Algorithm 1).
+#[derive(Clone)]
+pub struct SystemSetup {
+    pub spec: SystemSpec,
+    /// Shared by every calculator; actions are stateless.
+    pub actions: Arc<ActionList>,
+}
+
+impl SystemSetup {
+    pub fn new(spec: SystemSpec, actions: ActionList) -> Self {
+        actions
+            .validate()
+            .expect("action list violates the model's structural rules");
+        SystemSetup { spec, actions: Arc::new(actions) }
+    }
+}
+
+/// The full scene: systems in creation order (their vector index is the
+/// system identifier, paper §3.1.3) plus external objects replicated on
+/// every process.
+#[derive(Clone, Default)]
+pub struct Scene {
+    pub systems: Vec<SystemSetup>,
+    /// External objects with display colors (rendered by the image
+    /// generator, collided against by calculators via actions).
+    pub objects: Vec<(ExternalObject, Vec3)>,
+    /// Optional inter-particle collision (within each system).
+    pub collision: Option<CollisionSpec>,
+}
+
+impl Scene {
+    pub fn new() -> Self {
+        Scene::default()
+    }
+
+    /// Add a system; its [`SystemId`] is its creation index, which must
+    /// match `spec.id` — the paper relies on identical creation order on
+    /// every process.
+    pub fn add_system(&mut self, setup: SystemSetup) -> SystemId {
+        let id = SystemId(self.systems.len() as u16);
+        assert_eq!(
+            setup.spec.id, id,
+            "system id must equal its creation-order index"
+        );
+        self.systems.push(setup);
+        id
+    }
+
+    pub fn add_object(&mut self, obj: ExternalObject, color: Vec3) {
+        self.objects.push((obj, color));
+    }
+
+    /// Enable inter-particle collision with the given broadphase cell and
+    /// restitution.
+    pub fn with_collision(mut self, cell: Scalar, restitution: Scalar) -> Self {
+        assert!(cell > 0.0 && (0.0..=1.0).contains(&restitution));
+        self.collision = Some(CollisionSpec { cell, restitution });
+        self
+    }
+
+    pub fn system_count(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// Total particles emitted per frame across systems (manager work).
+    pub fn emission_per_frame(&self) -> usize {
+        self.systems.iter().map(|s| s.spec.emit_per_frame).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_core::actions::{Gravity, MoveParticles};
+
+    fn setup(id: u16) -> SystemSetup {
+        SystemSetup::new(
+            SystemSpec::test_spec(id),
+            ActionList::new().then(Gravity::earth()).then(MoveParticles),
+        )
+    }
+
+    #[test]
+    fn creation_order_assigns_ids() {
+        let mut s = Scene::new();
+        assert_eq!(s.add_system(setup(0)), SystemId(0));
+        assert_eq!(s.add_system(setup(1)), SystemId(1));
+        assert_eq!(s.system_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "creation-order")]
+    fn wrong_id_panics() {
+        let mut s = Scene::new();
+        s.add_system(setup(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "structural rules")]
+    fn invalid_action_list_rejected() {
+        let _ = SystemSetup::new(
+            SystemSpec::test_spec(0),
+            ActionList::new().then(MoveParticles).then(MoveParticles),
+        );
+    }
+
+    #[test]
+    fn emission_sums_systems() {
+        let mut s = Scene::new();
+        s.add_system(setup(0));
+        s.add_system(setup(1));
+        assert_eq!(s.emission_per_frame(), 200);
+    }
+}

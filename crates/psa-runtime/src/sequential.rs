@@ -1,0 +1,160 @@
+//! The sequential baseline.
+//!
+//! The paper computes every speed-up against "the time of the sequential
+//! execution" on the best machine/compiler pair for the fabric in question
+//! (E800+GCC for the Myrinet tables, Itanium+ICC for the Fast-Ethernet
+//! ones). This module runs the same scene single-process — the original
+//! McAllister-style loop with no domains, no exchange, no packing — and
+//! charges the same cost model at the given relative speed.
+
+use cluster_sim::CostModel;
+use psa_core::actions::ActionCtx;
+use psa_core::SubDomainStore;
+use psa_math::stats::imbalance;
+use psa_math::{Axis, Rng64};
+
+use crate::config::RunConfig;
+use crate::report::{FrameReport, RunReport};
+use crate::scene::Scene;
+
+/// Deterministic stream identical to the parallel executor's creation
+/// stream, so sequential and parallel runs simulate the same workload.
+fn stream(seed: u64, tag: u64, frame: u64, sys: usize, rank: usize) -> Rng64 {
+    Rng64::new(seed)
+        .split(tag)
+        .split(frame)
+        .split(sys as u64)
+        .split(rank as u64)
+}
+
+const TAG_CREATE: u64 = 0xC0;
+const TAG_ACTIONS: u64 = 0xAC;
+
+/// Run the scene sequentially on a machine of relative `speed`; returns a
+/// report whose `total_time` is the baseline for speed-up computation.
+pub fn run_sequential(scene: &Scene, cfg: &RunConfig, cost: &CostModel, speed: f64) -> RunReport {
+    assert!(speed > 0.0);
+    let n_sys = scene.systems.len();
+    // The original library keeps each system's particles in one vector: a
+    // single-bucket store spanning the whole space.
+    let mut stores: Vec<SubDomainStore> = scene
+        .systems
+        .iter()
+        .map(|s| SubDomainStore::new(s.spec.space, Axis::X, 1))
+        .collect();
+
+    let mut total = 0.0f64;
+    let mut frames = Vec::with_capacity(cfg.frames as usize);
+    for frame in 0..cfg.frames {
+        let mut fr = FrameReport { frame, ..Default::default() };
+        let mut frame_time = 0.0;
+        #[allow(clippy::needless_range_loop)] // sys indexes scene + stores in parallel
+        for sys in 0..n_sys {
+            let setup = &scene.systems[sys];
+            let spec = &setup.spec;
+            // Creation.
+            let mut rng_c = stream(cfg.seed, TAG_CREATE, frame, sys, 0);
+            let mut newborn = if frame == 0 {
+                spec.emit_initial(&mut rng_c)
+            } else {
+                Vec::new()
+            };
+            newborn.extend((0..spec.emit_per_frame).map(|_| spec.emit_one(&mut rng_c)));
+            frame_time += cost.create_time(newborn.len(), speed);
+            stores[sys].extend(newborn);
+            // Calculus. The sequential run uses the rank-1 action stream
+            // (the single calculator).
+            let mut rng_a = stream(cfg.seed, TAG_ACTIONS, frame, sys, 1);
+            let mut ctx = ActionCtx { dt: cfg.dt, frame, rng: &mut rng_a };
+            let (_outcome, weighted) = setup.actions.run(&mut ctx, &mut stores[sys]);
+            frame_time += cost.weighted_work_time(weighted, speed);
+            // Inter-particle collision, if the scene enables it.
+            if let Some(col) = scene.collision {
+                use psa_core::collide::{colliding_pairs, resolve_elastic};
+                let mut all = stores[sys].take_all();
+                let pairs = colliding_pairs(&all, &[], col.cell);
+                resolve_elastic(&mut all, &pairs, col.restitution);
+                frame_time += cost.collision_time(all.len(), speed);
+                stores[sys].extend(all);
+            }
+            // Out-of-space particles have nowhere to migrate: they stay
+            // (and are usually culled by kill actions); no exchange exists.
+            let strays = stores[sys].collect_leavers();
+            for p in strays {
+                stores[sys].insert(p);
+            }
+            fr.alive += (cost.virt(stores[sys].len())).round() as u64;
+        }
+        // Render every system's particles.
+        let alive_real: usize = stores.iter().map(SubDomainStore::len).sum();
+        frame_time += cost.render_time(alive_real, speed);
+        fr.frame_time = frame_time;
+        fr.imbalance = imbalance(&[1.0]);
+        total += frame_time;
+        frames.push(fr);
+    }
+
+    RunReport {
+        label: format!("SEQ-{}", cfg.label()),
+        cluster: "sequential".into(),
+        calculators: 1,
+        total_time: total,
+        frames: frames
+            .into_iter()
+            .filter(|f| f.frame >= cfg.warmup)
+            .collect(),
+        traffic: Default::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::SystemSetup;
+    use psa_core::actions::{ActionList, Gravity, KillOld, MoveParticles};
+    use psa_core::SystemSpec;
+
+    fn tiny_scene() -> Scene {
+        let mut spec = SystemSpec::test_spec(0);
+        spec.emit_per_frame = 50;
+        spec.max_age = 0.5;
+        let mut s = Scene::new();
+        s.add_system(SystemSetup::new(
+            spec,
+            ActionList::new()
+                .then(Gravity::earth())
+                .then(KillOld::new(0.5))
+                .then(MoveParticles),
+        ));
+        s
+    }
+
+    #[test]
+    fn population_reaches_steady_state() {
+        let scene = tiny_scene();
+        let cfg = RunConfig { frames: 40, dt: 0.1, ..Default::default() };
+        let r = run_sequential(&scene, &cfg, &CostModel::default(), 1.0);
+        // lifetime 0.5s at dt 0.1 = 5 frames × 50/frame ≈ 250-300 alive
+        let last = r.frames.last().unwrap();
+        assert!(last.alive >= 250 && last.alive <= 350, "alive {}", last.alive);
+    }
+
+    #[test]
+    fn faster_machine_is_proportionally_faster() {
+        let scene = tiny_scene();
+        let cfg = RunConfig { frames: 10, dt: 0.1, ..Default::default() };
+        let slow = run_sequential(&scene, &cfg, &CostModel::default(), 0.5);
+        let fast = run_sequential(&scene, &cfg, &CostModel::default(), 1.0);
+        assert!((slow.total_time / fast.total_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let scene = tiny_scene();
+        let cfg = RunConfig { frames: 8, dt: 0.1, ..Default::default() };
+        let a = run_sequential(&scene, &cfg, &CostModel::default(), 1.0);
+        let b = run_sequential(&scene, &cfg, &CostModel::default(), 1.0);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.frames.last().unwrap().alive, b.frames.last().unwrap().alive);
+    }
+}

@@ -1,0 +1,490 @@
+//! SPMD executor over real host threads.
+//!
+//! Runs the identical frame protocol as [`crate::virtual_exec`] but with
+//! every role on its own OS thread, real crossbeam channels, wall-clock
+//! timing, and a real image generator that rasterizes frames (optionally to
+//! PPM files). This is the executable demonstration that the model
+//! parallelizes — the virtual executor is the instrument that reproduces
+//! the paper's cluster numbers.
+
+use std::path::PathBuf;
+use std::thread;
+
+use netsim::{ThreadEndpoint, ThreadNet};
+use psa_core::actions::ActionCtx;
+use psa_core::{DomainMap, Particle, SubDomainStore};
+use psa_math::stats::imbalance;
+use psa_math::{Axis, Interval, Rng64};
+use psa_render::image::{frame_filename, write_ppm};
+use psa_render::{render_objects, render_particles, render_streaks, Camera, Framebuffer, SplatConfig};
+
+use crate::balance::{self, LoadInfo};
+use crate::config::{BalanceMode, RunConfig, SpaceMode};
+use crate::msg::Msg;
+use crate::report::{FrameReport, RunReport};
+use crate::scene::Scene;
+
+const TAG_CREATE: u64 = 0xC0;
+const TAG_ACTIONS: u64 = 0xAC;
+
+fn stream(seed: u64, tag: u64, frame: u64, sys: usize, rank: usize) -> Rng64 {
+    Rng64::new(seed)
+        .split(tag)
+        .split(frame)
+        .split(sys as u64)
+        .split(rank as u64)
+}
+
+/// Where and how the image generator should rasterize.
+#[derive(Clone)]
+pub struct RenderSink {
+    pub camera: Camera,
+    pub splat: SplatConfig,
+    /// Directory for PPM frames; `None` renders in memory only (frames are
+    /// still rasterized so the work is real).
+    pub out_dir: Option<PathBuf>,
+    pub prefix: String,
+    /// Background color.
+    pub background: psa_math::Vec3,
+    /// Render orientation-aligned streaks of `(length, steps)` instead of
+    /// dots (uses the paper's mandatory orientation property).
+    pub streaks: Option<(f32, usize)>,
+}
+
+impl RenderSink {
+    /// In-memory rendering with an orthographic camera over the space.
+    pub fn headless(camera: Camera) -> Self {
+        RenderSink {
+            camera,
+            splat: SplatConfig::default(),
+            out_dir: None,
+            prefix: "frame".into(),
+            background: psa_math::Vec3::new(0.02, 0.02, 0.05),
+            streaks: None,
+        }
+    }
+}
+
+fn space_for(scene: &Scene, cfg: &RunConfig, sys: usize) -> Interval {
+    match cfg.space {
+        SpaceMode::Finite => scene.systems[sys].spec.space,
+        SpaceMode::Infinite => Interval::INFINITE,
+    }
+}
+
+/// Run the scene on `n` calculator threads (+ manager + image generator).
+/// Returns the wall-clock report; `sink` controls real rasterization.
+pub fn run_threaded(
+    scene: &Scene,
+    cfg: &RunConfig,
+    n: usize,
+    sink: Option<RenderSink>,
+) -> RunReport {
+    assert!(n >= 1);
+    // The threaded executor implements the centralized protocol with the
+    // Figure-2 per-system schedule; the decentralized variant and batched
+    // schedule are virtual-executor studies (they change timing, which here
+    // is real wall clock anyway).
+    let cfg = &{
+        let mut c = cfg.clone();
+        if let BalanceMode::Decentralized(b) = c.balance {
+            c.balance = BalanceMode::Dynamic(b);
+        }
+        c
+    };
+    let n_sys = scene.systems.len();
+    let mgr = n;
+    let ig = n + 1;
+    let endpoints = ThreadNet::build::<Msg>(n + 2);
+    let started = std::time::Instant::now();
+
+    let initial_domains: Vec<DomainMap> = (0..n_sys)
+        .map(|s| DomainMap::split_even(space_for(scene, cfg, s), Axis::X, n))
+        .collect();
+
+    let mut handles = Vec::new();
+    let mut eps = endpoints.into_iter();
+
+    // ---- Calculator threads --------------------------------------------
+    for c in 0..n {
+        let ep = eps.next().unwrap();
+        let scene = scene.clone();
+        let cfg = cfg.clone();
+        let domains0 = initial_domains.clone();
+        handles.push(thread::spawn(move || {
+            calculator_main(ep, c, n, &scene, &cfg, domains0);
+        }));
+    }
+
+    // ---- Manager thread -------------------------------------------------
+    let mgr_handle = {
+        let ep = eps.next().unwrap();
+        let scene = scene.clone();
+        let cfg = cfg.clone();
+        let domains0 = initial_domains.clone();
+        thread::spawn(move || manager_main(ep, n, &scene, &cfg, domains0))
+    };
+    debug_assert_eq!(mgr_handle.thread().id(), mgr_handle.thread().id());
+    let _ = mgr;
+
+    // ---- Image generator thread ------------------------------------------
+    let ig_handle = {
+        let ep = eps.next().unwrap();
+        let scene = scene.clone();
+        let cfg = cfg.clone();
+        thread::spawn(move || image_generator_main(ep, n, &scene, &cfg, sink))
+    };
+    let _ = ig;
+
+    for h in handles {
+        h.join().expect("calculator thread panicked");
+    }
+    let mut frames = mgr_handle.join().expect("manager thread panicked");
+    let rendered = ig_handle.join().expect("image generator thread panicked");
+    // Merge IG-side alive counts into the manager's frame reports.
+    for (fr, alive) in frames.iter_mut().zip(rendered) {
+        fr.alive = alive;
+    }
+
+    let total = started.elapsed().as_secs_f64();
+    RunReport {
+        label: format!("THR-{}", cfg.label()),
+        cluster: format!("{n} host threads"),
+        calculators: n,
+        total_time: total,
+        frames: frames
+            .into_iter()
+            .filter(|f| f.frame >= cfg.warmup)
+            .collect(),
+        traffic: Default::default(),
+    }
+}
+
+fn calculator_main(
+    ep: ThreadEndpoint<Msg>,
+    c: usize,
+    n: usize,
+    scene: &Scene,
+    cfg: &RunConfig,
+    mut domains: Vec<DomainMap>,
+) {
+    let mgr = n;
+    let ig = n + 1;
+    let n_sys = scene.systems.len();
+    let mut stores: Vec<SubDomainStore> = (0..n_sys)
+        .map(|s| SubDomainStore::new(domains[s].slice(c), Axis::X, cfg.buckets))
+        .collect();
+
+    for frame in 0..cfg.frames {
+        for sys in 0..n_sys {
+            let setup = &scene.systems[sys];
+            // Creation: receive batch + EOT.
+            let Msg::Particles { batch, .. } = ep.recv(mgr) else {
+                panic!("calc {c}: expected creation batch");
+            };
+            let Msg::EndOfTransmission { .. } = ep.recv(mgr) else {
+                panic!("calc {c}: expected EOT");
+            };
+            stores[sys].extend(batch);
+
+            // Calculus.
+            let t0 = ep.now();
+            let mut rng = stream(cfg.seed, TAG_ACTIONS, frame, sys, c + 1);
+            let mut ctx = ActionCtx { dt: cfg.dt, frame, rng: &mut rng };
+            let pre = stores[sys].len().max(1);
+            setup.actions.run(&mut ctx, &mut stores[sys]);
+            let compute = ep.now() - t0;
+
+            // Exchange.
+            let leavers = stores[sys].collect_leavers();
+            let migrated = leavers.len();
+            let mut per_dest: Vec<Vec<Particle>> = vec![Vec::new(); n];
+            for p in leavers {
+                let owner = domains[sys].owner_of(p.position.x);
+                per_dest[owner].push(p);
+            }
+            let homebound = std::mem::take(&mut per_dest[c]);
+            stores[sys].extend(homebound);
+            for (d, batch) in per_dest.into_iter().enumerate() {
+                if d != c {
+                    ep.send(d, Msg::Particles { system: setup.spec.id, batch, scale: 1.0 });
+                }
+            }
+            for d in 0..n {
+                if d == c {
+                    continue;
+                }
+                let Msg::Particles { batch, .. } = ep.recv(d) else {
+                    panic!("calc {c}: expected exchange batch");
+                };
+                stores[sys].extend(batch);
+            }
+
+            // Load report (time rescaled to post-exchange count, §3.2.4).
+            let count = stores[sys].len();
+            let time = compute * count as f64 / pre as f64;
+            ep.send(
+                mgr,
+                Msg::Load { system: setup.spec.id, info: LoadInfo { count, time }, migrated },
+            );
+
+            // Balancing.
+            if cfg.balance.is_dynamic() {
+                let Msg::Orders { orders, .. } = ep.recv(mgr) else {
+                    panic!("calc {c}: expected orders");
+                };
+                let mut outgoing: Option<(usize, Vec<Particle>)> = None;
+                for o in &orders {
+                    match *o {
+                        balance::Order::Send { to, amount } => {
+                            let old_slice = stores[sys].slice();
+                            let (mut donated, _sorted) = if to < c {
+                                stores[sys].donate_low(amount)
+                            } else {
+                                stores[sys].donate_high(amount)
+                            };
+                            let kept = stores[sys].extent();
+                            let cut =
+                                crate::virtual_exec::donation_cut(to < c, &donated, kept, old_slice);
+                            // half-open tie guard
+                            if to < c {
+                                let back: Vec<Particle> =
+                                    donated.iter().filter(|p| p.position.x >= cut).copied().collect();
+                                donated.retain(|p| p.position.x < cut);
+                                stores[sys].extend(back);
+                            } else {
+                                let back: Vec<Particle> =
+                                    donated.iter().filter(|p| p.position.x < cut).copied().collect();
+                                donated.retain(|p| p.position.x >= cut);
+                                stores[sys].extend(back);
+                            }
+                            ep.send(
+                                mgr,
+                                Msg::NewCut {
+                                    system: setup.spec.id,
+                                    boundary: c.min(to),
+                                    cut,
+                                },
+                            );
+                            outgoing = Some((to, donated));
+                        }
+                        balance::Order::Receive { .. } => {}
+                    }
+                }
+                // Everyone receives the rebroadcast domains.
+                let Msg::Domains { cuts, .. } = ep.recv(mgr) else {
+                    panic!("calc {c}: expected domains");
+                };
+                let dm = DomainMap::from_cuts(Axis::X, cuts).expect("valid domains");
+                let new_slice = dm.slice(c);
+                domains[sys] = dm;
+                if stores[sys].slice() != new_slice {
+                    let stray = stores[sys].reshape(new_slice);
+                    stores[sys].extend(stray);
+                }
+                // Donations move only after the new domains are in force.
+                if let Some((to, donated)) = outgoing {
+                    ep.send(to, Msg::Particles { system: setup.spec.id, batch: donated, scale: 1.0 });
+                }
+                for o in &orders {
+                    if let balance::Order::Receive { from } = *o {
+                        let Msg::Particles { batch, .. } = ep.recv(from) else {
+                            panic!("calc {c}: expected donation");
+                        };
+                        stores[sys].extend(batch);
+                    }
+                }
+            }
+
+            // Ship the frame to the image generator.
+            let batch: Vec<Particle> = stores[sys].iter().copied().collect();
+            ep.send(ig, Msg::RenderParticles { system: setup.spec.id, batch });
+        }
+    }
+}
+
+fn manager_main(
+    ep: ThreadEndpoint<Msg>,
+    n: usize,
+    scene: &Scene,
+    cfg: &RunConfig,
+    mut domains: Vec<DomainMap>,
+) -> Vec<FrameReport> {
+    let n_sys = scene.systems.len();
+    let mut parity = 0usize;
+    let mut frames = Vec::with_capacity(cfg.frames as usize);
+    let mut last = ep.now();
+
+    for frame in 0..cfg.frames {
+        let mut fr = FrameReport { frame, ..Default::default() };
+        for sys in 0..n_sys {
+            let spec = &scene.systems[sys].spec;
+            // Creation.
+            let mut rng = stream(cfg.seed, TAG_CREATE, frame, sys, 0);
+            let mut newborn = if frame == 0 {
+                spec.emit_initial(&mut rng)
+            } else {
+                Vec::new()
+            };
+            newborn.extend((0..spec.emit_per_frame).map(|_| spec.emit_one(&mut rng)));
+            let mut batches: Vec<Vec<Particle>> = vec![Vec::new(); n];
+            for p in newborn {
+                batches[domains[sys].owner_of(p.position.x)].push(p);
+            }
+            for (c, batch) in batches.into_iter().enumerate() {
+                ep.send(c, Msg::Particles { system: spec.id, batch, scale: 1.0 });
+                ep.send(c, Msg::EndOfTransmission { system: spec.id });
+            }
+
+            // Load reports.
+            let mut loads = Vec::with_capacity(n);
+            for c in 0..n {
+                let Msg::Load { info, migrated, .. } = ep.recv(c) else {
+                    panic!("manager: expected load report");
+                };
+                fr.migrated += migrated as u64;
+                fr.migration_bytes += (migrated * psa_core::WIRE_BYTES) as u64;
+                loads.push(info);
+            }
+            let counts: Vec<f64> = loads.iter().map(|l| l.count as f64).collect();
+            fr.imbalance = fr.imbalance.max(imbalance(&counts));
+
+            // Balancing.
+            if let BalanceMode::Dynamic(bcfg) = cfg.balance {
+                let speeds = vec![1.0; n]; // host threads are homogeneous
+                let transfers = balance::evaluate(&loads, &speeds, parity, &bcfg);
+                parity ^= 1;
+                for c in 0..n {
+                    ep.send(
+                        c,
+                        Msg::Orders {
+                            system: spec.id,
+                            orders: balance::orders_for(&transfers, c),
+                        },
+                    );
+                }
+                for t in &transfers {
+                    let Msg::NewCut { boundary, cut, .. } = ep.recv(t.donor) else {
+                        panic!("manager: expected new cut");
+                    };
+                    domains[sys].move_cut(boundary, cut).expect("in-range cut");
+                    fr.balanced += t.amount as u64;
+                }
+                for c in 0..n {
+                    ep.send(
+                        c,
+                        Msg::Domains { system: spec.id, cuts: domains[sys].cuts().to_vec() },
+                    );
+                }
+            }
+        }
+        let now = ep.now();
+        fr.frame_time = now - last;
+        last = now;
+        frames.push(fr);
+    }
+    frames
+}
+
+fn image_generator_main(
+    ep: ThreadEndpoint<Msg>,
+    n: usize,
+    scene: &Scene,
+    cfg: &RunConfig,
+    sink: Option<RenderSink>,
+) -> Vec<u64> {
+    let n_sys = scene.systems.len();
+    let mut fb = sink.as_ref().map(|s| {
+        let (w, h) = s.camera.viewport();
+        Framebuffer::new(w, h)
+    });
+    let mut alive_per_frame = Vec::with_capacity(cfg.frames as usize);
+
+    for frame in 0..cfg.frames {
+        let mut alive = 0u64;
+        if let (Some(fb), Some(s)) = (fb.as_mut(), sink.as_ref()) {
+            fb.clear(s.background);
+            render_objects(fb, &s.camera, &scene.objects);
+        }
+        for _sys in 0..n_sys {
+            for c in 0..n {
+                let Msg::RenderParticles { batch, .. } = ep.recv(c) else {
+                    panic!("image generator: expected render particles");
+                };
+                alive += batch.len() as u64;
+                if let (Some(fb), Some(s)) = (fb.as_mut(), sink.as_ref()) {
+                    match s.streaks {
+                        Some((len, steps)) => {
+                            render_streaks(fb, &s.camera, &batch, &s.splat, len, steps);
+                        }
+                        None => {
+                            render_particles(fb, &s.camera, &batch, &s.splat);
+                        }
+                    }
+                }
+            }
+        }
+        if let (Some(fb), Some(s)) = (fb.as_ref(), sink.as_ref()) {
+            if let Some(dir) = &s.out_dir {
+                std::fs::create_dir_all(dir).expect("create frame directory");
+                let path = dir.join(frame_filename(&s.prefix, frame));
+                write_ppm(fb, &path).expect("write frame");
+            }
+        }
+        alive_per_frame.push(alive);
+    }
+    alive_per_frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::SystemSetup;
+    use psa_core::actions::{ActionList, Gravity, KillOld, MoveParticles, RandomAccel};
+    use psa_core::SystemSpec;
+
+    fn scene() -> Scene {
+        let mut spec = SystemSpec::test_spec(0);
+        spec.emit_per_frame = 200;
+        spec.max_age = 1.0;
+        let mut s = Scene::new();
+        s.add_system(SystemSetup::new(
+            spec,
+            ActionList::new()
+                .then(Gravity::earth())
+                .then(RandomAccel::new(2.0))
+                .then(KillOld::new(1.0))
+                .then(MoveParticles),
+        ));
+        s
+    }
+
+    #[test]
+    fn threaded_run_completes_and_counts() {
+        let cfg = RunConfig { frames: 6, dt: 0.1, ..Default::default() };
+        let r = run_threaded(&scene(), &cfg, 3, None);
+        assert_eq!(r.calculators, 3);
+        assert_eq!(r.frames.len(), 6);
+        assert!(r.total_time > 0.0);
+        // population grows 200/frame until age-out
+        let alive = r.frames.last().unwrap().alive;
+        assert!(alive >= 1000 && alive <= 1400, "alive {alive}");
+    }
+
+    #[test]
+    fn threaded_static_vs_dynamic_both_work() {
+        for balance in [BalanceMode::Static, BalanceMode::dynamic()] {
+            let cfg = RunConfig { frames: 4, dt: 0.1, balance, ..Default::default() };
+            let r = run_threaded(&scene(), &cfg, 2, None);
+            assert_eq!(r.frames.len(), 4);
+        }
+    }
+
+    #[test]
+    fn threaded_single_calculator_degenerates_gracefully() {
+        let cfg = RunConfig { frames: 3, dt: 0.1, ..Default::default() };
+        let r = run_threaded(&scene(), &cfg, 1, None);
+        assert_eq!(r.frames.len(), 3);
+        assert_eq!(r.frames.last().unwrap().migrated, 0);
+    }
+}

@@ -1,0 +1,891 @@
+//! The deterministic virtual-time executor.
+//!
+//! Runs the paper's full frame protocol (Figure 2) over a simulated
+//! heterogeneous cluster: real particles move through real data structures,
+//! while per-rank virtual clocks and the `netsim` fabric account for what
+//! the compute and communication would cost on the modeled hardware. The
+//! result is bit-deterministic, so every table in EXPERIMENTS.md
+//! regenerates identically from the seed.
+//!
+//! Rank layout: `0..n` are calculators (one per domain slice, in slice
+//! order), `n` is the manager, `n + 1` the image generator. The manager and
+//! image generator live on the front-end node (node 0).
+//!
+//! The frame body is factored into one method per protocol phase so the
+//! §3.3 system-combination strategies ([`SystemSchedule`]) can reorder the
+//! same phases: `PerSystem` runs each system's full protocol in sequence
+//! (Figure 2 verbatim); `Batched` runs each phase across all systems before
+//! the next phase starts.
+
+use cluster_sim::{ClusterSpec, CostModel, Placement};
+use netsim::VirtualNet;
+use psa_core::actions::ActionCtx;
+use psa_core::{DomainMap, Particle, SubDomainStore, WIRE_BYTES};
+use psa_math::stats::imbalance;
+use psa_math::{Axis, Interval, Rng64, Scalar};
+
+use crate::balance::{self, LoadInfo, Transfer};
+use crate::config::{BalanceMode, RunConfig, SpaceMode, SystemSchedule};
+use crate::msg::Msg;
+use crate::report::{FrameReport, RunReport};
+use crate::scene::Scene;
+use crate::trace::{ProtocolEvent, Trace};
+
+/// RNG stream tags (see `stream`).
+const TAG_CREATE: u64 = 0xC0;
+const TAG_ACTIONS: u64 = 0xAC;
+
+/// The decomposition axis (paper: one axis of the plane or space).
+const AXIS: Axis = Axis::X;
+
+/// Derive the deterministic stream for (tag, frame, system, rank).
+fn stream(seed: u64, tag: u64, frame: u64, sys: usize, rank: usize) -> Rng64 {
+    Rng64::new(seed)
+        .split(tag)
+        .split(frame)
+        .split(sys as u64)
+        .split(rank as u64)
+}
+
+/// Per-calculator state.
+struct CalcState {
+    /// One sub-domain store per system.
+    stores: Vec<SubDomainStore>,
+    /// Local replica of every system's domain map (all processes know all
+    /// domains, paper §3.1.4).
+    domains: Vec<DomainMap>,
+    /// This frame's per-system compute time (pre-exchange population).
+    compute_time: Vec<f64>,
+    /// Population the compute time was measured on.
+    pre_count: Vec<usize>,
+}
+
+/// The virtual-time executor.
+pub struct VirtualSim {
+    scene: Scene,
+    cfg: RunConfig,
+    cluster: ClusterSpec,
+    placement: Placement,
+    cost: CostModel,
+    trace: Trace,
+}
+
+impl VirtualSim {
+    pub fn new(scene: Scene, cfg: RunConfig, cluster: ClusterSpec, cost: CostModel) -> Self {
+        assert!(!scene.systems.is_empty(), "scene needs at least one system");
+        let placement = cluster.placement();
+        VirtualSim {
+            scene,
+            cfg,
+            cluster,
+            placement,
+            cost,
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Record protocol events (used by the Figure-2 test; off by default).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Trace::enabled();
+        self
+    }
+
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Run the animation; returns the report (including the virtual
+    /// makespan used for speed-up computation).
+    pub fn run(&mut self) -> RunReport {
+        let mut engine = Engine::new(
+            self.scene.clone(),
+            self.cfg.clone(),
+            &self.placement,
+            self.cluster.net.clone(),
+            self.cost.clone(),
+            std::mem::take(&mut self.trace),
+        );
+        let (report, trace) = engine.run(self.cluster.describe());
+        self.trace = trace;
+        report
+    }
+}
+
+/// The running frame machinery: every rank's state plus the fabric.
+struct Engine {
+    scene: Scene,
+    cfg: RunConfig,
+    cost: CostModel,
+    net: VirtualNet<Msg>,
+    calcs: Vec<CalcState>,
+    mgr_domains: Vec<DomainMap>,
+    speeds: Vec<f64>,
+    fe_speed: f64,
+    scale: f64,
+    n: usize,
+    mgr: usize,
+    ig: usize,
+    parity: usize,
+    calc_and_mgr: Vec<usize>,
+    trace: Trace,
+}
+
+impl Engine {
+    fn new(
+        scene: Scene,
+        cfg: RunConfig,
+        placement: &Placement,
+        net_model: cluster_sim::NetworkModel,
+        cost: CostModel,
+        trace: Trace,
+    ) -> Self {
+        let n = placement.calculators();
+        let n_sys = scene.systems.len();
+        let mut node_of: Vec<usize> = placement.ranks.iter().map(|r| r.node).collect();
+        node_of.push(placement.frontend_node);
+        node_of.push(placement.frontend_node);
+        let net = VirtualNet::new(net_model, node_of, placement.node_count);
+        let space_for = |sys: usize| -> Interval {
+            match cfg.space {
+                SpaceMode::Finite => scene.systems[sys].spec.space,
+                SpaceMode::Infinite => Interval::INFINITE,
+            }
+        };
+        let mgr_domains: Vec<DomainMap> = (0..n_sys)
+            .map(|s| DomainMap::split_even(space_for(s), AXIS, n))
+            .collect();
+        let calcs: Vec<CalcState> = (0..n)
+            .map(|c| CalcState {
+                stores: (0..n_sys)
+                    .map(|s| SubDomainStore::new(mgr_domains[s].slice(c), AXIS, cfg.buckets))
+                    .collect(),
+                domains: mgr_domains.clone(),
+                compute_time: vec![0.0; n_sys],
+                pre_count: vec![0; n_sys],
+            })
+            .collect();
+        Engine {
+            speeds: placement.ranks.iter().map(|r| r.speed).collect(),
+            fe_speed: placement.frontend_speed,
+            scale: cost.scale,
+            n,
+            mgr: n,
+            ig: n + 1,
+            parity: 0,
+            calc_and_mgr: (0..n).chain([n]).collect(),
+            scene,
+            cfg,
+            cost,
+            net,
+            calcs,
+            mgr_domains,
+            trace,
+        }
+    }
+
+    fn run(&mut self, cluster_label: String) -> (RunReport, Trace) {
+        let n_sys = self.scene.systems.len();
+        let mut frames = Vec::with_capacity(self.cfg.frames as usize);
+        let mut prev_makespan = 0.0;
+
+        for frame in 0..self.cfg.frames {
+            let mut fr = FrameReport { frame, ..Default::default() };
+
+            match self.cfg.schedule {
+                SystemSchedule::PerSystem => {
+                    for sys in 0..n_sys {
+                        self.phase_creation(frame, sys);
+                        self.phase_addition(frame, sys);
+                        self.phase_calculus(frame, sys);
+                        self.phase_collision(sys);
+                        self.phase_exchange(frame, sys, &mut fr);
+                        let loads = self.phase_loads(frame, sys);
+                        self.phase_balance(frame, sys, &loads, &mut fr);
+                        self.phase_ship(frame, sys, &mut fr);
+                    }
+                }
+                SystemSchedule::Batched => {
+                    for sys in 0..n_sys {
+                        self.phase_creation(frame, sys);
+                        self.phase_addition(frame, sys);
+                    }
+                    for sys in 0..n_sys {
+                        self.phase_calculus(frame, sys);
+                        self.phase_collision(sys);
+                    }
+                    for sys in 0..n_sys {
+                        self.phase_exchange(frame, sys, &mut fr);
+                    }
+                    for sys in 0..n_sys {
+                        let loads = self.phase_loads(frame, sys);
+                        self.phase_balance(frame, sys, &loads, &mut fr);
+                    }
+                    for sys in 0..n_sys {
+                        self.phase_ship(frame, sys, &mut fr);
+                    }
+                }
+            }
+
+            // Fixed per-frame image cost (clear, encode, write).
+            self.net
+                .advance(self.ig, self.cost.per_frame_render_fixed / self.fe_speed);
+            self.trace.record(frame, ProtocolEvent::ImageGeneration);
+
+            // Parallel-phases frame boundary for compute processes.
+            self.net.barrier(&self.calc_and_mgr);
+
+            // Per-frame accounting.
+            let counts: Vec<f64> = (0..self.n)
+                .map(|c| {
+                    self.calcs[c]
+                        .stores
+                        .iter()
+                        .map(|s| s.len() as f64)
+                        .sum::<f64>()
+                })
+                .collect();
+            fr.imbalance = imbalance(&counts);
+            let mk = self.net.makespan();
+            fr.frame_time = mk - prev_makespan;
+            prev_makespan = mk;
+            frames.push(fr);
+        }
+
+        let kept: Vec<FrameReport> = frames
+            .into_iter()
+            .filter(|f| f.frame >= self.cfg.warmup)
+            .collect();
+        let report = RunReport {
+            label: self.cfg.label(),
+            cluster: cluster_label,
+            calculators: self.n,
+            total_time: self.net.makespan(),
+            frames: kept,
+            traffic: self.net.stats(),
+        };
+        (report, std::mem::take(&mut self.trace))
+    }
+
+    /// Creation at the manager (paper §3.2.1): emit, route by domain, ship
+    /// batches with end-of-transmission markers.
+    fn phase_creation(&mut self, frame: u64, sys: usize) {
+        let spec = &self.scene.systems[sys].spec;
+        let mut rng_c = stream(self.cfg.seed, TAG_CREATE, frame, sys, 0);
+        let mut newborn: Vec<Particle> = if frame == 0 {
+            spec.emit_initial(&mut rng_c)
+        } else {
+            Vec::new()
+        };
+        newborn.extend((0..spec.emit_per_frame).map(|_| spec.emit_one(&mut rng_c)));
+        self.net
+            .advance(self.mgr, self.cost.create_time(newborn.len(), self.fe_speed));
+        if sys == 0 {
+            self.trace.record(frame, ProtocolEvent::ParticleCreation);
+        }
+        let mut batches: Vec<Vec<Particle>> = vec![Vec::new(); self.n];
+        for p in newborn {
+            batches[self.mgr_domains[sys].owner_of(p.position.along(AXIS))].push(p);
+        }
+        for (c, batch) in batches.into_iter().enumerate() {
+            self.net
+                .send(self.mgr, c, Msg::Particles { system: spec.id, batch, scale: self.scale });
+            self.net
+                .send(self.mgr, c, Msg::EndOfTransmission { system: spec.id });
+        }
+    }
+
+    /// Calculators receive and store the newborn batches.
+    fn phase_addition(&mut self, frame: u64, sys: usize) {
+        for c in 0..self.n {
+            let Msg::Particles { batch, .. } = self.net.recv(c, self.mgr) else {
+                panic!("expected creation batch");
+            };
+            let Msg::EndOfTransmission { .. } = self.net.recv(c, self.mgr) else {
+                panic!("expected end of transmission");
+            };
+            self.net
+                .advance(c, self.cost.pack_time(batch.len(), self.speeds[c]));
+            self.calcs[c].stores[sys].extend(batch);
+        }
+        if sys == 0 {
+            self.trace.record(frame, ProtocolEvent::AdditionToLocalSet);
+        }
+    }
+
+    /// The action list ("Calculus" in Figure 2).
+    fn phase_calculus(&mut self, frame: u64, sys: usize) {
+        let setup = self.scene.systems[sys].clone();
+        for c in 0..self.n {
+            let mut rng_a = stream(self.cfg.seed, TAG_ACTIONS, frame, sys, c + 1);
+            let mut ctx = ActionCtx { dt: self.cfg.dt, frame, rng: &mut rng_a };
+            let pre = self.calcs[c].stores[sys].len();
+            let (_outcome, weighted) = setup.actions.run(&mut ctx, &mut self.calcs[c].stores[sys]);
+            let t = self.cost.weighted_work_time(weighted, self.speeds[c]);
+            self.net.advance(c, t);
+            self.calcs[c].compute_time[sys] = t;
+            self.calcs[c].pre_count[sys] = pre.max(1);
+        }
+        if sys == 0 {
+            self.trace.record(frame, ProtocolEvent::Calculus);
+        }
+    }
+
+    /// Optional inter-particle collision with ghost-slab exchange
+    /// (§3.1.4 / the "exchanged during the computation" mode of §3.1.5).
+    fn phase_collision(&mut self, sys: usize) {
+        let Some(col) = self.scene.collision else {
+            return;
+        };
+        use psa_core::collide::{colliding_pairs, resolve_elastic_with_ghosts};
+        let spec_id = self.scene.systems[sys].spec.id;
+        let n = self.n;
+        let slabs: Vec<(Vec<Particle>, Vec<Particle>)> = (0..n)
+            .map(|c| self.calcs[c].stores[sys].boundary_slabs(col.cell))
+            .collect();
+        for (c, (low, high)) in slabs.into_iter().enumerate() {
+            if c > 0 {
+                self.net
+                    .send(c, c - 1, Msg::Ghosts { system: spec_id, batch: low, scale: self.scale });
+            }
+            if c + 1 < n {
+                self.net
+                    .send(c, c + 1, Msg::Ghosts { system: spec_id, batch: high, scale: self.scale });
+            }
+        }
+        for c in 0..n {
+            let mut ghosts: Vec<Particle> = Vec::new();
+            if c > 0 {
+                let Msg::Ghosts { batch, .. } = self.net.recv(c, c - 1) else {
+                    panic!("expected ghost slab");
+                };
+                ghosts.extend(batch);
+            }
+            if c + 1 < n {
+                let Msg::Ghosts { batch, .. } = self.net.recv(c, c + 1) else {
+                    panic!("expected ghost slab");
+                };
+                ghosts.extend(batch);
+            }
+            let mut locals = self.calcs[c].stores[sys].take_all();
+            let pairs = colliding_pairs(&locals, &ghosts, col.cell);
+            resolve_elastic_with_ghosts(&mut locals, &ghosts, &pairs, col.restitution);
+            let t = self
+                .cost
+                .collision_time(locals.len() + ghosts.len(), self.speeds[c]);
+            self.net.advance(c, t);
+            self.calcs[c].compute_time[sys] += t;
+            self.calcs[c].stores[sys].extend(locals);
+        }
+    }
+
+    /// End-of-frame particle exchange: leavers ship directly to their new
+    /// owner (all domains are globally known). One message per ordered pair
+    /// keeps receives directed and deterministic.
+    fn phase_exchange(&mut self, frame: u64, sys: usize, fr: &mut FrameReport) {
+        let n = self.n;
+        let spec_id = self.scene.systems[sys].spec.id;
+        let mut outgoing: Vec<Vec<Vec<Particle>>> = Vec::with_capacity(n);
+        for (c, state) in self.calcs.iter_mut().enumerate() {
+            let len = state.stores[sys].len();
+            self.net
+                .advance(c, self.cost.exchange_check_time(len, self.speeds[c]));
+            let leavers = state.stores[sys].collect_leavers();
+            let mut per_dest: Vec<Vec<Particle>> = vec![Vec::new(); n];
+            let dm = &state.domains[sys];
+            for p in leavers {
+                let owner = dm.owner_of(p.position.along(AXIS));
+                per_dest[owner].push(p);
+            }
+            let homebound = std::mem::take(&mut per_dest[c]);
+            state.stores[sys].extend(homebound);
+            outgoing.push(per_dest);
+        }
+        for (c, per_dest) in outgoing.into_iter().enumerate() {
+            let total_sent: usize = per_dest.iter().map(Vec::len).sum();
+            self.net
+                .advance(c, self.cost.pack_time(total_sent, self.speeds[c]));
+            // "particles that belong to another calculator" (§5.1):
+            // only actually-shipped particles count as migration.
+            fr.migrated += (total_sent as f64 * self.scale) as u64;
+            fr.migration_bytes += self.cost.wire_bytes(total_sent, WIRE_BYTES);
+            for (d, batch) in per_dest.into_iter().enumerate() {
+                if d != c {
+                    self.net
+                        .send(c, d, Msg::Particles { system: spec_id, batch, scale: self.scale });
+                }
+            }
+        }
+        for c in 0..n {
+            for d in 0..n {
+                if d == c {
+                    continue;
+                }
+                let Msg::Particles { batch, .. } = self.net.recv(c, d) else {
+                    panic!("expected exchange batch");
+                };
+                self.net
+                    .advance(c, self.cost.pack_time(batch.len(), self.speeds[c]));
+                self.calcs[c].stores[sys].extend(batch);
+            }
+        }
+        if sys == 0 {
+            self.trace.record(frame, ProtocolEvent::ParticleExchange);
+        }
+    }
+
+    /// Load reports (paper §3.2.4), with the time rescaled to the
+    /// post-exchange population. Under the centralized modes the manager
+    /// gathers them; under the decentralized mode each calculator also
+    /// shares its report with its domain neighbors.
+    fn phase_loads(&mut self, frame: u64, sys: usize) -> Vec<LoadInfo> {
+        let n = self.n;
+        let spec_id = self.scene.systems[sys].spec.id;
+        let decentralized = matches!(self.cfg.balance, BalanceMode::Decentralized(_));
+        let mut local_loads = vec![LoadInfo::default(); n];
+        #[allow(clippy::needless_range_loop)] // c is a rank: indexes calcs, loads, and addresses sends
+        for c in 0..n {
+            let count = self.calcs[c].stores[sys].len();
+            let time = self.calcs[c].compute_time[sys] * count as f64
+                / self.calcs[c].pre_count[sys] as f64;
+            let info = LoadInfo { count, time };
+            local_loads[c] = info;
+            self.net
+                .send(c, self.mgr, Msg::Load { system: spec_id, info, migrated: 0 });
+            if decentralized {
+                if c > 0 {
+                    self.net
+                        .send(c, c - 1, Msg::Load { system: spec_id, info, migrated: 0 });
+                }
+                if c + 1 < n {
+                    self.net
+                        .send(c, c + 1, Msg::Load { system: spec_id, info, migrated: 0 });
+                }
+            }
+        }
+        let loads: Vec<LoadInfo> = (0..n)
+            .map(|c| {
+                let Msg::Load { info, .. } = self.net.recv(self.mgr, c) else {
+                    panic!("expected load report");
+                };
+                info
+            })
+            .collect();
+        if decentralized {
+            // Each calculator consumes its neighbors' reports (the content
+            // equals `loads`; the receive charges the communication).
+            for c in 0..n {
+                if c > 0 {
+                    let Msg::Load { .. } = self.net.recv(c, c - 1) else {
+                        panic!("expected neighbor load");
+                    };
+                }
+                if c + 1 < n {
+                    let Msg::Load { .. } = self.net.recv(c, c + 1) else {
+                        panic!("expected neighbor load");
+                    };
+                }
+            }
+        }
+        if sys == 0 {
+            self.trace.record(frame, ProtocolEvent::LoadInformation);
+        }
+        loads
+    }
+
+    /// The balancing phase: centralized (§3.2.5), decentralized (§6 future
+    /// work), or the plain synchronization step static balancing needs.
+    fn phase_balance(&mut self, frame: u64, sys: usize, loads: &[LoadInfo], fr: &mut FrameReport) {
+        match self.cfg.balance {
+            BalanceMode::Dynamic(bcfg) => {
+                let transfers = balance::evaluate(loads, &self.speeds, self.parity, &bcfg);
+                self.parity ^= 1;
+                debug_assert!(balance::validate_transfers(&transfers, self.n).is_ok());
+                self.net.advance(
+                    self.mgr,
+                    self.cost
+                        .balance_eval_time(self.n.saturating_sub(1), self.fe_speed),
+                );
+                if sys == 0 {
+                    self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
+                }
+                let spec_id = self.scene.systems[sys].spec.id;
+                for c in 0..self.n {
+                    self.net.send(
+                        self.mgr,
+                        c,
+                        Msg::Orders { system: spec_id, orders: balance::orders_for(&transfers, c) },
+                    );
+                }
+                for c in 0..self.n {
+                    let Msg::Orders { .. } = self.net.recv(c, self.mgr) else {
+                        panic!("expected orders");
+                    };
+                }
+                if sys == 0 {
+                    self.trace.record(frame, ProtocolEvent::LoadBalancingOrders);
+                }
+                self.execute_transfers(frame, sys, &transfers, fr, true);
+            }
+            BalanceMode::Decentralized(bcfg) => {
+                // Every pair decides from the reports exchanged in
+                // phase_loads; the computation is replicated and identical
+                // on both endpoints, so no orders are needed.
+                let transfers = balance::evaluate_decentralized(loads, &self.speeds, &bcfg);
+                for c in 0..self.n {
+                    self.net
+                        .advance(c, self.cost.balance_eval_time(2, self.speeds[c]));
+                }
+                if sys == 0 {
+                    self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
+                }
+                self.execute_transfers(frame, sys, &transfers, fr, false);
+            }
+            BalanceMode::Static => {
+                // Without balancing the model still requires a
+                // synchronization step (paper §3.2) so a fast calculator
+                // cannot race a frame ahead.
+                self.net.barrier(&self.calc_and_mgr);
+            }
+        }
+    }
+
+    /// Execute a decided transfer set: donors select particles and compute
+    /// new cuts, the domain update is disseminated (via the manager when
+    /// `via_manager`, else donor-broadcast), every calculator redefines its
+    /// local domains, then the particles move.
+    fn execute_transfers(
+        &mut self,
+        frame: u64,
+        sys: usize,
+        transfers: &[Transfer],
+        fr: &mut FrameReport,
+        via_manager: bool,
+    ) {
+        let n = self.n;
+        let spec_id = self.scene.systems[sys].spec.id;
+
+        // Donors prepare structures and compute new cuts. Decentralized
+        // rounds may have one calculator donating on both sides; processing
+        // transfers in boundary order keeps the donations sequential and
+        // the kept-extent bookkeeping exact.
+        let mut ordered: Vec<Transfer> = transfers.to_vec();
+        ordered.sort_by_key(|t| t.donor.min(t.receiver));
+        let mut donations: Vec<(usize, usize, Vec<Particle>)> = Vec::new();
+        let mut cuts: Vec<(usize, Scalar, usize)> = Vec::new(); // (boundary, cut, donor)
+        for t in &ordered {
+            let donor = t.donor;
+            let receiver = t.receiver;
+            let amount = t.amount.min(self.calcs[donor].stores[sys].len());
+            let store = &mut self.calcs[donor].stores[sys];
+            let old_slice = store.slice();
+            let (mut donated, sorted) = if receiver < donor {
+                store.donate_low(amount)
+            } else {
+                store.donate_high(amount)
+            };
+            self.net.advance(
+                donor,
+                self.cost.sort_time(sorted, self.speeds[donor])
+                    + self.cost.pack_time(donated.len(), self.speeds[donor]),
+            );
+            let kept = self.calcs[donor].stores[sys].extent();
+            let cut = donation_cut(receiver < donor, &donated, kept, old_slice);
+            // Half-open tie guard: a donated particle exactly at the cut
+            // still belongs to the donor.
+            if receiver < donor {
+                let keep_back: Vec<Particle> = donated
+                    .iter()
+                    .filter(|p| p.position.along(AXIS) >= cut)
+                    .copied()
+                    .collect();
+                donated.retain(|p| p.position.along(AXIS) < cut);
+                self.calcs[donor].stores[sys].extend(keep_back);
+            } else {
+                let keep_back: Vec<Particle> = donated
+                    .iter()
+                    .filter(|p| p.position.along(AXIS) < cut)
+                    .copied()
+                    .collect();
+                donated.retain(|p| p.position.along(AXIS) >= cut);
+                self.calcs[donor].stores[sys].extend(keep_back);
+            }
+            let boundary = donor.min(receiver);
+            cuts.push((boundary, cut, donor));
+            donations.push((donor, receiver, donated));
+        }
+        if sys == 0 && !transfers.is_empty() {
+            self.trace.record(frame, ProtocolEvent::PreparationOfStructures);
+        }
+
+        if via_manager {
+            // Donors report cuts to the manager, which updates the
+            // authoritative map and rebroadcasts (paper §3.2.5).
+            for &(boundary, cut, donor) in &cuts {
+                self.net
+                    .send(donor, self.mgr, Msg::NewCut { system: spec_id, boundary, cut });
+            }
+            for &(_, _, donor) in &cuts {
+                let Msg::NewCut { boundary, cut, .. } = self.net.recv(self.mgr, donor) else {
+                    panic!("expected new cut");
+                };
+                self.mgr_domains[sys]
+                    .move_cut(boundary, cut)
+                    .expect("donor computed an in-range cut");
+            }
+            for c in 0..n {
+                self.net.send(
+                    self.mgr,
+                    c,
+                    Msg::Domains { system: spec_id, cuts: self.mgr_domains[sys].cuts().to_vec() },
+                );
+            }
+            if sys == 0 && !transfers.is_empty() {
+                self.trace.record(frame, ProtocolEvent::NewDimensionsAndDomains);
+            }
+            for c in 0..n {
+                let Msg::Domains { cuts, .. } = self.net.recv(c, self.mgr) else {
+                    panic!("expected domains");
+                };
+                let dm = DomainMap::from_cuts(AXIS, cuts).expect("manager broadcasts valid domains");
+                self.apply_domains(c, sys, dm);
+            }
+        } else {
+            // Decentralized: each donor broadcasts its cut to every
+            // process (manager included — it still routes creation), and
+            // every process applies the cuts in boundary order.
+            for &(boundary, cut, donor) in &cuts {
+                for c in (0..n).chain([self.mgr]) {
+                    if c != donor {
+                        self.net
+                            .send(donor, c, Msg::NewCut { system: spec_id, boundary, cut });
+                    }
+                }
+            }
+            // Apply locally at the donor, remotely everywhere else.
+            let mut applied: Vec<(usize, Scalar)> = Vec::new();
+            for &(boundary, cut, _) in &cuts {
+                applied.push((boundary, cut));
+            }
+            for &(_, _, donor) in &cuts {
+                for c in (0..n).chain([self.mgr]) {
+                    if c != donor {
+                        let Msg::NewCut { .. } = self.net.recv(c, donor) else {
+                            panic!("expected decentralized cut broadcast");
+                        };
+                    }
+                }
+            }
+            for &(boundary, cut) in &applied {
+                self.mgr_domains[sys]
+                    .move_cut(boundary, cut)
+                    .expect("in-range decentralized cut");
+            }
+            let dm = self.mgr_domains[sys].clone();
+            if sys == 0 && !transfers.is_empty() {
+                self.trace.record(frame, ProtocolEvent::NewDimensionsAndDomains);
+            }
+            for c in 0..n {
+                self.apply_domains(c, sys, dm.clone());
+            }
+        }
+        if sys == 0 && !transfers.is_empty() {
+            self.trace.record(frame, ProtocolEvent::DefinitionOfLocalDomains);
+        }
+
+        // The donations themselves.
+        for (donor, receiver, donated) in donations {
+            fr.balanced += (donated.len() as f64 * self.scale) as u64;
+            self.net.send(
+                donor,
+                receiver,
+                Msg::Particles { system: spec_id, batch: donated, scale: self.scale },
+            );
+        }
+        for t in &ordered {
+            let Msg::Particles { batch, .. } = self.net.recv(t.receiver, t.donor) else {
+                panic!("expected donation");
+            };
+            self.net
+                .advance(t.receiver, self.cost.pack_time(batch.len(), self.speeds[t.receiver]));
+            self.calcs[t.receiver].stores[sys].extend(batch);
+        }
+        if sys == 0 && !transfers.is_empty() {
+            self.trace
+                .record(frame, ProtocolEvent::LoadBalanceBetweenCalculators);
+        }
+    }
+
+    /// Install an updated domain map at calculator `c`, reshaping its store
+    /// if its own slice changed.
+    fn apply_domains(&mut self, c: usize, sys: usize, dm: DomainMap) {
+        let new_slice = dm.slice(c);
+        self.calcs[c].domains[sys] = dm;
+        if self.calcs[c].stores[sys].slice() != new_slice {
+            let len = self.calcs[c].stores[sys].len();
+            self.net
+                .advance(c, self.cost.exchange_check_time(len, self.speeds[c]));
+            let stray = self.calcs[c].stores[sys].reshape(new_slice);
+            // Out-of-space particles pool at the edge calculators
+            // (owner_of clamps); they stay here until a kill action removes
+            // them. In-space strays would mean a broken cut.
+            debug_assert!(
+                {
+                    let space = self.calcs[c].domains[sys].space();
+                    stray.iter().all(|p| {
+                        let v = p.position.along(AXIS);
+                        v < space.lo || v >= space.hi
+                    })
+                },
+                "in-space stray after reshape: rank {c} slice {new_slice} strays {:?}",
+                stray.iter().map(|p| p.position.x).collect::<Vec<_>>(),
+            );
+            self.calcs[c].stores[sys].extend(stray);
+        }
+    }
+
+    /// Ship render payloads to the image generator.
+    fn phase_ship(&mut self, frame: u64, sys: usize, fr: &mut FrameReport) {
+        let spec_id = self.scene.systems[sys].spec.id;
+        for c in 0..self.n {
+            let count = self.calcs[c].stores[sys].len();
+            self.net
+                .advance(c, self.cost.pack_time(count, self.speeds[c]));
+            self.net
+                .send(c, self.ig, Msg::RenderBatch { system: spec_id, count, scale: self.scale });
+        }
+        let mut frame_particles = 0usize;
+        for c in 0..self.n {
+            let Msg::RenderBatch { count, .. } = self.net.recv(self.ig, c) else {
+                panic!("expected render batch");
+            };
+            frame_particles += count;
+        }
+        self.net.advance(
+            self.ig,
+            self.cost.virt(frame_particles) * self.cost.per_render / self.fe_speed,
+        );
+        fr.alive += (frame_particles as f64 * self.scale) as u64;
+        if sys == 0 {
+            self.trace
+                .record(frame, ProtocolEvent::ParticlesToImageGenerator);
+        }
+    }
+}
+
+/// Compute the new domain cut after a donation (shared with the threaded
+/// executor).
+///
+/// `low_side` is true when donating toward the *left* (lower) neighbor.
+/// `kept` is the donor's remaining extent along the axis. The cut is placed
+/// midway between the donated extreme and the kept extreme, falling back to
+/// the old slice edge when one side is empty.
+pub fn donation_cut(
+    low_side: bool,
+    donated: &[Particle],
+    kept: Option<(Scalar, Scalar)>,
+    old_slice: Interval,
+) -> Scalar {
+    let axis = AXIS;
+    if donated.is_empty() {
+        return if low_side { old_slice.lo } else { old_slice.hi };
+    }
+    if low_side {
+        // Donor keeps [cut, hi): kept_min >= cut always holds for any cut
+        // <= kept_min, and donated particles at exactly `cut` are returned
+        // to the donor by the caller's tie guard.
+        let donated_max = donated
+            .iter()
+            .map(|p| p.position.along(axis))
+            .fold(Scalar::NEG_INFINITY, Scalar::max);
+        match kept {
+            Some((kept_min, _)) => 0.5 * (donated_max + kept_min),
+            None => old_slice.hi,
+        }
+    } else {
+        // Donor keeps [lo, cut): the cut must be STRICTLY above kept_max or
+        // kept particles fall outside the half-open slice. When the
+        // midpoint collapses onto kept_max (tied positions — e.g. a whole
+        // emission cohort from a point source), fall back to the smallest
+        // donated coordinate strictly above kept_max; if none exists the
+        // donation degenerates and the boundary stays put (the caller's tie
+        // guard returns every donated particle to the donor).
+        let donated_min = donated
+            .iter()
+            .map(|p| p.position.along(axis))
+            .fold(Scalar::INFINITY, Scalar::min);
+        match kept {
+            Some((_, kept_max)) => {
+                let mid = 0.5 * (kept_max + donated_min);
+                if mid > kept_max {
+                    mid
+                } else {
+                    let next = donated
+                        .iter()
+                        .map(|p| p.position.along(axis))
+                        .filter(|v| *v > kept_max)
+                        .fold(Scalar::INFINITY, Scalar::min);
+                    if next.is_finite() {
+                        next
+                    } else {
+                        old_slice.hi
+                    }
+                }
+            }
+            None => old_slice.lo,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_math::Vec3;
+
+    #[test]
+    fn new_cut_midpoint_low_side() {
+        let donated = vec![Particle::at(Vec3::new(1.0, 0.0, 0.0))];
+        let cut = donation_cut(true, &donated, Some((3.0, 9.0)), Interval::new(0.0, 10.0));
+        assert_eq!(cut, 2.0);
+    }
+
+    #[test]
+    fn new_cut_midpoint_high_side() {
+        let donated = vec![Particle::at(Vec3::new(8.0, 0.0, 0.0))];
+        let cut = donation_cut(false, &donated, Some((1.0, 6.0)), Interval::new(0.0, 10.0));
+        assert_eq!(cut, 7.0);
+    }
+
+    #[test]
+    fn new_cut_empty_donation_keeps_edges() {
+        assert_eq!(donation_cut(true, &[], Some((1.0, 2.0)), Interval::new(0.0, 10.0)), 0.0);
+        assert_eq!(donation_cut(false, &[], None, Interval::new(0.0, 10.0)), 10.0);
+    }
+
+    #[test]
+    fn new_cut_high_side_tie_uses_next_distinct_value() {
+        // kept_max == donated_min (an emission cohort with identical
+        // positions was split): the cut must be strictly above kept_max.
+        let donated = vec![
+            Particle::at(Vec3::new(6.0, 0.0, 0.0)),
+            Particle::at(Vec3::new(8.0, 0.0, 0.0)),
+        ];
+        let cut = donation_cut(false, &donated, Some((1.0, 6.0)), Interval::new(0.0, 10.0));
+        assert!(cut > 6.0, "cut {cut} must exceed kept_max");
+        assert_eq!(cut, 8.0, "smallest strictly-greater donated value");
+    }
+
+    #[test]
+    fn new_cut_high_side_full_tie_degenerates_to_old_boundary() {
+        let donated = vec![Particle::at(Vec3::new(6.0, 0.0, 0.0))];
+        let cut = donation_cut(false, &donated, Some((1.0, 6.0)), Interval::new(0.0, 10.0));
+        assert_eq!(cut, 10.0, "no separating cut exists; boundary unchanged");
+    }
+
+    #[test]
+    fn new_cut_total_donation_takes_whole_slice() {
+        let donated = vec![Particle::at(Vec3::new(5.0, 0.0, 0.0))];
+        // donating low with nothing kept: slice collapses to its high edge
+        assert_eq!(donation_cut(true, &donated, None, Interval::new(0.0, 10.0)), 10.0);
+        assert_eq!(donation_cut(false, &donated, None, Interval::new(0.0, 10.0)), 0.0);
+    }
+}

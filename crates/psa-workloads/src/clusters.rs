@@ -1,0 +1,110 @@
+//! The paper's cluster configurations (§5, Tables 1–3).
+
+use cluster_sim::{e60, e800, zx2000, ClusterSpec, Compiler, NetworkModel};
+
+/// A homogeneous Myrinet+GCC E800 cluster — the environment of Tables 1
+/// and 3. `nodes` type-B nodes running `procs_per_node` calculators each.
+pub fn myrinet_gcc(nodes: usize, procs_per_node: usize) -> ClusterSpec {
+    ClusterSpec::homogeneous(
+        NetworkModel::myrinet(),
+        Compiler::Gcc,
+        e800(),
+        nodes,
+        procs_per_node,
+    )
+}
+
+/// A Fast-Ethernet + ICC cluster builder (Table 2's environment).
+pub fn fe_icc() -> ClusterSpec {
+    ClusterSpec::new(NetworkModel::fast_ethernet(), Compiler::Icc)
+}
+
+/// The node/process rows of Tables 1 and 3:
+/// `(label, nodes, procs_per_node)` so that `4*B / 4 P.` … `8*B / 16 P.`
+/// regenerate in order.
+pub fn table1_rows() -> Vec<(&'static str, usize, usize)> {
+    vec![
+        ("4*B / 4 P.", 4, 1),
+        ("5*B / 5 P.", 5, 1),
+        ("6*B / 6 P.", 6, 1),
+        ("7*B / 7 P.", 7, 1),
+        ("8*B / 8 P.", 8, 1),
+        ("8*B / 16 P.", 8, 2),
+    ]
+}
+
+/// The heterogeneous rows of Table 2, in paper order.
+pub fn table2_rows() -> Vec<(&'static str, ClusterSpec)> {
+    vec![
+        (
+            "4*B (4 P.) + 4*A (4 P.) = 8 P.",
+            fe_icc().add_nodes(e800(), 4, 1).add_nodes(e60(), 4, 1),
+        ),
+        (
+            "4*B (8 P.) + 4*A (8 P.) = 16 P.",
+            fe_icc().add_nodes(e800(), 4, 2).add_nodes(e60(), 4, 2),
+        ),
+        (
+            "8*B (8 P.) + 8*A (8 P.) = 16 P.",
+            fe_icc().add_nodes(e800(), 8, 1).add_nodes(e60(), 8, 1),
+        ),
+        (
+            "8*B (16 P.) + 8*A (16 P.) = 32 P.",
+            fe_icc().add_nodes(e800(), 8, 2).add_nodes(e60(), 8, 2),
+        ),
+        (
+            "2*B (2 P.) + 2*C (2 P.) = 4 P.",
+            fe_icc().add_nodes(e800(), 2, 1).add_nodes(zx2000(), 2, 1),
+        ),
+        (
+            "2*B (4 P.) + 2*C (2 P.) = 6 P.",
+            fe_icc().add_nodes(e800(), 2, 2).add_nodes(zx2000(), 2, 1),
+        ),
+        (
+            "4*B (4 P.) + 2*C (2 P.) = 6 P.",
+            fe_icc().add_nodes(e800(), 4, 1).add_nodes(zx2000(), 2, 1),
+        ),
+        (
+            "4*B (8 P.) + 2*C (2 P.) = 10 P.",
+            fe_icc().add_nodes(e800(), 4, 2).add_nodes(zx2000(), 2, 1),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_match_paper_process_counts() {
+        let rows = table1_rows();
+        let procs: Vec<usize> = rows.iter().map(|(_, n, p)| n * p).collect();
+        assert_eq!(procs, vec![4, 5, 6, 7, 8, 16]);
+        for (_, nodes, ppn) in rows {
+            let c = myrinet_gcc(nodes, ppn);
+            assert_eq!(c.total_procs(), nodes * ppn);
+            assert_eq!(c.compiler, Compiler::Gcc);
+            assert!(!c.net.shared_medium);
+        }
+    }
+
+    #[test]
+    fn table2_rows_match_paper_process_counts() {
+        let rows = table2_rows();
+        let procs: Vec<usize> = rows.iter().map(|(_, c)| c.total_procs()).collect();
+        assert_eq!(procs, vec![8, 16, 16, 32, 4, 6, 6, 10]);
+        for (_, c) in rows {
+            assert_eq!(c.compiler, Compiler::Icc);
+            assert_eq!(c.net.name, "Fast-Ethernet", "Table 2 runs on Fast-Ethernet");
+        }
+    }
+
+    #[test]
+    fn table2_baseline_is_itanium_when_present() {
+        for (label, c) in table2_rows() {
+            if label.contains("C (") {
+                assert_eq!(c.best_sequential_speed(), zx2000().speed(Compiler::Icc));
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The fountain experiment (paper §5.2).
+//!
+//! "For each frame of this simulation, we create new particles, apply
+//! gravity and acceleration on the particles, simulate collision, eliminate
+//! old particles and finally move the particles through the space.
+//! Differently to the previous experiment, the particles tend to change
+//! domains during the simulation since their movement is both horizontal
+//! and vertical. The particle systems were distributed through the
+//! simulated space, so it becomes harder to restrict the space."
+//!
+//! Eight nozzles spread along the x axis spray cones of droplets; every
+//! system's space spans the whole row of fountains, so a static even split
+//! leaves most calculators idle while the slices containing a nozzle are
+//! overloaded — the irregular-load case where DLB must win (Table 3).
+
+use psa_core::actions::{
+    ActionList, DieOnContact, Gravity, KillOld, MoveParticles, RandomAccel,
+};
+use psa_core::objects::ExternalObject;
+use psa_core::system::{EmissionShape, VelocityModel};
+use psa_core::{SystemId, SystemSpec};
+use psa_math::{Interval, Vec3};
+use psa_runtime::{Scene, SystemSetup};
+
+use crate::WorkloadSize;
+
+/// Horizontal extent of the fountain row (the decomposition axis).
+pub const FOUNTAIN_SPACE: Interval = Interval { lo: -40.0, hi: 40.0 };
+/// Frame time step.
+pub const FOUNTAIN_DT: f32 = 0.04;
+/// Frames a droplet lives (up and back down at the spray speed).
+pub const FOUNTAIN_LIFETIME_FRAMES: u64 = 60;
+/// Spray speed range, units/second.
+pub const SPRAY_SPEED: (f32, f32) = (10.0, 14.0);
+/// Spray cone half-angle, radians.
+pub const SPRAY_HALF_ANGLE: f32 = 0.5;
+
+/// Nozzle x position of fountain `i`: a golden-ratio low-discrepancy spread
+/// over the space. The irregular placement matters: perfectly even nozzles
+/// would align with an even domain split and static balancing would look
+/// spuriously good, hiding the §5.2 effect.
+pub fn nozzle_x(i: usize, _n: usize) -> f32 {
+    const PHI: f32 = 0.618_034;
+    let t = ((i as f32 + 1.0) * PHI).fract();
+    let w = FOUNTAIN_SPACE.width();
+    // keep nozzles off the extreme edges
+    FOUNTAIN_SPACE.lo + w * (0.06 + 0.88 * t)
+}
+
+/// Build the fountain scene.
+pub fn fountain_scene(size: WorkloadSize) -> Scene {
+    let mut scene = Scene::new();
+    let lifetime = FOUNTAIN_LIFETIME_FRAMES as f32 * FOUNTAIN_DT;
+    for i in 0..size.systems {
+        let x = nozzle_x(i, size.systems);
+        let nozzle = Vec3::new(x, 0.2, 0.0);
+        let spec = SystemSpec {
+            id: SystemId(i as u16),
+            name: format!("fountain-{i}"),
+            space: FOUNTAIN_SPACE,
+            emission: EmissionShape::Disc { center: nozzle, radius: 0.3, normal: Vec3::Y },
+            velocity: VelocityModel::Cone {
+                axis: Vec3::Y,
+                speed_lo: SPRAY_SPEED.0,
+                speed_hi: SPRAY_SPEED.1,
+                half_angle: SPRAY_HALF_ANGLE,
+            },
+            orientation: Vec3::Y,
+            color: Vec3::new(0.4, 0.65, 0.95),
+            size: 0.05,
+            mass: 1.0,
+            emit_per_frame: size.particles_per_system / FOUNTAIN_LIFETIME_FRAMES as usize,
+            max_age: lifetime,
+            initial: Some((
+                size.particles_per_system,
+                // Steady state: droplets throughout the spray arc.
+                EmissionShape::Box {
+                    min: Vec3::new(x - 10.0, 0.0, -4.0),
+                    max: Vec3::new(x + 10.0, 9.5, 4.0),
+                },
+            )),
+        };
+        let actions = ActionList::new()
+            .then(Gravity::earth())
+            .then(RandomAccel::new(0.6))
+            .then(DieOnContact::new(ExternalObject::ground(-0.2)))
+            .then(KillOld::new(lifetime))
+            .then(MoveParticles);
+        scene.add_system(SystemSetup::new(spec, actions));
+    }
+    scene.add_object(ExternalObject::ground(0.0), Vec3::new(0.15, 0.25, 0.3));
+    scene
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::CostModel;
+    use psa_runtime::{run_sequential, RunConfig};
+
+    #[test]
+    fn nozzles_are_spread_interior_and_unaligned() {
+        let n = 8;
+        let mut xs: Vec<f32> = (0..n).map(|i| nozzle_x(i, n)).collect();
+        for &x in &xs {
+            assert!(FOUNTAIN_SPACE.contains(x));
+        }
+        xs.sort_by(f32::total_cmp);
+        // spread: no two nozzles coincide
+        for w in xs.windows(2) {
+            assert!(w[1] - w[0] > 1.0, "nozzles too close: {xs:?}");
+        }
+        // unaligned: an even 8-way split must NOT get one nozzle per slice —
+        // that alignment would hide the paper's irregular-load effect.
+        let slice_w = FOUNTAIN_SPACE.width() / 8.0;
+        let mut per_slice = [0usize; 8];
+        for &x in &xs {
+            let s = (((x - FOUNTAIN_SPACE.lo) / slice_w) as usize).min(7);
+            per_slice[s] += 1;
+        }
+        assert!(
+            per_slice.iter().any(|&c| c == 0) && per_slice.iter().any(|&c| c >= 2),
+            "nozzle placement must be irregular: {per_slice:?}"
+        );
+    }
+
+    #[test]
+    fn fountain_population_is_steady() {
+        let size = WorkloadSize { systems: 1, particles_per_system: 2400, scale: 1.0 };
+        let scene = fountain_scene(size);
+        let cfg = RunConfig { frames: 30, dt: FOUNTAIN_DT, ..Default::default() };
+        let r = run_sequential(&scene, &cfg, &CostModel::default(), 1.0);
+        let last = r.frames.last().unwrap().alive as f64;
+        assert!((0.6..1.3).contains(&(last / 2400.0)), "alive {last}");
+    }
+
+    #[test]
+    fn fountain_motion_is_horizontal_too() {
+        // The premise of §5.2: horizontal and vertical motion.
+        let size = WorkloadSize { systems: 1, particles_per_system: 100, scale: 1.0 };
+        let scene = fountain_scene(size);
+        let spec = &scene.systems[0].spec;
+        let mut rng = psa_math::Rng64::new(3);
+        let mut vx = 0.0f64;
+        for _ in 0..200 {
+            vx += spec.velocity.sample(&mut rng).x.abs() as f64;
+        }
+        // mean |vx| should be a meaningful fraction of the spray speed
+        assert!(vx / 200.0 > 1.0, "mean |vx| = {}", vx / 200.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Fireworks through the McAllister-style immediate-mode API, rendered to
+//! PPM frames with the software rasterizer.
+//!
+//! Writes `fireworks_00NN.ppm` files under `target/frames/` — turn them
+//! into a video with e.g.
+//! `ffmpeg -i target/frames/fireworks_%04d.ppm fireworks.mp4`.
+//!
+//! Run with: `cargo run --release --example fireworks`
+
+use particle_cluster_anim::prelude::*;
+use particle_cluster_anim::render::image::{frame_filename, write_ppm};
+use particle_cluster_anim::render::render_particles;
+
+fn main() {
+    let mut ctx = Context::new(0xF14E);
+    let shells = [
+        (Vec3::new(-12.0, 16.0, 0.0), Vec3::new(1.0, 0.4, 0.2)),
+        (Vec3::new(0.0, 20.0, 0.0), Vec3::new(0.3, 0.7, 1.0)),
+        (Vec3::new(12.0, 17.0, 0.0), Vec3::new(1.0, 0.9, 0.4)),
+    ];
+    let groups: Vec<usize> = shells
+        .iter()
+        .enumerate()
+        .map(|(i, _)| ctx.p_gen_particle_group(&format!("shell-{i}"), 20_000))
+        .collect();
+    ctx.p_time_step(0.05);
+    ctx.p_size(0.15);
+
+    let camera = Camera::ortho(
+        Aabb::new(Vec3::new(-25.0, 0.0, -25.0), Vec3::new(25.0, 30.0, 25.0)),
+        480,
+        360,
+    );
+    let splat = SplatConfig { additive: true, ..Default::default() };
+    let out_dir = std::path::Path::new("target/frames");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+
+    let mut fb = Framebuffer::new(480, 360);
+    for frame in 0..48u64 {
+        for (g, (center, color)) in groups.iter().zip(shells.iter()) {
+            ctx.p_current_group(*g);
+            ctx.p_new_frame();
+            // Each shell bursts on its own schedule.
+            let burst_frame = 2 + 6 * *g as u64;
+            if frame == burst_frame {
+                ctx.p_color(color.x, color.y, color.z, 1.0);
+                ctx.p_position_domain(PDomain::Sphere {
+                    center: *center,
+                    r_outer: 0.5,
+                    r_inner: 0.0,
+                });
+                ctx.p_velocity_domain(PDomain::Sphere {
+                    center: Vec3::ZERO,
+                    r_outer: 10.0,
+                    r_inner: 6.0,
+                });
+                ctx.p_source(4000);
+            }
+            ctx.p_gravity(Vec3::new(0.0, -5.0, 0.0));
+            ctx.p_damping(0.25);
+            ctx.p_fade(0.45, true);
+            ctx.p_kill_old(3.0);
+            ctx.p_move();
+        }
+
+        fb.clear(Vec3::new(0.01, 0.01, 0.03));
+        let mut drawn = 0;
+        for g in &groups {
+            drawn += render_particles(&mut fb, &camera, ctx.group(*g).particles(), &splat);
+        }
+        let path = out_dir.join(frame_filename("fireworks", frame));
+        write_ppm(&fb, &path).expect("write frame");
+        if frame % 8 == 0 {
+            println!(
+                "frame {frame:>2}: {drawn:>6} sparks drawn, mean luminance {:.4}",
+                fb.mean_luminance()
+            );
+        }
+    }
+    println!("wrote 48 frames to {}", out_dir.display());
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over the core invariants.
+
+use particle_cluster_anim::prelude::*;
+use particle_cluster_anim::runtime::balance::{
+    evaluate, validate_transfers, LoadInfo,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every coordinate in the covered space has exactly one owner, and the
+    /// owner's slice contains it.
+    #[test]
+    fn domain_owner_is_consistent(
+        lo in -100.0f32..0.0,
+        width in 1.0f32..200.0,
+        n in 1usize..24,
+        points in prop::collection::vec(0.0f32..1.0, 1..64),
+    ) {
+        let space = Interval::new(lo, lo + width);
+        let map = DomainMap::split_even(space, Axis::X, n);
+        for t in points {
+            let v = lo + width * t * 0.999; // strictly inside
+            let owner = map.owner_of(v);
+            prop_assert!(owner < n);
+            prop_assert!(map.slice(owner).contains(v), "slice {owner} must contain {v}");
+            // uniqueness: no other slice contains it
+            for i in 0..n {
+                if i != owner {
+                    prop_assert!(!map.slice(i).contains(v));
+                }
+            }
+        }
+    }
+
+    /// Moving interior cuts arbitrarily (within bounds) keeps the map valid
+    /// and keeps the union of slices equal to the space.
+    #[test]
+    fn domain_cut_moves_preserve_cover(
+        n in 2usize..12,
+        moves in prop::collection::vec((0usize..12, 0.0f32..1.0), 0..24),
+    ) {
+        let space = Interval::new(-5.0, 5.0);
+        let mut map = DomainMap::split_even(space, Axis::X, n);
+        for (idx, t) in moves {
+            let i = idx % (n - 1);
+            // legal range for boundary i is [cuts[i], cuts[i+2]]
+            let lo = map.cuts()[i];
+            let hi = map.cuts()[i + 2];
+            let cut = lo + (hi - lo) * t;
+            map.move_cut(i, cut).unwrap();
+            prop_assert!(map.validate().is_ok());
+            prop_assert_eq!(map.space(), space);
+        }
+    }
+
+    /// The balancer's structural rules hold for arbitrary load reports:
+    /// neighbor-only, nobody in two pairs, donors have the excess.
+    #[test]
+    fn balancer_rules_hold(
+        counts in prop::collection::vec(0usize..10_000, 2..20),
+        start in 0usize..2,
+        threshold in 0.01f64..0.5,
+    ) {
+        let loads: Vec<LoadInfo> = counts
+            .iter()
+            .map(|&c| LoadInfo { count: c, time: c as f64 * 1e-4 })
+            .collect();
+        let powers = vec![1.0; loads.len()];
+        let cfg = BalancerConfig { rel_threshold: threshold, min_transfer: 8 };
+        let transfers = evaluate(&loads, &powers, start, &cfg);
+        prop_assert!(validate_transfers(&transfers, loads.len()).is_ok());
+        for t in &transfers {
+            prop_assert!(t.amount >= cfg.min_transfer);
+            prop_assert!(loads[t.donor].count >= t.amount, "donor cannot give what it lacks");
+            // donor must actually be the slower/larger side
+            prop_assert!(loads[t.donor].time >= loads[t.receiver].time);
+        }
+    }
+
+    /// SubDomainStore: insert + collect_leavers is a partition — nothing
+    /// lost, nothing duplicated, and what remains is inside the slice.
+    #[test]
+    fn subdomain_leaver_partition(
+        xs in prop::collection::vec(-20.0f32..20.0, 0..256),
+        buckets in 1usize..12,
+    ) {
+        let slice = Interval::new(-5.0, 5.0);
+        let mut store = SubDomainStore::new(slice, Axis::X, buckets);
+        for &x in &xs {
+            store.insert(Particle::at(Vec3::new(x, 0.0, 0.0)));
+        }
+        let before = store.len();
+        prop_assert_eq!(before, xs.len());
+        let leavers = store.collect_leavers();
+        prop_assert_eq!(store.len() + leavers.len(), before);
+        for p in store.iter() {
+            prop_assert!(slice.contains(p.position.x));
+        }
+        for p in &leavers {
+            prop_assert!(!slice.contains(p.position.x));
+        }
+    }
+
+    /// Donation extremity: donate_low returns exactly the k smallest
+    /// coordinates (as a multiset), for any bucket count.
+    #[test]
+    fn donation_takes_extremes(
+        xs in prop::collection::vec(0.0f32..10.0, 1..128),
+        k in 1usize..64,
+        buckets in 1usize..8,
+    ) {
+        let slice = Interval::new(0.0, 10.0);
+        let mut store = SubDomainStore::new(slice, Axis::X, buckets);
+        for &x in &xs {
+            store.insert(Particle::at(Vec3::new(x, 0.0, 0.0)));
+        }
+        let k = k.min(xs.len());
+        let (donated, _) = store.donate_low(k);
+        prop_assert_eq!(donated.len(), k);
+        let mut got: Vec<f32> = donated.iter().map(|p| p.position.x).collect();
+        got.sort_by(f32::total_cmp);
+        let mut want = xs.clone();
+        want.sort_by(f32::total_cmp);
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Grid collision equals brute force for random clouds.
+    #[test]
+    fn grid_matches_bruteforce(
+        seed in 0u64..1_000,
+        n in 2usize..120,
+        r in 0.05f32..0.5,
+    ) {
+        use particle_cluster_anim::core::collide::colliding_pairs;
+        let mut rng = Rng64::new(seed);
+        let ps: Vec<Particle> = (0..n)
+            .map(|_| Particle::at(rng.in_box(Vec3::splat(-3.0), Vec3::splat(3.0))).with_size(r))
+            .collect();
+        let mut grid = colliding_pairs(&ps, &[], 2.0 * r);
+        grid.sort_unstable();
+        let mut brute = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let rr = ps[i].size + ps[j].size;
+                if ps[i].position.distance_squared(ps[j].position) < rr * rr {
+                    brute.push((i as u32, j as u32));
+                }
+            }
+        }
+        brute.sort_unstable();
+        prop_assert_eq!(grid, brute);
+    }
+
+    /// Rng streams: split children never collide with the parent stream on
+    /// short prefixes (sanity of the stream-derivation scheme).
+    #[test]
+    fn rng_split_streams_diverge(seed in 0u64..10_000, salt in 1u64..10_000) {
+        let mut parent = Rng64::new(seed);
+        let mut child = Rng64::new(seed).split(salt);
+        let same = (0..16).filter(|_| parent.next_u64() == child.next_u64()).count();
+        prop_assert!(same <= 1, "streams nearly identical");
+    }
+}
