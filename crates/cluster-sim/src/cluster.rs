@@ -1,13 +1,11 @@
 //! Cluster assembly and process placement.
 
-use serde::{Deserialize, Serialize};
-
 use crate::net::NetworkModel;
 use crate::node::{Compiler, NodeSpec};
 
 /// A cluster: nodes, the fabric connecting them, and the compiler the
 /// binaries were built with (which scales each node's speed).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClusterSpec {
     pub net: NetworkModel,
     pub compiler: Compiler,
@@ -16,7 +14,7 @@ pub struct ClusterSpec {
 }
 
 /// Where each calculator process lives and how fast it runs.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Placement {
     /// Per-calculator `(node index, relative speed)`.
     pub ranks: Vec<RankInfo>,
@@ -29,7 +27,7 @@ pub struct Placement {
 }
 
 /// One calculator's placement.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RankInfo {
     pub node: usize,
     pub speed: f64,
@@ -103,33 +101,21 @@ impl ClusterSpec {
     pub fn placement(&self) -> Placement {
         let mut ranks = Vec::with_capacity(self.total_procs());
         for (node_idx, (node, procs)) in self.groups.iter().enumerate() {
-            let slowdown = if *procs > node.cpus {
-                node.cpus as f64 / *procs as f64
-            } else {
-                1.0
-            };
+            let slowdown = if *procs > node.cpus { node.cpus as f64 / *procs as f64 } else { 1.0 };
             let speed = node.speed(self.compiler) * slowdown;
             for _ in 0..*procs {
                 ranks.push(RankInfo { node: node_idx, speed });
             }
         }
         let frontend_speed = self.groups[0].0.speed(self.compiler);
-        Placement {
-            ranks,
-            frontend_node: 0,
-            frontend_speed,
-            node_count: self.groups.len(),
-        }
+        Placement { ranks, frontend_node: 0, frontend_speed, node_count: self.groups.len() }
     }
 
     /// Fastest single-processor sequential speed in this cluster under its
     /// compiler — the machine the paper would run the sequential baseline
     /// on.
     pub fn best_sequential_speed(&self) -> f64 {
-        self.groups
-            .iter()
-            .map(|(n, _)| n.speed(self.compiler))
-            .fold(0.0, f64::max)
+        self.groups.iter().map(|(n, _)| n.speed(self.compiler)).fold(0.0, f64::max)
     }
 }
 
@@ -193,22 +179,17 @@ mod tests {
 
     #[test]
     fn describe_compresses_mixed_groups() {
-        let c = ClusterSpec::new(myr(), Compiler::Gcc)
-            .add_nodes(e800(), 4, 1)
-            .add_nodes(e60(), 4, 1);
+        let c =
+            ClusterSpec::new(myr(), Compiler::Gcc).add_nodes(e800(), 4, 1).add_nodes(e60(), 4, 1);
         assert_eq!(c.describe(), "4*B(4P.) + 4*A(4P.)");
     }
 
     #[test]
     fn node_indices_are_stable() {
-        let c = ClusterSpec::new(myr(), Compiler::Gcc)
-            .add_nodes(e800(), 2, 2)
-            .add_nodes(e60(), 1, 1);
+        let c =
+            ClusterSpec::new(myr(), Compiler::Gcc).add_nodes(e800(), 2, 2).add_nodes(e60(), 1, 1);
         let p = c.placement();
-        assert_eq!(
-            p.ranks.iter().map(|r| r.node).collect::<Vec<_>>(),
-            vec![0, 0, 1, 1, 2]
-        );
+        assert_eq!(p.ranks.iter().map(|r| r.node).collect::<Vec<_>>(), vec![0, 0, 1, 1, 2]);
         assert_eq!(p.node_count, 3);
         assert_eq!(p.frontend_node, 0);
     }

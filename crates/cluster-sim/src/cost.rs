@@ -11,10 +11,8 @@
 //! were present: virtual counts are `real count × scale`. With `scale = 1`
 //! the model is exact for the population actually simulated.
 
-use serde::{Deserialize, Serialize};
-
 /// Cost constants (seconds at relative speed 1.0).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CostModel {
     /// One particle·action application of weight 1.0. ~200 cycles on the
     /// 1 GHz P-III.

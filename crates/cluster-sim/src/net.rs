@@ -13,10 +13,8 @@
 //!   collision domain under the all-to-one traffic of frame generation; we
 //!   model it as one global link every transfer must occupy.
 
-use serde::{Deserialize, Serialize};
-
 /// A network fabric model.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NetworkModel {
     pub name: String,
     /// One-way message latency, seconds.
@@ -60,7 +58,11 @@ impl NetworkModel {
     /// Fast-Ethernet through a hub (single collision domain) — used by the
     /// network ablation bench to show why a switched fabric matters.
     pub fn fast_ethernet_hub() -> Self {
-        NetworkModel { name: "Fast-Ethernet (hub)".into(), shared_medium: true, ..Self::fast_ethernet() }
+        NetworkModel {
+            name: "Fast-Ethernet (hub)".into(),
+            shared_medium: true,
+            ..Self::fast_ethernet()
+        }
     }
 
     /// An idealized zero-cost network (useful for isolating compute effects

@@ -1,10 +1,8 @@
 //! Node specifications.
 
-use serde::{Deserialize, Serialize};
-
 /// Compiler used for a run — the paper reports separate results for GNU GCC
 /// and Intel ICC because the Itanium nodes were only competitive under ICC.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Compiler {
     #[default]
     Gcc,
@@ -28,7 +26,7 @@ impl std::fmt::Display for Compiler {
 /// each machine type (§4: "we used the sequential execution time as the
 /// comparison measure of processing power"); [`crate::cost::CostModel`]
 /// consumes it the same way.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NodeSpec {
     /// Model name for reports ("HP NetServer E800" …).
     pub model: String,

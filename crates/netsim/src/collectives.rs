@@ -4,10 +4,12 @@
 //! all-to-all (exchange) patterns; these helpers implement them once with
 //! the same directed, deterministic semantics the executor uses inline, so
 //! other tools (the repro harness, the decentralized-balancer studies) can
-//! reuse them.
+//! reuse them. Every collective propagates [`TransportError`] instead of
+//! panicking, so a mis-sequenced protocol surfaces as a typed error at the
+//! executor.
 
 use crate::virtual_net::VirtualNet;
-use crate::WireSize;
+use crate::{TransportError, WireSize};
 
 /// Gather one message from every rank in `sources` (in order) at `root`.
 pub fn gather<M: WireSize, F: FnMut(usize) -> M>(
@@ -15,7 +17,7 @@ pub fn gather<M: WireSize, F: FnMut(usize) -> M>(
     sources: &[usize],
     root: usize,
     mut produce: F,
-) -> Vec<M> {
+) -> Result<Vec<M>, TransportError> {
     for &s in sources {
         let msg = produce(s);
         net.send(s, root, msg);
@@ -30,7 +32,7 @@ pub fn broadcast<M: WireSize + Clone>(
     root: usize,
     dests: &[usize],
     msg: &M,
-) -> Vec<M> {
+) -> Result<Vec<M>, TransportError> {
     for &d in dests {
         net.send(root, d, msg.clone());
     }
@@ -46,7 +48,8 @@ pub fn all_to_all<M: WireSize, P, C>(
     ranks: &[usize],
     mut produce: P,
     mut consume: C,
-) where
+) -> Result<(), TransportError>
+where
     P: FnMut(usize, usize) -> M,
     C: FnMut(usize, usize, M),
 {
@@ -61,11 +64,12 @@ pub fn all_to_all<M: WireSize, P, C>(
     for &to in ranks {
         for &from in ranks {
             if from != to {
-                let m = net.recv(to, from);
+                let m = net.recv(to, from)?;
                 consume(to, from, m);
             }
         }
     }
+    Ok(())
 }
 
 /// Reduce values from `sources` at `root` with a fold — the "global
@@ -78,14 +82,14 @@ pub fn reduce<M, T, F, G>(
     mut produce: F,
     init: T,
     mut fold: G,
-) -> T
+) -> Result<T, TransportError>
 where
     M: WireSize,
     F: FnMut(usize) -> M,
     G: FnMut(T, M) -> T,
 {
-    let msgs = gather(net, sources, root, &mut produce);
-    msgs.into_iter().fold(init, &mut fold)
+    let msgs = gather(net, sources, root, &mut produce)?;
+    Ok(msgs.into_iter().fold(init, &mut fold))
 }
 
 #[cfg(test)]
@@ -109,7 +113,7 @@ mod tests {
     #[test]
     fn gather_collects_in_order() {
         let mut n = net(4);
-        let got = gather(&mut n, &[0, 1, 2], 3, |s| Val(s as u64 * 10));
+        let got = gather(&mut n, &[0, 1, 2], 3, |s| Val(s as u64 * 10)).unwrap();
         assert_eq!(got, vec![Val(0), Val(10), Val(20)]);
         assert!(n.now(3) > 0.0, "root paid for the receives");
     }
@@ -117,7 +121,7 @@ mod tests {
     #[test]
     fn broadcast_reaches_everyone() {
         let mut n = net(4);
-        let got = broadcast(&mut n, 0, &[1, 2, 3], &Val(7));
+        let got = broadcast(&mut n, 0, &[1, 2, 3], &Val(7)).unwrap();
         assert_eq!(got, vec![Val(7); 3]);
         for r in 1..4 {
             assert!(n.now(r) > 0.0);
@@ -133,7 +137,8 @@ mod tests {
             &[0, 1, 2],
             |from, to| Val((from * 10 + to) as u64),
             |to, from, m| seen.push((to, from, m.0)),
-        );
+        )
+        .unwrap();
         assert_eq!(seen.len(), 6);
         assert!(seen.contains(&(2, 0, 2)));
         assert!(seen.contains(&(0, 2, 20)));
@@ -142,14 +147,9 @@ mod tests {
     #[test]
     fn reduce_folds_partials() {
         let mut n = net(5);
-        let total = reduce(
-            &mut n,
-            &[0, 1, 2, 3],
-            4,
-            |s| Val(s as u64 + 1),
-            0u64,
-            |acc, m| acc + m.0,
-        );
+        let total =
+            reduce(&mut n, &[0, 1, 2, 3], 4, |s| Val(s as u64 + 1), 0u64, |acc, m| acc + m.0)
+                .unwrap();
         assert_eq!(total, 10);
     }
 }

@@ -8,7 +8,7 @@
 //!   itself and uses this fabric to account for every byte the paper's
 //!   protocol would put on Myrinet or Fast-Ethernet. Determinism is total:
 //!   same seed, same tables.
-//! * [`ThreadNet`] — a crossbeam-channel SPMD fabric for running the same
+//! * [`ThreadNet`] — a channel-per-pair SPMD fabric for running the same
 //!   protocol on real host threads with wall-clock timing (the
 //!   demonstration that the library actually parallelizes, not only
 //!   simulates).
@@ -21,7 +21,7 @@ pub mod thread_net;
 pub mod virtual_net;
 
 pub use collectives::{all_to_all, broadcast, gather, reduce};
-pub use thread_net::{ThreadEndpoint, ThreadNet};
+pub use thread_net::{ThreadEndpoint, ThreadNet, TransportError};
 pub use virtual_net::{TrafficStats, VirtualNet};
 
 /// Bytes a message would occupy on the wire.

@@ -14,12 +14,11 @@
 use std::collections::VecDeque;
 
 use cluster_sim::NetworkModel;
-use serde::{Deserialize, Serialize};
 
-use crate::{WireSize, FRAME_OVERHEAD_BYTES};
+use crate::{TransportError, WireSize, FRAME_OVERHEAD_BYTES};
 
 /// Aggregate traffic counters (resettable, e.g. per frame).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TrafficStats {
     pub messages: u64,
     pub payload_bytes: u64,
@@ -107,9 +106,7 @@ impl<M: WireSize> VirtualNet<M> {
                     q.push_back(Envelope { deliver_at: t, msg });
                     return;
                 }
-                self.clocks[from]
-                    .max(self.link_free[src])
-                    .max(self.link_free[dst])
+                self.clocks[from].max(self.link_free[src]).max(self.link_free[dst])
             };
             let done = start + occupancy;
             if self.net.shared_medium {
@@ -130,17 +127,18 @@ impl<M: WireSize> VirtualNet<M> {
 
     /// Receive the next message sent from `from` to `to`.
     ///
-    /// Panics if no message is queued — under the deterministic executor a
-    /// missing message is a protocol bug, not a timing race.
-    pub fn recv(&mut self, to: usize, from: usize) -> M {
+    /// Returns [`TransportError::NoMessage`] if nothing is queued — under
+    /// the deterministic executor a missing message is a protocol bug, not
+    /// a timing race, and the caller decides how to surface it.
+    pub fn recv(&mut self, to: usize, from: usize) -> Result<M, TransportError> {
         let r = self.clocks.len();
         let env = self.queues[to * r + from]
             .pop_front()
-            .unwrap_or_else(|| panic!("protocol error: rank {to} expected a message from {from}"));
+            .ok_or(TransportError::NoMessage { rank: to, peer: from })?;
         if env.deliver_at > self.clocks[to] {
             self.clocks[to] = env.deliver_at;
         }
-        env.msg
+        Ok(env.msg)
     }
 
     /// Whether a message from `from` to `to` is queued.
@@ -151,10 +149,7 @@ impl<M: WireSize> VirtualNet<M> {
     /// Synchronize a set of ranks: all clocks advance to the maximum plus a
     /// dissemination-barrier cost of `latency × ⌈log₂ n⌉`.
     pub fn barrier(&mut self, ranks: &[usize]) {
-        let max = ranks
-            .iter()
-            .map(|&r| self.clocks[r])
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = ranks.iter().map(|&r| self.clocks[r]).fold(f64::NEG_INFINITY, f64::max);
         let depth = (ranks.len() as f64).log2().ceil().max(0.0);
         let t = max + self.net.latency * depth;
         for &r in ranks {
@@ -206,15 +201,14 @@ mod tests {
         let mut n = net2();
         n.send(0, 1, Blob(10));
         n.send(0, 1, Blob(20));
-        assert_eq!(n.recv(1, 0), Blob(10));
-        assert_eq!(n.recv(1, 0), Blob(20));
+        assert_eq!(n.recv(1, 0).unwrap(), Blob(10));
+        assert_eq!(n.recv(1, 0).unwrap(), Blob(20));
     }
 
     #[test]
-    #[should_panic(expected = "protocol error")]
-    fn recv_without_send_panics() {
+    fn recv_without_send_is_a_typed_error() {
         let mut n = net2();
-        let _ = n.recv(1, 0);
+        assert_eq!(n.recv(1, 0), Err(TransportError::NoMessage { rank: 1, peer: 0 }));
     }
 
     #[test]
@@ -223,7 +217,7 @@ mod tests {
         n.advance(0, 1.0);
         n.send(0, 1, Blob(160_000_000)); // 1s of occupancy on Myrinet
         assert_eq!(n.now(1), 0.0);
-        n.recv(1, 0);
+        n.recv(1, 0).unwrap();
         // ≈ 1.0 (sender clock) + per_message_cpu + 1.0 occupancy + latency
         assert!(n.now(1) > 2.0 && n.now(1) < 2.1, "got {}", n.now(1));
     }
@@ -238,12 +232,11 @@ mod tests {
     #[test]
     fn link_contention_serializes_into_one_node() {
         // three ranks on three nodes; 1 and 2 both ship 1s of data to 0.
-        let mut n: VirtualNet<Blob> =
-            VirtualNet::new(NetworkModel::myrinet(), vec![0, 1, 2], 3);
+        let mut n: VirtualNet<Blob> = VirtualNet::new(NetworkModel::myrinet(), vec![0, 1, 2], 3);
         n.send(1, 0, Blob(160_000_000));
         n.send(2, 0, Blob(160_000_000));
-        n.recv(0, 1);
-        n.recv(0, 2);
+        n.recv(0, 1).unwrap();
+        n.recv(0, 2).unwrap();
         // The second transfer had to wait for rank 0's link.
         assert!(n.now(0) >= 2.0, "ingress link must serialize, got {}", n.now(0));
     }
@@ -251,12 +244,11 @@ mod tests {
     #[test]
     fn switched_fabric_allows_disjoint_pairs_in_parallel() {
         // ranks 0->1 and 2->3 on four nodes can overlap on Myrinet.
-        let mut n: VirtualNet<Blob> =
-            VirtualNet::new(NetworkModel::myrinet(), vec![0, 1, 2, 3], 4);
+        let mut n: VirtualNet<Blob> = VirtualNet::new(NetworkModel::myrinet(), vec![0, 1, 2, 3], 4);
         n.send(0, 1, Blob(160_000_000));
         n.send(2, 3, Blob(160_000_000));
-        n.recv(1, 0);
-        n.recv(3, 2);
+        n.recv(1, 0).unwrap();
+        n.recv(3, 2).unwrap();
         assert!(n.now(1) < 1.1 && n.now(3) < 1.1, "disjoint transfers overlap");
     }
 
@@ -266,8 +258,8 @@ mod tests {
             VirtualNet::new(NetworkModel::fast_ethernet_hub(), vec![0, 1, 2, 3], 4);
         n.send(0, 1, Blob(12_500_000)); // 1s on FE
         n.send(2, 3, Blob(12_500_000));
-        n.recv(1, 0);
-        n.recv(3, 2);
+        n.recv(1, 0).unwrap();
+        n.recv(3, 2).unwrap();
         assert!(n.now(3) >= 2.0, "shared medium must serialize, got {}", n.now(3));
     }
 
@@ -277,14 +269,13 @@ mod tests {
         n.send(0, 0, Blob(1 << 30));
         let t = n.now(0);
         assert_eq!(t, 0.0);
-        n.recv(0, 0);
+        n.recv(0, 0).unwrap();
         assert_eq!(n.now(0), 0.0);
     }
 
     #[test]
     fn barrier_aligns_clocks() {
-        let mut n: VirtualNet<Blob> =
-            VirtualNet::new(NetworkModel::myrinet(), vec![0, 1, 2], 3);
+        let mut n: VirtualNet<Blob> = VirtualNet::new(NetworkModel::myrinet(), vec![0, 1, 2], 3);
         n.advance(0, 5.0);
         n.advance(1, 1.0);
         n.barrier(&[0, 1, 2]);
@@ -311,7 +302,7 @@ mod tests {
             let mut n = net2();
             n.advance(0, 0.123);
             n.send(0, 1, Blob(4096));
-            n.recv(1, 0);
+            n.recv(1, 0).unwrap();
             n.barrier(&[0, 1]);
             n.makespan()
         };

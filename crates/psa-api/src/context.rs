@@ -9,8 +9,8 @@
 //! runtime's action lists.
 
 use psa_core::actions::{
-    ActionList, BounceOff, Damping, Fade, Gravity, KillBelow, KillOld, KillOutside,
-    MoveParticles, OrbitPoint, RandomAccel, Wind,
+    ActionList, BounceOff, Damping, Fade, Gravity, KillBelow, KillOld, KillOutside, MoveParticles,
+    OrbitPoint, RandomAccel, Wind,
 };
 use psa_core::objects::ExternalObject;
 use psa_core::system::{EmissionShape, VelocityModel};
@@ -228,11 +228,7 @@ impl Context {
 
     /// `pBounce` against a plane/sphere/box obstacle.
     pub fn p_bounce(&mut self, object: ExternalObject, friction: Scalar, resilience: Scalar) {
-        self.recorded.push(Recorded::Bounce {
-            object: object.clone(),
-            friction,
-            resilience,
-        });
+        self.recorded.push(Recorded::Bounce { object: object.clone(), friction, resilience });
         for p in self.groups[self.current].particles_mut() {
             object.bounce(&mut p.position, &mut p.velocity, resilience, friction);
         }
@@ -290,23 +286,19 @@ impl Context {
         let emission = match &self.state.start_position {
             PDomain::Point(p) => EmissionShape::Point(*p),
             PDomain::Box(b) => EmissionShape::Box { min: b.min, max: b.max },
-            PDomain::Disc { center, radius, normal } => EmissionShape::Disc {
-                center: *center,
-                radius: *radius,
-                normal: *normal,
-            },
-            PDomain::Sphere { center, r_outer, .. } => EmissionShape::Sphere {
-                center: *center,
-                radius: *r_outer,
-            },
+            PDomain::Disc { center, radius, normal } => {
+                EmissionShape::Disc { center: *center, radius: *radius, normal: *normal }
+            }
+            PDomain::Sphere { center, r_outer, .. } => {
+                EmissionShape::Sphere { center: *center, radius: *r_outer }
+            }
             other => return Err(format!("no cluster emission equivalent for {other:?}")),
         };
         let velocity = match &self.state.velocity {
             PDomain::Point(v) => VelocityModel::Constant(*v),
-            PDomain::Sphere { center, r_outer, .. } => VelocityModel::Jittered {
-                base: *center,
-                jitter: *r_outer,
-            },
+            PDomain::Sphere { center, r_outer, .. } => {
+                VelocityModel::Jittered { base: *center, jitter: *r_outer }
+            }
             PDomain::Cone { apex, axis, radius } => {
                 let height = axis.length();
                 VelocityModel::Cone {
@@ -365,11 +357,7 @@ mod tests {
         c.p_color(0.4, 0.6, 1.0, 1.0);
         c.p_size(0.1);
         c.p_position_domain(PDomain::Point(Vec3::new(0.0, 0.5, 0.0)));
-        c.p_velocity_domain(PDomain::Cone {
-            apex: Vec3::ZERO,
-            axis: Vec3::Y * 10.0,
-            radius: 3.0,
-        });
+        c.p_velocity_domain(PDomain::Cone { apex: Vec3::ZERO, axis: Vec3::Y * 10.0, radius: 3.0 });
         c
     }
 

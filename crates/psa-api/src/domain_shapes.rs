@@ -59,9 +59,7 @@ impl PDomain {
                 let r3 = r_inner.powi(3) + u * (r_outer.powi(3) - r_inner.powi(3));
                 *center + rng.on_unit_sphere() * r3.cbrt()
             }
-            PDomain::Disc { center, radius, normal } => {
-                *center + rng.on_disc(*radius, *normal)
-            }
+            PDomain::Disc { center, radius, normal } => *center + rng.on_disc(*radius, *normal),
             PDomain::Cylinder { base, axis, radius } => {
                 let t = rng.unit();
                 *base + *axis * t + rng.on_disc(*radius, *axis)

@@ -14,11 +14,7 @@ pub struct ParticleGroup {
 
 impl ParticleGroup {
     pub fn new(name: impl Into<String>, max_particles: usize) -> Self {
-        ParticleGroup {
-            name: name.into(),
-            store: ParticleStore::new(),
-            max_particles,
-        }
+        ParticleGroup { name: name.into(), store: ParticleStore::new(), max_particles }
     }
 
     pub fn len(&self) -> usize {
@@ -64,10 +60,7 @@ impl ParticleGroup {
         if self.store.is_empty() {
             return Vec3::ZERO;
         }
-        self.store
-            .iter()
-            .fold(Vec3::ZERO, |acc, p| acc + p.position)
-            / self.store.len() as f32
+        self.store.iter().fold(Vec3::ZERO, |acc, p| acc + p.position) / self.store.len() as f32
     }
 }
 

@@ -1,7 +1,7 @@
 //! Load-balancer micro-benches + the threshold/parity ablations called out
 //! in DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psa_bench::micro::Group;
 use psa_math::Rng64;
 use psa_runtime::balance::{evaluate, BalancerConfig, LoadInfo};
 
@@ -15,62 +15,49 @@ fn loads(n: usize, seed: u64) -> Vec<LoadInfo> {
         .collect()
 }
 
-fn bench_evaluate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("evaluate_pairs");
+fn bench_evaluate() {
+    let g = Group::new("evaluate_pairs");
     for n in [4usize, 16, 64, 256] {
         let l = loads(n, 7);
         let powers = vec![1.0; n];
         let cfg = BalancerConfig::default();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| evaluate(&l, &powers, 0, &cfg))
-        });
+        g.bench(&format!("{n}"), || evaluate(&l, &powers, 0, &cfg));
     }
-    g.finish();
 }
 
 /// Ablation: convergence rounds to flatten a point load as a function of
-/// the rebalance threshold. Measures *rounds to converge*, reported via
-/// bench iteration of the whole relaxation (lower time = fewer rounds).
-fn bench_threshold_convergence(c: &mut Criterion) {
-    let mut g = c.benchmark_group("threshold_convergence");
+/// the rebalance threshold (lower time = fewer rounds).
+fn bench_threshold_convergence() {
+    let g = Group::new("threshold_convergence");
     for threshold in [0.05f64, 0.15, 0.4] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{threshold}")),
-            &threshold,
-            |b, &th| {
-                b.iter(|| {
-                    let n = 16;
-                    let mut counts = vec![0usize; n];
-                    counts[0] = 1_000_000;
-                    let powers = vec![1.0; n];
-                    let cfg = BalancerConfig { rel_threshold: th, min_transfer: 64 };
-                    let mut rounds = 0;
-                    for round in 0..1_000 {
-                        let l: Vec<LoadInfo> = counts
-                            .iter()
-                            .map(|&c| LoadInfo { count: c, time: c as f64 * 1e-6 })
-                            .collect();
-                        let ts = evaluate(&l, &powers, round % 2, &cfg);
-                        if ts.is_empty() {
-                            rounds = round;
-                            break;
-                        }
-                        for t in ts {
-                            counts[t.donor] -= t.amount;
-                            counts[t.receiver] += t.amount;
-                        }
-                    }
-                    rounds
-                })
-            },
-        );
+        g.bench(&format!("{threshold}"), || {
+            let n = 16;
+            let mut counts = vec![0usize; n];
+            counts[0] = 1_000_000;
+            let powers = vec![1.0; n];
+            let cfg = BalancerConfig { rel_threshold: threshold, min_transfer: 64 };
+            let mut rounds = 0;
+            for round in 0..1_000 {
+                let l: Vec<LoadInfo> =
+                    counts.iter().map(|&c| LoadInfo { count: c, time: c as f64 * 1e-6 }).collect();
+                let ts = evaluate(&l, &powers, round % 2, &cfg);
+                if ts.is_empty() {
+                    rounds = round;
+                    break;
+                }
+                for t in ts {
+                    counts[t.donor] -= t.amount;
+                    counts[t.receiver] += t.amount;
+                }
+            }
+            rounds
+        });
     }
-    g.finish();
 }
 
 /// Ablation: fixed starting parity vs the paper's alternating parity. With
 /// a fixed parity the spike drains strictly slower (pairs starve).
-fn bench_parity(c: &mut Criterion) {
+fn bench_parity() {
     let drain = |alternate: bool| {
         let n = 12;
         let mut counts = vec![1_000usize; n];
@@ -79,10 +66,8 @@ fn bench_parity(c: &mut Criterion) {
         let cfg = BalancerConfig { rel_threshold: 0.1, min_transfer: 64 };
         let mut rounds = 0u32;
         for round in 0..2_000usize {
-            let l: Vec<LoadInfo> = counts
-                .iter()
-                .map(|&c| LoadInfo { count: c, time: c as f64 * 1e-6 })
-                .collect();
+            let l: Vec<LoadInfo> =
+                counts.iter().map(|&c| LoadInfo { count: c, time: c as f64 * 1e-6 }).collect();
             let start = if alternate { round % 2 } else { 0 };
             let ts = evaluate(&l, &powers, start, &cfg);
             if ts.is_empty() {
@@ -96,15 +81,13 @@ fn bench_parity(c: &mut Criterion) {
         }
         rounds
     };
-    let mut g = c.benchmark_group("parity_drain_rounds");
-    g.bench_function("alternating", |b| b.iter(|| drain(true)));
-    g.bench_function("fixed", |b| b.iter(|| drain(false)));
-    g.finish();
+    let g = Group::new("parity_drain_rounds");
+    g.bench("alternating", || drain(true));
+    g.bench("fixed", || drain(false));
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_evaluate, bench_threshold_convergence, bench_parity
-);
-criterion_main!(benches);
+fn main() {
+    bench_evaluate();
+    bench_threshold_convergence();
+    bench_parity();
+}

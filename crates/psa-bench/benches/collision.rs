@@ -1,7 +1,7 @@
 //! Collision broadphase benches: grid vs brute force, and the
 //! domain-decomposition payoff (local + ghosts vs whole space).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psa_bench::micro::Group;
 use psa_core::collide::{colliding_pairs, UniformGrid};
 use psa_core::Particle;
 use psa_math::{Rng64, Vec3};
@@ -9,54 +9,45 @@ use psa_math::{Rng64, Vec3};
 fn cloud(n: usize, r: f32) -> Vec<Particle> {
     let mut rng = Rng64::new(99);
     (0..n)
-        .map(|_| {
-            Particle::at(rng.in_box(Vec3::splat(-10.0), Vec3::splat(10.0))).with_size(r)
-        })
+        .map(|_| Particle::at(rng.in_box(Vec3::splat(-10.0), Vec3::splat(10.0))).with_size(r))
         .collect()
 }
 
-fn bench_grid_vs_brute(c: &mut Criterion) {
-    let mut g = c.benchmark_group("broadphase");
+fn bench_grid_vs_brute() {
+    let g = Group::new("broadphase");
     for n in [1_000usize, 5_000, 20_000] {
         let ps = cloud(n, 0.15);
-        g.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
-            b.iter(|| colliding_pairs(&ps, &[], 0.3))
-        });
+        g.bench(&format!("grid/{n}"), || colliding_pairs(&ps, &[], 0.3));
         if n <= 5_000 {
-            g.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
-                b.iter(|| {
-                    let mut pairs = Vec::new();
-                    for i in 0..ps.len() {
-                        for j in i + 1..ps.len() {
-                            let rr = ps[i].size + ps[j].size;
-                            if ps[i].position.distance_squared(ps[j].position) < rr * rr {
-                                pairs.push((i as u32, j as u32));
-                            }
+            g.bench(&format!("brute/{n}"), || {
+                let mut pairs = Vec::new();
+                for i in 0..ps.len() {
+                    for j in i + 1..ps.len() {
+                        let rr = ps[i].size + ps[j].size;
+                        if ps[i].position.distance_squared(ps[j].position) < rr * rr {
+                            pairs.push((i as u32, j as u32));
                         }
                     }
-                    pairs
-                })
+                }
+                pairs
             });
         }
     }
-    g.finish();
 }
 
-fn bench_grid_build(c: &mut Criterion) {
+fn bench_grid_build() {
     let ps = cloud(50_000, 0.15);
-    c.bench_function("grid_build_50k", |b| b.iter(|| UniformGrid::build(&ps, 0.3)));
+    let g = Group::new("grid_build");
+    g.bench("50k", || UniformGrid::build(&ps, 0.3));
 }
 
-fn bench_domain_locality(c: &mut Criterion) {
+fn bench_domain_locality() {
     // The §3.1.4 argument: collision over one slice + ghost slab instead of
     // the full cloud.
     let ps = cloud(50_000, 0.15);
     let slice = (-1.25f32, 1.25f32); // one of 8 slices of [-10, 10)
-    let local: Vec<Particle> = ps
-        .iter()
-        .filter(|p| p.position.x >= slice.0 && p.position.x < slice.1)
-        .copied()
-        .collect();
+    let local: Vec<Particle> =
+        ps.iter().filter(|p| p.position.x >= slice.0 && p.position.x < slice.1).copied().collect();
     let ghosts: Vec<Particle> = ps
         .iter()
         .filter(|p| {
@@ -65,17 +56,13 @@ fn bench_domain_locality(c: &mut Criterion) {
         })
         .copied()
         .collect();
-    let mut g = c.benchmark_group("domain_locality");
-    g.bench_function("whole_space_50k", |b| b.iter(|| colliding_pairs(&ps, &[], 0.3)));
-    g.bench_function("slice_plus_ghosts", |b| {
-        b.iter(|| colliding_pairs(&local, &ghosts, 0.3))
-    });
-    g.finish();
+    let g = Group::new("domain_locality");
+    g.bench("whole_space_50k", || colliding_pairs(&ps, &[], 0.3));
+    g.bench("slice_plus_ghosts", || colliding_pairs(&local, &ghosts, 0.3));
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_grid_vs_brute, bench_grid_build, bench_domain_locality
-);
-criterion_main!(benches);
+fn main() {
+    bench_grid_vs_brute();
+    bench_grid_build();
+    bench_domain_locality();
+}

@@ -5,7 +5,7 @@
 //! `buckets/1` is the original storage; higher bucket counts are the
 //! paper's scheme.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psa_bench::micro::Group;
 use psa_core::{Particle, SubDomainStore};
 use psa_math::{Axis, Interval, Rng64, Vec3};
 
@@ -21,55 +21,47 @@ fn populated(buckets: usize, n: usize, drift: f32) -> SubDomainStore {
     store
 }
 
-fn bench_leaver_scan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("leaver_scan");
+fn bench_leaver_scan() {
+    let g = Group::new("leaver_scan");
     for buckets in [1usize, 4, 8, 16, 32] {
-        g.bench_with_input(BenchmarkId::new("buckets", buckets), &buckets, |b, &k| {
-            b.iter_batched(
-                || {
-                    let mut s = populated(k, 100_000, 1.0);
-                    // move particles so some leave
-                    s.for_each_mut(|p| p.position += p.velocity * 0.1);
-                    s
-                },
-                |mut s| s.collect_leavers(),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_batched(
+            &format!("buckets/{buckets}"),
+            || {
+                let mut s = populated(buckets, 100_000, 1.0);
+                // move particles so some leave
+                s.for_each_mut(|p| p.position += p.velocity * 0.1);
+                s
+            },
+            |mut s| s.collect_leavers(),
+        );
     }
-    g.finish();
 }
 
-fn bench_donation(c: &mut Criterion) {
+fn bench_donation() {
     // Donation of 5% of a 100k-particle domain: bucketed stores only sort
     // the straddling bucket; one bucket degenerates to the full sort the
     // paper wanted to avoid.
-    let mut g = c.benchmark_group("donation_5pct");
+    let g = Group::new("donation_5pct");
     for buckets in [1usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::new("buckets", buckets), &buckets, |b, &k| {
-            b.iter_batched(
-                || populated(k, 100_000, 0.5),
-                |mut s| s.donate_low(5_000),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_batched(
+            &format!("buckets/{buckets}"),
+            || populated(buckets, 100_000, 0.5),
+            |mut s| s.donate_low(5_000),
+        );
     }
-    g.finish();
 }
 
-fn bench_reshape(c: &mut Criterion) {
-    c.bench_function("reshape_100k", |b| {
-        b.iter_batched(
-            || populated(8, 100_000, 0.5),
-            |mut s| s.reshape(Interval::new(-8.0, 9.0)),
-            criterion::BatchSize::LargeInput,
-        )
-    });
+fn bench_reshape() {
+    let g = Group::new("reshape");
+    g.bench_batched(
+        "100k",
+        || populated(8, 100_000, 0.5),
+        |mut s| s.reshape(Interval::new(-8.0, 9.0)),
+    );
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_leaver_scan, bench_donation, bench_reshape
-);
-criterion_main!(benches);
+fn main() {
+    bench_leaver_scan();
+    bench_donation();
+    bench_reshape();
+}

@@ -1,7 +1,7 @@
 //! Image-generator benches: point-splat throughput, blend modes, image
 //! encoding — the per-particle render cost the virtual-time model charges.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psa_bench::micro::Group;
 use psa_core::Particle;
 use psa_math::{Aabb, Rng64, Vec3};
 use psa_render::{render_particles, Camera, Framebuffer, SplatConfig};
@@ -15,45 +15,35 @@ fn scene(n: usize) -> (Vec<Particle>, Camera) {
                 .with_color(Vec3::new(rng.unit(), rng.unit(), rng.unit()))
         })
         .collect();
-    let cam = Camera::ortho(
-        Aabb::new(Vec3::splat(-10.0), Vec3::splat(10.0)),
-        640,
-        480,
-    );
+    let cam = Camera::ortho(Aabb::new(Vec3::splat(-10.0), Vec3::splat(10.0)), 640, 480);
     (ps, cam)
 }
 
-fn bench_splat_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("splat");
+fn bench_splat_throughput() {
+    let g = Group::new("splat");
     for n in [10_000usize, 100_000, 400_000] {
         let (ps, cam) = scene(n);
         let mut fb = Framebuffer::new(640, 480);
-        g.bench_with_input(BenchmarkId::new("alpha", n), &n, |b, _| {
-            b.iter(|| {
-                fb.clear(Vec3::ZERO);
-                render_particles(&mut fb, &cam, &ps, &SplatConfig::default())
-            })
+        g.bench(&format!("alpha/{n}"), || {
+            fb.clear(Vec3::ZERO);
+            render_particles(&mut fb, &cam, &ps, &SplatConfig::default())
         });
-        g.bench_with_input(BenchmarkId::new("additive", n), &n, |b, _| {
-            let cfg = SplatConfig { additive: true, ..Default::default() };
-            b.iter(|| {
-                fb.clear(Vec3::ZERO);
-                render_particles(&mut fb, &cam, &ps, &cfg)
-            })
+        let cfg = SplatConfig { additive: true, ..Default::default() };
+        g.bench(&format!("additive/{n}"), || {
+            fb.clear(Vec3::ZERO);
+            render_particles(&mut fb, &cam, &ps, &cfg)
         });
     }
-    g.finish();
 }
 
-fn bench_encode(c: &mut Criterion) {
+fn bench_encode() {
     let mut fb = Framebuffer::new(640, 480);
     fb.clear(Vec3::new(0.3, 0.5, 0.7));
-    c.bench_function("to_rgb8_640x480", |b| b.iter(|| fb.to_rgb8()));
+    let g = Group::new("encode");
+    g.bench("to_rgb8_640x480", || fb.to_rgb8());
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_splat_throughput, bench_encode
-);
-criterion_main!(benches);
+fn main() {
+    bench_splat_throughput();
+    bench_encode();
+}

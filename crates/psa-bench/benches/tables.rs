@@ -5,8 +5,8 @@
 //! paths `repro` uses for EXPERIMENTS.md — plus the network ablation
 //! (Myrinet vs switched FE vs hub FE) over an identical run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cluster_sim::{e800, ClusterSpec, Compiler, NetworkModel};
+use psa_bench::micro::Group;
 use psa_runtime::{BalanceMode, RunConfig, SpaceMode, VirtualSim};
 use psa_workloads::{fountain_scene, myrinet_gcc, paper_run_config, snow_scene, WorkloadSize};
 
@@ -19,106 +19,90 @@ fn run(scene: psa_runtime::Scene, cfg: RunConfig, cluster: ClusterSpec) -> f64 {
     sim.run().steady_time()
 }
 
-fn bench_table1_cell(c: &mut Criterion) {
+fn bench_table1_cell() {
     // One Table-1 cell per config column (8*B/8P row).
-    let mut g = c.benchmark_group("table1_8B8P");
+    let g = Group::new("table1_8B8P");
     for (label, space, dynamic) in [
         ("IS-SLB", SpaceMode::Infinite, false),
         ("FS-SLB", SpaceMode::Finite, false),
         ("FS-DLB", SpaceMode::Finite, true),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut cfg = paper_run_config(8, psa_workloads::snow::SNOW_DT);
-                cfg.space = space;
-                cfg.balance = if dynamic { BalanceMode::dynamic() } else { BalanceMode::Static };
-                run(snow_scene(size()), cfg, myrinet_gcc(8, 1))
-            })
+        g.bench(label, || {
+            let mut cfg = paper_run_config(8, psa_workloads::snow::SNOW_DT);
+            cfg.space = space;
+            cfg.balance = if dynamic { BalanceMode::dynamic() } else { BalanceMode::Static };
+            run(snow_scene(size()), cfg, myrinet_gcc(8, 1))
         });
     }
-    g.finish();
 }
 
-fn bench_table3_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_8B8P");
+fn bench_table3_cell() {
+    let g = Group::new("table3_8B8P");
     for (label, dynamic) in [("FS-SLB", false), ("FS-DLB", true)] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut cfg = paper_run_config(8, psa_workloads::fountain::FOUNTAIN_DT);
-                cfg.balance = if dynamic { BalanceMode::dynamic() } else { BalanceMode::Static };
-                run(fountain_scene(size()), cfg, myrinet_gcc(8, 1))
-            })
+        g.bench(label, || {
+            let mut cfg = paper_run_config(8, psa_workloads::fountain::FOUNTAIN_DT);
+            cfg.balance = if dynamic { BalanceMode::dynamic() } else { BalanceMode::Static };
+            run(fountain_scene(size()), cfg, myrinet_gcc(8, 1))
         });
     }
-    g.finish();
 }
 
-fn bench_network_ablation(c: &mut Criterion) {
+fn bench_network_ablation() {
     // Identical snow run over three fabrics; the reported virtual steady
     // times are the ablation result (printed per-iteration time is host
     // cost; the interesting artifact is deterministic anyway).
-    let mut g = c.benchmark_group("network_ablation");
+    let g = Group::new("network_ablation");
     for (label, net) in [
         ("myrinet", NetworkModel::myrinet()),
         ("fe_switched", NetworkModel::fast_ethernet()),
         ("fe_hub", NetworkModel::fast_ethernet_hub()),
     ] {
         let cluster = ClusterSpec::homogeneous(net, Compiler::Gcc, e800(), 8, 2);
-        g.bench_with_input(BenchmarkId::from_parameter(label), &cluster, |b, cl| {
-            b.iter(|| {
-                let cfg = paper_run_config(6, psa_workloads::snow::SNOW_DT);
-                run(snow_scene(size()), cfg, cl.clone())
-            })
+        g.bench(label, || {
+            let cfg = paper_run_config(6, psa_workloads::snow::SNOW_DT);
+            run(snow_scene(size()), cfg, cluster.clone())
         });
     }
-    g.finish();
 }
 
-fn bench_schedule_ablation(c: &mut Criterion) {
+fn bench_schedule_ablation() {
     // §3.3: per-system (Figure 2 verbatim) vs phase-batched combination of
     // the eight fountain systems.
     use psa_runtime::SystemSchedule;
-    let mut g = c.benchmark_group("schedule_ablation");
-    for (label, schedule) in [
-        ("per_system", SystemSchedule::PerSystem),
-        ("batched", SystemSchedule::Batched),
-    ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut cfg = paper_run_config(6, psa_workloads::fountain::FOUNTAIN_DT);
-                cfg.schedule = schedule;
-                cfg.balance = BalanceMode::Static;
-                run(fountain_scene(size()), cfg, myrinet_gcc(8, 1))
-            })
+    let g = Group::new("schedule_ablation");
+    for (label, schedule) in
+        [("per_system", SystemSchedule::PerSystem), ("batched", SystemSchedule::Batched)]
+    {
+        g.bench(label, || {
+            let mut cfg = paper_run_config(6, psa_workloads::fountain::FOUNTAIN_DT);
+            cfg.schedule = schedule;
+            cfg.balance = BalanceMode::Static;
+            run(fountain_scene(size()), cfg, myrinet_gcc(8, 1))
         });
     }
-    g.finish();
 }
 
-fn bench_balancer_ablation(c: &mut Criterion) {
+fn bench_balancer_ablation() {
     // Centralized (§3.2.5) vs decentralized (§6 future work) balancing on
     // the irregular fountain load.
-    let mut g = c.benchmark_group("balancer_ablation");
+    let g = Group::new("balancer_ablation");
     for (label, balance) in [
         ("centralized", BalanceMode::dynamic()),
         ("decentralized", BalanceMode::decentralized()),
         ("static", BalanceMode::Static),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut cfg = paper_run_config(6, psa_workloads::fountain::FOUNTAIN_DT);
-                cfg.balance = balance;
-                run(fountain_scene(size()), cfg, myrinet_gcc(8, 1))
-            })
+        g.bench(label, || {
+            let mut cfg = paper_run_config(6, psa_workloads::fountain::FOUNTAIN_DT);
+            cfg.balance = balance;
+            run(fountain_scene(size()), cfg, myrinet_gcc(8, 1))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table1_cell, bench_table3_cell, bench_network_ablation,
-        bench_schedule_ablation, bench_balancer_ablation
-);
-criterion_main!(benches);
+fn main() {
+    bench_table1_cell();
+    bench_table3_cell();
+    bench_network_ablation();
+    bench_schedule_ablation();
+    bench_balancer_ablation();
+}

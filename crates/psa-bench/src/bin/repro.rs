@@ -31,16 +31,10 @@ fn parse_args() -> Args {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
-                scale = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale needs a number");
+                scale = args.next().and_then(|v| v.parse().ok()).expect("--scale needs a number");
             }
             "--frames" => {
-                frames = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--frames needs a number");
+                frames = args.next().and_then(|v| v.parse().ok()).expect("--frames needs a number");
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -172,14 +166,8 @@ fn print_text(size: WorkloadSize, frames: u64, exp: Experiment) {
 fn print_reductions(size: WorkloadSize, frames: u64) {
     let r = tables::reductions(size, frames);
     println!("## §5.3 time reductions");
-    println!(
-        "snow over Myrinet:       {:.0}% (paper {:.0}%)",
-        r.snow_myrinet.0, r.snow_myrinet.1
-    );
-    println!(
-        "snow over Fast-Ethernet: {:.0}% (paper {:.0}%)",
-        r.snow_fe.0, r.snow_fe.1
-    );
+    println!("snow over Myrinet:       {:.0}% (paper {:.0}%)", r.snow_myrinet.0, r.snow_myrinet.1);
+    println!("snow over Fast-Ethernet: {:.0}% (paper {:.0}%)", r.snow_fe.0, r.snow_fe.1);
     println!(
         "fountain over Myrinet:   {:.0}% (paper {:.0}%)\n",
         r.fountain_myrinet.0, r.fountain_myrinet.1

@@ -5,6 +5,7 @@
 //! binary prints alongside the paper's published values. Everything is
 //! deterministic: same seed, same table.
 
+pub mod micro;
 pub mod paper;
 pub mod runner;
 pub mod tables;

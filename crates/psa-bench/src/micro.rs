@@ -1,0 +1,78 @@
+//! Minimal micro-benchmark harness.
+//!
+//! The workspace builds offline, so the benches can't pull in criterion;
+//! this module provides the small subset the bench targets need: named
+//! groups, warm-up, repeated timed samples, and median/min reporting. Bench
+//! binaries use `harness = false` and drive this from `main`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Samples per benchmark (after one warm-up run). Override with
+/// `PSA_BENCH_SAMPLES`.
+fn samples() -> usize {
+    std::env::var("PSA_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(15)
+}
+
+/// A named group of measurements, printed criterion-style.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    pub fn new(name: &str) -> Self {
+        println!("group {name}");
+        Group { name: name.into(), samples: samples() }
+    }
+
+    /// Time `f` for `samples` runs; prints median and min.
+    pub fn bench<T>(&self, label: &str, mut f: impl FnMut() -> T) {
+        let mut times = Vec::with_capacity(self.samples);
+        black_box(f()); // warm-up
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_secs_f64());
+        }
+        report(&self.name, label, &mut times);
+    }
+
+    /// Time `run` over fresh state from `setup` (setup time excluded).
+    pub fn bench_batched<S, T>(
+        &self,
+        label: &str,
+        mut setup: impl FnMut() -> S,
+        mut run: impl FnMut(S) -> T,
+    ) {
+        let mut times = Vec::with_capacity(self.samples);
+        black_box(run(setup())); // warm-up
+        for _ in 0..self.samples {
+            let state = setup();
+            let t0 = Instant::now();
+            black_box(run(state));
+            times.push(t0.elapsed().as_secs_f64());
+        }
+        report(&self.name, label, &mut times);
+    }
+}
+
+fn report(group: &str, label: &str, times: &mut [f64]) {
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2];
+    let min = times[0];
+    println!("  {group}/{label}: median {} min {}", fmt_time(median), fmt_time(min));
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}

@@ -68,10 +68,8 @@ impl Runner {
     /// Sequential baseline time for `exp` at relative machine `speed`
     /// (cached).
     pub fn sequential_time(&mut self, exp: Experiment, speed: f64) -> f64 {
-        if let Some((_, _, t)) = self
-            .seq_cache
-            .iter()
-            .find(|(e, s, _)| *e == exp && (*s - speed).abs() < 1e-12)
+        if let Some((_, _, t)) =
+            self.seq_cache.iter().find(|(e, s, _)| *e == exp && (*s - speed).abs() < 1e-12)
         {
             return *t;
         }
@@ -135,11 +133,7 @@ mod tests {
             BalanceMode::Static,
             base,
         );
-        assert!(
-            out.speedup > 1.5,
-            "4 calculators should beat sequential: {}",
-            out.speedup
-        );
+        assert!(out.speedup > 1.5, "4 calculators should beat sequential: {}", out.speedup);
         assert!(out.speedup < 4.0, "cannot exceed ideal: {}", out.speedup);
     }
 

@@ -32,7 +32,12 @@ fn balance_of(dynamic: bool) -> BalanceMode {
     }
 }
 
-fn myrinet_table(exp: Experiment, paper_vals: &[[f64; 4]; 6], size: WorkloadSize, frames: u64) -> Vec<TableRow> {
+fn myrinet_table(
+    exp: Experiment,
+    paper_vals: &[[f64; 4]; 6],
+    size: WorkloadSize,
+    frames: u64,
+) -> Vec<TableRow> {
     let mut runner = Runner::new(size, frames);
     let base = runner.baseline_gcc(exp);
     table1_rows()
@@ -102,8 +107,8 @@ pub struct TextNumbers {
 
 /// Regenerate the in-text numbers.
 pub fn text_numbers(size: WorkloadSize, frames: u64) -> TextNumbers {
-    use cluster_sim::{e60, e800, zx2000, Compiler, NetworkModel};
     use cluster_sim::ClusterSpec;
+    use cluster_sim::{e60, e800, zx2000, Compiler, NetworkModel};
 
     let mut runner = Runner::new(size, frames);
 
@@ -119,10 +124,7 @@ pub fn text_numbers(size: WorkloadSize, frames: u64) -> TextNumbers {
         base_gcc_snow,
     );
     let procs = 16.0;
-    let snow_exchange = (
-        snow16.report.mean_migrated() / procs,
-        snow16.report.mean_migration_kb(),
-    );
+    let snow_exchange = (snow16.report.mean_migrated() / procs, snow16.report.mean_migration_kb());
 
     let base_gcc_fountain = runner.baseline_gcc(Experiment::Fountain);
     let fountain16 = runner.run(
@@ -132,24 +134,21 @@ pub fn text_numbers(size: WorkloadSize, frames: u64) -> TextNumbers {
         BalanceMode::Static,
         base_gcc_fountain,
     );
-    let fountain_exchange = (
-        fountain16.report.mean_migrated() / procs,
-        fountain16.report.mean_migration_kb(),
-    );
+    let fountain_exchange =
+        (fountain16.report.mean_migrated() / procs, fountain16.report.mean_migration_kb());
 
     // Snow on Fast-Ethernet + ICC, 8 E800 / 16 P.
-    let fe_cluster = || {
-        ClusterSpec::homogeneous(
-            NetworkModel::fast_ethernet(),
-            Compiler::Icc,
-            e800(),
-            8,
-            2,
-        )
-    };
+    let fe_cluster =
+        || ClusterSpec::homogeneous(NetworkModel::fast_ethernet(), Compiler::Icc, e800(), 8, 2);
     let base_icc_snow = runner.baseline_icc(Experiment::Snow);
     let snow_fe_dlb = runner
-        .run(Experiment::Snow, fe_cluster(), SpaceMode::Finite, BalanceMode::dynamic(), base_icc_snow)
+        .run(
+            Experiment::Snow,
+            fe_cluster(),
+            SpaceMode::Finite,
+            BalanceMode::dynamic(),
+            base_icc_snow,
+        )
         .speedup;
     let snow_fe_slb = runner
         .run(Experiment::Snow, fe_cluster(), SpaceMode::Finite, BalanceMode::Static, base_icc_snow)
@@ -222,21 +221,13 @@ pub fn reductions(size: WorkloadSize, frames: u64) -> Reductions {
     let t1 = table1(size, frames);
     let t3 = table3(size, frames);
     let best = |rows: &[TableRow]| -> f64 {
-        rows.iter()
-            .flat_map(|r| r.ours.iter().copied())
-            .fold(0.0, f64::max)
+        rows.iter().flat_map(|r| r.ours.iter().copied()).fold(0.0, f64::max)
     };
     let tn = text_numbers(size, frames);
     Reductions {
         snow_myrinet: (paper::reduction_pct(best(&t1)), paper::REDUCTION_SNOW_MYRINET),
-        snow_fe: (
-            paper::reduction_pct(tn.snow_fe.0.max(tn.snow_fe.1)),
-            paper::REDUCTION_SNOW_FE,
-        ),
-        fountain_myrinet: (
-            paper::reduction_pct(best(&t3)),
-            paper::REDUCTION_FOUNTAIN_MYRINET,
-        ),
+        snow_fe: (paper::reduction_pct(tn.snow_fe.0.max(tn.snow_fe.1)), paper::REDUCTION_SNOW_FE),
+        fountain_myrinet: (paper::reduction_pct(best(&t3)), paper::REDUCTION_FOUNTAIN_MYRINET),
     }
 }
 

@@ -41,8 +41,7 @@ impl Action for BounceOff {
     fn apply(&self, _ctx: &mut ActionCtx<'_>, store: &mut SubDomainStore) -> ActionOutcome {
         let mut n = 0;
         store.for_each_mut(|p| {
-            self.object
-                .bounce(&mut p.position, &mut p.velocity, self.restitution, self.friction);
+            self.object.bounce(&mut p.position, &mut p.velocity, self.restitution, self.friction);
             n += 1;
         });
         ActionOutcome::applied(n)
@@ -96,8 +95,8 @@ mod tests {
     #[test]
     fn bounce_fixes_penetrators() {
         let mut s = SubDomainStore::new(Interval::new(-10.0, 10.0), Axis::X, 2);
-        let p = crate::Particle::at(Vec3::new(0.0, -0.5, 0.0))
-            .with_velocity(Vec3::new(0.0, -2.0, 0.0));
+        let p =
+            crate::Particle::at(Vec3::new(0.0, -0.5, 0.0)).with_velocity(Vec3::new(0.0, -2.0, 0.0));
         s.insert(p);
         run(&BounceOff::new(ExternalObject::ground(0.0), 1.0, 0.0), &mut s);
         let q = s.iter().next().unwrap();

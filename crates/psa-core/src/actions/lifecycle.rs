@@ -134,11 +134,7 @@ impl Action for Fade {
             p.alpha = (p.alpha - da).max(0.0);
             n += 1;
         });
-        let killed = if self.kill_at_zero {
-            store.retain(|p| p.alpha > 0.0)
-        } else {
-            0
-        };
+        let killed = if self.kill_at_zero { store.retain(|p| p.alpha > 0.0) } else { 0 };
         ActionOutcome { applied: n, killed }
     }
 }

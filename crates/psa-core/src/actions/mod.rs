@@ -67,10 +67,7 @@ impl ActionOutcome {
     }
 
     pub fn merge(self, o: ActionOutcome) -> ActionOutcome {
-        ActionOutcome {
-            applied: self.applied + o.applied,
-            killed: self.killed + o.killed,
-        }
+        ActionOutcome { applied: self.applied + o.applied, killed: self.killed + o.killed }
     }
 }
 
@@ -156,10 +153,8 @@ impl ActionList {
         if moves > 1 {
             return Err(format!("action list has {moves} Position actions; the model allows one move step per frame"));
         }
-        if let Some(bad) = self
-            .actions
-            .iter()
-            .find(|a| matches!(a.kind(), ActionKind::Create | ActionKind::Frame))
+        if let Some(bad) =
+            self.actions.iter().find(|a| matches!(a.kind(), ActionKind::Create | ActionKind::Frame))
         {
             return Err(format!(
                 "action '{}' of kind {:?} cannot appear in a calculator action list",
@@ -196,16 +191,14 @@ mod tests {
 
     #[test]
     fn action_list_runs_in_order() {
-        let list = ActionList::new()
-            .then(Gravity::earth())
-            .then(MoveParticles);
+        let list = ActionList::new().then(Gravity::earth()).then(MoveParticles);
         let mut rng = ctx_rng();
         let mut ctx = ActionCtx { dt: 1.0, frame: 0, rng: &mut rng };
         let mut store = small_store();
         let (out, weighted) = list.run(&mut ctx, &mut store);
         assert_eq!(out.applied, 20); // 10 particles × 2 actions
         assert_eq!(weighted, 20.0); // both actions have weight 1.0
-        // gravity then move: y decreased
+                                    // gravity then move: y decreased
         for p in store.iter() {
             assert!(p.position.y < 5.0);
             assert!(p.velocity.y < 0.0);

@@ -46,9 +46,7 @@ mod tests {
     #[test]
     fn move_integrates_position_and_age() {
         let mut s = SubDomainStore::new(Interval::new(-10.0, 10.0), Axis::X, 2);
-        s.insert(
-            crate::Particle::at(Vec3::ZERO).with_velocity(Vec3::new(2.0, 1.0, 0.0)),
-        );
+        s.insert(crate::Particle::at(Vec3::ZERO).with_velocity(Vec3::new(2.0, 1.0, 0.0)));
         let mut rng = Rng64::new(1);
         let mut ctx = ActionCtx { dt: 0.5, frame: 3, rng: &mut rng };
         let out = MoveParticles.apply(&mut ctx, &mut s);

@@ -129,7 +129,11 @@ impl UniformGrid {
 /// `ghosts` are read-only boundary particles from neighbor domains; pairs
 /// between a local particle and a ghost are reported with the ghost index
 /// offset by `particles.len()`.
-pub fn colliding_pairs(particles: &[Particle], ghosts: &[Particle], cell: Scalar) -> Vec<(u32, u32)> {
+pub fn colliding_pairs(
+    particles: &[Particle],
+    ghosts: &[Particle],
+    cell: Scalar,
+) -> Vec<(u32, u32)> {
     let n = particles.len();
     let mut all: Vec<Particle> = Vec::with_capacity(n + ghosts.len());
     all.extend_from_slice(particles);
@@ -271,14 +275,7 @@ mod tests {
     fn grid_matches_brute_force() {
         let mut rng = Rng64::new(123);
         let ps: Vec<Particle> = (0..300)
-            .map(|_| {
-                p(
-                    rng.range(-5.0, 5.0),
-                    rng.range(-5.0, 5.0),
-                    rng.range(-5.0, 5.0),
-                    0.2,
-                )
-            })
+            .map(|_| p(rng.range(-5.0, 5.0), rng.range(-5.0, 5.0), rng.range(-5.0, 5.0), 0.2))
             .collect();
         let mut grid = colliding_pairs(&ps, &[], 0.4);
         let mut brute = brute_pairs(&ps);

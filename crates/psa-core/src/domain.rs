@@ -7,8 +7,6 @@
 //! instead of broadcast (paper §3.1.4), and what lets the manager hand out
 //! balancing orders that calculators can validate locally.
 
-use serde::{Deserialize, Serialize};
-
 use psa_math::{Axis, Interval, Scalar};
 
 /// The boundaries of one particle system's decomposition: `n` contiguous
@@ -19,7 +17,7 @@ use psa_math::{Axis, Interval, Scalar};
 /// * boundaries are non-decreasing;
 /// * slice `i` is `[cuts[i], cuts[i+1])`;
 /// * the union of slices is exactly the original space interval.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DomainMap {
     axis: Axis,
     /// `n + 1` boundary positions; slice `i` = `[cuts[i], cuts[i+1])`.
@@ -181,10 +179,9 @@ impl std::fmt::Display for DomainError {
             DomainError::NotAnInteriorBoundary { index } => {
                 write!(f, "boundary {index} is not interior; outer boundaries are fixed")
             }
-            DomainError::CutOutOfRange { index, cut, lo, hi } => write!(
-                f,
-                "new cut {cut} for boundary {index} outside neighbor extent [{lo}, {hi}]"
-            ),
+            DomainError::CutOutOfRange { index, cut, lo, hi } => {
+                write!(f, "new cut {cut} for boundary {index} outside neighbor extent [{lo}, {hi}]")
+            }
         }
     }
 }
@@ -257,10 +254,7 @@ mod tests {
     #[test]
     fn move_cut_rejects_outer_boundaries() {
         let mut map = DomainMap::split_even(Interval::new(0.0, 4.0), Axis::X, 2);
-        assert!(matches!(
-            map.move_cut(1, 2.0),
-            Err(DomainError::NotAnInteriorBoundary { .. })
-        ));
+        assert!(matches!(map.move_cut(1, 2.0), Err(DomainError::NotAnInteriorBoundary { .. })));
     }
 
     #[test]

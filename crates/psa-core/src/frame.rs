@@ -6,10 +6,8 @@
 //! because the count just changed. [`FrameStats`] carries exactly that
 //! report plus accounting the benches use.
 
-use serde::{Deserialize, Serialize};
-
 /// A calculator's per-frame report and local accounting.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FrameStats {
     /// Animation frame index.
     pub frame: u64,

@@ -1,0 +1,315 @@
+//! Runtime invariant checks for the frame protocol.
+//!
+//! The paper's model only reproduces its tables if every executor preserves
+//! three structural properties on every frame:
+//!
+//! 1. **Conservation** — the particle exchange moves particles between
+//!    calculators, it never creates or destroys them. After an exchange,
+//!    `after == before - outgoing + incoming` on every rank, and the
+//!    rank-summed population is unchanged.
+//! 2. **Partition** — the per-system domain slices exactly partition the
+//!    system's space: contiguous, non-overlapping, first edge at the space
+//!    minimum, last edge at the space maximum.
+//! 3. **Protocol order** — the recorded trace of one frame is exactly the
+//!    Figure-2 sequence (checked in `psa-runtime`, which owns the trace
+//!    vocabulary).
+//!
+//! The checks are always compiled (so they cannot bit-rot) but executors
+//! only *call* them when the `strict-invariants` feature is on, keeping the
+//! hot path clean in normal builds. Violations are values, not panics: the
+//! executor converts them into its own typed error so a broken invariant
+//! surfaces as a failed run report instead of a poisoned thread.
+
+use psa_math::{Interval, Scalar, Vec3};
+
+use crate::domain::DomainMap;
+use crate::particle::Particle;
+
+/// True when the `strict-invariants` feature is enabled; executors guard
+/// their invariant calls with this so release builds pay nothing.
+pub const ENABLED: bool = cfg!(feature = "strict-invariants");
+
+/// Slack for partition edge comparisons. Cuts are `f32` screen/world units;
+/// exact equality is required for interior cuts (they are copied, not
+/// recomputed), while the outer edges compare against the space the map was
+/// built from.
+const EDGE_EPS: Scalar = 1e-4;
+
+/// A broken structural invariant, with enough context to debug the frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InvariantViolation {
+    /// The exchange created or destroyed particles on one rank.
+    ConservationBroken {
+        frame: u64,
+        system: usize,
+        rank: usize,
+        before: usize,
+        outgoing: usize,
+        incoming: usize,
+        after: usize,
+    },
+    /// The rank-summed population changed across an exchange.
+    GlobalConservationBroken { frame: u64, system: usize, before: usize, after: usize },
+    /// The domain slices do not partition the system space.
+    PartitionBroken { frame: u64, system: usize, detail: String },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantViolation::ConservationBroken {
+                frame,
+                system,
+                rank,
+                before,
+                outgoing,
+                incoming,
+                after,
+            } => write!(
+                f,
+                "frame {frame} sys {system} rank {rank}: exchange broke conservation \
+                 ({before} - {outgoing} + {incoming} != {after})"
+            ),
+            InvariantViolation::GlobalConservationBroken { frame, system, before, after } => {
+                write!(
+                    f,
+                    "frame {frame} sys {system}: global population changed across \
+                     exchange ({before} -> {after})"
+                )
+            }
+            InvariantViolation::PartitionBroken { frame, system, detail } => {
+                write!(f, "frame {frame} sys {system}: domain partition broken: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Per-rank conservation: `after == before - outgoing + incoming`.
+pub fn check_exchange_conservation(
+    frame: u64,
+    system: usize,
+    rank: usize,
+    before: usize,
+    outgoing: usize,
+    incoming: usize,
+    after: usize,
+) -> Result<(), InvariantViolation> {
+    if before + incoming == after + outgoing {
+        Ok(())
+    } else {
+        Err(InvariantViolation::ConservationBroken {
+            frame,
+            system,
+            rank,
+            before,
+            outgoing,
+            incoming,
+            after,
+        })
+    }
+}
+
+/// Global conservation: the total population is unchanged by an exchange or
+/// a balancing transfer round (creations/kills happen outside it).
+pub fn check_global_conservation(
+    frame: u64,
+    system: usize,
+    before: usize,
+    after: usize,
+) -> Result<(), InvariantViolation> {
+    if before == after {
+        Ok(())
+    } else {
+        Err(InvariantViolation::GlobalConservationBroken { frame, system, before, after })
+    }
+}
+
+/// The domain slices exactly partition `space`: first edge on the space
+/// minimum, last edge on the space maximum, interior edges shared exactly
+/// (slice `i`'s high edge is slice `i+1`'s low edge), every slice
+/// non-inverted.
+pub fn check_partition(
+    frame: u64,
+    system: usize,
+    space: Interval,
+    domains: &DomainMap,
+) -> Result<(), InvariantViolation> {
+    let broken = |detail: String| InvariantViolation::PartitionBroken { frame, system, detail };
+    let n = domains.len();
+    if n == 0 {
+        return Err(broken("domain map has zero slices".into()));
+    }
+    let first = domains.slice(0);
+    let last = domains.slice(n - 1);
+    // Infinite-space mode uses the ±1e9 sentinel interval (and the slices
+    // only cover where particles are), so outer edges are compared only
+    // against genuinely bounded spaces.
+    let bounded = |edge: Scalar| edge.is_finite() && edge.abs() < Interval::INFINITE.hi;
+    if bounded(space.lo) && (first.lo - space.lo).abs() > EDGE_EPS {
+        return Err(broken(format!("first edge {} != space lo {}", first.lo, space.lo)));
+    }
+    if bounded(space.hi) && (last.hi - space.hi).abs() > EDGE_EPS {
+        return Err(broken(format!("last edge {} != space hi {}", last.hi, space.hi)));
+    }
+    for i in 0..n {
+        let s = domains.slice(i);
+        if s.lo > s.hi {
+            return Err(broken(format!("slice {i} inverted: [{}, {}]", s.lo, s.hi)));
+        }
+        if i + 1 < n {
+            let next = domains.slice(i + 1);
+            // Interior cuts are shared values, so exact equality is the
+            // invariant — a gap or overlap of any width loses particles.
+            if s.hi != next.lo {
+                return Err(broken(format!(
+                    "slice {i} ends at {} but slice {} starts at {}",
+                    s.hi,
+                    i + 1,
+                    next.lo
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Order-sensitive FNV-1a over the exact bit patterns of a particle stream.
+///
+/// This is the frame checksum the determinism regression tests compare: two
+/// runs with the same seed must produce bit-identical particle states in
+/// the same order, so any drift — a reordered exchange, an extra RNG draw,
+/// a float contraction difference — changes the hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StateHash(u64);
+
+impl StateHash {
+    pub fn new() -> Self {
+        StateHash(FNV_OFFSET)
+    }
+
+    #[inline]
+    fn mix(&mut self, word: u32) {
+        for b in word.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    #[inline]
+    fn mix_vec(&mut self, v: Vec3) {
+        self.mix(v.x.to_bits());
+        self.mix(v.y.to_bits());
+        self.mix(v.z.to_bits());
+    }
+
+    /// Fold one particle's full state into the hash.
+    #[inline]
+    pub fn push(&mut self, p: &Particle) {
+        self.mix_vec(p.position);
+        self.mix_vec(p.velocity);
+        self.mix_vec(p.orientation);
+        self.mix_vec(p.color);
+        self.mix(p.age.to_bits());
+        self.mix(p.size.to_bits());
+        self.mix(p.alpha.to_bits());
+        self.mix(p.mass.to_bits());
+    }
+
+    pub fn extend<'a, I: IntoIterator<Item = &'a Particle>>(&mut self, it: I) {
+        for p in it {
+            self.push(p);
+        }
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for StateHash {
+    fn default() -> Self {
+        StateHash::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_math::Axis;
+
+    #[test]
+    fn conservation_accepts_balanced_exchange() {
+        assert!(check_exchange_conservation(3, 0, 1, 100, 10, 7, 97).is_ok());
+        assert!(check_exchange_conservation(3, 0, 1, 0, 0, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn conservation_rejects_lost_particles() {
+        let err = check_exchange_conservation(3, 0, 1, 100, 10, 7, 96).unwrap_err();
+        assert!(matches!(err, InvariantViolation::ConservationBroken { after: 96, .. }));
+        assert!(err.to_string().contains("conservation"));
+    }
+
+    #[test]
+    fn global_conservation() {
+        assert!(check_global_conservation(0, 0, 500, 500).is_ok());
+        assert!(check_global_conservation(0, 0, 500, 499).is_err());
+    }
+
+    #[test]
+    fn even_split_partitions_its_space() {
+        let space = Interval::new(-10.0, 10.0);
+        let dm = DomainMap::split_even(space, Axis::X, 7);
+        assert!(check_partition(0, 0, space, &dm).is_ok());
+    }
+
+    #[test]
+    fn partition_detects_wrong_space() {
+        let dm = DomainMap::split_even(Interval::new(-10.0, 10.0), Axis::X, 4);
+        let err = check_partition(0, 0, Interval::new(-20.0, 10.0), &dm).unwrap_err();
+        assert!(matches!(err, InvariantViolation::PartitionBroken { .. }));
+    }
+
+    #[test]
+    fn partition_detects_interior_gap() {
+        // A hand-built map with a gap between slices 0 and 1.
+        let dm = DomainMap::from_cuts(Axis::X, vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        // from_cuts produces a valid contiguous map; partition check passes.
+        assert!(check_partition(0, 0, Interval::new(0.0, 3.0), &dm).is_ok());
+        // A shifted space exposes the edge mismatch.
+        assert!(check_partition(0, 0, Interval::new(0.5, 3.0), &dm).is_err());
+    }
+
+    #[test]
+    fn infinite_space_skips_outer_edges() {
+        let dm = DomainMap::split_even(Interval::new(-5.0, 5.0), Axis::X, 3);
+        assert!(check_partition(0, 0, Interval::INFINITE, &dm).is_ok());
+    }
+
+    #[test]
+    fn enabled_reflects_feature() {
+        assert_eq!(ENABLED, cfg!(feature = "strict-invariants"));
+    }
+
+    #[test]
+    fn state_hash_is_order_and_bit_sensitive() {
+        let a = Particle::at(Vec3::new(1.0, 2.0, 3.0));
+        let b = Particle::at(Vec3::new(4.0, 5.0, 6.0));
+        let hash = |ps: &[Particle]| {
+            let mut h = StateHash::new();
+            h.extend(ps.iter());
+            h.finish()
+        };
+        assert_eq!(hash(&[a, b]), hash(&[a, b]));
+        assert_ne!(hash(&[a, b]), hash(&[b, a]), "order must matter");
+        let mut a2 = a;
+        a2.age = f32::from_bits(a.age.to_bits() ^ 1);
+        assert_ne!(hash(&[a, b]), hash(&[a2, b]), "single-bit drift must show");
+        assert_ne!(hash(&[a]), hash(&[a, b]), "length must matter");
+    }
+}

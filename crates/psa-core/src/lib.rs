@@ -16,6 +16,7 @@ pub mod actions;
 pub mod collide;
 pub mod domain;
 pub mod frame;
+pub mod invariants;
 pub mod objects;
 pub mod particle;
 pub mod store;
@@ -25,6 +26,7 @@ pub mod system;
 pub use actions::{Action, ActionCtx, ActionKind};
 pub use domain::DomainMap;
 pub use frame::FrameStats;
+pub use invariants::InvariantViolation;
 pub use particle::{Particle, WIRE_BYTES};
 pub use store::ParticleStore;
 pub use subdomain::SubDomainStore;

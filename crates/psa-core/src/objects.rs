@@ -6,12 +6,10 @@
 //! with no inter-process communication. Objects are replicated on every
 //! calculator as part of the global simulation information.
 
-use serde::{Deserialize, Serialize};
-
 use psa_math::{Aabb, Scalar, Vec3};
 
 /// A collidable external object.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ExternalObject {
     /// An infinite plane `n·x = d` with unit normal `n`; particles collide
     /// when they cross to the negative side.
@@ -65,11 +63,8 @@ impl ExternalObject {
                     (p.z - b.min.z, -Vec3::Z),
                     (b.max.z - p.z, Vec3::Z),
                 ];
-                let (depth, normal) = dists
-                    .iter()
-                    .copied()
-                    .min_by(|a, b| a.0.total_cmp(&b.0))
-                    .unwrap();
+                let (depth, normal) =
+                    dists.iter().copied().min_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
                 Some(Contact { normal, depth })
             }
         }

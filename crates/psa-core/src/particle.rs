@@ -10,14 +10,12 @@
 //! (system, storage slot), and migration between processes only needs the
 //! payload plus the system index.
 
-use serde::{Deserialize, Serialize};
-
 use psa_math::{Scalar, Vec3};
 
 /// One particle. `repr(C)`, 64 bytes, `Copy` — sized so a cache line holds
 /// one particle and a migration message is a flat memcpy.
 #[repr(C)]
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Particle {
     /// Position in space (paper-mandated).
     pub position: Vec3,

@@ -1,7 +1,5 @@
 //! Flat particle storage with O(1) unordered removal.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Particle;
 use psa_math::{Axis, Scalar};
 
@@ -11,7 +9,7 @@ use psa_math::{Axis, Scalar};
 /// except transiently during load-balance donation, where particles are
 /// sorted along the decomposition axis (paper §3.2.5). Removal therefore
 /// uses `swap_remove`.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ParticleStore {
     items: Vec<Particle>,
 }

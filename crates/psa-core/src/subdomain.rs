@@ -10,14 +10,12 @@
 //!   boundary end and only sorts the one straddling bucket, instead of
 //!   sorting the entire domain population.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Particle, ParticleStore};
 use psa_math::{Axis, Interval, Scalar};
 
 /// A calculator's local particle storage for one system: its domain slice
 /// split into `k` equal-width buckets, each an independent [`ParticleStore`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SubDomainStore {
     axis: Axis,
     slice: Interval,
@@ -28,11 +26,7 @@ impl SubDomainStore {
     /// Create an empty store over `slice` with `k >= 1` buckets.
     pub fn new(slice: Interval, axis: Axis, k: usize) -> Self {
         assert!(k >= 1, "need at least one sub-domain bucket");
-        SubDomainStore {
-            axis,
-            slice,
-            buckets: (0..k).map(|_| ParticleStore::new()).collect(),
-        }
+        SubDomainStore { axis, slice, buckets: (0..k).map(|_| ParticleStore::new()).collect() }
     }
 
     pub fn axis(&self) -> Axis {

@@ -6,8 +6,6 @@
 //! identical on every process because creation happens in the same order
 //! everywhere (paper §4).
 
-use serde::{Deserialize, Serialize};
-
 use psa_math::{Interval, Rng64, Scalar, Vec3};
 
 /// Index of a system in the global creation-order vector.
@@ -15,7 +13,7 @@ use psa_math::{Interval, Rng64, Scalar, Vec3};
 /// The paper explicitly uses the vector position as the identifier, relying
 /// on deterministic creation order across processes; we keep that design and
 /// make it a newtype so it cannot be confused with calculator ranks.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SystemId(pub u16);
 
 impl std::fmt::Display for SystemId {
@@ -25,7 +23,7 @@ impl std::fmt::Display for SystemId {
 }
 
 /// How initial particle positions are drawn at emission.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum EmissionShape {
     /// A single point (classic fountain nozzle).
     Point(Vec3),
@@ -46,15 +44,13 @@ impl EmissionShape {
             EmissionShape::Disc { center, radius, normal } => {
                 *center + rng.on_disc(*radius, *normal)
             }
-            EmissionShape::Sphere { center, radius } => {
-                *center + rng.on_unit_sphere() * *radius
-            }
+            EmissionShape::Sphere { center, radius } => *center + rng.on_unit_sphere() * *radius,
         }
     }
 }
 
 /// How initial velocities are drawn at emission.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum VelocityModel {
     /// Constant for every particle.
     Constant(Vec3),
@@ -83,7 +79,7 @@ impl VelocityModel {
 
 /// Static description of one particle system: its identity, its space, and
 /// the initial-property generators for emitted particles.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemSpec {
     pub id: SystemId,
     /// Human-readable tag for logs and EXPERIMENTS.md output.
@@ -206,12 +202,8 @@ mod tests {
     #[test]
     fn cone_velocity_respects_speed_and_angle() {
         let mut rng = Rng64::new(4);
-        let m = VelocityModel::Cone {
-            axis: Vec3::Y,
-            speed_lo: 4.0,
-            speed_hi: 6.0,
-            half_angle: 0.3,
-        };
+        let m =
+            VelocityModel::Cone { axis: Vec3::Y, speed_lo: 4.0, speed_hi: 6.0, half_angle: 0.3 };
         for _ in 0..500 {
             let v = m.sample(&mut rng);
             let speed = v.length();

@@ -1,64 +1,89 @@
 //! Crate-level property tests for psa-core's storage invariants.
+//!
+//! Driven by deterministic [`Rng64`] case generators instead of `proptest`
+//! (the workspace builds offline); a failing case reproduces identically on
+//! every run.
 
-use proptest::prelude::*;
 use psa_core::{Particle, ParticleStore, SubDomainStore};
-use psa_math::{Axis, Interval, Vec3};
+use psa_math::{Axis, Interval, Rng64, Vec3};
+
+const CASES: usize = 256;
 
 fn p(x: f32) -> Particle {
     Particle::at(Vec3::new(x, 0.0, 0.0))
 }
 
-proptest! {
-    /// retain_unordered removes exactly the failing particles, no matter
-    /// the order of the sweep.
-    #[test]
-    fn retain_is_a_filter(xs in prop::collection::vec(-50.0f32..50.0, 0..200), cut in -50.0f32..50.0) {
+fn coords(rng: &mut Rng64, max_len: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let n = rng.below(max_len + 1);
+    (0..n).map(|_| rng.range(lo, hi)).collect()
+}
+
+/// retain_unordered removes exactly the failing particles, no matter the
+/// order of the sweep.
+#[test]
+fn retain_is_a_filter() {
+    let mut rng = Rng64::new(0x7E7A);
+    for _ in 0..CASES {
+        let xs = coords(&mut rng, 199, -50.0, 50.0);
+        let cut = rng.range(-50.0, 50.0);
         let mut s: ParticleStore = xs.iter().map(|&x| p(x)).collect();
         let removed = s.retain_unordered(|q| q.position.x < cut);
         let expected_kept = xs.iter().filter(|&&x| x < cut).count();
-        prop_assert_eq!(s.len(), expected_kept);
-        prop_assert_eq!(removed, xs.len() - expected_kept);
-        prop_assert!(s.iter().all(|q| q.position.x < cut));
+        assert_eq!(s.len(), expected_kept);
+        assert_eq!(removed, xs.len() - expected_kept);
+        assert!(s.iter().all(|q| q.position.x < cut));
     }
+}
 
-    /// drain_where partitions the store: drained ∪ remaining == original
-    /// (as multisets of coordinates).
-    #[test]
-    fn drain_partitions(xs in prop::collection::vec(-50.0f32..50.0, 0..200), cut in -50.0f32..50.0) {
+/// drain_where partitions the store: drained ∪ remaining == original (as
+/// multisets of coordinates).
+#[test]
+fn drain_partitions() {
+    let mut rng = Rng64::new(0xD4A1);
+    for _ in 0..CASES {
+        let xs = coords(&mut rng, 199, -50.0, 50.0);
+        let cut = rng.range(-50.0, 50.0);
         let mut s: ParticleStore = xs.iter().map(|&x| p(x)).collect();
         let drained = s.drain_where(|q| q.position.x >= cut);
-        let mut all: Vec<f32> = s.iter().map(|q| q.position.x)
-            .chain(drained.iter().map(|q| q.position.x)).collect();
+        let mut all: Vec<f32> =
+            s.iter().map(|q| q.position.x).chain(drained.iter().map(|q| q.position.x)).collect();
         all.sort_by(f32::total_cmp);
         let mut orig = xs.clone();
         orig.sort_by(f32::total_cmp);
-        prop_assert_eq!(all, orig);
+        assert_eq!(all, orig);
     }
+}
 
-    /// sort_along + donate_low/high from a flat store return the exact
-    /// extremes.
-    #[test]
-    fn flat_donation_is_extreme(xs in prop::collection::vec(-50.0f32..50.0, 1..100), k in 1usize..50) {
+/// sort_along + donate_low/high from a flat store return the exact
+/// extremes.
+#[test]
+fn flat_donation_is_extreme() {
+    let mut rng = Rng64::new(0xF1A7);
+    for _ in 0..CASES {
+        let mut xs = coords(&mut rng, 98, -50.0, 50.0);
+        xs.push(rng.range(-50.0, 50.0)); // never empty
         let mut s: ParticleStore = xs.iter().map(|&x| p(x)).collect();
         s.sort_along(Axis::X);
-        let k = k.min(xs.len());
+        let k = (1 + rng.below(49)).min(xs.len());
         let low = s.donate_low(k);
         let mut got: Vec<f32> = low.iter().map(|q| q.position.x).collect();
         got.sort_by(f32::total_cmp);
         let mut want = xs.clone();
         want.sort_by(f32::total_cmp);
         want.truncate(k);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// Re-bucketing in collect_leavers never changes the population of
-    /// in-slice particles, whatever motion was applied.
-    #[test]
-    fn rebucketing_preserves_population(
-        xs in prop::collection::vec(0.0f32..10.0, 0..150),
-        dx in -8.0f32..8.0,
-        buckets in 1usize..10,
-    ) {
+/// Re-bucketing in collect_leavers never changes the population of in-slice
+/// particles, whatever motion was applied.
+#[test]
+fn rebucketing_preserves_population() {
+    let mut rng = Rng64::new(0x2EB0);
+    for _ in 0..CASES {
+        let xs = coords(&mut rng, 149, 0.0, 10.0);
+        let dx = rng.range(-8.0, 8.0);
+        let buckets = 1 + rng.below(9);
         let slice = Interval::new(0.0, 10.0);
         let mut s = SubDomainStore::new(slice, Axis::X, buckets);
         for &x in &xs {
@@ -67,18 +92,20 @@ proptest! {
         s.for_each_mut(|q| q.position.x += dx);
         let leavers = s.collect_leavers();
         let expected_in = xs.iter().filter(|&&x| slice.contains(x + dx)).count();
-        prop_assert_eq!(s.len(), expected_in);
-        prop_assert_eq!(leavers.len(), xs.len() - expected_in);
+        assert_eq!(s.len(), expected_in);
+        assert_eq!(leavers.len(), xs.len() - expected_in);
     }
+}
 
-    /// Boundary slabs are a superset-free copy: slab members are exactly
-    /// the particles within `w` of an edge.
-    #[test]
-    fn slabs_are_exact(
-        xs in prop::collection::vec(0.0f32..10.0, 0..150),
-        w in 0.1f32..5.0,
-        buckets in 1usize..8,
-    ) {
+/// Boundary slabs are a superset-free copy: slab members are exactly the
+/// particles within `w` of an edge.
+#[test]
+fn slabs_are_exact() {
+    let mut rng = Rng64::new(0x51AB);
+    for _ in 0..CASES {
+        let xs = coords(&mut rng, 149, 0.0, 10.0);
+        let w = rng.range(0.1, 5.0);
+        let buckets = 1 + rng.below(7);
         let slice = Interval::new(0.0, 10.0);
         let mut s = SubDomainStore::new(slice, Axis::X, buckets);
         for &x in &xs {
@@ -87,27 +114,29 @@ proptest! {
         let (low, high) = s.boundary_slabs(w);
         let want_low = xs.iter().filter(|&&x| x < w).count();
         let want_high = xs.iter().filter(|&&x| x >= 10.0 - w).count();
-        prop_assert_eq!(low.len(), want_low);
-        prop_assert_eq!(high.len(), want_high);
-        prop_assert_eq!(s.len(), xs.len(), "slabs are copies");
+        assert_eq!(low.len(), want_low);
+        assert_eq!(high.len(), want_high);
+        assert_eq!(s.len(), xs.len(), "slabs are copies");
     }
+}
 
-    /// reshape is population-preserving: kept + leavers == before.
-    #[test]
-    fn reshape_preserves_population(
-        xs in prop::collection::vec(0.0f32..10.0, 0..150),
-        lo in 0.0f32..5.0,
-        width in 0.0f32..5.0,
-    ) {
+/// reshape is population-preserving: kept + leavers == before.
+#[test]
+fn reshape_preserves_population() {
+    let mut rng = Rng64::new(0x2E5A);
+    for _ in 0..CASES {
+        let xs = coords(&mut rng, 149, 0.0, 10.0);
+        let lo = rng.range(0.0, 5.0);
+        let width = rng.range(0.0, 5.0);
         let mut s = SubDomainStore::new(Interval::new(0.0, 10.0), Axis::X, 4);
         for &x in &xs {
             s.insert(p(x));
         }
         let new_slice = Interval::new(lo, lo + width);
         let leavers = s.reshape(new_slice);
-        prop_assert_eq!(s.len() + leavers.len(), xs.len());
+        assert_eq!(s.len() + leavers.len(), xs.len());
         for q in s.iter() {
-            prop_assert!(new_slice.contains(q.position.x));
+            assert!(new_slice.contains(q.position.x));
         }
     }
 }

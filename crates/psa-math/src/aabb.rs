@@ -1,11 +1,9 @@
 //! Axis-aligned bounding boxes for simulation spaces and domain slices.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Axis, Interval, Scalar, Vec3};
 
 /// An axis-aligned box, half-open along each axis: `[min, max)`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Aabb {
     pub min: Vec3,
     pub max: Vec3,
@@ -31,10 +29,7 @@ impl Aabb {
 
     /// The degenerate empty box (useful as a fold identity for unions).
     pub fn empty() -> Self {
-        Aabb {
-            min: Vec3::splat(Scalar::MAX),
-            max: Vec3::splat(Scalar::MIN),
-        }
+        Aabb { min: Vec3::splat(Scalar::MAX), max: Vec3::splat(Scalar::MIN) }
     }
 
     #[inline]
@@ -84,10 +79,7 @@ impl Aabb {
     /// This is how a calculator's 3-D domain box is derived from its 1-D
     /// slice of the decomposition axis.
     pub fn with_interval(&self, axis: Axis, iv: Interval) -> Aabb {
-        Aabb::new(
-            self.min.with_along(axis, iv.lo),
-            self.max.with_along(axis, iv.hi),
-        )
+        Aabb::new(self.min.with_along(axis, iv.lo), self.max.with_along(axis, iv.hi))
     }
 
     /// Smallest box containing both.

@@ -4,10 +4,8 @@
 //! the plane or space (paper §3.1.4); all domain bookkeeping therefore works
 //! on scalars projected onto that axis.
 
-use serde::{Deserialize, Serialize};
-
 /// One of the three coordinate axes.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Axis {
     /// The horizontal axis used in the paper's Figure 1 example.
     #[default]

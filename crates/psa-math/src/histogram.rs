@@ -1,13 +1,11 @@
 //! Fixed-bin histograms for load-distribution reporting.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-range, fixed-bin-count histogram of `f64` observations.
 ///
 /// Used by the benches and the `animate` CLI to summarize per-calculator
 /// load distributions and per-frame times; under/overflow observations
 /// clamp into the edge bins so counts are never lost.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -5,8 +5,6 @@
 //! belongs to exactly one domain" hold by construction at the shared
 //! boundaries.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Scalar;
 
 /// A half-open interval `[lo, hi)` on the decomposition axis.
@@ -14,7 +12,7 @@ use crate::Scalar;
 /// `lo == hi` is permitted and denotes an empty interval (a calculator whose
 /// domain was squeezed to nothing by load balancing still owns a valid,
 /// empty slice).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Interval {
     pub lo: Scalar,
     pub hi: Scalar,

@@ -8,14 +8,12 @@
 //! costs a handful of ALU ops per draw — appropriate for generating
 //! 3.2 million particle states per frame.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Scalar, Vec3};
 
 const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A SplitMix64 random number generator.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Rng64 {
     state: u64,
 }
@@ -97,11 +95,7 @@ impl Rng64 {
     /// expected).
     pub fn in_unit_sphere(&mut self) -> Vec3 {
         loop {
-            let v = Vec3::new(
-                self.range(-1.0, 1.0),
-                self.range(-1.0, 1.0),
-                self.range(-1.0, 1.0),
-            );
+            let v = Vec3::new(self.range(-1.0, 1.0), self.range(-1.0, 1.0), self.range(-1.0, 1.0));
             if v.length_squared() < 1.0 {
                 return v;
             }
@@ -124,11 +118,7 @@ impl Rng64 {
 
     /// Uniform point inside an axis-aligned box given by corners.
     pub fn in_box(&mut self, min: Vec3, max: Vec3) -> Vec3 {
-        Vec3::new(
-            self.range(min.x, max.x),
-            self.range(min.y, max.y),
-            self.range(min.z, max.z),
-        )
+        Vec3::new(self.range(min.x, max.x), self.range(min.y, max.y), self.range(min.z, max.z))
     }
 
     /// Uniform point on a disc of radius `r` in the plane orthogonal to a

@@ -1,13 +1,11 @@
 //! Light running statistics used by the load balancer and bench harness.
 
-use serde::{Deserialize, Serialize};
-
 /// Welford running mean/variance accumulator.
 ///
 /// The benchmark harness uses this to summarize per-frame times; the load
 /// balancer uses it to smooth noisy per-frame load reports in the threaded
 /// executor (virtual time is noise-free).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Running {
     n: u64,
     mean: f64,
@@ -18,13 +16,7 @@ pub struct Running {
 
 impl Running {
     pub fn new() -> Self {
-        Running {
-            n: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        Running { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Fold one observation in.

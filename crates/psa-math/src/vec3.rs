@@ -1,6 +1,5 @@
 //! A minimal 3-component vector tuned for particle simulation hot loops.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
 
 use crate::{Axis, Scalar};
@@ -12,7 +11,7 @@ use crate::{Axis, Scalar};
 /// for the byte-accounting in `netsim` (a particle's wire size is derived
 /// from `size_of::<Vec3>()`).
 #[repr(C)]
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Vec3 {
     pub x: Scalar,
     pub y: Scalar,

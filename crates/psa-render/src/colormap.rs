@@ -13,10 +13,7 @@ impl ColorMap {
     /// Build from control points (must be sorted by t, at least two).
     pub fn new(stops: Vec<(Scalar, Vec3)>) -> Self {
         assert!(stops.len() >= 2, "a ramp needs at least two stops");
-        assert!(
-            stops.windows(2).all(|w| w[0].0 <= w[1].0),
-            "ramp stops must be sorted"
-        );
+        assert!(stops.windows(2).all(|w| w[0].0 <= w[1].0), "ramp stops must be sorted");
         ColorMap { stops }
     }
 
@@ -94,7 +91,12 @@ mod tests {
 
     #[test]
     fn duplicate_stop_does_not_divide_by_zero() {
-        let m = ColorMap::new(vec![(0.0, Vec3::ZERO), (0.5, Vec3::X), (0.5, Vec3::Y), (1.0, Vec3::ONE)]);
+        let m = ColorMap::new(vec![
+            (0.0, Vec3::ZERO),
+            (0.5, Vec3::X),
+            (0.5, Vec3::Y),
+            (1.0, Vec3::ONE),
+        ]);
         let c = m.at(0.5);
         assert!(c.is_finite());
     }

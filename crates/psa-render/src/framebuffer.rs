@@ -93,11 +93,8 @@ impl Framebuffer {
         if self.color.is_empty() {
             return 0.0;
         }
-        let sum: f64 = self
-            .color
-            .iter()
-            .map(|c| (0.2126 * c.x + 0.7152 * c.y + 0.0722 * c.z) as f64)
-            .sum();
+        let sum: f64 =
+            self.color.iter().map(|c| (0.2126 * c.x + 0.7152 * c.y + 0.0722 * c.z) as f64).sum();
         sum / self.color.len() as f64
     }
 

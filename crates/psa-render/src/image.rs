@@ -26,9 +26,7 @@ pub fn write_pgm(fb: &Framebuffer, path: &Path) -> io::Result<()> {
     let rgb = fb.to_rgb8();
     let gray: Vec<u8> = rgb
         .chunks_exact(3)
-        .map(|c| {
-            (0.2126 * c[0] as f32 + 0.7152 * c[1] as f32 + 0.0722 * c[2] as f32) as u8
-        })
+        .map(|c| (0.2126 * c[0] as f32 + 0.7152 * c[1] as f32 + 0.0722 * c[2] as f32) as u8)
         .collect();
     w.write_all(&gray)?;
     w.flush()

@@ -39,9 +39,8 @@ pub fn render_particles(
         let Some(proj) = camera.project(p.position) else {
             continue;
         };
-        let radius = (p.size * proj.pixels_per_unit * cfg.radius_scale)
-            .min(cfg.max_radius_px)
-            .max(0.5);
+        let radius =
+            (p.size * proj.pixels_per_unit * cfg.radius_scale).min(cfg.max_radius_px).max(0.5);
         let (cx, cy) = (proj.x, proj.y);
         let r = radius.ceil() as isize;
         let (px, py) = (cx.floor() as isize, cy.floor() as isize);
@@ -110,11 +109,7 @@ pub fn render_streaks(
 /// is also responsible for "render[ing] external objects that exist in the
 /// simulation", paper §3.2.4). A coarse screen-space point-membership test
 /// is plenty for scene context.
-pub fn render_objects(
-    fb: &mut Framebuffer,
-    camera: &Camera,
-    objects: &[(ExternalObject, Vec3)],
-) {
+pub fn render_objects(fb: &mut Framebuffer, camera: &Camera, objects: &[(ExternalObject, Vec3)]) {
     if objects.is_empty() {
         return;
     }
@@ -273,11 +268,7 @@ mod tests {
     #[test]
     fn ground_plane_renders_band() {
         let (mut fb, cam) = scene();
-        render_objects(
-            &mut fb,
-            &cam,
-            &[(ExternalObject::ground(0.0), Vec3::new(0.2, 0.4, 0.2))],
-        );
+        render_objects(&mut fb, &cam, &[(ExternalObject::ground(0.0), Vec3::new(0.2, 0.4, 0.2))]);
         assert!(fb.lit_pixels(Vec3::ZERO) > 0);
     }
 
@@ -287,10 +278,7 @@ mod tests {
         render_objects(
             &mut fb,
             &cam,
-            &[(
-                ExternalObject::Sphere { center: Vec3::ZERO, radius: 3.0 },
-                Vec3::X,
-            )],
+            &[(ExternalObject::Sphere { center: Vec3::ZERO, radius: 3.0 }, Vec3::X)],
         );
         let lit = fb.lit_pixels(Vec3::ZERO);
         // a radius-3 disc in a 20-unit/64-px view ≈ π(3/20·64)² ≈ 290 px

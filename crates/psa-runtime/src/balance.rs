@@ -19,10 +19,8 @@
 //! Everything here is pure — the executors feed reports in and carry the
 //! decisions out — which is what makes the rules property-testable.
 
-use serde::{Deserialize, Serialize};
-
 /// A calculator's per-frame load report.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LoadInfo {
     /// Particles held after the exchange.
     pub count: usize,
@@ -32,7 +30,7 @@ pub struct LoadInfo {
 }
 
 /// Balancer tuning.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BalancerConfig {
     /// Rebalance a pair when `|t_a - t_b| > rel_threshold × max(t_a, t_b)`.
     pub rel_threshold: f64,
@@ -49,7 +47,7 @@ impl Default for BalancerConfig {
 }
 
 /// One balancing order, addressed to a calculator.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Order {
     /// Donate `amount` particles to neighbor `to` (a domain neighbor:
     /// rank ± 1).
@@ -59,7 +57,7 @@ pub enum Order {
 }
 
 /// A decided transfer between a neighbor pair.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Transfer {
     pub donor: usize,
     pub receiver: usize,
@@ -352,10 +350,7 @@ mod tests {
             let powers = vec![1.0; n];
             let cfg = BalancerConfig { rel_threshold: 0.1, min_transfer: 32 };
             for round in 0..2_000usize {
-                let l: Vec<LoadInfo> = counts
-                    .iter()
-                    .map(|&c| li(c, c as f64 * 1e-6))
-                    .collect();
+                let l: Vec<LoadInfo> = counts.iter().map(|&c| li(c, c as f64 * 1e-6)).collect();
                 let ts = if decentralized {
                     evaluate_decentralized(&l, &powers, &cfg)
                 } else {
@@ -389,10 +384,7 @@ mod tests {
         let powers = vec![1.0; 8];
         let c = BalancerConfig { rel_threshold: 0.1, min_transfer: 5 };
         for round in 0..64 {
-            let loads: Vec<LoadInfo> = counts
-                .iter()
-                .map(|&n| li(n, n as f64 * 1e-3))
-                .collect();
+            let loads: Vec<LoadInfo> = counts.iter().map(|&n| li(n, n as f64 * 1e-3)).collect();
             let ts = evaluate(&loads, &powers, round % 2, &c);
             validate_transfers(&ts, 8).unwrap();
             for t in ts {
@@ -402,9 +394,6 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap() as f64;
         let mean = counts.iter().sum::<usize>() as f64 / 8.0;
-        assert!(
-            max / mean < 1.35,
-            "neighbor balancing should flatten the spike: {counts:?}"
-        );
+        assert!(max / mean < 1.35, "neighbor balancing should flatten the spike: {counts:?}");
     }
 }

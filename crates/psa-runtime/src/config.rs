@@ -1,14 +1,12 @@
 //! Run configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::balance::BalancerConfig;
 
 /// Whether the simulated space is restricted to the particle systems'
 /// extent (paper: "FS", finite space) or left unbounded ("IS", infinite
 /// space). With IS, static decomposition assigns almost all particles to
 /// the central domain(s) — the Table 1 pathology.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SpaceMode {
     #[default]
     Finite,
@@ -16,7 +14,7 @@ pub enum SpaceMode {
 }
 
 /// Static (initial even split, never changed) vs dynamic load balancing.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum BalanceMode {
     /// SLB: domains stay at their initial even split.
     Static,
@@ -55,7 +53,7 @@ impl BalanceMode {
 /// How multiple particle systems are combined within one frame — the §3.3
 /// observation that "depending on the form used, the processing may be more
 /// or less efficient".
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SystemSchedule {
     /// Figure 2 verbatim: each system runs its full protocol before the
     /// next system starts. The manager's post-exchange work on system `s`
@@ -70,8 +68,25 @@ pub enum SystemSchedule {
     Batched,
 }
 
+/// What a calculator reports as its per-frame processing "time" (§3.2.4).
+///
+/// The paper measures wall clock; wall clock makes dynamic-balancing
+/// decisions depend on scheduler noise, so two same-seed threaded runs can
+/// balance differently. [`LoadMetric::CountProportional`] reports the
+/// post-exchange particle count instead — the balancer sees a load signal
+/// that is a pure function of simulation state, making DLB runs
+/// bit-reproducible (the determinism regression tests rely on this).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LoadMetric {
+    /// Measured wall-clock compute time (the paper's setup).
+    #[default]
+    WallClock,
+    /// Deterministic: load "time" is the particle count.
+    CountProportional,
+}
+
 /// Full configuration of one run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunConfig {
     /// Animation length in frames.
     pub frames: u64,
@@ -88,6 +103,9 @@ pub struct RunConfig {
     /// Warm-up frames excluded from per-frame statistics (population
     /// ramp-up).
     pub warmup: u64,
+    /// Load signal the threaded executor's calculators report (the virtual
+    /// executor is always deterministic regardless).
+    pub load_metric: LoadMetric,
 }
 
 impl Default for RunConfig {
@@ -101,6 +119,7 @@ impl Default for RunConfig {
             buckets: 8,
             schedule: SystemSchedule::PerSystem,
             warmup: 0,
+            load_metric: LoadMetric::WallClock,
         }
     }
 }

@@ -5,8 +5,8 @@
 //! generator), end-of-transmission notifications, load information, balance
 //! orders, new dimensions, and the domain broadcast.
 
-use netsim::WireSize;
-use psa_core::{Particle, SystemId, WIRE_BYTES};
+use netsim::{TransportError, WireSize};
+use psa_core::{InvariantViolation, Particle, SystemId, WIRE_BYTES};
 use psa_math::Scalar;
 
 use crate::balance::{LoadInfo, Order};
@@ -55,6 +55,89 @@ pub enum Msg {
     RenderParticles { system: SystemId, batch: Vec<Particle> },
     /// Frame-complete token.
     FrameDone { frame: u64 },
+}
+
+impl Msg {
+    /// Short message-kind name for protocol diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Particles { .. } => "Particles",
+            Msg::EndOfTransmission { .. } => "EndOfTransmission",
+            Msg::Load { .. } => "Load",
+            Msg::Orders { .. } => "Orders",
+            Msg::NewCut { .. } => "NewCut",
+            Msg::Domains { .. } => "Domains",
+            Msg::Ghosts { .. } => "Ghosts",
+            Msg::RenderBatch { .. } => "RenderBatch",
+            Msg::RenderParticles { .. } => "RenderParticles",
+            Msg::FrameDone { .. } => "FrameDone",
+        }
+    }
+}
+
+/// A frame-protocol failure, carried to the executor instead of panicking a
+/// worker thread mid-protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtocolError {
+    /// The transport reported a dead peer.
+    Transport(TransportError),
+    /// A role received a message kind the Figure-2 schedule forbids at that
+    /// point.
+    UnexpectedMessage {
+        role: &'static str,
+        rank: usize,
+        frame: u64,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// The manager broadcast (or a donor reported) an invalid domain
+    /// configuration.
+    Domain { role: &'static str, rank: usize, frame: u64, detail: String },
+    /// A `strict-invariants` runtime check failed.
+    Invariant(InvariantViolation),
+    /// The recorded protocol trace of a frame departed from the Figure-2
+    /// order (`strict-invariants` only).
+    OrderBroken { role: &'static str, rank: usize, frame: u64, detail: String },
+    /// Rasterizer output could not be written.
+    Render { frame: u64, detail: String },
+    /// A worker thread panicked (the panic payload is lost to `join`).
+    WorkerPanic { role: &'static str },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Transport(e) => write!(f, "transport: {e}"),
+            ProtocolError::UnexpectedMessage { role, rank, frame, expected, got } => {
+                write!(f, "{role} {rank} frame {frame}: expected {expected}, got {got}")
+            }
+            ProtocolError::Domain { role, rank, frame, detail } => {
+                write!(f, "{role} {rank} frame {frame}: invalid domains: {detail}")
+            }
+            ProtocolError::Invariant(v) => write!(f, "invariant: {v}"),
+            ProtocolError::OrderBroken { role, rank, frame, detail } => {
+                write!(f, "{role} {rank} frame {frame}: protocol order broken: {detail}")
+            }
+            ProtocolError::Render { frame, detail } => {
+                write!(f, "image generator frame {frame}: {detail}")
+            }
+            ProtocolError::WorkerPanic { role } => write!(f, "{role} thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<TransportError> for ProtocolError {
+    fn from(e: TransportError) -> Self {
+        ProtocolError::Transport(e)
+    }
+}
+
+impl From<InvariantViolation> for ProtocolError {
+    fn from(v: InvariantViolation) -> Self {
+        ProtocolError::Invariant(v)
+    }
 }
 
 impl WireSize for Msg {
@@ -113,9 +196,7 @@ mod tests {
     #[test]
     fn control_messages_are_small() {
         assert!(Msg::EndOfTransmission { system: SystemId(1) }.wire_bytes() < 16);
-        assert!(
-            Msg::Domains { system: SystemId(1), cuts: vec![0.0; 9] }.wire_bytes() < 64
-        );
+        assert!(Msg::Domains { system: SystemId(1), cuts: vec![0.0; 9] }.wire_bytes() < 64);
     }
 
     #[test]

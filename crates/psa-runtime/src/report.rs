@@ -1,12 +1,10 @@
 //! Run reports.
 
-use serde::{Deserialize, Serialize};
-
 use netsim::TrafficStats;
 use psa_math::stats::Running;
 
 /// Per-frame aggregate measurements.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FrameReport {
     pub frame: u64,
     /// Alive particles across all systems at frame end.
@@ -21,10 +19,15 @@ pub struct FrameReport {
     pub frame_time: f64,
     /// Coefficient of imbalance `max/mean − 1` across calculators.
     pub imbalance: f64,
+    /// Order-sensitive FNV-1a over every particle state the image generator
+    /// received this frame (0 when the executor does not compute it). Two
+    /// same-seed runs must agree bit-for-bit — the determinism regression
+    /// tests compare these.
+    pub checksum: u64,
 }
 
 /// The result of one run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunReport {
     /// Paper-style config label (`FS-DLB` …).
     pub label: String,
@@ -107,8 +110,20 @@ mod tests {
             calculators: 4,
             total_time: 2.0,
             frames: vec![
-                FrameReport { frame: 0, alive: 100, migrated: 10, migration_bytes: 700, ..Default::default() },
-                FrameReport { frame: 1, alive: 200, migrated: 20, migration_bytes: 1400, ..Default::default() },
+                FrameReport {
+                    frame: 0,
+                    alive: 100,
+                    migrated: 10,
+                    migration_bytes: 700,
+                    ..Default::default()
+                },
+                FrameReport {
+                    frame: 1,
+                    alive: 200,
+                    migrated: 20,
+                    migration_bytes: 1400,
+                    ..Default::default()
+                },
             ],
             traffic: TrafficStats::default(),
         }

@@ -31,9 +31,7 @@ pub struct SystemSetup {
 
 impl SystemSetup {
     pub fn new(spec: SystemSpec, actions: ActionList) -> Self {
-        actions
-            .validate()
-            .expect("action list violates the model's structural rules");
+        actions.validate().expect("action list violates the model's structural rules");
         SystemSetup { spec, actions: Arc::new(actions) }
     }
 }
@@ -61,10 +59,7 @@ impl Scene {
     /// every process.
     pub fn add_system(&mut self, setup: SystemSetup) -> SystemId {
         let id = SystemId(self.systems.len() as u16);
-        assert_eq!(
-            setup.spec.id, id,
-            "system id must equal its creation-order index"
-        );
+        assert_eq!(setup.spec.id, id, "system id must equal its creation-order index");
         self.systems.push(setup);
         id
     }

@@ -20,11 +20,7 @@ use crate::scene::Scene;
 /// Deterministic stream identical to the parallel executor's creation
 /// stream, so sequential and parallel runs simulate the same workload.
 fn stream(seed: u64, tag: u64, frame: u64, sys: usize, rank: usize) -> Rng64 {
-    Rng64::new(seed)
-        .split(tag)
-        .split(frame)
-        .split(sys as u64)
-        .split(rank as u64)
+    Rng64::new(seed).split(tag).split(frame).split(sys as u64).split(rank as u64)
 }
 
 const TAG_CREATE: u64 = 0xC0;
@@ -37,11 +33,8 @@ pub fn run_sequential(scene: &Scene, cfg: &RunConfig, cost: &CostModel, speed: f
     let n_sys = scene.systems.len();
     // The original library keeps each system's particles in one vector: a
     // single-bucket store spanning the whole space.
-    let mut stores: Vec<SubDomainStore> = scene
-        .systems
-        .iter()
-        .map(|s| SubDomainStore::new(s.spec.space, Axis::X, 1))
-        .collect();
+    let mut stores: Vec<SubDomainStore> =
+        scene.systems.iter().map(|s| SubDomainStore::new(s.spec.space, Axis::X, 1)).collect();
 
     let mut total = 0.0f64;
     let mut frames = Vec::with_capacity(cfg.frames as usize);
@@ -54,11 +47,7 @@ pub fn run_sequential(scene: &Scene, cfg: &RunConfig, cost: &CostModel, speed: f
             let spec = &setup.spec;
             // Creation.
             let mut rng_c = stream(cfg.seed, TAG_CREATE, frame, sys, 0);
-            let mut newborn = if frame == 0 {
-                spec.emit_initial(&mut rng_c)
-            } else {
-                Vec::new()
-            };
+            let mut newborn = if frame == 0 { spec.emit_initial(&mut rng_c) } else { Vec::new() };
             newborn.extend((0..spec.emit_per_frame).map(|_| spec.emit_one(&mut rng_c)));
             frame_time += cost.create_time(newborn.len(), speed);
             stores[sys].extend(newborn);
@@ -99,10 +88,7 @@ pub fn run_sequential(scene: &Scene, cfg: &RunConfig, cost: &CostModel, speed: f
         cluster: "sequential".into(),
         calculators: 1,
         total_time: total,
-        frames: frames
-            .into_iter()
-            .filter(|f| f.frame >= cfg.warmup)
-            .collect(),
+        frames: frames.into_iter().filter(|f| f.frame >= cfg.warmup).collect(),
         traffic: Default::default(),
     }
 }
@@ -121,10 +107,7 @@ mod tests {
         let mut s = Scene::new();
         s.add_system(SystemSetup::new(
             spec,
-            ActionList::new()
-                .then(Gravity::earth())
-                .then(KillOld::new(0.5))
-                .then(MoveParticles),
+            ActionList::new().then(Gravity::earth()).then(KillOld::new(0.5)).then(MoveParticles),
         ));
         s
     }

@@ -1,42 +1,51 @@
 //! SPMD executor over real host threads.
 //!
 //! Runs the identical frame protocol as [`crate::virtual_exec`] but with
-//! every role on its own OS thread, real crossbeam channels, wall-clock
-//! timing, and a real image generator that rasterizes frames (optionally to
-//! PPM files). This is the executable demonstration that the model
-//! parallelizes — the virtual executor is the instrument that reproduces
-//! the paper's cluster numbers.
+//! every role on its own OS thread, one mpsc channel per (sender, receiver)
+//! pair, wall-clock timing, and a real image generator that rasterizes
+//! frames (optionally to PPM files). This is the executable demonstration
+//! that the model parallelizes — the virtual executor is the instrument
+//! that reproduces the paper's cluster numbers.
+//!
+//! Protocol failures are values, not panics: every role returns
+//! [`ProtocolError`] and [`run_threaded`] surfaces the most specific error
+//! after joining all threads. With the `strict-invariants` feature, each
+//! role additionally checks particle conservation across the exchange, the
+//! domain-partition property after every rebalance, and the Figure-2 order
+//! of its recorded protocol trace.
 
+// psa-verify: allow(wall-clock) — this executor measures real elapsed time
+// by design (the virtual executor owns virtual time).
 use std::path::PathBuf;
 use std::thread;
 
 use netsim::{ThreadEndpoint, ThreadNet};
 use psa_core::actions::ActionCtx;
+use psa_core::invariants::{self, StateHash};
 use psa_core::{DomainMap, Particle, SubDomainStore};
 use psa_math::stats::imbalance;
 use psa_math::{Axis, Interval, Rng64};
 use psa_render::image::{frame_filename, write_ppm};
-use psa_render::{render_objects, render_particles, render_streaks, Camera, Framebuffer, SplatConfig};
+use psa_render::{
+    render_objects, render_particles, render_streaks, Camera, Framebuffer, SplatConfig,
+};
 
 use crate::balance::{self, LoadInfo};
-use crate::config::{BalanceMode, RunConfig, SpaceMode};
-use crate::msg::Msg;
+use crate::config::{BalanceMode, LoadMetric, RunConfig, SpaceMode};
+use crate::msg::{Msg, ProtocolError};
 use crate::report::{FrameReport, RunReport};
 use crate::scene::Scene;
+use crate::trace::{figure2_passes, ProtocolEvent, Trace};
 
 const TAG_CREATE: u64 = 0xC0;
 const TAG_ACTIONS: u64 = 0xAC;
 
 fn stream(seed: u64, tag: u64, frame: u64, sys: usize, rank: usize) -> Rng64 {
-    Rng64::new(seed)
-        .split(tag)
-        .split(frame)
-        .split(sys as u64)
-        .split(rank as u64)
+    Rng64::new(seed).split(tag).split(frame).split(sys as u64).split(rank as u64)
 }
 
 /// Where and how the image generator should rasterize.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct RenderSink {
     pub camera: Camera,
     pub splat: SplatConfig,
@@ -72,14 +81,37 @@ fn space_for(scene: &Scene, cfg: &RunConfig, sys: usize) -> Interval {
     }
 }
 
+/// Expect a specific message kind; anything else is a protocol violation.
+macro_rules! expect_msg {
+    ($ep:expr, $from:expr, $role:expr, $rank:expr, $frame:expr, $pat:pat => $out:expr, $want:expr) => {
+        match $ep.recv($from)? {
+            $pat => $out,
+            other => {
+                return Err(ProtocolError::UnexpectedMessage {
+                    role: $role,
+                    rank: $rank,
+                    frame: $frame,
+                    expected: $want,
+                    got: other.kind(),
+                })
+            }
+        }
+    };
+}
+
 /// Run the scene on `n` calculator threads (+ manager + image generator).
 /// Returns the wall-clock report; `sink` controls real rasterization.
+///
+/// # Panics
+/// Panics if `n == 0` — a run with no calculators is a caller bug. All
+/// runtime failures (dead peers, out-of-order messages, invariant
+/// violations, render I/O) come back as [`ProtocolError`].
 pub fn run_threaded(
     scene: &Scene,
     cfg: &RunConfig,
     n: usize,
     sink: Option<RenderSink>,
-) -> RunReport {
+) -> Result<RunReport, ProtocolError> {
     assert!(n >= 1);
     // The threaded executor implements the centralized protocol with the
     // Figure-2 per-system schedule; the decentralized variant and batched
@@ -93,71 +125,102 @@ pub fn run_threaded(
         c
     };
     let n_sys = scene.systems.len();
-    let mgr = n;
-    let ig = n + 1;
     let endpoints = ThreadNet::build::<Msg>(n + 2);
     let started = std::time::Instant::now();
 
-    let initial_domains: Vec<DomainMap> = (0..n_sys)
-        .map(|s| DomainMap::split_even(space_for(scene, cfg, s), Axis::X, n))
-        .collect();
+    let initial_domains: Vec<DomainMap> =
+        (0..n_sys).map(|s| DomainMap::split_even(space_for(scene, cfg, s), Axis::X, n)).collect();
 
     let mut handles = Vec::new();
     let mut eps = endpoints.into_iter();
 
     // ---- Calculator threads --------------------------------------------
     for c in 0..n {
-        let ep = eps.next().unwrap();
+        let ep = eps.next().expect("fabric built with n+2 endpoints");
         let scene = scene.clone();
         let cfg = cfg.clone();
         let domains0 = initial_domains.clone();
-        handles.push(thread::spawn(move || {
-            calculator_main(ep, c, n, &scene, &cfg, domains0);
-        }));
+        handles.push(thread::spawn(move || calculator_main(ep, c, n, &scene, &cfg, domains0)));
     }
 
     // ---- Manager thread -------------------------------------------------
     let mgr_handle = {
-        let ep = eps.next().unwrap();
+        let ep = eps.next().expect("fabric built with n+2 endpoints");
         let scene = scene.clone();
         let cfg = cfg.clone();
         let domains0 = initial_domains.clone();
         thread::spawn(move || manager_main(ep, n, &scene, &cfg, domains0))
     };
-    debug_assert_eq!(mgr_handle.thread().id(), mgr_handle.thread().id());
-    let _ = mgr;
 
     // ---- Image generator thread ------------------------------------------
     let ig_handle = {
-        let ep = eps.next().unwrap();
+        let ep = eps.next().expect("fabric built with n+2 endpoints");
         let scene = scene.clone();
         let cfg = cfg.clone();
         thread::spawn(move || image_generator_main(ep, n, &scene, &cfg, sink))
     };
-    let _ = ig;
 
-    for h in handles {
-        h.join().expect("calculator thread panicked");
+    // Join every role. If one role fails mid-protocol its endpoints drop
+    // and the peers unblock with Transport errors; prefer the most specific
+    // (non-transport) error when reporting.
+    let calc_results: Vec<Result<(), ProtocolError>> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or(Err(ProtocolError::WorkerPanic { role: "calculator" })))
+        .collect();
+    let mgr_result =
+        mgr_handle.join().unwrap_or(Err(ProtocolError::WorkerPanic { role: "manager" }));
+    let ig_result =
+        ig_handle.join().unwrap_or(Err(ProtocolError::WorkerPanic { role: "image generator" }));
+
+    let mut first_transport: Option<ProtocolError> = None;
+    let mut first_specific: Option<ProtocolError> = None;
+    let mut note = |e: ProtocolError| match e {
+        ProtocolError::Transport(_) => {
+            first_transport.get_or_insert(e);
+        }
+        other => {
+            first_specific.get_or_insert(other);
+        }
+    };
+    for r in calc_results {
+        if let Err(e) = r {
+            note(e);
+        }
     }
-    let mut frames = mgr_handle.join().expect("manager thread panicked");
-    let rendered = ig_handle.join().expect("image generator thread panicked");
-    // Merge IG-side alive counts into the manager's frame reports.
-    for (fr, alive) in frames.iter_mut().zip(rendered) {
+    let mgr_frames = match mgr_result {
+        Ok(frames) => Some(frames),
+        Err(e) => {
+            note(e);
+            None
+        }
+    };
+    let ig_frames = match ig_result {
+        Ok(v) => Some(v),
+        Err(e) => {
+            note(e);
+            None
+        }
+    };
+    if let Some(e) = first_specific.or(first_transport) {
+        return Err(e);
+    }
+    let mut frames = mgr_frames.expect("no error recorded implies manager succeeded");
+    let rendered = ig_frames.expect("no error recorded implies image generator succeeded");
+    // Merge IG-side alive counts + checksums into the manager's reports.
+    for (fr, (alive, checksum)) in frames.iter_mut().zip(rendered) {
         fr.alive = alive;
+        fr.checksum = checksum;
     }
 
     let total = started.elapsed().as_secs_f64();
-    RunReport {
+    Ok(RunReport {
         label: format!("THR-{}", cfg.label()),
         cluster: format!("{n} host threads"),
         calculators: n,
         total_time: total,
-        frames: frames
-            .into_iter()
-            .filter(|f| f.frame >= cfg.warmup)
-            .collect(),
+        frames: frames.into_iter().filter(|f| f.frame >= cfg.warmup).collect(),
         traffic: Default::default(),
-    }
+    })
 }
 
 fn calculator_main(
@@ -167,25 +230,25 @@ fn calculator_main(
     scene: &Scene,
     cfg: &RunConfig,
     mut domains: Vec<DomainMap>,
-) {
+) -> Result<(), ProtocolError> {
     let mgr = n;
     let ig = n + 1;
     let n_sys = scene.systems.len();
     let mut stores: Vec<SubDomainStore> = (0..n_sys)
         .map(|s| SubDomainStore::new(domains[s].slice(c), Axis::X, cfg.buckets))
         .collect();
+    let mut trace = if invariants::ENABLED { Trace::enabled() } else { Trace::disabled() };
 
     for frame in 0..cfg.frames {
         for sys in 0..n_sys {
             let setup = &scene.systems[sys];
             // Creation: receive batch + EOT.
-            let Msg::Particles { batch, .. } = ep.recv(mgr) else {
-                panic!("calc {c}: expected creation batch");
-            };
-            let Msg::EndOfTransmission { .. } = ep.recv(mgr) else {
-                panic!("calc {c}: expected EOT");
-            };
+            let batch = expect_msg!(ep, mgr, "calculator", c, frame,
+                Msg::Particles { batch, .. } => batch, "Particles");
+            expect_msg!(ep, mgr, "calculator", c, frame,
+                Msg::EndOfTransmission { .. } => (), "EndOfTransmission");
             stores[sys].extend(batch);
+            trace.record(frame, ProtocolEvent::AdditionToLocalSet);
 
             // Calculus.
             let t0 = ep.now();
@@ -194,8 +257,10 @@ fn calculator_main(
             let pre = stores[sys].len().max(1);
             setup.actions.run(&mut ctx, &mut stores[sys]);
             let compute = ep.now() - t0;
+            trace.record(frame, ProtocolEvent::Calculus);
 
             // Exchange.
+            let before_exchange = stores[sys].len();
             let leavers = stores[sys].collect_leavers();
             let migrated = leavers.len();
             let mut per_dest: Vec<Vec<Particle>> = vec![Vec::new(); n];
@@ -205,34 +270,52 @@ fn calculator_main(
             }
             let homebound = std::mem::take(&mut per_dest[c]);
             stores[sys].extend(homebound);
+            let mut outgoing = 0usize;
             for (d, batch) in per_dest.into_iter().enumerate() {
                 if d != c {
-                    ep.send(d, Msg::Particles { system: setup.spec.id, batch, scale: 1.0 });
+                    outgoing += batch.len();
+                    ep.send(d, Msg::Particles { system: setup.spec.id, batch, scale: 1.0 })?;
                 }
             }
+            let mut incoming = 0usize;
             for d in 0..n {
                 if d == c {
                     continue;
                 }
-                let Msg::Particles { batch, .. } = ep.recv(d) else {
-                    panic!("calc {c}: expected exchange batch");
-                };
+                let batch = expect_msg!(ep, d, "calculator", c, frame,
+                    Msg::Particles { batch, .. } => batch, "Particles");
+                incoming += batch.len();
                 stores[sys].extend(batch);
+            }
+            trace.record(frame, ProtocolEvent::ParticleExchange);
+            if invariants::ENABLED {
+                invariants::check_exchange_conservation(
+                    frame,
+                    sys,
+                    c,
+                    before_exchange,
+                    outgoing,
+                    incoming,
+                    stores[sys].len(),
+                )?;
             }
 
             // Load report (time rescaled to post-exchange count, §3.2.4).
             let count = stores[sys].len();
-            let time = compute * count as f64 / pre as f64;
+            let time = match cfg.load_metric {
+                LoadMetric::WallClock => compute * count as f64 / pre as f64,
+                LoadMetric::CountProportional => count as f64,
+            };
             ep.send(
                 mgr,
                 Msg::Load { system: setup.spec.id, info: LoadInfo { count, time }, migrated },
-            );
+            )?;
+            trace.record(frame, ProtocolEvent::LoadInformation);
 
             // Balancing.
             if cfg.balance.is_dynamic() {
-                let Msg::Orders { orders, .. } = ep.recv(mgr) else {
-                    panic!("calc {c}: expected orders");
-                };
+                let orders = expect_msg!(ep, mgr, "calculator", c, frame,
+                    Msg::Orders { orders, .. } => orders, "Orders");
                 let mut outgoing: Option<(usize, Vec<Particle>)> = None;
                 for o in &orders {
                     match *o {
@@ -244,63 +327,102 @@ fn calculator_main(
                                 stores[sys].donate_high(amount)
                             };
                             let kept = stores[sys].extent();
-                            let cut =
-                                crate::virtual_exec::donation_cut(to < c, &donated, kept, old_slice);
+                            let cut = crate::virtual_exec::donation_cut(
+                                to < c,
+                                &donated,
+                                kept,
+                                old_slice,
+                            );
                             // half-open tie guard
                             if to < c {
-                                let back: Vec<Particle> =
-                                    donated.iter().filter(|p| p.position.x >= cut).copied().collect();
+                                let back: Vec<Particle> = donated
+                                    .iter()
+                                    .filter(|p| p.position.x >= cut)
+                                    .copied()
+                                    .collect();
                                 donated.retain(|p| p.position.x < cut);
                                 stores[sys].extend(back);
                             } else {
-                                let back: Vec<Particle> =
-                                    donated.iter().filter(|p| p.position.x < cut).copied().collect();
+                                let back: Vec<Particle> = donated
+                                    .iter()
+                                    .filter(|p| p.position.x < cut)
+                                    .copied()
+                                    .collect();
                                 donated.retain(|p| p.position.x >= cut);
                                 stores[sys].extend(back);
                             }
                             ep.send(
                                 mgr,
-                                Msg::NewCut {
-                                    system: setup.spec.id,
-                                    boundary: c.min(to),
-                                    cut,
-                                },
-                            );
+                                Msg::NewCut { system: setup.spec.id, boundary: c.min(to), cut },
+                            )?;
                             outgoing = Some((to, donated));
                         }
                         balance::Order::Receive { .. } => {}
                     }
                 }
+                if !orders.is_empty() {
+                    trace.record(frame, ProtocolEvent::PreparationOfStructures);
+                }
                 // Everyone receives the rebroadcast domains.
-                let Msg::Domains { cuts, .. } = ep.recv(mgr) else {
-                    panic!("calc {c}: expected domains");
-                };
-                let dm = DomainMap::from_cuts(Axis::X, cuts).expect("valid domains");
+                let cuts = expect_msg!(ep, mgr, "calculator", c, frame,
+                    Msg::Domains { cuts, .. } => cuts, "Domains");
+                let dm =
+                    DomainMap::from_cuts(Axis::X, cuts).map_err(|e| ProtocolError::Domain {
+                        role: "calculator",
+                        rank: c,
+                        frame,
+                        detail: format!("{e:?}"),
+                    })?;
+                if invariants::ENABLED {
+                    invariants::check_partition(frame, sys, space_for(scene, cfg, sys), &dm)?;
+                }
                 let new_slice = dm.slice(c);
                 domains[sys] = dm;
+                trace.record(frame, ProtocolEvent::DefinitionOfLocalDomains);
                 if stores[sys].slice() != new_slice {
                     let stray = stores[sys].reshape(new_slice);
                     stores[sys].extend(stray);
                 }
                 // Donations move only after the new domains are in force.
+                let mut transferred = false;
                 if let Some((to, donated)) = outgoing {
-                    ep.send(to, Msg::Particles { system: setup.spec.id, batch: donated, scale: 1.0 });
+                    transferred = true;
+                    ep.send(
+                        to,
+                        Msg::Particles { system: setup.spec.id, batch: donated, scale: 1.0 },
+                    )?;
                 }
                 for o in &orders {
                     if let balance::Order::Receive { from } = *o {
-                        let Msg::Particles { batch, .. } = ep.recv(from) else {
-                            panic!("calc {c}: expected donation");
-                        };
+                        transferred = true;
+                        let batch = expect_msg!(ep, from, "calculator", c, frame,
+                            Msg::Particles { batch, .. } => batch, "Particles");
                         stores[sys].extend(batch);
                     }
+                }
+                if transferred {
+                    trace.record(frame, ProtocolEvent::LoadBalanceBetweenCalculators);
                 }
             }
 
             // Ship the frame to the image generator.
             let batch: Vec<Particle> = stores[sys].iter().copied().collect();
-            ep.send(ig, Msg::RenderParticles { system: setup.spec.id, batch });
+            ep.send(ig, Msg::RenderParticles { system: setup.spec.id, batch })?;
+            trace.record(frame, ProtocolEvent::ParticlesToImageGenerator);
+        }
+        if invariants::ENABLED {
+            let events = trace.frame(frame);
+            if figure2_passes(&events) != n_sys {
+                return Err(ProtocolError::OrderBroken {
+                    role: "calculator",
+                    rank: c,
+                    frame,
+                    detail: format!("{events:?}"),
+                });
+            }
         }
     }
+    Ok(())
 }
 
 fn manager_main(
@@ -309,11 +431,12 @@ fn manager_main(
     scene: &Scene,
     cfg: &RunConfig,
     mut domains: Vec<DomainMap>,
-) -> Vec<FrameReport> {
+) -> Result<Vec<FrameReport>, ProtocolError> {
     let n_sys = scene.systems.len();
     let mut parity = 0usize;
     let mut frames = Vec::with_capacity(cfg.frames as usize);
     let mut last = ep.now();
+    let mut trace = if invariants::ENABLED { Trace::enabled() } else { Trace::disabled() };
 
     for frame in 0..cfg.frames {
         let mut fr = FrameReport { frame, ..Default::default() };
@@ -321,61 +444,83 @@ fn manager_main(
             let spec = &scene.systems[sys].spec;
             // Creation.
             let mut rng = stream(cfg.seed, TAG_CREATE, frame, sys, 0);
-            let mut newborn = if frame == 0 {
-                spec.emit_initial(&mut rng)
-            } else {
-                Vec::new()
-            };
+            let mut newborn = if frame == 0 { spec.emit_initial(&mut rng) } else { Vec::new() };
             newborn.extend((0..spec.emit_per_frame).map(|_| spec.emit_one(&mut rng)));
             let mut batches: Vec<Vec<Particle>> = vec![Vec::new(); n];
             for p in newborn {
                 batches[domains[sys].owner_of(p.position.x)].push(p);
             }
             for (c, batch) in batches.into_iter().enumerate() {
-                ep.send(c, Msg::Particles { system: spec.id, batch, scale: 1.0 });
-                ep.send(c, Msg::EndOfTransmission { system: spec.id });
+                ep.send(c, Msg::Particles { system: spec.id, batch, scale: 1.0 })?;
+                ep.send(c, Msg::EndOfTransmission { system: spec.id })?;
             }
+            trace.record(frame, ProtocolEvent::ParticleCreation);
 
             // Load reports.
             let mut loads = Vec::with_capacity(n);
             for c in 0..n {
-                let Msg::Load { info, migrated, .. } = ep.recv(c) else {
-                    panic!("manager: expected load report");
-                };
+                let (info, migrated) = expect_msg!(ep, c, "manager", n, frame,
+                    Msg::Load { info, migrated, .. } => (info, migrated), "Load");
                 fr.migrated += migrated as u64;
                 fr.migration_bytes += (migrated * psa_core::WIRE_BYTES) as u64;
                 loads.push(info);
             }
             let counts: Vec<f64> = loads.iter().map(|l| l.count as f64).collect();
             fr.imbalance = fr.imbalance.max(imbalance(&counts));
+            trace.record(frame, ProtocolEvent::LoadInformation);
 
             // Balancing.
             if let BalanceMode::Dynamic(bcfg) = cfg.balance {
                 let speeds = vec![1.0; n]; // host threads are homogeneous
                 let transfers = balance::evaluate(&loads, &speeds, parity, &bcfg);
                 parity ^= 1;
+                trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
                 for c in 0..n {
                     ep.send(
                         c,
-                        Msg::Orders {
-                            system: spec.id,
-                            orders: balance::orders_for(&transfers, c),
-                        },
-                    );
+                        Msg::Orders { system: spec.id, orders: balance::orders_for(&transfers, c) },
+                    )?;
                 }
+                trace.record(frame, ProtocolEvent::LoadBalancingOrders);
                 for t in &transfers {
-                    let Msg::NewCut { boundary, cut, .. } = ep.recv(t.donor) else {
-                        panic!("manager: expected new cut");
-                    };
-                    domains[sys].move_cut(boundary, cut).expect("in-range cut");
+                    let (boundary, cut) = expect_msg!(ep, t.donor, "manager", n, frame,
+                        Msg::NewCut { boundary, cut, .. } => (boundary, cut), "NewCut");
+                    domains[sys].move_cut(boundary, cut).map_err(|e| ProtocolError::Domain {
+                        role: "manager",
+                        rank: n,
+                        frame,
+                        detail: format!("{e:?}"),
+                    })?;
                     fr.balanced += t.amount as u64;
+                }
+                if invariants::ENABLED {
+                    invariants::check_partition(
+                        frame,
+                        sys,
+                        space_for(scene, cfg, sys),
+                        &domains[sys],
+                    )?;
+                }
+                if !transfers.is_empty() {
+                    trace.record(frame, ProtocolEvent::NewDimensionsAndDomains);
                 }
                 for c in 0..n {
                     ep.send(
                         c,
                         Msg::Domains { system: spec.id, cuts: domains[sys].cuts().to_vec() },
-                    );
+                    )?;
                 }
+            }
+        }
+        if invariants::ENABLED {
+            let events = trace.frame(frame);
+            if figure2_passes(&events) != n_sys {
+                return Err(ProtocolError::OrderBroken {
+                    role: "manager",
+                    rank: n,
+                    frame,
+                    detail: format!("{events:?}"),
+                });
             }
         }
         let now = ep.now();
@@ -383,7 +528,7 @@ fn manager_main(
         last = now;
         frames.push(fr);
     }
-    frames
+    Ok(frames)
 }
 
 fn image_generator_main(
@@ -392,26 +537,27 @@ fn image_generator_main(
     scene: &Scene,
     cfg: &RunConfig,
     sink: Option<RenderSink>,
-) -> Vec<u64> {
+) -> Result<Vec<(u64, u64)>, ProtocolError> {
     let n_sys = scene.systems.len();
     let mut fb = sink.as_ref().map(|s| {
         let (w, h) = s.camera.viewport();
         Framebuffer::new(w, h)
     });
-    let mut alive_per_frame = Vec::with_capacity(cfg.frames as usize);
+    let mut per_frame = Vec::with_capacity(cfg.frames as usize);
 
     for frame in 0..cfg.frames {
         let mut alive = 0u64;
+        let mut hash = StateHash::new();
         if let (Some(fb), Some(s)) = (fb.as_mut(), sink.as_ref()) {
             fb.clear(s.background);
             render_objects(fb, &s.camera, &scene.objects);
         }
         for _sys in 0..n_sys {
             for c in 0..n {
-                let Msg::RenderParticles { batch, .. } = ep.recv(c) else {
-                    panic!("image generator: expected render particles");
-                };
+                let batch = expect_msg!(ep, c, "image generator", n + 1, frame,
+                    Msg::RenderParticles { batch, .. } => batch, "RenderParticles");
                 alive += batch.len() as u64;
+                hash.extend(batch.iter());
                 if let (Some(fb), Some(s)) = (fb.as_mut(), sink.as_ref()) {
                     match s.streaks {
                         Some((len, steps)) => {
@@ -426,14 +572,20 @@ fn image_generator_main(
         }
         if let (Some(fb), Some(s)) = (fb.as_ref(), sink.as_ref()) {
             if let Some(dir) = &s.out_dir {
-                std::fs::create_dir_all(dir).expect("create frame directory");
+                std::fs::create_dir_all(dir).map_err(|e| ProtocolError::Render {
+                    frame,
+                    detail: format!("create {}: {e}", dir.display()),
+                })?;
                 let path = dir.join(frame_filename(&s.prefix, frame));
-                write_ppm(fb, &path).expect("write frame");
+                write_ppm(fb, &path).map_err(|e| ProtocolError::Render {
+                    frame,
+                    detail: format!("write {}: {e}", path.display()),
+                })?;
             }
         }
-        alive_per_frame.push(alive);
+        per_frame.push((alive, hash.finish()));
     }
-    alive_per_frame
+    Ok(per_frame)
 }
 
 #[cfg(test)]
@@ -462,20 +614,20 @@ mod tests {
     #[test]
     fn threaded_run_completes_and_counts() {
         let cfg = RunConfig { frames: 6, dt: 0.1, ..Default::default() };
-        let r = run_threaded(&scene(), &cfg, 3, None);
+        let r = run_threaded(&scene(), &cfg, 3, None).expect("clean run");
         assert_eq!(r.calculators, 3);
         assert_eq!(r.frames.len(), 6);
         assert!(r.total_time > 0.0);
         // population grows 200/frame until age-out
         let alive = r.frames.last().unwrap().alive;
-        assert!(alive >= 1000 && alive <= 1400, "alive {alive}");
+        assert!((1000..=1400).contains(&alive), "alive {alive}");
     }
 
     #[test]
     fn threaded_static_vs_dynamic_both_work() {
         for balance in [BalanceMode::Static, BalanceMode::dynamic()] {
             let cfg = RunConfig { frames: 4, dt: 0.1, balance, ..Default::default() };
-            let r = run_threaded(&scene(), &cfg, 2, None);
+            let r = run_threaded(&scene(), &cfg, 2, None).expect("clean run");
             assert_eq!(r.frames.len(), 4);
         }
     }
@@ -483,8 +635,32 @@ mod tests {
     #[test]
     fn threaded_single_calculator_degenerates_gracefully() {
         let cfg = RunConfig { frames: 3, dt: 0.1, ..Default::default() };
-        let r = run_threaded(&scene(), &cfg, 1, None);
+        let r = run_threaded(&scene(), &cfg, 1, None).expect("clean run");
         assert_eq!(r.frames.len(), 3);
         assert_eq!(r.frames.last().unwrap().migrated, 0);
+    }
+
+    #[test]
+    fn checksums_are_computed_per_frame() {
+        let cfg = RunConfig { frames: 4, dt: 0.1, ..Default::default() };
+        let r = run_threaded(&scene(), &cfg, 2, None).expect("clean run");
+        // Populated frames hash to something; frames differ.
+        assert!(r.frames.iter().all(|f| f.checksum != 0));
+        assert_ne!(r.frames[0].checksum, r.frames[3].checksum);
+    }
+
+    #[test]
+    fn deterministic_load_metric_makes_dlb_reproducible() {
+        let cfg = RunConfig {
+            frames: 5,
+            dt: 0.1,
+            load_metric: LoadMetric::CountProportional,
+            ..Default::default()
+        };
+        let a = run_threaded(&scene(), &cfg, 3, None).expect("clean run");
+        let b = run_threaded(&scene(), &cfg, 3, None).expect("clean run");
+        let ka: Vec<u64> = a.frames.iter().map(|f| f.checksum).collect();
+        let kb: Vec<u64> = b.frames.iter().map(|f| f.checksum).collect();
+        assert_eq!(ka, kb);
     }
 }

@@ -5,10 +5,8 @@
 //! test asserts the recorded order matches the figure — the closest thing
 //! to "reproducing a figure" a sequence diagram admits.
 
-use serde::{Deserialize, Serialize};
-
 /// Steps of the Figure-2 frame protocol, in diagram order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ProtocolEvent {
     /// Manager creates the frame's new particles.
     ParticleCreation,
@@ -80,11 +78,7 @@ impl Trace {
 
     /// Events of one frame, in recorded order.
     pub fn frame(&self, frame: u64) -> Vec<ProtocolEvent> {
-        self.events
-            .iter()
-            .filter(|(f, _)| *f == frame)
-            .map(|(_, e)| *e)
-            .collect()
+        self.events.iter().filter(|(f, _)| *f == frame).map(|(_, e)| *e).collect()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -96,6 +90,36 @@ impl Trace {
 /// diagram order).
 pub fn matches_figure2(events: &[ProtocolEvent]) -> bool {
     events == FIGURE2_ORDER
+}
+
+/// Diagram position of an event in the Figure-2 order.
+fn figure2_pos(e: ProtocolEvent) -> usize {
+    FIGURE2_ORDER
+        .iter()
+        .position(|x| *x == e)
+        .expect("FIGURE2_ORDER enumerates every ProtocolEvent")
+}
+
+/// Decompose a frame's recorded events into greedy protocol passes.
+///
+/// With the per-system schedule, one frame is `n_sys` consecutive passes of
+/// the Figure-2 sequence (each pass a strictly-increasing subsequence of
+/// diagram positions). Any step recorded out of order — an exchange before
+/// its calculus, a domain broadcast before the load reports — breaks a pass
+/// in two and inflates the count, so `figure2_passes(events) == n_sys` is
+/// the per-frame order invariant the strict executors check.
+pub fn figure2_passes(events: &[ProtocolEvent]) -> usize {
+    let mut passes = 0usize;
+    let mut last: Option<usize> = None;
+    for &e in events {
+        let p = figure2_pos(e);
+        match last {
+            Some(l) if p > l => {}
+            _ => passes += 1,
+        }
+        last = Some(p);
+    }
+    passes
 }
 
 #[cfg(test)]
@@ -117,6 +141,31 @@ mod tests {
         let mut t = Trace::disabled();
         t.record(0, ProtocolEvent::Calculus);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn pass_counting_detects_out_of_order_steps() {
+        use ProtocolEvent::*;
+        // One clean pass.
+        assert_eq!(figure2_passes(&[AdditionToLocalSet, Calculus, ParticleExchange]), 1);
+        // Two systems, two clean passes.
+        assert_eq!(
+            figure2_passes(&[
+                AdditionToLocalSet,
+                Calculus,
+                ParticleExchange,
+                AdditionToLocalSet,
+                Calculus,
+                ParticleExchange,
+            ]),
+            2
+        );
+        // Exchange before calculus splits the pass.
+        assert_eq!(figure2_passes(&[AdditionToLocalSet, ParticleExchange, Calculus]), 2);
+        // Duplicate step splits the pass.
+        assert_eq!(figure2_passes(&[Calculus, Calculus]), 2);
+        assert_eq!(figure2_passes(&[]), 0);
+        assert_eq!(figure2_passes(FIGURE2_ORDER), 1);
     }
 
     #[test]

@@ -40,11 +40,7 @@ const AXIS: Axis = Axis::X;
 
 /// Derive the deterministic stream for (tag, frame, system, rank).
 fn stream(seed: u64, tag: u64, frame: u64, sys: usize, rank: usize) -> Rng64 {
-    Rng64::new(seed)
-        .split(tag)
-        .split(frame)
-        .split(sys as u64)
-        .split(rank as u64)
+    Rng64::new(seed).split(tag).split(frame).split(sys as u64).split(rank as u64)
 }
 
 /// Per-calculator state.
@@ -74,14 +70,7 @@ impl VirtualSim {
     pub fn new(scene: Scene, cfg: RunConfig, cluster: ClusterSpec, cost: CostModel) -> Self {
         assert!(!scene.systems.is_empty(), "scene needs at least one system");
         let placement = cluster.placement();
-        VirtualSim {
-            scene,
-            cfg,
-            cluster,
-            placement,
-            cost,
-            trace: Trace::disabled(),
-        }
+        VirtualSim { scene, cfg, cluster, placement, cost, trace: Trace::disabled() }
     }
 
     /// Record protocol events (used by the Figure-2 test; off by default).
@@ -151,9 +140,8 @@ impl Engine {
                 SpaceMode::Infinite => Interval::INFINITE,
             }
         };
-        let mgr_domains: Vec<DomainMap> = (0..n_sys)
-            .map(|s| DomainMap::split_even(space_for(s), AXIS, n))
-            .collect();
+        let mgr_domains: Vec<DomainMap> =
+            (0..n_sys).map(|s| DomainMap::split_even(space_for(s), AXIS, n)).collect();
         let calcs: Vec<CalcState> = (0..n)
             .map(|c| CalcState {
                 stores: (0..n_sys)
@@ -227,8 +215,7 @@ impl Engine {
             }
 
             // Fixed per-frame image cost (clear, encode, write).
-            self.net
-                .advance(self.ig, self.cost.per_frame_render_fixed / self.fe_speed);
+            self.net.advance(self.ig, self.cost.per_frame_render_fixed / self.fe_speed);
             self.trace.record(frame, ProtocolEvent::ImageGeneration);
 
             // Parallel-phases frame boundary for compute processes.
@@ -236,13 +223,7 @@ impl Engine {
 
             // Per-frame accounting.
             let counts: Vec<f64> = (0..self.n)
-                .map(|c| {
-                    self.calcs[c]
-                        .stores
-                        .iter()
-                        .map(|s| s.len() as f64)
-                        .sum::<f64>()
-                })
+                .map(|c| self.calcs[c].stores.iter().map(|s| s.len() as f64).sum::<f64>())
                 .collect();
             fr.imbalance = imbalance(&counts);
             let mk = self.net.makespan();
@@ -251,10 +232,8 @@ impl Engine {
             frames.push(fr);
         }
 
-        let kept: Vec<FrameReport> = frames
-            .into_iter()
-            .filter(|f| f.frame >= self.cfg.warmup)
-            .collect();
+        let kept: Vec<FrameReport> =
+            frames.into_iter().filter(|f| f.frame >= self.cfg.warmup).collect();
         let report = RunReport {
             label: self.cfg.label(),
             cluster: cluster_label,
@@ -271,14 +250,10 @@ impl Engine {
     fn phase_creation(&mut self, frame: u64, sys: usize) {
         let spec = &self.scene.systems[sys].spec;
         let mut rng_c = stream(self.cfg.seed, TAG_CREATE, frame, sys, 0);
-        let mut newborn: Vec<Particle> = if frame == 0 {
-            spec.emit_initial(&mut rng_c)
-        } else {
-            Vec::new()
-        };
+        let mut newborn: Vec<Particle> =
+            if frame == 0 { spec.emit_initial(&mut rng_c) } else { Vec::new() };
         newborn.extend((0..spec.emit_per_frame).map(|_| spec.emit_one(&mut rng_c)));
-        self.net
-            .advance(self.mgr, self.cost.create_time(newborn.len(), self.fe_speed));
+        self.net.advance(self.mgr, self.cost.create_time(newborn.len(), self.fe_speed));
         if sys == 0 {
             self.trace.record(frame, ProtocolEvent::ParticleCreation);
         }
@@ -287,24 +262,29 @@ impl Engine {
             batches[self.mgr_domains[sys].owner_of(p.position.along(AXIS))].push(p);
         }
         for (c, batch) in batches.into_iter().enumerate() {
-            self.net
-                .send(self.mgr, c, Msg::Particles { system: spec.id, batch, scale: self.scale });
-            self.net
-                .send(self.mgr, c, Msg::EndOfTransmission { system: spec.id });
+            self.net.send(
+                self.mgr,
+                c,
+                Msg::Particles { system: spec.id, batch, scale: self.scale },
+            );
+            self.net.send(self.mgr, c, Msg::EndOfTransmission { system: spec.id });
         }
     }
 
     /// Calculators receive and store the newborn batches.
     fn phase_addition(&mut self, frame: u64, sys: usize) {
         for c in 0..self.n {
-            let Msg::Particles { batch, .. } = self.net.recv(c, self.mgr) else {
+            let Msg::Particles { batch, .. } =
+                self.net.recv(c, self.mgr).expect("deterministic schedule delivers")
+            else {
                 panic!("expected creation batch");
             };
-            let Msg::EndOfTransmission { .. } = self.net.recv(c, self.mgr) else {
+            let Msg::EndOfTransmission { .. } =
+                self.net.recv(c, self.mgr).expect("deterministic schedule delivers")
+            else {
                 panic!("expected end of transmission");
             };
-            self.net
-                .advance(c, self.cost.pack_time(batch.len(), self.speeds[c]));
+            self.net.advance(c, self.cost.pack_time(batch.len(), self.speeds[c]));
             self.calcs[c].stores[sys].extend(batch);
         }
         if sys == 0 {
@@ -339,29 +319,38 @@ impl Engine {
         use psa_core::collide::{colliding_pairs, resolve_elastic_with_ghosts};
         let spec_id = self.scene.systems[sys].spec.id;
         let n = self.n;
-        let slabs: Vec<(Vec<Particle>, Vec<Particle>)> = (0..n)
-            .map(|c| self.calcs[c].stores[sys].boundary_slabs(col.cell))
-            .collect();
+        let slabs: Vec<(Vec<Particle>, Vec<Particle>)> =
+            (0..n).map(|c| self.calcs[c].stores[sys].boundary_slabs(col.cell)).collect();
         for (c, (low, high)) in slabs.into_iter().enumerate() {
             if c > 0 {
-                self.net
-                    .send(c, c - 1, Msg::Ghosts { system: spec_id, batch: low, scale: self.scale });
+                self.net.send(
+                    c,
+                    c - 1,
+                    Msg::Ghosts { system: spec_id, batch: low, scale: self.scale },
+                );
             }
             if c + 1 < n {
-                self.net
-                    .send(c, c + 1, Msg::Ghosts { system: spec_id, batch: high, scale: self.scale });
+                self.net.send(
+                    c,
+                    c + 1,
+                    Msg::Ghosts { system: spec_id, batch: high, scale: self.scale },
+                );
             }
         }
         for c in 0..n {
             let mut ghosts: Vec<Particle> = Vec::new();
             if c > 0 {
-                let Msg::Ghosts { batch, .. } = self.net.recv(c, c - 1) else {
+                let Msg::Ghosts { batch, .. } =
+                    self.net.recv(c, c - 1).expect("deterministic schedule delivers")
+                else {
                     panic!("expected ghost slab");
                 };
                 ghosts.extend(batch);
             }
             if c + 1 < n {
-                let Msg::Ghosts { batch, .. } = self.net.recv(c, c + 1) else {
+                let Msg::Ghosts { batch, .. } =
+                    self.net.recv(c, c + 1).expect("deterministic schedule delivers")
+                else {
                     panic!("expected ghost slab");
                 };
                 ghosts.extend(batch);
@@ -369,9 +358,7 @@ impl Engine {
             let mut locals = self.calcs[c].stores[sys].take_all();
             let pairs = colliding_pairs(&locals, &ghosts, col.cell);
             resolve_elastic_with_ghosts(&mut locals, &ghosts, &pairs, col.restitution);
-            let t = self
-                .cost
-                .collision_time(locals.len() + ghosts.len(), self.speeds[c]);
+            let t = self.cost.collision_time(locals.len() + ghosts.len(), self.speeds[c]);
             self.net.advance(c, t);
             self.calcs[c].compute_time[sys] += t;
             self.calcs[c].stores[sys].extend(locals);
@@ -387,8 +374,7 @@ impl Engine {
         let mut outgoing: Vec<Vec<Vec<Particle>>> = Vec::with_capacity(n);
         for (c, state) in self.calcs.iter_mut().enumerate() {
             let len = state.stores[sys].len();
-            self.net
-                .advance(c, self.cost.exchange_check_time(len, self.speeds[c]));
+            self.net.advance(c, self.cost.exchange_check_time(len, self.speeds[c]));
             let leavers = state.stores[sys].collect_leavers();
             let mut per_dest: Vec<Vec<Particle>> = vec![Vec::new(); n];
             let dm = &state.domains[sys];
@@ -402,16 +388,18 @@ impl Engine {
         }
         for (c, per_dest) in outgoing.into_iter().enumerate() {
             let total_sent: usize = per_dest.iter().map(Vec::len).sum();
-            self.net
-                .advance(c, self.cost.pack_time(total_sent, self.speeds[c]));
+            self.net.advance(c, self.cost.pack_time(total_sent, self.speeds[c]));
             // "particles that belong to another calculator" (§5.1):
             // only actually-shipped particles count as migration.
             fr.migrated += (total_sent as f64 * self.scale) as u64;
             fr.migration_bytes += self.cost.wire_bytes(total_sent, WIRE_BYTES);
             for (d, batch) in per_dest.into_iter().enumerate() {
                 if d != c {
-                    self.net
-                        .send(c, d, Msg::Particles { system: spec_id, batch, scale: self.scale });
+                    self.net.send(
+                        c,
+                        d,
+                        Msg::Particles { system: spec_id, batch, scale: self.scale },
+                    );
                 }
             }
         }
@@ -420,11 +408,12 @@ impl Engine {
                 if d == c {
                     continue;
                 }
-                let Msg::Particles { batch, .. } = self.net.recv(c, d) else {
+                let Msg::Particles { batch, .. } =
+                    self.net.recv(c, d).expect("deterministic schedule delivers")
+                else {
                     panic!("expected exchange batch");
                 };
-                self.net
-                    .advance(c, self.cost.pack_time(batch.len(), self.speeds[c]));
+                self.net.advance(c, self.cost.pack_time(batch.len(), self.speeds[c]));
                 self.calcs[c].stores[sys].extend(batch);
             }
         }
@@ -442,29 +431,29 @@ impl Engine {
         let spec_id = self.scene.systems[sys].spec.id;
         let decentralized = matches!(self.cfg.balance, BalanceMode::Decentralized(_));
         let mut local_loads = vec![LoadInfo::default(); n];
-        #[allow(clippy::needless_range_loop)] // c is a rank: indexes calcs, loads, and addresses sends
+        #[allow(clippy::needless_range_loop)]
+        // c is a rank: indexes calcs, loads, and addresses sends
         for c in 0..n {
             let count = self.calcs[c].stores[sys].len();
             let time = self.calcs[c].compute_time[sys] * count as f64
                 / self.calcs[c].pre_count[sys] as f64;
             let info = LoadInfo { count, time };
             local_loads[c] = info;
-            self.net
-                .send(c, self.mgr, Msg::Load { system: spec_id, info, migrated: 0 });
+            self.net.send(c, self.mgr, Msg::Load { system: spec_id, info, migrated: 0 });
             if decentralized {
                 if c > 0 {
-                    self.net
-                        .send(c, c - 1, Msg::Load { system: spec_id, info, migrated: 0 });
+                    self.net.send(c, c - 1, Msg::Load { system: spec_id, info, migrated: 0 });
                 }
                 if c + 1 < n {
-                    self.net
-                        .send(c, c + 1, Msg::Load { system: spec_id, info, migrated: 0 });
+                    self.net.send(c, c + 1, Msg::Load { system: spec_id, info, migrated: 0 });
                 }
             }
         }
         let loads: Vec<LoadInfo> = (0..n)
             .map(|c| {
-                let Msg::Load { info, .. } = self.net.recv(self.mgr, c) else {
+                let Msg::Load { info, .. } =
+                    self.net.recv(self.mgr, c).expect("deterministic schedule delivers")
+                else {
                     panic!("expected load report");
                 };
                 info
@@ -475,12 +464,16 @@ impl Engine {
             // equals `loads`; the receive charges the communication).
             for c in 0..n {
                 if c > 0 {
-                    let Msg::Load { .. } = self.net.recv(c, c - 1) else {
+                    let Msg::Load { .. } =
+                        self.net.recv(c, c - 1).expect("deterministic schedule delivers")
+                    else {
                         panic!("expected neighbor load");
                     };
                 }
                 if c + 1 < n {
-                    let Msg::Load { .. } = self.net.recv(c, c + 1) else {
+                    let Msg::Load { .. } =
+                        self.net.recv(c, c + 1).expect("deterministic schedule delivers")
+                    else {
                         panic!("expected neighbor load");
                     };
                 }
@@ -502,8 +495,7 @@ impl Engine {
                 debug_assert!(balance::validate_transfers(&transfers, self.n).is_ok());
                 self.net.advance(
                     self.mgr,
-                    self.cost
-                        .balance_eval_time(self.n.saturating_sub(1), self.fe_speed),
+                    self.cost.balance_eval_time(self.n.saturating_sub(1), self.fe_speed),
                 );
                 if sys == 0 {
                     self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
@@ -517,7 +509,9 @@ impl Engine {
                     );
                 }
                 for c in 0..self.n {
-                    let Msg::Orders { .. } = self.net.recv(c, self.mgr) else {
+                    let Msg::Orders { .. } =
+                        self.net.recv(c, self.mgr).expect("deterministic schedule delivers")
+                    else {
                         panic!("expected orders");
                     };
                 }
@@ -532,8 +526,7 @@ impl Engine {
                 // on both endpoints, so no orders are needed.
                 let transfers = balance::evaluate_decentralized(loads, &self.speeds, &bcfg);
                 for c in 0..self.n {
-                    self.net
-                        .advance(c, self.cost.balance_eval_time(2, self.speeds[c]));
+                    self.net.advance(c, self.cost.balance_eval_time(2, self.speeds[c]));
                 }
                 if sys == 0 {
                     self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
@@ -578,11 +571,8 @@ impl Engine {
             let amount = t.amount.min(self.calcs[donor].stores[sys].len());
             let store = &mut self.calcs[donor].stores[sys];
             let old_slice = store.slice();
-            let (mut donated, sorted) = if receiver < donor {
-                store.donate_low(amount)
-            } else {
-                store.donate_high(amount)
-            };
+            let (mut donated, sorted) =
+                if receiver < donor { store.donate_low(amount) } else { store.donate_high(amount) };
             self.net.advance(
                 donor,
                 self.cost.sort_time(sorted, self.speeds[donor])
@@ -593,19 +583,13 @@ impl Engine {
             // Half-open tie guard: a donated particle exactly at the cut
             // still belongs to the donor.
             if receiver < donor {
-                let keep_back: Vec<Particle> = donated
-                    .iter()
-                    .filter(|p| p.position.along(AXIS) >= cut)
-                    .copied()
-                    .collect();
+                let keep_back: Vec<Particle> =
+                    donated.iter().filter(|p| p.position.along(AXIS) >= cut).copied().collect();
                 donated.retain(|p| p.position.along(AXIS) < cut);
                 self.calcs[donor].stores[sys].extend(keep_back);
             } else {
-                let keep_back: Vec<Particle> = donated
-                    .iter()
-                    .filter(|p| p.position.along(AXIS) < cut)
-                    .copied()
-                    .collect();
+                let keep_back: Vec<Particle> =
+                    donated.iter().filter(|p| p.position.along(AXIS) < cut).copied().collect();
                 donated.retain(|p| p.position.along(AXIS) >= cut);
                 self.calcs[donor].stores[sys].extend(keep_back);
             }
@@ -621,11 +605,12 @@ impl Engine {
             // Donors report cuts to the manager, which updates the
             // authoritative map and rebroadcasts (paper §3.2.5).
             for &(boundary, cut, donor) in &cuts {
-                self.net
-                    .send(donor, self.mgr, Msg::NewCut { system: spec_id, boundary, cut });
+                self.net.send(donor, self.mgr, Msg::NewCut { system: spec_id, boundary, cut });
             }
             for &(_, _, donor) in &cuts {
-                let Msg::NewCut { boundary, cut, .. } = self.net.recv(self.mgr, donor) else {
+                let Msg::NewCut { boundary, cut, .. } =
+                    self.net.recv(self.mgr, donor).expect("deterministic schedule delivers")
+                else {
                     panic!("expected new cut");
                 };
                 self.mgr_domains[sys]
@@ -643,10 +628,13 @@ impl Engine {
                 self.trace.record(frame, ProtocolEvent::NewDimensionsAndDomains);
             }
             for c in 0..n {
-                let Msg::Domains { cuts, .. } = self.net.recv(c, self.mgr) else {
+                let Msg::Domains { cuts, .. } =
+                    self.net.recv(c, self.mgr).expect("deterministic schedule delivers")
+                else {
                     panic!("expected domains");
                 };
-                let dm = DomainMap::from_cuts(AXIS, cuts).expect("manager broadcasts valid domains");
+                let dm =
+                    DomainMap::from_cuts(AXIS, cuts).expect("manager broadcasts valid domains");
                 self.apply_domains(c, sys, dm);
             }
         } else {
@@ -656,8 +644,7 @@ impl Engine {
             for &(boundary, cut, donor) in &cuts {
                 for c in (0..n).chain([self.mgr]) {
                     if c != donor {
-                        self.net
-                            .send(donor, c, Msg::NewCut { system: spec_id, boundary, cut });
+                        self.net.send(donor, c, Msg::NewCut { system: spec_id, boundary, cut });
                     }
                 }
             }
@@ -669,16 +656,16 @@ impl Engine {
             for &(_, _, donor) in &cuts {
                 for c in (0..n).chain([self.mgr]) {
                     if c != donor {
-                        let Msg::NewCut { .. } = self.net.recv(c, donor) else {
+                        let Msg::NewCut { .. } =
+                            self.net.recv(c, donor).expect("deterministic schedule delivers")
+                        else {
                             panic!("expected decentralized cut broadcast");
                         };
                     }
                 }
             }
             for &(boundary, cut) in &applied {
-                self.mgr_domains[sys]
-                    .move_cut(boundary, cut)
-                    .expect("in-range decentralized cut");
+                self.mgr_domains[sys].move_cut(boundary, cut).expect("in-range decentralized cut");
             }
             let dm = self.mgr_domains[sys].clone();
             if sys == 0 && !transfers.is_empty() {
@@ -702,16 +689,16 @@ impl Engine {
             );
         }
         for t in &ordered {
-            let Msg::Particles { batch, .. } = self.net.recv(t.receiver, t.donor) else {
+            let Msg::Particles { batch, .. } =
+                self.net.recv(t.receiver, t.donor).expect("deterministic schedule delivers")
+            else {
                 panic!("expected donation");
             };
-            self.net
-                .advance(t.receiver, self.cost.pack_time(batch.len(), self.speeds[t.receiver]));
+            self.net.advance(t.receiver, self.cost.pack_time(batch.len(), self.speeds[t.receiver]));
             self.calcs[t.receiver].stores[sys].extend(batch);
         }
         if sys == 0 && !transfers.is_empty() {
-            self.trace
-                .record(frame, ProtocolEvent::LoadBalanceBetweenCalculators);
+            self.trace.record(frame, ProtocolEvent::LoadBalanceBetweenCalculators);
         }
     }
 
@@ -722,8 +709,7 @@ impl Engine {
         self.calcs[c].domains[sys] = dm;
         if self.calcs[c].stores[sys].slice() != new_slice {
             let len = self.calcs[c].stores[sys].len();
-            self.net
-                .advance(c, self.cost.exchange_check_time(len, self.speeds[c]));
+            self.net.advance(c, self.cost.exchange_check_time(len, self.speeds[c]));
             let stray = self.calcs[c].stores[sys].reshape(new_slice);
             // Out-of-space particles pool at the edge calculators
             // (owner_of clamps); they stay here until a kill action removes
@@ -748,14 +734,18 @@ impl Engine {
         let spec_id = self.scene.systems[sys].spec.id;
         for c in 0..self.n {
             let count = self.calcs[c].stores[sys].len();
-            self.net
-                .advance(c, self.cost.pack_time(count, self.speeds[c]));
-            self.net
-                .send(c, self.ig, Msg::RenderBatch { system: spec_id, count, scale: self.scale });
+            self.net.advance(c, self.cost.pack_time(count, self.speeds[c]));
+            self.net.send(
+                c,
+                self.ig,
+                Msg::RenderBatch { system: spec_id, count, scale: self.scale },
+            );
         }
         let mut frame_particles = 0usize;
         for c in 0..self.n {
-            let Msg::RenderBatch { count, .. } = self.net.recv(self.ig, c) else {
+            let Msg::RenderBatch { count, .. } =
+                self.net.recv(self.ig, c).expect("deterministic schedule delivers")
+            else {
                 panic!("expected render batch");
             };
             frame_particles += count;
@@ -766,8 +756,7 @@ impl Engine {
         );
         fr.alive += (frame_particles as f64 * self.scale) as u64;
         if sys == 0 {
-            self.trace
-                .record(frame, ProtocolEvent::ParticlesToImageGenerator);
+            self.trace.record(frame, ProtocolEvent::ParticlesToImageGenerator);
         }
     }
 }
@@ -793,10 +782,8 @@ pub fn donation_cut(
         // Donor keeps [cut, hi): kept_min >= cut always holds for any cut
         // <= kept_min, and donated particles at exactly `cut` are returned
         // to the donor by the caller's tie guard.
-        let donated_max = donated
-            .iter()
-            .map(|p| p.position.along(axis))
-            .fold(Scalar::NEG_INFINITY, Scalar::max);
+        let donated_max =
+            donated.iter().map(|p| p.position.along(axis)).fold(Scalar::NEG_INFINITY, Scalar::max);
         match kept {
             Some((kept_min, _)) => 0.5 * (donated_max + kept_min),
             None => old_slice.hi,
@@ -809,10 +796,8 @@ pub fn donation_cut(
         // donated coordinate strictly above kept_max; if none exists the
         // donation degenerates and the boundary stays put (the caller's tie
         // guard returns every donated particle to the donor).
-        let donated_min = donated
-            .iter()
-            .map(|p| p.position.along(axis))
-            .fold(Scalar::INFINITY, Scalar::min);
+        let donated_min =
+            donated.iter().map(|p| p.position.along(axis)).fold(Scalar::INFINITY, Scalar::min);
         match kept {
             Some((_, kept_max)) => {
                 let mid = 0.5 * (kept_max + donated_min);
@@ -865,10 +850,8 @@ mod tests {
     fn new_cut_high_side_tie_uses_next_distinct_value() {
         // kept_max == donated_min (an emission cohort with identical
         // positions was split): the cut must be strictly above kept_max.
-        let donated = vec![
-            Particle::at(Vec3::new(6.0, 0.0, 0.0)),
-            Particle::at(Vec3::new(8.0, 0.0, 0.0)),
-        ];
+        let donated =
+            vec![Particle::at(Vec3::new(6.0, 0.0, 0.0)), Particle::at(Vec3::new(8.0, 0.0, 0.0))];
         let cut = donation_cut(false, &donated, Some((1.0, 6.0)), Interval::new(0.0, 10.0));
         assert!(cut > 6.0, "cut {cut} must exceed kept_max");
         assert_eq!(cut, 8.0, "smallest strictly-greater donated value");

@@ -1,0 +1,13 @@
+// psa-verify-fixture: expect(ambient-rng)
+// Ambient randomness: emission that samples an OS-seeded generator cannot
+// be regenerated from the run's u64 seed. All randomness must flow through
+// the seeded psa_math::Rng64 streams.
+
+pub fn jitter() -> f32 {
+    let mut rng = rand::thread_rng();
+    rand::random::<f32>() + sample(&mut rng)
+}
+
+fn sample<R>(_rng: &mut R) -> f32 {
+    0.0
+}

@@ -1,0 +1,20 @@
+// psa-verify-fixture: expect(protocol-panic)
+// A message handler that panics on a torn-down peer: the rank thread dies
+// holding its channels and every peer blocked on recv deadlocks. Protocol
+// code must surface a typed ProtocolError to the executor instead.
+
+pub fn handle(mailbox: Option<Vec<u8>>) -> Vec<u8> {
+    let msg = mailbox.unwrap();
+    if msg.is_empty() {
+        panic!("empty frame message");
+    }
+    decode(&msg).expect("peer sent garbage")
+}
+
+fn decode(bytes: &[u8]) -> Option<Vec<u8>> {
+    if bytes.len() > 1 {
+        Some(bytes.to_vec())
+    } else {
+        None
+    }
+}

@@ -1,0 +1,14 @@
+// psa-verify-fixture: expect(unordered-collections)
+// A simulation-crate file that iterates a hash map per frame: iteration
+// order depends on the hasher seed, so two same-seed runs can exchange
+// particles in different orders and drift apart bit-wise.
+
+use std::collections::HashMap;
+
+pub fn tally(ranks: &[usize]) -> Vec<(usize, usize)> {
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for &r in ranks {
+        *counts.entry(r).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,12 @@
+// psa-verify-fixture: expect(wall-clock)
+// Virtual-time code that reads the host clock: frame times now depend on
+// machine load instead of the cost model, so the reproduced tables change
+// from run to run.
+
+use std::time::{Duration, Instant};
+
+pub fn frame_cost() -> Duration {
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_millis(1));
+    t0.elapsed()
+}

@@ -1,0 +1,27 @@
+// psa-verify: allow(wall-clock) — fixture: a real-time fabric file; the
+// clock is its epoch and never feeds virtual time.
+//
+// A clean file: ordered collections, annotated clock use, fallible message
+// handling, and a seeded RNG. Must produce zero violations.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub fn epoch() -> Instant {
+    Instant::now()
+}
+
+pub fn tally(ranks: &[usize]) -> BTreeMap<usize, usize> {
+    let mut counts = BTreeMap::new();
+    for &r in ranks {
+        *counts.entry(r).or_insert(0) += 1;
+    }
+    counts
+}
+
+// psa-verify: allow(unordered) — scratch set, drained and sorted before use
+pub fn scratch() -> std::collections::HashSet<usize> { std::collections::HashSet::new() }
+
+pub fn handle(mailbox: Option<Vec<u8>>) -> Result<Vec<u8>, String> {
+    mailbox.ok_or_else(|| "peer disconnected".to_string())
+}

@@ -1,0 +1,20 @@
+// A clean file: panics inside #[cfg(test)] / #[test] items are exempt from
+// the protocol-panic lint (tests SHOULD assert hard), and banned names in
+// strings or comments never count as uses. Must produce zero violations.
+
+pub fn shipped(input: Option<u32>) -> Result<u32, String> {
+    // Instant::now in a comment is not a use.
+    let banned = "HashMap and thread_rng in a string are not uses";
+    input.map(|v| v + banned.len() as u32).ok_or_else(|| "no input".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_accepts_some() {
+        assert_eq!(shipped(Some(1)).unwrap(), 48);
+        shipped(None).expect_err("must reject none");
+    }
+}

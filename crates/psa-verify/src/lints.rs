@@ -1,0 +1,173 @@
+//! The lint set: what to look for, where panics are forbidden, and the
+//! per-file runner.
+
+use crate::report::Violation;
+use crate::scan::FileModel;
+
+/// One lexical lint: needles searched on the stripped code channel.
+pub struct LintDef {
+    /// Stable id used in reports and CI filters.
+    pub id: &'static str,
+    /// Name accepted by `// psa-verify: allow(<key>)`.
+    pub allow_key: &'static str,
+    /// Substrings that fire the lint when found in code.
+    pub needles: &'static [&'static str],
+    /// Human explanation of why the construct is banned.
+    pub message: &'static str,
+    /// Whether `#[cfg(test)]` / `#[test]` bodies are exempt.
+    pub skip_tests: bool,
+}
+
+/// Unordered collections make iteration order depend on the hasher seed,
+/// which breaks bit-reproducible runs.
+pub const UNORDERED: LintDef = LintDef {
+    id: "unordered-collections",
+    allow_key: "unordered",
+    needles: &["HashMap", "HashSet"],
+    message: "unordered collection in a simulation crate; use BTreeMap/BTreeSet \
+              or annotate `// psa-verify: allow(unordered)` with a reason",
+    skip_tests: false,
+};
+
+/// Wall-clock reads and sleeps inside virtual-time code couple results to
+/// host timing.
+pub const WALL_CLOCK: LintDef = LintDef {
+    id: "wall-clock",
+    allow_key: "wall-clock",
+    needles: &["Instant::now", "SystemTime", "thread::sleep", "sleep("],
+    message: "wall-clock/sleep in virtual-time code; virtual time must come from \
+              the cost model, or annotate `// psa-verify: allow(wall-clock)`",
+    skip_tests: false,
+};
+
+/// Ambient RNG bypasses the seeded `psa-math::rng` streams the tables
+/// regenerate from.
+pub const AMBIENT_RNG: LintDef = LintDef {
+    id: "ambient-rng",
+    allow_key: "ambient-rng",
+    needles: &["thread_rng", "rand::random", "from_entropy", "OsRng", "getrandom"],
+    message: "ambient RNG; all randomness must flow through seeded psa_math::Rng64 \
+              streams",
+    skip_tests: false,
+};
+
+/// Message-handling code must return typed errors, never panic: a poisoned
+/// rank thread deadlocks the executor instead of failing the run report.
+pub const PROTOCOL_PANIC: LintDef = LintDef {
+    id: "protocol-panic",
+    allow_key: "panic",
+    needles: &[".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"],
+    message: "panic path in a protocol module; return a typed ProtocolError/\
+              TransportError to the executor instead",
+    skip_tests: true,
+};
+
+pub const ALL_LINTS: &[&LintDef] = &[&UNORDERED, &WALL_CLOCK, &AMBIENT_RNG, &PROTOCOL_PANIC];
+
+/// Look up a lint by id.
+pub fn by_id(id: &str) -> Option<&'static LintDef> {
+    ALL_LINTS.iter().copied().find(|l| l.id == id)
+}
+
+/// Run `lints` over one parsed file; `display_path` goes into diagnostics.
+pub fn run_lints(
+    display_path: &str,
+    model: &FileModel,
+    lints: &[&LintDef],
+    raw_lines: &[&str],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, code) in model.code.iter().enumerate() {
+        for lint in lints {
+            if lint.skip_tests && model.in_test[i] {
+                continue;
+            }
+            let Some(needle) = lint.needles.iter().find(|n| code.contains(*n)) else {
+                continue;
+            };
+            if model.allowed(i, lint.allow_key) {
+                continue;
+            }
+            out.push(Violation {
+                lint: lint.id.to_string(),
+                file: display_path.to_string(),
+                line: i + 1,
+                needle: needle.to_string(),
+                message: lint.message.to_string(),
+                snippet: raw_lines.get(i).map_or(String::new(), |l| l.trim().to_string()),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str, lints: &[&LintDef]) -> Vec<Violation> {
+        let model = FileModel::parse(src);
+        let raw: Vec<&str> = src.lines().collect();
+        run_lints("test.rs", &model, lints, &raw)
+    }
+
+    #[test]
+    fn hashmap_fires_but_btreemap_does_not() {
+        let v = scan(
+            "use std::collections::HashMap;\nuse std::collections::BTreeMap;\n",
+            &[&UNORDERED],
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].lint, "unordered-collections");
+    }
+
+    #[test]
+    fn string_and_comment_mentions_do_not_fire() {
+        let v = scan(
+            "// HashMap is banned\nlet s = \"HashMap\";\nlet t = r#\"Instant::now\"#;\n",
+            &[&UNORDERED, &WALL_CLOCK],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let v = scan(
+            "let x = y.unwrap_or_else(Vec::new);\nlet z = y.unwrap_or(0);\n",
+            &[&PROTOCOL_PANIC],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn panics_in_test_mods_are_exempt() {
+        let src =
+            "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
+        let v = scan(src, &[&PROTOCOL_PANIC]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn allow_annotations_suppress() {
+        let src = "use a;\n// psa-verify: allow(wall-clock) timing loop\nlet t = Instant::now();\nlet u = Instant::now();\n";
+        let v = scan(src, &[&WALL_CLOCK]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn file_level_allow_suppresses_everywhere() {
+        let src = "// psa-verify: allow(wall-clock) whole file measures real time\nuse std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        assert!(scan(src, &[&WALL_CLOCK]).is_empty());
+    }
+
+    #[test]
+    fn every_lint_id_resolves() {
+        for l in ALL_LINTS {
+            assert!(by_id(l.id).is_some());
+        }
+        assert!(by_id("no-such-lint").is_none());
+    }
+}

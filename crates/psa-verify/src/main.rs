@@ -1,0 +1,287 @@
+//! `psa-verify` — workspace determinism & protocol-safety analysis pass.
+//!
+//! The compiler cannot see that `HashMap` iteration order breaks
+//! bit-reproducible runs, or that an `unwrap()` in a message handler turns
+//! a torn-down peer into a deadlocked executor. This tool walks every
+//! source file in the workspace and enforces those repo-specific invariants
+//! lexically (see `scan` for why the three text channels make that sound).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p psa-verify -- check            # lint the whole workspace
+//! cargo run -p psa-verify -- check --json     # same, JSON report on stdout
+//! cargo run -p psa-verify -- check PATH...    # lint specific files/dirs
+//!                                             # (ALL lints apply — used on
+//!                                             # the bad-fixture corpus)
+//! cargo run -p psa-verify -- selftest         # every lint must catch its
+//!                                             # fixture; good fixtures must
+//!                                             # pass clean
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found (or selftest failure), 2 usage
+//! or I/O error.
+
+mod lints;
+mod policy;
+mod report;
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lints::{run_lints, ALL_LINTS};
+use report::Violation;
+use scan::FileModel;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let mut json = false;
+            let mut paths = Vec::new();
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--json" => json = true,
+                    flag if flag.starts_with('-') => {
+                        eprintln!("psa-verify: unknown flag `{flag}`");
+                        return ExitCode::from(2);
+                    }
+                    p => paths.push(PathBuf::from(p)),
+                }
+            }
+            run_check(&paths, json)
+        }
+        Some("selftest") => run_selftest(),
+        _ => {
+            eprintln!("usage: psa-verify <check [--json] [PATH...] | selftest>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/psa-verify`, two up.
+fn workspace_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .unwrap_or_else(|_| env!("CARGO_MANIFEST_DIR").to_string());
+    Path::new(&manifest).join("../..").canonicalize().unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn run_check(paths: &[PathBuf], json: bool) -> ExitCode {
+    let workspace_mode = paths.is_empty();
+    let root = workspace_root();
+    let files = if workspace_mode {
+        collect_rs(&root, true)
+    } else {
+        let mut out = Vec::new();
+        for p in paths {
+            if p.is_dir() {
+                out.extend(collect_rs(p, false));
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p.clone());
+            } else {
+                eprintln!("psa-verify: `{}` is not a .rs file or directory", p.display());
+                return ExitCode::from(2);
+            }
+        }
+        out
+    };
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = display_path(path, &root);
+        let Ok(src) = std::fs::read_to_string(path) else {
+            eprintln!("psa-verify: cannot read `{}`", path.display());
+            return ExitCode::from(2);
+        };
+        let set: Vec<_> = if workspace_mode { policy::lints_for(&rel) } else { ALL_LINTS.to_vec() };
+        violations.extend(check_source(&rel, &src, &set));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+
+    if json {
+        println!("{}", report::json(files.len(), &violations));
+    } else {
+        print!("{}", report::human(&violations));
+        println!("{}", report::summary(files.len(), &violations));
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Parse one source buffer and run the given lint set over it.
+fn check_source(rel: &str, src: &str, set: &[&'static lints::LintDef]) -> Vec<Violation> {
+    let model = FileModel::parse(src);
+    let raw: Vec<&str> = src.lines().collect();
+    run_lints(rel, &model, set, &raw)
+}
+
+/// Recursively collect `.rs` files. In workspace mode, directories named in
+/// [`policy::SKIP_DIRS`] (build output, VCS, fixture corpora) are pruned.
+fn collect_rs(dir: &Path, workspace_mode: bool) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort(); // deterministic walk order ⇒ deterministic report order
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if workspace_mode && policy::SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            out.extend(collect_rs(&path, workspace_mode));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// Path relative to the workspace root with `/` separators, for stable
+/// diagnostics across platforms and invocation directories.
+fn display_path(path: &Path, root: &Path) -> String {
+    let rel = path
+        .canonicalize()
+        .ok()
+        .and_then(|c| c.strip_prefix(root).map(Path::to_path_buf).ok())
+        .unwrap_or_else(|| path.to_path_buf());
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+// ---------------------------------------------------------------------------
+// Selftest: the bad-fixture corpus must trip exactly its declared lints.
+// ---------------------------------------------------------------------------
+
+/// Run the fixture corpus; returns human-readable failures (empty = pass).
+fn selftest_failures() -> Vec<String> {
+    const EXPECT_TAG: &str = "psa-verify-fixture: expect(";
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let files = collect_rs(&fixtures, false);
+    let mut failures = Vec::new();
+    if files.is_empty() {
+        failures.push(format!("no fixtures found under {}", fixtures.display()));
+        return failures;
+    }
+
+    let mut covered: Vec<&str> = Vec::new();
+    for path in &files {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+        let Ok(src) = std::fs::read_to_string(path) else {
+            failures.push(format!("{name}: unreadable"));
+            continue;
+        };
+        // Declared expectations: `// psa-verify-fixture: expect(<lint-id>)`.
+        let mut expected: Vec<String> = Vec::new();
+        for line in src.lines() {
+            if let Some(start) = line.find(EXPECT_TAG) {
+                let rest = &line[start + EXPECT_TAG.len()..];
+                if let Some(end) = rest.find(')') {
+                    expected.push(rest[..end].trim().to_string());
+                }
+            }
+        }
+        let fired: Vec<String> = {
+            let mut ids: Vec<String> =
+                check_source(&name, &src, ALL_LINTS).into_iter().map(|v| v.lint).collect();
+            ids.sort();
+            ids.dedup();
+            ids
+        };
+        if name.starts_with("good_") {
+            if !expected.is_empty() {
+                failures.push(format!("{name}: good fixture declares expectations"));
+            }
+            if !fired.is_empty() {
+                failures.push(format!("{name}: good fixture fired {fired:?}"));
+            }
+            continue;
+        }
+        if expected.is_empty() {
+            failures.push(format!("{name}: bad fixture declares no expectations"));
+            continue;
+        }
+        for want in &expected {
+            if lints::by_id(want).is_none() {
+                failures.push(format!("{name}: expects unknown lint `{want}`"));
+            } else if !fired.iter().any(|f| f == want) {
+                failures.push(format!("{name}: expected `{want}` did not fire"));
+            }
+        }
+        for got in &fired {
+            if !expected.iter().any(|e| e == got) {
+                failures.push(format!("{name}: unexpected lint `{got}` fired"));
+            }
+        }
+        for want in &expected {
+            if let Some(l) = lints::by_id(want) {
+                if !covered.contains(&l.id) {
+                    covered.push(l.id);
+                }
+            }
+        }
+    }
+    for lint in ALL_LINTS {
+        if !covered.contains(&lint.id) {
+            failures.push(format!("lint `{}` has no covering fixture", lint.id));
+        }
+    }
+    failures
+}
+
+fn run_selftest() -> ExitCode {
+    let failures = selftest_failures();
+    if failures.is_empty() {
+        println!("psa-verify selftest: all lint classes covered, fixtures behave");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("psa-verify selftest: {f}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selftest_corpus_passes() {
+        let failures = selftest_failures();
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn fixture_corpus_trips_the_checker() {
+        // `check` over the fixtures dir (all-lints mode) must find
+        // violations — this is the non-zero-exit acceptance path.
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let files = collect_rs(&fixtures, false);
+        let mut total = 0usize;
+        for f in &files {
+            let src = std::fs::read_to_string(f).expect("fixture readable");
+            total += check_source("fixture.rs", &src, ALL_LINTS).len();
+        }
+        assert!(total > 0, "fixture corpus produced no violations");
+    }
+
+    #[test]
+    fn workspace_walk_skips_fixture_and_target_dirs() {
+        let root = workspace_root();
+        let files = collect_rs(&root, true);
+        assert!(!files.is_empty());
+        for f in &files {
+            let p = f.to_string_lossy().replace('\\', "/");
+            assert!(!p.contains("/fixtures/"), "walked into fixtures: {p}");
+            assert!(!p.contains("/target/"), "walked into target: {p}");
+        }
+    }
+}

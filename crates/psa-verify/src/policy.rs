@@ -1,0 +1,86 @@
+//! Which lints apply where.
+//!
+//! The mapping is by workspace-relative path, normalised to `/` separators:
+//!
+//! * **simulation crates** (`psa-core`, `psa-runtime`, `netsim`,
+//!   `cluster-sim`) carry the determinism lints — unordered collections,
+//!   wall clock, ambient RNG — because their per-frame behaviour must be a
+//!   pure function of the seed;
+//! * **protocol modules** (`psa-runtime/src/msg.rs` and everything under
+//!   `netsim/src/`) additionally forbid panic paths: a panicking rank
+//!   thread deadlocks its peers instead of failing the run report;
+//! * **everything else** (render, api, workloads, benches, binaries) still
+//!   gets the ambient-RNG lint — a stray `thread_rng` anywhere feeds
+//!   nondeterminism back into workload setup — but may freely use hash
+//!   maps and wall clocks.
+
+use crate::lints::{LintDef, AMBIENT_RNG, PROTOCOL_PANIC, UNORDERED, WALL_CLOCK};
+
+/// Source roots whose iteration order / timing must be deterministic.
+pub const SIM_ROOTS: &[&str] = &[
+    "crates/psa-core/src",
+    "crates/psa-core/tests",
+    "crates/psa-runtime/src",
+    "crates/netsim/src",
+    "crates/cluster-sim/src",
+];
+
+/// Message-handling code that must return typed errors instead of panicking.
+pub const PROTOCOL_ROOTS: &[&str] = &["crates/psa-runtime/src/msg.rs", "crates/netsim/src"];
+
+/// Directory names skipped entirely during the workspace walk.
+pub const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
+
+fn under(rel: &str, root: &str) -> bool {
+    rel == root || rel.starts_with(&format!("{root}/"))
+}
+
+/// The lint set for one workspace-relative `.rs` path.
+pub fn lints_for(rel: &str) -> Vec<&'static LintDef> {
+    let mut set: Vec<&'static LintDef> = vec![&AMBIENT_RNG];
+    if SIM_ROOTS.iter().any(|r| under(rel, r)) {
+        set.push(&UNORDERED);
+        set.push(&WALL_CLOCK);
+    }
+    if PROTOCOL_ROOTS.iter().any(|r| under(rel, r)) {
+        set.push(&PROTOCOL_PANIC);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(rel: &str) -> Vec<&'static str> {
+        lints_for(rel).iter().map(|l| l.id).collect()
+    }
+
+    #[test]
+    fn sim_crates_get_determinism_lints() {
+        let got = ids("crates/psa-runtime/src/threaded.rs");
+        assert!(got.contains(&"unordered-collections"));
+        assert!(got.contains(&"wall-clock"));
+        assert!(got.contains(&"ambient-rng"));
+        assert!(!got.contains(&"protocol-panic"));
+    }
+
+    #[test]
+    fn protocol_modules_also_ban_panics() {
+        assert!(ids("crates/psa-runtime/src/msg.rs").contains(&"protocol-panic"));
+        assert!(ids("crates/netsim/src/thread_net.rs").contains(&"protocol-panic"));
+        assert!(ids("crates/netsim/src/virtual_net.rs").contains(&"protocol-panic"));
+    }
+
+    #[test]
+    fn other_crates_only_get_ambient_rng() {
+        assert_eq!(ids("crates/psa-render/src/raster.rs"), vec!["ambient-rng"]);
+        assert_eq!(ids("src/bin/animate.rs"), vec!["ambient-rng"]);
+    }
+
+    #[test]
+    fn prefix_match_is_path_aware() {
+        // `crates/netsim/src-extra` must not inherit netsim's protocol rules
+        assert!(!ids("crates/netsim/src-extra/x.rs").contains(&"protocol-panic"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Diagnostics output: human `file:line` text and a machine-readable JSON
+//! report. JSON is hand-rolled — this workspace builds fully offline, so
+//! `serde` is not available, and the schema is small enough that an escape
+//! function plus string assembly is clearer than a dependency would be.
+
+/// One lint finding, located to a file and 1-based line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable lint id (`unordered-collections`, `wall-clock`, ...).
+    pub lint: String,
+    /// Path as displayed — relative to the workspace root when possible.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The substring that fired the lint.
+    pub needle: String,
+    /// The lint's explanation of why the construct is banned.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Render violations as compiler-style human diagnostics.
+pub fn human(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&format!(
+            "error[{}]: {}\n  --> {}:{} (found `{}`)\n   | {}\n",
+            v.lint, v.message, v.file, v.line, v.needle, v.snippet
+        ));
+    }
+    out
+}
+
+/// One-line run summary for the end of the human report.
+pub fn summary(files_scanned: usize, violations: &[Violation]) -> String {
+    if violations.is_empty() {
+        format!("psa-verify: {files_scanned} files scanned, 0 violations")
+    } else {
+        format!(
+            "psa-verify: {files_scanned} files scanned, {} violation(s) in {} file(s)",
+            violations.len(),
+            distinct_files(violations)
+        )
+    }
+}
+
+fn distinct_files(violations: &[Violation]) -> usize {
+    let mut files: Vec<&str> = violations.iter().map(|v| v.file.as_str()).collect();
+    files.sort_unstable();
+    files.dedup();
+    files.len()
+}
+
+/// Render the full run as a JSON object:
+/// `{"tool":"psa-verify","files_scanned":N,"ok":bool,"violations":[...]}`.
+pub fn json(files_scanned: usize, violations: &[Violation]) -> String {
+    let mut out = String::from("{\"tool\":\"psa-verify\",");
+    out.push_str(&format!("\"files_scanned\":{files_scanned},"));
+    out.push_str(&format!("\"ok\":{},", violations.is_empty()));
+    out.push_str("\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":{},\"file\":{},\"line\":{},\"needle\":{},\"message\":{},\"snippet\":{}}}",
+            escape(&v.lint),
+            escape(&v.file),
+            v.line,
+            escape(&v.needle),
+            escape(&v.message),
+            escape(&v.snippet)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> Violation {
+        Violation {
+            lint: "wall-clock".into(),
+            file: "crates/x/src/a.rs".into(),
+            line: 7,
+            needle: "Instant::now".into(),
+            message: "no \"wall\" clock".into(),
+            snippet: "let t = Instant::now();".into(),
+        }
+    }
+
+    #[test]
+    fn human_has_file_line_and_lint() {
+        let text = human(&[v()]);
+        assert!(text.contains("crates/x/src/a.rs:7"));
+        assert!(text.contains("error[wall-clock]"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_reports_ok() {
+        let j = json(3, &[v()]);
+        assert!(j.contains("\"ok\":false"));
+        assert!(j.contains("no \\\"wall\\\" clock"));
+        assert!(j.contains("\"files_scanned\":3"));
+        let clean = json(3, &[]);
+        assert!(clean.contains("\"ok\":true"));
+        assert!(clean.ends_with("\"violations\":[]}"));
+    }
+
+    #[test]
+    fn summary_counts_distinct_files() {
+        let mut b = v();
+        b.line = 9;
+        let s = summary(10, &[v(), b]);
+        assert!(s.contains("2 violation(s) in 1 file(s)"), "{s}");
+    }
+}

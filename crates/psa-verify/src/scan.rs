@@ -1,0 +1,360 @@
+//! Source model: a lossless-enough view of one Rust file for lexical lints.
+//!
+//! The scanner does not parse Rust — `syn` is not available to an offline
+//! build, and the lints here are lexical by design. What it *does* do is
+//! separate the three channels a lint must not confuse:
+//!
+//! * **code** — the line with every comment removed and every string/char
+//!   literal blanked, so `"HashMap"` in a string or `Instant::now` in a
+//!   comment never fires a lint;
+//! * **comments** — the comment text per line, where the
+//!   `// psa-verify: allow(<lint>)` escape hatch lives;
+//! * **test mask** — which lines sit inside a `#[cfg(test)]` or `#[test]`
+//!   item, for lints that only apply to shipped code.
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Per-line code with comments removed and literal contents blanked.
+    pub code: Vec<String>,
+    /// Per-line comment text (no `//` / `/*` markers removed — raw tail).
+    /// Consumed by `collect_allows` at parse time; kept on the model so
+    /// future comment-channel lints don't have to re-split the file.
+    #[allow(dead_code)]
+    pub comments: Vec<String>,
+    /// True for lines inside a `#[cfg(test)]` / `#[test]` item body.
+    pub in_test: Vec<bool>,
+    /// Lint names allowed for the whole file (annotation above any code).
+    pub file_allows: Vec<String>,
+    /// `(line, lint)` pairs: annotation applies to its line and the next.
+    pub line_allows: Vec<(usize, String)>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    CharLit,
+}
+
+impl FileModel {
+    pub fn parse(src: &str) -> FileModel {
+        let (code, comments) = split_channels(src);
+        let in_test = test_mask(&code);
+        let (file_allows, line_allows) = collect_allows(&code, &comments);
+        FileModel { code, comments, in_test, file_allows, line_allows }
+    }
+
+    /// Is `lint` allowed on `line` (0-based) — by a file-level annotation,
+    /// or a line-level one on this or the previous line?
+    pub fn allowed(&self, line: usize, lint: &str) -> bool {
+        if self.file_allows.iter().any(|a| a == lint) {
+            return true;
+        }
+        self.line_allows.iter().any(|(l, a)| a == lint && (*l == line || *l + 1 == line))
+    }
+}
+
+/// Split source into per-line (code, comment) channels.
+fn split_channels(src: &str) -> (Vec<String>, Vec<String>) {
+    let chars: Vec<char> = src.chars().collect();
+    let mut code_lines = Vec::new();
+    let mut com_lines = Vec::new();
+    let mut code = String::new();
+    let mut com = String::new();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            code_lines.push(std::mem::take(&mut code));
+            com_lines.push(std::mem::take(&mut com));
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    mode = Mode::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                    continue;
+                }
+                // Raw string r"..." / r#"..."# (not a raw identifier).
+                if c == 'r' && !prev_is_ident(&chars, i) && matches!(next, Some('"') | Some('#')) {
+                    let mut j = i + 1;
+                    let mut hashes = 0u8;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // char literal vs lifetime: a literal closes with '.
+                    let is_escape = next == Some('\\');
+                    let closes = chars.get(i + 2) == Some(&'\'');
+                    if is_escape || (closes && next.is_some()) {
+                        mode = Mode::CharLit;
+                        i += 1;
+                        continue;
+                    }
+                    code.push('\''); // lifetime tick
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            Mode::LineComment => {
+                com.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(d) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(d + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    mode = if d == 1 { Mode::Code } else { Mode::BlockComment(d - 1) };
+                    i += 2;
+                } else {
+                    com.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2; // skip escaped char
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1; // blank literal content
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Mode::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    code_lines.push(code);
+    com_lines.push(com);
+    (code_lines, com_lines)
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Mark lines inside `#[cfg(test)]` / `#[test]` item bodies by tracking
+/// brace depth on the stripped code channel.
+fn test_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = Vec::with_capacity(code.len());
+    let mut depth = 0i32;
+    let mut pending = false;
+    let mut guard: Option<i32> = None;
+    for line in code {
+        if line.contains("#[test]") || is_test_cfg(line) {
+            pending = true;
+        }
+        let mut in_test = guard.is_some() || pending;
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        guard = Some(depth);
+                        pending = false;
+                        in_test = true;
+                    }
+                }
+                '}' => {
+                    if guard == Some(depth) {
+                        guard = None;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        mask.push(in_test || guard.is_some());
+    }
+    mask
+}
+
+/// Does this line carry a `#[cfg(...)]` whose predicate mentions `test` as
+/// a word? Covers `#[cfg(test)]` but also compound gates like
+/// `#[cfg(all(test, not(loom)))]`. A bare `not(test)` gate would be shipped
+/// code, but such a gate on an *item* does not occur in this workspace —
+/// and treating it as test would only make the lints stricter elsewhere.
+fn is_test_cfg(line: &str) -> bool {
+    let Some(pos) = line.find("#[cfg(") else {
+        return false;
+    };
+    let pred = &line[pos + 6..];
+    let bytes = pred.as_bytes();
+    let mut from = 0;
+    while let Some(off) = pred[from..].find("test") {
+        let start = from + off;
+        let end = start + 4;
+        let before_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let after_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Extract `psa-verify: allow(<lint>)` annotations. An annotation above any
+/// code line covers the whole file; otherwise it covers its own line and
+/// the one after it (so it can sit on the line above the finding).
+fn collect_allows(code: &[String], comments: &[String]) -> (Vec<String>, Vec<(usize, String)>) {
+    const TAG: &str = "psa-verify: allow(";
+    let mut file_allows = Vec::new();
+    let mut line_allows = Vec::new();
+    let mut seen_code = false;
+    for (i, com) in comments.iter().enumerate() {
+        if !code[i].trim().is_empty() {
+            // annotation on a code line is line-level even at file top
+            if let Some(name) = extract(com, TAG) {
+                line_allows.push((i, name));
+            }
+            seen_code = true;
+            continue;
+        }
+        if let Some(name) = extract(com, TAG) {
+            if seen_code {
+                line_allows.push((i, name));
+            } else {
+                file_allows.push(name);
+            }
+        }
+    }
+    (file_allows, line_allows)
+}
+
+fn extract(haystack: &str, tag: &str) -> Option<String> {
+    let start = haystack.find(tag)? + tag.len();
+    let rest = &haystack[start..];
+    let end = rest.find(')')?;
+    Some(rest[..end].trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let m = FileModel::parse(
+            "let x = \"HashMap in a string\"; // HashMap in a comment\n/* HashMap */ let y = 1;\n",
+        );
+        assert!(!m.code[0].contains("HashMap"));
+        assert!(m.comments[0].contains("HashMap"));
+        assert!(!m.code[1].contains("HashMap"));
+        assert!(m.code[1].contains("let y"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let m = FileModel::parse("let s = r#\"Instant::now\"#; let c = '\\'';\nlet l: &'a str;\n");
+        assert!(!m.code[0].contains("Instant"));
+        assert!(m.code[1].contains("&'a str"), "lifetimes survive: {:?}", m.code[1]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = FileModel::parse("/* a /* b */ still comment */ let z = 3;\n");
+        assert!(m.code[0].contains("let z"));
+        assert!(!m.code[0].contains("still comment"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn also_real() {}\n";
+        let m = FileModel::parse(src);
+        assert!(!m.in_test[0]);
+        assert!(m.in_test[1] && m.in_test[2] && m.in_test[3] && m.in_test[4]);
+        assert!(!m.in_test[5]);
+    }
+
+    #[test]
+    fn compound_test_cfgs_are_masked() {
+        let src = "#[cfg(all(test, not(loom)))]\nmod model {\n    fn f() { x.unwrap(); }\n}\nfn shipped() {}\n";
+        let m = FileModel::parse(src);
+        assert!(m.in_test[0] && m.in_test[2]);
+        assert!(!m.in_test[4]);
+        // `tsan`/`testing_x` must not count as the `test` predicate
+        let n = FileModel::parse("#[cfg(psa_tsan)]\nfn f() {}\n#[cfg(testing_x)]\nfn g() {}\n");
+        assert!(!n.in_test[1] && !n.in_test[3]);
+    }
+
+    #[test]
+    fn file_level_allow_sits_above_code() {
+        let src = "//! docs\n// psa-verify: allow(wall-clock) — reason\nuse std::time::Instant;\n";
+        let m = FileModel::parse(src);
+        assert_eq!(m.file_allows, vec!["wall-clock".to_string()]);
+    }
+
+    #[test]
+    fn line_level_allow_covers_next_line() {
+        let src = "use x;\n// psa-verify: allow(unordered)\nlet m = HashMap::new();\nlet n = HashMap::new();\n";
+        let m = FileModel::parse(src);
+        assert!(m.file_allows.is_empty());
+        assert!(m.allowed(2, "unordered"));
+        assert!(!m.allowed(3, "unordered"));
+    }
+}

@@ -5,13 +5,7 @@ use cluster_sim::{e60, e800, zx2000, ClusterSpec, Compiler, NetworkModel};
 /// A homogeneous Myrinet+GCC E800 cluster — the environment of Tables 1
 /// and 3. `nodes` type-B nodes running `procs_per_node` calculators each.
 pub fn myrinet_gcc(nodes: usize, procs_per_node: usize) -> ClusterSpec {
-    ClusterSpec::homogeneous(
-        NetworkModel::myrinet(),
-        Compiler::Gcc,
-        e800(),
-        nodes,
-        procs_per_node,
-    )
+    ClusterSpec::homogeneous(NetworkModel::myrinet(), Compiler::Gcc, e800(), nodes, procs_per_node)
 }
 
 /// A Fast-Ethernet + ICC cluster builder (Table 2's environment).
@@ -36,10 +30,7 @@ pub fn table1_rows() -> Vec<(&'static str, usize, usize)> {
 /// The heterogeneous rows of Table 2, in paper order.
 pub fn table2_rows() -> Vec<(&'static str, ClusterSpec)> {
     vec![
-        (
-            "4*B (4 P.) + 4*A (4 P.) = 8 P.",
-            fe_icc().add_nodes(e800(), 4, 1).add_nodes(e60(), 4, 1),
-        ),
+        ("4*B (4 P.) + 4*A (4 P.) = 8 P.", fe_icc().add_nodes(e800(), 4, 1).add_nodes(e60(), 4, 1)),
         (
             "4*B (8 P.) + 4*A (8 P.) = 16 P.",
             fe_icc().add_nodes(e800(), 4, 2).add_nodes(e60(), 4, 2),

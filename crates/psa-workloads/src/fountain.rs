@@ -13,9 +13,7 @@
 //! leaves most calculators idle while the slices containing a nozzle are
 //! overloaded — the irregular-load case where DLB must win (Table 3).
 
-use psa_core::actions::{
-    ActionList, DieOnContact, Gravity, KillOld, MoveParticles, RandomAccel,
-};
+use psa_core::actions::{ActionList, DieOnContact, Gravity, KillOld, MoveParticles, RandomAccel};
 use psa_core::objects::ExternalObject;
 use psa_core::system::{EmissionShape, VelocityModel};
 use psa_core::{SystemId, SystemSpec};
@@ -119,7 +117,7 @@ mod tests {
             per_slice[s] += 1;
         }
         assert!(
-            per_slice.iter().any(|&c| c == 0) && per_slice.iter().any(|&c| c >= 2),
+            per_slice.contains(&0) && per_slice.iter().any(|&c| c >= 2),
             "nozzle placement must be irregular: {per_slice:?}"
         );
     }

@@ -21,8 +21,8 @@ pub mod smoke;
 pub mod snow;
 
 pub use clusters::{fe_icc, myrinet_gcc, table1_rows, table2_rows};
-pub use fountain::fountain_scene;
 pub use fireworks::fireworks_scene;
+pub use fountain::fountain_scene;
 pub use smoke::smoke_scene;
 pub use snow::snow_scene;
 

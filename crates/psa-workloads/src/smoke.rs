@@ -23,10 +23,7 @@ pub fn smoke_scene(stacks: usize, particles_per_stack: usize) -> Scene {
                 radius: 0.6,
                 normal: Vec3::Y,
             },
-            velocity: VelocityModel::Jittered {
-                base: Vec3::new(0.0, 3.0, 0.0),
-                jitter: 0.8,
-            },
+            velocity: VelocityModel::Jittered { base: Vec3::new(0.0, 3.0, 0.0), jitter: 0.8 },
             orientation: Vec3::Y,
             color: Vec3::new(0.55, 0.55, 0.6),
             size: 0.4,

@@ -41,8 +41,7 @@ fn main() {
         }
         if step % 30 == 0 {
             let ke: f64 = balls.iter().map(|p| p.kinetic_energy() as f64).sum();
-            let mean_h: f32 =
-                balls.iter().map(|p| p.position.y).sum::<f32>() / balls.len() as f32;
+            let mean_h: f32 = balls.iter().map(|p| p.position.y).sum::<f32>() / balls.len() as f32;
             println!(
                 "step {step:>3}: {:>5} contacts, kinetic energy {ke:>9.1}, mean height {mean_h:.2}",
                 pairs.len()
@@ -55,18 +54,13 @@ fn main() {
     // its boundaries — count how much smaller that is.
     let dm = DomainMap::split_even(Interval::new(-8.0, 8.0), Axis::X, 8);
     let slice = dm.slice(3);
-    let local: Vec<Particle> = balls
-        .iter()
-        .filter(|p| slice.contains(p.position.x))
-        .copied()
-        .collect();
+    let local: Vec<Particle> =
+        balls.iter().filter(|p| slice.contains(p.position.x)).copied().collect();
     let ghosts: Vec<Particle> = balls
         .iter()
         .filter(|p| {
             let x = p.position.x;
-            !slice.contains(x)
-                && (x >= slice.lo - 4.0 * radius)
-                && (x < slice.hi + 4.0 * radius)
+            !slice.contains(x) && (x >= slice.lo - 4.0 * radius) && (x < slice.hi + 4.0 * radius)
         })
         .copied()
         .collect();
@@ -78,6 +72,8 @@ fn main() {
         balls.len(),
         balls.len() / (local.len() + ghosts.len()).max(1),
     );
-    println!("  ({} of its contacts involve a ghost from a neighbor domain)",
-        local_pairs.iter().filter(|(_, j)| *j as usize >= local.len()).count());
+    println!(
+        "  ({} of its contacts involve a ghost from a neighbor domain)",
+        local_pairs.iter().filter(|(_, j)| *j as usize >= local.len()).count()
+    );
 }

@@ -30,8 +30,8 @@ fn main() {
     println!("fountain, 8 calculators on a simulated Myrinet E800 cluster\n");
     println!("{:<8}{:>10}{:>12}{:>16}", "mode", "speed-up", "imbalance", "balanced/frame");
     for (label, rep) in &results {
-        let balanced: f64 = rep.frames.iter().map(|f| f.balanced as f64).sum::<f64>()
-            / rep.frames.len() as f64;
+        let balanced: f64 =
+            rep.frames.iter().map(|f| f.balanced as f64).sum::<f64>() / rep.frames.len() as f64;
         println!(
             "{label:<8}{:>10.2}{:>12.3}{:>16.0}",
             baseline / rep.steady_time(),

@@ -33,7 +33,7 @@ fn main() {
     );
 
     // 2. Real host threads: same protocol, wall-clock timing.
-    let thr = run_threaded(&scene, &cfg, 4, None);
+    let thr = run_threaded(&scene, &cfg, 4, None).expect("threaded run failed");
     println!(
         "threaded ({} calculators): {:.0} ms wall, {} alive, {} particles migrated/frame",
         thr.calculators,

@@ -92,11 +92,8 @@ fn parse() -> Args {
 
 fn main() {
     let args = parse();
-    let size = WorkloadSize {
-        systems: args.systems,
-        particles_per_system: args.particles,
-        scale: 1.0,
-    };
+    let size =
+        WorkloadSize { systems: args.systems, particles_per_system: args.particles, scale: 1.0 };
     let (scene, dt, view_top) = match args.workload.as_str() {
         "snow" => (snow_scene(size), snow::SNOW_DT, 36.0),
         "fountain" => (fountain_scene(size), fountain::FOUNTAIN_DT, 14.0),
@@ -116,7 +113,8 @@ fn main() {
         "sequential" => run_sequential(&scene, &cfg, &CostModel::default(), 1.0),
         "virtual" => {
             let cluster = myrinet_gcc(args.procs.max(1), 1);
-            let mut sim = VirtualSim::new(scene.clone(), cfg.clone(), cluster, CostModel::default());
+            let mut sim =
+                VirtualSim::new(scene.clone(), cfg.clone(), cluster, CostModel::default());
             sim.run()
         }
         "threaded" => {
@@ -134,7 +132,7 @@ fn main() {
                 }
                 s
             });
-            run_threaded(&scene, &cfg, args.procs.max(1), sink)
+            run_threaded(&scene, &cfg, args.procs.max(1), sink).expect("threaded run failed")
         }
         _ => usage(),
     };
@@ -156,13 +154,7 @@ fn main() {
     );
     let mut times = Histogram::new(
         0.0,
-        report
-            .frames
-            .iter()
-            .map(|f| f.frame_time)
-            .fold(0.0, f64::max)
-            .max(1e-9)
-            * 1.01,
+        report.frames.iter().map(|f| f.frame_time).fold(0.0, f64::max).max(1e-9) * 1.01,
         24,
     );
     for f in &report.frames {

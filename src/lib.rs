@@ -31,7 +31,7 @@
 //! let size = WorkloadSize { systems: 2, particles_per_system: 2_000, scale: 1.0 };
 //! let scene = snow_scene(size);
 //! let cfg = RunConfig { frames: 10, dt: 0.15, ..Default::default() };
-//! let report = run_threaded(&scene, &cfg, 4, None);
+//! let report = run_threaded(&scene, &cfg, 4, None).expect("threaded run failed");
 //! assert_eq!(report.frames.len(), 10);
 //! ```
 

@@ -22,9 +22,7 @@ fn lossless_scene(systems: u16) -> Scene {
         spec.space = Interval::new(-10.0, 10.0);
         scene.add_system(SystemSetup::new(
             spec,
-            ActionList::new()
-                .then(RandomAccel::new(3.0))
-                .then(MoveParticles),
+            ActionList::new().then(RandomAccel::new(3.0)).then(MoveParticles),
         ));
     }
     scene
@@ -55,7 +53,7 @@ fn virtual_executor_conserves_particles() {
 fn threaded_executor_conserves_particles() {
     let scene = lossless_scene(2);
     let cfg = RunConfig { frames: 8, dt: 0.1, ..Default::default() };
-    let rep = run_threaded(&scene, &cfg, 4, None);
+    let rep = run_threaded(&scene, &cfg, 4, None).expect("threaded run failed");
     for f in &rep.frames {
         let expected = 2 * 321 * (f.frame + 1);
         assert_eq!(f.alive, expected, "frame {} alive", f.frame);
@@ -100,10 +98,7 @@ fn balancing_moves_but_never_loses() {
     spec.max_age = f32::MAX;
     spec.velocity = psa_core::system::VelocityModel::Constant(Vec3::ZERO);
     let mut scene = Scene::new();
-    scene.add_system(SystemSetup::new(
-        spec,
-        ActionList::new().then(MoveParticles),
-    ));
+    scene.add_system(SystemSetup::new(spec, ActionList::new().then(MoveParticles)));
     let mk = |balance| {
         let cfg = RunConfig { frames: 12, dt: 0.1, balance, ..Default::default() };
         let mut sim = VirtualSim::new(scene.clone(), cfg, myrinet_gcc(8, 1), CostModel::default());

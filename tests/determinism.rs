@@ -60,20 +60,46 @@ fn sequential_and_parallel_agree_on_population_without_stochastic_actions() {
     let cost = CostModel::default();
     let seq = run_sequential(&scene, &cfg, &cost, 1.0);
     for procs in [2usize, 3, 5] {
-        let mut sim = VirtualSim::new(
-            scene.clone(),
-            cfg.clone(),
-            myrinet_gcc(procs, 1),
-            cost.clone(),
-        );
+        let mut sim =
+            VirtualSim::new(scene.clone(), cfg.clone(), myrinet_gcc(procs, 1), cost.clone());
         let par = sim.run();
         for (fs, fp) in seq.frames.iter().zip(par.frames.iter()) {
-            assert_eq!(
-                fs.alive, fp.alive,
-                "frame {} alive mismatch at P={procs}",
-                fs.frame
-            );
+            assert_eq!(fs.alive, fp.alive, "frame {} alive mismatch at P={procs}", fs.frame);
         }
+    }
+}
+
+/// Regression: the *threaded* executor (real OS threads, real channels) is
+/// bit-deterministic for a fixed seed once balancing uses the deterministic
+/// load metric. Runs the snow workload twice and compares the per-frame
+/// particle-state checksums — any drift in exchange order, RNG stream use,
+/// or balancing decisions changes a hash. Also passes with
+/// `--features strict-invariants`, which turns on the conservation /
+/// partition / Figure-2-order checks inside the run.
+#[test]
+fn threaded_snow_runs_are_bit_identical() {
+    use particle_cluster_anim::runtime::LoadMetric;
+    let size = WorkloadSize { systems: 2, particles_per_system: 700, scale: 25.0 };
+    let mk = || {
+        let scene = snow_scene(size);
+        let cfg = RunConfig {
+            frames: 6,
+            dt: 0.15,
+            seed: 23,
+            load_metric: LoadMetric::CountProportional,
+            ..Default::default()
+        };
+        run_threaded(&scene, &cfg, 3, None).expect("threaded run failed")
+    };
+    let (a, b) = (mk(), mk());
+    assert_eq!(a.frames.len(), b.frames.len());
+    for (fa, fb) in a.frames.iter().zip(b.frames.iter()) {
+        assert_eq!(fa.alive, fb.alive, "frame {} population drift", fa.frame);
+        assert_eq!(
+            fa.checksum, fb.checksum,
+            "frame {} checksum drift: particle state is not bit-identical",
+            fa.frame
+        );
     }
 }
 

@@ -19,10 +19,7 @@ fn head_on_scene(radius: f32) -> Scene {
         s.size = radius;
         s.velocity = psa_core::system::VelocityModel::Constant(Vec3::new(vx, 0.0, 0.0));
         s.initial = Some((1, psa_core::system::EmissionShape::Point(Vec3::new(x, 0.0, 0.0))));
-        scene.add_system(SystemSetup::new(
-            s,
-            ActionList::new().then(MoveParticles),
-        ));
+        scene.add_system(SystemSetup::new(s, ActionList::new().then(MoveParticles)));
     }
     scene.collision = Some(CollisionSpec { cell: 2.0 * radius, restitution: 1.0 });
     scene
@@ -63,14 +60,12 @@ fn cross_boundary_collision_reflects_both_sides() {
     ));
     s.velocity = psa_core::system::VelocityModel::Constant(Vec3::ZERO);
     let mut scene = Scene::new();
-    scene.add_system(SystemSetup::new(
-        s,
-        ActionList::new().then(MoveParticles),
-    ));
+    scene.add_system(SystemSetup::new(s, ActionList::new().then(MoveParticles)));
     scene.collision = Some(CollisionSpec { cell: 2.0 * radius, restitution: 0.8 });
 
     let cfg = RunConfig { frames: 3, dt: 0.05, balance: BalanceMode::Static, ..Default::default() };
-    let mut sim = VirtualSim::new(scene.clone(), cfg.clone(), myrinet_gcc(2, 1), CostModel::default());
+    let mut sim =
+        VirtualSim::new(scene.clone(), cfg.clone(), myrinet_gcc(2, 1), CostModel::default());
     let rep = sim.run();
     assert_eq!(rep.frames.last().unwrap().alive, 400, "collision must not lose particles");
 
@@ -119,8 +114,7 @@ fn distributed_collision_matches_sequential_population_and_time_structure() {
     // the run cheaper
     let mut free_scene = scene.clone();
     free_scene.collision = None;
-    let mut sim =
-        VirtualSim::new(free_scene, cfg.clone(), myrinet_gcc(4, 1), CostModel::default());
+    let mut sim = VirtualSim::new(free_scene, cfg.clone(), myrinet_gcc(4, 1), CostModel::default());
     let free = sim.run();
     assert!(
         a.total_time > free.total_time,

@@ -120,8 +120,5 @@ fn decentralized_and_centralized_reach_similar_balance() {
     let dlb = run_with(&scene, SystemSchedule::PerSystem, BalanceMode::dynamic(), 20);
     let dec = run_with(&scene, SystemSchedule::PerSystem, BalanceMode::decentralized(), 20);
     let (a, b) = (dlb.frames.last().unwrap().imbalance, dec.frames.last().unwrap().imbalance);
-    assert!(
-        (a - b).abs() < 0.35,
-        "both balancers converge to comparable imbalance: {a} vs {b}"
-    );
+    assert!((a - b).abs() < 0.35, "both balancers converge to comparable imbalance: {a} vs {b}");
 }

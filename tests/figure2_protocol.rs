@@ -48,20 +48,12 @@ fn frame_events_match_figure2_order() {
         .map(|f| trace.frame(f))
         .find(|ev| ev.len() == FIGURE2_ORDER.len())
         .expect("some frame exercised the full protocol");
-    assert!(
-        matches_figure2(&full_frame),
-        "events out of order: {full_frame:?}"
-    );
+    assert!(matches_figure2(&full_frame), "events out of order: {full_frame:?}");
 }
 
 #[test]
 fn static_balancing_skips_balance_events() {
-    let cfg = RunConfig {
-        frames: 2,
-        dt: 0.05,
-        balance: BalanceMode::Static,
-        ..Default::default()
-    };
+    let cfg = RunConfig { frames: 2, dt: 0.05, balance: BalanceMode::Static, ..Default::default() };
     let cluster = myrinet_gcc(4, 1);
     let mut sim =
         VirtualSim::new(imbalanced_scene(), cfg, cluster, CostModel::default()).with_trace();

@@ -31,10 +31,7 @@ fn snow_is_slb_starves_odd_process_counts() {
     let even8 = speedup(&scene, 0.15, 8, SpaceMode::Infinite, BalanceMode::Static);
     assert!(odd < 1.0, "odd IS-SLB must lose to sequential: {odd}");
     assert!(even > 1.2, "even IS-SLB uses two central domains: {even}");
-    assert!(
-        (even - even8).abs() < 0.3,
-        "IS-SLB is flat in P: {even} vs {even8}"
-    );
+    assert!((even - even8).abs() < 0.3, "IS-SLB is flat in P: {even} vs {even8}");
 }
 
 #[test]
@@ -46,10 +43,7 @@ fn snow_fs_slb_scales_and_dlb_costs_nothing_extra() {
     let s8 = speedup(&scene, 0.15, 8, SpaceMode::Finite, BalanceMode::Static);
     assert!(s8 > s4 * 1.3, "FS-SLB must scale: {s4} -> {s8}");
     let d8 = speedup(&scene, 0.15, 8, SpaceMode::Finite, BalanceMode::dynamic());
-    assert!(
-        (s8 - d8).abs() / s8 < 0.1,
-        "snow FS-DLB ≈ FS-SLB: {s8} vs {d8}"
-    );
+    assert!((s8 - d8).abs() / s8 < 0.1, "snow FS-DLB ≈ FS-SLB: {s8} vs {d8}");
 }
 
 #[test]
@@ -67,12 +61,16 @@ fn fountain_dlb_beats_slb_everywhere() {
     // homogeneous cluster.
     let scene = fountain_scene(size());
     for procs in [4usize, 8] {
-        let slb = speedup(&scene, fountain::FOUNTAIN_DT, procs, SpaceMode::Finite, BalanceMode::Static);
-        let dlb = speedup(&scene, fountain::FOUNTAIN_DT, procs, SpaceMode::Finite, BalanceMode::dynamic());
-        assert!(
-            dlb > slb * 1.4,
-            "fountain DLB must clearly win at {procs}P: {slb} vs {dlb}"
+        let slb =
+            speedup(&scene, fountain::FOUNTAIN_DT, procs, SpaceMode::Finite, BalanceMode::Static);
+        let dlb = speedup(
+            &scene,
+            fountain::FOUNTAIN_DT,
+            procs,
+            SpaceMode::Finite,
+            BalanceMode::dynamic(),
         );
+        assert!(dlb > slb * 1.4, "fountain DLB must clearly win at {procs}P: {slb} vs {dlb}");
     }
 }
 
@@ -98,13 +96,8 @@ fn myrinet_beats_fast_ethernet() {
         let mut sim = VirtualSim::new(scene.clone(), cfg.clone(), myrinet_gcc(8, 2), cost.clone());
         seq.steady_time() / sim.run().steady_time()
     };
-    let fe_cluster = ClusterSpec::homogeneous(
-        NetworkModel::fast_ethernet(),
-        Compiler::Gcc,
-        e800(),
-        8,
-        2,
-    );
+    let fe_cluster =
+        ClusterSpec::homogeneous(NetworkModel::fast_ethernet(), Compiler::Gcc, e800(), 8, 2);
     let fe = {
         let mut sim = VirtualSim::new(scene.clone(), cfg, fe_cluster, cost);
         seq.steady_time() / sim.run().steady_time()
@@ -133,8 +126,5 @@ fn heterogeneous_dlb_beats_heterogeneous_slb() {
         let mut sim = VirtualSim::new(scene.clone(), c, cluster, cost);
         seq.steady_time() / sim.run().steady_time()
     };
-    assert!(
-        dlb > slb * 1.15,
-        "hetero DLB must beat SLB: {slb} vs {dlb}"
-    );
+    assert!(dlb > slb * 1.15, "hetero DLB must beat SLB: {slb} vs {dlb}");
 }

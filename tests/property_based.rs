@@ -1,139 +1,151 @@
 //! Property-based tests over the core invariants.
+//!
+//! The workspace builds fully offline, so instead of `proptest` these
+//! properties are driven by the repo's own deterministic [`Rng64`] streams:
+//! every case set derives from a fixed seed, so a failure reproduces
+//! bit-for-bit on every run — which is itself one of the determinism rules
+//! psa-verify enforces (no ambient RNG in test generators).
 
 use particle_cluster_anim::prelude::*;
-use particle_cluster_anim::runtime::balance::{
-    evaluate, validate_transfers, LoadInfo,
-};
-use proptest::prelude::*;
+use particle_cluster_anim::runtime::balance::{evaluate, validate_transfers, LoadInfo};
 
-proptest! {
-    /// Every coordinate in the covered space has exactly one owner, and the
-    /// owner's slice contains it.
-    #[test]
-    fn domain_owner_is_consistent(
-        lo in -100.0f32..0.0,
-        width in 1.0f32..200.0,
-        n in 1usize..24,
-        points in prop::collection::vec(0.0f32..1.0, 1..64),
-    ) {
+const CASES: usize = 256;
+
+/// Every coordinate in the covered space has exactly one owner, and the
+/// owner's slice contains it.
+#[test]
+fn domain_owner_is_consistent() {
+    let mut rng = Rng64::new(0xD0_A11);
+    for _ in 0..CASES {
+        let lo = rng.range(-100.0, 0.0);
+        let width = rng.range(1.0, 200.0);
+        let n = 1 + rng.below(23);
         let space = Interval::new(lo, lo + width);
         let map = DomainMap::split_even(space, Axis::X, n);
-        for t in points {
-            let v = lo + width * t * 0.999; // strictly inside
+        for _ in 0..32 {
+            let v = lo + width * rng.unit() * 0.999; // strictly inside
             let owner = map.owner_of(v);
-            prop_assert!(owner < n);
-            prop_assert!(map.slice(owner).contains(v), "slice {owner} must contain {v}");
+            assert!(owner < n);
+            assert!(map.slice(owner).contains(v), "slice {owner} must contain {v}");
             // uniqueness: no other slice contains it
             for i in 0..n {
                 if i != owner {
-                    prop_assert!(!map.slice(i).contains(v));
+                    assert!(!map.slice(i).contains(v));
                 }
             }
         }
     }
+}
 
-    /// Moving interior cuts arbitrarily (within bounds) keeps the map valid
-    /// and keeps the union of slices equal to the space.
-    #[test]
-    fn domain_cut_moves_preserve_cover(
-        n in 2usize..12,
-        moves in prop::collection::vec((0usize..12, 0.0f32..1.0), 0..24),
-    ) {
+/// Moving interior cuts arbitrarily (within bounds) keeps the map valid and
+/// keeps the union of slices equal to the space.
+#[test]
+fn domain_cut_moves_preserve_cover() {
+    let mut rng = Rng64::new(0xC07);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(10);
         let space = Interval::new(-5.0, 5.0);
         let mut map = DomainMap::split_even(space, Axis::X, n);
-        for (idx, t) in moves {
-            let i = idx % (n - 1);
+        for _ in 0..rng.below(24) {
+            let i = rng.below(n - 1);
             // legal range for boundary i is [cuts[i], cuts[i+2]]
             let lo = map.cuts()[i];
             let hi = map.cuts()[i + 2];
-            let cut = lo + (hi - lo) * t;
-            map.move_cut(i, cut).unwrap();
-            prop_assert!(map.validate().is_ok());
-            prop_assert_eq!(map.space(), space);
+            let cut = lo + (hi - lo) * rng.unit();
+            map.move_cut(i, cut).expect("cut chosen in legal range");
+            assert!(map.validate().is_ok());
+            assert_eq!(map.space(), space);
         }
     }
+}
 
-    /// The balancer's structural rules hold for arbitrary load reports:
-    /// neighbor-only, nobody in two pairs, donors have the excess.
-    #[test]
-    fn balancer_rules_hold(
-        counts in prop::collection::vec(0usize..10_000, 2..20),
-        start in 0usize..2,
-        threshold in 0.01f64..0.5,
-    ) {
-        let loads: Vec<LoadInfo> = counts
-            .iter()
-            .map(|&c| LoadInfo { count: c, time: c as f64 * 1e-4 })
-            .collect();
+/// The balancer's structural rules hold for arbitrary load reports:
+/// neighbor-only, nobody in two pairs, donors have the excess.
+#[test]
+fn balancer_rules_hold() {
+    let mut rng = Rng64::new(0xBA1A);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(18);
+        let counts: Vec<usize> = (0..n).map(|_| rng.below(10_000)).collect();
+        let start = rng.below(2);
+        let threshold = rng.range(0.01, 0.5) as f64;
+        let loads: Vec<LoadInfo> =
+            counts.iter().map(|&c| LoadInfo { count: c, time: c as f64 * 1e-4 }).collect();
         let powers = vec![1.0; loads.len()];
         let cfg = BalancerConfig { rel_threshold: threshold, min_transfer: 8 };
         let transfers = evaluate(&loads, &powers, start, &cfg);
-        prop_assert!(validate_transfers(&transfers, loads.len()).is_ok());
+        assert!(validate_transfers(&transfers, loads.len()).is_ok());
         for t in &transfers {
-            prop_assert!(t.amount >= cfg.min_transfer);
-            prop_assert!(loads[t.donor].count >= t.amount, "donor cannot give what it lacks");
+            assert!(t.amount >= cfg.min_transfer);
+            assert!(loads[t.donor].count >= t.amount, "donor cannot give what it lacks");
             // donor must actually be the slower/larger side
-            prop_assert!(loads[t.donor].time >= loads[t.receiver].time);
+            assert!(loads[t.donor].time >= loads[t.receiver].time);
         }
     }
+}
 
-    /// SubDomainStore: insert + collect_leavers is a partition — nothing
-    /// lost, nothing duplicated, and what remains is inside the slice.
-    #[test]
-    fn subdomain_leaver_partition(
-        xs in prop::collection::vec(-20.0f32..20.0, 0..256),
-        buckets in 1usize..12,
-    ) {
+/// SubDomainStore: insert + collect_leavers is a partition — nothing lost,
+/// nothing duplicated, and what remains is inside the slice.
+#[test]
+fn subdomain_leaver_partition() {
+    let mut rng = Rng64::new(0x5AB);
+    for _ in 0..CASES {
+        let count = rng.below(256);
+        let buckets = 1 + rng.below(11);
         let slice = Interval::new(-5.0, 5.0);
         let mut store = SubDomainStore::new(slice, Axis::X, buckets);
-        for &x in &xs {
+        for _ in 0..count {
+            let x = rng.range(-20.0, 20.0);
             store.insert(Particle::at(Vec3::new(x, 0.0, 0.0)));
         }
         let before = store.len();
-        prop_assert_eq!(before, xs.len());
+        assert_eq!(before, count);
         let leavers = store.collect_leavers();
-        prop_assert_eq!(store.len() + leavers.len(), before);
+        assert_eq!(store.len() + leavers.len(), before);
         for p in store.iter() {
-            prop_assert!(slice.contains(p.position.x));
+            assert!(slice.contains(p.position.x));
         }
         for p in &leavers {
-            prop_assert!(!slice.contains(p.position.x));
+            assert!(!slice.contains(p.position.x));
         }
     }
+}
 
-    /// Donation extremity: donate_low returns exactly the k smallest
-    /// coordinates (as a multiset), for any bucket count.
-    #[test]
-    fn donation_takes_extremes(
-        xs in prop::collection::vec(0.0f32..10.0, 1..128),
-        k in 1usize..64,
-        buckets in 1usize..8,
-    ) {
+/// Donation extremity: donate_low returns exactly the k smallest
+/// coordinates (as a multiset), for any bucket count.
+#[test]
+fn donation_takes_extremes() {
+    let mut rng = Rng64::new(0xD0_4A7E);
+    for _ in 0..CASES {
+        let count = 1 + rng.below(127);
+        let buckets = 1 + rng.below(7);
+        let xs: Vec<f32> = (0..count).map(|_| rng.range(0.0, 10.0)).collect();
         let slice = Interval::new(0.0, 10.0);
         let mut store = SubDomainStore::new(slice, Axis::X, buckets);
         for &x in &xs {
             store.insert(Particle::at(Vec3::new(x, 0.0, 0.0)));
         }
-        let k = k.min(xs.len());
+        let k = (1 + rng.below(63)).min(xs.len());
         let (donated, _) = store.donate_low(k);
-        prop_assert_eq!(donated.len(), k);
+        assert_eq!(donated.len(), k);
         let mut got: Vec<f32> = donated.iter().map(|p| p.position.x).collect();
         got.sort_by(f32::total_cmp);
         let mut want = xs.clone();
         want.sort_by(f32::total_cmp);
         want.truncate(k);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// Grid collision equals brute force for random clouds.
-    #[test]
-    fn grid_matches_bruteforce(
-        seed in 0u64..1_000,
-        n in 2usize..120,
-        r in 0.05f32..0.5,
-    ) {
-        use particle_cluster_anim::core::collide::colliding_pairs;
-        let mut rng = Rng64::new(seed);
+/// Grid collision equals brute force for random clouds.
+#[test]
+fn grid_matches_bruteforce() {
+    use particle_cluster_anim::core::collide::colliding_pairs;
+    let mut seeds = Rng64::new(0x9B1D);
+    for _ in 0..64 {
+        let mut rng = Rng64::new(seeds.next_u64());
+        let n = 2 + rng.below(118);
+        let r = rng.range(0.05, 0.5);
         let ps: Vec<Particle> = (0..n)
             .map(|_| Particle::at(rng.in_box(Vec3::splat(-3.0), Vec3::splat(3.0))).with_size(r))
             .collect();
@@ -149,16 +161,21 @@ proptest! {
             }
         }
         brute.sort_unstable();
-        prop_assert_eq!(grid, brute);
+        assert_eq!(grid, brute);
     }
+}
 
-    /// Rng streams: split children never collide with the parent stream on
-    /// short prefixes (sanity of the stream-derivation scheme).
-    #[test]
-    fn rng_split_streams_diverge(seed in 0u64..10_000, salt in 1u64..10_000) {
+/// Rng streams: split children never collide with the parent stream on
+/// short prefixes (sanity of the stream-derivation scheme).
+#[test]
+fn rng_split_streams_diverge() {
+    let mut meta = Rng64::new(0xD1F5);
+    for _ in 0..CASES {
+        let seed = meta.next_u64() % 10_000;
+        let salt = 1 + meta.next_u64() % 9_999;
         let mut parent = Rng64::new(seed);
         let mut child = Rng64::new(seed).split(salt);
         let same = (0..16).filter(|_| parent.next_u64() == child.next_u64()).count();
-        prop_assert!(same <= 1, "streams nearly identical");
+        assert!(same <= 1, "streams nearly identical (seed {seed}, salt {salt})");
     }
 }
