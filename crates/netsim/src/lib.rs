@@ -17,10 +17,15 @@
 //! occupancy without serializing anything.
 
 pub mod collectives;
+pub mod fault;
 pub mod thread_net;
 pub mod virtual_net;
 
 pub use collectives::{all_to_all, broadcast, gather, reduce};
+pub use fault::{
+    FailedSend, FaultInjector, FaultPlan, FaultPolicy, FaultyThreadEndpoint, FaultyVirtualNet,
+    LinkFault, NoFaults, PlanInjector, RankFault, SendFate,
+};
 pub use thread_net::{ThreadEndpoint, ThreadNet, TransportError};
 pub use virtual_net::{TrafficStats, VirtualNet};
 

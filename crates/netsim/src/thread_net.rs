@@ -18,9 +18,10 @@
 // psa-verify: allow(wall-clock) — this fabric is the real-time executor's
 // transport; `now()` is its epoch clock and never feeds virtual time.
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// A transport-layer failure: the far side of a directed channel is gone.
+/// A transport-layer failure: the far side of a directed channel is gone,
+/// silent, or (under fault injection) refusing a delivery.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TransportError {
     /// The destination endpoint was dropped while a send was attempted.
@@ -38,6 +39,22 @@ pub enum TransportError {
         /// Peer rank the message was expected from.
         peer: usize,
     },
+    /// A bounded receive gave up before anything arrived: the peer is still
+    /// connected but silent past the deadline (likely stalled or crashed).
+    Timeout {
+        /// Rank that waited.
+        rank: usize,
+        /// Peer rank that never answered.
+        peer: usize,
+    },
+    /// A send was rejected by the fabric (fault injection: transient link
+    /// failure). Retriable, unlike `Disconnected`.
+    SendFailed {
+        /// Rank whose send was rejected.
+        rank: usize,
+        /// Destination rank of the rejected send.
+        peer: usize,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -48,6 +65,12 @@ impl std::fmt::Display for TransportError {
             }
             TransportError::NoMessage { rank, peer } => {
                 write!(f, "rank {rank}: no queued message from rank {peer}")
+            }
+            TransportError::Timeout { rank, peer } => {
+                write!(f, "rank {rank}: timed out waiting for rank {peer}")
+            }
+            TransportError::SendFailed { rank, peer } => {
+                write!(f, "rank {rank}: transient send failure towards rank {peer}")
             }
         }
     }
@@ -126,15 +149,45 @@ impl<M: Send> ThreadEndpoint<M> {
             .map_err(|_| TransportError::Disconnected { rank: self.rank, peer: to })
     }
 
+    /// Like [`send`](Self::send), but hands the message back on failure so
+    /// fault-injection retry layers need no `Clone`.
+    pub fn send_reclaim(&self, to: usize, msg: M) -> Result<(), (M, TransportError)> {
+        self.to_others[to]
+            .send(msg)
+            .map_err(|e| (e.0, TransportError::Disconnected { rank: self.rank, peer: to }))
+    }
+
     /// Block until a message from `from` arrives.
     ///
     /// Messages already in flight are delivered even after the sender drops
     /// its endpoint; only once the directed channel is both empty and closed
     /// does this return [`TransportError::Disconnected`].
     pub fn recv(&self, from: usize) -> Result<M, TransportError> {
+        // This is the primitive the deadline wrapper is built on; protocol
+        // loops use `recv_deadline`.
         self.from_others[from]
+            // psa-verify: allow(unbounded-recv) — the blocking primitive itself
             .recv()
             .map_err(|_| TransportError::Disconnected { rank: self.rank, peer: from })
+    }
+
+    /// Block until a message from `from` arrives or `timeout` elapses.
+    ///
+    /// A silent-but-connected peer surfaces as [`TransportError::Timeout`]
+    /// instead of hanging the caller forever; a dropped peer still drains
+    /// in-flight messages first and then reports
+    /// [`TransportError::Disconnected`].
+    pub fn recv_deadline(&self, from: usize, timeout: Duration) -> Result<M, TransportError> {
+        use std::sync::mpsc::RecvTimeoutError;
+        match self.from_others[from].recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(TransportError::Timeout { rank: self.rank, peer: from })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Disconnected { rank: self.rank, peer: from })
+            }
+        }
     }
 
     /// Non-blocking receive: `Ok(None)` when no message is waiting.
@@ -242,6 +295,31 @@ mod tests {
         assert_eq!(e0.recv(1), Ok(1));
         assert_eq!(e0.recv(1), Ok(2));
         assert_eq!(e0.recv(1), Err(TransportError::Disconnected { rank: 0, peer: 1 }));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_on_silent_peer() {
+        let endpoints = ThreadNet::build::<u32>(2);
+        let mut it = endpoints.into_iter();
+        let e0 = it.next().unwrap();
+        let _e1 = it.next().unwrap(); // alive but silent
+        assert_eq!(
+            e0.recv_deadline(1, Duration::from_millis(5)),
+            Err(TransportError::Timeout { rank: 0, peer: 1 })
+        );
+    }
+
+    #[test]
+    fn recv_deadline_delivers_queued_and_reports_disconnect() {
+        let endpoints = ThreadNet::build::<u32>(2);
+        let mut it = endpoints.into_iter();
+        let e0 = it.next().unwrap();
+        let e1 = it.next().unwrap();
+        e1.send(0, 42).unwrap();
+        drop(e1);
+        let t = Duration::from_millis(5);
+        assert_eq!(e0.recv_deadline(1, t), Ok(42));
+        assert_eq!(e0.recv_deadline(1, t), Err(TransportError::Disconnected { rank: 0, peer: 1 }));
     }
 
     #[test]

@@ -83,11 +83,20 @@ impl<M: WireSize> VirtualNet<M> {
     /// Local (same-rank) sends are free of wire costs but still pass
     /// through the queue, so protocol code does not special-case them.
     pub fn send(&mut self, from: usize, to: usize, msg: M) {
+        self.send_delayed(from, to, msg, 0.0);
+    }
+
+    /// [`send`](Self::send) with `extra_delay` virtual seconds added to the
+    /// delivery stamp — the hook fault injection uses for message jitter
+    /// and degraded links. The sender is *not* occupied by the extra delay
+    /// (it models in-flight perturbation, not NIC time).
+    pub fn send_delayed(&mut self, from: usize, to: usize, msg: M, extra_delay: f64) {
+        debug_assert!(extra_delay >= 0.0, "delays cannot be negative ({extra_delay})");
         let payload = msg.wire_bytes();
         self.stats.messages += 1;
         self.stats.payload_bytes += payload;
         let deliver_at = if from == to {
-            self.clocks[from]
+            self.clocks[from] + extra_delay
         } else {
             let bytes = payload + FRAME_OVERHEAD_BYTES;
             // Sender CPU cost of initiating the message.
@@ -103,7 +112,7 @@ impl<M: WireSize> VirtualNet<M> {
                     let t = self.clocks[from] + occupancy * 0.1;
                     self.clocks[from] = t;
                     let q = &mut self.queues[to * self.clocks.len() + from];
-                    q.push_back(Envelope { deliver_at: t, msg });
+                    q.push_back(Envelope { deliver_at: t + extra_delay, msg });
                     return;
                 }
                 self.clocks[from].max(self.link_free[src]).max(self.link_free[dst])
@@ -119,7 +128,7 @@ impl<M: WireSize> VirtualNet<M> {
             // Blocking semantics: the sender is busy until its NIC hand-off
             // completes.
             self.clocks[from] = done;
-            done + self.net.latency
+            done + self.net.latency + extra_delay
         };
         let r = self.clocks.len();
         self.queues[to * r + from].push_back(Envelope { deliver_at, msg });
@@ -139,6 +148,37 @@ impl<M: WireSize> VirtualNet<M> {
             self.clocks[to] = env.deliver_at;
         }
         Ok(env.msg)
+    }
+
+    /// Receive with a deadline: like [`recv`](Self::recv), but an empty
+    /// queue charges `wait` virtual seconds to `to` and returns
+    /// [`TransportError::Timeout`] instead of `NoMessage`.
+    ///
+    /// Under the deterministic executor every receive happens at a schedule
+    /// point where the message either is queued or never will be, so the
+    /// deadline does not poll — it models the time a real endpoint would
+    /// burn discovering that a peer went silent.
+    pub fn recv_deadline(
+        &mut self,
+        to: usize,
+        from: usize,
+        wait: f64,
+    ) -> Result<M, TransportError> {
+        debug_assert!(wait >= 0.0, "deadline waits cannot be negative ({wait})");
+        if !self.has_message(to, from) {
+            self.clocks[to] += wait;
+            return Err(TransportError::Timeout { rank: to, peer: from });
+        }
+        self.recv(to, from)
+    }
+
+    /// Drain every queued message from `from` to `to` without touching any
+    /// clock — used to confiscate the in-flight traffic of a rank that has
+    /// been declared dead, so its particles can be counted as lost instead
+    /// of rotting in a queue.
+    pub fn take_queued(&mut self, to: usize, from: usize) -> Vec<M> {
+        let r = self.clocks.len();
+        self.queues[to * r + from].drain(..).map(|e| e.msg).collect()
     }
 
     /// Whether a message from `from` to `to` is queued.
@@ -294,6 +334,40 @@ mod tests {
         assert_eq!(n.stats().payload_bytes, 150);
         n.reset_stats();
         assert_eq!(n.stats(), TrafficStats::default());
+    }
+
+    #[test]
+    fn send_delayed_postpones_delivery_without_occupying_sender() {
+        let mut plain = net2();
+        plain.send(0, 1, Blob(4096));
+        let mut delayed = net2();
+        delayed.send_delayed(0, 1, Blob(4096), 0.25);
+        // Sender-side cost identical; only the delivery stamp shifts.
+        assert_eq!(plain.now(0).to_bits(), delayed.now(0).to_bits());
+        plain.recv(1, 0).unwrap();
+        delayed.recv(1, 0).unwrap();
+        assert!((delayed.now(1) - plain.now(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recv_deadline_charges_wait_and_times_out() {
+        let mut n = net2();
+        assert_eq!(n.recv_deadline(1, 0, 0.5), Err(TransportError::Timeout { rank: 1, peer: 0 }));
+        assert_eq!(n.now(1), 0.5);
+        n.send(0, 1, Blob(8));
+        assert_eq!(n.recv_deadline(1, 0, 0.5).unwrap(), Blob(8));
+    }
+
+    #[test]
+    fn take_queued_confiscates_in_flight_messages() {
+        let mut n = net2();
+        n.send(0, 1, Blob(1));
+        n.send(0, 1, Blob(2));
+        let before = n.now(1);
+        let taken = n.take_queued(1, 0);
+        assert_eq!(taken, vec![Blob(1), Blob(2)]);
+        assert_eq!(n.now(1), before, "confiscation must not move clocks");
+        assert!(!n.has_message(1, 0));
     }
 
     #[test]

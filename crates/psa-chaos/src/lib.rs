@@ -1,0 +1,24 @@
+//! `psa-chaos` — deterministic fault injection for the animation model.
+//!
+//! The paper's protocol (Figure 2) assumes every process answers; a real
+//! heterogeneous cluster does not. This crate stress-tests the hardened
+//! executors against that gap:
+//!
+//! * [`scenario`] — named fault shapes (crash, stall, slow node, lossy or
+//!   degraded links) compiled into seeded `netsim::FaultPlan`s;
+//! * [`matrix`] — the scenario-matrix runner: each (workload, scenario)
+//!   cell simulates twice, checks every frame rendered, the Figure-2 order
+//!   held, crashes were declared and absorbed, and gates on the replay
+//!   fingerprints being byte-identical.
+//!
+//! Determinism discipline is identical to the rest of the workspace: plans
+//! derive from `psa_math::Rng64` streams, delivery draws inside a run come
+//! from per-link streams, and fault delays are charged as virtual ticks —
+//! so a chaotic run replays exactly, which is what makes its failures
+//! debuggable.
+
+pub mod matrix;
+pub mod scenario;
+
+pub use matrix::{run_case, run_matrix, CaseOutcome, MatrixConfig, Workload};
+pub use scenario::{full_set, smoke_set, Scenario};

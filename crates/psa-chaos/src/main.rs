@@ -1,0 +1,98 @@
+//! `chaos` — run the fault-injection scenario matrix from the command line.
+//!
+//! ```text
+//! cargo run --release -p psa-chaos --features strict-invariants --bin chaos
+//! cargo run -p psa-chaos --bin chaos -- --matrix full --seed 42 --frames 20
+//! ```
+//!
+//! Exit code 0 when every cell passes (all frames rendered, protocol order
+//! held, crashes declared and absorbed, replay byte-identical), 1 when any
+//! cell fails, 2 on usage errors.
+
+use std::process::ExitCode;
+
+use psa_chaos::{full_set, run_matrix, smoke_set, MatrixConfig};
+
+fn main() -> ExitCode {
+    let mut mc = MatrixConfig::default();
+    let mut set = "smoke".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |name: &str| -> Option<String> {
+            let v = args.next();
+            if v.is_none() {
+                eprintln!("chaos: {name} needs a value");
+            }
+            v
+        };
+        match a.as_str() {
+            "--matrix" => match take("--matrix") {
+                Some(v) if v == "smoke" || v == "full" => set = v,
+                Some(v) => {
+                    eprintln!("chaos: unknown matrix `{v}` (want smoke|full)");
+                    return ExitCode::from(2);
+                }
+                None => return ExitCode::from(2),
+            },
+            "--seed" => match take("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => mc.seed = v,
+                None => return ExitCode::from(2),
+            },
+            "--frames" => match take("--frames").and_then(|v| v.parse().ok()) {
+                Some(v) => mc.frames = v,
+                None => return ExitCode::from(2),
+            },
+            "--calculators" => match take("--calculators").and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 2 => mc.calculators = v,
+                _ => return ExitCode::from(2),
+            },
+            other => {
+                eprintln!("chaos: unknown argument `{other}`");
+                eprintln!(
+                    "usage: chaos [--matrix smoke|full] [--seed N] [--frames N] [--calculators N]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let scenarios = if set == "full" { full_set() } else { smoke_set() };
+    println!(
+        "chaos matrix `{set}`: {} scenario(s) × 2 workloads, seed {:#x}, {} frames, {} calculators",
+        scenarios.len(),
+        mc.seed,
+        mc.frames,
+        mc.calculators
+    );
+    let outcomes = run_matrix(&scenarios, &mc);
+
+    println!(
+        "{:<10} {:<18} {:>6} {:>8} {:>6} {:>9} {:>18}  result",
+        "workload", "scenario", "frames", "timeouts", "dead", "lost", "fingerprint"
+    );
+    let mut failed = 0usize;
+    for c in &outcomes {
+        println!(
+            "{:<10} {:<18} {:>6} {:>8} {:>6} {:>9} {:>18x}  {}",
+            c.workload,
+            c.scenario,
+            c.frames_rendered,
+            c.timeouts,
+            c.dead.len(),
+            c.lost_particles,
+            c.fingerprint,
+            if c.passed() { "ok" } else { "FAIL" }
+        );
+        for f in &c.failures {
+            failed += 1;
+            println!("    !! {f}");
+        }
+    }
+    if failed == 0 {
+        println!("chaos: all {} cells passed (replay byte-identical)", outcomes.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos: {failed} failure(s)");
+        ExitCode::from(1)
+    }
+}

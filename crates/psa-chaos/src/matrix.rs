@@ -1,0 +1,234 @@
+//! The chaos scenario matrix: run workloads under fault plans, check the
+//! hardening held, and gate on replay determinism.
+//!
+//! Every case runs the virtual executor **twice** with the same seed and
+//! plan; the run is only accepted if both [`RunReport`]s fingerprint
+//! byte-identical. Faulty runs must stay as replayable as healthy ones —
+//! that is the whole point of drawing fault randomness from seeded streams
+//! (the FoundationDB lesson: a failure you cannot replay is a failure you
+//! cannot debug).
+
+use psa_runtime::trace::figure2_passes;
+use psa_runtime::{RunConfig, RunReport, Scene, VirtualSim};
+use psa_workloads::{fountain_scene, myrinet_gcc, snow_scene, WorkloadSize};
+
+use crate::scenario::Scenario;
+
+/// Which paper workload a case animates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// §5.1 — mostly vertical motion, little migration.
+    Snow,
+    /// §5.2 — constant domain crossings, heavy migration.
+    Fountain,
+}
+
+impl Workload {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Snow => "snow",
+            Workload::Fountain => "fountain",
+        }
+    }
+
+    fn scene(&self, size: WorkloadSize) -> Scene {
+        match self {
+            Workload::Snow => snow_scene(size),
+            Workload::Fountain => fountain_scene(size),
+        }
+    }
+}
+
+/// Matrix-wide knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixConfig {
+    /// Seed for both the workload RNG streams and the fault plans.
+    pub seed: u64,
+    /// Frames per case (warm-up is zero: every frame is checked).
+    pub frames: u64,
+    /// Calculator count (cluster is `calculators` Myrinet nodes, 1 proc each).
+    pub calculators: usize,
+    /// Particles per system (scaled ×25 in the cost model, paper-style).
+    pub particles: usize,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        MatrixConfig { seed: 0x1905_2005, frames: 12, calculators: 4, particles: 900 }
+    }
+}
+
+/// What happened in one (workload, scenario) cell.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    pub workload: &'static str,
+    pub scenario: String,
+    /// Fingerprint of the first run (== the replay's when `passed`).
+    pub fingerprint: u64,
+    pub frames_rendered: usize,
+    /// `(rank, frame)` death declarations, in order.
+    pub dead: Vec<(usize, u64)>,
+    pub lost_particles: u64,
+    /// Deadline-expired receives summed over the run.
+    pub timeouts: u64,
+    pub total_time: f64,
+    /// Check failures; empty means the cell passed.
+    pub failures: Vec<String>,
+}
+
+impl CaseOutcome {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn run_config(mc: &MatrixConfig) -> RunConfig {
+    RunConfig { frames: mc.frames, dt: 0.1, seed: mc.seed, warmup: 0, ..Default::default() }
+}
+
+fn size(mc: &MatrixConfig) -> WorkloadSize {
+    WorkloadSize { systems: 2, particles_per_system: mc.particles, scale: 25.0 }
+}
+
+/// Run one cell: simulate, check the hardening invariants, replay, compare.
+pub fn run_case(workload: Workload, scenario: Scenario, mc: &MatrixConfig) -> CaseOutcome {
+    let sz = size(mc);
+    let cluster = myrinet_gcc(mc.calculators, 1);
+    let plan = scenario.plan(mc.seed, mc.calculators, &cluster.net);
+    let mut failures = Vec::new();
+
+    let run = |trace: bool| {
+        let mut sim =
+            VirtualSim::new(workload.scene(sz), run_config(mc), cluster.clone(), sz.cost_model())
+                .with_faults(plan.clone());
+        if trace {
+            sim = sim.with_trace();
+        }
+        let r = sim.try_run();
+        (r, sim)
+    };
+
+    let (first, sim) = run(true);
+    let report = match first {
+        Ok(r) => r,
+        Err(e) => {
+            return CaseOutcome {
+                workload: workload.label(),
+                scenario: scenario.label(),
+                fingerprint: 0,
+                frames_rendered: 0,
+                dead: Vec::new(),
+                lost_particles: 0,
+                timeouts: 0,
+                total_time: 0.0,
+                failures: vec![format!("run failed: {e}")],
+            }
+        }
+    };
+
+    // Every frame must have rendered, crash or no crash: degraded mode
+    // means the show goes on with the survivors.
+    if report.frames.len() != mc.frames as usize {
+        failures.push(format!("only {}/{} frames rendered", report.frames.len(), mc.frames));
+    }
+    // Each frame's trace must be one clean Figure-2 pass — faults may slow
+    // phases down but never reorder them.
+    for f in 0..mc.frames {
+        let events = sim.trace().frame(f);
+        let passes = figure2_passes(&events);
+        if passes != 1 {
+            failures.push(format!("frame {f}: {passes} protocol passes (want 1)"));
+        }
+    }
+    // Kill scenarios must actually have killed someone and the manager
+    // must have noticed (declaration precedes the last frame).
+    if scenario.kills() {
+        if report.dead_ranks.is_empty() {
+            failures.push("crash scenario ended with no dead ranks".into());
+        }
+        for &(rank, frame) in &report.dead_ranks {
+            if frame >= mc.frames {
+                failures.push(format!("rank {rank} declared dead after the run ({frame})"));
+            }
+        }
+    } else if !report.dead_ranks.is_empty() {
+        failures.push(format!("unexpected deaths: {:?}", report.dead_ranks));
+    }
+
+    // Quiet plans must be byte-identical to an entirely uninstrumented
+    // run: the fault layer may not perturb healthy executions.
+    if plan.is_quiet() {
+        let mut bare =
+            VirtualSim::new(workload.scene(sz), run_config(mc), cluster.clone(), sz.cost_model());
+        match bare.try_run() {
+            Ok(b) if b.fingerprint() != report.fingerprint() => {
+                failures.push("quiet plan perturbed the run".into());
+            }
+            Ok(_) => {}
+            Err(e) => failures.push(format!("bare replay failed: {e}")),
+        }
+    }
+
+    // The replay gate: same seed + same plan ⇒ byte-identical report.
+    match run(false).0 {
+        Ok(replay) if replay.fingerprint() != report.fingerprint() => {
+            failures.push("replay fingerprint diverged".into());
+        }
+        Ok(_) => {}
+        Err(e) => failures.push(format!("replay failed: {e}")),
+    }
+
+    CaseOutcome {
+        workload: workload.label(),
+        scenario: scenario.label(),
+        fingerprint: report.fingerprint(),
+        frames_rendered: report.frames.len(),
+        dead: report.dead_ranks.clone(),
+        lost_particles: report.lost_particles,
+        timeouts: report.frames.iter().map(|f| f.timeouts).sum(),
+        total_time: report.total_time,
+        failures,
+    }
+}
+
+/// Run the whole matrix: every scenario × both workloads.
+pub fn run_matrix(scenarios: &[Scenario], mc: &MatrixConfig) -> Vec<CaseOutcome> {
+    let mut out = Vec::new();
+    for &w in &[Workload::Snow, Workload::Fountain] {
+        for s in scenarios {
+            out.push(run_case(w, *s, mc));
+        }
+    }
+    out
+}
+
+/// Convenience used by [`RunReport`]-level assertions in tests.
+pub fn replay_fingerprints_match(a: &RunReport, b: &RunReport) -> bool {
+    a.fingerprint() == b.fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_cell_passes() {
+        let mc = MatrixConfig { frames: 6, particles: 400, ..Default::default() };
+        let c = run_case(Workload::Snow, Scenario::Baseline, &mc);
+        assert!(c.passed(), "{:?}", c.failures);
+        assert_eq!(c.frames_rendered, 6);
+        assert!(c.dead.is_empty());
+        assert_eq!(c.lost_particles, 0);
+    }
+
+    #[test]
+    fn crash_cell_degrades_and_passes() {
+        let mc = MatrixConfig { frames: 10, particles: 400, ..Default::default() };
+        let c = run_case(Workload::Snow, Scenario::CrashCalculator { rank: 1, frame: 3 }, &mc);
+        assert!(c.passed(), "{:?}", c.failures);
+        assert_eq!(c.frames_rendered, 10, "post-crash frames must still render");
+        assert_eq!(c.dead.len(), 1);
+        assert_eq!(c.dead[0].0, 1);
+        assert!(c.timeouts > 0, "silent peer should have cost bounded waits");
+    }
+}

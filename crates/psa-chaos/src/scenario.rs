@@ -1,0 +1,202 @@
+//! Named fault scenarios and their seeded [`FaultPlan`]s.
+//!
+//! A scenario is a *shape* of trouble — crash one calculator, slow a node,
+//! make a link lossy. [`Scenario::plan`] turns that shape into a concrete
+//! [`FaultPlan`] for a given seed and rank count. Everything random (which
+//! rank, which link) is drawn from a `psa_math::Rng64` stream derived from
+//! the seed, never from ambient entropy, so the same `(seed, scenario)`
+//! pair always produces byte-identical plans — the property the replay
+//! gate in [`crate::matrix`] is built on.
+
+use cluster_sim::NetworkModel;
+use netsim::{FaultPlan, LinkFault};
+use psa_math::Rng64;
+
+/// Stream tag for scenario randomization (which rank / link to hit).
+/// Distinct from `netsim::fault`'s `TAG_FAULT` (0xFA17), which seeds the
+/// per-link delivery draws *inside* a run.
+const TAG_SCENARIO: u64 = 0x5C_E4;
+
+/// A named fault shape. `rank` fields are taken modulo the calculator
+/// count, so a scenario written for a 4-calculator matrix still targets a
+/// valid rank on an 8-calculator cluster.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scenario {
+    /// No faults at all: the control row. Its plan is quiet, so the run
+    /// must be byte-identical to an un-instrumented one.
+    Baseline,
+    /// Calculator `rank` dies at the start of frame `frame` and never
+    /// speaks again; the manager must declare it dead and reassign its
+    /// domain so every later frame still renders.
+    CrashCalculator { rank: usize, frame: u64 },
+    /// Calculator `rank` freezes for `secs` virtual seconds at the start
+    /// of frame `frame` (GC pause / page-fault storm), then resumes.
+    StallCalculator { rank: usize, frame: u64, secs: f64 },
+    /// Calculator `rank` computes `factor`× slower for the whole run —
+    /// the dynamic balancer should shift load off it.
+    SlowNode { rank: usize, factor: f64 },
+    /// Every link drops each message with probability `prob`; senders
+    /// retry with backoff, charging virtual time.
+    LossyLinks { prob: f64 },
+    /// Every link delays each message with probability `prob` by up to
+    /// `max_jitter` extra virtual seconds.
+    JitteryLinks { prob: f64, max_jitter: f64 },
+    /// Both directions of calculator `rank`'s links run at `bw_scale`× the
+    /// bandwidth cost and `lat_scale`× the latency.
+    DegradedLink { rank: usize, bw_scale: f64, lat_scale: f64 },
+    /// Seed-chosen combination: one slow calculator, one jittery-linked
+    /// calculator, and (if `with_crash`) one mid-run crash, all distinct
+    /// ranks when the cluster is big enough.
+    RandomMix { with_crash: bool },
+}
+
+impl Scenario {
+    /// Short stable label for reports and CI logs.
+    pub fn label(&self) -> String {
+        match *self {
+            Scenario::Baseline => "baseline".into(),
+            Scenario::CrashCalculator { rank, frame } => format!("crash-c{rank}@f{frame}"),
+            Scenario::StallCalculator { rank, frame, secs } => {
+                format!("stall-c{rank}@f{frame}-{}ms", (secs * 1e3).round() as u64)
+            }
+            Scenario::SlowNode { rank, factor } => format!("slow-c{rank}-x{factor}"),
+            Scenario::LossyLinks { prob } => format!("lossy-p{prob}"),
+            Scenario::JitteryLinks { prob, .. } => format!("jitter-p{prob}"),
+            Scenario::DegradedLink { rank, .. } => format!("degraded-c{rank}"),
+            Scenario::RandomMix { with_crash: true } => "mix+crash".into(),
+            Scenario::RandomMix { with_crash: false } => "mix".into(),
+        }
+    }
+
+    /// Does this scenario kill a calculator outright?
+    pub fn kills(&self) -> bool {
+        matches!(self, Scenario::CrashCalculator { .. } | Scenario::RandomMix { with_crash: true })
+    }
+
+    /// Build the concrete plan for `calculators` calculator ranks (the
+    /// plan itself covers `calculators + 2` ranks: + manager + image
+    /// generator, which are never faulted — the paper's model has no
+    /// recovery story for either).
+    pub fn plan(&self, seed: u64, calculators: usize, model: &NetworkModel) -> FaultPlan {
+        assert!(calculators >= 2, "chaos scenarios need at least two calculators");
+        let mut plan = FaultPlan::none(seed, calculators + 2);
+        let mut rng = Rng64::new(seed).split(TAG_SCENARIO);
+        match *self {
+            Scenario::Baseline => {}
+            Scenario::CrashCalculator { rank, frame } => {
+                plan.rank_mut(rank % calculators).crash_at = Some(frame);
+            }
+            Scenario::StallCalculator { rank, frame, secs } => {
+                plan.rank_mut(rank % calculators).stall = Some((frame, secs));
+            }
+            Scenario::SlowNode { rank, factor } => {
+                assert!(factor >= 1.0);
+                plan.rank_mut(rank % calculators).slowdown = factor;
+            }
+            Scenario::LossyLinks { prob } => {
+                assert!((0.0..=0.1).contains(&prob), "drop rates above 10% starve retries");
+                plan.set_all_links(LinkFault::lossy(prob));
+            }
+            Scenario::JitteryLinks { prob, max_jitter } => {
+                plan.set_all_links(LinkFault::jittery(prob, max_jitter));
+            }
+            Scenario::DegradedLink { rank, bw_scale, lat_scale } => {
+                plan.set_links_of(
+                    rank % calculators,
+                    LinkFault::degraded(model, bw_scale, lat_scale),
+                );
+            }
+            Scenario::RandomMix { with_crash } => {
+                let slow = rng.below(calculators);
+                plan.rank_mut(slow).slowdown = 1.0 + f64::from(rng.unit()) * 2.0;
+                let jitter = rng.below(calculators);
+                plan.set_links_of(jitter, LinkFault::jittery(0.05, 4.0 * model.latency));
+                if with_crash {
+                    // Pick a victim distinct from the slow rank when the
+                    // cluster allows it, so both faults stay observable.
+                    let mut victim = rng.below(calculators);
+                    if victim == slow && calculators > 1 {
+                        victim = (victim + 1) % calculators;
+                    }
+                    plan.rank_mut(victim).crash_at = Some(3 + rng.below(5) as u64);
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// The CI smoke matrix: one scenario per hardening mechanism, small enough
+/// to run in seconds.
+pub fn smoke_set() -> Vec<Scenario> {
+    vec![
+        Scenario::Baseline,
+        Scenario::CrashCalculator { rank: 1, frame: 6 },
+        Scenario::SlowNode { rank: 0, factor: 3.0 },
+        Scenario::LossyLinks { prob: 0.05 },
+    ]
+}
+
+/// The full matrix: every scenario shape, including the stall, degraded
+/// link, and seed-chosen mixes.
+pub fn full_set() -> Vec<Scenario> {
+    let mut v = smoke_set();
+    v.extend([
+        Scenario::StallCalculator { rank: 2, frame: 4, secs: 0.25 },
+        Scenario::JitteryLinks { prob: 0.08, max_jitter: 2.0e-3 },
+        Scenario::DegradedLink { rank: 1, bw_scale: 4.0, lat_scale: 8.0 },
+        Scenario::RandomMix { with_crash: false },
+        Scenario::RandomMix { with_crash: true },
+    ]);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        NetworkModel::myrinet()
+    }
+
+    #[test]
+    fn baseline_plan_is_quiet() {
+        let p = Scenario::Baseline.plan(7, 4, &net());
+        assert!(p.is_quiet());
+        assert_eq!(p.ranks(), 6);
+    }
+
+    #[test]
+    fn crash_targets_wrap_to_valid_ranks() {
+        let p = Scenario::CrashCalculator { rank: 9, frame: 5 }.plan(7, 4, &net());
+        assert_eq!(p.rank(1).crash_at, Some(5)); // 9 % 4
+        assert!(p.rank(4).is_healthy(), "manager must never be faulted");
+        assert!(p.rank(5).is_healthy(), "image generator must never be faulted");
+    }
+
+    #[test]
+    fn same_seed_same_plan_across_all_scenarios() {
+        for s in full_set() {
+            let a = s.plan(0xDEAD_BEEF, 5, &net());
+            let b = s.plan(0xDEAD_BEEF, 5, &net());
+            assert_eq!(a, b, "{} not reproducible", s.label());
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_the_random_mix() {
+        let s = Scenario::RandomMix { with_crash: true };
+        let plans: Vec<FaultPlan> = (0..32).map(|seed| s.plan(seed, 8, &net())).collect();
+        let first = &plans[0];
+        assert!(plans.iter().any(|p| p != first), "32 seeds produced one mix");
+    }
+
+    #[test]
+    fn labels_are_unique_within_the_full_set() {
+        let labels: Vec<String> = full_set().iter().map(Scenario::label).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len(), "{labels:?}");
+    }
+}

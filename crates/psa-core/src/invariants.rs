@@ -50,6 +50,16 @@ pub enum InvariantViolation {
     },
     /// The rank-summed population changed across an exchange.
     GlobalConservationBroken { frame: u64, system: usize, before: usize, after: usize },
+    /// A degraded run (some ranks declared dead) lost or invented particles
+    /// beyond the losses attributed to the dead ranks.
+    DegradedConservationBroken {
+        frame: u64,
+        system: usize,
+        before: usize,
+        after: usize,
+        /// Particles the run has accounted as lost to dead ranks so far.
+        lost: usize,
+    },
     /// The domain slices do not partition the system space.
     PartitionBroken { frame: u64, system: usize, detail: String },
 }
@@ -77,6 +87,17 @@ impl std::fmt::Display for InvariantViolation {
                      exchange ({before} -> {after})"
                 )
             }
+            InvariantViolation::DegradedConservationBroken {
+                frame,
+                system,
+                before,
+                after,
+                lost,
+            } => write!(
+                f,
+                "frame {frame} sys {system}: degraded-mode conservation broken \
+                 ({before} != {after} alive + {lost} lost to dead ranks)"
+            ),
             InvariantViolation::PartitionBroken { frame, system, detail } => {
                 write!(f, "frame {frame} sys {system}: domain partition broken: {detail}")
             }
@@ -123,6 +144,26 @@ pub fn check_global_conservation(
         Ok(())
     } else {
         Err(InvariantViolation::GlobalConservationBroken { frame, system, before, after })
+    }
+}
+
+/// Degraded-mode conservation: in a run where calculators have been
+/// declared dead, the population held by *running* ranks may only shrink by
+/// exactly the particles accounted as lost (confiscated with a dead rank or
+/// sent towards one). `before` is the pre-fault population baseline for the
+/// comparison window, `after` the running-rank population now, `lost` the
+/// losses attributed in between.
+pub fn check_global_conservation_with_losses(
+    frame: u64,
+    system: usize,
+    before: usize,
+    after: usize,
+    lost: usize,
+) -> Result<(), InvariantViolation> {
+    if before == after + lost {
+        Ok(())
+    } else {
+        Err(InvariantViolation::DegradedConservationBroken { frame, system, before, after, lost })
     }
 }
 
@@ -259,6 +300,22 @@ mod tests {
     fn global_conservation() {
         assert!(check_global_conservation(0, 0, 500, 500).is_ok());
         assert!(check_global_conservation(0, 0, 500, 499).is_err());
+    }
+
+    #[test]
+    fn degraded_conservation_accounts_for_losses() {
+        // 500 particles, 20 lost with a dead rank: 480 alive is conserved.
+        assert!(check_global_conservation_with_losses(5, 0, 500, 480, 20).is_ok());
+        // Zero losses reduces to the strict check.
+        assert!(check_global_conservation_with_losses(5, 0, 500, 500, 0).is_ok());
+        // Losing more than attributed — or less — is a violation either way.
+        let err = check_global_conservation_with_losses(5, 0, 500, 470, 20).unwrap_err();
+        assert!(matches!(
+            err,
+            InvariantViolation::DegradedConservationBroken { after: 470, lost: 20, .. }
+        ));
+        assert!(err.to_string().contains("degraded"));
+        assert!(check_global_conservation_with_losses(5, 0, 500, 490, 20).is_err());
     }
 
     #[test]

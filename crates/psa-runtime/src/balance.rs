@@ -149,6 +149,57 @@ pub fn evaluate_decentralized(
     out
 }
 
+/// Evaluate one balancing round over a *subset* of the calculators — the
+/// degraded-mode entry point used when some ranks are dead or unreported.
+///
+/// `present` lists the participating real ranks in ascending order;
+/// `loads[i]`/`powers[i]` describe `present[i]`. The present ranks are
+/// treated as domain neighbors in list order (after a crash the dead rank's
+/// slice has been collapsed to zero width, so consecutive present ranks
+/// really do share a boundary), run through [`evaluate`], and the resulting
+/// transfers are mapped back to real rank numbers.
+pub fn evaluate_present(
+    loads: &[LoadInfo],
+    powers: &[f64],
+    present: &[usize],
+    start: usize,
+    cfg: &BalancerConfig,
+) -> Vec<Transfer> {
+    assert_eq!(loads.len(), present.len());
+    assert_eq!(powers.len(), present.len());
+    debug_assert!(present.windows(2).all(|w| w[0] < w[1]), "present ranks must ascend");
+    evaluate(loads, powers, start, cfg)
+        .into_iter()
+        .map(|t| Transfer {
+            donor: present[t.donor],
+            receiver: present[t.receiver],
+            amount: t.amount,
+        })
+        .collect()
+}
+
+/// [`validate_transfers`] for a degraded round: adjacency is checked in
+/// *present-list* space (consecutive present ranks are neighbors across any
+/// collapsed dead slices between them), plus the one-pair-per-process rule.
+pub fn validate_transfers_mapped(transfers: &[Transfer], present: &[usize]) -> Result<(), String> {
+    let pos_of = |rank: usize| present.iter().position(|&r| r == rank);
+    let mut involved = vec![0u8; present.len()];
+    for t in transfers {
+        let (Some(d), Some(r)) = (pos_of(t.donor), pos_of(t.receiver)) else {
+            return Err(format!("transfer {t:?} involves a rank not present"));
+        };
+        if d.abs_diff(r) != 1 {
+            return Err(format!("transfer {t:?} is not between present-list neighbors"));
+        }
+        involved[d] += 1;
+        involved[r] += 1;
+    }
+    if let Some((i, _)) = involved.iter().enumerate().find(|(_, &c)| c > 1) {
+        return Err(format!("rank {} participates in more than one pair", present[i]));
+    }
+    Ok(())
+}
+
 /// Expand transfers into per-calculator orders.
 pub fn orders_for(transfers: &[Transfer], rank: usize) -> Vec<Order> {
     let mut out = Vec::new();
@@ -374,6 +425,45 @@ mod tests {
             dec > cen && dec < 4 * cen,
             "damping costs rounds but stays bounded: dec {dec} vs cen {cen}"
         );
+    }
+
+    #[test]
+    fn present_subset_maps_back_to_real_ranks() {
+        // Rank 1 is dead: present = [0, 2, 3]. An imbalance between 0 and 2
+        // must produce a transfer between the *real* ranks 0 and 2, which
+        // plain validate_transfers would reject as non-neighbors.
+        let loads = [li(400, 4.0), li(100, 1.0), li(100, 1.0)];
+        let present = [0usize, 2, 3];
+        let t = evaluate_present(&loads, &[1.0; 3], &present, 0, &cfg());
+        assert_eq!(t, vec![Transfer { donor: 0, receiver: 2, amount: 150 }]);
+        assert!(validate_transfers(&t, 4).is_err());
+        validate_transfers_mapped(&t, &present).unwrap();
+    }
+
+    #[test]
+    fn mapped_validation_rejects_absent_and_nonadjacent() {
+        let present = [0usize, 2, 3];
+        let absent = vec![Transfer { donor: 1, receiver: 2, amount: 5 }];
+        assert!(validate_transfers_mapped(&absent, &present).is_err());
+        let skip = vec![Transfer { donor: 0, receiver: 3, amount: 5 }];
+        assert!(validate_transfers_mapped(&skip, &present).is_err());
+        let double = vec![
+            Transfer { donor: 0, receiver: 2, amount: 5 },
+            Transfer { donor: 2, receiver: 3, amount: 5 },
+        ];
+        assert!(validate_transfers_mapped(&double, &present).is_err());
+    }
+
+    #[test]
+    fn present_subset_with_all_ranks_matches_plain_evaluate() {
+        let loads = [li(400, 4.0), li(100, 1.0), li(400, 4.0), li(100, 1.0)];
+        let present = [0usize, 1, 2, 3];
+        for start in [0, 1] {
+            assert_eq!(
+                evaluate_present(&loads, &[1.0; 4], &present, start, &cfg()),
+                evaluate(&loads, &[1.0; 4], start, &cfg())
+            );
+        }
     }
 
     #[test]

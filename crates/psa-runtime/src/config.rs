@@ -106,6 +106,10 @@ pub struct RunConfig {
     /// Load signal the threaded executor's calculators report (the virtual
     /// executor is always deterministic regardless).
     pub load_metric: LoadMetric,
+    /// Wall-clock seconds a threaded protocol receive may wait before the
+    /// peer is reported as [`netsim::TransportError::Timeout`] (lost-peer
+    /// hardening; generous by default so slow CI machines never trip it).
+    pub recv_timeout_secs: f64,
 }
 
 impl Default for RunConfig {
@@ -120,6 +124,7 @@ impl Default for RunConfig {
             schedule: SystemSchedule::PerSystem,
             warmup: 0,
             load_metric: LoadMetric::WallClock,
+            recv_timeout_secs: 30.0,
         }
     }
 }

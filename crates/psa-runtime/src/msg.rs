@@ -100,6 +100,9 @@ pub enum ProtocolError {
     OrderBroken { role: &'static str, rank: usize, frame: u64, detail: String },
     /// Rasterizer output could not be written.
     Render { frame: u64, detail: String },
+    /// A bounded receive gave up on a silent peer, with protocol context a
+    /// raw transport error cannot carry.
+    Timeout { role: &'static str, rank: usize, frame: u64, peer: usize },
     /// A worker thread panicked (the panic payload is lost to `join`).
     WorkerPanic { role: &'static str },
 }
@@ -120,6 +123,9 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::Render { frame, detail } => {
                 write!(f, "image generator frame {frame}: {detail}")
+            }
+            ProtocolError::Timeout { role, rank, frame, peer } => {
+                write!(f, "{role} {rank} frame {frame}: timed out waiting for rank {peer}")
             }
             ProtocolError::WorkerPanic { role } => write!(f, "{role} thread panicked"),
         }

@@ -24,6 +24,8 @@ pub struct FrameReport {
     /// same-seed runs must agree bit-for-bit — the determinism regression
     /// tests compare these.
     pub checksum: u64,
+    /// Deadline-expired receives this frame (fault injection / dead peers).
+    pub timeouts: u64,
 }
 
 /// The result of one run.
@@ -41,6 +43,12 @@ pub struct RunReport {
     pub frames: Vec<FrameReport>,
     /// Fabric-level traffic totals.
     pub traffic: TrafficStats,
+    /// Calculators declared dead during the run, as `(rank, frame)` in
+    /// declaration order. Empty for healthy runs.
+    pub dead_ranks: Vec<(usize, u64)>,
+    /// Particles lost to dead ranks (confiscated with the rank or sent
+    /// towards it before death was detected).
+    pub lost_particles: u64,
 }
 
 impl RunReport {
@@ -97,6 +105,46 @@ impl RunReport {
             0.0
         }
     }
+
+    /// Order-sensitive FNV-1a over *every* field of the report, floats by
+    /// bit pattern. Two reports fingerprint equal iff they are
+    /// byte-identical — this is what the chaos matrix's replay gate
+    /// compares, so nothing (not even a diagnostic counter) may be exempt.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.label.as_bytes());
+        mix(self.cluster.as_bytes());
+        mix(&(self.calculators as u64).to_le_bytes());
+        mix(&self.total_time.to_bits().to_le_bytes());
+        mix(&(self.frames.len() as u64).to_le_bytes());
+        for f in &self.frames {
+            mix(&f.frame.to_le_bytes());
+            mix(&f.alive.to_le_bytes());
+            mix(&f.migrated.to_le_bytes());
+            mix(&f.migration_bytes.to_le_bytes());
+            mix(&f.balanced.to_le_bytes());
+            mix(&f.frame_time.to_bits().to_le_bytes());
+            mix(&f.imbalance.to_bits().to_le_bytes());
+            mix(&f.checksum.to_le_bytes());
+            mix(&f.timeouts.to_le_bytes());
+        }
+        mix(&self.traffic.messages.to_le_bytes());
+        mix(&self.traffic.payload_bytes.to_le_bytes());
+        for &(rank, frame) in &self.dead_ranks {
+            mix(&(rank as u64).to_le_bytes());
+            mix(&frame.to_le_bytes());
+        }
+        mix(&self.lost_particles.to_le_bytes());
+        h
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +174,8 @@ mod tests {
                 },
             ],
             traffic: TrafficStats::default(),
+            dead_ranks: Vec::new(),
+            lost_particles: 0,
         }
     }
 
@@ -151,5 +201,25 @@ mod tests {
         r.frames[0].frame_time = 1.5;
         r.frames[1].frame_time = 2.5;
         assert_eq!(r.steady_time(), 4.0);
+    }
+
+    #[test]
+    fn fingerprint_is_total_over_fields() {
+        let base = report();
+        assert_eq!(base.fingerprint(), report().fingerprint());
+        let tweak = |f: &mut dyn FnMut(&mut RunReport)| {
+            let mut r = report();
+            f(&mut r);
+            r.fingerprint()
+        };
+        assert_ne!(base.fingerprint(), tweak(&mut |r| r.label.push('X')));
+        assert_ne!(base.fingerprint(), tweak(&mut |r| r.total_time += 1e-9));
+        assert_ne!(base.fingerprint(), tweak(&mut |r| r.frames[1].alive += 1));
+        assert_ne!(base.fingerprint(), tweak(&mut |r| r.frames[0].timeouts += 1));
+        assert_ne!(base.fingerprint(), tweak(&mut |r| r.dead_ranks.push((2, 7))));
+        assert_ne!(base.fingerprint(), tweak(&mut |r| r.lost_particles += 1));
+        assert_ne!(base.fingerprint(), tweak(&mut |r| r.traffic.messages += 1));
+        // -0.0 and 0.0 are different bit patterns and must not collide.
+        assert_ne!(base.fingerprint(), tweak(&mut |r| r.frames[0].frame_time = -0.0));
     }
 }

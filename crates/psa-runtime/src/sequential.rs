@@ -90,6 +90,8 @@ pub fn run_sequential(scene: &Scene, cfg: &RunConfig, cost: &CostModel, speed: f
         total_time: total,
         frames: frames.into_iter().filter(|f| f.frame >= cfg.warmup).collect(),
         traffic: Default::default(),
+        dead_ranks: Vec::new(),
+        lost_particles: 0,
     }
 }
 

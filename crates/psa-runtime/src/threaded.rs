@@ -18,8 +18,9 @@
 // by design (the virtual executor owns virtual time).
 use std::path::PathBuf;
 use std::thread;
+use std::time::Duration;
 
-use netsim::{ThreadEndpoint, ThreadNet};
+use netsim::{ThreadEndpoint, ThreadNet, TransportError};
 use psa_core::actions::ActionCtx;
 use psa_core::invariants::{self, StateHash};
 use psa_core::{DomainMap, Particle, SubDomainStore};
@@ -81,10 +82,31 @@ fn space_for(scene: &Scene, cfg: &RunConfig, sys: usize) -> Interval {
     }
 }
 
-/// Expect a specific message kind; anything else is a protocol violation.
+/// Bounded protocol receive: a silent peer surfaces as a typed
+/// [`ProtocolError::Timeout`] carrying role/rank/frame context instead of
+/// blocking the executor forever on a lost thread.
+fn recv_within(
+    ep: &ThreadEndpoint<Msg>,
+    from: usize,
+    deadline: Duration,
+    role: &'static str,
+    rank: usize,
+    frame: u64,
+) -> Result<Msg, ProtocolError> {
+    match ep.recv_deadline(from, deadline) {
+        Ok(m) => Ok(m),
+        Err(TransportError::Timeout { .. }) => {
+            Err(ProtocolError::Timeout { role, rank, frame, peer: from })
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Expect a specific message kind within the deadline; anything else is a
+/// protocol violation.
 macro_rules! expect_msg {
-    ($ep:expr, $from:expr, $role:expr, $rank:expr, $frame:expr, $pat:pat => $out:expr, $want:expr) => {
-        match $ep.recv($from)? {
+    ($ep:expr, $deadline:expr, $from:expr, $role:expr, $rank:expr, $frame:expr, $pat:pat => $out:expr, $want:expr) => {
+        match recv_within(&$ep, $from, $deadline, $role, $rank, $frame)? {
             $pat => $out,
             other => {
                 return Err(ProtocolError::UnexpectedMessage {
@@ -220,6 +242,8 @@ pub fn run_threaded(
         total_time: total,
         frames: frames.into_iter().filter(|f| f.frame >= cfg.warmup).collect(),
         traffic: Default::default(),
+        dead_ranks: Vec::new(),
+        lost_particles: 0,
     })
 }
 
@@ -234,6 +258,7 @@ fn calculator_main(
     let mgr = n;
     let ig = n + 1;
     let n_sys = scene.systems.len();
+    let deadline = Duration::from_secs_f64(cfg.recv_timeout_secs);
     let mut stores: Vec<SubDomainStore> = (0..n_sys)
         .map(|s| SubDomainStore::new(domains[s].slice(c), Axis::X, cfg.buckets))
         .collect();
@@ -243,9 +268,9 @@ fn calculator_main(
         for sys in 0..n_sys {
             let setup = &scene.systems[sys];
             // Creation: receive batch + EOT.
-            let batch = expect_msg!(ep, mgr, "calculator", c, frame,
+            let batch = expect_msg!(ep, deadline, mgr, "calculator", c, frame,
                 Msg::Particles { batch, .. } => batch, "Particles");
-            expect_msg!(ep, mgr, "calculator", c, frame,
+            expect_msg!(ep, deadline, mgr, "calculator", c, frame,
                 Msg::EndOfTransmission { .. } => (), "EndOfTransmission");
             stores[sys].extend(batch);
             trace.record(frame, ProtocolEvent::AdditionToLocalSet);
@@ -282,7 +307,7 @@ fn calculator_main(
                 if d == c {
                     continue;
                 }
-                let batch = expect_msg!(ep, d, "calculator", c, frame,
+                let batch = expect_msg!(ep, deadline, d, "calculator", c, frame,
                     Msg::Particles { batch, .. } => batch, "Particles");
                 incoming += batch.len();
                 stores[sys].extend(batch);
@@ -314,7 +339,7 @@ fn calculator_main(
 
             // Balancing.
             if cfg.balance.is_dynamic() {
-                let orders = expect_msg!(ep, mgr, "calculator", c, frame,
+                let orders = expect_msg!(ep, deadline, mgr, "calculator", c, frame,
                     Msg::Orders { orders, .. } => orders, "Orders");
                 let mut outgoing: Option<(usize, Vec<Particle>)> = None;
                 for o in &orders {
@@ -364,7 +389,7 @@ fn calculator_main(
                     trace.record(frame, ProtocolEvent::PreparationOfStructures);
                 }
                 // Everyone receives the rebroadcast domains.
-                let cuts = expect_msg!(ep, mgr, "calculator", c, frame,
+                let cuts = expect_msg!(ep, deadline, mgr, "calculator", c, frame,
                     Msg::Domains { cuts, .. } => cuts, "Domains");
                 let dm =
                     DomainMap::from_cuts(Axis::X, cuts).map_err(|e| ProtocolError::Domain {
@@ -395,7 +420,7 @@ fn calculator_main(
                 for o in &orders {
                     if let balance::Order::Receive { from } = *o {
                         transferred = true;
-                        let batch = expect_msg!(ep, from, "calculator", c, frame,
+                        let batch = expect_msg!(ep, deadline, from, "calculator", c, frame,
                             Msg::Particles { batch, .. } => batch, "Particles");
                         stores[sys].extend(batch);
                     }
@@ -433,6 +458,7 @@ fn manager_main(
     mut domains: Vec<DomainMap>,
 ) -> Result<Vec<FrameReport>, ProtocolError> {
     let n_sys = scene.systems.len();
+    let deadline = Duration::from_secs_f64(cfg.recv_timeout_secs);
     let mut parity = 0usize;
     let mut frames = Vec::with_capacity(cfg.frames as usize);
     let mut last = ep.now();
@@ -459,7 +485,7 @@ fn manager_main(
             // Load reports.
             let mut loads = Vec::with_capacity(n);
             for c in 0..n {
-                let (info, migrated) = expect_msg!(ep, c, "manager", n, frame,
+                let (info, migrated) = expect_msg!(ep, deadline, c, "manager", n, frame,
                     Msg::Load { info, migrated, .. } => (info, migrated), "Load");
                 fr.migrated += migrated as u64;
                 fr.migration_bytes += (migrated * psa_core::WIRE_BYTES) as u64;
@@ -483,7 +509,7 @@ fn manager_main(
                 }
                 trace.record(frame, ProtocolEvent::LoadBalancingOrders);
                 for t in &transfers {
-                    let (boundary, cut) = expect_msg!(ep, t.donor, "manager", n, frame,
+                    let (boundary, cut) = expect_msg!(ep, deadline, t.donor, "manager", n, frame,
                         Msg::NewCut { boundary, cut, .. } => (boundary, cut), "NewCut");
                     domains[sys].move_cut(boundary, cut).map_err(|e| ProtocolError::Domain {
                         role: "manager",
@@ -539,6 +565,7 @@ fn image_generator_main(
     sink: Option<RenderSink>,
 ) -> Result<Vec<(u64, u64)>, ProtocolError> {
     let n_sys = scene.systems.len();
+    let deadline = Duration::from_secs_f64(cfg.recv_timeout_secs);
     let mut fb = sink.as_ref().map(|s| {
         let (w, h) = s.camera.viewport();
         Framebuffer::new(w, h)
@@ -554,7 +581,7 @@ fn image_generator_main(
         }
         for _sys in 0..n_sys {
             for c in 0..n {
-                let batch = expect_msg!(ep, c, "image generator", n + 1, frame,
+                let batch = expect_msg!(ep, deadline, c, "image generator", n + 1, frame,
                     Msg::RenderParticles { batch, .. } => batch, "RenderParticles");
                 alive += batch.len() as u64;
                 hash.extend(batch.iter());
@@ -647,6 +674,17 @@ mod tests {
         // Populated frames hash to something; frames differ.
         assert!(r.frames.iter().all(|f| f.checksum != 0));
         assert_ne!(r.frames[0].checksum, r.frames[3].checksum);
+    }
+
+    #[test]
+    fn silent_peer_surfaces_as_typed_timeout_with_context() {
+        let mut eps = ThreadNet::build::<Msg>(2).into_iter();
+        let e0 = eps.next().expect("two endpoints");
+        let _e1 = eps.next().expect("two endpoints");
+        let err = recv_within(&e0, 1, Duration::from_millis(5), "calculator", 0, 7)
+            .expect_err("nobody ever sends");
+        assert_eq!(err, ProtocolError::Timeout { role: "calculator", rank: 0, frame: 7, peer: 1 });
+        assert!(err.to_string().contains("timed out waiting for rank 1"));
     }
 
     #[test]

@@ -16,17 +16,40 @@
 //! same phases: `PerSystem` runs each system's full protocol in sequence
 //! (Figure 2 verbatim); `Batched` runs each phase across all systems before
 //! the next phase starts.
+//!
+//! ## Fault model
+//!
+//! The fabric is wrapped in a [`FaultyVirtualNet`] executing a seeded
+//! [`FaultPlan`] (see `netsim::fault`): every perturbation — link delay,
+//! transient send failure, calculator slowdown, stall, fail-stop crash —
+//! is charged as *virtual time*, so a faulty run replays bit-identically
+//! from `(seed, plan)`. A quiet plan (the default) draws no entropy and
+//! adds `0.0` everywhere, leaving healthy runs byte-identical to the
+//! un-instrumented executor.
+//!
+//! Degraded-mode protocol: transient send failures are retried with
+//! exponential backoff in virtual ticks; receives from a crashed rank use a
+//! bounded deadline (the wait is charged, the miss counted); the manager
+//! declares a calculator dead after [`FaultPolicy::dead_after`] consecutive
+//! missed load reports, confiscates its particles (counted as lost),
+//! purges its in-flight queues, and collapses its domain slice toward the
+//! nearest alive neighbor via the §3.2.5 `move_cut` machinery — the
+//! every-round `Domains` broadcast then reassigns the slice so frames keep
+//! rendering on the survivors.
 
 use cluster_sim::{ClusterSpec, CostModel, Placement};
-use netsim::VirtualNet;
+use netsim::{
+    FaultInjector, FaultPlan, FaultPolicy, FaultyVirtualNet, PlanInjector, TransportError,
+    VirtualNet,
+};
 use psa_core::actions::ActionCtx;
-use psa_core::{DomainMap, Particle, SubDomainStore, WIRE_BYTES};
+use psa_core::{invariants, DomainMap, Particle, SubDomainStore, WIRE_BYTES};
 use psa_math::stats::imbalance;
 use psa_math::{Axis, Interval, Rng64, Scalar};
 
 use crate::balance::{self, LoadInfo, Transfer};
 use crate::config::{BalanceMode, RunConfig, SpaceMode, SystemSchedule};
-use crate::msg::Msg;
+use crate::msg::{Msg, ProtocolError};
 use crate::report::{FrameReport, RunReport};
 use crate::scene::Scene;
 use crate::trace::{ProtocolEvent, Trace};
@@ -41,6 +64,33 @@ const AXIS: Axis = Axis::X;
 /// Derive the deterministic stream for (tag, frame, system, rank).
 fn stream(seed: u64, tag: u64, frame: u64, sys: usize, rank: usize) -> Rng64 {
     Rng64::new(seed).split(tag).split(frame).split(sys as u64).split(rank as u64)
+}
+
+/// Receive a *required* message (the sender is known to be alive): a
+/// wrong kind is an `UnexpectedMessage`, silence is a `Timeout`.
+macro_rules! expect_virt {
+    ($self:ident, $to:expr, $from:expr, $frame:expr, $pat:pat => $out:expr, $expected:expr) => {
+        match $self.recv_from($to, $from)? {
+            Some($pat) => $out,
+            Some(other) => {
+                return Err(ProtocolError::UnexpectedMessage {
+                    role: "virtual",
+                    rank: $to,
+                    frame: $frame,
+                    expected: $expected,
+                    got: other.kind(),
+                })
+            }
+            None => {
+                return Err(ProtocolError::Timeout {
+                    role: "virtual",
+                    rank: $to,
+                    frame: $frame,
+                    peer: $from,
+                })
+            }
+        }
+    };
 }
 
 /// Per-calculator state.
@@ -64,13 +114,24 @@ pub struct VirtualSim {
     placement: Placement,
     cost: CostModel,
     trace: Trace,
+    plan: Option<FaultPlan>,
+    policy: FaultPolicy,
 }
 
 impl VirtualSim {
     pub fn new(scene: Scene, cfg: RunConfig, cluster: ClusterSpec, cost: CostModel) -> Self {
         assert!(!scene.systems.is_empty(), "scene needs at least one system");
         let placement = cluster.placement();
-        VirtualSim { scene, cfg, cluster, placement, cost, trace: Trace::disabled() }
+        VirtualSim {
+            scene,
+            cfg,
+            cluster,
+            placement,
+            cost,
+            trace: Trace::disabled(),
+            plan: None,
+            policy: FaultPolicy::default(),
+        }
     }
 
     /// Record protocol events (used by the Figure-2 test; off by default).
@@ -79,24 +140,49 @@ impl VirtualSim {
         self
     }
 
+    /// Inject the given fault plan (must cover `calculators + 2` ranks).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Override the retry/timeout/death policy (defaults are sane).
+    pub fn with_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
 
     /// Run the animation; returns the report (including the virtual
-    /// makespan used for speed-up computation).
-    pub fn run(&mut self) -> RunReport {
+    /// makespan used for speed-up computation), or the protocol error that
+    /// ended the run early (e.g. every calculator died).
+    pub fn try_run(&mut self) -> Result<RunReport, ProtocolError> {
         let mut engine = Engine::new(
             self.scene.clone(),
             self.cfg.clone(),
             &self.placement,
             self.cluster.net.clone(),
             self.cost.clone(),
+            self.plan.clone(),
+            self.policy,
             std::mem::take(&mut self.trace),
         );
-        let (report, trace) = engine.run(self.cluster.describe());
+        let (outcome, trace) = engine.run(self.cluster.describe());
         self.trace = trace;
-        report
+        outcome
+    }
+
+    /// Run the animation, panicking on a protocol failure (healthy runs and
+    /// survivable fault plans never fail; use [`try_run`](Self::try_run) to
+    /// observe fatal plans).
+    pub fn run(&mut self) -> RunReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("virtual protocol run failed: {e}"),
+        }
     }
 }
 
@@ -105,7 +191,8 @@ struct Engine {
     scene: Scene,
     cfg: RunConfig,
     cost: CostModel,
-    net: VirtualNet<Msg>,
+    net: FaultyVirtualNet<Msg, PlanInjector>,
+    policy: FaultPolicy,
     calcs: Vec<CalcState>,
     mgr_domains: Vec<DomainMap>,
     speeds: Vec<f64>,
@@ -115,17 +202,33 @@ struct Engine {
     mgr: usize,
     ig: usize,
     parity: usize,
-    calc_and_mgr: Vec<usize>,
+    /// Rank `c` has fail-stopped (it no longer computes, sends or
+    /// receives); peers may not have noticed yet.
+    crashed: Vec<bool>,
+    /// The manager has declared rank `c` dead: its slice is collapsed and
+    /// nobody addresses it any more.
+    dead: Vec<bool>,
+    /// Consecutive missed load reports per calculator.
+    missed: Vec<u32>,
+    /// `(rank, frame)` death declarations, in order.
+    dead_events: Vec<(usize, u64)>,
+    /// Real (unscaled) particles lost to crashed/dead ranks.
+    lost: u64,
+    /// Deadline-expired receives in the current frame.
+    frame_timeouts: u64,
     trace: Trace,
 }
 
 impl Engine {
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring VirtualSim's fields
     fn new(
         scene: Scene,
         cfg: RunConfig,
         placement: &Placement,
         net_model: cluster_sim::NetworkModel,
         cost: CostModel,
+        plan: Option<FaultPlan>,
+        policy: FaultPolicy,
         trace: Trace,
     ) -> Self {
         let n = placement.calculators();
@@ -133,7 +236,16 @@ impl Engine {
         let mut node_of: Vec<usize> = placement.ranks.iter().map(|r| r.node).collect();
         node_of.push(placement.frontend_node);
         node_of.push(placement.frontend_node);
-        let net = VirtualNet::new(net_model, node_of, placement.node_count);
+        let plan = plan.unwrap_or_else(|| FaultPlan::none(cfg.seed, n + 2));
+        assert_eq!(
+            plan.ranks(),
+            n + 2,
+            "fault plan must cover calculators + manager + image generator"
+        );
+        let net = FaultyVirtualNet::new(
+            VirtualNet::new(net_model, node_of, placement.node_count),
+            PlanInjector::new(plan),
+        );
         let space_for = |sys: usize| -> Interval {
             match cfg.space {
                 SpaceMode::Finite => scene.systems[sys].spec.space,
@@ -160,56 +272,242 @@ impl Engine {
             mgr: n,
             ig: n + 1,
             parity: 0,
-            calc_and_mgr: (0..n).chain([n]).collect(),
+            crashed: vec![false; n],
+            dead: vec![false; n],
+            missed: vec![0; n],
+            dead_events: Vec::new(),
+            lost: 0,
+            frame_timeouts: 0,
             scene,
             cfg,
             cost,
             net,
+            policy,
             calcs,
             mgr_domains,
             trace,
         }
     }
 
-    fn run(&mut self, cluster_label: String) -> (RunReport, Trace) {
+    /// The ranks that still take part in barriers: running calculators plus
+    /// the manager (the manager and image generator never crash — they are
+    /// the paper's front-end, assumed reliable).
+    fn active_set(&self) -> Vec<usize> {
+        (0..self.n).filter(|&c| !self.crashed[c]).chain([self.mgr]).collect()
+    }
+
+    fn space_of(&self, sys: usize) -> Interval {
+        match self.cfg.space {
+            SpaceMode::Finite => self.scene.systems[sys].spec.space,
+            SpaceMode::Infinite => Interval::INFINITE,
+        }
+    }
+
+    /// Send with the degraded-mode rules: sends to a declared-dead rank are
+    /// dropped (particle payloads counted as lost); sends to a crashed but
+    /// undeclared rank are queued as usual (nobody knows yet) with their
+    /// particles already counted — the queue is purged uncounted at
+    /// declaration. Transient injector failures retry with exponential
+    /// backoff charged in virtual ticks.
+    fn send_to(&mut self, from: usize, to: usize, msg: Msg) -> Result<(), ProtocolError> {
+        if to < self.n && (self.dead[to] || self.crashed[to]) {
+            if let Msg::Particles { batch, .. } = &msg {
+                self.lost += batch.len() as u64;
+            }
+            if self.dead[to] {
+                return Ok(());
+            }
+        }
+        let mut msg = msg;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.net.send(from, to, msg) {
+                Ok(()) => return Ok(()),
+                Err(failed) => {
+                    attempt += 1;
+                    if attempt >= self.policy.send_attempts {
+                        return Err(failed.error.into());
+                    }
+                    msg = failed.msg;
+                    // Exponential backoff, charged as virtual time.
+                    self.net.advance(from, self.policy.backoff * (1u64 << (attempt - 1)) as f64);
+                }
+            }
+        }
+    }
+
+    /// Receive with the degraded-mode rules: a declared-dead sender yields
+    /// `None` immediately; a crashed-but-undeclared sender is waited on
+    /// with a bounded deadline (the wait is charged, a miss is counted and
+    /// yields `None`); a healthy sender must have delivered.
+    fn recv_from(&mut self, to: usize, from: usize) -> Result<Option<Msg>, ProtocolError> {
+        if from < self.n && self.dead[from] {
+            return Ok(None);
+        }
+        if from < self.n && self.crashed[from] {
+            return match self.net.recv_deadline(to, from, self.policy.recv_wait) {
+                Ok(m) => Ok(Some(m)),
+                Err(TransportError::Timeout { .. }) => {
+                    self.frame_timeouts += 1;
+                    Ok(None)
+                }
+                Err(e) => Err(e.into()),
+            };
+        }
+        match self.net.recv(to, from) {
+            Ok(m) => Ok(Some(m)),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Apply the injector's frame-boundary rank faults: fail-stop crashes
+    /// take effect at the start of their frame; one-shot stalls charge
+    /// their virtual seconds before the rank does anything else.
+    fn begin_frame(&mut self, frame: u64) {
+        for c in 0..self.n {
+            if self.crashed[c] {
+                continue;
+            }
+            if self.net.injector().crash_frame(c).is_some_and(|k| frame >= k) {
+                self.crashed[c] = true;
+                continue;
+            }
+            let stall = self.net.injector().stall_seconds(c, frame);
+            if stall > 0.0 {
+                self.net.advance(c, stall);
+            }
+        }
+    }
+
+    /// The manager gives up on calculator `c`: confiscate its particles
+    /// (lost with the rank), purge its in-flight queues, and collapse its
+    /// slice toward the nearest alive neighbor so the partition invariant
+    /// holds and the next `Domains` broadcast reassigns the space.
+    fn declare_dead(&mut self, c: usize, frame: u64) -> Result<(), ProtocolError> {
+        self.crashed[c] = true;
+        self.dead[c] = true;
+        self.missed[c] = 0;
+        self.dead_events.push((c, frame));
+        if (0..self.n).all(|r| self.dead[r]) {
+            return Err(ProtocolError::Domain {
+                role: "manager",
+                rank: self.mgr,
+                frame,
+                detail: "every calculator is dead; no neighbor can absorb the load".into(),
+            });
+        }
         let n_sys = self.scene.systems.len();
+        for sys in 0..n_sys {
+            let gone = self.calcs[c].stores[sys].take_all();
+            self.lost += gone.len() as u64;
+        }
+        // Purge in-flight traffic both ways. Particle payloads queued
+        // toward the rank were already counted lost at send time; anything
+        // it sent pre-crash was consumed by the lock-step schedule.
+        for r in 0..self.net.ranks() {
+            if r != c {
+                let _ = self.net.take_queued(c, r);
+                let _ = self.net.take_queued(r, c);
+            }
+        }
+        // Collapse the dead slice (and any dead run between `c` and the
+        // absorbing neighbor) to zero width: the alive rank above inherits
+        // the space, or the alive rank below when none exists above.
+        // `owner_of` walks past zero-width slices, so routing never again
+        // targets `c`.
+        let above = (c + 1..self.n).find(|&r| !self.dead[r]);
+        let below = (0..c).rev().find(|&r| !self.dead[r]);
+        for sys in 0..n_sys {
+            let dm = &mut self.mgr_domains[sys];
+            let moved = if let Some(a) = above {
+                let lo = dm.cuts()[c];
+                (c..a).try_for_each(|b| dm.move_cut(b, lo))
+            } else if let Some(b0) = below {
+                let hi = dm.cuts()[c + 1];
+                (b0..c).rev().try_for_each(|b| dm.move_cut(b, hi))
+            } else {
+                Ok(())
+            };
+            if let Err(e) = moved {
+                return Err(ProtocolError::Domain {
+                    role: "manager",
+                    rank: self.mgr,
+                    frame,
+                    detail: format!("collapsing dead rank {c} slice: {e}"),
+                });
+            }
+            if invariants::ENABLED {
+                invariants::check_partition(
+                    frame,
+                    sys,
+                    self.space_of(sys),
+                    &self.mgr_domains[sys],
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self, cluster_label: String) -> (Result<RunReport, ProtocolError>, Trace) {
         let mut frames = Vec::with_capacity(self.cfg.frames as usize);
+        let outcome = self.run_frames(&mut frames);
+        let trace = std::mem::take(&mut self.trace);
+        let result = outcome.map(|()| {
+            let kept: Vec<FrameReport> =
+                frames.into_iter().filter(|f| f.frame >= self.cfg.warmup).collect();
+            RunReport {
+                label: self.cfg.label(),
+                cluster: cluster_label,
+                calculators: self.n,
+                total_time: self.net.makespan(),
+                frames: kept,
+                traffic: self.net.stats(),
+                dead_ranks: self.dead_events.clone(),
+                lost_particles: (self.lost as f64 * self.scale) as u64,
+            }
+        });
+        (result, trace)
+    }
+
+    fn run_frames(&mut self, frames: &mut Vec<FrameReport>) -> Result<(), ProtocolError> {
+        let n_sys = self.scene.systems.len();
         let mut prev_makespan = 0.0;
 
         for frame in 0..self.cfg.frames {
+            self.begin_frame(frame);
             let mut fr = FrameReport { frame, ..Default::default() };
 
             match self.cfg.schedule {
                 SystemSchedule::PerSystem => {
                     for sys in 0..n_sys {
-                        self.phase_creation(frame, sys);
-                        self.phase_addition(frame, sys);
+                        self.phase_creation(frame, sys)?;
+                        self.phase_addition(frame, sys)?;
                         self.phase_calculus(frame, sys);
-                        self.phase_collision(sys);
-                        self.phase_exchange(frame, sys, &mut fr);
-                        let loads = self.phase_loads(frame, sys);
-                        self.phase_balance(frame, sys, &loads, &mut fr);
-                        self.phase_ship(frame, sys, &mut fr);
+                        self.phase_collision(frame, sys)?;
+                        self.phase_exchange(frame, sys, &mut fr)?;
+                        let loads = self.phase_loads(frame, sys)?;
+                        self.phase_balance(frame, sys, &loads, &mut fr)?;
+                        self.phase_ship(frame, sys, &mut fr)?;
                     }
                 }
                 SystemSchedule::Batched => {
                     for sys in 0..n_sys {
-                        self.phase_creation(frame, sys);
-                        self.phase_addition(frame, sys);
+                        self.phase_creation(frame, sys)?;
+                        self.phase_addition(frame, sys)?;
                     }
                     for sys in 0..n_sys {
                         self.phase_calculus(frame, sys);
-                        self.phase_collision(sys);
+                        self.phase_collision(frame, sys)?;
                     }
                     for sys in 0..n_sys {
-                        self.phase_exchange(frame, sys, &mut fr);
+                        self.phase_exchange(frame, sys, &mut fr)?;
                     }
                     for sys in 0..n_sys {
-                        let loads = self.phase_loads(frame, sys);
-                        self.phase_balance(frame, sys, &loads, &mut fr);
+                        let loads = self.phase_loads(frame, sys)?;
+                        self.phase_balance(frame, sys, &loads, &mut fr)?;
                     }
                     for sys in 0..n_sys {
-                        self.phase_ship(frame, sys, &mut fr);
+                        self.phase_ship(frame, sys, &mut fr)?;
                     }
                 }
             }
@@ -218,37 +516,31 @@ impl Engine {
             self.net.advance(self.ig, self.cost.per_frame_render_fixed / self.fe_speed);
             self.trace.record(frame, ProtocolEvent::ImageGeneration);
 
-            // Parallel-phases frame boundary for compute processes.
-            self.net.barrier(&self.calc_and_mgr);
+            // Parallel-phases frame boundary for the surviving compute
+            // processes.
+            let active = self.active_set();
+            self.net.barrier(&active);
 
-            // Per-frame accounting.
+            // Per-frame accounting (survivors only).
             let counts: Vec<f64> = (0..self.n)
+                .filter(|&c| !self.crashed[c])
                 .map(|c| self.calcs[c].stores.iter().map(|s| s.len() as f64).sum::<f64>())
                 .collect();
             fr.imbalance = imbalance(&counts);
             let mk = self.net.makespan();
             fr.frame_time = mk - prev_makespan;
             prev_makespan = mk;
+            fr.timeouts = self.frame_timeouts;
+            self.frame_timeouts = 0;
             frames.push(fr);
         }
-
-        let kept: Vec<FrameReport> =
-            frames.into_iter().filter(|f| f.frame >= self.cfg.warmup).collect();
-        let report = RunReport {
-            label: self.cfg.label(),
-            cluster: cluster_label,
-            calculators: self.n,
-            total_time: self.net.makespan(),
-            frames: kept,
-            traffic: self.net.stats(),
-        };
-        (report, std::mem::take(&mut self.trace))
+        Ok(())
     }
 
     /// Creation at the manager (paper §3.2.1): emit, route by domain, ship
     /// batches with end-of-transmission markers.
-    fn phase_creation(&mut self, frame: u64, sys: usize) {
-        let spec = &self.scene.systems[sys].spec;
+    fn phase_creation(&mut self, frame: u64, sys: usize) -> Result<(), ProtocolError> {
+        let spec = self.scene.systems[sys].spec.clone();
         let mut rng_c = stream(self.cfg.seed, TAG_CREATE, frame, sys, 0);
         let mut newborn: Vec<Particle> =
             if frame == 0 { spec.emit_initial(&mut rng_c) } else { Vec::new() };
@@ -262,45 +554,50 @@ impl Engine {
             batches[self.mgr_domains[sys].owner_of(p.position.along(AXIS))].push(p);
         }
         for (c, batch) in batches.into_iter().enumerate() {
-            self.net.send(
+            self.send_to(
                 self.mgr,
                 c,
                 Msg::Particles { system: spec.id, batch, scale: self.scale },
-            );
-            self.net.send(self.mgr, c, Msg::EndOfTransmission { system: spec.id });
+            )?;
+            self.send_to(self.mgr, c, Msg::EndOfTransmission { system: spec.id })?;
         }
+        Ok(())
     }
 
     /// Calculators receive and store the newborn batches.
-    fn phase_addition(&mut self, frame: u64, sys: usize) {
+    fn phase_addition(&mut self, frame: u64, sys: usize) -> Result<(), ProtocolError> {
         for c in 0..self.n {
-            let Msg::Particles { batch, .. } =
-                self.net.recv(c, self.mgr).expect("deterministic schedule delivers")
-            else {
-                panic!("expected creation batch");
-            };
-            let Msg::EndOfTransmission { .. } =
-                self.net.recv(c, self.mgr).expect("deterministic schedule delivers")
-            else {
-                panic!("expected end of transmission");
-            };
+            if self.crashed[c] {
+                continue;
+            }
+            let batch = expect_virt!(self, c, self.mgr, frame,
+                Msg::Particles { batch, .. } => batch, "Particles");
+            expect_virt!(self, c, self.mgr, frame,
+                Msg::EndOfTransmission { .. } => (), "EndOfTransmission");
             self.net.advance(c, self.cost.pack_time(batch.len(), self.speeds[c]));
             self.calcs[c].stores[sys].extend(batch);
         }
         if sys == 0 {
             self.trace.record(frame, ProtocolEvent::AdditionToLocalSet);
         }
+        Ok(())
     }
 
-    /// The action list ("Calculus" in Figure 2).
+    /// The action list ("Calculus" in Figure 2). A rank's injected
+    /// slowdown inflates both the charged time and the load it will
+    /// report, so dynamic balancing shifts work away from slow nodes.
     fn phase_calculus(&mut self, frame: u64, sys: usize) {
         let setup = self.scene.systems[sys].clone();
         for c in 0..self.n {
+            if self.crashed[c] {
+                continue;
+            }
             let mut rng_a = stream(self.cfg.seed, TAG_ACTIONS, frame, sys, c + 1);
             let mut ctx = ActionCtx { dt: self.cfg.dt, frame, rng: &mut rng_a };
             let pre = self.calcs[c].stores[sys].len();
             let (_outcome, weighted) = setup.actions.run(&mut ctx, &mut self.calcs[c].stores[sys]);
-            let t = self.cost.weighted_work_time(weighted, self.speeds[c]);
+            let factor = self.net.injector().compute_factor(c);
+            let t = self.cost.weighted_work_time(weighted, self.speeds[c]) * factor;
             self.net.advance(c, t);
             self.calcs[c].compute_time[sys] = t;
             self.calcs[c].pre_count[sys] = pre.max(1);
@@ -312,68 +609,103 @@ impl Engine {
 
     /// Optional inter-particle collision with ghost-slab exchange
     /// (§3.1.4 / the "exchanged during the computation" mode of §3.1.5).
-    fn phase_collision(&mut self, sys: usize) {
+    /// Ghosts are read-only copies, so a slab lost to a crashed neighbor
+    /// degrades collision quality at the boundary without losing particles.
+    fn phase_collision(&mut self, frame: u64, sys: usize) -> Result<(), ProtocolError> {
         let Some(col) = self.scene.collision else {
-            return;
+            return Ok(());
         };
         use psa_core::collide::{colliding_pairs, resolve_elastic_with_ghosts};
         let spec_id = self.scene.systems[sys].spec.id;
         let n = self.n;
-        let slabs: Vec<(Vec<Particle>, Vec<Particle>)> =
-            (0..n).map(|c| self.calcs[c].stores[sys].boundary_slabs(col.cell)).collect();
-        for (c, (low, high)) in slabs.into_iter().enumerate() {
+        let slabs: Vec<Option<(Vec<Particle>, Vec<Particle>)>> = (0..n)
+            .map(|c| {
+                if self.crashed[c] {
+                    None
+                } else {
+                    Some(self.calcs[c].stores[sys].boundary_slabs(col.cell))
+                }
+            })
+            .collect();
+        for (c, slab) in slabs.into_iter().enumerate() {
+            let Some((low, high)) = slab else {
+                continue;
+            };
             if c > 0 {
-                self.net.send(
+                self.send_to(
                     c,
                     c - 1,
                     Msg::Ghosts { system: spec_id, batch: low, scale: self.scale },
-                );
+                )?;
             }
             if c + 1 < n {
-                self.net.send(
+                self.send_to(
                     c,
                     c + 1,
                     Msg::Ghosts { system: spec_id, batch: high, scale: self.scale },
-                );
+                )?;
             }
         }
         for c in 0..n {
-            let mut ghosts: Vec<Particle> = Vec::new();
-            if c > 0 {
-                let Msg::Ghosts { batch, .. } =
-                    self.net.recv(c, c - 1).expect("deterministic schedule delivers")
-                else {
-                    panic!("expected ghost slab");
-                };
-                ghosts.extend(batch);
+            if self.crashed[c] {
+                continue;
             }
-            if c + 1 < n {
-                let Msg::Ghosts { batch, .. } =
-                    self.net.recv(c, c + 1).expect("deterministic schedule delivers")
-                else {
-                    panic!("expected ghost slab");
-                };
-                ghosts.extend(batch);
+            let mut ghosts: Vec<Particle> = Vec::new();
+            for d in [c.wrapping_sub(1), c + 1] {
+                if d >= n || d == c {
+                    continue;
+                }
+                match self.recv_from(c, d)? {
+                    Some(Msg::Ghosts { batch, .. }) => ghosts.extend(batch),
+                    Some(other) => {
+                        return Err(ProtocolError::UnexpectedMessage {
+                            role: "calculator",
+                            rank: c,
+                            frame,
+                            expected: "Ghosts",
+                            got: other.kind(),
+                        })
+                    }
+                    None => {} // crashed/dead neighbor: no slab this frame
+                }
             }
             let mut locals = self.calcs[c].stores[sys].take_all();
             let pairs = colliding_pairs(&locals, &ghosts, col.cell);
             resolve_elastic_with_ghosts(&mut locals, &ghosts, &pairs, col.restitution);
-            let t = self.cost.collision_time(locals.len() + ghosts.len(), self.speeds[c]);
+            let factor = self.net.injector().compute_factor(c);
+            let t = self.cost.collision_time(locals.len() + ghosts.len(), self.speeds[c]) * factor;
             self.net.advance(c, t);
             self.calcs[c].compute_time[sys] += t;
             self.calcs[c].stores[sys].extend(locals);
         }
+        Ok(())
     }
 
     /// End-of-frame particle exchange: leavers ship directly to their new
     /// owner (all domains are globally known). One message per ordered pair
-    /// keeps receives directed and deterministic.
-    fn phase_exchange(&mut self, frame: u64, sys: usize, fr: &mut FrameReport) {
+    /// keeps receives directed and deterministic. Under `strict-invariants`
+    /// the phase checks per-rank and global conservation, with the global
+    /// check crediting particles lost toward crashed/dead destinations.
+    fn phase_exchange(
+        &mut self,
+        frame: u64,
+        sys: usize,
+        fr: &mut FrameReport,
+    ) -> Result<(), ProtocolError> {
         let n = self.n;
         let spec_id = self.scene.systems[sys].spec.id;
-        let mut outgoing: Vec<Vec<Vec<Particle>>> = Vec::with_capacity(n);
+        let lost_at_start = self.lost;
+        let mut before = vec![0usize; n];
+        let mut outgoing = vec![0usize; n];
+        let mut incoming = vec![0usize; n];
+        let mut out_batches: Vec<Vec<Vec<Particle>>> = Vec::with_capacity(n);
         for (c, state) in self.calcs.iter_mut().enumerate() {
+            if self.crashed[c] {
+                out_batches.push(Vec::new());
+                continue;
+            }
             let len = state.stores[sys].len();
+            before[c] = len;
             self.net.advance(c, self.cost.exchange_check_time(len, self.speeds[c]));
             let leavers = state.stores[sys].collect_leavers();
             let mut per_dest: Vec<Vec<Particle>> = vec![Vec::new(); n];
@@ -384,10 +716,14 @@ impl Engine {
             }
             let homebound = std::mem::take(&mut per_dest[c]);
             state.stores[sys].extend(homebound);
-            outgoing.push(per_dest);
+            out_batches.push(per_dest);
         }
-        for (c, per_dest) in outgoing.into_iter().enumerate() {
+        for (c, per_dest) in out_batches.into_iter().enumerate() {
+            if self.crashed[c] {
+                continue;
+            }
             let total_sent: usize = per_dest.iter().map(Vec::len).sum();
+            outgoing[c] = total_sent;
             self.net.advance(c, self.cost.pack_time(total_sent, self.speeds[c]));
             // "particles that belong to another calculator" (§5.1):
             // only actually-shipped particles count as migration.
@@ -395,157 +731,250 @@ impl Engine {
             fr.migration_bytes += self.cost.wire_bytes(total_sent, WIRE_BYTES);
             for (d, batch) in per_dest.into_iter().enumerate() {
                 if d != c {
-                    self.net.send(
+                    self.send_to(
                         c,
                         d,
                         Msg::Particles { system: spec_id, batch, scale: self.scale },
-                    );
+                    )?;
                 }
             }
         }
         for c in 0..n {
+            if self.crashed[c] {
+                continue;
+            }
             for d in 0..n {
-                if d == c {
+                if d == c || self.dead[d] {
                     continue;
                 }
-                let Msg::Particles { batch, .. } =
-                    self.net.recv(c, d).expect("deterministic schedule delivers")
-                else {
-                    panic!("expected exchange batch");
-                };
-                self.net.advance(c, self.cost.pack_time(batch.len(), self.speeds[c]));
-                self.calcs[c].stores[sys].extend(batch);
+                match self.recv_from(c, d)? {
+                    Some(Msg::Particles { batch, .. }) => {
+                        incoming[c] += batch.len();
+                        self.net.advance(c, self.cost.pack_time(batch.len(), self.speeds[c]));
+                        self.calcs[c].stores[sys].extend(batch);
+                    }
+                    Some(other) => {
+                        return Err(ProtocolError::UnexpectedMessage {
+                            role: "calculator",
+                            rank: c,
+                            frame,
+                            expected: "Particles",
+                            got: other.kind(),
+                        })
+                    }
+                    None => {} // crashed peer sent nothing; wait was charged
+                }
             }
+        }
+        if invariants::ENABLED {
+            let mut before_sum = 0usize;
+            let mut after_sum = 0usize;
+            for c in 0..n {
+                if self.crashed[c] {
+                    continue;
+                }
+                let after = self.calcs[c].stores[sys].len();
+                invariants::check_exchange_conservation(
+                    frame,
+                    sys,
+                    c,
+                    before[c],
+                    outgoing[c],
+                    incoming[c],
+                    after,
+                )?;
+                before_sum += before[c];
+                after_sum += after;
+            }
+            invariants::check_global_conservation_with_losses(
+                frame,
+                sys,
+                before_sum,
+                after_sum,
+                (self.lost - lost_at_start) as usize,
+            )?;
         }
         if sys == 0 {
             self.trace.record(frame, ProtocolEvent::ParticleExchange);
         }
+        Ok(())
     }
 
     /// Load reports (paper §3.2.4), with the time rescaled to the
     /// post-exchange population. Under the centralized modes the manager
     /// gathers them; under the decentralized mode each calculator also
-    /// shares its report with its domain neighbors.
-    fn phase_loads(&mut self, frame: u64, sys: usize) -> Vec<LoadInfo> {
+    /// shares its report with its domain neighbors. A calculator that
+    /// misses [`FaultPolicy::dead_after`] consecutive gathers is declared
+    /// dead. `None` entries mark ranks the manager has no report from.
+    fn phase_loads(
+        &mut self,
+        frame: u64,
+        sys: usize,
+    ) -> Result<Vec<Option<LoadInfo>>, ProtocolError> {
         let n = self.n;
         let spec_id = self.scene.systems[sys].spec.id;
         let decentralized = matches!(self.cfg.balance, BalanceMode::Decentralized(_));
-        let mut local_loads = vec![LoadInfo::default(); n];
-        #[allow(clippy::needless_range_loop)]
-        // c is a rank: indexes calcs, loads, and addresses sends
         for c in 0..n {
+            if self.crashed[c] {
+                continue;
+            }
             let count = self.calcs[c].stores[sys].len();
             let time = self.calcs[c].compute_time[sys] * count as f64
                 / self.calcs[c].pre_count[sys] as f64;
             let info = LoadInfo { count, time };
-            local_loads[c] = info;
-            self.net.send(c, self.mgr, Msg::Load { system: spec_id, info, migrated: 0 });
+            self.send_to(c, self.mgr, Msg::Load { system: spec_id, info, migrated: 0 })?;
             if decentralized {
                 if c > 0 {
-                    self.net.send(c, c - 1, Msg::Load { system: spec_id, info, migrated: 0 });
+                    self.send_to(c, c - 1, Msg::Load { system: spec_id, info, migrated: 0 })?;
                 }
                 if c + 1 < n {
-                    self.net.send(c, c + 1, Msg::Load { system: spec_id, info, migrated: 0 });
+                    self.send_to(c, c + 1, Msg::Load { system: spec_id, info, migrated: 0 })?;
                 }
             }
         }
-        let loads: Vec<LoadInfo> = (0..n)
-            .map(|c| {
-                let Msg::Load { info, .. } =
-                    self.net.recv(self.mgr, c).expect("deterministic schedule delivers")
-                else {
-                    panic!("expected load report");
-                };
-                info
-            })
-            .collect();
+        let mut loads: Vec<Option<LoadInfo>> = vec![None; n];
+        for c in 0..n {
+            if self.dead[c] {
+                continue;
+            }
+            match self.recv_from(self.mgr, c)? {
+                Some(Msg::Load { info, .. }) => {
+                    loads[c] = Some(info);
+                    self.missed[c] = 0;
+                }
+                Some(other) => {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        role: "manager",
+                        rank: self.mgr,
+                        frame,
+                        expected: "Load",
+                        got: other.kind(),
+                    })
+                }
+                None => {
+                    self.missed[c] += 1;
+                    if self.missed[c] >= self.policy.dead_after {
+                        self.declare_dead(c, frame)?;
+                    }
+                }
+            }
+        }
         if decentralized {
             // Each calculator consumes its neighbors' reports (the content
             // equals `loads`; the receive charges the communication).
             for c in 0..n {
-                if c > 0 {
-                    let Msg::Load { .. } =
-                        self.net.recv(c, c - 1).expect("deterministic schedule delivers")
-                    else {
-                        panic!("expected neighbor load");
-                    };
+                if self.crashed[c] {
+                    continue;
                 }
-                if c + 1 < n {
-                    let Msg::Load { .. } =
-                        self.net.recv(c, c + 1).expect("deterministic schedule delivers")
-                    else {
-                        panic!("expected neighbor load");
-                    };
+                for d in [c.wrapping_sub(1), c + 1] {
+                    if d >= n || d == c {
+                        continue;
+                    }
+                    match self.recv_from(c, d)? {
+                        Some(Msg::Load { .. }) | None => {}
+                        Some(other) => {
+                            return Err(ProtocolError::UnexpectedMessage {
+                                role: "calculator",
+                                rank: c,
+                                frame,
+                                expected: "Load",
+                                got: other.kind(),
+                            })
+                        }
+                    }
                 }
             }
         }
         if sys == 0 {
             self.trace.record(frame, ProtocolEvent::LoadInformation);
         }
-        loads
+        Ok(loads)
     }
 
     /// The balancing phase: centralized (§3.2.5), decentralized (§6 future
     /// work), or the plain synchronization step static balancing needs.
-    fn phase_balance(&mut self, frame: u64, sys: usize, loads: &[LoadInfo], fr: &mut FrameReport) {
+    /// Degraded-mode domain reassignment rides the centralized mode's
+    /// every-round `Domains` broadcast; the static mode has no broadcast,
+    /// so a dead slice stays collapsed but survivors keep stale replicas
+    /// (their misdirected sends are counted as lost).
+    fn phase_balance(
+        &mut self,
+        frame: u64,
+        sys: usize,
+        loads: &[Option<LoadInfo>],
+        fr: &mut FrameReport,
+    ) -> Result<(), ProtocolError> {
         match self.cfg.balance {
             BalanceMode::Dynamic(bcfg) => {
-                let transfers = balance::evaluate(loads, &self.speeds, self.parity, &bcfg);
+                let present: Vec<usize> = (0..self.n).filter(|&c| loads[c].is_some()).collect();
+                let pl: Vec<LoadInfo> = present.iter().filter_map(|&c| loads[c]).collect();
+                let powers: Vec<f64> = present.iter().map(|&c| self.speeds[c]).collect();
+                let transfers = if present.len() >= 2 {
+                    balance::evaluate_present(&pl, &powers, &present, self.parity, &bcfg)
+                } else {
+                    Vec::new()
+                };
                 self.parity ^= 1;
-                debug_assert!(balance::validate_transfers(&transfers, self.n).is_ok());
+                debug_assert!(balance::validate_transfers_mapped(&transfers, &present).is_ok());
                 self.net.advance(
                     self.mgr,
-                    self.cost.balance_eval_time(self.n.saturating_sub(1), self.fe_speed),
+                    self.cost.balance_eval_time(present.len().saturating_sub(1), self.fe_speed),
                 );
                 if sys == 0 {
                     self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
                 }
                 let spec_id = self.scene.systems[sys].spec.id;
-                for c in 0..self.n {
-                    self.net.send(
+                for &c in &present {
+                    self.send_to(
                         self.mgr,
                         c,
                         Msg::Orders { system: spec_id, orders: balance::orders_for(&transfers, c) },
-                    );
+                    )?;
                 }
-                for c in 0..self.n {
-                    let Msg::Orders { .. } =
-                        self.net.recv(c, self.mgr).expect("deterministic schedule delivers")
-                    else {
-                        panic!("expected orders");
-                    };
+                for &c in &present {
+                    expect_virt!(self, c, self.mgr, frame, Msg::Orders { .. } => (), "Orders");
                 }
                 if sys == 0 {
                     self.trace.record(frame, ProtocolEvent::LoadBalancingOrders);
                 }
-                self.execute_transfers(frame, sys, &transfers, fr, true);
+                self.execute_transfers(frame, sys, &transfers, fr, true)?;
             }
             BalanceMode::Decentralized(bcfg) => {
                 // Every pair decides from the reports exchanged in
                 // phase_loads; the computation is replicated and identical
-                // on both endpoints, so no orders are needed.
-                let transfers = balance::evaluate_decentralized(loads, &self.speeds, &bcfg);
+                // on both endpoints, so no orders are needed. Pairs with a
+                // silent endpoint skip their round.
+                let filled: Vec<LoadInfo> = loads.iter().map(|l| l.unwrap_or_default()).collect();
+                let mut transfers = balance::evaluate_decentralized(&filled, &self.speeds, &bcfg);
+                transfers.retain(|t| loads[t.donor].is_some() && loads[t.receiver].is_some());
                 for c in 0..self.n {
+                    if self.crashed[c] {
+                        continue;
+                    }
                     self.net.advance(c, self.cost.balance_eval_time(2, self.speeds[c]));
                 }
                 if sys == 0 {
                     self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
                 }
-                self.execute_transfers(frame, sys, &transfers, fr, false);
+                self.execute_transfers(frame, sys, &transfers, fr, false)?;
             }
             BalanceMode::Static => {
                 // Without balancing the model still requires a
                 // synchronization step (paper §3.2) so a fast calculator
                 // cannot race a frame ahead.
-                self.net.barrier(&self.calc_and_mgr);
+                let active = self.active_set();
+                self.net.barrier(&active);
             }
         }
+        Ok(())
     }
 
     /// Execute a decided transfer set: donors select particles and compute
     /// new cuts, the domain update is disseminated (via the manager when
     /// `via_manager`, else donor-broadcast), every calculator redefines its
-    /// local domains, then the particles move.
+    /// local domains, then the particles move. With dead ranks between a
+    /// donor/receiver pair, the manager moves every boundary in the gap
+    /// (the collapsed zero-width slices ride along with the cut).
     fn execute_transfers(
         &mut self,
         frame: u64,
@@ -553,7 +982,7 @@ impl Engine {
         transfers: &[Transfer],
         fr: &mut FrameReport,
         via_manager: bool,
-    ) {
+    ) -> Result<(), ProtocolError> {
         let n = self.n;
         let spec_id = self.scene.systems[sys].spec.id;
 
@@ -564,7 +993,7 @@ impl Engine {
         let mut ordered: Vec<Transfer> = transfers.to_vec();
         ordered.sort_by_key(|t| t.donor.min(t.receiver));
         let mut donations: Vec<(usize, usize, Vec<Particle>)> = Vec::new();
-        let mut cuts: Vec<(usize, Scalar, usize)> = Vec::new(); // (boundary, cut, donor)
+        let mut cuts: Vec<(usize, usize, Scalar)> = Vec::new(); // (donor, receiver, cut)
         for t in &ordered {
             let donor = t.donor;
             let receiver = t.receiver;
@@ -593,8 +1022,7 @@ impl Engine {
                 donated.retain(|p| p.position.along(AXIS) >= cut);
                 self.calcs[donor].stores[sys].extend(keep_back);
             }
-            let boundary = donor.min(receiver);
-            cuts.push((boundary, cut, donor));
+            cuts.push((donor, receiver, cut));
             donations.push((donor, receiver, donated));
         }
         if sys == 0 && !transfers.is_empty() {
@@ -604,74 +1032,96 @@ impl Engine {
         if via_manager {
             // Donors report cuts to the manager, which updates the
             // authoritative map and rebroadcasts (paper §3.2.5).
-            for &(boundary, cut, donor) in &cuts {
-                self.net.send(donor, self.mgr, Msg::NewCut { system: spec_id, boundary, cut });
+            for &(donor, receiver, cut) in &cuts {
+                self.send_to(
+                    donor,
+                    self.mgr,
+                    Msg::NewCut { system: spec_id, boundary: donor.min(receiver), cut },
+                )?;
             }
-            for &(_, _, donor) in &cuts {
-                let Msg::NewCut { boundary, cut, .. } =
-                    self.net.recv(self.mgr, donor).expect("deterministic schedule delivers")
-                else {
-                    panic!("expected new cut");
-                };
-                self.mgr_domains[sys]
-                    .move_cut(boundary, cut)
-                    .expect("donor computed an in-range cut");
+            for &(donor, receiver, _) in &cuts {
+                let cut = expect_virt!(self, self.mgr, donor, frame,
+                    Msg::NewCut { cut, .. } => cut, "NewCut");
+                apply_cut_span(&mut self.mgr_domains[sys], donor, receiver, cut).map_err(|e| {
+                    ProtocolError::Domain {
+                        role: "manager",
+                        rank: self.mgr,
+                        frame,
+                        detail: format!("applying cut from donor {donor}: {e}"),
+                    }
+                })?;
             }
             for c in 0..n {
-                self.net.send(
+                if self.crashed[c] {
+                    continue;
+                }
+                self.send_to(
                     self.mgr,
                     c,
                     Msg::Domains { system: spec_id, cuts: self.mgr_domains[sys].cuts().to_vec() },
-                );
+                )?;
             }
             if sys == 0 && !transfers.is_empty() {
                 self.trace.record(frame, ProtocolEvent::NewDimensionsAndDomains);
             }
             for c in 0..n {
-                let Msg::Domains { cuts, .. } =
-                    self.net.recv(c, self.mgr).expect("deterministic schedule delivers")
-                else {
-                    panic!("expected domains");
-                };
+                if self.crashed[c] {
+                    continue;
+                }
+                let new_cuts = expect_virt!(self, c, self.mgr, frame,
+                    Msg::Domains { cuts, .. } => cuts, "Domains");
                 let dm =
-                    DomainMap::from_cuts(AXIS, cuts).expect("manager broadcasts valid domains");
+                    DomainMap::from_cuts(AXIS, new_cuts).map_err(|e| ProtocolError::Domain {
+                        role: "calculator",
+                        rank: c,
+                        frame,
+                        detail: format!("broadcast domains invalid: {e}"),
+                    })?;
                 self.apply_domains(c, sys, dm);
             }
         } else {
             // Decentralized: each donor broadcasts its cut to every
-            // process (manager included — it still routes creation), and
-            // every process applies the cuts in boundary order.
-            for &(boundary, cut, donor) in &cuts {
+            // running process (manager included — it still routes
+            // creation), and every process applies the cuts in order.
+            for &(donor, receiver, cut) in &cuts {
                 for c in (0..n).chain([self.mgr]) {
-                    if c != donor {
-                        self.net.send(donor, c, Msg::NewCut { system: spec_id, boundary, cut });
+                    if c != donor && !(c < n && self.crashed[c]) {
+                        self.send_to(
+                            donor,
+                            c,
+                            Msg::NewCut { system: spec_id, boundary: donor.min(receiver), cut },
+                        )?;
                     }
                 }
             }
-            // Apply locally at the donor, remotely everywhere else.
-            let mut applied: Vec<(usize, Scalar)> = Vec::new();
-            for &(boundary, cut, _) in &cuts {
-                applied.push((boundary, cut));
-            }
-            for &(_, _, donor) in &cuts {
+            let applied: Vec<(usize, Scalar)> =
+                cuts.iter().map(|&(d, r, cut)| (d.min(r), cut)).collect();
+            for &(donor, _, _) in &cuts {
                 for c in (0..n).chain([self.mgr]) {
-                    if c != donor {
-                        let Msg::NewCut { .. } =
-                            self.net.recv(c, donor).expect("deterministic schedule delivers")
-                        else {
-                            panic!("expected decentralized cut broadcast");
-                        };
+                    if c != donor && !(c < n && self.crashed[c]) {
+                        expect_virt!(self, c, donor, frame,
+                            Msg::NewCut { .. } => (), "NewCut");
                     }
                 }
             }
             for &(boundary, cut) in &applied {
-                self.mgr_domains[sys].move_cut(boundary, cut).expect("in-range decentralized cut");
+                self.mgr_domains[sys].move_cut(boundary, cut).map_err(|e| {
+                    ProtocolError::Domain {
+                        role: "manager",
+                        rank: self.mgr,
+                        frame,
+                        detail: format!("decentralized cut at boundary {boundary}: {e}"),
+                    }
+                })?;
             }
             let dm = self.mgr_domains[sys].clone();
             if sys == 0 && !transfers.is_empty() {
                 self.trace.record(frame, ProtocolEvent::NewDimensionsAndDomains);
             }
             for c in 0..n {
+                if self.crashed[c] {
+                    continue;
+                }
                 self.apply_domains(c, sys, dm.clone());
             }
         }
@@ -682,24 +1132,22 @@ impl Engine {
         // The donations themselves.
         for (donor, receiver, donated) in donations {
             fr.balanced += (donated.len() as f64 * self.scale) as u64;
-            self.net.send(
+            self.send_to(
                 donor,
                 receiver,
                 Msg::Particles { system: spec_id, batch: donated, scale: self.scale },
-            );
+            )?;
         }
         for t in &ordered {
-            let Msg::Particles { batch, .. } =
-                self.net.recv(t.receiver, t.donor).expect("deterministic schedule delivers")
-            else {
-                panic!("expected donation");
-            };
+            let batch = expect_virt!(self, t.receiver, t.donor, frame,
+                Msg::Particles { batch, .. } => batch, "Particles");
             self.net.advance(t.receiver, self.cost.pack_time(batch.len(), self.speeds[t.receiver]));
             self.calcs[t.receiver].stores[sys].extend(batch);
         }
         if sys == 0 && !transfers.is_empty() {
             self.trace.record(frame, ProtocolEvent::LoadBalanceBetweenCalculators);
         }
+        Ok(())
     }
 
     /// Install an updated domain map at calculator `c`, reshaping its store
@@ -729,26 +1177,43 @@ impl Engine {
         }
     }
 
-    /// Ship render payloads to the image generator.
-    fn phase_ship(&mut self, frame: u64, sys: usize, fr: &mut FrameReport) {
+    /// Ship render payloads to the image generator. The image generator
+    /// tolerates silent (crashed) calculators — every post-crash frame is
+    /// still rendered from the survivors' batches.
+    fn phase_ship(
+        &mut self,
+        frame: u64,
+        sys: usize,
+        fr: &mut FrameReport,
+    ) -> Result<(), ProtocolError> {
         let spec_id = self.scene.systems[sys].spec.id;
         for c in 0..self.n {
+            if self.crashed[c] {
+                continue;
+            }
             let count = self.calcs[c].stores[sys].len();
             self.net.advance(c, self.cost.pack_time(count, self.speeds[c]));
-            self.net.send(
+            self.send_to(
                 c,
                 self.ig,
                 Msg::RenderBatch { system: spec_id, count, scale: self.scale },
-            );
+            )?;
         }
         let mut frame_particles = 0usize;
         for c in 0..self.n {
-            let Msg::RenderBatch { count, .. } =
-                self.net.recv(self.ig, c).expect("deterministic schedule delivers")
-            else {
-                panic!("expected render batch");
-            };
-            frame_particles += count;
+            match self.recv_from(self.ig, c)? {
+                Some(Msg::RenderBatch { count, .. }) => frame_particles += count,
+                Some(other) => {
+                    return Err(ProtocolError::UnexpectedMessage {
+                        role: "image generator",
+                        rank: self.ig,
+                        frame,
+                        expected: "RenderBatch",
+                        got: other.kind(),
+                    })
+                }
+                None => {} // crashed/dead calculator: render without it
+            }
         }
         self.net.advance(
             self.ig,
@@ -758,6 +1223,25 @@ impl Engine {
         if sys == 0 {
             self.trace.record(frame, ProtocolEvent::ParticlesToImageGenerator);
         }
+        Ok(())
+    }
+}
+
+/// Move every boundary between `donor` and `receiver` to `cut`. Adjacent
+/// pairs reduce to the single §3.2.5 `move_cut`; when declared-dead ranks
+/// sit between the pair, their collapsed zero-width slices ride along with
+/// the cut (every boundary strictly between an alive pair coincides at the
+/// shared edge, which makes the sweep range-safe in both directions).
+fn apply_cut_span(
+    dm: &mut DomainMap,
+    donor: usize,
+    receiver: usize,
+    cut: Scalar,
+) -> Result<(), psa_core::domain::DomainError> {
+    if donor < receiver {
+        (donor..receiver).try_for_each(|b| dm.move_cut(b, cut))
+    } else {
+        (receiver..donor).rev().try_for_each(|b| dm.move_cut(b, cut))
     }
 }
 
@@ -870,5 +1354,33 @@ mod tests {
         // donating low with nothing kept: slice collapses to its high edge
         assert_eq!(donation_cut(true, &donated, None, Interval::new(0.0, 10.0)), 10.0);
         assert_eq!(donation_cut(false, &donated, None, Interval::new(0.0, 10.0)), 0.0);
+    }
+
+    #[test]
+    fn cut_span_adjacent_matches_single_move() {
+        let mut a = DomainMap::split_even(Interval::new(0.0, 10.0), AXIS, 4);
+        let mut b = a.clone();
+        apply_cut_span(&mut a, 1, 2, 4.0).unwrap();
+        b.move_cut(1, 4.0).unwrap();
+        assert_eq!(a.cuts(), b.cuts());
+        // And the reverse orientation hits the same boundary.
+        let mut c = DomainMap::split_even(Interval::new(0.0, 10.0), AXIS, 4);
+        apply_cut_span(&mut c, 2, 1, 4.0).unwrap();
+        assert_eq!(a.cuts(), c.cuts());
+    }
+
+    #[test]
+    fn cut_span_rides_over_collapsed_dead_slices() {
+        // Ranks 1 and 2 are dead: their slices sit at zero width on rank
+        // 0's high edge (2.5) and rank 3 absorbed their space.
+        let mut dm = DomainMap::from_cuts(AXIS, vec![0.0, 2.5, 2.5, 2.5, 7.5, 10.0]).unwrap();
+        // Donor 3 donates low toward receiver 0: every boundary in the gap
+        // must land on the new cut.
+        apply_cut_span(&mut dm, 3, 0, 5.0).unwrap();
+        assert_eq!(dm.cuts(), &[0.0, 5.0, 5.0, 5.0, 7.5, 10.0]);
+        // And the upward direction from the low side.
+        let mut dm2 = DomainMap::from_cuts(AXIS, vec![0.0, 2.5, 2.5, 2.5, 7.5, 10.0]).unwrap();
+        apply_cut_span(&mut dm2, 0, 3, 1.0).unwrap();
+        assert_eq!(dm2.cuts(), &[0.0, 1.0, 1.0, 1.0, 7.5, 10.0]);
     }
 }

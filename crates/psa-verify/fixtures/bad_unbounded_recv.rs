@@ -1,0 +1,31 @@
+// psa-verify-fixture: expect(no-unbounded-recv)
+// A protocol loop that blocks forever on a silent peer: if the sender
+// crashed before its load report, this rank hangs the whole executor
+// instead of reporting a typed timeout with rank/frame context.
+
+pub struct Endpoint;
+
+impl Endpoint {
+    pub fn recv(&self, _from: usize) -> Result<u64, String> {
+        Ok(0)
+    }
+    pub fn recv_deadline(&self, _from: usize, _wait: f64) -> Result<u64, String> {
+        Ok(0)
+    }
+}
+
+pub fn gather_loads(ep: &Endpoint, peers: usize) -> Result<u64, String> {
+    let mut total = 0;
+    for from in 0..peers {
+        total += ep.recv(from)?;
+    }
+    Ok(total)
+}
+
+pub fn gather_loads_bounded(ep: &Endpoint, peers: usize) -> Result<u64, String> {
+    let mut total = 0;
+    for from in 0..peers {
+        total += ep.recv_deadline(from, 2.0e-3)?;
+    }
+    Ok(total)
+}

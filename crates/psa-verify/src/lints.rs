@@ -36,8 +36,24 @@ pub const WALL_CLOCK: LintDef = LintDef {
     allow_key: "wall-clock",
     needles: &["Instant::now", "SystemTime", "thread::sleep", "sleep("],
     message: "wall-clock/sleep in virtual-time code; virtual time must come from \
-              the cost model, or annotate `// psa-verify: allow(wall-clock)`",
+              the cost model, and injected fault delays must be charged as \
+              virtual ticks (netsim fault plans), or annotate \
+              `// psa-verify: allow(wall-clock)`",
     skip_tests: false,
+};
+
+/// A bare blocking `recv()` in a protocol loop hangs the whole executor
+/// when a peer dies silently; bounded receives turn a lost peer into a
+/// typed `TransportError::Timeout` the run report can explain.
+pub const UNBOUNDED_RECV: LintDef = LintDef {
+    id: "no-unbounded-recv",
+    allow_key: "unbounded-recv",
+    needles: &[".recv("],
+    message: "unbounded blocking receive in a protocol module; use \
+              `recv_deadline` so a lost peer surfaces as a typed \
+              TransportError::Timeout with rank/frame context, or annotate \
+              `// psa-verify: allow(unbounded-recv)` with a reason",
+    skip_tests: true,
 };
 
 /// Ambient RNG bypasses the seeded `psa-math::rng` streams the tables
@@ -62,7 +78,8 @@ pub const PROTOCOL_PANIC: LintDef = LintDef {
     skip_tests: true,
 };
 
-pub const ALL_LINTS: &[&LintDef] = &[&UNORDERED, &WALL_CLOCK, &AMBIENT_RNG, &PROTOCOL_PANIC];
+pub const ALL_LINTS: &[&LintDef] =
+    &[&UNORDERED, &WALL_CLOCK, &AMBIENT_RNG, &PROTOCOL_PANIC, &UNBOUNDED_RECV];
 
 /// Look up a lint by id.
 pub fn by_id(id: &str) -> Option<&'static LintDef> {
@@ -161,6 +178,25 @@ mod tests {
     fn file_level_allow_suppresses_everywhere() {
         let src = "// psa-verify: allow(wall-clock) whole file measures real time\nuse std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
         assert!(scan(src, &[&WALL_CLOCK]).is_empty());
+    }
+
+    #[test]
+    fn bare_recv_fires_but_deadline_and_try_variants_do_not() {
+        let v = scan(
+            "let a = ep.recv(peer)?;\nlet b = ep.recv_deadline(peer, d)?;\nlet c = ep.try_recv(peer)?;\n",
+            &[&UNBOUNDED_RECV],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].lint, "no-unbounded-recv");
+    }
+
+    #[test]
+    fn recv_in_test_mods_is_exempt() {
+        let src = "fn f(ep: &E) { ep.recv(0); }\n#[cfg(test)]\nmod tests {\n    fn g(ep: &E) { ep.recv(0); }\n}\n";
+        let v = scan(src, &[&UNBOUNDED_RECV]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
     }
 
     #[test]

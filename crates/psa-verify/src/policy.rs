@@ -9,24 +9,37 @@
 //! * **protocol modules** (`psa-runtime/src/msg.rs` and everything under
 //!   `netsim/src/`) additionally forbid panic paths: a panicking rank
 //!   thread deadlocks its peers instead of failing the run report;
+//! * **blocking transports** (the threaded executor and the thread/fault
+//!   fabrics) additionally forbid bare `.recv(` calls: a peer that dies
+//!   silently must surface as a typed `Timeout`, never as a hang;
 //! * **everything else** (render, api, workloads, benches, binaries) still
 //!   gets the ambient-RNG lint — a stray `thread_rng` anywhere feeds
 //!   nondeterminism back into workload setup — but may freely use hash
 //!   maps and wall clocks.
 
-use crate::lints::{LintDef, AMBIENT_RNG, PROTOCOL_PANIC, UNORDERED, WALL_CLOCK};
+use crate::lints::{LintDef, AMBIENT_RNG, PROTOCOL_PANIC, UNBOUNDED_RECV, UNORDERED, WALL_CLOCK};
 
 /// Source roots whose iteration order / timing must be deterministic.
 pub const SIM_ROOTS: &[&str] = &[
     "crates/psa-core/src",
     "crates/psa-core/tests",
     "crates/psa-runtime/src",
+    "crates/psa-chaos/src",
     "crates/netsim/src",
     "crates/cluster-sim/src",
 ];
 
 /// Message-handling code that must return typed errors instead of panicking.
 pub const PROTOCOL_ROOTS: &[&str] = &["crates/psa-runtime/src/msg.rs", "crates/netsim/src"];
+
+/// Code that receives over *blocking* channels. Only here is a bare
+/// `.recv(` a hang risk; the virtual fabric's `recv` is non-blocking and
+/// the collective helpers built on it stay out of this list.
+pub const BLOCKING_ROOTS: &[&str] = &[
+    "crates/psa-runtime/src/threaded.rs",
+    "crates/netsim/src/thread_net.rs",
+    "crates/netsim/src/fault.rs",
+];
 
 /// Directory names skipped entirely during the workspace walk.
 pub const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
@@ -44,6 +57,9 @@ pub fn lints_for(rel: &str) -> Vec<&'static LintDef> {
     }
     if PROTOCOL_ROOTS.iter().any(|r| under(rel, r)) {
         set.push(&PROTOCOL_PANIC);
+    }
+    if BLOCKING_ROOTS.iter().any(|r| under(rel, r)) {
+        set.push(&UNBOUNDED_RECV);
     }
     set
 }
@@ -82,5 +98,23 @@ mod tests {
     fn prefix_match_is_path_aware() {
         // `crates/netsim/src-extra` must not inherit netsim's protocol rules
         assert!(!ids("crates/netsim/src-extra/x.rs").contains(&"protocol-panic"));
+    }
+
+    #[test]
+    fn blocking_transports_ban_bare_recv() {
+        assert!(ids("crates/psa-runtime/src/threaded.rs").contains(&"no-unbounded-recv"));
+        assert!(ids("crates/netsim/src/thread_net.rs").contains(&"no-unbounded-recv"));
+        assert!(ids("crates/netsim/src/fault.rs").contains(&"no-unbounded-recv"));
+        // The virtual fabric's recv is non-blocking: collectives and the
+        // virtual executor must be free to call it bare.
+        assert!(!ids("crates/netsim/src/collectives.rs").contains(&"no-unbounded-recv"));
+        assert!(!ids("crates/psa-runtime/src/virtual_exec.rs").contains(&"no-unbounded-recv"));
+    }
+
+    #[test]
+    fn chaos_crate_is_a_sim_root() {
+        let got = ids("crates/psa-chaos/src/matrix.rs");
+        assert!(got.contains(&"unordered-collections"));
+        assert!(got.contains(&"wall-clock"));
     }
 }

@@ -20,7 +20,8 @@
 //!   executors;
 //! * [`render`] — the image generator's software rasterizer;
 //! * [`api`] — the immediate-mode McAllister-style API;
-//! * [`workloads`] — the paper's snow/fountain experiments and extras.
+//! * [`workloads`] — the paper's snow/fountain experiments and extras;
+//! * [`chaos`] — seeded fault plans and the chaos scenario matrix.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@
 pub use cluster_sim as cluster;
 pub use netsim as net;
 pub use psa_api as api;
+pub use psa_chaos as chaos;
 pub use psa_core as core;
 pub use psa_math as math;
 pub use psa_render as render;
