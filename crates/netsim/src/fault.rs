@@ -396,6 +396,11 @@ impl<M: WireSize, I: FaultInjector> FaultyVirtualNet<M, I> {
         self.net.stats()
     }
 
+    /// One rank's *sent* traffic — see [`VirtualNet::rank_stats`].
+    pub fn rank_stats(&self, rank: usize) -> crate::TrafficStats {
+        self.net.rank_stats(rank)
+    }
+
     pub fn reset_stats(&mut self) {
         self.net.reset_stats();
     }

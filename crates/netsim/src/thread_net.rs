@@ -17,8 +17,11 @@
 
 // psa-verify: allow(wall-clock) — this fabric is the real-time executor's
 // transport; `now()` is its epoch clock and never feeds virtual time.
+use std::cell::Cell;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::{Duration, Instant};
+
+use crate::{TrafficStats, WireSize};
 
 /// A transport-layer failure: the far side of a directed channel is gone,
 /// silent, or (under fault injection) refusing a delivery.
@@ -115,6 +118,7 @@ impl ThreadNet {
                 to_others,
                 from_others,
                 started,
+                sent: Cell::new(TrafficStats::default()),
             })
             .collect()
     }
@@ -128,6 +132,9 @@ pub struct ThreadEndpoint<M> {
     to_others: Vec<Sender<M>>,
     from_others: Vec<Receiver<M>>,
     started: Instant,
+    /// Endpoint-layer traffic accounting: what this rank has *sent*.
+    /// `Cell` suffices — an endpoint is owned by exactly one rank thread.
+    sent: Cell<TrafficStats>,
 }
 
 impl<M: Send> ThreadEndpoint<M> {
@@ -146,7 +153,11 @@ impl<M: Send> ThreadEndpoint<M> {
     pub fn send(&self, to: usize, msg: M) -> Result<(), TransportError> {
         self.to_others[to]
             .send(msg)
-            .map_err(|_| TransportError::Disconnected { rank: self.rank, peer: to })
+            .map_err(|_| TransportError::Disconnected { rank: self.rank, peer: to })?;
+        let mut s = self.sent.get();
+        s.messages += 1;
+        self.sent.set(s);
+        Ok(())
     }
 
     /// Like [`send`](Self::send), but hands the message back on failure so
@@ -205,6 +216,28 @@ impl<M: Send> ThreadEndpoint<M> {
     /// Seconds since the fabric was built (shared epoch across ranks).
     pub fn now(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
+    }
+
+    /// Traffic this endpoint has sent so far (messages always counted;
+    /// payload bytes only via [`send_sized`](Self::send_sized)).
+    pub fn sent_stats(&self) -> TrafficStats {
+        self.sent.get()
+    }
+}
+
+impl<M: Send + WireSize> ThreadEndpoint<M> {
+    /// [`send`](Self::send) with payload-byte accounting — the
+    /// endpoint-layer hook the observability trace reads via
+    /// [`sent_stats`](Self::sent_stats).
+    pub fn send_sized(&self, to: usize, msg: M) -> Result<(), TransportError> {
+        let bytes = msg.wire_bytes();
+        self.send(to, msg)?;
+        if bytes > 0 {
+            let mut s = self.sent.get();
+            s.payload_bytes += bytes;
+            self.sent.set(s);
+        }
+        Ok(())
     }
 }
 

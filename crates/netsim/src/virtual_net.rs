@@ -43,6 +43,9 @@ pub struct VirtualNet<M> {
     /// queues[to * ranks + from]
     queues: Vec<VecDeque<Envelope<M>>>,
     stats: TrafficStats,
+    /// Per-sender traffic counters (endpoint-layer accounting for the
+    /// observability stack; same reset cadence as `stats`).
+    rank_stats: Vec<TrafficStats>,
 }
 
 impl<M: WireSize> VirtualNet<M> {
@@ -60,6 +63,7 @@ impl<M: WireSize> VirtualNet<M> {
             shared_free: 0.0,
             queues: (0..ranks * ranks).map(|_| VecDeque::new()).collect(),
             stats: TrafficStats::default(),
+            rank_stats: vec![TrafficStats::default(); ranks],
         }
     }
 
@@ -95,6 +99,8 @@ impl<M: WireSize> VirtualNet<M> {
         let payload = msg.wire_bytes();
         self.stats.messages += 1;
         self.stats.payload_bytes += payload;
+        self.rank_stats[from].messages += 1;
+        self.rank_stats[from].payload_bytes += payload;
         let deliver_at = if from == to {
             self.clocks[from] + extra_delay
         } else {
@@ -207,9 +213,16 @@ impl<M: WireSize> VirtualNet<M> {
         self.stats
     }
 
+    /// Snapshot of one rank's *sent* traffic (endpoint-layer attribution:
+    /// a message is charged to the sender that initiated it).
+    pub fn rank_stats(&self, rank: usize) -> TrafficStats {
+        self.rank_stats[rank]
+    }
+
     /// Reset traffic counters (per-frame accounting).
     pub fn reset_stats(&mut self) {
         self.stats = TrafficStats::default();
+        self.rank_stats.fill(TrafficStats::default());
     }
 
     /// The network model in use.
@@ -334,6 +347,25 @@ mod tests {
         assert_eq!(n.stats().payload_bytes, 150);
         n.reset_stats();
         assert_eq!(n.stats(), TrafficStats::default());
+    }
+
+    #[test]
+    fn rank_stats_attribute_traffic_to_the_sender() {
+        let mut n = net2();
+        n.send(0, 1, Blob(100));
+        n.send(1, 0, Blob(7));
+        n.send(0, 1, Blob(50));
+        assert_eq!(n.rank_stats(0), TrafficStats { messages: 2, payload_bytes: 150 });
+        assert_eq!(n.rank_stats(1), TrafficStats { messages: 1, payload_bytes: 7 });
+        // Per-rank counters sum to the aggregate.
+        let total = n.stats();
+        assert_eq!(total.messages, n.rank_stats(0).messages + n.rank_stats(1).messages);
+        assert_eq!(
+            total.payload_bytes,
+            n.rank_stats(0).payload_bytes + n.rank_stats(1).payload_bytes
+        );
+        n.reset_stats();
+        assert_eq!(n.rank_stats(0), TrafficStats::default());
     }
 
     #[test]

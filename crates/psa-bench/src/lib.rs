@@ -5,10 +5,12 @@
 //! binary prints alongside the paper's published values. Everything is
 //! deterministic: same seed, same table.
 
+pub mod export;
 pub mod micro;
 pub mod paper;
 pub mod runner;
 pub mod tables;
 
+pub use export::{collect, BenchExport, TracedRun};
 pub use runner::{Experiment, RunOutcome};
 pub use tables::{reductions, table1, table2, table3, text_numbers, TableRow};

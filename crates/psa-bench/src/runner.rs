@@ -47,15 +47,31 @@ pub struct RunOutcome {
 
 /// Shared runner state: caches the sequential baselines (they are identical
 /// across the rows of a table).
+///
+/// The cache is keyed on `(Experiment, speed)` only. That key is complete
+/// **because** `size` and `frames` are fixed at construction — they are
+/// private and have no setters, so a cached baseline can never describe a
+/// different workload than the one a later `run` uses. To benchmark another
+/// size or frame count, build a new `Runner`.
 pub struct Runner {
-    pub size: WorkloadSize,
-    pub frames: u64,
+    size: WorkloadSize,
+    frames: u64,
     seq_cache: Vec<(Experiment, f64, f64)>, // (exp, speed, total_time)
 }
 
 impl Runner {
     pub fn new(size: WorkloadSize, frames: u64) -> Self {
         Runner { size, frames, seq_cache: Vec::new() }
+    }
+
+    /// The workload size every run and cached baseline uses.
+    pub fn size(&self) -> WorkloadSize {
+        self.size
+    }
+
+    /// The frame count every run and cached baseline uses.
+    pub fn frames(&self) -> u64 {
+        self.frames
     }
 
     fn run_config(&self, exp: Experiment, space: SpaceMode, balance: BalanceMode) -> RunConfig {
@@ -101,10 +117,40 @@ impl Runner {
         balance: BalanceMode,
         baseline_time: f64,
     ) -> RunOutcome {
+        self.run_inner(exp, cluster, space, balance, baseline_time, false)
+    }
+
+    /// Like [`Runner::run`] with the per-phase recorder enabled: the report
+    /// carries `RunReport::phases`. Instrumentation is quiet (it only reads
+    /// the virtual clocks), so timings and speed-ups are identical to an
+    /// untraced run.
+    pub fn run_traced(
+        &mut self,
+        exp: Experiment,
+        cluster: ClusterSpec,
+        space: SpaceMode,
+        balance: BalanceMode,
+        baseline_time: f64,
+    ) -> RunOutcome {
+        self.run_inner(exp, cluster, space, balance, baseline_time, true)
+    }
+
+    fn run_inner(
+        &mut self,
+        exp: Experiment,
+        cluster: ClusterSpec,
+        space: SpaceMode,
+        balance: BalanceMode,
+        baseline_time: f64,
+        traced: bool,
+    ) -> RunOutcome {
         let scene = exp.scene(self.size);
         let cfg = self.run_config(exp, space, balance);
         let cost: CostModel = self.size.cost_model();
         let mut sim = VirtualSim::new(scene, cfg, cluster, cost);
+        if traced {
+            sim = sim.with_phases();
+        }
         let report = sim.run();
         let steady = report.steady_time();
         let speedup = if steady > 0.0 { baseline_time / steady } else { 0.0 };
@@ -143,6 +189,24 @@ mod tests {
         let a = r.baseline_gcc(Experiment::Snow);
         let b = r.baseline_gcc(Experiment::Snow);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_speed_and_runner() {
+        let mut r = Runner::new(tiny(), 6);
+        let fast = r.sequential_time(Experiment::Snow, 1.0);
+        let slow = r.sequential_time(Experiment::Snow, 0.5);
+        assert!((slow / fast - 2.0).abs() < 1e-9, "speed must be part of the key");
+        // size/frames are fixed per Runner (no setters), so a different
+        // workload needs a fresh Runner — and must not share baselines.
+        let big = WorkloadSize { systems: 2, particles_per_system: 6000, scale: 100.0 };
+        let mut r2 = Runner::new(big, 6);
+        assert_eq!(r2.size().particles_per_system, 6000);
+        assert_eq!(r2.frames(), 6);
+        assert!(
+            r2.sequential_time(Experiment::Snow, 1.0) > fast,
+            "4x particles must cost more than the cached tiny baseline"
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ pub fn run_case(workload: Workload, scenario: Scenario, mc: &MatrixConfig) -> Ca
             VirtualSim::new(workload.scene(sz), run_config(mc), cluster.clone(), sz.cost_model())
                 .with_faults(plan.clone());
         if trace {
-            sim = sim.with_trace();
+            // The first run carries both the protocol trace and the
+            // per-phase recorder; the replay runs bare. The fingerprint
+            // comparison below therefore also proves instrumentation is
+            // quiet under every fault plan in the matrix.
+            sim = sim.with_trace().with_phases();
         }
         let r = sim.try_run();
         (r, sim)
@@ -230,5 +234,20 @@ mod tests {
         assert_eq!(c.dead.len(), 1);
         assert_eq!(c.dead[0].0, 1);
         assert!(c.timeouts > 0, "silent peer should have cost bounded waits");
+    }
+
+    /// The replay gate compares a phase-instrumented first run against a
+    /// bare replay, so passing cells prove the recorder stays quiet even
+    /// while faults are firing (retries, stalls, dead-rank bookkeeping).
+    #[test]
+    fn traced_faulty_cells_replay_byte_identical() {
+        let mc = MatrixConfig { frames: 8, particles: 400, ..Default::default() };
+        for scenario in [
+            Scenario::StallCalculator { rank: 0, frame: 2, secs: 0.5 },
+            Scenario::LossyLinks { prob: 0.05 },
+        ] {
+            let c = run_case(Workload::Fountain, scenario, &mc);
+            assert!(c.passed(), "{}: {:?}", c.scenario, c.failures);
+        }
     }
 }

@@ -62,6 +62,10 @@ pub enum InvariantViolation {
     },
     /// The domain slices do not partition the system space.
     PartitionBroken { frame: u64, system: usize, detail: String },
+    /// A particle carries a non-finite (NaN or infinite) position component.
+    /// No domain slice can own such a particle, so it would silently evade
+    /// both the exchange and the load balancer.
+    NonFinitePosition { frame: u64, system: usize, rank: usize, position: [Scalar; 3] },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -101,6 +105,12 @@ impl std::fmt::Display for InvariantViolation {
             InvariantViolation::PartitionBroken { frame, system, detail } => {
                 write!(f, "frame {frame} sys {system}: domain partition broken: {detail}")
             }
+            InvariantViolation::NonFinitePosition { frame, system, rank, position } => write!(
+                f,
+                "frame {frame} sys {system} rank {rank}: non-finite particle position \
+                 [{}, {}, {}]",
+                position[0], position[1], position[2]
+            ),
         }
     }
 }
@@ -211,6 +221,33 @@ pub fn check_partition(
                     next.lo
                 )));
             }
+        }
+    }
+    Ok(())
+}
+
+/// Every particle's position is finite on all three axes. A NaN or infinite
+/// coordinate falls outside every domain slice, so the exchange never picks
+/// the particle up and the partition check still passes — the corruption is
+/// invisible to the other invariants. Returns the first offender.
+pub fn check_finite_positions<'a, I>(
+    frame: u64,
+    system: usize,
+    rank: usize,
+    particles: I,
+) -> Result<(), InvariantViolation>
+where
+    I: IntoIterator<Item = &'a Particle>,
+{
+    for p in particles {
+        let v = p.position;
+        if !(v.x.is_finite() && v.y.is_finite() && v.z.is_finite()) {
+            return Err(InvariantViolation::NonFinitePosition {
+                frame,
+                system,
+                rank,
+                position: [v.x, v.y, v.z],
+            });
         }
     }
     Ok(())
@@ -346,6 +383,28 @@ mod tests {
     fn infinite_space_skips_outer_edges() {
         let dm = DomainMap::split_even(Interval::new(-5.0, 5.0), Axis::X, 3);
         assert!(check_partition(0, 0, Interval::INFINITE, &dm).is_ok());
+    }
+
+    #[test]
+    fn finite_positions_accepts_normal_particles() {
+        let ps = [Particle::at(Vec3::new(1.0, 2.0, 3.0)), Particle::at(Vec3::ZERO)];
+        assert!(check_finite_positions(0, 0, 1, ps.iter()).is_ok());
+        assert!(check_finite_positions(0, 0, 1, std::iter::empty()).is_ok());
+    }
+
+    #[test]
+    fn finite_positions_rejects_nan_and_inf() {
+        let bad_nan = Particle::at(Vec3::new(1.0, f32::NAN, 0.0));
+        let err = check_finite_positions(7, 2, 3, [&bad_nan]).unwrap_err();
+        match err {
+            InvariantViolation::NonFinitePosition { frame: 7, system: 2, rank: 3, position } => {
+                assert!(position[1].is_nan());
+            }
+            other => panic!("wrong violation: {other:?}"),
+        }
+        assert!(err.to_string().contains("non-finite"));
+        let bad_inf = Particle::at(Vec3::new(f32::INFINITY, 0.0, 0.0));
+        assert!(check_finite_positions(0, 0, 0, [&bad_inf]).is_err());
     }
 
     #[test]

@@ -134,16 +134,27 @@ impl ParticleStore {
     }
 
     /// Min/max coordinate along `axis`, or `None` when empty.
+    ///
+    /// Contract: the result is consistent with [`ParticleStore::sort_along`]
+    /// — `(lo, hi)` are exactly the first and last coordinates a sorted
+    /// store would expose. Both use `total_cmp` order, so a NaN coordinate
+    /// *surfaces* in the extent (NaN sorts above `+inf` / below `-inf` in
+    /// the IEEE total order) instead of being silently dropped the way
+    /// `f32::min`/`f32::max` folding would drop it. Silently dropping NaN
+    /// here let a corrupted particle evade every domain slice while the
+    /// extent still looked finite; callers that must reject non-finite
+    /// positions outright should run `invariants::check_finite_positions`.
     pub fn extent_along(&self, axis: Axis) -> Option<(Scalar, Scalar)> {
-        if self.items.is_empty() {
-            return None;
-        }
-        let mut lo = Scalar::INFINITY;
-        let mut hi = Scalar::NEG_INFINITY;
-        for p in &self.items {
-            let v = p.position.along(axis);
-            lo = lo.min(v);
-            hi = hi.max(v);
+        let mut coords = self.items.iter().map(|p| p.position.along(axis));
+        let first = coords.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in coords {
+            if v.total_cmp(&lo).is_lt() {
+                lo = v;
+            }
+            if v.total_cmp(&hi).is_gt() {
+                hi = v;
+            }
         }
         Some((lo, hi))
     }
@@ -241,6 +252,32 @@ mod tests {
         let s: ParticleStore = [3.0, -1.0, 7.0].iter().map(|&x| p(x)).collect();
         assert_eq!(s.extent_along(Axis::X), Some((-1.0, 7.0)));
         assert_eq!(ParticleStore::new().extent_along(Axis::X), None);
+    }
+
+    #[test]
+    fn extent_surfaces_nan_instead_of_dropping_it() {
+        // f32::min/max folding silently skips NaN; the total_cmp contract
+        // must surface it as the hi bound (positive NaN sorts above +inf).
+        let s: ParticleStore = [1.0, f32::NAN, 3.0].iter().map(|&x| p(x)).collect();
+        let (lo, hi) = s.extent_along(Axis::X).unwrap();
+        assert_eq!(lo, 1.0);
+        assert!(hi.is_nan(), "NaN coordinate must surface in the extent, got {hi}");
+        // Negative NaN sorts below -inf and must surface as the lo bound.
+        let s2: ParticleStore =
+            [1.0, f32::from_bits(0xFFC0_0000), 3.0].iter().map(|&x| p(x)).collect();
+        let (lo2, hi2) = s2.extent_along(Axis::X).unwrap();
+        assert!(lo2.is_nan());
+        assert_eq!(hi2, 3.0);
+    }
+
+    #[test]
+    fn extent_matches_sorted_endpoints() {
+        let mut s: ParticleStore =
+            [5.0, -2.5, 0.0, 9.75, -2.5, 3.0].iter().map(|&x| p(x)).collect();
+        let (lo, hi) = s.extent_along(Axis::X).unwrap();
+        s.sort_along(Axis::X);
+        assert_eq!(lo, s.as_slice().first().unwrap().position.x);
+        assert_eq!(hi, s.as_slice().last().unwrap().position.x);
     }
 
     #[test]

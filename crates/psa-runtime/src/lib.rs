@@ -37,5 +37,5 @@ pub use msg::ProtocolError;
 pub use report::RunReport;
 pub use scene::{CollisionSpec, Scene, SystemSetup};
 pub use sequential::run_sequential;
-pub use threaded::run_threaded;
+pub use threaded::{run_threaded, run_threaded_traced};
 pub use virtual_exec::VirtualSim;

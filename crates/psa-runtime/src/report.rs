@@ -2,6 +2,7 @@
 
 use netsim::TrafficStats;
 use psa_math::stats::Running;
+use psa_trace::TraceReport;
 
 /// Per-frame aggregate measurements.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -49,11 +50,22 @@ pub struct RunReport {
     /// Particles lost to dead ranks (confiscated with the rank or sent
     /// towards it before death was detected).
     pub lost_particles: u64,
+    /// Per-phase observability trace, present when the run was instrumented
+    /// (`VirtualSim::with_phases` / `run_threaded_traced`). Covers *every*
+    /// frame including warm-up (the `frames` field above filters warm-up).
+    /// Deliberately **excluded** from [`fingerprint`](Self::fingerprint):
+    /// the trace is derived measurement, not run output, and instrumented
+    /// runs must fingerprint identically to bare runs.
+    pub phases: Option<TraceReport>,
 }
 
 impl RunReport {
-    /// Mean alive population over non-warm-up frames.
+    /// Mean alive population over non-warm-up frames; `0.0` when the run
+    /// produced no reportable frames (fully degraded / crashed runs).
     pub fn mean_alive(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
         let mut r = Running::new();
         for f in &self.frames {
             r.push(f.alive as f64);
@@ -61,8 +73,11 @@ impl RunReport {
         r.mean()
     }
 
-    /// Mean particles migrated per frame.
+    /// Mean particles migrated per frame; `0.0` on an empty run.
     pub fn mean_migrated(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
         let mut r = Running::new();
         for f in &self.frames {
             r.push(f.migrated as f64);
@@ -70,8 +85,12 @@ impl RunReport {
         r.mean()
     }
 
-    /// Mean migration KB per frame (the §5.1/§5.2 in-text numbers).
+    /// Mean migration KB per frame (the §5.1/§5.2 in-text numbers); `0.0`
+    /// on an empty run.
     pub fn mean_migration_kb(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
         let mut r = Running::new();
         for f in &self.frames {
             r.push(f.migration_bytes as f64 / 1024.0);
@@ -79,8 +98,11 @@ impl RunReport {
         r.mean()
     }
 
-    /// Mean imbalance across frames.
+    /// Mean imbalance across frames; `0.0` on an empty run.
     pub fn mean_imbalance(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
         let mut r = Running::new();
         for f in &self.frames {
             r.push(f.imbalance);
@@ -92,24 +114,44 @@ impl RunReport {
     /// (non-warm-up) frames. Speed-ups are computed on this, so the
     /// synthetic frame-0 pre-population burst (our steady-state bootstrap,
     /// which the paper's long-running animations do not have) cannot
-    /// distort them.
+    /// distort them. `0.0` on an empty run (the sum over nothing), which
+    /// downstream speed-up math must treat as "no signal", not "infinitely
+    /// fast" — see [`speedup_vs`](Self::speedup_vs).
     pub fn steady_time(&self) -> f64 {
         self.frames.iter().map(|f| f.frame_time).sum()
     }
 
     /// Speed-up of this run relative to a baseline time.
+    ///
+    /// Returns `0.0` — never NaN/∞ — when either side carries no signal:
+    /// a zero or non-finite `total_time` (degraded run that never
+    /// progressed) or a non-positive / non-finite baseline. NaN here would
+    /// poison every table mean and the replay gates that hash them.
     pub fn speedup_vs(&self, baseline_time: f64) -> f64 {
-        if self.total_time > 0.0 {
+        if self.total_time > 0.0
+            && self.total_time.is_finite()
+            && baseline_time > 0.0
+            && baseline_time.is_finite()
+        {
             baseline_time / self.total_time
         } else {
             0.0
         }
     }
 
-    /// Order-sensitive FNV-1a over *every* field of the report, floats by
-    /// bit pattern. Two reports fingerprint equal iff they are
-    /// byte-identical — this is what the chaos matrix's replay gate
-    /// compares, so nothing (not even a diagnostic counter) may be exempt.
+    /// The per-phase breakdown table, if the run was instrumented.
+    pub fn phase_table(&self) -> Option<String> {
+        self.phases.as_ref().map(TraceReport::format_table)
+    }
+
+    /// Order-sensitive FNV-1a over every *run-output* field of the report,
+    /// floats by bit pattern. Two reports fingerprint equal iff their run
+    /// output is byte-identical — this is what the chaos matrix's replay
+    /// gate compares, so no simulation-visible quantity (not even a
+    /// diagnostic counter) may be exempt. The one deliberate exemption is
+    /// [`phases`](Self::phases): the observability trace is a derived
+    /// measurement *of* the run, and the quietness gate requires that
+    /// attaching it never changes this value.
     pub fn fingerprint(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -176,6 +218,7 @@ mod tests {
             traffic: TrafficStats::default(),
             dead_ranks: Vec::new(),
             lost_particles: 0,
+            phases: None,
         }
     }
 
@@ -193,6 +236,42 @@ mod tests {
         assert_eq!(r.speedup_vs(8.0), 4.0);
         let empty = RunReport::default();
         assert_eq!(empty.speedup_vs(8.0), 0.0);
+    }
+
+    #[test]
+    fn empty_run_accessors_are_finite_zero() {
+        // A fully degraded run (every frame lost to crashes) reports no
+        // frames; every mean must be exactly 0.0 — never NaN, which would
+        // poison fingerprint-based replay gates downstream.
+        let empty = RunReport::default();
+        for v in [
+            empty.mean_alive(),
+            empty.mean_migrated(),
+            empty.mean_migration_kb(),
+            empty.mean_imbalance(),
+            empty.steady_time(),
+            empty.speedup_vs(8.0),
+        ] {
+            assert_eq!(v, 0.0);
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn speedup_never_produces_nan_or_infinity() {
+        let mut r = report();
+        // Degenerate baselines.
+        assert_eq!(r.speedup_vs(0.0), 0.0);
+        assert_eq!(r.speedup_vs(-1.0), 0.0);
+        assert_eq!(r.speedup_vs(f64::NAN), 0.0);
+        assert_eq!(r.speedup_vs(f64::INFINITY), 0.0);
+        // Degenerate own time.
+        r.total_time = 0.0;
+        assert_eq!(r.speedup_vs(8.0), 0.0);
+        r.total_time = f64::NAN;
+        assert_eq!(r.speedup_vs(8.0), 0.0);
+        r.total_time = f64::INFINITY;
+        assert_eq!(r.speedup_vs(8.0), 0.0);
     }
 
     #[test]
@@ -221,5 +300,18 @@ mod tests {
         assert_ne!(base.fingerprint(), tweak(&mut |r| r.traffic.messages += 1));
         // -0.0 and 0.0 are different bit patterns and must not collide.
         assert_ne!(base.fingerprint(), tweak(&mut |r| r.frames[0].frame_time = -0.0));
+    }
+
+    #[test]
+    fn fingerprint_is_blind_to_the_phase_trace() {
+        // The quietness gate's foundation: attaching (or dropping) the
+        // observability trace must not move the fingerprint.
+        let bare = report();
+        let mut traced = report();
+        let mut rec = psa_trace::Recorder::enabled(6, psa_trace::ClockKind::Virtual);
+        rec.phase(0, 0, psa_trace::Phase::Compute, 1.0);
+        traced.phases = rec.finish();
+        assert!(traced.phases.is_some());
+        assert_eq!(bare.fingerprint(), traced.fingerprint());
     }
 }

@@ -92,6 +92,7 @@ pub fn run_sequential(scene: &Scene, cfg: &RunConfig, cost: &CostModel, speed: f
         traffic: Default::default(),
         dead_ranks: Vec::new(),
         lost_particles: 0,
+        phases: None,
     }
 }
 

@@ -30,6 +30,7 @@ use psa_render::image::{frame_filename, write_ppm};
 use psa_render::{
     render_objects, render_particles, render_streaks, Camera, Framebuffer, SplatConfig,
 };
+use psa_trace::{ClockKind, Counter, Phase, Recorder, TraceReport};
 
 use crate::balance::{self, LoadInfo};
 use crate::config::{BalanceMode, LoadMetric, RunConfig, SpaceMode};
@@ -134,6 +135,23 @@ pub fn run_threaded(
     n: usize,
     sink: Option<RenderSink>,
 ) -> Result<RunReport, ProtocolError> {
+    run_threaded_traced(scene, cfg, n, sink, false)
+}
+
+/// [`run_threaded`] with optional per-phase instrumentation: when
+/// `instrument` is true every role carries a wall-clock [`Recorder`] and
+/// the merged trace lands in `RunReport::phases`. Instrumentation only
+/// *reads* the endpoint epoch clock — it sends no messages and touches no
+/// protocol state, so the run's output (frame reports, checksums) is
+/// unchanged. Timings use the wall clock and are NOT reproducible across
+/// runs; compare frame checksums, not phase times.
+pub fn run_threaded_traced(
+    scene: &Scene,
+    cfg: &RunConfig,
+    n: usize,
+    sink: Option<RenderSink>,
+    instrument: bool,
+) -> Result<RunReport, ProtocolError> {
     assert!(n >= 1);
     // The threaded executor implements the centralized protocol with the
     // Figure-2 per-system schedule; the decentralized variant and batched
@@ -162,7 +180,9 @@ pub fn run_threaded(
         let scene = scene.clone();
         let cfg = cfg.clone();
         let domains0 = initial_domains.clone();
-        handles.push(thread::spawn(move || calculator_main(ep, c, n, &scene, &cfg, domains0)));
+        handles.push(thread::spawn(move || {
+            calculator_main(ep, c, n, &scene, &cfg, domains0, instrument)
+        }));
     }
 
     // ---- Manager thread -------------------------------------------------
@@ -171,7 +191,7 @@ pub fn run_threaded(
         let scene = scene.clone();
         let cfg = cfg.clone();
         let domains0 = initial_domains.clone();
-        thread::spawn(move || manager_main(ep, n, &scene, &cfg, domains0))
+        thread::spawn(move || manager_main(ep, n, &scene, &cfg, domains0, instrument))
     };
 
     // ---- Image generator thread ------------------------------------------
@@ -179,13 +199,13 @@ pub fn run_threaded(
         let ep = eps.next().expect("fabric built with n+2 endpoints");
         let scene = scene.clone();
         let cfg = cfg.clone();
-        thread::spawn(move || image_generator_main(ep, n, &scene, &cfg, sink))
+        thread::spawn(move || image_generator_main(ep, n, &scene, &cfg, sink, instrument))
     };
 
     // Join every role. If one role fails mid-protocol its endpoints drop
     // and the peers unblock with Transport errors; prefer the most specific
     // (non-transport) error when reporting.
-    let calc_results: Vec<Result<(), ProtocolError>> = handles
+    let calc_results: Vec<Result<Recorder, ProtocolError>> = handles
         .into_iter()
         .map(|h| h.join().unwrap_or(Err(ProtocolError::WorkerPanic { role: "calculator" })))
         .collect();
@@ -204,20 +224,28 @@ pub fn run_threaded(
             first_specific.get_or_insert(other);
         }
     };
+    let mut recorders: Vec<Recorder> = Vec::with_capacity(n + 2);
     for r in calc_results {
-        if let Err(e) = r {
-            note(e);
+        match r {
+            Ok(rec) => recorders.push(rec),
+            Err(e) => note(e),
         }
     }
     let mgr_frames = match mgr_result {
-        Ok(frames) => Some(frames),
+        Ok((frames, rec)) => {
+            recorders.push(rec);
+            Some(frames)
+        }
         Err(e) => {
             note(e);
             None
         }
     };
     let ig_frames = match ig_result {
-        Ok(v) => Some(v),
+        Ok((v, rec)) => {
+            recorders.push(rec);
+            Some(v)
+        }
         Err(e) => {
             note(e);
             None
@@ -234,6 +262,10 @@ pub fn run_threaded(
         fr.checksum = checksum;
     }
 
+    // Merge per-role traces (each role only wrote its own rank's rows).
+    let parts: Vec<TraceReport> = recorders.into_iter().filter_map(Recorder::finish).collect();
+    let phases = TraceReport::merge(&parts);
+
     let total = started.elapsed().as_secs_f64();
     Ok(RunReport {
         label: format!("THR-{}", cfg.label()),
@@ -244,7 +276,45 @@ pub fn run_threaded(
         traffic: Default::default(),
         dead_ranks: Vec::new(),
         lost_particles: 0,
+        phases,
     })
+}
+
+/// Charge the wall-clock interval since `*last` to `phase` and reset the
+/// mark. The single timing primitive all three roles share: it only reads
+/// the endpoint's epoch clock, so instrumentation cannot perturb protocol
+/// state. A disabled recorder skips even the clock read.
+fn mark(
+    rec: &mut Recorder,
+    last: &mut f64,
+    ep: &ThreadEndpoint<Msg>,
+    frame: u64,
+    rank: usize,
+    phase: Phase,
+) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let now = ep.now();
+    rec.phase(frame, rank, phase, (now - *last).max(0.0));
+    *last = now;
+}
+
+/// Flush the endpoint's sent-traffic delta since `mark` into the frame's
+/// message/byte counters; returns the new mark.
+fn flush_traffic(
+    rec: &mut Recorder,
+    ep: &ThreadEndpoint<Msg>,
+    frame: u64,
+    prev: netsim::TrafficStats,
+) -> netsim::TrafficStats {
+    if !rec.is_enabled() {
+        return prev;
+    }
+    let now = ep.sent_stats();
+    rec.add(frame, Counter::Messages, now.messages - prev.messages);
+    rec.add(frame, Counter::PayloadBytes, now.payload_bytes - prev.payload_bytes);
+    now
 }
 
 fn calculator_main(
@@ -254,7 +324,8 @@ fn calculator_main(
     scene: &Scene,
     cfg: &RunConfig,
     mut domains: Vec<DomainMap>,
-) -> Result<(), ProtocolError> {
+    instrument: bool,
+) -> Result<Recorder, ProtocolError> {
     let mgr = n;
     let ig = n + 1;
     let n_sys = scene.systems.len();
@@ -263,6 +334,10 @@ fn calculator_main(
         .map(|s| SubDomainStore::new(domains[s].slice(c), Axis::X, cfg.buckets))
         .collect();
     let mut trace = if invariants::ENABLED { Trace::enabled() } else { Trace::disabled() };
+    let mut rec =
+        if instrument { Recorder::enabled(n + 2, ClockKind::Wall) } else { Recorder::disabled() };
+    let mut last = ep.now();
+    let mut traffic_mark = ep.sent_stats();
 
     for frame in 0..cfg.frames {
         for sys in 0..n_sys {
@@ -283,6 +358,7 @@ fn calculator_main(
             setup.actions.run(&mut ctx, &mut stores[sys]);
             let compute = ep.now() - t0;
             trace.record(frame, ProtocolEvent::Calculus);
+            mark(&mut rec, &mut last, &ep, frame, c, Phase::Compute);
 
             // Exchange.
             let before_exchange = stores[sys].len();
@@ -323,7 +399,11 @@ fn calculator_main(
                     incoming,
                     stores[sys].len(),
                 )?;
+                // Conservation balances even when a NaN position has put a
+                // particle beyond every slice; reject the corruption itself.
+                invariants::check_finite_positions(frame, sys, c, stores[sys].iter())?;
             }
+            mark(&mut rec, &mut last, &ep, frame, c, Phase::Exchange);
 
             // Load report (time rescaled to post-exchange count, §3.2.4).
             let count = stores[sys].len();
@@ -336,6 +416,7 @@ fn calculator_main(
                 Msg::Load { system: setup.spec.id, info: LoadInfo { count, time }, migrated },
             )?;
             trace.record(frame, ProtocolEvent::LoadInformation);
+            mark(&mut rec, &mut last, &ep, frame, c, Phase::LoadReport);
 
             // Balancing.
             if cfg.balance.is_dynamic() {
@@ -429,11 +510,13 @@ fn calculator_main(
                     trace.record(frame, ProtocolEvent::LoadBalanceBetweenCalculators);
                 }
             }
+            mark(&mut rec, &mut last, &ep, frame, c, Phase::Balance);
 
             // Ship the frame to the image generator.
             let batch: Vec<Particle> = stores[sys].iter().copied().collect();
             ep.send(ig, Msg::RenderParticles { system: setup.spec.id, batch })?;
             trace.record(frame, ProtocolEvent::ParticlesToImageGenerator);
+            mark(&mut rec, &mut last, &ep, frame, c, Phase::Ship);
         }
         if invariants::ENABLED {
             let events = trace.frame(frame);
@@ -446,8 +529,9 @@ fn calculator_main(
                 });
             }
         }
+        traffic_mark = flush_traffic(&mut rec, &ep, frame, traffic_mark);
     }
-    Ok(())
+    Ok(rec)
 }
 
 fn manager_main(
@@ -456,16 +540,22 @@ fn manager_main(
     scene: &Scene,
     cfg: &RunConfig,
     mut domains: Vec<DomainMap>,
-) -> Result<Vec<FrameReport>, ProtocolError> {
+    instrument: bool,
+) -> Result<(Vec<FrameReport>, Recorder), ProtocolError> {
     let n_sys = scene.systems.len();
     let deadline = Duration::from_secs_f64(cfg.recv_timeout_secs);
     let mut parity = 0usize;
     let mut frames = Vec::with_capacity(cfg.frames as usize);
     let mut last = ep.now();
     let mut trace = if invariants::ENABLED { Trace::enabled() } else { Trace::disabled() };
+    let mut rec =
+        if instrument { Recorder::enabled(n + 2, ClockKind::Wall) } else { Recorder::disabled() };
+    let mut phase_mark = ep.now();
+    let mut traffic_mark = ep.sent_stats();
 
     for frame in 0..cfg.frames {
         let mut fr = FrameReport { frame, ..Default::default() };
+        let mut orders_issued = 0u64;
         for sys in 0..n_sys {
             let spec = &scene.systems[sys].spec;
             // Creation.
@@ -481,6 +571,7 @@ fn manager_main(
                 ep.send(c, Msg::EndOfTransmission { system: spec.id })?;
             }
             trace.record(frame, ProtocolEvent::ParticleCreation);
+            mark(&mut rec, &mut phase_mark, &ep, frame, n, Phase::Compute);
 
             // Load reports.
             let mut loads = Vec::with_capacity(n);
@@ -494,12 +585,14 @@ fn manager_main(
             let counts: Vec<f64> = loads.iter().map(|l| l.count as f64).collect();
             fr.imbalance = fr.imbalance.max(imbalance(&counts));
             trace.record(frame, ProtocolEvent::LoadInformation);
+            mark(&mut rec, &mut phase_mark, &ep, frame, n, Phase::LoadReport);
 
             // Balancing.
             if let BalanceMode::Dynamic(bcfg) = cfg.balance {
                 let speeds = vec![1.0; n]; // host threads are homogeneous
                 let transfers = balance::evaluate(&loads, &speeds, parity, &bcfg);
                 parity ^= 1;
+                orders_issued += transfers.len() as u64;
                 trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
                 for c in 0..n {
                     ep.send(
@@ -537,6 +630,7 @@ fn manager_main(
                     )?;
                 }
             }
+            mark(&mut rec, &mut phase_mark, &ep, frame, n, Phase::Balance);
         }
         if invariants::ENABLED {
             let events = trace.frame(frame);
@@ -552,9 +646,15 @@ fn manager_main(
         let now = ep.now();
         fr.frame_time = now - last;
         last = now;
+        if rec.is_enabled() {
+            rec.add(frame, Counter::Migrated, fr.migrated);
+            rec.add(frame, Counter::MigrationBytes, fr.migration_bytes);
+            rec.add(frame, Counter::BalanceOrders, orders_issued);
+            traffic_mark = flush_traffic(&mut rec, &ep, frame, traffic_mark);
+        }
         frames.push(fr);
     }
-    Ok(frames)
+    Ok((frames, rec))
 }
 
 fn image_generator_main(
@@ -563,7 +663,8 @@ fn image_generator_main(
     scene: &Scene,
     cfg: &RunConfig,
     sink: Option<RenderSink>,
-) -> Result<Vec<(u64, u64)>, ProtocolError> {
+    instrument: bool,
+) -> Result<(Vec<(u64, u64)>, Recorder), ProtocolError> {
     let n_sys = scene.systems.len();
     let deadline = Duration::from_secs_f64(cfg.recv_timeout_secs);
     let mut fb = sink.as_ref().map(|s| {
@@ -571,6 +672,9 @@ fn image_generator_main(
         Framebuffer::new(w, h)
     });
     let mut per_frame = Vec::with_capacity(cfg.frames as usize);
+    let mut rec =
+        if instrument { Recorder::enabled(n + 2, ClockKind::Wall) } else { Recorder::disabled() };
+    let mut phase_mark = ep.now();
 
     for frame in 0..cfg.frames {
         let mut alive = 0u64;
@@ -610,9 +714,12 @@ fn image_generator_main(
                 })?;
             }
         }
+        // The whole IG frame — gathering batches, rasterizing, writing —
+        // is the Render phase; the image generator takes part in no other.
+        mark(&mut rec, &mut phase_mark, &ep, frame, n + 1, Phase::Render);
         per_frame.push((alive, hash.finish()));
     }
-    Ok(per_frame)
+    Ok((per_frame, rec))
 }
 
 #[cfg(test)]

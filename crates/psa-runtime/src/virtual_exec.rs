@@ -46,6 +46,7 @@ use psa_core::actions::ActionCtx;
 use psa_core::{invariants, DomainMap, Particle, SubDomainStore, WIRE_BYTES};
 use psa_math::stats::imbalance;
 use psa_math::{Axis, Interval, Rng64, Scalar};
+use psa_trace::{ClockKind, Counter, FaultKind, Phase, Recorder};
 
 use crate::balance::{self, LoadInfo, Transfer};
 use crate::config::{BalanceMode, RunConfig, SpaceMode, SystemSchedule};
@@ -116,6 +117,7 @@ pub struct VirtualSim {
     trace: Trace,
     plan: Option<FaultPlan>,
     policy: FaultPolicy,
+    instrument: bool,
 }
 
 impl VirtualSim {
@@ -131,12 +133,22 @@ impl VirtualSim {
             trace: Trace::disabled(),
             plan: None,
             policy: FaultPolicy::default(),
+            instrument: false,
         }
     }
 
     /// Record protocol events (used by the Figure-2 test; off by default).
     pub fn with_trace(mut self) -> Self {
         self.trace = Trace::enabled();
+        self
+    }
+
+    /// Record the per-phase observability trace (off by default). The
+    /// recorder only *reads* virtual clocks, so an instrumented run's
+    /// `RunReport::fingerprint()` is byte-identical to a bare run's — the
+    /// trace lands in `RunReport::phases`.
+    pub fn with_phases(mut self) -> Self {
+        self.instrument = true;
         self
     }
 
@@ -169,6 +181,7 @@ impl VirtualSim {
             self.plan.clone(),
             self.policy,
             std::mem::take(&mut self.trace),
+            self.instrument,
         );
         let (outcome, trace) = engine.run(self.cluster.describe());
         self.trace = trace;
@@ -217,6 +230,16 @@ struct Engine {
     /// Deadline-expired receives in the current frame.
     frame_timeouts: u64,
     trace: Trace,
+    /// Per-phase observability recorder (quiet: reads clocks, never moves
+    /// them). Disabled unless `VirtualSim::with_phases` was called.
+    rec: Recorder,
+    /// Aggregate transport counters at the top of the current frame
+    /// (recorder bookkeeping only).
+    frame_stats_mark: netsim::TrafficStats,
+    /// Transient send retries in the current frame.
+    frame_retries: u64,
+    /// Balancer transfer orders issued in the current frame.
+    frame_orders: u64,
 }
 
 impl Engine {
@@ -230,6 +253,7 @@ impl Engine {
         plan: Option<FaultPlan>,
         policy: FaultPolicy,
         trace: Trace,
+        instrument: bool,
     ) -> Self {
         let n = placement.calculators();
         let n_sys = scene.systems.len();
@@ -286,7 +310,58 @@ impl Engine {
             calcs,
             mgr_domains,
             trace,
+            rec: if instrument {
+                Recorder::enabled(n + 2, ClockKind::Virtual)
+            } else {
+                Recorder::disabled()
+            },
+            frame_stats_mark: netsim::TrafficStats::default(),
+            frame_retries: 0,
+            frame_orders: 0,
         }
+    }
+
+    /// Run `f` and charge each rank's virtual-clock delta to `phase`.
+    ///
+    /// A pure *read* of the fabric: clocks are snapshotted before and after
+    /// `f`, never moved. When the recorder is disabled `f` runs with zero
+    /// overhead — no snapshots — so bare runs pay nothing.
+    fn record_phase<T>(&mut self, frame: u64, phase: Phase, f: impl FnOnce(&mut Self) -> T) -> T {
+        if !self.rec.is_enabled() {
+            return f(self);
+        }
+        let ranks = self.net.ranks();
+        let before: Vec<f64> = (0..ranks).map(|r| self.net.now(r)).collect();
+        let out = f(self);
+        for (r, &t0) in before.iter().enumerate() {
+            let dt = self.net.now(r) - t0;
+            if dt > 0.0 {
+                self.rec.phase(frame, r, phase, dt);
+            }
+        }
+        out
+    }
+
+    /// Flush the frame's event counters into the recorder (no-op when
+    /// disabled beyond resetting the frame-local tallies).
+    fn flush_frame_counters(&mut self, frame: u64, fr: &FrameReport) {
+        let retries = std::mem::take(&mut self.frame_retries);
+        let orders = std::mem::take(&mut self.frame_orders);
+        if !self.rec.is_enabled() {
+            return;
+        }
+        let now = self.net.stats();
+        self.rec.add(frame, Counter::Messages, now.messages - self.frame_stats_mark.messages);
+        self.rec.add(
+            frame,
+            Counter::PayloadBytes,
+            now.payload_bytes - self.frame_stats_mark.payload_bytes,
+        );
+        self.rec.add(frame, Counter::Migrated, fr.migrated);
+        self.rec.add(frame, Counter::MigrationBytes, fr.migration_bytes);
+        self.rec.add(frame, Counter::Timeouts, fr.timeouts);
+        self.rec.add(frame, Counter::SendRetries, retries);
+        self.rec.add(frame, Counter::BalanceOrders, orders);
     }
 
     /// The ranks that still take part in barriers: running calculators plus
@@ -325,6 +400,7 @@ impl Engine {
                 Ok(()) => return Ok(()),
                 Err(failed) => {
                     attempt += 1;
+                    self.frame_retries += 1;
                     if attempt >= self.policy.send_attempts {
                         return Err(failed.error.into());
                     }
@@ -370,11 +446,13 @@ impl Engine {
             }
             if self.net.injector().crash_frame(c).is_some_and(|k| frame >= k) {
                 self.crashed[c] = true;
+                self.rec.fault(frame, c, FaultKind::Crash);
                 continue;
             }
             let stall = self.net.injector().stall_seconds(c, frame);
             if stall > 0.0 {
                 self.net.advance(c, stall);
+                self.rec.fault(frame, c, FaultKind::Stall);
             }
         }
     }
@@ -388,6 +466,7 @@ impl Engine {
         self.dead[c] = true;
         self.missed[c] = 0;
         self.dead_events.push((c, frame));
+        self.rec.fault(frame, c, FaultKind::DeclaredDead);
         if (0..self.n).all(|r| self.dead[r]) {
             return Err(ProtocolError::Domain {
                 role: "manager",
@@ -452,6 +531,7 @@ impl Engine {
         let mut frames = Vec::with_capacity(self.cfg.frames as usize);
         let outcome = self.run_frames(&mut frames);
         let trace = std::mem::take(&mut self.trace);
+        let phases = std::mem::replace(&mut self.rec, Recorder::disabled()).finish();
         let result = outcome.map(|()| {
             let kept: Vec<FrameReport> =
                 frames.into_iter().filter(|f| f.frame >= self.cfg.warmup).collect();
@@ -464,6 +544,7 @@ impl Engine {
                 traffic: self.net.stats(),
                 dead_ranks: self.dead_events.clone(),
                 lost_particles: (self.lost as f64 * self.scale) as u64,
+                phases,
             }
         });
         (result, trace)
@@ -474,52 +555,74 @@ impl Engine {
         let mut prev_makespan = 0.0;
 
         for frame in 0..self.cfg.frames {
+            if self.rec.is_enabled() {
+                self.frame_stats_mark = self.net.stats();
+            }
             self.begin_frame(frame);
             let mut fr = FrameReport { frame, ..Default::default() };
 
             match self.cfg.schedule {
                 SystemSchedule::PerSystem => {
                     for sys in 0..n_sys {
-                        self.phase_creation(frame, sys)?;
-                        self.phase_addition(frame, sys)?;
-                        self.phase_calculus(frame, sys);
-                        self.phase_collision(frame, sys)?;
-                        self.phase_exchange(frame, sys, &mut fr)?;
-                        let loads = self.phase_loads(frame, sys)?;
-                        self.phase_balance(frame, sys, &loads, &mut fr)?;
-                        self.phase_ship(frame, sys, &mut fr)?;
+                        self.record_phase(frame, Phase::Compute, |e| {
+                            e.phase_creation(frame, sys)?;
+                            e.phase_addition(frame, sys)?;
+                            e.phase_calculus(frame, sys);
+                            e.phase_collision(frame, sys)
+                        })?;
+                        self.record_phase(frame, Phase::Exchange, |e| {
+                            e.phase_exchange(frame, sys, &mut fr)
+                        })?;
+                        let loads = self.record_phase(frame, Phase::LoadReport, |e| {
+                            e.phase_loads(frame, sys)
+                        })?;
+                        self.record_phase(frame, Phase::Balance, |e| {
+                            e.phase_balance(frame, sys, &loads, &mut fr)
+                        })?;
+                        self.record_phase(frame, Phase::Ship, |e| {
+                            e.phase_ship(frame, sys, &mut fr)
+                        })?;
                     }
                 }
                 SystemSchedule::Batched => {
+                    self.record_phase(frame, Phase::Compute, |e| {
+                        for sys in 0..n_sys {
+                            e.phase_creation(frame, sys)?;
+                            e.phase_addition(frame, sys)?;
+                        }
+                        for sys in 0..n_sys {
+                            e.phase_calculus(frame, sys);
+                            e.phase_collision(frame, sys)?;
+                        }
+                        Ok::<(), ProtocolError>(())
+                    })?;
+                    self.record_phase(frame, Phase::Exchange, |e| {
+                        (0..n_sys).try_for_each(|sys| e.phase_exchange(frame, sys, &mut fr))
+                    })?;
                     for sys in 0..n_sys {
-                        self.phase_creation(frame, sys)?;
-                        self.phase_addition(frame, sys)?;
+                        let loads = self.record_phase(frame, Phase::LoadReport, |e| {
+                            e.phase_loads(frame, sys)
+                        })?;
+                        self.record_phase(frame, Phase::Balance, |e| {
+                            e.phase_balance(frame, sys, &loads, &mut fr)
+                        })?;
                     }
-                    for sys in 0..n_sys {
-                        self.phase_calculus(frame, sys);
-                        self.phase_collision(frame, sys)?;
-                    }
-                    for sys in 0..n_sys {
-                        self.phase_exchange(frame, sys, &mut fr)?;
-                    }
-                    for sys in 0..n_sys {
-                        let loads = self.phase_loads(frame, sys)?;
-                        self.phase_balance(frame, sys, &loads, &mut fr)?;
-                    }
-                    for sys in 0..n_sys {
-                        self.phase_ship(frame, sys, &mut fr)?;
-                    }
+                    self.record_phase(frame, Phase::Ship, |e| {
+                        (0..n_sys).try_for_each(|sys| e.phase_ship(frame, sys, &mut fr))
+                    })?;
                 }
             }
 
-            // Fixed per-frame image cost (clear, encode, write).
-            self.net.advance(self.ig, self.cost.per_frame_render_fixed / self.fe_speed);
-            self.trace.record(frame, ProtocolEvent::ImageGeneration);
+            self.record_phase(frame, Phase::Render, |e| {
+                // Fixed per-frame image cost (clear, encode, write).
+                e.net.advance(e.ig, e.cost.per_frame_render_fixed / e.fe_speed);
+                e.trace.record(frame, ProtocolEvent::ImageGeneration);
 
-            // Parallel-phases frame boundary for the surviving compute
-            // processes.
-            let active = self.active_set();
-            self.net.barrier(&active);
+                // Parallel-phases frame boundary for the surviving compute
+                // processes.
+                let active = e.active_set();
+                e.net.barrier(&active);
+            });
 
             // Per-frame accounting (survivors only).
             let counts: Vec<f64> = (0..self.n)
@@ -532,6 +635,7 @@ impl Engine {
             prev_makespan = mk;
             fr.timeouts = self.frame_timeouts;
             self.frame_timeouts = 0;
+            self.flush_frame_counters(frame, &fr);
             frames.push(fr);
         }
         Ok(())
@@ -783,6 +887,14 @@ impl Engine {
                     incoming[c],
                     after,
                 )?;
+                // A NaN position evades every slice (owner_of cannot place
+                // it) while conservation still balances — reject it here.
+                invariants::check_finite_positions(
+                    frame,
+                    sys,
+                    c,
+                    self.calcs[c].stores[sys].iter(),
+                )?;
                 before_sum += before[c];
                 after_sum += after;
             }
@@ -985,6 +1097,7 @@ impl Engine {
     ) -> Result<(), ProtocolError> {
         let n = self.n;
         let spec_id = self.scene.systems[sys].spec.id;
+        self.frame_orders += transfers.len() as u64;
 
         // Donors prepare structures and compute new cuts. Decentralized
         // rounds may have one calculator donating on both sides; processing

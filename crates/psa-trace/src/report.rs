@@ -1,0 +1,325 @@
+//! The finished trace: per-frame, per-rank, per-phase timings plus
+//! counters, with table formatting and a hand-rolled JSON export (the
+//! workspace is offline; external serializers are intentionally absent).
+
+use crate::clock::ClockKind;
+use crate::phase::{PHASES, PHASE_COUNT};
+use crate::recorder::FaultEvent;
+
+/// Event counters for one frame, summed over all ranks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameCounters {
+    /// Messages delivered by the transport.
+    pub messages: u64,
+    /// Payload bytes carried by those messages.
+    pub payload_bytes: u64,
+    /// Particles that crossed a domain boundary.
+    pub migrated: u64,
+    /// Bytes of migrated particle payload.
+    pub migration_bytes: u64,
+    /// Transient send failures retried with backoff.
+    pub send_retries: u64,
+    /// Bounded receives that expired.
+    pub timeouts: u64,
+    /// Transfer orders issued by the balancer.
+    pub balance_orders: u64,
+}
+
+impl FrameCounters {
+    fn merge(&mut self, other: &FrameCounters) {
+        self.messages += other.messages;
+        self.payload_bytes += other.payload_bytes;
+        self.migrated += other.migrated;
+        self.migration_bytes += other.migration_bytes;
+        self.send_retries += other.send_retries;
+        self.timeouts += other.timeouts;
+        self.balance_orders += other.balance_orders;
+    }
+}
+
+/// One frame's measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrameTrace {
+    /// Frame number.
+    pub frame: u64,
+    /// Seconds spent per rank (outer) per phase (inner, [`crate::Phase::index`]).
+    pub rank_phase: Vec<[f64; PHASE_COUNT]>,
+    /// Event counters for the frame.
+    pub counters: FrameCounters,
+}
+
+impl FrameTrace {
+    /// A zeroed trace for `frame` covering `ranks` ranks.
+    pub fn empty(frame: u64, ranks: usize) -> Self {
+        FrameTrace {
+            frame,
+            rank_phase: vec![[0.0; PHASE_COUNT]; ranks],
+            counters: FrameCounters::default(),
+        }
+    }
+
+    /// Seconds per phase summed over ranks.
+    pub fn phase_totals(&self) -> [f64; PHASE_COUNT] {
+        let mut out = [0.0; PHASE_COUNT];
+        for rp in &self.rank_phase {
+            for (acc, v) in out.iter_mut().zip(rp.iter()) {
+                *acc += v;
+            }
+        }
+        out
+    }
+}
+
+/// The complete per-phase trace of one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceReport {
+    /// Which clock produced the timings.
+    pub clock: ClockKind,
+    /// Ranks covered (calculators + manager + image generator).
+    pub ranks: usize,
+    /// Dense per-frame measurements, `frames[k].frame == k`.
+    pub frames: Vec<FrameTrace>,
+    /// Injected-fault observations, in recording order.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl TraceReport {
+    /// Seconds per phase summed over every frame and rank.
+    pub fn phase_totals(&self) -> [f64; PHASE_COUNT] {
+        let mut out = [0.0; PHASE_COUNT];
+        for f in &self.frames {
+            for (acc, v) in out.iter_mut().zip(f.phase_totals().iter()) {
+                *acc += v;
+            }
+        }
+        out
+    }
+
+    /// Counters summed over every frame.
+    pub fn counter_totals(&self) -> FrameCounters {
+        let mut out = FrameCounters::default();
+        for f in &self.frames {
+            out.merge(&f.counters);
+        }
+        out
+    }
+
+    /// Merge per-role traces from the threaded executor into one report.
+    ///
+    /// Every input must cover the same rank count and clock; timings and
+    /// counters are summed element-wise (each role only wrote its own
+    /// rank's rows, so summation is disjoint), fault events concatenated.
+    /// Returns `None` on an empty input or mismatched shapes.
+    pub fn merge(parts: &[TraceReport]) -> Option<TraceReport> {
+        let first = parts.first()?;
+        let (clock, ranks) = (first.clock, first.ranks);
+        if parts.iter().any(|p| p.clock != clock || p.ranks != ranks) {
+            return None;
+        }
+        let n_frames = parts.iter().map(|p| p.frames.len()).max().unwrap_or(0);
+        let mut frames: Vec<FrameTrace> =
+            (0..n_frames).map(|f| FrameTrace::empty(f as u64, ranks)).collect();
+        let mut faults = Vec::new();
+        for p in parts {
+            for (k, f) in p.frames.iter().enumerate() {
+                let dst = &mut frames[k];
+                for (dr, sr) in dst.rank_phase.iter_mut().zip(f.rank_phase.iter()) {
+                    for (d, s) in dr.iter_mut().zip(sr.iter()) {
+                        *d += s;
+                    }
+                }
+                dst.counters.merge(&f.counters);
+            }
+            faults.extend_from_slice(&p.faults);
+        }
+        faults.sort_by_key(|e| (e.frame, e.rank));
+        Some(TraceReport { clock, ranks, frames, faults })
+    }
+
+    /// A fixed-width per-phase breakdown table (totals over all frames,
+    /// share of the summed phase time, mean per frame).
+    pub fn format_table(&self) -> String {
+        let totals = self.phase_totals();
+        let grand: f64 = totals.iter().sum();
+        let nf = self.frames.len().max(1) as f64;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "phase breakdown ({} clock, {} frames, {} ranks)\n",
+            self.clock.name(),
+            self.frames.len(),
+            self.ranks
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>8} {:>12}\n",
+            "phase", "total_s", "share", "per_frame_s"
+        ));
+        for p in PHASES {
+            let t = totals[p.index()];
+            let share = if grand > 0.0 { t / grand * 100.0 } else { 0.0 };
+            out.push_str(&format!(
+                "{:<12} {:>12.6} {:>7.1}% {:>12.6}\n",
+                p.name(),
+                t,
+                share,
+                t / nf
+            ));
+        }
+        let c = self.counter_totals();
+        out.push_str(&format!(
+            "counters: {} msgs, {} payload B, {} migrated ({} B), {} retries, {} timeouts, {} orders, {} faults\n",
+            c.messages,
+            c.payload_bytes,
+            c.migrated,
+            c.migration_bytes,
+            c.send_retries,
+            c.timeouts,
+            c.balance_orders,
+            self.faults.len()
+        ));
+        out
+    }
+
+    /// Hand-rolled JSON export. Keys are stable; floats are emitted with
+    /// `{:e}` precision-preserving formatting so the file round-trips.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"clock\": \"{}\",\n", self.clock.name()));
+        s.push_str(&format!("  \"ranks\": {},\n", self.ranks));
+        let totals = self.phase_totals();
+        s.push_str("  \"phase_totals\": {");
+        for (i, p) in PHASES.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", p.name(), json_f64(totals[p.index()])));
+        }
+        s.push_str("},\n");
+        s.push_str("  \"frames\": [\n");
+        for (i, f) in self.frames.iter().enumerate() {
+            let c = &f.counters;
+            s.push_str(&format!("    {{\"frame\": {}, \"phases\": {{", f.frame));
+            let pt = f.phase_totals();
+            for (j, p) in PHASES.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{}\": {}", p.name(), json_f64(pt[p.index()])));
+            }
+            s.push_str(&format!(
+                "}}, \"messages\": {}, \"payload_bytes\": {}, \"migrated\": {}, \"migration_bytes\": {}, \"send_retries\": {}, \"timeouts\": {}, \"balance_orders\": {}}}{}\n",
+                c.messages,
+                c.payload_bytes,
+                c.migrated,
+                c.migration_bytes,
+                c.send_retries,
+                c.timeouts,
+                c.balance_orders,
+                if i + 1 < self.frames.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"faults\": [");
+        for (i, e) in self.faults.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"frame\": {}, \"rank\": {}, \"kind\": \"{}\"}}",
+                e.frame,
+                e.rank,
+                e.kind.name()
+            ));
+        }
+        s.push_str("]\n");
+        s.push('}');
+        s
+    }
+}
+
+/// JSON-safe float formatting: finite values print shortest-round-trip,
+/// non-finite values become `null` (JSON has no NaN/Infinity).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+    use crate::recorder::{FaultKind, Recorder};
+
+    fn sample() -> TraceReport {
+        let mut r = Recorder::enabled(3, ClockKind::Virtual);
+        r.phase(0, 0, Phase::Compute, 2.0);
+        r.phase(0, 1, Phase::Compute, 1.0);
+        r.phase(0, 2, Phase::Render, 0.5);
+        r.phase(1, 0, Phase::Exchange, 0.25);
+        r.add(1, crate::recorder::Counter::Messages, 4);
+        r.finish().expect("enabled")
+    }
+
+    #[test]
+    fn phase_totals_sum_ranks_and_frames() {
+        let rep = sample();
+        let t = rep.phase_totals();
+        assert_eq!(t[Phase::Compute.index()], 3.0);
+        assert_eq!(t[Phase::Exchange.index()], 0.25);
+        assert_eq!(t[Phase::Render.index()], 0.5);
+        assert_eq!(rep.counter_totals().messages, 4);
+    }
+
+    #[test]
+    fn merge_sums_disjoint_roles() {
+        let mut a = Recorder::enabled(2, ClockKind::Wall);
+        a.phase(0, 0, Phase::Compute, 1.0);
+        a.fault(0, 0, FaultKind::Crash);
+        let mut b = Recorder::enabled(2, ClockKind::Wall);
+        b.phase(0, 1, Phase::Ship, 2.0);
+        b.phase(1, 1, Phase::Ship, 3.0);
+        let merged =
+            TraceReport::merge(&[a.finish().unwrap(), b.finish().unwrap()]).expect("same shape");
+        assert_eq!(merged.frames.len(), 2);
+        assert_eq!(merged.frames[0].rank_phase[0][Phase::Compute.index()], 1.0);
+        assert_eq!(merged.frames[0].rank_phase[1][Phase::Ship.index()], 2.0);
+        assert_eq!(merged.frames[1].rank_phase[1][Phase::Ship.index()], 3.0);
+        assert_eq!(merged.faults.len(), 1);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_shapes() {
+        let a = Recorder::enabled(2, ClockKind::Wall).finish().unwrap();
+        let b = Recorder::enabled(3, ClockKind::Wall).finish().unwrap();
+        assert!(TraceReport::merge(&[a, b]).is_none());
+        assert!(TraceReport::merge(&[]).is_none());
+    }
+
+    #[test]
+    fn table_mentions_every_phase() {
+        let table = sample().format_table();
+        for p in PHASES {
+            assert!(table.contains(p.name()), "missing {}", p.name());
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"clock\": \"virtual\""));
+        assert!(j.contains("\"phase_totals\""));
+        assert!(!j.contains("NaN"));
+    }
+
+    #[test]
+    fn json_floats_never_emit_nan() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

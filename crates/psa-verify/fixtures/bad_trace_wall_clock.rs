@@ -1,0 +1,23 @@
+// psa-verify-fixture: expect(wall-clock)
+// A phase recorder that charges timings from the host clock without the
+// allow-annotation: inside the virtual executor this would make the trace
+// (and anything derived from it) vary with machine load, silently breaking
+// the instrumented-equals-bare fingerprint guarantee.
+
+use std::time::Instant;
+
+pub struct BadRecorder {
+    mark: Instant,
+    pub compute_seconds: f64,
+}
+
+impl BadRecorder {
+    pub fn start() -> Self {
+        BadRecorder { mark: Instant::now(), compute_seconds: 0.0 }
+    }
+
+    pub fn end_compute(&mut self) {
+        self.compute_seconds += self.mark.elapsed().as_secs_f64();
+        self.mark = Instant::now();
+    }
+}

@@ -25,6 +25,7 @@ pub const SIM_ROOTS: &[&str] = &[
     "crates/psa-core/tests",
     "crates/psa-runtime/src",
     "crates/psa-chaos/src",
+    "crates/psa-trace/src",
     "crates/netsim/src",
     "crates/cluster-sim/src",
 ];
@@ -116,5 +117,15 @@ mod tests {
         let got = ids("crates/psa-chaos/src/matrix.rs");
         assert!(got.contains(&"unordered-collections"));
         assert!(got.contains(&"wall-clock"));
+    }
+
+    #[test]
+    fn trace_crate_is_a_sim_root() {
+        // The recorder runs inside the executors' frame loop; a HashMap or
+        // an unannotated Instant there would break the quietness guarantee.
+        let got = ids("crates/psa-trace/src/recorder.rs");
+        assert!(got.contains(&"unordered-collections"));
+        assert!(got.contains(&"wall-clock"));
+        assert!(got.contains(&"ambient-rng"));
     }
 }

@@ -1,0 +1,37 @@
+//! Where does a frame's time go? Run the snow and fountain workloads on
+//! the same simulated cluster with per-phase instrumentation and print
+//! each run's breakdown: the snow experiment is compute-bound, while the
+//! fountain's concentrated emitter makes exchange + ship dominate — the
+//! communication profile behind its lower Table-3 speed-ups.
+//!
+//! Instrumentation is quiet: the recorder only reads the virtual clocks,
+//! so these runs are byte-identical to untraced ones.
+//!
+//! Run with: `cargo run --release --example phase_breakdown`
+
+use particle_cluster_anim::prelude::*;
+
+fn main() {
+    let size = WorkloadSize { systems: 4, particles_per_system: 4_000, scale: 1.0 };
+    for (name, scene, dt) in
+        [("snow", snow_scene(size), 0.15f32), ("fountain", fountain_scene(size), 0.04)]
+    {
+        let cfg = RunConfig {
+            frames: 20,
+            dt,
+            seed: 7,
+            balance: BalanceMode::dynamic(),
+            ..Default::default()
+        };
+        let mut sim =
+            VirtualSim::new(scene, cfg, myrinet_gcc(8, 2), CostModel::default()).with_phases();
+        let report = sim.run();
+        println!("== {name}: {:.2} virtual s total ==", report.total_time);
+        println!("{}", report.phase_table().expect("traced run has a phase table"));
+        let trace = report.phases.as_ref().unwrap();
+        let totals = trace.phase_totals();
+        let grand: f64 = totals.iter().sum();
+        let comm = totals[Phase::Exchange.index()] + totals[Phase::Ship.index()];
+        println!("communication share: {:.1}%\n", comm / grand * 100.0);
+    }
+}

@@ -21,7 +21,9 @@
 //! * [`render`] — the image generator's software rasterizer;
 //! * [`api`] — the immediate-mode McAllister-style API;
 //! * [`workloads`] — the paper's snow/fountain experiments and extras;
-//! * [`chaos`] — seeded fault plans and the chaos scenario matrix.
+//! * [`chaos`] — seeded fault plans and the chaos scenario matrix;
+//! * [`trace`] — the per-phase observability layer (quiet recorders,
+//!   frame/phase timings, counters, JSON export).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@ pub use psa_core as core;
 pub use psa_math as math;
 pub use psa_render as render;
 pub use psa_runtime as runtime;
+pub use psa_trace as trace;
 pub use psa_workloads as workloads;
 
 /// The items most programs need.
@@ -60,9 +63,10 @@ pub mod prelude {
     };
     pub use psa_runtime::threaded::RenderSink;
     pub use psa_runtime::{
-        run_sequential, run_threaded, BalanceMode, BalancerConfig, RunConfig, RunReport, Scene,
-        SpaceMode, SystemSetup, VirtualSim,
+        run_sequential, run_threaded, run_threaded_traced, BalanceMode, BalancerConfig, RunConfig,
+        RunReport, Scene, SpaceMode, SystemSetup, VirtualSim,
     };
+    pub use psa_trace::{Phase, TraceReport, PHASES};
     pub use psa_workloads::{
         fireworks_scene, fountain_scene, myrinet_gcc, smoke_scene, snow_scene, WorkloadSize,
     };

@@ -1,0 +1,110 @@
+//! Golden determinism tests for the per-phase observability layer: an
+//! instrumented run must be byte-identical to a bare run, because the
+//! recorder only reads clocks — it never advances them, never draws RNG,
+//! never sends a message.
+
+use particle_cluster_anim::prelude::*;
+use particle_cluster_anim::runtime::LoadMetric;
+
+fn virtual_run(scene_of: fn(WorkloadSize) -> Scene, dt: f32, traced: bool) -> RunReport {
+    let size = WorkloadSize { systems: 3, particles_per_system: 1000, scale: 25.0 };
+    let cfg = RunConfig { frames: 8, dt, seed: 7, ..Default::default() };
+    let mut sim = VirtualSim::new(scene_of(size), cfg, myrinet_gcc(5, 1), size.cost_model());
+    if traced {
+        sim = sim.with_phases();
+    }
+    sim.run()
+}
+
+#[test]
+fn instrumented_virtual_runs_fingerprint_like_bare_runs() {
+    for (scene_of, dt) in
+        [(snow_scene as fn(WorkloadSize) -> Scene, 0.15f32), (fountain_scene, 0.04)]
+    {
+        let bare = virtual_run(scene_of, dt, false);
+        let traced = virtual_run(scene_of, dt, true);
+        assert_eq!(
+            bare.fingerprint(),
+            traced.fingerprint(),
+            "phase recording must not perturb the run"
+        );
+        assert!(bare.phases.is_none(), "bare runs carry no trace");
+        let phases = traced.phases.as_ref().expect("traced runs carry the trace");
+        assert_eq!(phases.frames.len(), 8, "every frame traced, warmup included");
+        let totals = phases.phase_totals();
+        assert!(totals.iter().all(|t| t.is_finite() && *t >= 0.0));
+        assert!(totals.iter().sum::<f64>() > 0.0, "phases must have absorbed time");
+        // The trace is derived measurement, not run output: two traced
+        // runs of the same seed agree on it bit-for-bit too.
+        let again = virtual_run(scene_of, dt, true);
+        assert_eq!(again.phases.as_ref().unwrap(), phases);
+    }
+}
+
+#[test]
+fn instrumented_virtual_dlb_runs_stay_quiet_too() {
+    // Balancing exercises the Balance phase and the order counters; the
+    // fingerprint must still match a bare run exactly.
+    let size = WorkloadSize { systems: 2, particles_per_system: 900, scale: 25.0 };
+    let mk = |traced: bool| {
+        // Infinite space packs everything into one slice at frame 0, so
+        // the dynamic balancer is guaranteed to issue transfer orders.
+        let cfg = RunConfig {
+            frames: 10,
+            dt: 0.15,
+            seed: 3,
+            space: SpaceMode::Infinite,
+            balance: BalanceMode::dynamic(),
+            ..Default::default()
+        };
+        let mut sim = VirtualSim::new(snow_scene(size), cfg, myrinet_gcc(4, 1), size.cost_model());
+        if traced {
+            sim = sim.with_phases();
+        }
+        sim.run()
+    };
+    let (bare, traced) = (mk(false), mk(true));
+    assert_eq!(bare.fingerprint(), traced.fingerprint());
+    let counters = traced.phases.as_ref().unwrap().counter_totals();
+    assert!(counters.messages > 0, "a parallel run must have sent messages");
+    assert!(counters.balance_orders > 0, "DLB on an emitting workload must issue orders");
+}
+
+/// The threaded executor runs on wall clocks, so fingerprints (which cover
+/// `total_time`) are not comparable across runs. Per-frame particle-state
+/// checksums are bit-exact under the deterministic load metric, and those
+/// must not move when instrumentation is on.
+#[test]
+fn instrumented_threaded_runs_match_bare_checksums() {
+    let size = WorkloadSize { systems: 2, particles_per_system: 600, scale: 25.0 };
+    let mk = |traced: bool| {
+        let scene = snow_scene(size);
+        let cfg = RunConfig {
+            frames: 6,
+            dt: 0.15,
+            seed: 23,
+            load_metric: LoadMetric::CountProportional,
+            ..Default::default()
+        };
+        run_threaded_traced(&scene, &cfg, 3, None, traced).expect("threaded run failed")
+    };
+    let (bare, traced) = (mk(false), mk(true));
+    assert!(bare.phases.is_none());
+    let phases = traced.phases.as_ref().expect("traced threaded run carries the trace");
+    assert_eq!(phases.frames.len(), 6);
+    assert!(phases.phase_totals().iter().sum::<f64>() > 0.0);
+    for (fa, fb) in bare.frames.iter().zip(traced.frames.iter()) {
+        assert_eq!(fa.alive, fb.alive, "frame {} population drift", fa.frame);
+        assert_eq!(fa.checksum, fb.checksum, "frame {} checksum drift", fa.frame);
+    }
+}
+
+#[test]
+fn phase_table_renders_from_a_traced_run() {
+    let traced = virtual_run(snow_scene, 0.15, true);
+    let table = traced.phase_table().expect("traced run renders a phase table");
+    for phase in particle_cluster_anim::trace::PHASES {
+        assert!(table.contains(phase.name()), "table missing phase {}", phase.name());
+    }
+    assert!(virtual_run(snow_scene, 0.15, false).phase_table().is_none());
+}
