@@ -1,0 +1,199 @@
+//! `bench4` — emit the parallel-kernel export (`BENCH_4.json`).
+//!
+//! ```text
+//! bench4 [--scale S] [--frames F] [--out PATH]
+//! ```
+//!
+//! Runs the worker-count sweep over snow and fountain (see
+//! `psa_bench::export4`) and measures the frame hot path's allocation
+//! counts with a counting global allocator: the same exchange-staging loop
+//! is driven once in its seed form (fresh `Vec`s every frame, allocating
+//! `collect_leavers`) and once in its reworked form
+//! (`collect_leavers_into` + reused buffers), and the per-frame heap
+//! allocation counts of both land in the export. Exits non-zero if any
+//! metric is NaN, the fingerprints differ across worker counts, or the hot
+//! path fails to allocate less than the naive staging.
+
+// A counting `#[global_allocator]` is the whole point of this binary and
+// `GlobalAlloc` is an unsafe trait; the impl below only delegates to
+// `System`.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use psa_bench::export4::{self, AllocationCounts};
+use psa_core::{Particle, SubDomainStore};
+use psa_math::{Axis, Interval, Rng64, Vec3};
+
+/// Counts every heap allocation made by this binary.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic
+// with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const STAGE_PARTICLES: usize = 4_000;
+const STAGE_DESTS: usize = 8;
+const STAGE_FRAMES: u64 = 32;
+
+/// A store over [0, 10) with particles spread across it; `drift` moves a
+/// band of them out of the slice each "frame" so the staging loop has real
+/// leavers to route.
+fn staging_store() -> SubDomainStore {
+    let slice = Interval::new(0.0, 10.0);
+    let mut store = SubDomainStore::new(slice, Axis::X, STAGE_DESTS);
+    let mut rng = Rng64::new(0xBE4C);
+    for _ in 0..STAGE_PARTICLES {
+        store.insert(Particle::at(Vec3::new(rng.range(0.0, 10.0), 0.0, 0.0)));
+    }
+    store
+}
+
+fn drift(store: &mut SubDomainStore, frame: u64) {
+    // Alternate direction so the population never leaks away.
+    let dx = if frame.is_multiple_of(2) { 0.6 } else { -0.6 };
+    store.for_each_mut(|p| p.position.x += dx);
+}
+
+fn dest_of(p: &Particle) -> usize {
+    ((p.position.x.abs() as usize) + 1) % STAGE_DESTS
+}
+
+/// Seed-form staging: every frame allocates its leaver vector and a fresh
+/// per-destination spine.
+fn run_naive(store: &mut SubDomainStore) -> u64 {
+    let before = allocs();
+    for frame in 0..STAGE_FRAMES {
+        drift(store, frame);
+        let leavers = store.collect_leavers();
+        let mut per_dest: Vec<Vec<Particle>> = vec![Vec::new(); STAGE_DESTS];
+        for p in leavers {
+            per_dest[dest_of(&p)].push(p);
+        }
+        for batch in per_dest {
+            store.extend(batch);
+        }
+    }
+    (allocs() - before) / STAGE_FRAMES
+}
+
+/// Reworked staging: `collect_leavers_into` plus buffers reused across
+/// frames — the steady state allocates nothing.
+fn run_hot_path(store: &mut SubDomainStore) -> u64 {
+    let mut leavers: Vec<Particle> = Vec::new();
+    let mut per_dest: Vec<Vec<Particle>> = (0..STAGE_DESTS).map(|_| Vec::new()).collect();
+    // Warm the buffers so the measured frames see the steady state.
+    drift(store, 0);
+    store.collect_leavers_into(&mut leavers);
+    for p in leavers.drain(..) {
+        per_dest[dest_of(&p)].push(p);
+    }
+    for batch in per_dest.iter_mut() {
+        store.extend(batch.drain(..));
+    }
+    let before = allocs();
+    for frame in 1..=STAGE_FRAMES {
+        drift(store, frame);
+        store.collect_leavers_into(&mut leavers);
+        for p in leavers.drain(..) {
+            per_dest[dest_of(&p)].push(p);
+        }
+        for batch in per_dest.iter_mut() {
+            store.extend(batch.drain(..));
+        }
+    }
+    (allocs() - before) / STAGE_FRAMES
+}
+
+fn measure_allocations() -> AllocationCounts {
+    let mut naive_store = staging_store();
+    let naive_per_frame = run_naive(&mut naive_store);
+    let mut hot_store = staging_store();
+    let hot_path_per_frame = run_hot_path(&mut hot_store);
+    AllocationCounts { naive_per_frame, hot_path_per_frame }
+}
+
+struct Args {
+    scale: f64,
+    frames: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut scale = 10.0;
+    let mut frames = 25;
+    let mut out = "BENCH_4.json".to_string();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args.next().and_then(|v| v.parse().ok()).expect("--scale needs a number");
+            }
+            "--frames" => {
+                frames = args.next().and_then(|v| v.parse().ok()).expect("--frames needs a number");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { scale, frames, out }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "collecting BENCH_4 (scale {}, {} frames) — worker sweep + allocation counts",
+        args.scale, args.frames
+    );
+    let allocations = measure_allocations();
+    let data = export4::collect4(args.scale, args.frames, allocations);
+    if let Err(e) = data.validate() {
+        eprintln!("BENCH_4 validation failed: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&args.out, data.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    for e in &data.experiments {
+        let s4 = e.scaling.iter().find(|s| s.workers == 4).map_or(0.0, |s| s.speedup);
+        eprintln!(
+            "{:<9} chunks {:>7}  4-worker compute speedup {:4.2}  fingerprint invariant: {}",
+            e.experiment, e.total_chunks, s4, e.fingerprint_invariant
+        );
+    }
+    eprintln!(
+        "staging allocations/frame: naive {} -> hot path {}",
+        data.allocations.naive_per_frame, data.allocations.hot_path_per_frame
+    );
+    println!("wrote {}", args.out);
+}

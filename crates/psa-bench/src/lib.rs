@@ -6,11 +6,13 @@
 //! deterministic: same seed, same table.
 
 pub mod export;
+pub mod export4;
 pub mod micro;
 pub mod paper;
 pub mod runner;
 pub mod tables;
 
 pub use export::{collect, BenchExport, TracedRun};
+pub use export4::{collect4, AllocationCounts, Bench4Export};
 pub use runner::{Experiment, RunOutcome};
 pub use tables::{reductions, table1, table2, table3, text_numbers, TableRow};

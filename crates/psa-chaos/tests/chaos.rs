@@ -7,7 +7,9 @@
 use cluster_sim::NetworkModel;
 use psa_chaos::{full_set, run_case, MatrixConfig, Scenario, Workload};
 use psa_math::Rng64;
-use psa_runtime::balance::{evaluate_present, BalancerConfig, LoadInfo};
+use psa_runtime::balance::{
+    evaluate, evaluate_decentralized, evaluate_present, BalancerConfig, LoadInfo,
+};
 
 /// Property: for any seed, building a scenario's plan twice yields the
 /// same plan, byte for byte — fault randomness is a pure function of the
@@ -71,6 +73,47 @@ fn present_orders_never_overdraw_a_donor() {
             );
             assert!(present.contains(&t.receiver), "case {case}: receiver {} is dead", t.receiver);
         }
+    }
+}
+
+/// Property: malformed balance reports — length-mismatched load/power/
+/// present vectors, as a faulty or half-crashed manager would assemble
+/// them — yield an empty round from every balancer entry point instead of
+/// a panic. A wedged balancer must degrade to "no orders this frame", not
+/// take the manager down with it.
+#[test]
+fn malformed_report_lengths_yield_empty_rounds() {
+    let mut rng = Rng64::new(0x0BAD_512E);
+    let cfg = BalancerConfig::default();
+    for case in 0..500 {
+        let n = 2 + rng.below(7); // 2..=8 calculators
+        let loads: Vec<LoadInfo> = (0..n)
+            .map(|_| {
+                let count = rng.below(2_000);
+                LoadInfo { count, time: count as f64 * f64::from(rng.unit()) * 1e-6 }
+            })
+            .collect();
+        // A power vector that is too short, too long, or empty — never n.
+        let mut m = rng.below(n + 3);
+        if m == n {
+            m += 1;
+        }
+        let powers: Vec<f64> = (0..m).map(|_| 0.5 + f64::from(rng.unit())).collect();
+        let start = rng.below(2);
+        assert!(
+            evaluate(&loads, &powers, start, &cfg).is_empty(),
+            "case {case}: centralized round must be empty for {n} loads / {m} powers"
+        );
+        assert!(
+            evaluate_decentralized(&loads, &powers, &cfg).is_empty(),
+            "case {case}: decentralized round must be empty for {n} loads / {m} powers"
+        );
+        // present.len() matches neither loads nor powers.
+        let present: Vec<usize> = (0..n + 1).collect();
+        assert!(
+            evaluate_present(&loads, &powers, &present, start, &cfg).is_empty(),
+            "case {case}: present round must be empty for mismatched membership"
+        );
     }
 }
 

@@ -8,7 +8,7 @@
 
 use super::{Action, ActionCtx, ActionKind, ActionOutcome};
 use crate::objects::ExternalObject;
-use crate::SubDomainStore;
+use crate::{Particle, SubDomainStore};
 use psa_math::Scalar;
 
 /// Bounce particles off an external object.
@@ -45,6 +45,17 @@ impl Action for BounceOff {
             n += 1;
         });
         ActionOutcome::applied(n)
+    }
+
+    fn apply_chunk(
+        &self,
+        _ctx: &mut ActionCtx<'_>,
+        chunk: &mut [Particle],
+    ) -> Option<ActionOutcome> {
+        for p in chunk.iter_mut() {
+            self.object.bounce(&mut p.position, &mut p.velocity, self.restitution, self.friction);
+        }
+        Some(ActionOutcome::applied(chunk.len()))
     }
 
     fn cost_weight(&self) -> f64 {

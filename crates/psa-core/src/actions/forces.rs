@@ -2,7 +2,7 @@
 //! but never positions, so they need no inter-process communication.
 
 use super::{Action, ActionCtx, ActionKind, ActionOutcome};
-use crate::SubDomainStore;
+use crate::{Particle, SubDomainStore};
 use psa_math::{Scalar, Vec3};
 
 /// Constant acceleration — gravity in the fountain experiment.
@@ -40,6 +40,18 @@ impl Action for Gravity {
         });
         ActionOutcome::applied(n)
     }
+
+    fn apply_chunk(
+        &self,
+        ctx: &mut ActionCtx<'_>,
+        chunk: &mut [Particle],
+    ) -> Option<ActionOutcome> {
+        let dv = self.g * ctx.dt;
+        for p in chunk.iter_mut() {
+            p.velocity += dv;
+        }
+        Some(ActionOutcome::applied(chunk.len()))
+    }
 }
 
 /// Random per-particle acceleration — the snow experiment applies "a random
@@ -74,6 +86,18 @@ impl Action for RandomAccel {
             n += 1;
         });
         ActionOutcome::applied(n)
+    }
+
+    fn apply_chunk(
+        &self,
+        ctx: &mut ActionCtx<'_>,
+        chunk: &mut [Particle],
+    ) -> Option<ActionOutcome> {
+        let mag = self.magnitude * ctx.dt;
+        for p in chunk.iter_mut() {
+            p.velocity += ctx.rng.in_unit_sphere() * mag;
+        }
+        Some(ActionOutcome::applied(chunk.len()))
     }
 
     fn cost_weight(&self) -> f64 {
@@ -115,6 +139,18 @@ impl Action for Damping {
         });
         ActionOutcome::applied(n)
     }
+
+    fn apply_chunk(
+        &self,
+        ctx: &mut ActionCtx<'_>,
+        chunk: &mut [Particle],
+    ) -> Option<ActionOutcome> {
+        let keep = (1.0 - self.rate).powf(ctx.dt);
+        for p in chunk.iter_mut() {
+            p.velocity *= keep;
+        }
+        Some(ActionOutcome::applied(chunk.len()))
+    }
 }
 
 /// Relax particle velocity toward a wind field velocity.
@@ -149,6 +185,19 @@ impl Action for Wind {
             n += 1;
         });
         ActionOutcome::applied(n)
+    }
+
+    fn apply_chunk(
+        &self,
+        ctx: &mut ActionCtx<'_>,
+        chunk: &mut [Particle],
+    ) -> Option<ActionOutcome> {
+        let k = (self.drag * ctx.dt).min(1.0);
+        let wind = self.wind;
+        for p in chunk.iter_mut() {
+            p.velocity = p.velocity.lerp(wind, k);
+        }
+        Some(ActionOutcome::applied(chunk.len()))
     }
 }
 
@@ -189,6 +238,22 @@ impl Action for OrbitPoint {
             n += 1;
         });
         ActionOutcome::applied(n)
+    }
+
+    fn apply_chunk(
+        &self,
+        ctx: &mut ActionCtx<'_>,
+        chunk: &mut [Particle],
+    ) -> Option<ActionOutcome> {
+        let c = self.center;
+        let s = self.strength * ctx.dt;
+        let eps2 = self.epsilon * self.epsilon;
+        for p in chunk.iter_mut() {
+            let rel = c - p.position;
+            let d2 = rel.length_squared() + eps2;
+            p.velocity += rel * (s / (d2 * d2.sqrt()));
+        }
+        Some(ActionOutcome::applied(chunk.len()))
     }
 
     fn cost_weight(&self) -> f64 {

@@ -5,7 +5,7 @@
 //! [`KillOld`].
 
 use super::{Action, ActionCtx, ActionKind, ActionOutcome};
-use crate::SubDomainStore;
+use crate::{Particle, SubDomainStore};
 use psa_math::{Aabb, Axis, Scalar};
 
 /// Remove particles older than `max_age` seconds.
@@ -136,6 +136,22 @@ impl Action for Fade {
         });
         let killed = if self.kill_at_zero { store.retain(|p| p.alpha > 0.0) } else { 0 };
         ActionOutcome { applied: n, killed }
+    }
+
+    fn apply_chunk(
+        &self,
+        ctx: &mut ActionCtx<'_>,
+        chunk: &mut [Particle],
+    ) -> Option<ActionOutcome> {
+        if self.kill_at_zero {
+            // Killing needs the whole-store retain pass; stay serial.
+            return None;
+        }
+        let da = self.rate * ctx.dt;
+        for p in chunk.iter_mut() {
+            p.alpha = (p.alpha - da).max(0.0);
+        }
+        Some(ActionOutcome::applied(chunk.len()))
     }
 }
 

@@ -17,7 +17,7 @@ pub use forces::{Damping, Gravity, OrbitPoint, RandomAccel, Wind};
 pub use lifecycle::{Fade, KillBelow, KillOld, KillOutside};
 pub use motion::MoveParticles;
 
-use crate::SubDomainStore;
+use crate::{Particle, SubDomainStore};
 use psa_math::{Rng64, Scalar};
 
 /// The paper's action taxonomy.
@@ -85,6 +85,24 @@ pub trait Action: Send + Sync {
 
     /// Apply to all local particles of one system.
     fn apply(&self, ctx: &mut ActionCtx<'_>, store: &mut SubDomainStore) -> ActionOutcome;
+
+    /// Apply to one contiguous chunk of a system's particles.
+    ///
+    /// Returning `Some` opts the action into the chunked parallel kernel
+    /// ([`crate::kernel`]): the kernel covers every particle with exactly one
+    /// chunk and keys each chunk's RNG stream by the chunk's position in the
+    /// store's deterministic order, so results are byte-identical for any
+    /// worker count. The answer must not depend on the slice contents —
+    /// the kernel probes capability with an empty slice. Actions that must
+    /// see the whole store at once (the `retain`-based killers) keep the
+    /// default `None` and run serially through [`Action::apply`].
+    fn apply_chunk(
+        &self,
+        _ctx: &mut ActionCtx<'_>,
+        _chunk: &mut [Particle],
+    ) -> Option<ActionOutcome> {
+        None
+    }
 
     /// Relative per-particle cost weight used by the virtual-time cost
     /// model (1.0 = one arithmetic-light pass over the particle).

@@ -7,7 +7,7 @@
 //! this action is the integration half.
 
 use super::{Action, ActionCtx, ActionKind, ActionOutcome};
-use crate::SubDomainStore;
+use crate::{Particle, SubDomainStore};
 
 /// Semi-implicit Euler integration: `x += v·dt`, then `age += dt`.
 ///
@@ -35,6 +35,19 @@ impl Action for MoveParticles {
             n += 1;
         });
         ActionOutcome::applied(n)
+    }
+
+    fn apply_chunk(
+        &self,
+        ctx: &mut ActionCtx<'_>,
+        chunk: &mut [Particle],
+    ) -> Option<ActionOutcome> {
+        let dt = ctx.dt;
+        for p in chunk.iter_mut() {
+            p.position += p.velocity * dt;
+            p.age += dt;
+        }
+        Some(ActionOutcome::applied(chunk.len()))
     }
 }
 

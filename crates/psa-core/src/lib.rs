@@ -17,6 +17,7 @@ pub mod collide;
 pub mod domain;
 pub mod frame;
 pub mod invariants;
+pub mod kernel;
 pub mod objects;
 pub mod particle;
 pub mod store;

@@ -89,8 +89,20 @@ impl ParticleStore {
 
     /// Remove and return all particles for which `f` is true (the staging
     /// step for end-of-frame domain exchange, paper §3.2.3).
-    pub fn drain_where<F: FnMut(&Particle) -> bool>(&mut self, mut f: F) -> Vec<Particle> {
+    pub fn drain_where<F: FnMut(&Particle) -> bool>(&mut self, f: F) -> Vec<Particle> {
         let mut out = Vec::new();
+        self.drain_where_into(f, &mut out);
+        out
+    }
+
+    /// [`ParticleStore::drain_where`] into a caller-owned buffer — the
+    /// allocation-free variant the frame hot path uses (the buffer keeps its
+    /// capacity across frames). Drained particles are appended.
+    pub fn drain_where_into<F: FnMut(&Particle) -> bool>(
+        &mut self,
+        mut f: F,
+        out: &mut Vec<Particle>,
+    ) {
         let mut i = 0;
         while i < self.items.len() {
             if f(&self.items[i]) {
@@ -99,7 +111,6 @@ impl ParticleStore {
                 i += 1;
             }
         }
-        out
     }
 
     /// Take everything, leaving the store empty but with capacity retained.
@@ -117,20 +128,39 @@ impl ParticleStore {
     }
 
     /// Split off the `count` particles with the **lowest** coordinates along
-    /// `axis` (donation to the left neighbor). The store must already be
-    /// sorted along `axis`. Returns the donated particles.
-    pub fn donate_low(&mut self, count: usize) -> Vec<Particle> {
+    /// `axis` (donation to the left neighbor). Returns the donated particles.
+    ///
+    /// The §3.2.5 boundary contract — only the particles nearest the domain
+    /// boundary may be shipped — is enforced here, not merely documented: an
+    /// unsorted store is sorted before splitting. Callers that already
+    /// sorted (the sub-domain donation path) pay one O(n) monotonicity scan.
+    pub fn donate_low(&mut self, count: usize, axis: Axis) -> Vec<Particle> {
+        self.ensure_sorted(axis);
         let count = count.min(self.items.len());
         let tail = self.items.split_off(count);
         std::mem::replace(&mut self.items, tail)
     }
 
     /// Split off the `count` particles with the **highest** coordinates
-    /// along `axis` (donation to the right neighbor). The store must already
-    /// be sorted along `axis`.
-    pub fn donate_high(&mut self, count: usize) -> Vec<Particle> {
+    /// along `axis` (donation to the right neighbor). Mirror of
+    /// [`ParticleStore::donate_low`], including the sortedness enforcement.
+    pub fn donate_high(&mut self, count: usize, axis: Axis) -> Vec<Particle> {
+        self.ensure_sorted(axis);
         let count = count.min(self.items.len());
         self.items.split_off(self.items.len() - count)
+    }
+
+    /// Sort along `axis` unless already sorted. The repair (rather than a
+    /// silent wrong donation) is what makes `donate_low`/`donate_high` safe
+    /// to call on any store state.
+    fn ensure_sorted(&mut self, axis: Axis) {
+        let sorted = self
+            .items
+            .windows(2)
+            .all(|w| w[0].position.along(axis).total_cmp(&w[1].position.along(axis)).is_le());
+        if !sorted {
+            self.sort_along(axis);
+        }
     }
 
     /// Min/max coordinate along `axis`, or `None` when empty.
@@ -229,9 +259,9 @@ mod tests {
     fn sort_and_donate_low_high() {
         let mut s: ParticleStore = [5.0, 1.0, 3.0, 2.0, 4.0].iter().map(|&x| p(x)).collect();
         s.sort_along(Axis::X);
-        let low = s.donate_low(2);
+        let low = s.donate_low(2, Axis::X);
         assert_eq!(low.iter().map(|q| q.position.x).collect::<Vec<_>>(), vec![1.0, 2.0]);
-        let high = s.donate_high(2);
+        let high = s.donate_high(2, Axis::X);
         assert_eq!(high.iter().map(|q| q.position.x).collect::<Vec<_>>(), vec![4.0, 5.0]);
         assert_eq!(s.len(), 1);
         assert_eq!(s.as_slice()[0].position.x, 3.0);
@@ -241,10 +271,29 @@ mod tests {
     fn donate_more_than_available_is_clamped() {
         let mut s: ParticleStore = [1.0, 2.0].iter().map(|&x| p(x)).collect();
         s.sort_along(Axis::X);
-        let got = s.donate_high(10);
+        let got = s.donate_high(10, Axis::X);
         assert_eq!(got.len(), 2);
         assert!(s.is_empty());
-        assert!(s.donate_low(3).is_empty());
+        assert!(s.donate_low(3, Axis::X).is_empty());
+    }
+
+    #[test]
+    fn donate_on_unsorted_store_still_ships_the_extremes() {
+        // Regression: before the sortedness enforcement, donating from an
+        // unsorted store silently shipped whatever happened to sit at the
+        // vector ends — interior particles crossed the domain boundary.
+        let mut s: ParticleStore = [5.0, 1.0, 9.0, 3.0, 7.0].iter().map(|&x| p(x)).collect();
+        let low = s.donate_low(2, Axis::X); // no sort_along first
+        let mut xs: Vec<f32> = low.iter().map(|q| q.position.x).collect();
+        xs.sort_by(f32::total_cmp);
+        assert_eq!(xs, vec![1.0, 3.0], "must ship the true low extremes");
+        // The store was left sorted by the repair; scramble it again.
+        let mut s2: ParticleStore = [2.0, 8.0, 0.5, 6.0].iter().map(|&x| p(x)).collect();
+        let high = s2.donate_high(2, Axis::X);
+        let mut hs: Vec<f32> = high.iter().map(|q| q.position.x).collect();
+        hs.sort_by(f32::total_cmp);
+        assert_eq!(hs, vec![6.0, 8.0], "must ship the true high extremes");
+        assert!(s2.iter().all(|q| q.position.x < 6.0));
     }
 
     #[test]

@@ -20,13 +20,21 @@ pub struct SubDomainStore {
     axis: Axis,
     slice: Interval,
     buckets: Vec<ParticleStore>,
+    /// Reused by `collect_leavers_into` for in-slice bucket movers, so the
+    /// every-frame leaver scan allocates nothing after warm-up.
+    mover_scratch: Vec<Particle>,
 }
 
 impl SubDomainStore {
     /// Create an empty store over `slice` with `k >= 1` buckets.
     pub fn new(slice: Interval, axis: Axis, k: usize) -> Self {
         assert!(k >= 1, "need at least one sub-domain bucket");
-        SubDomainStore { axis, slice, buckets: (0..k).map(|_| ParticleStore::new()).collect() }
+        SubDomainStore {
+            axis,
+            slice,
+            buckets: (0..k).map(|_| ParticleStore::new()).collect(),
+            mover_scratch: Vec::new(),
+        }
     }
 
     pub fn axis(&self) -> Axis {
@@ -91,6 +99,14 @@ impl SubDomainStore {
         }
     }
 
+    /// Mutable slice views of the buckets in order — the store's canonical
+    /// particle order, which the chunked compute kernel
+    /// ([`crate::kernel`]) decomposes into fixed-size chunks. The slices are
+    /// disjoint, so they may be mutated from different worker threads.
+    pub fn bucket_slices_mut(&mut self) -> impl Iterator<Item = &mut [Particle]> {
+        self.buckets.iter_mut().map(ParticleStore::as_mut_slice)
+    }
+
     /// Iterate all particles immutably.
     pub fn iter(&self) -> impl Iterator<Item = &Particle> {
         self.buckets.iter().flat_map(|b| b.iter())
@@ -106,11 +122,20 @@ impl SubDomainStore {
     /// re-bucket any particle that moved across bucket boundaries but stayed
     /// in the slice.
     pub fn collect_leavers(&mut self) -> Vec<Particle> {
+        let mut leavers = Vec::new();
+        self.collect_leavers_into(&mut leavers);
+        leavers
+    }
+
+    /// [`SubDomainStore::collect_leavers`] into a caller-owned buffer — the
+    /// allocation-free variant the frame hot path uses. Leavers are
+    /// appended; the in-slice mover staging reuses an internal scratch
+    /// buffer, so a warmed-up store allocates nothing here.
+    pub fn collect_leavers_into(&mut self, leavers: &mut Vec<Particle>) {
         let axis = self.axis;
         let slice = self.slice;
         let k = self.buckets.len();
-        let mut leavers = Vec::new();
-        let mut movers: Vec<Particle> = Vec::new();
+        debug_assert!(self.mover_scratch.is_empty());
         for (bi, b) in self.buckets.iter_mut().enumerate() {
             let mut i = 0;
             while i < b.len() {
@@ -126,17 +151,20 @@ impl SubDomainStore {
                         ((t * k as Scalar).floor() as isize).clamp(0, k as isize - 1) as usize
                     };
                     if target != bi {
-                        movers.push(b.swap_remove(i));
+                        self.mover_scratch.push(b.swap_remove(i));
                     } else {
                         i += 1;
                     }
                 }
             }
         }
-        for p in movers {
+        // Re-insert in staging order (matches the historical behavior, which
+        // the bit-reproducibility of seeded runs depends on).
+        for i in 0..self.mover_scratch.len() {
+            let p = self.mover_scratch[i];
             self.insert(p);
         }
-        leavers
+        self.mover_scratch.clear();
     }
 
     /// Donate the `count` particles nearest the **low** boundary (for a left
@@ -157,7 +185,7 @@ impl SubDomainStore {
             } else {
                 sorted += b.len();
                 b.sort_along(self.axis);
-                out.extend(b.donate_low(need));
+                out.extend(b.donate_low(need, self.axis));
             }
         }
         (out, sorted)
@@ -178,7 +206,7 @@ impl SubDomainStore {
             } else {
                 sorted += b.len();
                 b.sort_along(self.axis);
-                out.extend(b.donate_high(need));
+                out.extend(b.donate_high(need, self.axis));
             }
         }
         (out, sorted)

@@ -65,7 +65,7 @@ fn flat_donation_is_extreme() {
         let mut s: ParticleStore = xs.iter().map(|&x| p(x)).collect();
         s.sort_along(Axis::X);
         let k = (1 + rng.below(49)).min(xs.len());
-        let low = s.donate_low(k);
+        let low = s.donate_low(k, Axis::X);
         let mut got: Vec<f32> = low.iter().map(|q| q.position.x).collect();
         got.sort_by(f32::total_cmp);
         let mut want = xs.clone();

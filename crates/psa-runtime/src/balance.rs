@@ -64,30 +64,49 @@ pub struct Transfer {
     pub amount: usize,
 }
 
+/// Is a neighbor pair imbalanced enough to act on?
+///
+/// Times are the primary signal. When *both* times are zero — first frame
+/// after a restart, a degraded-mode report, or a count-proportional metric
+/// that has not warmed up — the pair used to be skipped outright, leaving a
+/// real particle imbalance unaddressed until a nonzero time arrived. Fall
+/// back to the particle counts as the load signal in that case; two empty
+/// ranks still compare equal, so an all-zero cluster stays stable.
+fn pair_imbalanced(a: LoadInfo, b: LoadInfo, cfg: &BalancerConfig) -> bool {
+    let scale = a.time.max(b.time);
+    if scale > 0.0 {
+        return (a.time - b.time).abs() > cfg.rel_threshold * scale;
+    }
+    let (ca, cb) = (a.count as f64, b.count as f64);
+    let cscale = ca.max(cb);
+    cscale > 0.0 && (ca - cb).abs() > cfg.rel_threshold * cscale
+}
+
 /// Evaluate one balancing round.
 ///
 /// `loads[i]` is calculator `i`'s report; `powers[i]` its processing power
 /// (relative speed — the paper calibrates this from sequential runs);
 /// `start` is the index of the first pair to evaluate (the manager
 /// alternates 0/1 between rounds).
+///
+/// A malformed round (`loads`/`powers` length mismatch — e.g. a corrupted
+/// or fault-truncated report set) yields an empty decision set rather than
+/// panicking the manager; balancing resumes on the next well-formed round.
 pub fn evaluate(
     loads: &[LoadInfo],
     powers: &[f64],
     start: usize,
     cfg: &BalancerConfig,
 ) -> Vec<Transfer> {
-    assert_eq!(loads.len(), powers.len());
     let n = loads.len();
     let mut out = Vec::new();
-    if n < 2 {
+    if n != powers.len() || n < 2 {
         return out;
     }
     let mut i = start.min(1); // paper alternates between the 1st and 2nd pair
     while i + 1 < n {
         let (a, b) = (i, i + 1);
-        let (ta, tb) = (loads[a].time, loads[b].time);
-        let scale = ta.max(tb);
-        if scale > 0.0 && (ta - tb).abs() > cfg.rel_threshold * scale {
+        if pair_imbalanced(loads[a], loads[b], cfg) {
             let total = loads[a].count + loads[b].count;
             let (pa, pb) = (powers[a].max(1e-9), powers[b].max(1e-9));
             let target_a = (total as f64 * pa / (pa + pb)).round() as usize;
@@ -122,14 +141,14 @@ pub fn evaluate_decentralized(
     powers: &[f64],
     cfg: &BalancerConfig,
 ) -> Vec<Transfer> {
-    assert_eq!(loads.len(), powers.len());
     let n = loads.len();
     let mut out = Vec::new();
+    if n != powers.len() {
+        return out;
+    }
     for a in 0..n.saturating_sub(1) {
         let b = a + 1;
-        let (ta, tb) = (loads[a].time, loads[b].time);
-        let scale = ta.max(tb);
-        if scale <= 0.0 || (ta - tb).abs() <= cfg.rel_threshold * scale {
+        if !pair_imbalanced(loads[a], loads[b], cfg) {
             continue;
         }
         let total = loads[a].count + loads[b].count;
@@ -165,8 +184,9 @@ pub fn evaluate_present(
     start: usize,
     cfg: &BalancerConfig,
 ) -> Vec<Transfer> {
-    assert_eq!(loads.len(), present.len());
-    assert_eq!(powers.len(), present.len());
+    if loads.len() != present.len() || powers.len() != present.len() {
+        return Vec::new();
+    }
     debug_assert!(present.windows(2).all(|w| w[0] < w[1]), "present ranks must ascend");
     evaluate(loads, powers, start, cfg)
         .into_iter()
@@ -336,6 +356,34 @@ mod tests {
     fn zero_time_pair_is_stable() {
         let loads = [li(0, 0.0), li(0, 0.0)];
         assert!(evaluate(&loads, &[1.0, 1.0], 0, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn zero_time_imbalance_falls_back_to_counts() {
+        // Both times zero but the counts are lopsided (first round after a
+        // restart): the old scale guard skipped the pair entirely; the count
+        // fallback must order the power-proportional move.
+        let loads = [li(300, 0.0), li(100, 0.0)];
+        let t = evaluate(&loads, &[1.0, 1.0], 0, &cfg());
+        assert_eq!(t, vec![Transfer { donor: 0, receiver: 1, amount: 100 }]);
+        // Same signal drives the decentralized variant (half-excess).
+        let dec = evaluate_decentralized(&loads, &[1.0, 1.0], &cfg());
+        assert_eq!(dec, vec![Transfer { donor: 0, receiver: 1, amount: 50 }]);
+        // Equal zero-time counts stay below threshold — no oscillation.
+        let even = [li(200, 0.0), li(200, 0.0)];
+        assert!(evaluate(&even, &[1.0, 1.0], 0, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn mismatched_report_lengths_yield_an_empty_round() {
+        // A fault-truncated report set must not panic the manager: every
+        // entry point returns an empty decision set and waits for the next
+        // well-formed round.
+        let loads = [li(400, 4.0), li(100, 1.0), li(100, 1.0)];
+        assert!(evaluate(&loads, &[1.0, 1.0], 0, &cfg()).is_empty());
+        assert!(evaluate_decentralized(&loads, &[1.0], &cfg()).is_empty());
+        assert!(evaluate_present(&loads, &[1.0, 1.0], &[0, 2], 0, &cfg()).is_empty());
+        assert!(evaluate_present(&loads[..2], &[1.0, 1.0, 1.0], &[0, 1, 2], 0, &cfg()).is_empty());
     }
 
     #[test]

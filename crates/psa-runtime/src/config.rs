@@ -85,6 +85,36 @@ pub enum LoadMetric {
     CountProportional,
 }
 
+/// Intra-rank parallel compute configuration: how each calculator runs its
+/// action list through the chunked kernel (`psa_core::kernel`).
+///
+/// The default (`workers: 1, chunk: 0`) is the legacy serial path — one RNG
+/// stream across the whole action list — which keeps every seed-calibrated
+/// table bit-identical. Setting `chunk > 0` switches to chunk-keyed RNG
+/// streams, whose results are byte-identical for **any** `workers` value;
+/// `workers > 1` with `chunk == 0` uses `psa_core::kernel::DEFAULT_CHUNK`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Compute-phase worker threads per calculator (1 = in-place, no spawn).
+    pub workers: usize,
+    /// Particles per kernel chunk; 0 = legacy serial stream.
+    pub chunk: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { workers: 1, chunk: 0 }
+    }
+}
+
+impl ParallelConfig {
+    /// Chunked mode with the given worker count and the default chunk size.
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers >= 1);
+        ParallelConfig { workers, chunk: psa_core::kernel::DEFAULT_CHUNK }
+    }
+}
+
 /// Full configuration of one run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunConfig {
@@ -110,6 +140,8 @@ pub struct RunConfig {
     /// peer is reported as [`netsim::TransportError::Timeout`] (lost-peer
     /// hardening; generous by default so slow CI machines never trip it).
     pub recv_timeout_secs: f64,
+    /// Intra-rank compute parallelism (the psa-core chunked kernel).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for RunConfig {
@@ -125,6 +157,7 @@ impl Default for RunConfig {
             warmup: 0,
             load_metric: LoadMetric::WallClock,
             recv_timeout_secs: 30.0,
+            parallel: ParallelConfig::default(),
         }
     }
 }

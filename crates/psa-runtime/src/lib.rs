@@ -32,7 +32,7 @@ pub mod trace;
 pub mod virtual_exec;
 
 pub use balance::{BalancerConfig, LoadInfo, Order};
-pub use config::{BalanceMode, LoadMetric, RunConfig, SpaceMode, SystemSchedule};
+pub use config::{BalanceMode, LoadMetric, ParallelConfig, RunConfig, SpaceMode, SystemSchedule};
 pub use msg::ProtocolError;
 pub use report::RunReport;
 pub use scene::{CollisionSpec, Scene, SystemSetup};

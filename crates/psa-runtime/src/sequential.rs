@@ -8,7 +8,7 @@
 //! charges the same cost model at the given relative speed.
 
 use cluster_sim::CostModel;
-use psa_core::actions::ActionCtx;
+use psa_core::kernel;
 use psa_core::SubDomainStore;
 use psa_math::stats::imbalance;
 use psa_math::{Axis, Rng64};
@@ -38,6 +38,8 @@ pub fn run_sequential(scene: &Scene, cfg: &RunConfig, cost: &CostModel, speed: f
 
     let mut total = 0.0f64;
     let mut frames = Vec::with_capacity(cfg.frames as usize);
+    let mut strays = Vec::new(); // reused across frames: no per-frame allocation
+    let mut newborn = Vec::new();
     for frame in 0..cfg.frames {
         let mut fr = FrameReport { frame, ..Default::default() };
         let mut frame_time = 0.0;
@@ -47,16 +49,28 @@ pub fn run_sequential(scene: &Scene, cfg: &RunConfig, cost: &CostModel, speed: f
             let spec = &setup.spec;
             // Creation.
             let mut rng_c = stream(cfg.seed, TAG_CREATE, frame, sys, 0);
-            let mut newborn = if frame == 0 { spec.emit_initial(&mut rng_c) } else { Vec::new() };
+            newborn.clear();
+            if frame == 0 {
+                newborn = spec.emit_initial(&mut rng_c);
+            }
             newborn.extend((0..spec.emit_per_frame).map(|_| spec.emit_one(&mut rng_c)));
             frame_time += cost.create_time(newborn.len(), speed);
-            stores[sys].extend(newborn);
+            stores[sys].extend(newborn.drain(..));
             // Calculus. The sequential run uses the rank-1 action stream
-            // (the single calculator).
-            let mut rng_a = stream(cfg.seed, TAG_ACTIONS, frame, sys, 1);
-            let mut ctx = ActionCtx { dt: cfg.dt, frame, rng: &mut rng_a };
-            let (_outcome, weighted) = setup.actions.run(&mut ctx, &mut stores[sys]);
-            frame_time += cost.weighted_work_time(weighted, speed);
+            // (the single calculator), routed through the chunked kernel so
+            // `cfg.parallel` produces the same particle state here as in the
+            // parallel executors.
+            let rng_a = stream(cfg.seed, TAG_ACTIONS, frame, sys, 1);
+            let kr = kernel::run_actions(
+                &setup.actions,
+                cfg.dt,
+                frame,
+                rng_a,
+                &mut stores[sys],
+                cfg.parallel.chunk,
+                cfg.parallel.workers,
+            );
+            frame_time += cost.weighted_work_time(kr.weighted, speed);
             // Inter-particle collision, if the scene enables it.
             if let Some(col) = scene.collision {
                 use psa_core::collide::{colliding_pairs, resolve_elastic};
@@ -68,8 +82,8 @@ pub fn run_sequential(scene: &Scene, cfg: &RunConfig, cost: &CostModel, speed: f
             }
             // Out-of-space particles have nowhere to migrate: they stay
             // (and are usually culled by kill actions); no exchange exists.
-            let strays = stores[sys].collect_leavers();
-            for p in strays {
+            stores[sys].collect_leavers_into(&mut strays);
+            for p in strays.drain(..) {
                 stores[sys].insert(p);
             }
             fr.alive += (cost.virt(stores[sys].len())).round() as u64;

@@ -16,13 +16,16 @@
 
 // psa-verify: allow(wall-clock) — this executor measures real elapsed time
 // by design (the virtual executor owns virtual time).
+// psa-verify: allow(thread-spawn) — the role threads (calculators, manager,
+// image generator) ARE this executor's architecture; compute-phase worker
+// spawns are confined to psa_core::kernel.
 use std::path::PathBuf;
 use std::thread;
 use std::time::Duration;
 
 use netsim::{ThreadEndpoint, ThreadNet, TransportError};
-use psa_core::actions::ActionCtx;
 use psa_core::invariants::{self, StateHash};
+use psa_core::kernel;
 use psa_core::{DomainMap, Particle, SubDomainStore};
 use psa_math::stats::imbalance;
 use psa_math::{Axis, Interval, Rng64};
@@ -338,6 +341,10 @@ fn calculator_main(
         if instrument { Recorder::enabled(n + 2, ClockKind::Wall) } else { Recorder::disabled() };
     let mut last = ep.now();
     let mut traffic_mark = ep.sent_stats();
+    // Hot-path scratch, reused every frame: no steady-state allocation in
+    // the exchange staging.
+    let mut leavers: Vec<Particle> = Vec::new();
+    let mut per_dest: Vec<Vec<Particle>> = (0..n).map(|_| Vec::new()).collect();
 
     for frame in 0..cfg.frames {
         for sys in 0..n_sys {
@@ -350,31 +357,44 @@ fn calculator_main(
             stores[sys].extend(batch);
             trace.record(frame, ProtocolEvent::AdditionToLocalSet);
 
-            // Calculus.
+            // Calculus, through the chunked kernel (legacy serial stream
+            // when cfg.parallel.chunk == 0).
             let t0 = ep.now();
-            let mut rng = stream(cfg.seed, TAG_ACTIONS, frame, sys, c + 1);
-            let mut ctx = ActionCtx { dt: cfg.dt, frame, rng: &mut rng };
+            let rng = stream(cfg.seed, TAG_ACTIONS, frame, sys, c + 1);
             let pre = stores[sys].len().max(1);
-            setup.actions.run(&mut ctx, &mut stores[sys]);
+            let kr = kernel::run_actions(
+                &setup.actions,
+                cfg.dt,
+                frame,
+                rng,
+                &mut stores[sys],
+                cfg.parallel.chunk,
+                cfg.parallel.workers,
+            );
             let compute = ep.now() - t0;
             trace.record(frame, ProtocolEvent::Calculus);
             mark(&mut rec, &mut last, &ep, frame, c, Phase::Compute);
+            rec.add(frame, Counter::ComputeChunks, kr.chunks);
 
-            // Exchange.
+            // Exchange. `leavers`/`per_dest` are frame-loop scratch; only
+            // the cross-thread sends allocate (the message owns its batch).
             let before_exchange = stores[sys].len();
-            let leavers = stores[sys].collect_leavers();
+            stores[sys].collect_leavers_into(&mut leavers);
             let migrated = leavers.len();
-            let mut per_dest: Vec<Vec<Particle>> = vec![Vec::new(); n];
-            for p in leavers {
+            for p in leavers.drain(..) {
                 let owner = domains[sys].owner_of(p.position.x);
                 per_dest[owner].push(p);
             }
-            let homebound = std::mem::take(&mut per_dest[c]);
-            stores[sys].extend(homebound);
+            stores[sys].extend(per_dest[c].drain(..));
             let mut outgoing = 0usize;
-            for (d, batch) in per_dest.into_iter().enumerate() {
+            for (d, dest) in per_dest.iter_mut().enumerate() {
                 if d != c {
-                    outgoing += batch.len();
+                    outgoing += dest.len();
+                    // Not `mem::take`: the message must own an exact-sized
+                    // batch anyway, and draining keeps the staging spine's
+                    // warmed capacity for the next frame.
+                    #[allow(clippy::drain_collect)]
+                    let batch: Vec<Particle> = dest.drain(..).collect();
                     ep.send(d, Msg::Particles { system: setup.spec.id, batch, scale: 1.0 })?;
                 }
             }
@@ -552,6 +572,9 @@ fn manager_main(
         if instrument { Recorder::enabled(n + 2, ClockKind::Wall) } else { Recorder::disabled() };
     let mut phase_mark = ep.now();
     let mut traffic_mark = ep.sent_stats();
+    // Frame-loop scratch: creation staging reuses these across frames.
+    let mut newborn: Vec<Particle> = Vec::new();
+    let mut batches: Vec<Vec<Particle>> = (0..n).map(|_| Vec::new()).collect();
 
     for frame in 0..cfg.frames {
         let mut fr = FrameReport { frame, ..Default::default() };
@@ -560,13 +583,19 @@ fn manager_main(
             let spec = &scene.systems[sys].spec;
             // Creation.
             let mut rng = stream(cfg.seed, TAG_CREATE, frame, sys, 0);
-            let mut newborn = if frame == 0 { spec.emit_initial(&mut rng) } else { Vec::new() };
+            newborn.clear();
+            if frame == 0 {
+                newborn = spec.emit_initial(&mut rng);
+            }
             newborn.extend((0..spec.emit_per_frame).map(|_| spec.emit_one(&mut rng)));
-            let mut batches: Vec<Vec<Particle>> = vec![Vec::new(); n];
-            for p in newborn {
+            for p in newborn.drain(..) {
                 batches[domains[sys].owner_of(p.position.x)].push(p);
             }
-            for (c, batch) in batches.into_iter().enumerate() {
+            for (c, staged) in batches.iter_mut().enumerate() {
+                // Same rationale as the calculator's exchange sends: drain
+                // keeps the staging capacity, the message owns its batch.
+                #[allow(clippy::drain_collect)]
+                let batch: Vec<Particle> = staged.drain(..).collect();
                 ep.send(c, Msg::Particles { system: spec.id, batch, scale: 1.0 })?;
                 ep.send(c, Msg::EndOfTransmission { system: spec.id })?;
             }

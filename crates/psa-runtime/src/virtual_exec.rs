@@ -42,7 +42,7 @@ use netsim::{
     FaultInjector, FaultPlan, FaultPolicy, FaultyVirtualNet, PlanInjector, TransportError,
     VirtualNet,
 };
-use psa_core::actions::ActionCtx;
+use psa_core::kernel;
 use psa_core::{invariants, DomainMap, Particle, SubDomainStore, WIRE_BYTES};
 use psa_math::stats::imbalance;
 use psa_math::{Axis, Interval, Rng64, Scalar};
@@ -240,6 +240,14 @@ struct Engine {
     frame_retries: u64,
     /// Balancer transfer orders issued in the current frame.
     frame_orders: u64,
+    /// Kernel chunks processed in the current frame (0 on the legacy
+    /// serial path).
+    frame_chunks: u64,
+    /// Frame-loop scratch (reused, so the steady-state hot path stages
+    /// creation and exchange without allocating).
+    newborn_scratch: Vec<Particle>,
+    create_batches: Vec<Vec<Particle>>,
+    leavers_scratch: Vec<Particle>,
 }
 
 impl Engine {
@@ -318,6 +326,10 @@ impl Engine {
             frame_stats_mark: netsim::TrafficStats::default(),
             frame_retries: 0,
             frame_orders: 0,
+            frame_chunks: 0,
+            newborn_scratch: Vec::new(),
+            create_batches: (0..n).map(|_| Vec::new()).collect(),
+            leavers_scratch: Vec::new(),
         }
     }
 
@@ -347,6 +359,7 @@ impl Engine {
     fn flush_frame_counters(&mut self, frame: u64, fr: &FrameReport) {
         let retries = std::mem::take(&mut self.frame_retries);
         let orders = std::mem::take(&mut self.frame_orders);
+        let chunks = std::mem::take(&mut self.frame_chunks);
         if !self.rec.is_enabled() {
             return;
         }
@@ -362,6 +375,7 @@ impl Engine {
         self.rec.add(frame, Counter::Timeouts, fr.timeouts);
         self.rec.add(frame, Counter::SendRetries, retries);
         self.rec.add(frame, Counter::BalanceOrders, orders);
+        self.rec.add(frame, Counter::ComputeChunks, chunks);
     }
 
     /// The ranks that still take part in barriers: running calculators plus
@@ -646,18 +660,24 @@ impl Engine {
     fn phase_creation(&mut self, frame: u64, sys: usize) -> Result<(), ProtocolError> {
         let spec = self.scene.systems[sys].spec.clone();
         let mut rng_c = stream(self.cfg.seed, TAG_CREATE, frame, sys, 0);
-        let mut newborn: Vec<Particle> =
-            if frame == 0 { spec.emit_initial(&mut rng_c) } else { Vec::new() };
+        let mut newborn = std::mem::take(&mut self.newborn_scratch);
+        newborn.clear();
+        if frame == 0 {
+            newborn = spec.emit_initial(&mut rng_c);
+        }
         newborn.extend((0..spec.emit_per_frame).map(|_| spec.emit_one(&mut rng_c)));
         self.net.advance(self.mgr, self.cost.create_time(newborn.len(), self.fe_speed));
         if sys == 0 {
             self.trace.record(frame, ProtocolEvent::ParticleCreation);
         }
-        let mut batches: Vec<Vec<Particle>> = vec![Vec::new(); self.n];
-        for p in newborn {
-            batches[self.mgr_domains[sys].owner_of(p.position.along(AXIS))].push(p);
+        for p in newborn.drain(..) {
+            self.create_batches[self.mgr_domains[sys].owner_of(p.position.along(AXIS))].push(p);
         }
-        for (c, batch) in batches.into_iter().enumerate() {
+        self.newborn_scratch = newborn;
+        for c in 0..self.n {
+            // The message owns its batch (it crosses the fabric); only the
+            // staging spine and its capacity are reused.
+            let batch: Vec<Particle> = self.create_batches[c].drain(..).collect();
             self.send_to(
                 self.mgr,
                 c,
@@ -696,12 +716,24 @@ impl Engine {
             if self.crashed[c] {
                 continue;
             }
-            let mut rng_a = stream(self.cfg.seed, TAG_ACTIONS, frame, sys, c + 1);
-            let mut ctx = ActionCtx { dt: self.cfg.dt, frame, rng: &mut rng_a };
+            let rng_a = stream(self.cfg.seed, TAG_ACTIONS, frame, sys, c + 1);
             let pre = self.calcs[c].stores[sys].len();
-            let (_outcome, weighted) = setup.actions.run(&mut ctx, &mut self.calcs[c].stores[sys]);
+            // The chunked kernel (legacy serial stream when chunk == 0).
+            // Virtual time stays worker-count-invariant: the charged cost
+            // depends only on the weighted work, so the same seed yields the
+            // same fingerprint at every worker count.
+            let kr = kernel::run_actions(
+                &setup.actions,
+                self.cfg.dt,
+                frame,
+                rng_a,
+                &mut self.calcs[c].stores[sys],
+                self.cfg.parallel.chunk,
+                self.cfg.parallel.workers,
+            );
+            self.frame_chunks += kr.chunks;
             let factor = self.net.injector().compute_factor(c);
-            let t = self.cost.weighted_work_time(weighted, self.speeds[c]) * factor;
+            let t = self.cost.weighted_work_time(kr.weighted, self.speeds[c]) * factor;
             self.net.advance(c, t);
             self.calcs[c].compute_time[sys] = t;
             self.calcs[c].pre_count[sys] = pre.max(1);
@@ -811,10 +843,10 @@ impl Engine {
             let len = state.stores[sys].len();
             before[c] = len;
             self.net.advance(c, self.cost.exchange_check_time(len, self.speeds[c]));
-            let leavers = state.stores[sys].collect_leavers();
+            state.stores[sys].collect_leavers_into(&mut self.leavers_scratch);
             let mut per_dest: Vec<Vec<Particle>> = vec![Vec::new(); n];
             let dm = &state.domains[sys];
-            for p in leavers {
+            for p in self.leavers_scratch.drain(..) {
                 let owner = dm.owner_of(p.position.along(AXIS));
                 per_dest[owner].push(p);
             }

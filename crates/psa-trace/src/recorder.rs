@@ -29,6 +29,9 @@ pub enum Counter {
     Timeouts,
     /// Transfer orders issued by the balancer.
     BalanceOrders,
+    /// Kernel chunks processed by the parallel compute phase (0 on the
+    /// legacy serial path).
+    ComputeChunks,
 }
 
 /// What kind of injected fault an event records.
@@ -133,6 +136,7 @@ impl Recorder {
                 Counter::SendRetries => c.send_retries += n,
                 Counter::Timeouts => c.timeouts += n,
                 Counter::BalanceOrders => c.balance_orders += n,
+                Counter::ComputeChunks => c.compute_chunks += n,
             }
         }
     }

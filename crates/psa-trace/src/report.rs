@@ -23,6 +23,8 @@ pub struct FrameCounters {
     pub timeouts: u64,
     /// Transfer orders issued by the balancer.
     pub balance_orders: u64,
+    /// Kernel chunks processed by the parallel compute phase.
+    pub compute_chunks: u64,
 }
 
 impl FrameCounters {
@@ -34,6 +36,7 @@ impl FrameCounters {
         self.send_retries += other.send_retries;
         self.timeouts += other.timeouts;
         self.balance_orders += other.balance_orders;
+        self.compute_chunks += other.compute_chunks;
     }
 }
 
@@ -166,7 +169,7 @@ impl TraceReport {
         }
         let c = self.counter_totals();
         out.push_str(&format!(
-            "counters: {} msgs, {} payload B, {} migrated ({} B), {} retries, {} timeouts, {} orders, {} faults\n",
+            "counters: {} msgs, {} payload B, {} migrated ({} B), {} retries, {} timeouts, {} orders, {} chunks, {} faults\n",
             c.messages,
             c.payload_bytes,
             c.migrated,
@@ -174,6 +177,7 @@ impl TraceReport {
             c.send_retries,
             c.timeouts,
             c.balance_orders,
+            c.compute_chunks,
             self.faults.len()
         ));
         out
@@ -207,7 +211,7 @@ impl TraceReport {
                 s.push_str(&format!("\"{}\": {}", p.name(), json_f64(pt[p.index()])));
             }
             s.push_str(&format!(
-                "}}, \"messages\": {}, \"payload_bytes\": {}, \"migrated\": {}, \"migration_bytes\": {}, \"send_retries\": {}, \"timeouts\": {}, \"balance_orders\": {}}}{}\n",
+                "}}, \"messages\": {}, \"payload_bytes\": {}, \"migrated\": {}, \"migration_bytes\": {}, \"send_retries\": {}, \"timeouts\": {}, \"balance_orders\": {}, \"compute_chunks\": {}}}{}\n",
                 c.messages,
                 c.payload_bytes,
                 c.migrated,
@@ -215,6 +219,7 @@ impl TraceReport {
                 c.send_retries,
                 c.timeouts,
                 c.balance_orders,
+                c.compute_chunks,
                 if i + 1 < self.frames.len() { "," } else { "" }
             ));
         }
@@ -260,6 +265,7 @@ mod tests {
         r.phase(0, 2, Phase::Render, 0.5);
         r.phase(1, 0, Phase::Exchange, 0.25);
         r.add(1, crate::recorder::Counter::Messages, 4);
+        r.add(1, crate::recorder::Counter::ComputeChunks, 6);
         r.finish().expect("enabled")
     }
 
@@ -271,6 +277,7 @@ mod tests {
         assert_eq!(t[Phase::Exchange.index()], 0.25);
         assert_eq!(t[Phase::Render.index()], 0.5);
         assert_eq!(rep.counter_totals().messages, 4);
+        assert_eq!(rep.counter_totals().compute_chunks, 6);
     }
 
     #[test]

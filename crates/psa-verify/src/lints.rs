@@ -78,8 +78,24 @@ pub const PROTOCOL_PANIC: LintDef = LintDef {
     skip_tests: true,
 };
 
+/// Thread spawns outside the approved kernel module make execution order —
+/// and therefore RNG stream consumption — depend on the scheduler. All
+/// intra-rank parallelism must flow through `psa_core::kernel`, whose
+/// chunk-keyed streams and chunk-order merge keep results worker-count
+/// invariant.
+pub const THREAD_CONFINEMENT: LintDef = LintDef {
+    id: "thread-confinement",
+    allow_key: "thread-spawn",
+    needles: &["thread::spawn", "thread::scope"],
+    message: "thread spawn in a simulation crate outside psa_core::kernel; route \
+              parallel compute through the chunked kernel (deterministic for any \
+              worker count), or annotate `// psa-verify: allow(thread-spawn)` \
+              with a reason",
+    skip_tests: true,
+};
+
 pub const ALL_LINTS: &[&LintDef] =
-    &[&UNORDERED, &WALL_CLOCK, &AMBIENT_RNG, &PROTOCOL_PANIC, &UNBOUNDED_RECV];
+    &[&UNORDERED, &WALL_CLOCK, &AMBIENT_RNG, &PROTOCOL_PANIC, &UNBOUNDED_RECV, &THREAD_CONFINEMENT];
 
 /// Look up a lint by id.
 pub fn by_id(id: &str) -> Option<&'static LintDef> {

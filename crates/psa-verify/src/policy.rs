@@ -17,7 +17,9 @@
 //!   nondeterminism back into workload setup — but may freely use hash
 //!   maps and wall clocks.
 
-use crate::lints::{LintDef, AMBIENT_RNG, PROTOCOL_PANIC, UNBOUNDED_RECV, UNORDERED, WALL_CLOCK};
+use crate::lints::{
+    LintDef, AMBIENT_RNG, PROTOCOL_PANIC, THREAD_CONFINEMENT, UNBOUNDED_RECV, UNORDERED, WALL_CLOCK,
+};
 
 /// Source roots whose iteration order / timing must be deterministic.
 pub const SIM_ROOTS: &[&str] = &[
@@ -42,6 +44,11 @@ pub const BLOCKING_ROOTS: &[&str] = &[
     "crates/netsim/src/fault.rs",
 ];
 
+/// The one module allowed to spawn compute threads: the chunked kernel,
+/// whose chunk-keyed RNG streams and chunk-order merge keep results
+/// byte-identical for any worker count.
+pub const KERNEL_MODULE: &str = "crates/psa-core/src/kernel.rs";
+
 /// Directory names skipped entirely during the workspace walk.
 pub const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
 
@@ -55,6 +62,9 @@ pub fn lints_for(rel: &str) -> Vec<&'static LintDef> {
     if SIM_ROOTS.iter().any(|r| under(rel, r)) {
         set.push(&UNORDERED);
         set.push(&WALL_CLOCK);
+        if rel != KERNEL_MODULE {
+            set.push(&THREAD_CONFINEMENT);
+        }
     }
     if PROTOCOL_ROOTS.iter().any(|r| under(rel, r)) {
         set.push(&PROTOCOL_PANIC);
@@ -110,6 +120,16 @@ mod tests {
         // virtual executor must be free to call it bare.
         assert!(!ids("crates/netsim/src/collectives.rs").contains(&"no-unbounded-recv"));
         assert!(!ids("crates/psa-runtime/src/virtual_exec.rs").contains(&"no-unbounded-recv"));
+    }
+
+    #[test]
+    fn thread_confinement_spares_only_the_kernel() {
+        assert!(!ids(KERNEL_MODULE).contains(&"thread-confinement"));
+        assert!(ids("crates/psa-core/src/subdomain.rs").contains(&"thread-confinement"));
+        assert!(ids("crates/psa-runtime/src/threaded.rs").contains(&"thread-confinement"));
+        assert!(ids("crates/netsim/src/thread_net.rs").contains(&"thread-confinement"));
+        // Non-sim crates may thread freely (e.g. render workers).
+        assert!(!ids("crates/psa-render/src/raster.rs").contains(&"thread-confinement"));
     }
 
     #[test]
