@@ -17,6 +17,10 @@
 //!   hardening tests; real time is inherently non-replayable, so the chaos
 //!   matrix gates on the virtual adapter).
 
+// psa-verify: allow(index-panic) — the plan's `ranks` and `links` tables
+// are sized by the constructor from the cluster's rank count, and every
+// accessor derives its index from `(from, to)` pairs the executors bound
+// to 0..ranks; a wire payload never chooses an index.
 use std::time::Duration;
 
 use psa_math::Rng64;

@@ -17,6 +17,10 @@
 
 // psa-verify: allow(wall-clock) — this fabric is the real-time executor's
 // transport; `now()` is its epoch clock and never feeds virtual time.
+// psa-verify: allow(index-panic) — `build(ranks)` creates the full
+// (sender, receiver) channel matrix and hands each endpoint Vecs of
+// exactly `ranks` entries; peer indices come from the executor's static
+// rank assignment, never from the wire.
 use std::cell::Cell;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::{Duration, Instant};

@@ -93,11 +93,13 @@ pub fn matches_figure2(events: &[ProtocolEvent]) -> bool {
 }
 
 /// Diagram position of an event in the Figure-2 order.
+///
+/// [`ProtocolEvent`] is declared in diagram order, so the position is the
+/// discriminant — no table lookup, nothing to panic on. The
+/// `figure2_order_is_complete_and_unique` test locks the correspondence
+/// between the declaration order and [`FIGURE2_ORDER`].
 fn figure2_pos(e: ProtocolEvent) -> usize {
-    FIGURE2_ORDER
-        .iter()
-        .position(|x| *x == e)
-        .expect("FIGURE2_ORDER enumerates every ProtocolEvent")
+    e as usize
 }
 
 /// Decompose a frame's recorded events into greedy protocol passes.
@@ -176,5 +178,9 @@ mod tests {
         assert_eq!(seen.len(), FIGURE2_ORDER.len());
         assert!(matches_figure2(FIGURE2_ORDER));
         assert!(!matches_figure2(&FIGURE2_ORDER[1..]));
+        // figure2_pos relies on declaration order == diagram order.
+        for (i, &e) in FIGURE2_ORDER.iter().enumerate() {
+            assert_eq!(figure2_pos(e), i, "{e:?} out of diagram order");
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! executor itself. Nothing in this module ever *advances* a simulation
 //! clock; recorders only read.
 
-use std::time::Instant; // psa-verify: allow(wall-clock)
+use std::time::Instant;
 
 /// Which clock produced the timings in a trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,7 +60,7 @@ impl VirtualClock {
 /// Wall-clock stopwatch for the threaded executor.
 #[derive(Clone, Copy, Debug)]
 pub struct WallClock {
-    start: Instant, // psa-verify: allow(wall-clock)
+    start: Instant,
 }
 
 impl WallClock {

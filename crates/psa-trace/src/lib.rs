@@ -12,7 +12,7 @@
 //! * [`clock::VirtualClock`] — manually advanced virtual ticks, used by the
 //!   deterministic executor. Bit-exact and fingerprint-safe.
 //! * [`clock::WallClock`] — real elapsed time for the threaded executor,
-//!   carrying the same `psa-verify: allow(wall-clock)` annotation as the
+//!   carrying the same audited wall-clock allow annotation as the
 //!   executor it instruments.
 //!
 //! The quietness guarantee mirrors the fault layer's quiet-plan rule: a
@@ -29,5 +29,5 @@ pub mod report;
 
 pub use clock::{ClockKind, VirtualClock, WallClock};
 pub use phase::{Phase, PHASES, PHASE_COUNT};
-pub use recorder::{Counter, FaultEvent, FaultKind, Recorder};
+pub use recorder::{Counter, FaultEvent, FaultKind, Recorder, TraceError};
 pub use report::{FrameCounters, FrameTrace, TraceReport};

@@ -11,6 +11,54 @@
 use crate::clock::ClockKind;
 use crate::phase::Phase;
 use crate::report::{FrameTrace, TraceReport};
+use std::fmt;
+
+/// Typed failure of the fallible recording surface.
+///
+/// The recorder never panics on malformed coordinates: callers that care
+/// use [`Recorder::try_phase`] and get one of these back, callers that
+/// don't use [`Recorder::phase`] and the write is dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The frame slot could not be materialized (frame index outside the
+    /// dense storage after backfill — not reachable through the public
+    /// API, but the accessor refuses rather than panics).
+    FrameUnavailable {
+        /// Frame that was requested.
+        frame: u64,
+    },
+    /// `rank` is outside the report's configured `0..ranks` range.
+    RankOutOfRange {
+        /// Rank that was requested.
+        rank: usize,
+        /// Ranks the report covers.
+        ranks: usize,
+    },
+    /// The phase index is outside the per-rank phase table (not producible
+    /// by [`Phase::index`], but the accessor refuses rather than panics).
+    PhaseOutOfRange {
+        /// Index that was requested.
+        phase: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::FrameUnavailable { frame } => {
+                write!(f, "frame {frame} slot unavailable")
+            }
+            TraceError::RankOutOfRange { rank, ranks } => {
+                write!(f, "rank {rank} out of range (ranks={ranks})")
+            }
+            TraceError::PhaseOutOfRange { phase } => {
+                write!(f, "phase index {phase} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// Per-frame event counters the executors feed the recorder.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,26 +146,46 @@ impl Recorder {
     /// Frames are stored densely by index; recording frame `k` materializes
     /// empty traces for any earlier frames not yet seen, so a trace always
     /// covers `0..=last_recorded_frame` in order.
-    fn frame_mut(rep: &mut TraceReport, frame: u64) -> &mut FrameTrace {
+    fn frame_mut(rep: &mut TraceReport, frame: u64) -> Option<&mut FrameTrace> {
         let idx = frame as usize;
         while rep.frames.len() <= idx {
             let f = rep.frames.len() as u64;
             rep.frames.push(FrameTrace::empty(f, rep.ranks));
         }
-        &mut rep.frames[idx]
+        rep.frames.get_mut(idx)
+    }
+
+    /// Add `seconds` to `rank`'s accumulator for `phase` in `frame`,
+    /// reporting malformed coordinates instead of panicking or dropping.
+    ///
+    /// Always `Ok` on a disabled recorder (there is nothing to validate
+    /// against, and the disabled path must stay a true no-op).
+    pub fn try_phase(
+        &mut self,
+        frame: u64,
+        rank: usize,
+        phase: Phase,
+        seconds: f64,
+    ) -> Result<(), TraceError> {
+        let Some(rep) = &mut self.inner else { return Ok(()) };
+        let ranks = rep.ranks;
+        let fr = Self::frame_mut(rep, frame).ok_or(TraceError::FrameUnavailable { frame })?;
+        let row = fr.rank_phase.get_mut(rank).ok_or(TraceError::RankOutOfRange { rank, ranks })?;
+        let cell = row
+            .get_mut(phase.index())
+            .ok_or(TraceError::PhaseOutOfRange { phase: phase.index() })?;
+        *cell += seconds;
+        Ok(())
     }
 
     /// Add `seconds` to `rank`'s accumulator for `phase` in `frame`.
+    ///
+    /// Infallible wrapper over [`try_phase`](Self::try_phase): a write with
+    /// malformed coordinates is dropped, matching the recorder's "never
+    /// disturb the run" contract for callers on the hot path.
     #[inline]
     pub fn phase(&mut self, frame: u64, rank: usize, phase: Phase, seconds: f64) {
-        if let Some(rep) = &mut self.inner {
-            let ranks = rep.ranks;
-            let fr = Self::frame_mut(rep, frame);
-            debug_assert!(rank < ranks, "rank {rank} out of range (ranks={ranks})");
-            if rank < ranks {
-                fr.rank_phase[rank][phase.index()] += seconds;
-            }
-        }
+        let _ = self.try_phase(frame, rank, phase, seconds);
     }
 
     /// Add `n` to `counter` for `frame`.
@@ -127,7 +195,8 @@ impl Recorder {
             if n == 0 {
                 return;
             }
-            let c = &mut Self::frame_mut(rep, frame).counters;
+            let Some(fr) = Self::frame_mut(rep, frame) else { return };
+            let c = &mut fr.counters;
             match counter {
                 Counter::Messages => c.messages += n,
                 Counter::PayloadBytes => c.payload_bytes += n,
@@ -202,6 +271,46 @@ mod tests {
             assert_eq!(f.rank_phase.len(), 1);
             assert_eq!(f.rank_phase[0].len(), PHASE_COUNT);
         }
+    }
+
+    #[test]
+    fn out_of_range_rank_is_a_typed_error_not_a_panic() {
+        let mut r = Recorder::enabled(2, ClockKind::Virtual);
+        assert_eq!(
+            r.try_phase(0, 7, Phase::Compute, 1.0),
+            Err(TraceError::RankOutOfRange { rank: 7, ranks: 2 })
+        );
+        // The infallible wrapper drops the write instead of panicking.
+        r.phase(0, 7, Phase::Compute, 1.0);
+        r.phase(0, 1, Phase::Compute, 2.0);
+        let rep = r.finish().expect("enabled");
+        assert_eq!(rep.frames.len(), 1);
+        assert_eq!(rep.frames[0].rank_phase[1][Phase::Compute.index()], 2.0);
+        assert_eq!(rep.frames[0].rank_phase[0][Phase::Compute.index()], 0.0);
+    }
+
+    #[test]
+    fn disabled_recorder_try_phase_is_ok() {
+        let mut r = Recorder::disabled();
+        // Nothing to validate against: the disabled path stays a no-op.
+        assert_eq!(r.try_phase(0, 99, Phase::Render, 1.0), Ok(()));
+        assert!(r.finish().is_none());
+    }
+
+    #[test]
+    fn trace_error_messages_name_the_coordinates() {
+        assert_eq!(
+            TraceError::RankOutOfRange { rank: 7, ranks: 2 }.to_string(),
+            "rank 7 out of range (ranks=2)"
+        );
+        assert_eq!(
+            TraceError::FrameUnavailable { frame: 3 }.to_string(),
+            "frame 3 slot unavailable"
+        );
+        assert_eq!(
+            TraceError::PhaseOutOfRange { phase: 9 }.to_string(),
+            "phase index 9 out of range"
+        );
     }
 
     #[test]

@@ -124,8 +124,7 @@ impl TraceReport {
             (0..n_frames).map(|f| FrameTrace::empty(f as u64, ranks)).collect();
         let mut faults = Vec::new();
         for p in parts {
-            for (k, f) in p.frames.iter().enumerate() {
-                let dst = &mut frames[k];
+            for (dst, f) in frames.iter_mut().zip(p.frames.iter()) {
                 for (dr, sr) in dst.rank_phase.iter_mut().zip(f.rank_phase.iter()) {
                     for (d, s) in dr.iter_mut().zip(sr.iter()) {
                         *d += s;
@@ -156,8 +155,7 @@ impl TraceReport {
             "{:<12} {:>12} {:>8} {:>12}\n",
             "phase", "total_s", "share", "per_frame_s"
         ));
-        for p in PHASES {
-            let t = totals[p.index()];
+        for (p, t) in PHASES.iter().zip(totals.iter().copied()) {
             let share = if grand > 0.0 { t / grand * 100.0 } else { 0.0 };
             out.push_str(&format!(
                 "{:<12} {:>12.6} {:>7.1}% {:>12.6}\n",
@@ -192,11 +190,11 @@ impl TraceReport {
         s.push_str(&format!("  \"ranks\": {},\n", self.ranks));
         let totals = self.phase_totals();
         s.push_str("  \"phase_totals\": {");
-        for (i, p) in PHASES.iter().enumerate() {
+        for (i, (p, t)) in PHASES.iter().zip(totals.iter().copied()).enumerate() {
             if i > 0 {
                 s.push_str(", ");
             }
-            s.push_str(&format!("\"{}\": {}", p.name(), json_f64(totals[p.index()])));
+            s.push_str(&format!("\"{}\": {}", p.name(), json_f64(t)));
         }
         s.push_str("},\n");
         s.push_str("  \"frames\": [\n");
@@ -204,11 +202,11 @@ impl TraceReport {
             let c = &f.counters;
             s.push_str(&format!("    {{\"frame\": {}, \"phases\": {{", f.frame));
             let pt = f.phase_totals();
-            for (j, p) in PHASES.iter().enumerate() {
+            for (j, (p, t)) in PHASES.iter().zip(pt.iter().copied()).enumerate() {
                 if j > 0 {
                     s.push_str(", ");
                 }
-                s.push_str(&format!("\"{}\": {}", p.name(), json_f64(pt[p.index()])));
+                s.push_str(&format!("\"{}\": {}", p.name(), json_f64(t)));
             }
             s.push_str(&format!(
                 "}}, \"messages\": {}, \"payload_bytes\": {}, \"migrated\": {}, \"migration_bytes\": {}, \"send_retries\": {}, \"timeouts\": {}, \"balance_orders\": {}, \"compute_chunks\": {}}}{}\n",

@@ -1,0 +1,14 @@
+// psa-verify-fixture: expect(index-panic)
+// Rank-indexed state reached from a protocol root: a peer that reports a
+// rank beyond the cluster size panics the router thread. Use get_mut()
+// with a typed error — or, for fabric hot paths whose indices are bounded
+// by construction, a documented file-level allow(index-panic).
+// psa-verify: panic-entry(route)
+
+pub fn route(clocks: &mut [u64], r: usize) {
+    bump(clocks, r);
+}
+
+fn bump(clocks: &mut [u64], r: usize) {
+    clocks[r] += 1;
+}

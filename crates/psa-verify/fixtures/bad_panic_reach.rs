@@ -1,0 +1,16 @@
+// psa-verify-fixture: expect(panic-reach)
+// psa-verify-fixture: expect(protocol-panic)
+// A panic two calls below a message handler: the handler itself is clean,
+// but the decoder it calls unwraps. When a torn-down peer sends a short
+// frame, the rank thread dies holding its channels and every peer blocked
+// on a receive deadlocks. The token lint flags the unwrap line; the
+// reachability pass proves the protocol root reaches it.
+// psa-verify: panic-entry(handle_frame)
+
+pub fn handle_frame(bytes: &[u8]) -> u64 {
+    decode_header(bytes)
+}
+
+fn decode_header(bytes: &[u8]) -> u64 {
+    bytes.first().copied().unwrap() as u64
+}

@@ -1,0 +1,13 @@
+// psa-verify-fixture: expect(protocol-order)
+// A manager that forgets the EndOfTransmission fence after emitting new
+// particles: calculators cannot tell where this frame's creation stream
+// ends, so they block waiting for more particles that never come. A
+// required step missing from the extracted sequence fails conformance.
+// psa-verify: protocol-role(manager, manager_loop)
+
+pub fn manager_loop(ep: &Endpoint) {
+    ep.send(1, Msg::Particles { batch: emit_new() });
+    match ep.recv_deadline(0) {
+        Msg::Load { info, .. } => record(info),
+    }
+}

@@ -1,0 +1,14 @@
+// psa-verify-fixture: expect(nondet-taint)
+// psa-verify-fixture: expect(wall-clock)
+// A phase entry that reads the host clock directly: the compute phase's
+// output now depends on machine load. The token lint flags the clock read
+// itself; the taint analysis additionally proves it sits on a path from a
+// phase entry point, so moving it behind a helper cannot hide it.
+
+pub fn phase_calculus(dt: f64) -> f64 {
+    let t0 = std::time::Instant::now();
+    integrate(dt);
+    t0.elapsed().as_secs_f64()
+}
+
+fn integrate(_dt: f64) {}

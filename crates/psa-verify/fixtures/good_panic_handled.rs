@@ -1,0 +1,13 @@
+// The fallible twin of bad_panic_reach / bad_index_panic: the same
+// protocol root, but the lookup is a get() and the absence case surfaces
+// as a typed error the executor can put in the run report. Must produce
+// zero violations.
+// psa-verify: panic-entry(deliver)
+
+pub fn deliver(queue: &[u64], r: usize) -> Result<u64, String> {
+    lookup(queue, r).ok_or_else(|| format!("rank {r} out of range"))
+}
+
+fn lookup(queue: &[u64], r: usize) -> Option<u64> {
+    queue.get(r).copied()
+}

@@ -1,0 +1,8 @@
+// A thread-identity read in a function *no phase entry reaches*: taint is
+// about reachability, not mere presence. Debug/diagnostic helpers outside
+// the frame loop may inspect the current thread without poisoning the
+// determinism contract. Must produce zero violations.
+
+pub fn debug_worker_label() -> String {
+    format!("worker {:?}", std::thread::current().id())
+}

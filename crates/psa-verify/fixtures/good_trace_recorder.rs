@@ -8,7 +8,7 @@ use std::time::Instant;
 /// Wall epoch for threaded-executor phase marks. The reading never feeds
 /// virtual time; it only labels a measurement as wall-clock derived.
 pub struct WallEpoch {
-    start: Instant, // psa-verify: allow(wall-clock) — threaded-only epoch
+    start: Instant,
 }
 
 impl WallEpoch {
@@ -17,7 +17,7 @@ impl WallEpoch {
     }
 
     pub fn seconds(&self) -> f64 {
-        self.start.elapsed().as_secs_f64() // psa-verify: allow(wall-clock)
+        self.start.elapsed().as_secs_f64()
     }
 }
 

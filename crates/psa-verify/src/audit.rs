@@ -1,0 +1,183 @@
+//! Central suppression + escape-hatch audit.
+//!
+//! Every pass (token lints, taint, panic reachability, protocol
+//! conformance) emits *raw* findings — nothing is filtered at the point of
+//! detection. This pass is the single place `// psa-verify: allow(<key>)`
+//! annotations are honoured, which is what makes the audit sound: an
+//! annotation that suppressed nothing in the whole run *provably* guards
+//! nothing, and becomes a `stale-allow` error. The escape-hatch inventory
+//! can only shrink — deleting dead allows is mandatory, not housekeeping.
+//!
+//! A raw finding may carry several keys (taint findings accept both
+//! `nondet-taint` and the source-class key); suppression by *any* key
+//! counts the annotation as used.
+
+use crate::corpus::Unit;
+use crate::lints::{known_allow_key, STALE_ALLOW};
+use crate::report::Violation;
+
+/// One unsuppressed finding: the violation plus every allow-key that may
+/// silence it, tied back to its corpus unit.
+#[derive(Debug)]
+pub struct Raw {
+    pub unit: usize,
+    pub v: Violation,
+    pub keys: Vec<&'static str>,
+}
+
+/// Apply allow-annotations to `raws`; surviving violations come back, plus
+/// (when `audit` is set) a `stale-allow` error per annotation that never
+/// suppressed anything or names an unknown key.
+pub fn apply(units: &[Unit], raws: Vec<Raw>, audit: bool) -> Vec<Violation> {
+    // Per unit: one `used` flag per annotation, file-level then line-level.
+    let mut file_used: Vec<Vec<bool>> =
+        units.iter().map(|u| vec![false; u.model.file_allows.len()]).collect();
+    let mut line_used: Vec<Vec<bool>> =
+        units.iter().map(|u| vec![false; u.model.line_allows.len()]).collect();
+
+    let mut out = Vec::new();
+    for raw in raws {
+        let u = &units[raw.unit];
+        let vline = raw.v.line - 1; // violations are 1-based
+        let mut suppressed = false;
+        for (ai, (_, name)) in u.model.file_allows.iter().enumerate() {
+            if raw.keys.iter().any(|k| k == name) {
+                file_used[raw.unit][ai] = true;
+                suppressed = true;
+            }
+        }
+        for (ai, (aline, name)) in u.model.line_allows.iter().enumerate() {
+            if raw.keys.iter().any(|k| k == name) && (*aline == vline || aline + 1 == vline) {
+                line_used[raw.unit][ai] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(raw.v);
+        }
+    }
+
+    if audit {
+        for (ui, u) in units.iter().enumerate() {
+            let annotations = u
+                .model
+                .file_allows
+                .iter()
+                .zip(&file_used[ui])
+                .chain(u.model.line_allows.iter().zip(&line_used[ui]));
+            for ((aline, name), used) in annotations {
+                if name == STALE_ALLOW.allow_key {
+                    // `allow(stale-allow)` would make the audit self-defeating.
+                    continue;
+                }
+                let reason = if !known_allow_key(name) {
+                    Some(format!("allow({name}) names an unknown lint key"))
+                } else if !used {
+                    Some(format!("allow({name}) suppresses nothing"))
+                } else {
+                    None
+                };
+                if let Some(needle) = reason {
+                    out.push(Violation {
+                        lint: STALE_ALLOW.id.to_string(),
+                        file: u.rel.clone(),
+                        line: aline + 1,
+                        needle,
+                        message: STALE_ALLOW.message.to_string(),
+                        severity: "error".to_string(),
+                        snippet: u
+                            .raw_lines()
+                            .get(*aline)
+                            .map_or(String::new(), |l| l.trim().to_string()),
+                    });
+                }
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(unit: usize, line: usize, lint: &str, keys: Vec<&'static str>) -> Raw {
+        Raw {
+            unit,
+            v: Violation {
+                lint: lint.to_string(),
+                file: "f.rs".to_string(),
+                line,
+                needle: "x".to_string(),
+                message: "m".to_string(),
+                severity: "error".to_string(),
+                snippet: String::new(),
+            },
+            keys,
+        }
+    }
+
+    #[test]
+    fn line_allow_suppresses_and_counts_as_used() {
+        let u = Unit::parse(
+            "f.rs",
+            "use x;\n// psa-verify: allow(wall-clock) reason\nlet t = Instant::now();\n"
+                .to_string(),
+        );
+        let out = apply(&[u], vec![raw(0, 3, "wall-clock", vec!["wall-clock"])], true);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn unused_allow_is_a_stale_allow_error() {
+        let u = Unit::parse(
+            "f.rs",
+            "use x;\n// psa-verify: allow(wall-clock) nothing here\nlet y = 1;\n".to_string(),
+        );
+        let out = apply(&[u], vec![], true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, "stale-allow");
+        assert_eq!(out[0].line, 2);
+        assert!(out[0].needle.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn unknown_key_is_a_stale_allow_error_even_if_positioned_right() {
+        let u = Unit::parse(
+            "f.rs",
+            "use x;\n// psa-verify: allow(wallclock) typo\nlet t = Instant::now();\n".to_string(),
+        );
+        let out = apply(&[u], vec![raw(0, 3, "wall-clock", vec!["wall-clock"])], true);
+        assert_eq!(out.len(), 2, "{out:#?}"); // the violation AND the typo'd allow
+        assert!(out.iter().any(|v| v.lint == "stale-allow" && v.needle.contains("unknown")));
+        assert!(out.iter().any(|v| v.lint == "wall-clock"));
+    }
+
+    #[test]
+    fn any_key_of_a_multi_key_finding_suppresses_it() {
+        let u = Unit::parse(
+            "f.rs",
+            "use x;\n// psa-verify: allow(wall-clock) timing fence\nlet t = Instant::now();\n"
+                .to_string(),
+        );
+        let out =
+            apply(&[u], vec![raw(0, 3, "nondet-taint", vec!["nondet-taint", "wall-clock"])], true);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn file_allow_suppresses_any_line_and_audit_can_be_disabled() {
+        let u = Unit::parse(
+            "f.rs",
+            "// psa-verify: allow(index-panic) bounds by construction\nfn f() {}\n// psa-verify: allow(unordered) dead\n".to_string(),
+        );
+        let raws = vec![raw(0, 2, "index-panic", vec!["index-panic"])];
+        assert!(apply(&[Unit::parse("f.rs", u.src.clone())], raws, false).is_empty());
+        let audited = apply(&[u], vec![raw(0, 2, "index-panic", vec!["index-panic"])], true);
+        assert_eq!(audited.len(), 1, "{audited:#?}");
+        assert_eq!(audited[0].lint, "stale-allow");
+        assert_eq!(audited[0].line, 3);
+    }
+}

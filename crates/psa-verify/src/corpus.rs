@@ -1,0 +1,94 @@
+//! The analysis corpus: one [`Unit`] per source file, parsed once and
+//! shared by every pass (token lints, call graph, taint, panic
+//! reachability, protocol conformance, suppression audit).
+//!
+//! Units also carry the two analysis pragmas fixtures use to opt into the
+//! graph passes without living at a policy-known workspace path:
+//!
+//! * `// psa-verify: protocol-role(<role>, <entry_fn>)` — check
+//!   `<entry_fn>`'s extracted send/recv sequence against `<role>`'s
+//!   Figure-2 table;
+//! * `// psa-verify: panic-entry(<fn>)` — treat `<fn>` as a protocol root
+//!   for the panic-reachability pass.
+
+use crate::ast::{collect_fns, FnInfo};
+use crate::lex::{tokenize, Tok};
+use crate::scan::FileModel;
+
+/// One parsed source file.
+pub struct Unit {
+    /// Workspace-relative path (`/` separators) — drives policy decisions
+    /// and appears in diagnostics. For fixtures this is the bare filename.
+    pub rel: String,
+    /// Raw source, for snippets.
+    pub src: String,
+    pub model: FileModel,
+    pub toks: Vec<Tok>,
+    pub fns: Vec<FnInfo>,
+    /// `protocol-role(role, fn)` pragmas.
+    pub roles: Vec<(String, String)>,
+    /// `panic-entry(fn)` pragmas.
+    pub panic_entries: Vec<String>,
+}
+
+const ROLE_TAG: &str = "psa-verify: protocol-role(";
+const PANIC_TAG: &str = "psa-verify: panic-entry(";
+
+impl Unit {
+    pub fn parse(rel: &str, src: String) -> Unit {
+        let model = FileModel::parse(&src);
+        let toks = tokenize(&model.code);
+        let fns = collect_fns(&toks, &model);
+        let mut roles = Vec::new();
+        let mut panic_entries = Vec::new();
+        for line in &model.comments {
+            if let Some(args) = pragma_args(line, ROLE_TAG) {
+                if let Some((role, entry)) = args.split_once(',') {
+                    roles.push((role.trim().to_string(), entry.trim().to_string()));
+                }
+            }
+            if let Some(args) = pragma_args(line, PANIC_TAG) {
+                panic_entries.push(args.trim().to_string());
+            }
+        }
+        Unit { rel: rel.to_string(), src, model, toks, fns, roles, panic_entries }
+    }
+
+    /// Raw source lines (0-based), for snippet extraction.
+    pub fn raw_lines(&self) -> Vec<&str> {
+        self.src.lines().collect()
+    }
+}
+
+/// The `...` of `TAG...)` if `line` carries the pragma.
+fn pragma_args<'a>(line: &'a str, tag: &str) -> Option<&'a str> {
+    let start = line.find(tag)? + tag.len();
+    let end = line[start..].find(')')? + start;
+    Some(&line[start..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragmas_are_parsed_from_comments_only() {
+        let src = "\
+// psa-verify: protocol-role(manager, frame_loop)
+// psa-verify: panic-entry(handle_msg)
+fn frame_loop() {}
+fn handle_msg() {}
+let s = \"psa-verify: panic-entry(not_me)\";
+";
+        let u = Unit::parse("fixture.rs", src.to_string());
+        assert_eq!(u.roles, vec![("manager".to_string(), "frame_loop".to_string())]);
+        assert_eq!(u.panic_entries, vec!["handle_msg".to_string()]);
+    }
+
+    #[test]
+    fn unit_exposes_fns_and_lines() {
+        let u = Unit::parse("x.rs", "fn a() {}\nfn b() { a(); }\n".to_string());
+        assert_eq!(u.fns.len(), 2);
+        assert_eq!(u.raw_lines().len(), 2);
+    }
+}

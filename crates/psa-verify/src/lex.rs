@@ -1,0 +1,191 @@
+//! Tokenizer over the stripped code channel.
+//!
+//! `syn` is not available to an offline build, so the AST passes are built
+//! on a hand-rolled lexer. It runs on [`crate::scan::FileModel::code`] —
+//! comments already removed, string/char literal *contents* already
+//! blanked — which means the lexer never has to worry about `//` inside a
+//! string or a lint token inside a doc comment: those false-positive
+//! classes are dead before tokenization starts.
+//!
+//! The token stream is intentionally small: identifiers (maximal munch, so
+//! `unwrap_or_else` is one token and never matches `unwrap`), numeric and
+//! blanked string literals, lifetimes, and punctuation. Only the compound
+//! puncts the analyses care about are fused (`::`, `=>`, `->`, `..`);
+//! everything else stays single-char, which is unambiguous because fusion
+//! happens left-to-right on adjacent characters.
+
+/// What kind of lexeme a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap_or_else`, ...).
+    Ident,
+    /// Numeric literal or a blanked `""` string literal.
+    Literal,
+    /// Lifetime tick + name (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation, possibly fused (`::`, `=>`, `->`, `..`, `(`, `{`, ...).
+    Punct,
+}
+
+/// One token with its 0-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 0-based line in the original file.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this token exactly the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this token exactly the punctuation `s`?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Compound puncts the analyses distinguish. Fused by maximal munch over
+/// adjacent characters; `..=` is lexed as `..` + `=`, which no pattern
+/// cares about.
+const FUSED: &[&str] = &["::", "=>", "->", ".."];
+
+/// Tokenize the per-line code channel of one file.
+pub fn tokenize(code_lines: &[String]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (line_no, line) in code_lines.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            // Identifier / keyword.
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                toks.push(Tok { kind: TokKind::Ident, text, line: line_no });
+                continue;
+            }
+            // Numeric literal (digits plus type-suffix/float tail; `..` is
+            // never swallowed because `.` is only consumed when followed by
+            // another digit).
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric()
+                        || chars[i] == '_'
+                        || (chars[i] == '.'
+                            && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                            && !chars[start..i].contains(&'.')))
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                toks.push(Tok { kind: TokKind::Literal, text, line: line_no });
+                continue;
+            }
+            // Blanked string literal: scan.rs leaves `""` markers.
+            if c == '"' {
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != '"' {
+                    j += 1;
+                }
+                toks.push(Tok { kind: TokKind::Literal, text: "\"\"".into(), line: line_no });
+                i = (j + 1).min(chars.len());
+                continue;
+            }
+            // Lifetime: scan.rs only keeps `'` for lifetimes, never chars.
+            if c == '\'' {
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                toks.push(Tok { kind: TokKind::Lifetime, text, line: line_no });
+                continue;
+            }
+            // Punctuation, fusing the compound forms.
+            let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+            if FUSED.contains(&two.as_str()) {
+                toks.push(Tok { kind: TokKind::Punct, text: two, line: line_no });
+                i += 2;
+                continue;
+            }
+            toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line: line_no });
+            i += 1;
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::FileModel;
+
+    fn lex(src: &str) -> Vec<Tok> {
+        tokenize(&FileModel::parse(src).code)
+    }
+
+    fn texts(toks: &[Tok]) -> Vec<&str> {
+        toks.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn idents_are_maximal_munch() {
+        let t = lex("x.unwrap_or_else(f)");
+        assert!(t.iter().any(|t| t.is_ident("unwrap_or_else")));
+        assert!(!t.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn compound_puncts_fuse() {
+        let t = lex("Instant::now(); a => b; f -> c; 0..n");
+        let tx = texts(&t);
+        assert!(tx.contains(&"::"));
+        assert!(tx.contains(&"=>"));
+        assert!(tx.contains(&"->"));
+        assert!(tx.contains(&".."));
+    }
+
+    #[test]
+    fn range_does_not_swallow_numbers() {
+        let t = lex("for i in 0..10 {}");
+        let tx = texts(&t);
+        assert!(tx.contains(&"0") && tx.contains(&"..") && tx.contains(&"10"));
+    }
+
+    #[test]
+    fn floats_and_method_calls_split_correctly() {
+        let t = lex("let x = 1.5e-3; v.len()");
+        assert!(t.iter().any(|t| t.text == "1.5e"), "{:?}", texts(&t));
+        assert!(t.iter().any(|t| t.is_ident("len")));
+        // `1.5e-3` lexes as literal + `-` + literal; no analysis pattern
+        // cares, it only must not corrupt neighbouring tokens.
+        assert!(t.iter().any(|t| t.is_punct(";")));
+    }
+
+    #[test]
+    fn strings_are_blank_literals_and_lines_tracked() {
+        let t = lex("let s = \"HashMap\";\nlet m = HashMap::new();\n");
+        let hash_toks: Vec<_> = t.iter().filter(|t| t.is_ident("HashMap")).collect();
+        assert_eq!(hash_toks.len(), 1);
+        assert_eq!(hash_toks[0].line, 1);
+    }
+
+    #[test]
+    fn lifetimes_lex_as_one_token() {
+        let t = lex("fn f<'a>(x: &'a str) {}");
+        assert!(t.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+    }
+}

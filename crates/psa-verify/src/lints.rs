@@ -1,17 +1,28 @@
-//! The lint set: what to look for, where panics are forbidden, and the
-//! per-file runner.
+//! The lint registry: token-pattern lints, the analysis lints layered on
+//! the call graph, and the per-file pattern runner.
+//!
+//! Token lints match *token sequences* on the lexed code channel, so
+//! `BuildHashMapConfig` no longer matches `HashMap` and `unwrap_or_else`
+//! never matches `unwrap` — the substring false-positive class of the v1
+//! lexical scanner is structurally gone. Analysis lints (`nondet-taint`,
+//! `panic-reach`, `index-panic`, `protocol-order`, `stale-allow`) have no
+//! patterns here; they are produced by the `taint` / `panics` / `proto` /
+//! `audit` passes and registered in [`ALL_LINTS`] so the selftest coverage
+//! rule ("every lint id has a fixture") applies to them too.
 
+use crate::lex::Tok;
 use crate::report::Violation;
 use crate::scan::FileModel;
 
-/// One lexical lint: needles searched on the stripped code channel.
+/// One registered lint.
 pub struct LintDef {
     /// Stable id used in reports and CI filters.
     pub id: &'static str,
     /// Name accepted by `// psa-verify: allow(<key>)`.
     pub allow_key: &'static str,
-    /// Substrings that fire the lint when found in code.
-    pub needles: &'static [&'static str],
+    /// Token-sequence patterns that fire the lint (empty for analysis
+    /// lints, which are produced by the graph passes instead).
+    pub patterns: &'static [&'static [&'static str]],
     /// Human explanation of why the construct is banned.
     pub message: &'static str,
     /// Whether `#[cfg(test)]` / `#[test]` bodies are exempt.
@@ -23,7 +34,7 @@ pub struct LintDef {
 pub const UNORDERED: LintDef = LintDef {
     id: "unordered-collections",
     allow_key: "unordered",
-    needles: &["HashMap", "HashSet"],
+    patterns: &[&["HashMap"], &["HashSet"]],
     message: "unordered collection in a simulation crate; use BTreeMap/BTreeSet \
               or annotate `// psa-verify: allow(unordered)` with a reason",
     skip_tests: false,
@@ -34,7 +45,12 @@ pub const UNORDERED: LintDef = LintDef {
 pub const WALL_CLOCK: LintDef = LintDef {
     id: "wall-clock",
     allow_key: "wall-clock",
-    needles: &["Instant::now", "SystemTime", "thread::sleep", "sleep("],
+    patterns: &[
+        &["Instant", "::", "now"],
+        &["SystemTime"],
+        &["thread", "::", "sleep"],
+        &["sleep", "("],
+    ],
     message: "wall-clock/sleep in virtual-time code; virtual time must come from \
               the cost model, and injected fault delays must be charged as \
               virtual ticks (netsim fault plans), or annotate \
@@ -48,7 +64,7 @@ pub const WALL_CLOCK: LintDef = LintDef {
 pub const UNBOUNDED_RECV: LintDef = LintDef {
     id: "no-unbounded-recv",
     allow_key: "unbounded-recv",
-    needles: &[".recv("],
+    patterns: &[&[".", "recv", "("]],
     message: "unbounded blocking receive in a protocol module; use \
               `recv_deadline` so a lost peer surfaces as a typed \
               TransportError::Timeout with rank/frame context, or annotate \
@@ -61,7 +77,13 @@ pub const UNBOUNDED_RECV: LintDef = LintDef {
 pub const AMBIENT_RNG: LintDef = LintDef {
     id: "ambient-rng",
     allow_key: "ambient-rng",
-    needles: &["thread_rng", "rand::random", "from_entropy", "OsRng", "getrandom"],
+    patterns: &[
+        &["thread_rng"],
+        &["rand", "::", "random"],
+        &["from_entropy"],
+        &["OsRng"],
+        &["getrandom"],
+    ],
     message: "ambient RNG; all randomness must flow through seeded psa_math::Rng64 \
               streams",
     skip_tests: false,
@@ -72,7 +94,14 @@ pub const AMBIENT_RNG: LintDef = LintDef {
 pub const PROTOCOL_PANIC: LintDef = LintDef {
     id: "protocol-panic",
     allow_key: "panic",
-    needles: &[".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"],
+    patterns: &[
+        &[".", "unwrap", "(", ")"],
+        &[".", "expect", "("],
+        &["panic", "!"],
+        &["unreachable", "!"],
+        &["todo", "!"],
+        &["unimplemented", "!"],
+    ],
     message: "panic path in a protocol module; return a typed ProtocolError/\
               TransportError to the executor instead",
     skip_tests: true,
@@ -86,7 +115,7 @@ pub const PROTOCOL_PANIC: LintDef = LintDef {
 pub const THREAD_CONFINEMENT: LintDef = LintDef {
     id: "thread-confinement",
     allow_key: "thread-spawn",
-    needles: &["thread::spawn", "thread::scope"],
+    patterns: &[&["thread", "::", "spawn"], &["thread", "::", "scope"]],
     message: "thread spawn in a simulation crate outside psa_core::kernel; route \
               parallel compute through the chunked kernel (deterministic for any \
               worker count), or annotate `// psa-verify: allow(thread-spawn)` \
@@ -94,41 +123,144 @@ pub const THREAD_CONFINEMENT: LintDef = LintDef {
     skip_tests: true,
 };
 
-pub const ALL_LINTS: &[&LintDef] =
-    &[&UNORDERED, &WALL_CLOCK, &AMBIENT_RNG, &PROTOCOL_PANIC, &UNBOUNDED_RECV, &THREAD_CONFINEMENT];
+// ---------------------------------------------------------------------------
+// Analysis lints (call-graph passes; no token patterns).
+// ---------------------------------------------------------------------------
+
+/// Nondeterminism taint: an ambient source (wall clock, unordered
+/// collection, ambient RNG, thread identity) inside a function reachable
+/// from a phase entry point.
+pub const NONDET_TAINT: LintDef = LintDef {
+    id: "nondet-taint",
+    allow_key: "nondet-taint",
+    patterns: &[],
+    message: "nondeterministic source reachable from a phase entry point; state \
+              that feeds fingerprints must be a pure function of the seed — \
+              route randomness through psa_math::Rng64, timing through the cost \
+              model, and iteration through ordered collections",
+    skip_tests: true,
+};
+
+/// Panic reachability: a panic-family construct inside a function reachable
+/// from the protocol send/recv roots, found over the call graph.
+pub const PANIC_REACH: LintDef = LintDef {
+    id: "panic-reach",
+    allow_key: "panic-reach",
+    patterns: &[],
+    message: "panic path reachable from a protocol root over the call graph; a \
+              poisoned rank thread deadlocks its peers — return a typed error \
+              up the call chain instead",
+    skip_tests: true,
+};
+
+/// Indexing that can panic inside functions reachable from protocol roots.
+pub const INDEX_PANIC: LintDef = LintDef {
+    id: "index-panic",
+    allow_key: "index-panic",
+    patterns: &[],
+    message: "slice/array indexing reachable from a protocol root; an \
+              out-of-range index panics the rank thread — use get()/get_mut() \
+              with a typed error, or annotate \
+              `// psa-verify: allow(index-panic)` with the bounds invariant",
+    skip_tests: true,
+};
+
+/// Figure-2 protocol conformance: the statically extracted send/recv
+/// sequence of an executor role must match the six-phase state machine.
+pub const PROTOCOL_ORDER: LintDef = LintDef {
+    id: "protocol-order",
+    allow_key: "protocol-order",
+    patterns: &[],
+    message: "executor send/recv sequence deviates from the Figure-2 six-phase \
+              protocol state machine (see psa-verify's proto module for the \
+              per-role spec)",
+    skip_tests: true,
+};
+
+/// Suppression audit: an `// psa-verify: allow(...)` annotation that no
+/// longer suppresses anything (or names an unknown lint) is an error, so
+/// the escape-hatch inventory can only shrink.
+pub const STALE_ALLOW: LintDef = LintDef {
+    id: "stale-allow",
+    allow_key: "stale-allow",
+    patterns: &[],
+    message: "stale `// psa-verify: allow(...)` annotation: it suppresses \
+              nothing on this line or file — delete it (the escape-hatch \
+              inventory may only shrink)",
+    skip_tests: false,
+};
+
+pub const ALL_LINTS: &[&LintDef] = &[
+    &UNORDERED,
+    &WALL_CLOCK,
+    &AMBIENT_RNG,
+    &PROTOCOL_PANIC,
+    &UNBOUNDED_RECV,
+    &THREAD_CONFINEMENT,
+    &NONDET_TAINT,
+    &PANIC_REACH,
+    &INDEX_PANIC,
+    &PROTOCOL_ORDER,
+    &STALE_ALLOW,
+];
 
 /// Look up a lint by id.
 pub fn by_id(id: &str) -> Option<&'static LintDef> {
     ALL_LINTS.iter().copied().find(|l| l.id == id)
 }
 
-/// Run `lints` over one parsed file; `display_path` goes into diagnostics.
+/// Is `key` a registered allow-key?
+pub fn known_allow_key(key: &str) -> bool {
+    ALL_LINTS.iter().any(|l| l.allow_key == key)
+}
+
+/// Run the token-pattern lints over one lexed file. Returns *raw*
+/// violations — allow-annotations are applied later by the suppression
+/// pass, which also audits them.
 pub fn run_lints(
     display_path: &str,
     model: &FileModel,
-    lints: &[&LintDef],
+    toks: &[Tok],
+    lints: &[&'static LintDef],
     raw_lines: &[&str],
-) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for (i, code) in model.code.iter().enumerate() {
-        for lint in lints {
-            if lint.skip_tests && model.in_test[i] {
-                continue;
+) -> Vec<(Violation, &'static str)> {
+    let mut out: Vec<(Violation, &'static str)> = Vec::new();
+    for lint in lints {
+        let mut seen_lines: Vec<usize> = Vec::new();
+        for pattern in lint.patterns {
+            for k in 0..toks.len() {
+                if !pattern
+                    .iter()
+                    .enumerate()
+                    .all(|(off, want)| toks.get(k + off).is_some_and(|t| t.text == *want))
+                {
+                    continue;
+                }
+                let line = toks[k].line;
+                if lint.skip_tests && model.in_test.get(line).copied().unwrap_or(false) {
+                    continue;
+                }
+                // One finding per (lint, line): overlapping patterns (e.g.
+                // `thread::sleep` and `sleep(`) describe the same construct.
+                if seen_lines.contains(&line) {
+                    continue;
+                }
+                seen_lines.push(line);
+                out.push((
+                    Violation {
+                        lint: lint.id.to_string(),
+                        file: display_path.to_string(),
+                        line: line + 1,
+                        needle: pattern.concat(),
+                        message: lint.message.to_string(),
+                        severity: "error".to_string(),
+                        snippet: raw_lines
+                            .get(line)
+                            .map_or(String::new(), |l| l.trim().to_string()),
+                    },
+                    lint.allow_key,
+                ));
             }
-            let Some(needle) = lint.needles.iter().find(|n| code.contains(*n)) else {
-                continue;
-            };
-            if model.allowed(i, lint.allow_key) {
-                continue;
-            }
-            out.push(Violation {
-                lint: lint.id.to_string(),
-                file: display_path.to_string(),
-                line: i + 1,
-                needle: needle.to_string(),
-                message: lint.message.to_string(),
-                snippet: raw_lines.get(i).map_or(String::new(), |l| l.trim().to_string()),
-            });
         }
     }
     out
@@ -137,11 +269,17 @@ pub fn run_lints(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lex::tokenize;
 
-    fn scan(src: &str, lints: &[&LintDef]) -> Vec<Violation> {
+    fn scan(src: &str, lints: &[&'static LintDef]) -> Vec<Violation> {
         let model = FileModel::parse(src);
+        let toks = tokenize(&model.code);
         let raw: Vec<&str> = src.lines().collect();
-        run_lints("test.rs", &model, lints, &raw)
+        run_lints("test.rs", &model, &toks, lints, &raw)
+            .into_iter()
+            .filter(|(v, key)| !model.allowed(v.line - 1, key))
+            .map(|(v, _)| v)
+            .collect()
     }
 
     #[test]
@@ -153,6 +291,16 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 1);
         assert_eq!(v[0].lint, "unordered-collections");
+    }
+
+    #[test]
+    fn identifier_containing_a_needle_does_not_fire() {
+        // The v1 substring scanner tripped on all of these.
+        let v = scan(
+            "struct BuildHashMapConfig;\nlet my_thread_rng_label = 1;\nfn sleepy() {}\n",
+            &[&UNORDERED, &AMBIENT_RNG, &WALL_CLOCK],
+        );
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
@@ -171,6 +319,14 @@ mod tests {
             &[&PROTOCOL_PANIC],
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn spaced_tokens_still_fire() {
+        // Token matching sees through whitespace the substring scanner
+        // required to be absent.
+        let v = scan("let t = Instant :: now();\n", &[&WALL_CLOCK]);
+        assert_eq!(v.len(), 1, "{v:?}");
     }
 
     #[test]
@@ -216,10 +372,16 @@ mod tests {
     }
 
     #[test]
-    fn every_lint_id_resolves() {
+    fn every_lint_id_resolves_and_analysis_lints_are_registered() {
         for l in ALL_LINTS {
             assert!(by_id(l.id).is_some());
         }
         assert!(by_id("no-such-lint").is_none());
+        for id in ["nondet-taint", "panic-reach", "index-panic", "protocol-order", "stale-allow"] {
+            assert!(by_id(id).is_some(), "analysis lint {id} must be registered");
+            assert!(by_id(id).unwrap().patterns.is_empty());
+        }
+        assert!(known_allow_key("wall-clock"));
+        assert!(!known_allow_key("bogus"));
     }
 }

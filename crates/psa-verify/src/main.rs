@@ -1,38 +1,61 @@
 //! `psa-verify` — workspace determinism & protocol-safety analysis pass.
 //!
 //! The compiler cannot see that `HashMap` iteration order breaks
-//! bit-reproducible runs, or that an `unwrap()` in a message handler turns
-//! a torn-down peer into a deadlocked executor. This tool walks every
-//! source file in the workspace and enforces those repo-specific invariants
-//! lexically (see `scan` for why the three text channels make that sound).
+//! bit-reproducible runs, that an `unwrap()` three calls below a message
+//! handler deadlocks the executor, or that a new executor sends `Balance`
+//! traffic before its `Load` report. This tool parses every source file
+//! into a token stream and a function-level AST (`lex` / `ast`), links the
+//! functions into a conservative call graph (`graph`), and runs four
+//! analyses on top of the token-pattern lints:
+//!
+//! * nondeterminism taint from ambient sources into the phase entry points
+//!   (`taint`);
+//! * panic reachability from the protocol send/recv roots (`panics`);
+//! * Figure-2 protocol conformance of each executor's extracted send/recv
+//!   sequence (`proto`);
+//! * a suppression audit that turns dead `allow(...)` annotations into
+//!   errors (`audit`).
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p psa-verify -- check            # lint the whole workspace
+//! cargo run -p psa-verify -- check            # analyze the whole workspace
 //! cargo run -p psa-verify -- check --json     # same, JSON report on stdout
-//! cargo run -p psa-verify -- check PATH...    # lint specific files/dirs
+//! cargo run -p psa-verify -- check PATH...    # analyze specific files/dirs
 //!                                             # (ALL lints apply — used on
 //!                                             # the bad-fixture corpus)
 //! cargo run -p psa-verify -- selftest         # every lint must catch its
 //!                                             # fixture; good fixtures must
 //!                                             # pass clean
+//! cargo run -p psa-verify -- lints            # print every registered lint
+//!                                             # id (CI cross-checks fixture
+//!                                             # coverage against this)
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found (or selftest failure), 2 usage
 //! or I/O error.
 
+mod ast;
+mod audit;
+mod corpus;
+mod graph;
+mod lex;
 mod lints;
+mod panics;
 mod policy;
+mod proto;
 mod report;
 mod scan;
+mod taint;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use lints::{run_lints, ALL_LINTS};
+use audit::Raw;
+use corpus::Unit;
+use graph::CallGraph;
+use lints::{run_lints, ALL_LINTS, PROTOCOL_ORDER};
 use report::Violation;
-use scan::FileModel;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,8 +76,14 @@ fn main() -> ExitCode {
             run_check(&paths, json)
         }
         Some("selftest") => run_selftest(),
+        Some("lints") => {
+            for l in ALL_LINTS {
+                println!("{}", l.id);
+            }
+            ExitCode::SUCCESS
+        }
         _ => {
-            eprintln!("usage: psa-verify <check [--json] [PATH...] | selftest>");
+            eprintln!("usage: psa-verify <check [--json] [PATH...] | selftest | lints>");
             ExitCode::from(2)
         }
     }
@@ -87,23 +116,25 @@ fn run_check(paths: &[PathBuf], json: bool) -> ExitCode {
         out
     };
 
-    let mut violations = Vec::new();
+    let mut units = Vec::new();
     for path in &files {
         let rel = display_path(path, &root);
+        if workspace_mode && policy::SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+            continue;
+        }
         let Ok(src) = std::fs::read_to_string(path) else {
             eprintln!("psa-verify: cannot read `{}`", path.display());
             return ExitCode::from(2);
         };
-        let set: Vec<_> = if workspace_mode { policy::lints_for(&rel) } else { ALL_LINTS.to_vec() };
-        violations.extend(check_source(&rel, &src, &set));
+        units.push(Unit::parse(&rel, src));
     }
-    violations.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    let violations = analyze(&units, workspace_mode);
 
     if json {
-        println!("{}", report::json(files.len(), &violations));
+        println!("{}", report::json(units.len(), &violations));
     } else {
         print!("{}", report::human(&violations));
-        println!("{}", report::summary(files.len(), &violations));
+        println!("{}", report::summary(units.len(), &violations));
     }
     if violations.is_empty() {
         ExitCode::SUCCESS
@@ -112,11 +143,72 @@ fn run_check(paths: &[PathBuf], json: bool) -> ExitCode {
     }
 }
 
-/// Parse one source buffer and run the given lint set over it.
-fn check_source(rel: &str, src: &str, set: &[&'static lints::LintDef]) -> Vec<Violation> {
-    let model = FileModel::parse(src);
-    let raw: Vec<&str> = src.lines().collect();
-    run_lints(rel, &model, set, &raw)
+/// The whole pipeline over one corpus: token lints, call-graph analyses,
+/// protocol conformance, then the central suppression pass + audit.
+/// In workspace mode the token-lint set and graph eligibility follow
+/// `policy`; in path/fixture mode every lint applies and every unit joins
+/// the graph (fixtures opt into roots via pragmas).
+fn analyze(units: &[Unit], workspace_mode: bool) -> Vec<Violation> {
+    let mut raws: Vec<Raw> = Vec::new();
+
+    for (ui, u) in units.iter().enumerate() {
+        let set: Vec<_> =
+            if workspace_mode { policy::lints_for(&u.rel) } else { ALL_LINTS.to_vec() };
+        let raw_lines = u.raw_lines();
+        for (v, key) in run_lints(&u.rel, &u.model, &u.toks, &set, &raw_lines) {
+            raws.push(Raw { unit: ui, v, keys: vec![key] });
+        }
+    }
+
+    let eligible: Vec<bool> =
+        units.iter().map(|u| !workspace_mode || policy::graph_eligible(&u.rel)).collect();
+    let views: Vec<(&str, &[ast::FnInfo])> = units
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.rel.as_str(), if eligible[i] { u.fns.as_slice() } else { &[] }))
+        .collect();
+    let graph = CallGraph::build(&views);
+
+    raws.extend(taint::run(units, &graph, &eligible, policy::PHASE_ENTRIES));
+    raws.extend(panics::run(units, &graph, &eligible));
+
+    for (ui, u) in units.iter().enumerate() {
+        let mut roles: Vec<(String, String)> = u.roles.clone();
+        if workspace_mode {
+            for (file, role, entry) in policy::ROLE_BINDINGS {
+                if u.rel == *file {
+                    roles.push((role.to_string(), entry.to_string()));
+                }
+            }
+        }
+        let raw_lines = u.raw_lines();
+        for (role, entry) in &roles {
+            let Some(spec) = proto::spec_for_role(role) else {
+                raws.push(Raw {
+                    unit: ui,
+                    v: Violation {
+                        lint: PROTOCOL_ORDER.id.to_string(),
+                        file: u.rel.clone(),
+                        line: 1,
+                        needle: format!("unknown protocol role `{role}`"),
+                        message: PROTOCOL_ORDER.message.to_string(),
+                        severity: "error".to_string(),
+                        snippet: String::new(),
+                    },
+                    keys: vec![PROTOCOL_ORDER.allow_key],
+                });
+                continue;
+            };
+            let entry_line =
+                u.fns.iter().find(|f| f.name == *entry && !f.is_test).map_or(0, |f| f.line);
+            let events = proto::extract_events(&u.fns, entry);
+            for v in proto::check_role(&u.rel, role, entry, entry_line, spec, &events, &raw_lines) {
+                raws.push(Raw { unit: ui, v, keys: vec![PROTOCOL_ORDER.allow_key] });
+            }
+        }
+    }
+
+    audit::apply(units, raws, true)
 }
 
 /// Recursively collect `.rs` files. In workspace mode, directories named in
@@ -161,6 +253,8 @@ fn display_path(path: &Path, root: &Path) -> String {
 // ---------------------------------------------------------------------------
 
 /// Run the fixture corpus; returns human-readable failures (empty = pass).
+/// Each fixture is analyzed as its own single-file corpus, so the call
+/// graph never links one fixture's functions to another's.
 fn selftest_failures() -> Vec<String> {
     const EXPECT_TAG: &str = "psa-verify-fixture: expect(";
     let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
@@ -189,8 +283,8 @@ fn selftest_failures() -> Vec<String> {
             }
         }
         let fired: Vec<String> = {
-            let mut ids: Vec<String> =
-                check_source(&name, &src, ALL_LINTS).into_iter().map(|v| v.lint).collect();
+            let units = vec![Unit::parse(&name, src)];
+            let mut ids: Vec<String> = analyze(&units, false).into_iter().map(|v| v.lint).collect();
             ids.sort();
             ids.dedup();
             ids
@@ -268,7 +362,9 @@ mod tests {
         let mut total = 0usize;
         for f in &files {
             let src = std::fs::read_to_string(f).expect("fixture readable");
-            total += check_source("fixture.rs", &src, ALL_LINTS).len();
+            let name = f.file_name().and_then(|n| n.to_str()).unwrap_or("fixture.rs").to_string();
+            let units = vec![Unit::parse(&name, src)];
+            total += analyze(&units, false).len();
         }
         assert!(total > 0, "fixture corpus produced no violations");
     }
@@ -283,5 +379,69 @@ mod tests {
             assert!(!p.contains("/fixtures/"), "walked into fixtures: {p}");
             assert!(!p.contains("/target/"), "walked into target: {p}");
         }
+    }
+
+    /// Golden test over the `check --json` schema: downstream tooling (the
+    /// CI diagnostics artifact) parses exactly this shape. If this test
+    /// needs updating, bump `report::SCHEMA_VERSION`.
+    #[test]
+    fn json_report_schema_is_golden() {
+        let src = "fn phase_calculus() { let t = Instant::now(); }\n";
+        let units = vec![Unit::parse("crates/demo/src/lib.rs", src.to_string())];
+        let violations = analyze(&units, false);
+        let got = report::json(1, &violations);
+        let want = concat!(
+            "{\"tool\":\"psa-verify\",\"schema_version\":2,\"files_scanned\":1,\"ok\":false,",
+            "\"violations\":[",
+            "{\"lint\":\"nondet-taint\",\"file\":\"crates/demo/src/lib.rs\",\"line\":1,",
+            "\"severity\":\"error\",",
+            "\"needle\":\"Instant::now in `phase_calculus` (reachable from phase entry `phase_calculus`)\",",
+            "\"message\":\"nondeterministic source reachable from a phase entry point; state ",
+            "that feeds fingerprints must be a pure function of the seed — ",
+            "route randomness through psa_math::Rng64, timing through the cost ",
+            "model, and iteration through ordered collections\",",
+            "\"snippet\":\"fn phase_calculus() { let t = Instant::now(); }\"},",
+            "{\"lint\":\"wall-clock\",\"file\":\"crates/demo/src/lib.rs\",\"line\":1,",
+            "\"severity\":\"error\",",
+            "\"needle\":\"Instant::now\",",
+            "\"message\":\"wall-clock/sleep in virtual-time code; virtual time must come from ",
+            "the cost model, and injected fault delays must be charged as ",
+            "virtual ticks (netsim fault plans), or annotate ",
+            "`// psa-verify: allow(wall-clock)`\",",
+            "\"snippet\":\"fn phase_calculus() { let t = Instant::now(); }\"}",
+            "]}",
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reordered_send_sequence_fails_protocol_conformance() {
+        // The ISSUE's acceptance probe: a scratch executor that ships its
+        // render batch before reporting Load must fail the check.
+        let src = "\
+// psa-verify: protocol-role(calculator, frame_loop)
+fn frame_loop(ep: &E) {
+    match ep.recv_deadline(0) { Msg::Particles { batch, .. } => use_batch(batch), }
+    match ep.recv_deadline(0) { Msg::EndOfTransmission { .. } => (), }
+    ep.send(1, Msg::Particles { batch });
+    match ep.recv_deadline(0) { Msg::Particles { batch, .. } => use_batch(batch), }
+    ep.send(9, Msg::RenderParticles { batch });
+    ep.send(0, Msg::Load { info });
+}
+";
+        let units = vec![Unit::parse("scratch.rs", src.to_string())];
+        let violations = analyze(&units, false);
+        assert!(
+            violations.iter().any(|v| v.lint == "protocol-order"),
+            "reorder must fail conformance: {violations:#?}"
+        );
+    }
+
+    #[test]
+    fn unknown_pragma_role_is_an_error() {
+        let src = "// psa-verify: protocol-role(render-farm, f)\nfn f() {}\n";
+        let units = vec![Unit::parse("x.rs", src.to_string())];
+        let violations = analyze(&units, false);
+        assert!(violations.iter().any(|v| v.needle.contains("unknown protocol role")));
     }
 }

@@ -1,0 +1,157 @@
+//! Panic reachability from the protocol send/recv paths.
+//!
+//! A rank thread that panics mid-protocol does not fail the run — it
+//! leaves every peer blocked on a receive that will never complete. The
+//! `protocol-panic` token lint bans panic constructs *inside* the protocol
+//! modules; this pass walks the call graph outward from those modules'
+//! functions (plus any `// psa-verify: panic-entry(<fn>)` pragma roots)
+//! and flags what the lexical rule cannot see:
+//!
+//! * **`panic-reach`** — `.unwrap()` / `.expect(` / panic-family macros in
+//!   a *reachable* function outside the protocol modules themselves
+//!   (inside them the token lint already fires; double-reporting the same
+//!   line under two ids would just be noise);
+//! * **`index-panic`** — slice/array indexing with a non-literal index in
+//!   any reachable function. Indexing is split into its own lint because
+//!   the fabric hot paths index rank-keyed vectors by construction-bounded
+//!   values; those files carry one documented file-level
+//!   `allow(index-panic)` each, without blunting the unwrap/panic rule.
+
+use crate::audit::Raw;
+use crate::corpus::Unit;
+use crate::graph::{CallGraph, FnRef};
+use crate::lints::{INDEX_PANIC, PANIC_REACH};
+use crate::policy;
+use crate::report::Violation;
+
+/// Run the panic-reachability pass. Roots are every non-test function in a
+/// file under [`policy::PANIC_ROOTS`], plus pragma-named functions.
+pub fn run(units: &[Unit], graph: &CallGraph, eligible: &[bool]) -> Vec<Raw> {
+    let mut entries: Vec<FnRef> = Vec::new();
+    for (fi, unit) in units.iter().enumerate() {
+        if !eligible[fi] {
+            continue;
+        }
+        let is_root_file = policy::PANIC_ROOTS.iter().any(|r| policy::under(&unit.rel, r));
+        for (xi, f) in unit.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            if is_root_file || unit.panic_entries.iter().any(|e| e == &f.name) {
+                entries.push(FnRef { file: fi, idx: xi });
+            }
+        }
+    }
+    let origin = graph.reach(&entries);
+
+    let mut out = Vec::new();
+    for (&r, &from) in &origin {
+        let unit = &units[r.file];
+        let f = &unit.fns[r.idx];
+        if f.is_test {
+            continue;
+        }
+        let root_name = units[from.file].fns[from.idx].name.as_str();
+        let raw_lines = unit.raw_lines();
+        let in_protocol_module = policy::PROTOCOL_ROOTS.iter().any(|p| policy::under(&unit.rel, p));
+        let mut push = |lint: &'static crate::lints::LintDef, what: &str, line: usize| {
+            out.push(Raw {
+                unit: r.file,
+                v: Violation {
+                    lint: lint.id.to_string(),
+                    file: unit.rel.clone(),
+                    line: line + 1,
+                    needle: format!(
+                        "{} in `{}` (reachable from protocol root `{}`)",
+                        what, f.name, root_name
+                    ),
+                    message: lint.message.to_string(),
+                    severity: "error".to_string(),
+                    snippet: raw_lines.get(line).map_or(String::new(), |l| l.trim().to_string()),
+                },
+                keys: vec![lint.allow_key],
+            });
+        };
+        if !in_protocol_module {
+            for site in &f.panics {
+                if unit.model.in_test.get(site.line).copied().unwrap_or(false) {
+                    continue;
+                }
+                push(&PANIC_REACH, &site.what, site.line);
+            }
+        }
+        for site in &f.indexing {
+            if unit.model.in_test.get(site.line).copied().unwrap_or(false) {
+                continue;
+            }
+            push(&INDEX_PANIC, &site.what, site.line);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(files: &[(&str, &str)]) -> (Vec<Unit>, CallGraph, Vec<bool>) {
+        let units: Vec<Unit> =
+            files.iter().map(|(rel, src)| Unit::parse(rel, src.to_string())).collect();
+        let views: Vec<(&str, &[crate::ast::FnInfo])> =
+            units.iter().map(|u| (u.rel.as_str(), u.fns.as_slice())).collect();
+        let graph = CallGraph::build(&views);
+        let eligible = vec![true; units.len()];
+        (units, graph, eligible)
+    }
+
+    #[test]
+    fn unwrap_reachable_from_a_protocol_root_fires_outside_it() {
+        let (units, graph, elig) = corpus(&[
+            (
+                "crates/netsim/src/virtual_net.rs",
+                // unwrap here is the token lint's job, not ours
+                "fn deliver() { q.front().unwrap(); decode_batch(); }\n",
+            ),
+            (
+                "crates/psa-core/src/codec.rs",
+                "fn decode_batch() { hdr.first().expect(\"hdr\"); }\n",
+            ),
+        ]);
+        let raws = run(&units, &graph, &elig);
+        let reach: Vec<&Raw> = raws.iter().filter(|r| r.v.lint == "panic-reach").collect();
+        assert_eq!(reach.len(), 1, "{raws:#?}");
+        assert_eq!(reach[0].v.file, "crates/psa-core/src/codec.rs");
+        assert!(reach[0].v.needle.contains("deliver"), "{}", reach[0].v.needle);
+    }
+
+    #[test]
+    fn indexing_fires_everywhere_reachable_including_root_files() {
+        let (units, graph, elig) = corpus(&[(
+            "crates/netsim/src/virtual_net.rs",
+            "fn route(&mut self, r: usize) { self.clocks[r] += 1; }\n",
+        )]);
+        let raws = run(&units, &graph, &elig);
+        assert_eq!(raws.len(), 1);
+        assert_eq!(raws[0].v.lint, "index-panic");
+        assert_eq!(raws[0].keys, vec!["index-panic"]);
+    }
+
+    #[test]
+    fn pragma_entry_roots_a_fixture_file() {
+        let (units, graph, elig) = corpus(&[(
+            "fixture.rs",
+            "// psa-verify: panic-entry(handle)\nfn handle() { helper(); }\nfn helper() { x.unwrap(); }\nfn cold() { y.unwrap(); }\n",
+        )]);
+        let raws = run(&units, &graph, &elig);
+        assert_eq!(raws.len(), 1, "{raws:#?}");
+        assert!(raws[0].v.needle.contains("helper"));
+        assert!(raws[0].v.needle.contains("handle"));
+    }
+
+    #[test]
+    fn unreachable_panics_are_not_flagged() {
+        let (units, graph, elig) =
+            corpus(&[("crates/psa-core/src/lib.rs", "fn free_standing() { x.unwrap(); }\n")]);
+        assert!(run(&units, &graph, &elig).is_empty());
+    }
+}

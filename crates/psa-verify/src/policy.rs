@@ -52,7 +52,67 @@ pub const KERNEL_MODULE: &str = "crates/psa-core/src/kernel.rs";
 /// Directory names skipped entirely during the workspace walk.
 pub const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
 
-fn under(rel: &str, root: &str) -> bool {
+/// Path prefixes excluded from the workspace corpus. The checker's own
+/// sources are full of *mentions* of the annotations and pragmas it
+/// parses (`allow(<key>)` in rustdoc, role tables, fixture excerpts);
+/// scanning itself would report every such mention as a stale annotation
+/// or an unknown role. The checker is covered by its unit tests and the
+/// fixture selftest instead.
+pub const SKIP_PREFIXES: &[&str] = &["crates/psa-verify/"];
+
+/// Roots of the panic-reachability analysis: every non-test function in
+/// these files/dirs is a protocol (or report-surface) entry whose callees
+/// must not panic. Beyond the protocol modules proper, the run-report and
+/// trace accessors are roots because the executors call them from inside
+/// the frame loop — an out-of-range rank there kills the run exactly like
+/// a protocol panic would.
+pub const PANIC_ROOTS: &[&str] = &[
+    "crates/psa-runtime/src/msg.rs",
+    "crates/netsim/src",
+    "crates/psa-trace/src",
+    "crates/psa-runtime/src/report.rs",
+    "crates/psa-runtime/src/trace.rs",
+];
+
+/// Phase entry points of the taint analysis (matched by function name):
+/// anything reachable from the six Figure-2 phases, the executor mains, or
+/// the deterministic compute kernel must be a pure function of the seed.
+pub const PHASE_ENTRIES: &[&str] = &[
+    "phase_creation",
+    "phase_addition",
+    "phase_calculus",
+    "phase_collision",
+    "phase_exchange",
+    "phase_loads",
+    "phase_balance",
+    "phase_ship",
+    "execute_transfers",
+    "calculator_main",
+    "manager_main",
+    "image_generator_main",
+    "run_frames",
+    "run_sequential",
+    "run_actions",
+];
+
+/// Workspace protocol-role bindings: `(file, role, entry fn)` checked by
+/// the Figure-2 conformance pass (fixtures bind via the `protocol-role`
+/// pragma instead).
+pub const ROLE_BINDINGS: &[(&str, &str, &str)] = &[
+    ("crates/psa-runtime/src/threaded.rs", "calculator", "calculator_main"),
+    ("crates/psa-runtime/src/threaded.rs", "manager", "manager_main"),
+    ("crates/psa-runtime/src/threaded.rs", "image-generator", "image_generator_main"),
+    ("crates/psa-runtime/src/virtual_exec.rs", "virtual-engine", "run_frames"),
+];
+
+/// Units that take part in the call-graph analyses: crate sources, minus
+/// psa-verify itself (the checker's own parser tables and fixtures are not
+/// simulation code).
+pub fn graph_eligible(rel: &str) -> bool {
+    rel.starts_with("crates/") && rel.contains("/src/") && !rel.starts_with("crates/psa-verify/")
+}
+
+pub fn under(rel: &str, root: &str) -> bool {
     rel == root || rel.starts_with(&format!("{root}/"))
 }
 
@@ -137,6 +197,26 @@ mod tests {
         let got = ids("crates/psa-chaos/src/matrix.rs");
         assert!(got.contains(&"unordered-collections"));
         assert!(got.contains(&"wall-clock"));
+    }
+
+    #[test]
+    fn graph_eligibility_covers_crate_sources_but_not_the_checker() {
+        assert!(graph_eligible("crates/psa-core/src/kernel.rs"));
+        assert!(graph_eligible("crates/netsim/src/virtual_net.rs"));
+        assert!(!graph_eligible("crates/psa-verify/src/main.rs"));
+        assert!(!graph_eligible("crates/psa-core/tests/determinism.rs"));
+        assert!(!graph_eligible("src/bin/animate.rs"));
+    }
+
+    #[test]
+    fn role_bindings_and_panic_roots_are_well_formed() {
+        for (file, role, _) in ROLE_BINDINGS {
+            assert!(crate::proto::spec_for_role(role).is_some(), "unknown role {role}");
+            assert!(graph_eligible(file), "{file} must be analyzable");
+        }
+        for root in PANIC_ROOTS {
+            assert!(root.starts_with("crates/"), "{root}");
+        }
     }
 
     #[test]

@@ -2,6 +2,15 @@
 //! report. JSON is hand-rolled — this workspace builds fully offline, so
 //! `serde` is not available, and the schema is small enough that an escape
 //! function plus string assembly is clearer than a dependency would be.
+//!
+//! The JSON schema is versioned (`schema_version`) and covered by a golden
+//! test in `main.rs`, so downstream tooling (the CI diagnostics artifact)
+//! can rely on it: stable lint ids, workspace-relative `file` + 1-based
+//! `line` spans, and a machine-readable `severity` per violation.
+
+/// JSON schema version; bump when a field changes meaning or disappears.
+/// Adding fields is backward compatible and does not bump it.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One lint finding, located to a file and 1-based line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -12,10 +21,14 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// The substring that fired the lint.
+    /// The token pattern (or analysis fact) that fired the lint.
     pub needle: String,
     /// The lint's explanation of why the construct is banned.
     pub message: String,
+    /// Machine-readable severity; every psa-verify finding gates CI, so
+    /// this is currently always `error`, but the field is part of the
+    /// schema so downstream tooling never has to infer it.
+    pub severity: String,
     /// The offending source line, trimmed.
     pub snippet: String,
 }
@@ -25,8 +38,8 @@ pub fn human(violations: &[Violation]) -> String {
     let mut out = String::new();
     for v in violations {
         out.push_str(&format!(
-            "error[{}]: {}\n  --> {}:{} (found `{}`)\n   | {}\n",
-            v.lint, v.message, v.file, v.line, v.needle, v.snippet
+            "{}[{}]: {}\n  --> {}:{} (found `{}`)\n   | {}\n",
+            v.severity, v.lint, v.message, v.file, v.line, v.needle, v.snippet
         ));
     }
     out
@@ -53,9 +66,11 @@ fn distinct_files(violations: &[Violation]) -> usize {
 }
 
 /// Render the full run as a JSON object:
-/// `{"tool":"psa-verify","files_scanned":N,"ok":bool,"violations":[...]}`.
+/// `{"tool":"psa-verify","schema_version":2,"files_scanned":N,"ok":bool,
+///   "violations":[{"lint":..,"file":..,"line":..,"severity":..,...}]}`.
 pub fn json(files_scanned: usize, violations: &[Violation]) -> String {
     let mut out = String::from("{\"tool\":\"psa-verify\",");
+    out.push_str(&format!("\"schema_version\":{SCHEMA_VERSION},"));
     out.push_str(&format!("\"files_scanned\":{files_scanned},"));
     out.push_str(&format!("\"ok\":{},", violations.is_empty()));
     out.push_str("\"violations\":[");
@@ -64,10 +79,11 @@ pub fn json(files_scanned: usize, violations: &[Violation]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"lint\":{},\"file\":{},\"line\":{},\"needle\":{},\"message\":{},\"snippet\":{}}}",
+            "{{\"lint\":{},\"file\":{},\"line\":{},\"severity\":{},\"needle\":{},\"message\":{},\"snippet\":{}}}",
             escape(&v.lint),
             escape(&v.file),
             v.line,
+            escape(&v.severity),
             escape(&v.needle),
             escape(&v.message),
             escape(&v.snippet)
@@ -107,6 +123,7 @@ mod tests {
             line: 7,
             needle: "Instant::now".into(),
             message: "no \"wall\" clock".into(),
+            severity: "error".into(),
             snippet: "let t = Instant::now();".into(),
         }
     }
@@ -124,6 +141,8 @@ mod tests {
         assert!(j.contains("\"ok\":false"));
         assert!(j.contains("no \\\"wall\\\" clock"));
         assert!(j.contains("\"files_scanned\":3"));
+        assert!(j.contains("\"schema_version\":2"));
+        assert!(j.contains("\"severity\":\"error\""));
         let clean = json(3, &[]);
         assert!(clean.contains("\"ok\":true"));
         assert!(clean.ends_with("\"violations\":[]}"));

@@ -18,14 +18,15 @@ pub struct FileModel {
     /// Per-line code with comments removed and literal contents blanked.
     pub code: Vec<String>,
     /// Per-line comment text (no `//` / `/*` markers removed — raw tail).
-    /// Consumed by `collect_allows` at parse time; kept on the model so
-    /// future comment-channel lints don't have to re-split the file.
-    #[allow(dead_code)]
+    /// Consumed by `collect_allows` at parse time and by the corpus layer's
+    /// analysis pragmas (`protocol-role(...)`, `panic-entry(...)`).
     pub comments: Vec<String>,
     /// True for lines inside a `#[cfg(test)]` / `#[test]` item body.
     pub in_test: Vec<bool>,
-    /// Lint names allowed for the whole file (annotation above any code).
-    pub file_allows: Vec<String>,
+    /// `(line, lint)` pairs allowed for the whole file (annotation above
+    /// any code). The line locates the annotation for the suppression
+    /// audit's diagnostics.
+    pub file_allows: Vec<(usize, String)>,
     /// `(line, lint)` pairs: annotation applies to its line and the next.
     pub line_allows: Vec<(usize, String)>,
 }
@@ -49,9 +50,12 @@ impl FileModel {
     }
 
     /// Is `lint` allowed on `line` (0-based) — by a file-level annotation,
-    /// or a line-level one on this or the previous line?
+    /// or a line-level one on this or the previous line? Production code
+    /// routes suppression through the audit pass (which also tracks
+    /// annotation usage); this direct predicate backs the lint unit tests.
+    #[cfg(test)]
     pub fn allowed(&self, line: usize, lint: &str) -> bool {
-        if self.file_allows.iter().any(|a| a == lint) {
+        if self.file_allows.iter().any(|(_, a)| a == lint) {
             return true;
         }
         self.line_allows.iter().any(|(l, a)| a == lint && (*l == line || *l + 1 == line))
@@ -261,7 +265,10 @@ fn is_test_cfg(line: &str) -> bool {
 /// Extract `psa-verify: allow(<lint>)` annotations. An annotation above any
 /// code line covers the whole file; otherwise it covers its own line and
 /// the one after it (so it can sit on the line above the finding).
-fn collect_allows(code: &[String], comments: &[String]) -> (Vec<String>, Vec<(usize, String)>) {
+fn collect_allows(
+    code: &[String],
+    comments: &[String],
+) -> (Vec<(usize, String)>, Vec<(usize, String)>) {
     const TAG: &str = "psa-verify: allow(";
     let mut file_allows = Vec::new();
     let mut line_allows = Vec::new();
@@ -279,7 +286,7 @@ fn collect_allows(code: &[String], comments: &[String]) -> (Vec<String>, Vec<(us
             if seen_code {
                 line_allows.push((i, name));
             } else {
-                file_allows.push(name);
+                file_allows.push((i, name));
             }
         }
     }
@@ -346,7 +353,7 @@ mod tests {
     fn file_level_allow_sits_above_code() {
         let src = "//! docs\n// psa-verify: allow(wall-clock) — reason\nuse std::time::Instant;\n";
         let m = FileModel::parse(src);
-        assert_eq!(m.file_allows, vec!["wall-clock".to_string()]);
+        assert_eq!(m.file_allows, vec![(1, "wall-clock".to_string())]);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Nondeterminism taint: ambient sources (wall clock, unordered
+//! collections, ambient RNG, thread identity) inside any function
+//! *reachable from a phase entry point* over the conservative call graph.
+//!
+//! The token lints already flag these sources where policy applies them;
+//! this pass closes the gap the lexical scanner structurally cannot see —
+//! a helper in a crate outside the policy roots (or a future refactor that
+//! moves tainted code there) still taints the frame loop that calls it.
+//! Each finding names both the tainted function and the phase entry it was
+//! reached from, so the fix site and the contract it violates are in the
+//! same diagnostic.
+//!
+//! Findings carry *two* allow keys: the analysis key (`nondet-taint`) and
+//! the source-class key of the matching token lint (`wall-clock`,
+//! `unordered`, `ambient-rng`). An existing, justified
+//! `// psa-verify: allow(wall-clock)` therefore suppresses the taint
+//! finding for that source too — one annotation, one audited escape hatch,
+//! both layers. Thread identity has no per-source key: only an explicit
+//! `allow(nondet-taint)` can excuse it.
+
+use crate::audit::Raw;
+use crate::corpus::Unit;
+use crate::graph::{CallGraph, FnRef};
+use crate::lints::NONDET_TAINT;
+use crate::report::Violation;
+
+/// Run the taint pass. `eligible[i]` gates which units participate (the
+/// graph is built over all units with ineligible ones contributing no
+/// functions, keeping `FnRef.file` aligned with `units`); `entry_names`
+/// are the phase entry points, matched by function name.
+pub fn run(units: &[Unit], graph: &CallGraph, eligible: &[bool], entry_names: &[&str]) -> Vec<Raw> {
+    let mut entries: Vec<FnRef> = Vec::new();
+    for (fi, unit) in units.iter().enumerate() {
+        if !eligible[fi] {
+            continue;
+        }
+        for (xi, f) in unit.fns.iter().enumerate() {
+            if !f.is_test && entry_names.contains(&f.name.as_str()) {
+                entries.push(FnRef { file: fi, idx: xi });
+            }
+        }
+    }
+    let origin = graph.reach(&entries);
+
+    let mut out = Vec::new();
+    for (&r, &from) in &origin {
+        let unit = &units[r.file];
+        let f = &unit.fns[r.idx];
+        if f.is_test {
+            continue;
+        }
+        let entry_name = units[from.file].fns[from.idx].name.as_str();
+        let raw_lines = unit.raw_lines();
+        for hit in &f.sources {
+            if unit.model.in_test.get(hit.line).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut keys = vec![NONDET_TAINT.allow_key];
+            if let Some(k) = hit.class.allow_key() {
+                keys.push(k);
+            }
+            out.push(Raw {
+                unit: r.file,
+                v: Violation {
+                    lint: NONDET_TAINT.id.to_string(),
+                    file: unit.rel.clone(),
+                    line: hit.line + 1,
+                    needle: format!(
+                        "{} in `{}` (reachable from phase entry `{}`)",
+                        hit.what, f.name, entry_name
+                    ),
+                    message: NONDET_TAINT.message.to_string(),
+                    severity: "error".to_string(),
+                    snippet: raw_lines
+                        .get(hit.line)
+                        .map_or(String::new(), |l| l.trim().to_string()),
+                },
+                keys,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(files: &[(&str, &str)]) -> (Vec<Unit>, CallGraph, Vec<bool>) {
+        let units: Vec<Unit> =
+            files.iter().map(|(rel, src)| Unit::parse(rel, src.to_string())).collect();
+        let views: Vec<(&str, &[crate::ast::FnInfo])> =
+            units.iter().map(|u| (u.rel.as_str(), u.fns.as_slice())).collect();
+        let graph = CallGraph::build(&views);
+        let eligible = vec![true; units.len()];
+        (units, graph, eligible)
+    }
+
+    #[test]
+    fn transitive_taint_is_found_and_names_the_entry() {
+        let (units, graph, elig) = corpus(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn phase_calculus() { helper(); }\nfn unrelated() { also_tainted(); }\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "fn helper() { let t = Instant::now(); }\nfn also_tainted() { let m = HashMap::new(); }\n",
+            ),
+        ]);
+        let raws = run(&units, &graph, &elig, &["phase_calculus"]);
+        assert_eq!(raws.len(), 1, "{raws:#?}");
+        let v = &raws[0].v;
+        assert_eq!(v.lint, "nondet-taint");
+        assert_eq!(v.file, "crates/b/src/lib.rs");
+        assert!(v.needle.contains("Instant::now"));
+        assert!(v.needle.contains("phase_calculus"), "{}", v.needle);
+        assert_eq!(raws[0].keys, vec!["nondet-taint", "wall-clock"]);
+    }
+
+    #[test]
+    fn sources_in_test_code_are_exempt() {
+        let (units, graph, elig) = corpus(&[(
+            "crates/a/src/lib.rs",
+            "fn phase_exchange() {}\n#[cfg(test)]\nmod tests {\n    fn phase_exchange_t() { let t = Instant::now(); }\n}\n",
+        )]);
+        assert!(run(&units, &graph, &elig, &["phase_exchange"]).is_empty());
+    }
+
+    #[test]
+    fn thread_identity_has_no_per_source_escape() {
+        let (units, graph, elig) = corpus(&[(
+            "crates/a/src/lib.rs",
+            "fn phase_ship() { let id = thread::current().id(); }\n",
+        )]);
+        let raws = run(&units, &graph, &elig, &["phase_ship"]);
+        assert_eq!(raws.len(), 1);
+        assert_eq!(raws[0].keys, vec!["nondet-taint"]);
+    }
+
+    #[test]
+    fn ineligible_units_contribute_no_entries() {
+        let units: Vec<Unit> = vec![Unit::parse(
+            "crates/a/src/lib.rs",
+            "fn phase_loads() { let t = Instant::now(); }\n".to_string(),
+        )];
+        let views: Vec<(&str, &[crate::ast::FnInfo])> = vec![("crates/a/src/lib.rs", &[])];
+        let graph = CallGraph::build(&views);
+        assert!(run(&units, &graph, &[false], &["phase_loads"]).is_empty());
+    }
+}
