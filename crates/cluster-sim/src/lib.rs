@@ -29,5 +29,5 @@ pub mod node;
 pub use catalog::{e60, e800, zx2000};
 pub use cluster::{ClusterSpec, Placement};
 pub use cost::CostModel;
-pub use net::NetworkModel;
+pub use net::{NetworkModel, Topology};
 pub use node::{Compiler, NodeSpec};

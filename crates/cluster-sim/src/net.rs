@@ -13,6 +13,23 @@
 //!   collision domain under the all-to-one traffic of frame generation; we
 //!   model it as one global link every transfer must occupy.
 
+/// How the nodes are wired together, for latency purposes.
+///
+/// The paper's 8-node clusters hang off one switch ([`Topology::Flat`]:
+/// every pair is one hop). Scaling studies past a few dozen nodes need a
+/// multi-stage fabric: [`Topology::FatTree`] groups `radix` nodes per edge
+/// switch and charges extra hops (edge–spine–edge) for traffic that leaves
+/// the group. Bandwidth is assumed fully provisioned (no oversubscription);
+/// only latency is topology-dependent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Single switch: uniform one-hop latency between all node pairs.
+    Flat,
+    /// Two-level fat tree: nodes `k*radix .. (k+1)*radix` share an edge
+    /// switch; inter-group messages traverse edge→spine→edge (3 hops).
+    FatTree { radix: usize },
+}
+
 /// A network fabric model.
 #[derive(Clone, Debug, PartialEq)]
 pub struct NetworkModel {
@@ -27,6 +44,8 @@ pub struct NetworkModel {
     /// (Fast-Ethernet hub-like behaviour); if false, only per-node links
     /// serialize (switched fabric).
     pub shared_medium: bool,
+    /// Node wiring; [`Topology::Flat`] reproduces the paper exactly.
+    pub topology: Topology,
 }
 
 impl NetworkModel {
@@ -39,6 +58,7 @@ impl NetworkModel {
             bandwidth: 160.0e6,
             per_message_cpu: 2.0e-6,
             shared_medium: false,
+            topology: Topology::Flat,
         }
     }
 
@@ -52,6 +72,7 @@ impl NetworkModel {
             bandwidth: 12.5e6,
             per_message_cpu: 25.0e-6,
             shared_medium: false,
+            topology: Topology::Flat,
         }
     }
 
@@ -74,12 +95,36 @@ impl NetworkModel {
             bandwidth: f64::INFINITY,
             per_message_cpu: 0.0,
             shared_medium: false,
+            topology: Topology::Flat,
         }
+    }
+
+    /// The same model rewired over `topology` (builder style).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Pure wire occupancy time for `bytes` (excludes latency).
     pub fn occupancy(&self, bytes: u64) -> f64 {
         bytes as f64 / self.bandwidth
+    }
+
+    /// One-way latency between two *nodes* under the configured topology.
+    /// [`Topology::Flat`] returns `latency` exactly (bit-identical to the
+    /// pre-topology model); a fat tree charges 3 hops across groups.
+    pub fn latency_between(&self, node_a: usize, node_b: usize) -> f64 {
+        match self.topology {
+            Topology::Flat => self.latency,
+            Topology::FatTree { radix } => {
+                let radix = radix.max(1);
+                if node_a / radix == node_b / radix {
+                    self.latency
+                } else {
+                    3.0 * self.latency
+                }
+            }
+        }
     }
 
     /// End-to-end uncontended time for one message of `bytes`.
@@ -120,5 +165,28 @@ mod tests {
         assert!(!NetworkModel::myrinet().shared_medium);
         assert!(!NetworkModel::fast_ethernet().shared_medium);
         assert!(NetworkModel::fast_ethernet_hub().shared_medium);
+    }
+
+    #[test]
+    fn flat_topology_latency_is_uniform() {
+        let m = NetworkModel::myrinet();
+        assert_eq!(m.topology, Topology::Flat);
+        // Bit-identical to the plain latency: the pre-topology model.
+        assert_eq!(m.latency_between(0, 0).to_bits(), m.latency.to_bits());
+        assert_eq!(m.latency_between(0, 77).to_bits(), m.latency.to_bits());
+    }
+
+    #[test]
+    fn fat_tree_charges_extra_hops_across_groups() {
+        let m = NetworkModel::myrinet().with_topology(Topology::FatTree { radix: 4 });
+        // Same edge switch: one hop.
+        assert_eq!(m.latency_between(0, 3), m.latency);
+        assert_eq!(m.latency_between(5, 6), m.latency);
+        // Across groups: edge-spine-edge.
+        assert_eq!(m.latency_between(3, 4), 3.0 * m.latency);
+        assert_eq!(m.latency_between(0, 63), 3.0 * m.latency);
+        // Degenerate radix never divides by zero.
+        let z = NetworkModel::myrinet().with_topology(Topology::FatTree { radix: 0 });
+        assert_eq!(z.latency_between(1, 2), 3.0 * z.latency);
     }
 }

@@ -369,6 +369,12 @@ impl<M: WireSize, I: FaultInjector> FaultyVirtualNet<M, I> {
         self.net.has_message(to, from)
     }
 
+    /// Senders with traffic queued toward `to` — see
+    /// [`VirtualNet::queued_senders`].
+    pub fn queued_senders(&self, to: usize) -> Vec<usize> {
+        self.net.queued_senders(to)
+    }
+
     pub fn now(&self, rank: usize) -> f64 {
         self.net.now(rank)
     }

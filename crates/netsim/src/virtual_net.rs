@@ -7,6 +7,12 @@
 //! delivery stamp. A barrier aligns every clock to the maximum plus a
 //! log₂-depth synchronization cost.
 //!
+//! The timing arithmetic lives in [`WireState`] so that every virtual
+//! transport — the per-pair-queue [`VirtualNet`] here and the event-heap
+//! fabric in `psa-desim` — charges byte-for-byte identical costs: one
+//! implementation of clocks, link occupancy, topology-aware latency, and
+//! traffic counters, two message-delivery disciplines on top.
+//!
 //! The fabric is intentionally **not** thread-safe: the virtual-time
 //! executor interleaves ranks itself in a fixed order, which is what makes
 //! the reproduction bit-deterministic.
@@ -29,13 +35,12 @@ pub struct TrafficStats {
     pub payload_bytes: u64,
 }
 
-struct Envelope<M> {
-    deliver_at: f64,
-    msg: M,
-}
-
-/// Deterministic virtual message fabric over `R` ranks placed on nodes.
-pub struct VirtualNet<M> {
+/// The clock-and-link half of a virtual fabric: per-rank virtual clocks,
+/// per-node NIC occupancy (or a shared medium), topology-aware latency, and
+/// traffic counters. Owns no message queues — callers decide how delivery
+/// stamps turn into deliveries ([`VirtualNet`] uses per-pair FIFO queues;
+/// the event-driven fabric uses a global (time, seq) heap).
+pub struct WireState {
     net: NetworkModel,
     /// Virtual clock per rank, seconds.
     clocks: Vec<f64>,
@@ -45,28 +50,25 @@ pub struct VirtualNet<M> {
     link_free: Vec<f64>,
     /// Time the shared medium becomes free (Fast-Ethernet mode).
     shared_free: f64,
-    /// queues[to * ranks + from]
-    queues: Vec<VecDeque<Envelope<M>>>,
     stats: TrafficStats,
     /// Per-sender traffic counters (endpoint-layer accounting for the
     /// observability stack; same reset cadence as `stats`).
     rank_stats: Vec<TrafficStats>,
 }
 
-impl<M: WireSize> VirtualNet<M> {
-    /// Create a fabric for ranks living on the given nodes.
+impl WireState {
+    /// Create the clock state for ranks living on the given nodes.
     /// `node_of[rank]` maps each rank to its node index.
     pub fn new(net: NetworkModel, node_of: Vec<usize>, node_count: usize) -> Self {
         let ranks = node_of.len();
         assert!(ranks > 0);
         assert!(node_of.iter().all(|&n| n < node_count));
-        VirtualNet {
+        WireState {
             net,
             clocks: vec![0.0; ranks],
             node_of,
             link_free: vec![0.0; node_count],
             shared_free: 0.0,
-            queues: (0..ranks * ranks).map(|_| VecDeque::new()).collect(),
             stats: TrafficStats::default(),
             rank_stats: vec![TrafficStats::default(); ranks],
         }
@@ -87,114 +89,61 @@ impl<M: WireSize> VirtualNet<M> {
         self.clocks[rank] += seconds;
     }
 
-    /// Blocking send of `msg` from `from` to `to`.
-    ///
-    /// Local (same-rank) sends are free of wire costs but still pass
-    /// through the queue, so protocol code does not special-case them.
-    pub fn send(&mut self, from: usize, to: usize, msg: M) {
-        self.send_delayed(from, to, msg, 0.0);
-    }
-
-    /// [`send`](Self::send) with `extra_delay` virtual seconds added to the
-    /// delivery stamp — the hook fault injection uses for message jitter
-    /// and degraded links. The sender is *not* occupied by the extra delay
-    /// (it models in-flight perturbation, not NIC time).
-    pub fn send_delayed(&mut self, from: usize, to: usize, msg: M, extra_delay: f64) {
+    /// Charge the full sender-side cost of one message of `payload` bytes
+    /// from `from` to `to` and return its delivery stamp. This is the
+    /// single implementation of the send timing model: counters, sender CPU,
+    /// link/medium occupancy (the sender blocks until NIC hand-off), and
+    /// topology-aware latency. Local (same-rank) and intra-node sends skip
+    /// the NIC, exactly as before the extraction.
+    pub fn charge_send(&mut self, from: usize, to: usize, payload: u64, extra_delay: f64) -> f64 {
         debug_assert!(extra_delay >= 0.0, "delays cannot be negative ({extra_delay})");
-        let payload = msg.wire_bytes();
         self.stats.messages += 1;
         self.stats.payload_bytes += payload;
         self.rank_stats[from].messages += 1;
         self.rank_stats[from].payload_bytes += payload;
-        let deliver_at = if from == to {
-            self.clocks[from] + extra_delay
+        if from == to {
+            return self.clocks[from] + extra_delay;
+        }
+        let bytes = payload + FRAME_OVERHEAD_BYTES;
+        // Sender CPU cost of initiating the message.
+        self.clocks[from] += self.net.per_message_cpu;
+        let occupancy = self.net.occupancy(bytes);
+        let (src, dst) = (self.node_of[from], self.node_of[to]);
+        let start = if self.net.shared_medium {
+            self.shared_free.max(self.clocks[from])
         } else {
-            let bytes = payload + FRAME_OVERHEAD_BYTES;
-            // Sender CPU cost of initiating the message.
-            self.clocks[from] += self.net.per_message_cpu;
-            let occupancy = self.net.occupancy(bytes);
-            let start = if self.net.shared_medium {
-                self.shared_free.max(self.clocks[from])
-            } else {
-                let (src, dst) = (self.node_of[from], self.node_of[to]);
-                if src == dst {
-                    // intra-node: memory copy, no NIC involvement; charge a
-                    // fraction of wire occupancy for the copy itself.
-                    let t = self.clocks[from] + occupancy * 0.1;
-                    self.clocks[from] = t;
-                    let q = &mut self.queues[to * self.clocks.len() + from];
-                    q.push_back(Envelope { deliver_at: t + extra_delay, msg });
-                    return;
-                }
-                self.clocks[from].max(self.link_free[src]).max(self.link_free[dst])
-            };
-            let done = start + occupancy;
-            if self.net.shared_medium {
-                self.shared_free = done;
-            } else {
-                let (src, dst) = (self.node_of[from], self.node_of[to]);
-                self.link_free[src] = done;
-                self.link_free[dst] = done;
+            if src == dst {
+                // intra-node: memory copy, no NIC involvement; charge a
+                // fraction of wire occupancy for the copy itself.
+                let t = self.clocks[from] + occupancy * 0.1;
+                self.clocks[from] = t;
+                return t + extra_delay;
             }
-            // Blocking semantics: the sender is busy until its NIC hand-off
-            // completes.
-            self.clocks[from] = done;
-            done + self.net.latency + extra_delay
+            self.clocks[from].max(self.link_free[src]).max(self.link_free[dst])
         };
-        let r = self.clocks.len();
-        self.queues[to * r + from].push_back(Envelope { deliver_at, msg });
-    }
-
-    /// Receive the next message sent from `from` to `to`.
-    ///
-    /// Returns [`TransportError::NoMessage`] if nothing is queued — under
-    /// the deterministic executor a missing message is a protocol bug, not
-    /// a timing race, and the caller decides how to surface it.
-    pub fn recv(&mut self, to: usize, from: usize) -> Result<M, TransportError> {
-        let r = self.clocks.len();
-        let env = self.queues[to * r + from]
-            .pop_front()
-            .ok_or(TransportError::NoMessage { rank: to, peer: from })?;
-        if env.deliver_at > self.clocks[to] {
-            self.clocks[to] = env.deliver_at;
+        let done = start + occupancy;
+        if self.net.shared_medium {
+            self.shared_free = done;
+        } else {
+            self.link_free[src] = done;
+            self.link_free[dst] = done;
         }
-        Ok(env.msg)
+        // Blocking semantics: the sender is busy until its NIC hand-off
+        // completes.
+        self.clocks[from] = done;
+        done + self.net.latency_between(src, dst) + extra_delay
     }
 
-    /// Receive with a deadline: like [`recv`](Self::recv), but an empty
-    /// queue charges `wait` virtual seconds to `to` and returns
-    /// [`TransportError::Timeout`] instead of `NoMessage`.
-    ///
-    /// Under the deterministic executor every receive happens at a schedule
-    /// point where the message either is queued or never will be, so the
-    /// deadline does not poll — it models the time a real endpoint would
-    /// burn discovering that a peer went silent.
-    pub fn recv_deadline(
-        &mut self,
-        to: usize,
-        from: usize,
-        wait: f64,
-    ) -> Result<M, TransportError> {
-        debug_assert!(wait >= 0.0, "deadline waits cannot be negative ({wait})");
-        if !self.has_message(to, from) {
-            self.clocks[to] += wait;
-            return Err(TransportError::Timeout { rank: to, peer: from });
+    /// Advance `to`'s clock to a message's delivery stamp if it is still
+    /// behind it; returns whether the clock moved (a fast-forward past idle
+    /// virtual time).
+    pub fn observe_delivery(&mut self, to: usize, deliver_at: f64) -> bool {
+        if deliver_at > self.clocks[to] {
+            self.clocks[to] = deliver_at;
+            true
+        } else {
+            false
         }
-        self.recv(to, from)
-    }
-
-    /// Drain every queued message from `from` to `to` without touching any
-    /// clock — used to confiscate the in-flight traffic of a rank that has
-    /// been declared dead, so its particles can be counted as lost instead
-    /// of rotting in a queue.
-    pub fn take_queued(&mut self, to: usize, from: usize) -> Vec<M> {
-        let r = self.clocks.len();
-        self.queues[to * r + from].drain(..).map(|e| e.msg).collect()
-    }
-
-    /// Whether a message from `from` to `to` is queued.
-    pub fn has_message(&self, to: usize, from: usize) -> bool {
-        !self.queues[to * self.clocks.len() + from].is_empty()
     }
 
     /// Synchronize a set of ranks: all clocks advance to the maximum plus a
@@ -233,6 +182,152 @@ impl<M: WireSize> VirtualNet<M> {
     /// The network model in use.
     pub fn model(&self) -> &NetworkModel {
         &self.net
+    }
+}
+
+struct Envelope<M> {
+    deliver_at: f64,
+    msg: M,
+}
+
+/// Deterministic virtual message fabric over `R` ranks placed on nodes.
+pub struct VirtualNet<M> {
+    wire: WireState,
+    /// queues[to * ranks + from]
+    queues: Vec<VecDeque<Envelope<M>>>,
+}
+
+impl<M: WireSize> VirtualNet<M> {
+    /// Create a fabric for ranks living on the given nodes.
+    /// `node_of[rank]` maps each rank to its node index.
+    pub fn new(net: NetworkModel, node_of: Vec<usize>, node_count: usize) -> Self {
+        let ranks = node_of.len();
+        VirtualNet {
+            wire: WireState::new(net, node_of, node_count),
+            queues: (0..ranks * ranks).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.wire.ranks()
+    }
+
+    /// Current virtual time of `rank`.
+    pub fn now(&self, rank: usize) -> f64 {
+        self.wire.now(rank)
+    }
+
+    /// Charge `seconds` of local compute to `rank`.
+    pub fn advance(&mut self, rank: usize, seconds: f64) {
+        self.wire.advance(rank, seconds);
+    }
+
+    /// Blocking send of `msg` from `from` to `to`.
+    ///
+    /// Local (same-rank) sends are free of wire costs but still pass
+    /// through the queue, so protocol code does not special-case them.
+    pub fn send(&mut self, from: usize, to: usize, msg: M) {
+        self.send_delayed(from, to, msg, 0.0);
+    }
+
+    /// [`send`](Self::send) with `extra_delay` virtual seconds added to the
+    /// delivery stamp — the hook fault injection uses for message jitter
+    /// and degraded links. The sender is *not* occupied by the extra delay
+    /// (it models in-flight perturbation, not NIC time).
+    pub fn send_delayed(&mut self, from: usize, to: usize, msg: M, extra_delay: f64) {
+        let deliver_at = self.wire.charge_send(from, to, msg.wire_bytes(), extra_delay);
+        let r = self.wire.ranks();
+        self.queues[to * r + from].push_back(Envelope { deliver_at, msg });
+    }
+
+    /// Receive the next message sent from `from` to `to`.
+    ///
+    /// Returns [`TransportError::NoMessage`] if nothing is queued — under
+    /// the deterministic executor a missing message is a protocol bug, not
+    /// a timing race, and the caller decides how to surface it.
+    pub fn recv(&mut self, to: usize, from: usize) -> Result<M, TransportError> {
+        let r = self.wire.ranks();
+        let env = self.queues[to * r + from]
+            .pop_front()
+            .ok_or(TransportError::NoMessage { rank: to, peer: from })?;
+        self.wire.observe_delivery(to, env.deliver_at);
+        Ok(env.msg)
+    }
+
+    /// Receive with a deadline: like [`recv`](Self::recv), but an empty
+    /// queue charges `wait` virtual seconds to `to` and returns
+    /// [`TransportError::Timeout`] instead of `NoMessage`.
+    ///
+    /// Under the deterministic executor every receive happens at a schedule
+    /// point where the message either is queued or never will be, so the
+    /// deadline does not poll — it models the time a real endpoint would
+    /// burn discovering that a peer went silent.
+    pub fn recv_deadline(
+        &mut self,
+        to: usize,
+        from: usize,
+        wait: f64,
+    ) -> Result<M, TransportError> {
+        debug_assert!(wait >= 0.0, "deadline waits cannot be negative ({wait})");
+        if !self.has_message(to, from) {
+            self.wire.advance(to, wait);
+            return Err(TransportError::Timeout { rank: to, peer: from });
+        }
+        self.recv(to, from)
+    }
+
+    /// Drain every queued message from `from` to `to` without touching any
+    /// clock — used to confiscate the in-flight traffic of a rank that has
+    /// been declared dead, so its particles can be counted as lost instead
+    /// of rotting in a queue.
+    pub fn take_queued(&mut self, to: usize, from: usize) -> Vec<M> {
+        let r = self.wire.ranks();
+        self.queues[to * r + from].drain(..).map(|e| e.msg).collect()
+    }
+
+    /// Whether a message from `from` to `to` is queued.
+    pub fn has_message(&self, to: usize, from: usize) -> bool {
+        !self.queues[to * self.wire.ranks() + from].is_empty()
+    }
+
+    /// The senders with at least one message queued toward `to`, in rank
+    /// order — lets a receiver drain exactly the traffic that exists
+    /// instead of polling all `ranks` peers (sparse exchange at scale).
+    pub fn queued_senders(&self, to: usize) -> Vec<usize> {
+        let r = self.wire.ranks();
+        (0..r).filter(|&from| !self.queues[to * r + from].is_empty()).collect()
+    }
+
+    /// Synchronize a set of ranks: all clocks advance to the maximum plus a
+    /// dissemination-barrier cost of `latency × ⌈log₂ n⌉`.
+    pub fn barrier(&mut self, ranks: &[usize]) {
+        self.wire.barrier(ranks);
+    }
+
+    /// Maximum clock across all ranks — the virtual makespan.
+    pub fn makespan(&self) -> f64 {
+        self.wire.makespan()
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.wire.stats()
+    }
+
+    /// Snapshot of one rank's *sent* traffic (endpoint-layer attribution:
+    /// a message is charged to the sender that initiated it).
+    pub fn rank_stats(&self, rank: usize) -> TrafficStats {
+        self.wire.rank_stats(rank)
+    }
+
+    /// Reset traffic counters (per-frame accounting).
+    pub fn reset_stats(&mut self) {
+        self.wire.reset_stats();
+    }
+
+    /// The network model in use.
+    pub fn model(&self) -> &NetworkModel {
+        self.wire.model()
     }
 }
 
@@ -405,6 +500,35 @@ mod tests {
         assert_eq!(taken, vec![Blob(1), Blob(2)]);
         assert_eq!(n.now(1), before, "confiscation must not move clocks");
         assert!(!n.has_message(1, 0));
+    }
+
+    #[test]
+    fn queued_senders_lists_exactly_the_pending_peers() {
+        let mut n: VirtualNet<Blob> = VirtualNet::new(NetworkModel::myrinet(), vec![0, 1, 2], 3);
+        assert!(n.queued_senders(0).is_empty());
+        n.send(1, 0, Blob(8));
+        n.send(2, 0, Blob(8));
+        n.send(1, 0, Blob(8));
+        assert_eq!(n.queued_senders(0), vec![1, 2]);
+        n.recv(0, 2).unwrap();
+        assert_eq!(n.queued_senders(0), vec![1]);
+    }
+
+    #[test]
+    fn wire_state_charge_matches_queue_fabric() {
+        // The extracted WireState must stay bit-identical to the fabric
+        // that drives it (EventFabric parity depends on this).
+        let mut v = net2();
+        let mut w = WireState::new(NetworkModel::myrinet(), vec![0, 1], 2);
+        v.advance(0, 0.5);
+        w.advance(0, 0.5);
+        v.send(0, 1, Blob(4096));
+        let stamp = w.charge_send(0, 1, 4096, 0.0);
+        assert_eq!(v.now(0).to_bits(), w.now(0).to_bits());
+        v.recv(1, 0).unwrap();
+        assert!(w.observe_delivery(1, stamp));
+        assert_eq!(v.now(1).to_bits(), w.now(1).to_bits());
+        assert_eq!(v.stats(), w.stats());
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! `bench5` — emit the event-driven scaling export (`BENCH_5.json`).
+//!
+//! ```text
+//! bench5 [--ranks 8,32,128,512,1024] [--frames F] [--systems N]
+//!        [--particles P] [--scale S] [--out PATH]
+//! ```
+//!
+//! Runs the `psa_desim::EventSim` scaling sweep (see `psa_bench::export5`):
+//! rank counts × {snow, fountain, vortex} × {SLB, DLB} speed-up curves,
+//! balancer round counts, and flat-versus-fat-tree makespans at the
+//! largest rank count. Exits non-zero if any metric is NaN or empty, or if
+//! no DLB cell recorded a balancer round. The CI smoke tier runs
+//! `--ranks 8,64` with a trimmed workload; the full defaults reach the
+//! 1,024-calculator × 100-system point and report its wall time.
+
+use psa_bench::export5;
+
+struct Args {
+    ranks: Vec<usize>,
+    frames: u64,
+    systems: usize,
+    particles: usize,
+    scale: f64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut ranks: Vec<usize> = export5::BENCH5_RANKS.to_vec();
+    let mut frames = 10;
+    let mut systems = 100;
+    let mut particles = 200;
+    let mut scale = 50.0;
+    let mut out = "BENCH_5.json".to_string();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ranks" => {
+                let list = args.next().expect("--ranks needs a comma-separated list");
+                ranks = list
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--ranks entries must be integers"))
+                    .collect();
+            }
+            "--frames" => {
+                frames = args.next().and_then(|v| v.parse().ok()).expect("--frames needs a number");
+            }
+            "--systems" => {
+                systems =
+                    args.next().and_then(|v| v.parse().ok()).expect("--systems needs a number");
+            }
+            "--particles" => {
+                particles =
+                    args.next().and_then(|v| v.parse().ok()).expect("--particles needs a number");
+            }
+            "--scale" => {
+                scale = args.next().and_then(|v| v.parse().ok()).expect("--scale needs a number");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if ranks.is_empty() {
+        eprintln!("--ranks must name at least one rank count");
+        std::process::exit(2);
+    }
+    Args { ranks, frames, systems, particles, scale, out }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "collecting BENCH_5 (ranks {:?}, {} systems x {} particles, {} frames)",
+        args.ranks, args.systems, args.particles, args.frames
+    );
+    let data =
+        export5::collect5(&args.ranks, args.frames, args.systems, args.particles, args.scale);
+    if let Err(e) = data.validate() {
+        eprintln!("BENCH_5 validation failed: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&args.out, data.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    for e in &data.experiments {
+        for c in &e.cells {
+            eprintln!(
+                "{:<9} {:>5}r {}  speedup {:>8.2}  rounds {:>3}  imbalance {:>6.3}  wall {:>7.2}s",
+                e.workload,
+                c.ranks,
+                c.balance,
+                c.speedup,
+                c.balance_rounds,
+                c.mean_imbalance,
+                c.wall_seconds
+            );
+        }
+    }
+    for t in &data.topology {
+        eprintln!(
+            "{:<9} {:>5}r topology: flat {:.3}s vs fat-tree(r{}) {:.3}s",
+            t.workload, t.ranks, t.flat_makespan, t.radix, t.fat_tree_makespan
+        );
+    }
+    println!("wrote {}", args.out);
+}

@@ -1,0 +1,138 @@
+//! The event-driven virtual executor.
+//!
+//! [`EventSim`] is the discrete-event counterpart of
+//! `psa_runtime::VirtualSim`: the same shared protocol engine
+//! ([`psa_runtime::protocol::Engine`]) over the [`EventFabric`] instead of
+//! the queue-stepped fabric. Healthy and faulty runs are
+//! fingerprint-identical to `VirtualSim` for any configuration both can
+//! express (the parity suite pins this at 4–16 ranks across the full
+//! scenario matrix); what the event core adds is *scale* — sparse per-link
+//! state instead of `ranks²` queues lets sweeps run 1,024 calculators ×
+//! 100+ particle systems in seconds, which is what the BENCH_5 scaling
+//! tables are built from.
+//!
+//! For 1,000+-rank runs switch the engine to
+//! [`ExchangeMode::Sparse`](psa_runtime::ExchangeMode): the dense Figure-2
+//! exchange is n² messages per system per frame and dominates everything
+//! past a few hundred ranks. Sparse runs are internally consistent but not
+//! fingerprint-comparable with dense runs (empty messages carry virtual
+//! cost), so parity tests always compare dense against dense.
+
+use cluster_sim::{ClusterSpec, CostModel, Placement};
+use netsim::{FaultPlan, FaultPolicy};
+use psa_runtime::config::RunConfig;
+use psa_runtime::msg::ProtocolError;
+use psa_runtime::protocol::{node_layout, Engine};
+use psa_runtime::report::RunReport;
+use psa_runtime::scene::Scene;
+use psa_runtime::trace::Trace;
+
+use crate::fabric::EventFabric;
+use crate::proc::SimStats;
+
+/// The event-driven virtual executor. API mirrors `VirtualSim` so callers
+/// (benches, chaos matrix, parity tests) can swap executors in one line.
+pub struct EventSim {
+    scene: Scene,
+    cfg: RunConfig,
+    cluster: ClusterSpec,
+    placement: Placement,
+    cost: CostModel,
+    trace: Trace,
+    plan: Option<FaultPlan>,
+    policy: FaultPolicy,
+    instrument: bool,
+    last_stats: SimStats,
+}
+
+impl EventSim {
+    pub fn new(scene: Scene, cfg: RunConfig, cluster: ClusterSpec, cost: CostModel) -> Self {
+        assert!(!scene.systems.is_empty(), "scene needs at least one system");
+        let placement = cluster.placement();
+        EventSim {
+            scene,
+            cfg,
+            cluster,
+            placement,
+            cost,
+            trace: Trace::disabled(),
+            plan: None,
+            policy: FaultPolicy::default(),
+            instrument: false,
+            last_stats: SimStats::default(),
+        }
+    }
+
+    /// Record protocol events (used by conformance tests; off by default).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Trace::enabled();
+        self
+    }
+
+    /// Record the per-phase observability trace (off by default); quiet —
+    /// fingerprints are unchanged.
+    pub fn with_phases(mut self) -> Self {
+        self.instrument = true;
+        self
+    }
+
+    /// Inject the given fault plan (must cover `calculators + 2` ranks).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Override the retry/timeout/death policy (defaults are sane).
+    pub fn with_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Event-loop counters of the most recent run (all zero before the
+    /// first run): events processed, sends, clock fast-forwards, bounded
+    /// waits, heap high-water mark.
+    pub fn sim_stats(&self) -> SimStats {
+        self.last_stats
+    }
+
+    /// Run the animation; returns the report (virtual makespan included),
+    /// or the protocol error that ended the run early.
+    pub fn try_run(&mut self) -> Result<RunReport, ProtocolError> {
+        let n = self.placement.calculators();
+        let plan = self.plan.clone().unwrap_or_else(|| FaultPlan::none(self.cfg.seed, n + 2));
+        assert_eq!(
+            plan.ranks(),
+            n + 2,
+            "fault plan must cover calculators + manager + image generator"
+        );
+        let (node_of, node_count) = node_layout(&self.placement);
+        let fabric = EventFabric::new(self.cluster.net.clone(), node_of, node_count, plan);
+        let mut engine = Engine::new(
+            self.scene.clone(),
+            self.cfg.clone(),
+            &self.placement,
+            self.cost.clone(),
+            fabric,
+            self.policy,
+            std::mem::take(&mut self.trace),
+            self.instrument,
+        );
+        let (outcome, trace) = engine.run(self.cluster.describe());
+        self.last_stats = engine.fabric().sim_stats();
+        self.trace = trace;
+        outcome
+    }
+
+    /// Run the animation, panicking on a protocol failure (healthy runs
+    /// and survivable fault plans never fail).
+    pub fn run(&mut self) -> RunReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("event-driven protocol run failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The event-heap message fabric.
+//!
+//! [`EventFabric`] implements the shared engine's
+//! [`Fabric`](psa_runtime::protocol::Fabric) contract over a discrete-event
+//! core: every accepted send becomes an *arrival event* on the
+//! [`EventQueue`], stamped with the exact delivery time the
+//! [`WireState`] cost model charged (sender CPU, NIC/medium occupancy,
+//! topology-aware latency, injected perturbation). Receives pump the heap —
+//! draining arrivals in global `(time, seq)` order into sparse per-link
+//! inboxes — and then consume the link's FIFO head.
+//!
+//! ## Parity with the queue-stepped fabric
+//!
+//! `VirtualSim` runs the same engine over `FaultyVirtualNet`, which pushes
+//! each message straight into a per-link `VecDeque`. Both fabrics call the
+//! *same* `WireState::charge_send` / `observe_delivery` arithmetic in the
+//! *same* order (the engine's interleaving is fabric-independent), and the
+//! per-link FIFO here is keyed by send sequence — not delivery stamp — so
+//! jittered messages cannot reorder within a link, exactly like the
+//! `VecDeque`. Clocks, traffic counters, and therefore run fingerprints are
+//! bit-identical by construction; the parity suite in `tests/` holds this
+//! across the full scenario matrix.
+//!
+//! ## Why it scales
+//!
+//! The queue-stepped fabric allocates `ranks²` queues up front — fine at
+//! the paper's 8 calculators, ~34 MB of empty `VecDeque` headers at 1,024.
+//! Here the inbox map holds only links that have ever carried traffic, and
+//! with the engine's sparse exchange mode the active-link set stays
+//! proportional to actual migration, not to `ranks²`.
+
+use std::collections::BTreeMap;
+
+use cluster_sim::NetworkModel;
+use netsim::{
+    FailedSend, FaultInjector, FaultPlan, PlanInjector, SendFate, TrafficStats, TransportError,
+    WireSize, WireState,
+};
+use psa_runtime::msg::Msg;
+use psa_runtime::protocol::Fabric;
+
+use crate::proc::{ProcState, ProcTable, SimStats};
+use crate::queue::EventQueue;
+
+/// An in-flight message: scheduled on the heap at its delivery stamp.
+struct Arrival {
+    from: usize,
+    to: usize,
+    msg: Msg,
+}
+
+/// Discrete-event message fabric for the shared protocol engine.
+pub struct EventFabric {
+    wire: WireState,
+    queue: EventQueue<Arrival>,
+    /// Delivered-but-unconsumed messages per directed link, FIFO by send
+    /// sequence: `inboxes[(to, from)][seq] = (deliver_at, msg)`. Sparse on
+    /// purpose — only links that carried traffic exist.
+    inboxes: BTreeMap<(usize, usize), BTreeMap<u64, (f64, Msg)>>,
+    procs: ProcTable,
+    inj: PlanInjector,
+    stats: SimStats,
+}
+
+impl EventFabric {
+    /// Build the fabric for ranks living on the given nodes, executing the
+    /// given fault plan (pass `FaultPlan::none(..)` for a healthy cluster).
+    pub fn new(net: NetworkModel, node_of: Vec<usize>, node_count: usize, plan: FaultPlan) -> Self {
+        let ranks = node_of.len();
+        EventFabric {
+            wire: WireState::new(net, node_of, node_count),
+            queue: EventQueue::new(),
+            inboxes: BTreeMap::new(),
+            procs: ProcTable::new(ranks),
+            inj: PlanInjector::new(plan),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Snapshot of the event-loop counters (heap depth is folded in).
+    pub fn sim_stats(&self) -> SimStats {
+        SimStats { max_heap_depth: self.queue.max_depth(), ..self.stats }
+    }
+
+    /// Current scheduling state of one virtual rank.
+    pub fn proc_state(&self, rank: usize) -> Option<ProcState> {
+        self.procs.get(rank)
+    }
+
+    /// Drain every pending arrival into its link inbox, in global
+    /// `(time, seq)` order. A blocked receiver whose awaited link just got
+    /// traffic becomes runnable again.
+    fn pump(&mut self) {
+        while let Some((time, seq, a)) = self.queue.pop() {
+            self.stats.events += 1;
+            if let Some(ProcState::BlockedRecv { from }) = self.procs.get(a.to) {
+                if from == a.from {
+                    self.procs.set_ready(a.to);
+                }
+            }
+            self.inboxes.entry((a.to, a.from)).or_default().insert(seq, (time, a.msg));
+        }
+    }
+
+    fn send(&mut self, from: usize, to: usize, msg: Msg) -> Result<(), FailedSend<Msg>> {
+        let payload = msg.wire_bytes();
+        match self.inj.on_send(from, to, payload) {
+            SendFate::Deliver { extra_delay } => {
+                // Identical arithmetic, identical order to the queue-stepped
+                // fabric: counters + sender clock + occupancy, then the
+                // delivery stamp schedules the arrival event.
+                let deliver_at = self.wire.charge_send(from, to, payload, extra_delay);
+                self.stats.sends += 1;
+                self.queue.push(deliver_at, Arrival { from, to, msg });
+                Ok(())
+            }
+            SendFate::FailTransient => {
+                // The failure models a NIC/queue rejection before occupancy:
+                // nothing is charged, the message comes back for retry.
+                Err(FailedSend { msg, error: TransportError::SendFailed { rank: from, peer: to } })
+            }
+        }
+    }
+
+    fn recv(&mut self, to: usize, from: usize) -> Result<Msg, TransportError> {
+        self.pump();
+        let head = self.inboxes.get_mut(&(to, from)).and_then(BTreeMap::pop_first);
+        match head {
+            Some((_seq, (deliver_at, msg))) => {
+                if self.wire.observe_delivery(to, deliver_at) {
+                    self.stats.fast_forwards += 1;
+                }
+                self.procs.set_ready(to);
+                Ok(msg)
+            }
+            None => Err(TransportError::NoMessage { rank: to, peer: from }),
+        }
+    }
+
+    fn recv_deadline(&mut self, to: usize, from: usize, wait: f64) -> Result<Msg, TransportError> {
+        self.pump();
+        if self.inboxes.get(&(to, from)).is_none_or(BTreeMap::is_empty) {
+            // Nothing in flight can ever satisfy this receive (the heap is
+            // drained): charge the bounded wait and surface the timeout,
+            // recording the park/unpark for the stats.
+            self.procs.block_recv(to, from);
+            self.stats.blocked_recvs += 1;
+            self.wire.advance(to, wait);
+            self.procs.set_ready(to);
+            return Err(TransportError::Timeout { rank: to, peer: from });
+        }
+        self.recv(to, from)
+    }
+
+    fn take_queued(&mut self, to: usize, from: usize) -> Vec<Msg> {
+        self.pump();
+        self.inboxes
+            .remove(&(to, from))
+            .map(|q| q.into_values().map(|(_, msg)| msg).collect())
+            .unwrap_or_default()
+    }
+
+    fn queued_senders(&mut self, to: usize) -> Vec<usize> {
+        self.pump();
+        self.inboxes
+            .range((to, 0)..=(to, usize::MAX))
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&(_, from), _)| from)
+            .collect()
+    }
+}
+
+impl Fabric for EventFabric {
+    fn send(&mut self, from: usize, to: usize, msg: Msg) -> Result<(), FailedSend<Msg>> {
+        EventFabric::send(self, from, to, msg)
+    }
+
+    fn recv(&mut self, to: usize, from: usize) -> Result<Msg, TransportError> {
+        EventFabric::recv(self, to, from)
+    }
+
+    fn recv_deadline(&mut self, to: usize, from: usize, wait: f64) -> Result<Msg, TransportError> {
+        EventFabric::recv_deadline(self, to, from, wait)
+    }
+
+    fn take_queued(&mut self, to: usize, from: usize) -> Vec<Msg> {
+        EventFabric::take_queued(self, to, from)
+    }
+
+    fn queued_senders(&mut self, to: usize) -> Vec<usize> {
+        EventFabric::queued_senders(self, to)
+    }
+
+    fn now(&self, rank: usize) -> f64 {
+        self.wire.now(rank)
+    }
+
+    fn advance(&mut self, rank: usize, seconds: f64) {
+        self.wire.advance(rank, seconds);
+    }
+
+    fn barrier(&mut self, ranks: &[usize]) {
+        self.wire.barrier(ranks);
+    }
+
+    fn makespan(&self) -> f64 {
+        self.wire.makespan()
+    }
+
+    fn ranks(&self) -> usize {
+        self.wire.ranks()
+    }
+
+    fn stats(&self) -> TrafficStats {
+        self.wire.stats()
+    }
+
+    fn compute_factor(&self, rank: usize) -> f64 {
+        self.inj.compute_factor(rank)
+    }
+
+    fn stall_seconds(&self, rank: usize, frame: u64) -> f64 {
+        self.inj.stall_seconds(rank, frame)
+    }
+
+    fn crash_frame(&self, rank: usize) -> Option<u64> {
+        self.inj.crash_frame(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::NetworkModel;
+    use netsim::{FaultyVirtualNet, VirtualNet};
+
+    fn model() -> NetworkModel {
+        NetworkModel::myrinet()
+    }
+
+    fn fabric(ranks: usize) -> EventFabric {
+        let node_of: Vec<usize> = (0..ranks).collect();
+        EventFabric::new(model(), node_of, ranks, FaultPlan::none(1, ranks))
+    }
+
+    /// Reference fabric with identical placement for lock-step comparison.
+    fn reference(ranks: usize) -> FaultyVirtualNet<Msg, PlanInjector> {
+        let node_of: Vec<usize> = (0..ranks).collect();
+        FaultyVirtualNet::new(
+            VirtualNet::new(model(), node_of, ranks),
+            PlanInjector::new(FaultPlan::none(1, ranks)),
+        )
+    }
+
+    #[test]
+    fn send_recv_round_trip_matches_reference_clocks() {
+        let mut ev = fabric(3);
+        let mut rf = reference(3);
+        for (from, to) in [(0, 1), (1, 2), (2, 0), (0, 1)] {
+            let m = Msg::FrameDone { frame: 0 };
+            assert!(EventFabric::send(&mut ev, from, to, m.clone()).is_ok());
+            assert!(rf.send(from, to, m).is_ok());
+        }
+        for (to, from) in [(1, 0), (2, 1), (0, 2), (1, 0)] {
+            let a = EventFabric::recv(&mut ev, to, from).expect("queued");
+            let b = rf.recv(to, from).expect("queued");
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        for r in 0..3 {
+            assert_eq!(Fabric::now(&ev, r), rf.now(r), "clock {r} diverged");
+        }
+        assert_eq!(ev.makespan(), rf.makespan());
+        assert_eq!(Fabric::stats(&ev).messages, rf.stats().messages);
+    }
+
+    #[test]
+    fn per_link_fifo_survives_cross_link_interleaving() {
+        let mut ev = fabric(4);
+        // 0→3 and 1→3 interleaved; each link must drain in its own order.
+        for i in 0..3u64 {
+            EventFabric::send(&mut ev, 0, 3, Msg::FrameDone { frame: i }).expect("send");
+            EventFabric::send(&mut ev, 1, 3, Msg::FrameDone { frame: 10 + i }).expect("send");
+        }
+        for i in 0..3u64 {
+            match EventFabric::recv(&mut ev, 3, 0) {
+                Ok(Msg::FrameDone { frame }) => assert_eq!(frame, i),
+                other => panic!("link (3,0) out of order: {other:?}"),
+            }
+        }
+        for i in 0..3u64 {
+            match EventFabric::recv(&mut ev, 3, 1) {
+                Ok(Msg::FrameDone { frame }) => assert_eq!(frame, 10 + i),
+                other => panic!("link (3,1) out of order: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_links_error_and_deadline_charges_wait() {
+        let mut ev = fabric(2);
+        assert!(matches!(
+            EventFabric::recv(&mut ev, 0, 1),
+            Err(TransportError::NoMessage { rank: 0, peer: 1 })
+        ));
+        let t0 = Fabric::now(&ev, 0);
+        assert!(matches!(
+            EventFabric::recv_deadline(&mut ev, 0, 1, 0.25),
+            Err(TransportError::Timeout { rank: 0, peer: 1 })
+        ));
+        assert_eq!(Fabric::now(&ev, 0), t0 + 0.25);
+        assert_eq!(ev.sim_stats().blocked_recvs, 1);
+    }
+
+    #[test]
+    fn queued_senders_are_sparse_and_ascending() {
+        let mut ev = fabric(8);
+        for from in [5, 2, 7] {
+            EventFabric::send(&mut ev, from, 3, Msg::FrameDone { frame: 0 }).expect("send");
+        }
+        assert_eq!(EventFabric::queued_senders(&mut ev, 3), vec![2, 5, 7]);
+        assert_eq!(EventFabric::queued_senders(&mut ev, 0), Vec::<usize>::new());
+        // Only touched links occupy inbox memory.
+        assert!(ev.inboxes.len() <= 3);
+    }
+
+    #[test]
+    fn take_queued_drains_without_touching_clocks() {
+        let mut ev = fabric(2);
+        EventFabric::send(&mut ev, 1, 0, Msg::FrameDone { frame: 1 }).expect("send");
+        EventFabric::send(&mut ev, 1, 0, Msg::FrameDone { frame: 2 }).expect("send");
+        let t0 = Fabric::now(&ev, 0);
+        let drained = EventFabric::take_queued(&mut ev, 0, 1);
+        assert_eq!(drained.len(), 2);
+        assert!(matches!(drained.first(), Some(Msg::FrameDone { frame: 1 })));
+        assert_eq!(Fabric::now(&ev, 0), t0);
+    }
+
+    #[test]
+    fn fast_forward_counts_idle_receivers_only() {
+        let mut ev = fabric(2);
+        EventFabric::send(&mut ev, 0, 1, Msg::FrameDone { frame: 0 }).expect("send");
+        // Receiver clock is behind the delivery stamp: fast-forward.
+        EventFabric::recv(&mut ev, 1, 0).expect("queued");
+        assert_eq!(ev.sim_stats().fast_forwards, 1);
+        // Receiver far ahead: no fast-forward on the next delivery.
+        Fabric::advance(&mut ev, 1, 1000.0);
+        EventFabric::send(&mut ev, 0, 1, Msg::FrameDone { frame: 1 }).expect("send");
+        EventFabric::recv(&mut ev, 1, 0).expect("queued");
+        assert_eq!(ev.sim_stats().fast_forwards, 1);
+    }
+
+    #[test]
+    fn transient_failure_returns_message_uncharged() {
+        use netsim::LinkFault;
+        let mut plan = FaultPlan::none(7, 2);
+        *plan.link_mut(0, 1) = LinkFault::lossy(0.999_999);
+        let node_of = vec![0, 1];
+        let mut ev = EventFabric::new(model(), node_of, 2, plan);
+        let t0 = Fabric::now(&ev, 0);
+        match EventFabric::send(&mut ev, 0, 1, Msg::FrameDone { frame: 0 }) {
+            Err(FailedSend { msg: Msg::FrameDone { .. }, error }) => {
+                assert_eq!(error, TransportError::SendFailed { rank: 0, peer: 1 });
+            }
+            other => panic!("lossy link should reject: {other:?}"),
+        }
+        assert_eq!(Fabric::now(&ev, 0), t0, "failed send must not charge wire time");
+        assert_eq!(ev.sim_stats().sends, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! `psa-desim` — the event-driven virtual executor.
+//!
+//! A deterministic discrete-event simulation core for the paper's frame
+//! protocol: a binary-heap event loop over virtual time with stable
+//! `(time, seq)` tie-breaking ([`queue`]), per-rank virtual process states
+//! ([`proc`]), and a message fabric that turns every send into a scheduled
+//! arrival event charged through the same `netsim` cost arithmetic the
+//! queue-stepped fabric uses ([`fabric`]). The executor itself ([`exec`])
+//! drives the one shared protocol engine in `psa_runtime::protocol` — this
+//! crate adds no fourth protocol copy, only a fabric.
+//!
+//! Guarantees, in order of importance:
+//!
+//! 1. **Parity** — `EventSim` runs are fingerprint-identical to
+//!    `VirtualSim` runs for every configuration both express (same seed,
+//!    same cluster, dense exchange). Held by construction (same engine,
+//!    same `WireState` arithmetic, per-link FIFO) and pinned by the parity
+//!    suite over the full scenario matrix at 4–16 ranks.
+//! 2. **Determinism** — runs are a pure function of `(seed, plan, config)`;
+//!    the event heap's pop order is invariant under insertion order.
+//! 3. **Scale** — per-link state is sparse, so 1,024 calculators × 100+
+//!    systems sweep in seconds (the BENCH_5 tables; use sparse exchange).
+
+pub mod exec;
+pub mod fabric;
+pub mod proc;
+pub mod queue;
+
+pub use exec::EventSim;
+pub use fabric::EventFabric;
+pub use proc::{ProcState, ProcTable, SimStats};
+pub use queue::EventQueue;

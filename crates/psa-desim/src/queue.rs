@@ -1,0 +1,191 @@
+//! The deterministic event queue: a binary min-heap over virtual time.
+//!
+//! Discrete-event simulators live or die on tie-breaking. Two events with
+//! the same virtual timestamp must pop in a *defined* order or the run
+//! stops being a pure function of the seed — the FoundationDB-style
+//! discipline this workspace enforces everywhere. The queue therefore
+//! orders entries by `(time, seq)` where `seq` is the monotone insertion
+//! counter: ties resolve in submission order, and because `f64::total_cmp`
+//! is a total order even over NaN/±0.0, the heap can never reach an
+//! incomparable state.
+//!
+//! The pop order is a pure function of the *set* of `(time, seq)` keys —
+//! not of heap-internal layout — which is what the shuffled-insertion
+//! property test at the bottom pins down: any permutation of pushes with
+//! explicit keys drains in identical order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event.
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    /// Reversed comparison: `BinaryHeap` is a max-heap, so "greatest" must
+    /// mean "earliest `(time, seq)`".
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.time.total_cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of timed events with stable `(time, seq)` tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    max_depth: usize,
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, max_depth: 0 }
+    }
+
+    /// Schedule `item` at virtual `time`; returns the sequence number that
+    /// breaks timestamp ties (and doubles as the fabric's per-link FIFO
+    /// key).
+    pub fn push(&mut self, time: f64, item: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.heap.push(Entry { time, seq, item });
+        self.max_depth = self.max_depth.max(self.heap.len());
+        seq
+    }
+
+    /// Schedule with an explicit sequence key (tests and replay tooling;
+    /// the normal path lets [`push`](Self::push) assign keys monotonically).
+    pub fn push_keyed(&mut self, time: f64, seq: u64, item: T) {
+        self.next_seq = self.next_seq.max(seq.wrapping_add(1));
+        self.heap.push(Entry { time, seq, item });
+        self.max_depth = self.max_depth.max(self.heap.len());
+    }
+
+    /// Pop the earliest event: least `(time, seq)`.
+    pub fn pop(&mut self) -> Option<(f64, u64, T)> {
+        self.heap.pop().map(|e| (e.time, e.seq, e.item))
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// High-water mark of in-flight events over the queue's lifetime.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_math::Rng64;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, i)| i)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_submission_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(1.0, i);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, s, _)| s)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn total_cmp_handles_signed_zero_and_infinity() {
+        let mut q = EventQueue::new();
+        q.push(f64::INFINITY, "inf");
+        q.push(0.0, "pz");
+        q.push(-0.0, "nz");
+        // total_cmp: -0.0 < +0.0 < inf
+        assert_eq!(q.pop().map(|(_, _, i)| i), Some("nz"));
+        assert_eq!(q.pop().map(|(_, _, i)| i), Some("pz"));
+        assert_eq!(q.pop().map(|(_, _, i)| i), Some("inf"));
+    }
+
+    #[test]
+    fn max_depth_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        q.push(1.0, ());
+        q.push(2.0, ());
+        q.push(3.0, ());
+        q.pop();
+        q.push(4.0, ());
+        assert_eq!(q.max_depth(), 3);
+    }
+
+    /// The satellite property test: for a fixed set of `(time, seq)` keys,
+    /// the drain order is identical under *any* insertion order. 64 trials
+    /// of a seeded Fisher–Yates shuffle over a key set with heavy timestamp
+    /// collisions (8 distinct times × 32 seqs) all reproduce the reference
+    /// drain byte-for-byte.
+    #[test]
+    fn drain_order_is_invariant_under_shuffled_insertion() {
+        let keys: Vec<(f64, u64)> = (0..256u64).map(|i| (((i % 8) as f64) * 0.125, i)).collect();
+
+        let reference: Vec<(f64, u64)> = {
+            let mut q = EventQueue::new();
+            for &(t, s) in &keys {
+                q.push_keyed(t, s, ());
+            }
+            std::iter::from_fn(|| q.pop().map(|(t, s, ())| (t, s))).collect()
+        };
+        // Sanity: the reference really is the sorted key order.
+        let mut sorted = keys.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        assert_eq!(reference, sorted);
+
+        let mut rng = Rng64::new(0xDE51_u64);
+        for trial in 0..64u64 {
+            let mut shuffled = keys.clone();
+            // Seeded Fisher–Yates (no ambient RNG in a sim crate).
+            for i in (1..shuffled.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                shuffled.swap(i, j);
+            }
+            let mut q = EventQueue::new();
+            for &(t, s) in &shuffled {
+                q.push_keyed(t, s, ());
+            }
+            let drained: Vec<(f64, u64)> =
+                std::iter::from_fn(|| q.pop().map(|(t, s, ())| (t, s))).collect();
+            assert_eq!(drained, reference, "trial {trial} diverged");
+        }
+    }
+}

@@ -10,6 +10,10 @@
 //!   objects;
 //! * [`config`] — run configuration (finite/infinite space, SLB/DLB,
 //!   bucket counts, frame counts);
+//! * [`protocol`] — the single shared implementation of the Figure-2 frame
+//!   protocol: the [`protocol::Engine`] every interleaved executor drives
+//!   (over any [`protocol::Fabric`]) plus the per-role SPMD bodies the
+//!   threaded executor spawns;
 //! * [`virtual_exec`] — the deterministic virtual-time executor that
 //!   reproduces the paper's cluster timing via `cluster-sim` + `netsim`;
 //! * [`sequential`] — the sequential baseline the paper computes speed-ups
@@ -24,6 +28,7 @@
 pub mod balance;
 pub mod config;
 pub mod msg;
+pub mod protocol;
 pub mod report;
 pub mod scene;
 pub mod sequential;
@@ -32,8 +37,11 @@ pub mod trace;
 pub mod virtual_exec;
 
 pub use balance::{BalancerConfig, LoadInfo, Order};
-pub use config::{BalanceMode, LoadMetric, ParallelConfig, RunConfig, SpaceMode, SystemSchedule};
+pub use config::{
+    BalanceMode, ExchangeMode, LoadMetric, ParallelConfig, RunConfig, SpaceMode, SystemSchedule,
+};
 pub use msg::ProtocolError;
+pub use protocol::{donation_cut, node_layout, Engine, Fabric};
 pub use report::RunReport;
 pub use scene::{CollisionSpec, Scene, SystemSetup};
 pub use sequential::run_sequential;

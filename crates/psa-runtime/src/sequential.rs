@@ -11,20 +11,14 @@ use cluster_sim::CostModel;
 use psa_core::kernel;
 use psa_core::SubDomainStore;
 use psa_math::stats::imbalance;
-use psa_math::{Axis, Rng64};
+use psa_math::Axis;
 
 use crate::config::RunConfig;
+// The RNG streams come from the shared protocol module, so sequential and
+// parallel runs simulate the identical workload by construction.
+use crate::protocol::{stream, TAG_ACTIONS, TAG_CREATE};
 use crate::report::{FrameReport, RunReport};
 use crate::scene::Scene;
-
-/// Deterministic stream identical to the parallel executor's creation
-/// stream, so sequential and parallel runs simulate the same workload.
-fn stream(seed: u64, tag: u64, frame: u64, sys: usize, rank: usize) -> Rng64 {
-    Rng64::new(seed).split(tag).split(frame).split(sys as u64).split(rank as u64)
-}
-
-const TAG_CREATE: u64 = 0xC0;
-const TAG_ACTIONS: u64 = 0xAC;
 
 /// Run the scene sequentially on a machine of relative `speed`; returns a
 /// report whose `total_time` is the baseline for speed-up computation.

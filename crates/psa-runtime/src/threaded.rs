@@ -7,6 +7,13 @@
 //! that the model parallelizes — the virtual executor is the instrument
 //! that reproduces the paper's cluster numbers.
 //!
+//! The role bodies themselves — [`crate::protocol::calculator_main`],
+//! [`crate::protocol::manager_main`],
+//! [`crate::protocol::image_generator_main`] — live in the shared protocol
+//! module next to the virtual engine, so all executors evolve one protocol
+//! implementation. This file owns only what is thread-specific: spawning,
+//! joining, error aggregation, and the render sink.
+//!
 //! Protocol failures are values, not panics: every role returns
 //! [`ProtocolError`] and [`run_threaded`] surfaces the most specific error
 //! after joining all threads. With the `strict-invariants` feature, each
@@ -21,33 +28,18 @@
 // spawns are confined to psa_core::kernel.
 use std::path::PathBuf;
 use std::thread;
-use std::time::Duration;
 
-use netsim::{ThreadEndpoint, ThreadNet, TransportError};
-use psa_core::invariants::{self, StateHash};
-use psa_core::kernel;
-use psa_core::{DomainMap, Particle, SubDomainStore};
-use psa_math::stats::imbalance;
-use psa_math::{Axis, Interval, Rng64};
-use psa_render::image::{frame_filename, write_ppm};
-use psa_render::{
-    render_objects, render_particles, render_streaks, Camera, Framebuffer, SplatConfig,
-};
-use psa_trace::{ClockKind, Counter, Phase, Recorder, TraceReport};
+use netsim::ThreadNet;
+use psa_core::DomainMap;
+use psa_math::Axis;
+use psa_render::{Camera, SplatConfig};
+use psa_trace::{Recorder, TraceReport};
 
-use crate::balance::{self, LoadInfo};
-use crate::config::{BalanceMode, LoadMetric, RunConfig, SpaceMode};
-use crate::msg::{Msg, ProtocolError};
-use crate::report::{FrameReport, RunReport};
+use crate::config::{BalanceMode, RunConfig};
+use crate::msg::ProtocolError;
+use crate::protocol::{calculator_main, image_generator_main, manager_main, space_for};
+use crate::report::RunReport;
 use crate::scene::Scene;
-use crate::trace::{figure2_passes, ProtocolEvent, Trace};
-
-const TAG_CREATE: u64 = 0xC0;
-const TAG_ACTIONS: u64 = 0xAC;
-
-fn stream(seed: u64, tag: u64, frame: u64, sys: usize, rank: usize) -> Rng64 {
-    Rng64::new(seed).split(tag).split(frame).split(sys as u64).split(rank as u64)
-}
 
 /// Where and how the image generator should rasterize.
 #[derive(Clone, Debug)]
@@ -77,52 +69,6 @@ impl RenderSink {
             streaks: None,
         }
     }
-}
-
-fn space_for(scene: &Scene, cfg: &RunConfig, sys: usize) -> Interval {
-    match cfg.space {
-        SpaceMode::Finite => scene.systems[sys].spec.space,
-        SpaceMode::Infinite => Interval::INFINITE,
-    }
-}
-
-/// Bounded protocol receive: a silent peer surfaces as a typed
-/// [`ProtocolError::Timeout`] carrying role/rank/frame context instead of
-/// blocking the executor forever on a lost thread.
-fn recv_within(
-    ep: &ThreadEndpoint<Msg>,
-    from: usize,
-    deadline: Duration,
-    role: &'static str,
-    rank: usize,
-    frame: u64,
-) -> Result<Msg, ProtocolError> {
-    match ep.recv_deadline(from, deadline) {
-        Ok(m) => Ok(m),
-        Err(TransportError::Timeout { .. }) => {
-            Err(ProtocolError::Timeout { role, rank, frame, peer: from })
-        }
-        Err(e) => Err(e.into()),
-    }
-}
-
-/// Expect a specific message kind within the deadline; anything else is a
-/// protocol violation.
-macro_rules! expect_msg {
-    ($ep:expr, $deadline:expr, $from:expr, $role:expr, $rank:expr, $frame:expr, $pat:pat => $out:expr, $want:expr) => {
-        match recv_within(&$ep, $from, $deadline, $role, $rank, $frame)? {
-            $pat => $out,
-            other => {
-                return Err(ProtocolError::UnexpectedMessage {
-                    role: $role,
-                    rank: $rank,
-                    frame: $frame,
-                    expected: $want,
-                    got: other.kind(),
-                })
-            }
-        }
-    };
 }
 
 /// Run the scene on `n` calculator threads (+ manager + image generator).
@@ -168,7 +114,7 @@ pub fn run_threaded_traced(
         c
     };
     let n_sys = scene.systems.len();
-    let endpoints = ThreadNet::build::<Msg>(n + 2);
+    let endpoints = ThreadNet::build::<crate::msg::Msg>(n + 2);
     let started = std::time::Instant::now();
 
     let initial_domains: Vec<DomainMap> =
@@ -283,480 +229,16 @@ pub fn run_threaded_traced(
     })
 }
 
-/// Charge the wall-clock interval since `*last` to `phase` and reset the
-/// mark. The single timing primitive all three roles share: it only reads
-/// the endpoint's epoch clock, so instrumentation cannot perturb protocol
-/// state. A disabled recorder skips even the clock read.
-fn mark(
-    rec: &mut Recorder,
-    last: &mut f64,
-    ep: &ThreadEndpoint<Msg>,
-    frame: u64,
-    rank: usize,
-    phase: Phase,
-) {
-    if !rec.is_enabled() {
-        return;
-    }
-    let now = ep.now();
-    rec.phase(frame, rank, phase, (now - *last).max(0.0));
-    *last = now;
-}
-
-/// Flush the endpoint's sent-traffic delta since `mark` into the frame's
-/// message/byte counters; returns the new mark.
-fn flush_traffic(
-    rec: &mut Recorder,
-    ep: &ThreadEndpoint<Msg>,
-    frame: u64,
-    prev: netsim::TrafficStats,
-) -> netsim::TrafficStats {
-    if !rec.is_enabled() {
-        return prev;
-    }
-    let now = ep.sent_stats();
-    rec.add(frame, Counter::Messages, now.messages - prev.messages);
-    rec.add(frame, Counter::PayloadBytes, now.payload_bytes - prev.payload_bytes);
-    now
-}
-
-fn calculator_main(
-    ep: ThreadEndpoint<Msg>,
-    c: usize,
-    n: usize,
-    scene: &Scene,
-    cfg: &RunConfig,
-    mut domains: Vec<DomainMap>,
-    instrument: bool,
-) -> Result<Recorder, ProtocolError> {
-    let mgr = n;
-    let ig = n + 1;
-    let n_sys = scene.systems.len();
-    let deadline = Duration::from_secs_f64(cfg.recv_timeout_secs);
-    let mut stores: Vec<SubDomainStore> = (0..n_sys)
-        .map(|s| SubDomainStore::new(domains[s].slice(c), Axis::X, cfg.buckets))
-        .collect();
-    let mut trace = if invariants::ENABLED { Trace::enabled() } else { Trace::disabled() };
-    let mut rec =
-        if instrument { Recorder::enabled(n + 2, ClockKind::Wall) } else { Recorder::disabled() };
-    let mut last = ep.now();
-    let mut traffic_mark = ep.sent_stats();
-    // Hot-path scratch, reused every frame: no steady-state allocation in
-    // the exchange staging.
-    let mut leavers: Vec<Particle> = Vec::new();
-    let mut per_dest: Vec<Vec<Particle>> = (0..n).map(|_| Vec::new()).collect();
-
-    for frame in 0..cfg.frames {
-        for sys in 0..n_sys {
-            let setup = &scene.systems[sys];
-            // Creation: receive batch + EOT.
-            let batch = expect_msg!(ep, deadline, mgr, "calculator", c, frame,
-                Msg::Particles { batch, .. } => batch, "Particles");
-            expect_msg!(ep, deadline, mgr, "calculator", c, frame,
-                Msg::EndOfTransmission { .. } => (), "EndOfTransmission");
-            stores[sys].extend(batch);
-            trace.record(frame, ProtocolEvent::AdditionToLocalSet);
-
-            // Calculus, through the chunked kernel (legacy serial stream
-            // when cfg.parallel.chunk == 0).
-            let t0 = ep.now();
-            let rng = stream(cfg.seed, TAG_ACTIONS, frame, sys, c + 1);
-            let pre = stores[sys].len().max(1);
-            let kr = kernel::run_actions(
-                &setup.actions,
-                cfg.dt,
-                frame,
-                rng,
-                &mut stores[sys],
-                cfg.parallel.chunk,
-                cfg.parallel.workers,
-            );
-            let compute = ep.now() - t0;
-            trace.record(frame, ProtocolEvent::Calculus);
-            mark(&mut rec, &mut last, &ep, frame, c, Phase::Compute);
-            rec.add(frame, Counter::ComputeChunks, kr.chunks);
-
-            // Exchange. `leavers`/`per_dest` are frame-loop scratch; only
-            // the cross-thread sends allocate (the message owns its batch).
-            let before_exchange = stores[sys].len();
-            stores[sys].collect_leavers_into(&mut leavers);
-            let migrated = leavers.len();
-            for p in leavers.drain(..) {
-                let owner = domains[sys].owner_of(p.position.x);
-                per_dest[owner].push(p);
-            }
-            stores[sys].extend(per_dest[c].drain(..));
-            let mut outgoing = 0usize;
-            for (d, dest) in per_dest.iter_mut().enumerate() {
-                if d != c {
-                    outgoing += dest.len();
-                    // Not `mem::take`: the message must own an exact-sized
-                    // batch anyway, and draining keeps the staging spine's
-                    // warmed capacity for the next frame.
-                    #[allow(clippy::drain_collect)]
-                    let batch: Vec<Particle> = dest.drain(..).collect();
-                    ep.send(d, Msg::Particles { system: setup.spec.id, batch, scale: 1.0 })?;
-                }
-            }
-            let mut incoming = 0usize;
-            for d in 0..n {
-                if d == c {
-                    continue;
-                }
-                let batch = expect_msg!(ep, deadline, d, "calculator", c, frame,
-                    Msg::Particles { batch, .. } => batch, "Particles");
-                incoming += batch.len();
-                stores[sys].extend(batch);
-            }
-            trace.record(frame, ProtocolEvent::ParticleExchange);
-            if invariants::ENABLED {
-                invariants::check_exchange_conservation(
-                    frame,
-                    sys,
-                    c,
-                    before_exchange,
-                    outgoing,
-                    incoming,
-                    stores[sys].len(),
-                )?;
-                // Conservation balances even when a NaN position has put a
-                // particle beyond every slice; reject the corruption itself.
-                invariants::check_finite_positions(frame, sys, c, stores[sys].iter())?;
-            }
-            mark(&mut rec, &mut last, &ep, frame, c, Phase::Exchange);
-
-            // Load report (time rescaled to post-exchange count, §3.2.4).
-            let count = stores[sys].len();
-            let time = match cfg.load_metric {
-                LoadMetric::WallClock => compute * count as f64 / pre as f64,
-                LoadMetric::CountProportional => count as f64,
-            };
-            ep.send(
-                mgr,
-                Msg::Load { system: setup.spec.id, info: LoadInfo { count, time }, migrated },
-            )?;
-            trace.record(frame, ProtocolEvent::LoadInformation);
-            mark(&mut rec, &mut last, &ep, frame, c, Phase::LoadReport);
-
-            // Balancing.
-            if cfg.balance.is_dynamic() {
-                let orders = expect_msg!(ep, deadline, mgr, "calculator", c, frame,
-                    Msg::Orders { orders, .. } => orders, "Orders");
-                let mut outgoing: Option<(usize, Vec<Particle>)> = None;
-                for o in &orders {
-                    match *o {
-                        balance::Order::Send { to, amount } => {
-                            let old_slice = stores[sys].slice();
-                            let (mut donated, _sorted) = if to < c {
-                                stores[sys].donate_low(amount)
-                            } else {
-                                stores[sys].donate_high(amount)
-                            };
-                            let kept = stores[sys].extent();
-                            let cut = crate::virtual_exec::donation_cut(
-                                to < c,
-                                &donated,
-                                kept,
-                                old_slice,
-                            );
-                            // half-open tie guard
-                            if to < c {
-                                let back: Vec<Particle> = donated
-                                    .iter()
-                                    .filter(|p| p.position.x >= cut)
-                                    .copied()
-                                    .collect();
-                                donated.retain(|p| p.position.x < cut);
-                                stores[sys].extend(back);
-                            } else {
-                                let back: Vec<Particle> = donated
-                                    .iter()
-                                    .filter(|p| p.position.x < cut)
-                                    .copied()
-                                    .collect();
-                                donated.retain(|p| p.position.x >= cut);
-                                stores[sys].extend(back);
-                            }
-                            ep.send(
-                                mgr,
-                                Msg::NewCut { system: setup.spec.id, boundary: c.min(to), cut },
-                            )?;
-                            outgoing = Some((to, donated));
-                        }
-                        balance::Order::Receive { .. } => {}
-                    }
-                }
-                if !orders.is_empty() {
-                    trace.record(frame, ProtocolEvent::PreparationOfStructures);
-                }
-                // Everyone receives the rebroadcast domains.
-                let cuts = expect_msg!(ep, deadline, mgr, "calculator", c, frame,
-                    Msg::Domains { cuts, .. } => cuts, "Domains");
-                let dm =
-                    DomainMap::from_cuts(Axis::X, cuts).map_err(|e| ProtocolError::Domain {
-                        role: "calculator",
-                        rank: c,
-                        frame,
-                        detail: format!("{e:?}"),
-                    })?;
-                if invariants::ENABLED {
-                    invariants::check_partition(frame, sys, space_for(scene, cfg, sys), &dm)?;
-                }
-                let new_slice = dm.slice(c);
-                domains[sys] = dm;
-                trace.record(frame, ProtocolEvent::DefinitionOfLocalDomains);
-                if stores[sys].slice() != new_slice {
-                    let stray = stores[sys].reshape(new_slice);
-                    stores[sys].extend(stray);
-                }
-                // Donations move only after the new domains are in force.
-                let mut transferred = false;
-                if let Some((to, donated)) = outgoing {
-                    transferred = true;
-                    ep.send(
-                        to,
-                        Msg::Particles { system: setup.spec.id, batch: donated, scale: 1.0 },
-                    )?;
-                }
-                for o in &orders {
-                    if let balance::Order::Receive { from } = *o {
-                        transferred = true;
-                        let batch = expect_msg!(ep, deadline, from, "calculator", c, frame,
-                            Msg::Particles { batch, .. } => batch, "Particles");
-                        stores[sys].extend(batch);
-                    }
-                }
-                if transferred {
-                    trace.record(frame, ProtocolEvent::LoadBalanceBetweenCalculators);
-                }
-            }
-            mark(&mut rec, &mut last, &ep, frame, c, Phase::Balance);
-
-            // Ship the frame to the image generator.
-            let batch: Vec<Particle> = stores[sys].iter().copied().collect();
-            ep.send(ig, Msg::RenderParticles { system: setup.spec.id, batch })?;
-            trace.record(frame, ProtocolEvent::ParticlesToImageGenerator);
-            mark(&mut rec, &mut last, &ep, frame, c, Phase::Ship);
-        }
-        if invariants::ENABLED {
-            let events = trace.frame(frame);
-            if figure2_passes(&events) != n_sys {
-                return Err(ProtocolError::OrderBroken {
-                    role: "calculator",
-                    rank: c,
-                    frame,
-                    detail: format!("{events:?}"),
-                });
-            }
-        }
-        traffic_mark = flush_traffic(&mut rec, &ep, frame, traffic_mark);
-    }
-    Ok(rec)
-}
-
-fn manager_main(
-    ep: ThreadEndpoint<Msg>,
-    n: usize,
-    scene: &Scene,
-    cfg: &RunConfig,
-    mut domains: Vec<DomainMap>,
-    instrument: bool,
-) -> Result<(Vec<FrameReport>, Recorder), ProtocolError> {
-    let n_sys = scene.systems.len();
-    let deadline = Duration::from_secs_f64(cfg.recv_timeout_secs);
-    let mut parity = 0usize;
-    let mut frames = Vec::with_capacity(cfg.frames as usize);
-    let mut last = ep.now();
-    let mut trace = if invariants::ENABLED { Trace::enabled() } else { Trace::disabled() };
-    let mut rec =
-        if instrument { Recorder::enabled(n + 2, ClockKind::Wall) } else { Recorder::disabled() };
-    let mut phase_mark = ep.now();
-    let mut traffic_mark = ep.sent_stats();
-    // Frame-loop scratch: creation staging reuses these across frames.
-    let mut newborn: Vec<Particle> = Vec::new();
-    let mut batches: Vec<Vec<Particle>> = (0..n).map(|_| Vec::new()).collect();
-
-    for frame in 0..cfg.frames {
-        let mut fr = FrameReport { frame, ..Default::default() };
-        let mut orders_issued = 0u64;
-        for sys in 0..n_sys {
-            let spec = &scene.systems[sys].spec;
-            // Creation.
-            let mut rng = stream(cfg.seed, TAG_CREATE, frame, sys, 0);
-            newborn.clear();
-            if frame == 0 {
-                newborn = spec.emit_initial(&mut rng);
-            }
-            newborn.extend((0..spec.emit_per_frame).map(|_| spec.emit_one(&mut rng)));
-            for p in newborn.drain(..) {
-                batches[domains[sys].owner_of(p.position.x)].push(p);
-            }
-            for (c, staged) in batches.iter_mut().enumerate() {
-                // Same rationale as the calculator's exchange sends: drain
-                // keeps the staging capacity, the message owns its batch.
-                #[allow(clippy::drain_collect)]
-                let batch: Vec<Particle> = staged.drain(..).collect();
-                ep.send(c, Msg::Particles { system: spec.id, batch, scale: 1.0 })?;
-                ep.send(c, Msg::EndOfTransmission { system: spec.id })?;
-            }
-            trace.record(frame, ProtocolEvent::ParticleCreation);
-            mark(&mut rec, &mut phase_mark, &ep, frame, n, Phase::Compute);
-
-            // Load reports.
-            let mut loads = Vec::with_capacity(n);
-            for c in 0..n {
-                let (info, migrated) = expect_msg!(ep, deadline, c, "manager", n, frame,
-                    Msg::Load { info, migrated, .. } => (info, migrated), "Load");
-                fr.migrated += migrated as u64;
-                fr.migration_bytes += (migrated * psa_core::WIRE_BYTES) as u64;
-                loads.push(info);
-            }
-            let counts: Vec<f64> = loads.iter().map(|l| l.count as f64).collect();
-            fr.imbalance = fr.imbalance.max(imbalance(&counts));
-            trace.record(frame, ProtocolEvent::LoadInformation);
-            mark(&mut rec, &mut phase_mark, &ep, frame, n, Phase::LoadReport);
-
-            // Balancing.
-            if let BalanceMode::Dynamic(bcfg) = cfg.balance {
-                let speeds = vec![1.0; n]; // host threads are homogeneous
-                let transfers = balance::evaluate(&loads, &speeds, parity, &bcfg);
-                parity ^= 1;
-                orders_issued += transfers.len() as u64;
-                trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
-                for c in 0..n {
-                    ep.send(
-                        c,
-                        Msg::Orders { system: spec.id, orders: balance::orders_for(&transfers, c) },
-                    )?;
-                }
-                trace.record(frame, ProtocolEvent::LoadBalancingOrders);
-                for t in &transfers {
-                    let (boundary, cut) = expect_msg!(ep, deadline, t.donor, "manager", n, frame,
-                        Msg::NewCut { boundary, cut, .. } => (boundary, cut), "NewCut");
-                    domains[sys].move_cut(boundary, cut).map_err(|e| ProtocolError::Domain {
-                        role: "manager",
-                        rank: n,
-                        frame,
-                        detail: format!("{e:?}"),
-                    })?;
-                    fr.balanced += t.amount as u64;
-                }
-                if invariants::ENABLED {
-                    invariants::check_partition(
-                        frame,
-                        sys,
-                        space_for(scene, cfg, sys),
-                        &domains[sys],
-                    )?;
-                }
-                if !transfers.is_empty() {
-                    trace.record(frame, ProtocolEvent::NewDimensionsAndDomains);
-                }
-                for c in 0..n {
-                    ep.send(
-                        c,
-                        Msg::Domains { system: spec.id, cuts: domains[sys].cuts().to_vec() },
-                    )?;
-                }
-            }
-            mark(&mut rec, &mut phase_mark, &ep, frame, n, Phase::Balance);
-        }
-        if invariants::ENABLED {
-            let events = trace.frame(frame);
-            if figure2_passes(&events) != n_sys {
-                return Err(ProtocolError::OrderBroken {
-                    role: "manager",
-                    rank: n,
-                    frame,
-                    detail: format!("{events:?}"),
-                });
-            }
-        }
-        let now = ep.now();
-        fr.frame_time = now - last;
-        last = now;
-        if rec.is_enabled() {
-            rec.add(frame, Counter::Migrated, fr.migrated);
-            rec.add(frame, Counter::MigrationBytes, fr.migration_bytes);
-            rec.add(frame, Counter::BalanceOrders, orders_issued);
-            traffic_mark = flush_traffic(&mut rec, &ep, frame, traffic_mark);
-        }
-        frames.push(fr);
-    }
-    Ok((frames, rec))
-}
-
-fn image_generator_main(
-    ep: ThreadEndpoint<Msg>,
-    n: usize,
-    scene: &Scene,
-    cfg: &RunConfig,
-    sink: Option<RenderSink>,
-    instrument: bool,
-) -> Result<(Vec<(u64, u64)>, Recorder), ProtocolError> {
-    let n_sys = scene.systems.len();
-    let deadline = Duration::from_secs_f64(cfg.recv_timeout_secs);
-    let mut fb = sink.as_ref().map(|s| {
-        let (w, h) = s.camera.viewport();
-        Framebuffer::new(w, h)
-    });
-    let mut per_frame = Vec::with_capacity(cfg.frames as usize);
-    let mut rec =
-        if instrument { Recorder::enabled(n + 2, ClockKind::Wall) } else { Recorder::disabled() };
-    let mut phase_mark = ep.now();
-
-    for frame in 0..cfg.frames {
-        let mut alive = 0u64;
-        let mut hash = StateHash::new();
-        if let (Some(fb), Some(s)) = (fb.as_mut(), sink.as_ref()) {
-            fb.clear(s.background);
-            render_objects(fb, &s.camera, &scene.objects);
-        }
-        for _sys in 0..n_sys {
-            for c in 0..n {
-                let batch = expect_msg!(ep, deadline, c, "image generator", n + 1, frame,
-                    Msg::RenderParticles { batch, .. } => batch, "RenderParticles");
-                alive += batch.len() as u64;
-                hash.extend(batch.iter());
-                if let (Some(fb), Some(s)) = (fb.as_mut(), sink.as_ref()) {
-                    match s.streaks {
-                        Some((len, steps)) => {
-                            render_streaks(fb, &s.camera, &batch, &s.splat, len, steps);
-                        }
-                        None => {
-                            render_particles(fb, &s.camera, &batch, &s.splat);
-                        }
-                    }
-                }
-            }
-        }
-        if let (Some(fb), Some(s)) = (fb.as_ref(), sink.as_ref()) {
-            if let Some(dir) = &s.out_dir {
-                std::fs::create_dir_all(dir).map_err(|e| ProtocolError::Render {
-                    frame,
-                    detail: format!("create {}: {e}", dir.display()),
-                })?;
-                let path = dir.join(frame_filename(&s.prefix, frame));
-                write_ppm(fb, &path).map_err(|e| ProtocolError::Render {
-                    frame,
-                    detail: format!("write {}: {e}", path.display()),
-                })?;
-            }
-        }
-        // The whole IG frame — gathering batches, rasterizing, writing —
-        // is the Render phase; the image generator takes part in no other.
-        mark(&mut rec, &mut phase_mark, &ep, frame, n + 1, Phase::Render);
-        per_frame.push((alive, hash.finish()));
-    }
-    Ok((per_frame, rec))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::LoadMetric;
+    use crate::msg::Msg;
+    use crate::protocol::recv_within;
     use crate::scene::SystemSetup;
     use psa_core::actions::{ActionList, Gravity, KillOld, MoveParticles, RandomAccel};
     use psa_core::SystemSpec;
+    use std::time::Duration;
 
     fn scene() -> Scene {
         let mut spec = SystemSpec::test_spec(0);

@@ -7,15 +7,16 @@
 //! result is bit-deterministic, so every table in EXPERIMENTS.md
 //! regenerates identically from the seed.
 //!
+//! The protocol itself lives in [`crate::protocol`]: `VirtualSim` is the
+//! thin shell that builds the queue-stepped [`FaultyVirtualNet`] fabric
+//! from the cluster's network model and hands it to the shared
+//! [`Engine`](crate::protocol::Engine). The event-driven executor in
+//! `psa-desim` drives the *same* engine over an event-heap fabric; the two
+//! produce fingerprint-identical reports.
+//!
 //! Rank layout: `0..n` are calculators (one per domain slice, in slice
 //! order), `n` is the manager, `n + 1` the image generator. The manager and
 //! image generator live on the front-end node (node 0).
-//!
-//! The frame body is factored into one method per protocol phase so the
-//! §3.3 system-combination strategies ([`SystemSchedule`]) can reorder the
-//! same phases: `PerSystem` runs each system's full protocol in sequence
-//! (Figure 2 verbatim); `Batched` runs each phase across all systems before
-//! the next phase starts.
 //!
 //! ## Fault model
 //!
@@ -38,74 +39,14 @@
 //! rendering on the survivors.
 
 use cluster_sim::{ClusterSpec, CostModel, Placement};
-use netsim::{
-    FaultInjector, FaultPlan, FaultPolicy, FaultyVirtualNet, PlanInjector, TransportError,
-    VirtualNet,
-};
-use psa_core::kernel;
-use psa_core::{invariants, DomainMap, Particle, SubDomainStore, WIRE_BYTES};
-use psa_math::stats::imbalance;
-use psa_math::{Axis, Interval, Rng64, Scalar};
-use psa_trace::{ClockKind, Counter, FaultKind, Phase, Recorder};
+use netsim::{FaultPlan, FaultPolicy, FaultyVirtualNet, PlanInjector, VirtualNet};
 
-use crate::balance::{self, LoadInfo, Transfer};
-use crate::config::{BalanceMode, RunConfig, SpaceMode, SystemSchedule};
-use crate::msg::{Msg, ProtocolError};
-use crate::report::{FrameReport, RunReport};
+use crate::config::RunConfig;
+use crate::msg::ProtocolError;
+use crate::protocol::{node_layout, Engine};
+use crate::report::RunReport;
 use crate::scene::Scene;
-use crate::trace::{ProtocolEvent, Trace};
-
-/// RNG stream tags (see `stream`).
-const TAG_CREATE: u64 = 0xC0;
-const TAG_ACTIONS: u64 = 0xAC;
-
-/// The decomposition axis (paper: one axis of the plane or space).
-const AXIS: Axis = Axis::X;
-
-/// Derive the deterministic stream for (tag, frame, system, rank).
-fn stream(seed: u64, tag: u64, frame: u64, sys: usize, rank: usize) -> Rng64 {
-    Rng64::new(seed).split(tag).split(frame).split(sys as u64).split(rank as u64)
-}
-
-/// Receive a *required* message (the sender is known to be alive): a
-/// wrong kind is an `UnexpectedMessage`, silence is a `Timeout`.
-macro_rules! expect_virt {
-    ($self:ident, $to:expr, $from:expr, $frame:expr, $pat:pat => $out:expr, $expected:expr) => {
-        match $self.recv_from($to, $from)? {
-            Some($pat) => $out,
-            Some(other) => {
-                return Err(ProtocolError::UnexpectedMessage {
-                    role: "virtual",
-                    rank: $to,
-                    frame: $frame,
-                    expected: $expected,
-                    got: other.kind(),
-                })
-            }
-            None => {
-                return Err(ProtocolError::Timeout {
-                    role: "virtual",
-                    rank: $to,
-                    frame: $frame,
-                    peer: $from,
-                })
-            }
-        }
-    };
-}
-
-/// Per-calculator state.
-struct CalcState {
-    /// One sub-domain store per system.
-    stores: Vec<SubDomainStore>,
-    /// Local replica of every system's domain map (all processes know all
-    /// domains, paper §3.1.4).
-    domains: Vec<DomainMap>,
-    /// This frame's per-system compute time (pre-exchange population).
-    compute_time: Vec<f64>,
-    /// Population the compute time was measured on.
-    pre_count: Vec<usize>,
-}
+use crate::trace::Trace;
 
 /// The virtual-time executor.
 pub struct VirtualSim {
@@ -172,13 +113,24 @@ impl VirtualSim {
     /// makespan used for speed-up computation), or the protocol error that
     /// ended the run early (e.g. every calculator died).
     pub fn try_run(&mut self) -> Result<RunReport, ProtocolError> {
+        let n = self.placement.calculators();
+        let plan = self.plan.clone().unwrap_or_else(|| FaultPlan::none(self.cfg.seed, n + 2));
+        assert_eq!(
+            plan.ranks(),
+            n + 2,
+            "fault plan must cover calculators + manager + image generator"
+        );
+        let (node_of, node_count) = node_layout(&self.placement);
+        let net = FaultyVirtualNet::new(
+            VirtualNet::new(self.cluster.net.clone(), node_of, node_count),
+            PlanInjector::new(plan),
+        );
         let mut engine = Engine::new(
             self.scene.clone(),
             self.cfg.clone(),
             &self.placement,
-            self.cluster.net.clone(),
             self.cost.clone(),
-            self.plan.clone(),
+            net,
             self.policy,
             std::mem::take(&mut self.trace),
             self.instrument,
@@ -196,1336 +148,5 @@ impl VirtualSim {
             Ok(report) => report,
             Err(e) => panic!("virtual protocol run failed: {e}"),
         }
-    }
-}
-
-/// The running frame machinery: every rank's state plus the fabric.
-struct Engine {
-    scene: Scene,
-    cfg: RunConfig,
-    cost: CostModel,
-    net: FaultyVirtualNet<Msg, PlanInjector>,
-    policy: FaultPolicy,
-    calcs: Vec<CalcState>,
-    mgr_domains: Vec<DomainMap>,
-    speeds: Vec<f64>,
-    fe_speed: f64,
-    scale: f64,
-    n: usize,
-    mgr: usize,
-    ig: usize,
-    parity: usize,
-    /// Rank `c` has fail-stopped (it no longer computes, sends or
-    /// receives); peers may not have noticed yet.
-    crashed: Vec<bool>,
-    /// The manager has declared rank `c` dead: its slice is collapsed and
-    /// nobody addresses it any more.
-    dead: Vec<bool>,
-    /// Consecutive missed load reports per calculator.
-    missed: Vec<u32>,
-    /// `(rank, frame)` death declarations, in order.
-    dead_events: Vec<(usize, u64)>,
-    /// Real (unscaled) particles lost to crashed/dead ranks.
-    lost: u64,
-    /// Deadline-expired receives in the current frame.
-    frame_timeouts: u64,
-    trace: Trace,
-    /// Per-phase observability recorder (quiet: reads clocks, never moves
-    /// them). Disabled unless `VirtualSim::with_phases` was called.
-    rec: Recorder,
-    /// Aggregate transport counters at the top of the current frame
-    /// (recorder bookkeeping only).
-    frame_stats_mark: netsim::TrafficStats,
-    /// Transient send retries in the current frame.
-    frame_retries: u64,
-    /// Balancer transfer orders issued in the current frame.
-    frame_orders: u64,
-    /// Kernel chunks processed in the current frame (0 on the legacy
-    /// serial path).
-    frame_chunks: u64,
-    /// Frame-loop scratch (reused, so the steady-state hot path stages
-    /// creation and exchange without allocating).
-    newborn_scratch: Vec<Particle>,
-    create_batches: Vec<Vec<Particle>>,
-    leavers_scratch: Vec<Particle>,
-}
-
-impl Engine {
-    #[allow(clippy::too_many_arguments)] // internal constructor mirroring VirtualSim's fields
-    fn new(
-        scene: Scene,
-        cfg: RunConfig,
-        placement: &Placement,
-        net_model: cluster_sim::NetworkModel,
-        cost: CostModel,
-        plan: Option<FaultPlan>,
-        policy: FaultPolicy,
-        trace: Trace,
-        instrument: bool,
-    ) -> Self {
-        let n = placement.calculators();
-        let n_sys = scene.systems.len();
-        let mut node_of: Vec<usize> = placement.ranks.iter().map(|r| r.node).collect();
-        node_of.push(placement.frontend_node);
-        node_of.push(placement.frontend_node);
-        let plan = plan.unwrap_or_else(|| FaultPlan::none(cfg.seed, n + 2));
-        assert_eq!(
-            plan.ranks(),
-            n + 2,
-            "fault plan must cover calculators + manager + image generator"
-        );
-        let net = FaultyVirtualNet::new(
-            VirtualNet::new(net_model, node_of, placement.node_count),
-            PlanInjector::new(plan),
-        );
-        let space_for = |sys: usize| -> Interval {
-            match cfg.space {
-                SpaceMode::Finite => scene.systems[sys].spec.space,
-                SpaceMode::Infinite => Interval::INFINITE,
-            }
-        };
-        let mgr_domains: Vec<DomainMap> =
-            (0..n_sys).map(|s| DomainMap::split_even(space_for(s), AXIS, n)).collect();
-        let calcs: Vec<CalcState> = (0..n)
-            .map(|c| CalcState {
-                stores: (0..n_sys)
-                    .map(|s| SubDomainStore::new(mgr_domains[s].slice(c), AXIS, cfg.buckets))
-                    .collect(),
-                domains: mgr_domains.clone(),
-                compute_time: vec![0.0; n_sys],
-                pre_count: vec![0; n_sys],
-            })
-            .collect();
-        Engine {
-            speeds: placement.ranks.iter().map(|r| r.speed).collect(),
-            fe_speed: placement.frontend_speed,
-            scale: cost.scale,
-            n,
-            mgr: n,
-            ig: n + 1,
-            parity: 0,
-            crashed: vec![false; n],
-            dead: vec![false; n],
-            missed: vec![0; n],
-            dead_events: Vec::new(),
-            lost: 0,
-            frame_timeouts: 0,
-            scene,
-            cfg,
-            cost,
-            net,
-            policy,
-            calcs,
-            mgr_domains,
-            trace,
-            rec: if instrument {
-                Recorder::enabled(n + 2, ClockKind::Virtual)
-            } else {
-                Recorder::disabled()
-            },
-            frame_stats_mark: netsim::TrafficStats::default(),
-            frame_retries: 0,
-            frame_orders: 0,
-            frame_chunks: 0,
-            newborn_scratch: Vec::new(),
-            create_batches: (0..n).map(|_| Vec::new()).collect(),
-            leavers_scratch: Vec::new(),
-        }
-    }
-
-    /// Run `f` and charge each rank's virtual-clock delta to `phase`.
-    ///
-    /// A pure *read* of the fabric: clocks are snapshotted before and after
-    /// `f`, never moved. When the recorder is disabled `f` runs with zero
-    /// overhead — no snapshots — so bare runs pay nothing.
-    fn record_phase<T>(&mut self, frame: u64, phase: Phase, f: impl FnOnce(&mut Self) -> T) -> T {
-        if !self.rec.is_enabled() {
-            return f(self);
-        }
-        let ranks = self.net.ranks();
-        let before: Vec<f64> = (0..ranks).map(|r| self.net.now(r)).collect();
-        let out = f(self);
-        for (r, &t0) in before.iter().enumerate() {
-            let dt = self.net.now(r) - t0;
-            if dt > 0.0 {
-                self.rec.phase(frame, r, phase, dt);
-            }
-        }
-        out
-    }
-
-    /// Flush the frame's event counters into the recorder (no-op when
-    /// disabled beyond resetting the frame-local tallies).
-    fn flush_frame_counters(&mut self, frame: u64, fr: &FrameReport) {
-        let retries = std::mem::take(&mut self.frame_retries);
-        let orders = std::mem::take(&mut self.frame_orders);
-        let chunks = std::mem::take(&mut self.frame_chunks);
-        if !self.rec.is_enabled() {
-            return;
-        }
-        let now = self.net.stats();
-        self.rec.add(frame, Counter::Messages, now.messages - self.frame_stats_mark.messages);
-        self.rec.add(
-            frame,
-            Counter::PayloadBytes,
-            now.payload_bytes - self.frame_stats_mark.payload_bytes,
-        );
-        self.rec.add(frame, Counter::Migrated, fr.migrated);
-        self.rec.add(frame, Counter::MigrationBytes, fr.migration_bytes);
-        self.rec.add(frame, Counter::Timeouts, fr.timeouts);
-        self.rec.add(frame, Counter::SendRetries, retries);
-        self.rec.add(frame, Counter::BalanceOrders, orders);
-        self.rec.add(frame, Counter::ComputeChunks, chunks);
-    }
-
-    /// The ranks that still take part in barriers: running calculators plus
-    /// the manager (the manager and image generator never crash — they are
-    /// the paper's front-end, assumed reliable).
-    fn active_set(&self) -> Vec<usize> {
-        (0..self.n).filter(|&c| !self.crashed[c]).chain([self.mgr]).collect()
-    }
-
-    fn space_of(&self, sys: usize) -> Interval {
-        match self.cfg.space {
-            SpaceMode::Finite => self.scene.systems[sys].spec.space,
-            SpaceMode::Infinite => Interval::INFINITE,
-        }
-    }
-
-    /// Send with the degraded-mode rules: sends to a declared-dead rank are
-    /// dropped (particle payloads counted as lost); sends to a crashed but
-    /// undeclared rank are queued as usual (nobody knows yet) with their
-    /// particles already counted — the queue is purged uncounted at
-    /// declaration. Transient injector failures retry with exponential
-    /// backoff charged in virtual ticks.
-    fn send_to(&mut self, from: usize, to: usize, msg: Msg) -> Result<(), ProtocolError> {
-        if to < self.n && (self.dead[to] || self.crashed[to]) {
-            if let Msg::Particles { batch, .. } = &msg {
-                self.lost += batch.len() as u64;
-            }
-            if self.dead[to] {
-                return Ok(());
-            }
-        }
-        let mut msg = msg;
-        let mut attempt: u32 = 0;
-        loop {
-            match self.net.send(from, to, msg) {
-                Ok(()) => return Ok(()),
-                Err(failed) => {
-                    attempt += 1;
-                    self.frame_retries += 1;
-                    if attempt >= self.policy.send_attempts {
-                        return Err(failed.error.into());
-                    }
-                    msg = failed.msg;
-                    // Exponential backoff, charged as virtual time.
-                    self.net.advance(from, self.policy.backoff * (1u64 << (attempt - 1)) as f64);
-                }
-            }
-        }
-    }
-
-    /// Receive with the degraded-mode rules: a declared-dead sender yields
-    /// `None` immediately; a crashed-but-undeclared sender is waited on
-    /// with a bounded deadline (the wait is charged, a miss is counted and
-    /// yields `None`); a healthy sender must have delivered.
-    fn recv_from(&mut self, to: usize, from: usize) -> Result<Option<Msg>, ProtocolError> {
-        if from < self.n && self.dead[from] {
-            return Ok(None);
-        }
-        if from < self.n && self.crashed[from] {
-            return match self.net.recv_deadline(to, from, self.policy.recv_wait) {
-                Ok(m) => Ok(Some(m)),
-                Err(TransportError::Timeout { .. }) => {
-                    self.frame_timeouts += 1;
-                    Ok(None)
-                }
-                Err(e) => Err(e.into()),
-            };
-        }
-        match self.net.recv(to, from) {
-            Ok(m) => Ok(Some(m)),
-            Err(e) => Err(e.into()),
-        }
-    }
-
-    /// Apply the injector's frame-boundary rank faults: fail-stop crashes
-    /// take effect at the start of their frame; one-shot stalls charge
-    /// their virtual seconds before the rank does anything else.
-    fn begin_frame(&mut self, frame: u64) {
-        for c in 0..self.n {
-            if self.crashed[c] {
-                continue;
-            }
-            if self.net.injector().crash_frame(c).is_some_and(|k| frame >= k) {
-                self.crashed[c] = true;
-                self.rec.fault(frame, c, FaultKind::Crash);
-                continue;
-            }
-            let stall = self.net.injector().stall_seconds(c, frame);
-            if stall > 0.0 {
-                self.net.advance(c, stall);
-                self.rec.fault(frame, c, FaultKind::Stall);
-            }
-        }
-    }
-
-    /// The manager gives up on calculator `c`: confiscate its particles
-    /// (lost with the rank), purge its in-flight queues, and collapse its
-    /// slice toward the nearest alive neighbor so the partition invariant
-    /// holds and the next `Domains` broadcast reassigns the space.
-    fn declare_dead(&mut self, c: usize, frame: u64) -> Result<(), ProtocolError> {
-        self.crashed[c] = true;
-        self.dead[c] = true;
-        self.missed[c] = 0;
-        self.dead_events.push((c, frame));
-        self.rec.fault(frame, c, FaultKind::DeclaredDead);
-        if (0..self.n).all(|r| self.dead[r]) {
-            return Err(ProtocolError::Domain {
-                role: "manager",
-                rank: self.mgr,
-                frame,
-                detail: "every calculator is dead; no neighbor can absorb the load".into(),
-            });
-        }
-        let n_sys = self.scene.systems.len();
-        for sys in 0..n_sys {
-            let gone = self.calcs[c].stores[sys].take_all();
-            self.lost += gone.len() as u64;
-        }
-        // Purge in-flight traffic both ways. Particle payloads queued
-        // toward the rank were already counted lost at send time; anything
-        // it sent pre-crash was consumed by the lock-step schedule.
-        for r in 0..self.net.ranks() {
-            if r != c {
-                let _ = self.net.take_queued(c, r);
-                let _ = self.net.take_queued(r, c);
-            }
-        }
-        // Collapse the dead slice (and any dead run between `c` and the
-        // absorbing neighbor) to zero width: the alive rank above inherits
-        // the space, or the alive rank below when none exists above.
-        // `owner_of` walks past zero-width slices, so routing never again
-        // targets `c`.
-        let above = (c + 1..self.n).find(|&r| !self.dead[r]);
-        let below = (0..c).rev().find(|&r| !self.dead[r]);
-        for sys in 0..n_sys {
-            let dm = &mut self.mgr_domains[sys];
-            let moved = if let Some(a) = above {
-                let lo = dm.cuts()[c];
-                (c..a).try_for_each(|b| dm.move_cut(b, lo))
-            } else if let Some(b0) = below {
-                let hi = dm.cuts()[c + 1];
-                (b0..c).rev().try_for_each(|b| dm.move_cut(b, hi))
-            } else {
-                Ok(())
-            };
-            if let Err(e) = moved {
-                return Err(ProtocolError::Domain {
-                    role: "manager",
-                    rank: self.mgr,
-                    frame,
-                    detail: format!("collapsing dead rank {c} slice: {e}"),
-                });
-            }
-            if invariants::ENABLED {
-                invariants::check_partition(
-                    frame,
-                    sys,
-                    self.space_of(sys),
-                    &self.mgr_domains[sys],
-                )?;
-            }
-        }
-        Ok(())
-    }
-
-    fn run(&mut self, cluster_label: String) -> (Result<RunReport, ProtocolError>, Trace) {
-        let mut frames = Vec::with_capacity(self.cfg.frames as usize);
-        let outcome = self.run_frames(&mut frames);
-        let trace = std::mem::take(&mut self.trace);
-        let phases = std::mem::replace(&mut self.rec, Recorder::disabled()).finish();
-        let result = outcome.map(|()| {
-            let kept: Vec<FrameReport> =
-                frames.into_iter().filter(|f| f.frame >= self.cfg.warmup).collect();
-            RunReport {
-                label: self.cfg.label(),
-                cluster: cluster_label,
-                calculators: self.n,
-                total_time: self.net.makespan(),
-                frames: kept,
-                traffic: self.net.stats(),
-                dead_ranks: self.dead_events.clone(),
-                lost_particles: (self.lost as f64 * self.scale) as u64,
-                phases,
-            }
-        });
-        (result, trace)
-    }
-
-    fn run_frames(&mut self, frames: &mut Vec<FrameReport>) -> Result<(), ProtocolError> {
-        let n_sys = self.scene.systems.len();
-        let mut prev_makespan = 0.0;
-
-        for frame in 0..self.cfg.frames {
-            if self.rec.is_enabled() {
-                self.frame_stats_mark = self.net.stats();
-            }
-            self.begin_frame(frame);
-            let mut fr = FrameReport { frame, ..Default::default() };
-
-            match self.cfg.schedule {
-                SystemSchedule::PerSystem => {
-                    for sys in 0..n_sys {
-                        self.record_phase(frame, Phase::Compute, |e| {
-                            e.phase_creation(frame, sys)?;
-                            e.phase_addition(frame, sys)?;
-                            e.phase_calculus(frame, sys);
-                            e.phase_collision(frame, sys)
-                        })?;
-                        self.record_phase(frame, Phase::Exchange, |e| {
-                            e.phase_exchange(frame, sys, &mut fr)
-                        })?;
-                        let loads = self.record_phase(frame, Phase::LoadReport, |e| {
-                            e.phase_loads(frame, sys)
-                        })?;
-                        self.record_phase(frame, Phase::Balance, |e| {
-                            e.phase_balance(frame, sys, &loads, &mut fr)
-                        })?;
-                        self.record_phase(frame, Phase::Ship, |e| {
-                            e.phase_ship(frame, sys, &mut fr)
-                        })?;
-                    }
-                }
-                SystemSchedule::Batched => {
-                    self.record_phase(frame, Phase::Compute, |e| {
-                        for sys in 0..n_sys {
-                            e.phase_creation(frame, sys)?;
-                            e.phase_addition(frame, sys)?;
-                        }
-                        for sys in 0..n_sys {
-                            e.phase_calculus(frame, sys);
-                            e.phase_collision(frame, sys)?;
-                        }
-                        Ok::<(), ProtocolError>(())
-                    })?;
-                    self.record_phase(frame, Phase::Exchange, |e| {
-                        (0..n_sys).try_for_each(|sys| e.phase_exchange(frame, sys, &mut fr))
-                    })?;
-                    for sys in 0..n_sys {
-                        let loads = self.record_phase(frame, Phase::LoadReport, |e| {
-                            e.phase_loads(frame, sys)
-                        })?;
-                        self.record_phase(frame, Phase::Balance, |e| {
-                            e.phase_balance(frame, sys, &loads, &mut fr)
-                        })?;
-                    }
-                    self.record_phase(frame, Phase::Ship, |e| {
-                        (0..n_sys).try_for_each(|sys| e.phase_ship(frame, sys, &mut fr))
-                    })?;
-                }
-            }
-
-            self.record_phase(frame, Phase::Render, |e| {
-                // Fixed per-frame image cost (clear, encode, write).
-                e.net.advance(e.ig, e.cost.per_frame_render_fixed / e.fe_speed);
-                e.trace.record(frame, ProtocolEvent::ImageGeneration);
-
-                // Parallel-phases frame boundary for the surviving compute
-                // processes.
-                let active = e.active_set();
-                e.net.barrier(&active);
-            });
-
-            // Per-frame accounting (survivors only).
-            let counts: Vec<f64> = (0..self.n)
-                .filter(|&c| !self.crashed[c])
-                .map(|c| self.calcs[c].stores.iter().map(|s| s.len() as f64).sum::<f64>())
-                .collect();
-            fr.imbalance = imbalance(&counts);
-            let mk = self.net.makespan();
-            fr.frame_time = mk - prev_makespan;
-            prev_makespan = mk;
-            fr.timeouts = self.frame_timeouts;
-            self.frame_timeouts = 0;
-            self.flush_frame_counters(frame, &fr);
-            frames.push(fr);
-        }
-        Ok(())
-    }
-
-    /// Creation at the manager (paper §3.2.1): emit, route by domain, ship
-    /// batches with end-of-transmission markers.
-    fn phase_creation(&mut self, frame: u64, sys: usize) -> Result<(), ProtocolError> {
-        let spec = self.scene.systems[sys].spec.clone();
-        let mut rng_c = stream(self.cfg.seed, TAG_CREATE, frame, sys, 0);
-        let mut newborn = std::mem::take(&mut self.newborn_scratch);
-        newborn.clear();
-        if frame == 0 {
-            newborn = spec.emit_initial(&mut rng_c);
-        }
-        newborn.extend((0..spec.emit_per_frame).map(|_| spec.emit_one(&mut rng_c)));
-        self.net.advance(self.mgr, self.cost.create_time(newborn.len(), self.fe_speed));
-        if sys == 0 {
-            self.trace.record(frame, ProtocolEvent::ParticleCreation);
-        }
-        for p in newborn.drain(..) {
-            self.create_batches[self.mgr_domains[sys].owner_of(p.position.along(AXIS))].push(p);
-        }
-        self.newborn_scratch = newborn;
-        for c in 0..self.n {
-            // The message owns its batch (it crosses the fabric); only the
-            // staging spine and its capacity are reused.
-            let batch: Vec<Particle> = self.create_batches[c].drain(..).collect();
-            self.send_to(
-                self.mgr,
-                c,
-                Msg::Particles { system: spec.id, batch, scale: self.scale },
-            )?;
-            self.send_to(self.mgr, c, Msg::EndOfTransmission { system: spec.id })?;
-        }
-        Ok(())
-    }
-
-    /// Calculators receive and store the newborn batches.
-    fn phase_addition(&mut self, frame: u64, sys: usize) -> Result<(), ProtocolError> {
-        for c in 0..self.n {
-            if self.crashed[c] {
-                continue;
-            }
-            let batch = expect_virt!(self, c, self.mgr, frame,
-                Msg::Particles { batch, .. } => batch, "Particles");
-            expect_virt!(self, c, self.mgr, frame,
-                Msg::EndOfTransmission { .. } => (), "EndOfTransmission");
-            self.net.advance(c, self.cost.pack_time(batch.len(), self.speeds[c]));
-            self.calcs[c].stores[sys].extend(batch);
-        }
-        if sys == 0 {
-            self.trace.record(frame, ProtocolEvent::AdditionToLocalSet);
-        }
-        Ok(())
-    }
-
-    /// The action list ("Calculus" in Figure 2). A rank's injected
-    /// slowdown inflates both the charged time and the load it will
-    /// report, so dynamic balancing shifts work away from slow nodes.
-    fn phase_calculus(&mut self, frame: u64, sys: usize) {
-        let setup = self.scene.systems[sys].clone();
-        for c in 0..self.n {
-            if self.crashed[c] {
-                continue;
-            }
-            let rng_a = stream(self.cfg.seed, TAG_ACTIONS, frame, sys, c + 1);
-            let pre = self.calcs[c].stores[sys].len();
-            // The chunked kernel (legacy serial stream when chunk == 0).
-            // Virtual time stays worker-count-invariant: the charged cost
-            // depends only on the weighted work, so the same seed yields the
-            // same fingerprint at every worker count.
-            let kr = kernel::run_actions(
-                &setup.actions,
-                self.cfg.dt,
-                frame,
-                rng_a,
-                &mut self.calcs[c].stores[sys],
-                self.cfg.parallel.chunk,
-                self.cfg.parallel.workers,
-            );
-            self.frame_chunks += kr.chunks;
-            let factor = self.net.injector().compute_factor(c);
-            let t = self.cost.weighted_work_time(kr.weighted, self.speeds[c]) * factor;
-            self.net.advance(c, t);
-            self.calcs[c].compute_time[sys] = t;
-            self.calcs[c].pre_count[sys] = pre.max(1);
-        }
-        if sys == 0 {
-            self.trace.record(frame, ProtocolEvent::Calculus);
-        }
-    }
-
-    /// Optional inter-particle collision with ghost-slab exchange
-    /// (§3.1.4 / the "exchanged during the computation" mode of §3.1.5).
-    /// Ghosts are read-only copies, so a slab lost to a crashed neighbor
-    /// degrades collision quality at the boundary without losing particles.
-    fn phase_collision(&mut self, frame: u64, sys: usize) -> Result<(), ProtocolError> {
-        let Some(col) = self.scene.collision else {
-            return Ok(());
-        };
-        use psa_core::collide::{colliding_pairs, resolve_elastic_with_ghosts};
-        let spec_id = self.scene.systems[sys].spec.id;
-        let n = self.n;
-        let slabs: Vec<Option<(Vec<Particle>, Vec<Particle>)>> = (0..n)
-            .map(|c| {
-                if self.crashed[c] {
-                    None
-                } else {
-                    Some(self.calcs[c].stores[sys].boundary_slabs(col.cell))
-                }
-            })
-            .collect();
-        for (c, slab) in slabs.into_iter().enumerate() {
-            let Some((low, high)) = slab else {
-                continue;
-            };
-            if c > 0 {
-                self.send_to(
-                    c,
-                    c - 1,
-                    Msg::Ghosts { system: spec_id, batch: low, scale: self.scale },
-                )?;
-            }
-            if c + 1 < n {
-                self.send_to(
-                    c,
-                    c + 1,
-                    Msg::Ghosts { system: spec_id, batch: high, scale: self.scale },
-                )?;
-            }
-        }
-        for c in 0..n {
-            if self.crashed[c] {
-                continue;
-            }
-            let mut ghosts: Vec<Particle> = Vec::new();
-            for d in [c.wrapping_sub(1), c + 1] {
-                if d >= n || d == c {
-                    continue;
-                }
-                match self.recv_from(c, d)? {
-                    Some(Msg::Ghosts { batch, .. }) => ghosts.extend(batch),
-                    Some(other) => {
-                        return Err(ProtocolError::UnexpectedMessage {
-                            role: "calculator",
-                            rank: c,
-                            frame,
-                            expected: "Ghosts",
-                            got: other.kind(),
-                        })
-                    }
-                    None => {} // crashed/dead neighbor: no slab this frame
-                }
-            }
-            let mut locals = self.calcs[c].stores[sys].take_all();
-            let pairs = colliding_pairs(&locals, &ghosts, col.cell);
-            resolve_elastic_with_ghosts(&mut locals, &ghosts, &pairs, col.restitution);
-            let factor = self.net.injector().compute_factor(c);
-            let t = self.cost.collision_time(locals.len() + ghosts.len(), self.speeds[c]) * factor;
-            self.net.advance(c, t);
-            self.calcs[c].compute_time[sys] += t;
-            self.calcs[c].stores[sys].extend(locals);
-        }
-        Ok(())
-    }
-
-    /// End-of-frame particle exchange: leavers ship directly to their new
-    /// owner (all domains are globally known). One message per ordered pair
-    /// keeps receives directed and deterministic. Under `strict-invariants`
-    /// the phase checks per-rank and global conservation, with the global
-    /// check crediting particles lost toward crashed/dead destinations.
-    fn phase_exchange(
-        &mut self,
-        frame: u64,
-        sys: usize,
-        fr: &mut FrameReport,
-    ) -> Result<(), ProtocolError> {
-        let n = self.n;
-        let spec_id = self.scene.systems[sys].spec.id;
-        let lost_at_start = self.lost;
-        let mut before = vec![0usize; n];
-        let mut outgoing = vec![0usize; n];
-        let mut incoming = vec![0usize; n];
-        let mut out_batches: Vec<Vec<Vec<Particle>>> = Vec::with_capacity(n);
-        for (c, state) in self.calcs.iter_mut().enumerate() {
-            if self.crashed[c] {
-                out_batches.push(Vec::new());
-                continue;
-            }
-            let len = state.stores[sys].len();
-            before[c] = len;
-            self.net.advance(c, self.cost.exchange_check_time(len, self.speeds[c]));
-            state.stores[sys].collect_leavers_into(&mut self.leavers_scratch);
-            let mut per_dest: Vec<Vec<Particle>> = vec![Vec::new(); n];
-            let dm = &state.domains[sys];
-            for p in self.leavers_scratch.drain(..) {
-                let owner = dm.owner_of(p.position.along(AXIS));
-                per_dest[owner].push(p);
-            }
-            let homebound = std::mem::take(&mut per_dest[c]);
-            state.stores[sys].extend(homebound);
-            out_batches.push(per_dest);
-        }
-        for (c, per_dest) in out_batches.into_iter().enumerate() {
-            if self.crashed[c] {
-                continue;
-            }
-            let total_sent: usize = per_dest.iter().map(Vec::len).sum();
-            outgoing[c] = total_sent;
-            self.net.advance(c, self.cost.pack_time(total_sent, self.speeds[c]));
-            // "particles that belong to another calculator" (§5.1):
-            // only actually-shipped particles count as migration.
-            fr.migrated += (total_sent as f64 * self.scale) as u64;
-            fr.migration_bytes += self.cost.wire_bytes(total_sent, WIRE_BYTES);
-            for (d, batch) in per_dest.into_iter().enumerate() {
-                if d != c {
-                    self.send_to(
-                        c,
-                        d,
-                        Msg::Particles { system: spec_id, batch, scale: self.scale },
-                    )?;
-                }
-            }
-        }
-        for c in 0..n {
-            if self.crashed[c] {
-                continue;
-            }
-            for d in 0..n {
-                if d == c || self.dead[d] {
-                    continue;
-                }
-                match self.recv_from(c, d)? {
-                    Some(Msg::Particles { batch, .. }) => {
-                        incoming[c] += batch.len();
-                        self.net.advance(c, self.cost.pack_time(batch.len(), self.speeds[c]));
-                        self.calcs[c].stores[sys].extend(batch);
-                    }
-                    Some(other) => {
-                        return Err(ProtocolError::UnexpectedMessage {
-                            role: "calculator",
-                            rank: c,
-                            frame,
-                            expected: "Particles",
-                            got: other.kind(),
-                        })
-                    }
-                    None => {} // crashed peer sent nothing; wait was charged
-                }
-            }
-        }
-        if invariants::ENABLED {
-            let mut before_sum = 0usize;
-            let mut after_sum = 0usize;
-            for c in 0..n {
-                if self.crashed[c] {
-                    continue;
-                }
-                let after = self.calcs[c].stores[sys].len();
-                invariants::check_exchange_conservation(
-                    frame,
-                    sys,
-                    c,
-                    before[c],
-                    outgoing[c],
-                    incoming[c],
-                    after,
-                )?;
-                // A NaN position evades every slice (owner_of cannot place
-                // it) while conservation still balances — reject it here.
-                invariants::check_finite_positions(
-                    frame,
-                    sys,
-                    c,
-                    self.calcs[c].stores[sys].iter(),
-                )?;
-                before_sum += before[c];
-                after_sum += after;
-            }
-            invariants::check_global_conservation_with_losses(
-                frame,
-                sys,
-                before_sum,
-                after_sum,
-                (self.lost - lost_at_start) as usize,
-            )?;
-        }
-        if sys == 0 {
-            self.trace.record(frame, ProtocolEvent::ParticleExchange);
-        }
-        Ok(())
-    }
-
-    /// Load reports (paper §3.2.4), with the time rescaled to the
-    /// post-exchange population. Under the centralized modes the manager
-    /// gathers them; under the decentralized mode each calculator also
-    /// shares its report with its domain neighbors. A calculator that
-    /// misses [`FaultPolicy::dead_after`] consecutive gathers is declared
-    /// dead. `None` entries mark ranks the manager has no report from.
-    fn phase_loads(
-        &mut self,
-        frame: u64,
-        sys: usize,
-    ) -> Result<Vec<Option<LoadInfo>>, ProtocolError> {
-        let n = self.n;
-        let spec_id = self.scene.systems[sys].spec.id;
-        let decentralized = matches!(self.cfg.balance, BalanceMode::Decentralized(_));
-        for c in 0..n {
-            if self.crashed[c] {
-                continue;
-            }
-            let count = self.calcs[c].stores[sys].len();
-            let time = self.calcs[c].compute_time[sys] * count as f64
-                / self.calcs[c].pre_count[sys] as f64;
-            let info = LoadInfo { count, time };
-            self.send_to(c, self.mgr, Msg::Load { system: spec_id, info, migrated: 0 })?;
-            if decentralized {
-                if c > 0 {
-                    self.send_to(c, c - 1, Msg::Load { system: spec_id, info, migrated: 0 })?;
-                }
-                if c + 1 < n {
-                    self.send_to(c, c + 1, Msg::Load { system: spec_id, info, migrated: 0 })?;
-                }
-            }
-        }
-        let mut loads: Vec<Option<LoadInfo>> = vec![None; n];
-        for c in 0..n {
-            if self.dead[c] {
-                continue;
-            }
-            match self.recv_from(self.mgr, c)? {
-                Some(Msg::Load { info, .. }) => {
-                    loads[c] = Some(info);
-                    self.missed[c] = 0;
-                }
-                Some(other) => {
-                    return Err(ProtocolError::UnexpectedMessage {
-                        role: "manager",
-                        rank: self.mgr,
-                        frame,
-                        expected: "Load",
-                        got: other.kind(),
-                    })
-                }
-                None => {
-                    self.missed[c] += 1;
-                    if self.missed[c] >= self.policy.dead_after {
-                        self.declare_dead(c, frame)?;
-                    }
-                }
-            }
-        }
-        if decentralized {
-            // Each calculator consumes its neighbors' reports (the content
-            // equals `loads`; the receive charges the communication).
-            for c in 0..n {
-                if self.crashed[c] {
-                    continue;
-                }
-                for d in [c.wrapping_sub(1), c + 1] {
-                    if d >= n || d == c {
-                        continue;
-                    }
-                    match self.recv_from(c, d)? {
-                        Some(Msg::Load { .. }) | None => {}
-                        Some(other) => {
-                            return Err(ProtocolError::UnexpectedMessage {
-                                role: "calculator",
-                                rank: c,
-                                frame,
-                                expected: "Load",
-                                got: other.kind(),
-                            })
-                        }
-                    }
-                }
-            }
-        }
-        if sys == 0 {
-            self.trace.record(frame, ProtocolEvent::LoadInformation);
-        }
-        Ok(loads)
-    }
-
-    /// The balancing phase: centralized (§3.2.5), decentralized (§6 future
-    /// work), or the plain synchronization step static balancing needs.
-    /// Degraded-mode domain reassignment rides the centralized mode's
-    /// every-round `Domains` broadcast; the static mode has no broadcast,
-    /// so a dead slice stays collapsed but survivors keep stale replicas
-    /// (their misdirected sends are counted as lost).
-    fn phase_balance(
-        &mut self,
-        frame: u64,
-        sys: usize,
-        loads: &[Option<LoadInfo>],
-        fr: &mut FrameReport,
-    ) -> Result<(), ProtocolError> {
-        match self.cfg.balance {
-            BalanceMode::Dynamic(bcfg) => {
-                let present: Vec<usize> = (0..self.n).filter(|&c| loads[c].is_some()).collect();
-                let pl: Vec<LoadInfo> = present.iter().filter_map(|&c| loads[c]).collect();
-                let powers: Vec<f64> = present.iter().map(|&c| self.speeds[c]).collect();
-                let transfers = if present.len() >= 2 {
-                    balance::evaluate_present(&pl, &powers, &present, self.parity, &bcfg)
-                } else {
-                    Vec::new()
-                };
-                self.parity ^= 1;
-                debug_assert!(balance::validate_transfers_mapped(&transfers, &present).is_ok());
-                self.net.advance(
-                    self.mgr,
-                    self.cost.balance_eval_time(present.len().saturating_sub(1), self.fe_speed),
-                );
-                if sys == 0 {
-                    self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
-                }
-                let spec_id = self.scene.systems[sys].spec.id;
-                for &c in &present {
-                    self.send_to(
-                        self.mgr,
-                        c,
-                        Msg::Orders { system: spec_id, orders: balance::orders_for(&transfers, c) },
-                    )?;
-                }
-                for &c in &present {
-                    expect_virt!(self, c, self.mgr, frame, Msg::Orders { .. } => (), "Orders");
-                }
-                if sys == 0 {
-                    self.trace.record(frame, ProtocolEvent::LoadBalancingOrders);
-                }
-                self.execute_transfers(frame, sys, &transfers, fr, true)?;
-            }
-            BalanceMode::Decentralized(bcfg) => {
-                // Every pair decides from the reports exchanged in
-                // phase_loads; the computation is replicated and identical
-                // on both endpoints, so no orders are needed. Pairs with a
-                // silent endpoint skip their round.
-                let filled: Vec<LoadInfo> = loads.iter().map(|l| l.unwrap_or_default()).collect();
-                let mut transfers = balance::evaluate_decentralized(&filled, &self.speeds, &bcfg);
-                transfers.retain(|t| loads[t.donor].is_some() && loads[t.receiver].is_some());
-                for c in 0..self.n {
-                    if self.crashed[c] {
-                        continue;
-                    }
-                    self.net.advance(c, self.cost.balance_eval_time(2, self.speeds[c]));
-                }
-                if sys == 0 {
-                    self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
-                }
-                self.execute_transfers(frame, sys, &transfers, fr, false)?;
-            }
-            BalanceMode::Static => {
-                // Without balancing the model still requires a
-                // synchronization step (paper §3.2) so a fast calculator
-                // cannot race a frame ahead.
-                let active = self.active_set();
-                self.net.barrier(&active);
-            }
-        }
-        Ok(())
-    }
-
-    /// Execute a decided transfer set: donors select particles and compute
-    /// new cuts, the domain update is disseminated (via the manager when
-    /// `via_manager`, else donor-broadcast), every calculator redefines its
-    /// local domains, then the particles move. With dead ranks between a
-    /// donor/receiver pair, the manager moves every boundary in the gap
-    /// (the collapsed zero-width slices ride along with the cut).
-    fn execute_transfers(
-        &mut self,
-        frame: u64,
-        sys: usize,
-        transfers: &[Transfer],
-        fr: &mut FrameReport,
-        via_manager: bool,
-    ) -> Result<(), ProtocolError> {
-        let n = self.n;
-        let spec_id = self.scene.systems[sys].spec.id;
-        self.frame_orders += transfers.len() as u64;
-
-        // Donors prepare structures and compute new cuts. Decentralized
-        // rounds may have one calculator donating on both sides; processing
-        // transfers in boundary order keeps the donations sequential and
-        // the kept-extent bookkeeping exact.
-        let mut ordered: Vec<Transfer> = transfers.to_vec();
-        ordered.sort_by_key(|t| t.donor.min(t.receiver));
-        let mut donations: Vec<(usize, usize, Vec<Particle>)> = Vec::new();
-        let mut cuts: Vec<(usize, usize, Scalar)> = Vec::new(); // (donor, receiver, cut)
-        for t in &ordered {
-            let donor = t.donor;
-            let receiver = t.receiver;
-            let amount = t.amount.min(self.calcs[donor].stores[sys].len());
-            let store = &mut self.calcs[donor].stores[sys];
-            let old_slice = store.slice();
-            let (mut donated, sorted) =
-                if receiver < donor { store.donate_low(amount) } else { store.donate_high(amount) };
-            self.net.advance(
-                donor,
-                self.cost.sort_time(sorted, self.speeds[donor])
-                    + self.cost.pack_time(donated.len(), self.speeds[donor]),
-            );
-            let kept = self.calcs[donor].stores[sys].extent();
-            let cut = donation_cut(receiver < donor, &donated, kept, old_slice);
-            // Half-open tie guard: a donated particle exactly at the cut
-            // still belongs to the donor.
-            if receiver < donor {
-                let keep_back: Vec<Particle> =
-                    donated.iter().filter(|p| p.position.along(AXIS) >= cut).copied().collect();
-                donated.retain(|p| p.position.along(AXIS) < cut);
-                self.calcs[donor].stores[sys].extend(keep_back);
-            } else {
-                let keep_back: Vec<Particle> =
-                    donated.iter().filter(|p| p.position.along(AXIS) < cut).copied().collect();
-                donated.retain(|p| p.position.along(AXIS) >= cut);
-                self.calcs[donor].stores[sys].extend(keep_back);
-            }
-            cuts.push((donor, receiver, cut));
-            donations.push((donor, receiver, donated));
-        }
-        if sys == 0 && !transfers.is_empty() {
-            self.trace.record(frame, ProtocolEvent::PreparationOfStructures);
-        }
-
-        if via_manager {
-            // Donors report cuts to the manager, which updates the
-            // authoritative map and rebroadcasts (paper §3.2.5).
-            for &(donor, receiver, cut) in &cuts {
-                self.send_to(
-                    donor,
-                    self.mgr,
-                    Msg::NewCut { system: spec_id, boundary: donor.min(receiver), cut },
-                )?;
-            }
-            for &(donor, receiver, _) in &cuts {
-                let cut = expect_virt!(self, self.mgr, donor, frame,
-                    Msg::NewCut { cut, .. } => cut, "NewCut");
-                apply_cut_span(&mut self.mgr_domains[sys], donor, receiver, cut).map_err(|e| {
-                    ProtocolError::Domain {
-                        role: "manager",
-                        rank: self.mgr,
-                        frame,
-                        detail: format!("applying cut from donor {donor}: {e}"),
-                    }
-                })?;
-            }
-            for c in 0..n {
-                if self.crashed[c] {
-                    continue;
-                }
-                self.send_to(
-                    self.mgr,
-                    c,
-                    Msg::Domains { system: spec_id, cuts: self.mgr_domains[sys].cuts().to_vec() },
-                )?;
-            }
-            if sys == 0 && !transfers.is_empty() {
-                self.trace.record(frame, ProtocolEvent::NewDimensionsAndDomains);
-            }
-            for c in 0..n {
-                if self.crashed[c] {
-                    continue;
-                }
-                let new_cuts = expect_virt!(self, c, self.mgr, frame,
-                    Msg::Domains { cuts, .. } => cuts, "Domains");
-                let dm =
-                    DomainMap::from_cuts(AXIS, new_cuts).map_err(|e| ProtocolError::Domain {
-                        role: "calculator",
-                        rank: c,
-                        frame,
-                        detail: format!("broadcast domains invalid: {e}"),
-                    })?;
-                self.apply_domains(c, sys, dm);
-            }
-        } else {
-            // Decentralized: each donor broadcasts its cut to every
-            // running process (manager included — it still routes
-            // creation), and every process applies the cuts in order.
-            for &(donor, receiver, cut) in &cuts {
-                for c in (0..n).chain([self.mgr]) {
-                    if c != donor && !(c < n && self.crashed[c]) {
-                        self.send_to(
-                            donor,
-                            c,
-                            Msg::NewCut { system: spec_id, boundary: donor.min(receiver), cut },
-                        )?;
-                    }
-                }
-            }
-            let applied: Vec<(usize, Scalar)> =
-                cuts.iter().map(|&(d, r, cut)| (d.min(r), cut)).collect();
-            for &(donor, _, _) in &cuts {
-                for c in (0..n).chain([self.mgr]) {
-                    if c != donor && !(c < n && self.crashed[c]) {
-                        expect_virt!(self, c, donor, frame,
-                            Msg::NewCut { .. } => (), "NewCut");
-                    }
-                }
-            }
-            for &(boundary, cut) in &applied {
-                self.mgr_domains[sys].move_cut(boundary, cut).map_err(|e| {
-                    ProtocolError::Domain {
-                        role: "manager",
-                        rank: self.mgr,
-                        frame,
-                        detail: format!("decentralized cut at boundary {boundary}: {e}"),
-                    }
-                })?;
-            }
-            let dm = self.mgr_domains[sys].clone();
-            if sys == 0 && !transfers.is_empty() {
-                self.trace.record(frame, ProtocolEvent::NewDimensionsAndDomains);
-            }
-            for c in 0..n {
-                if self.crashed[c] {
-                    continue;
-                }
-                self.apply_domains(c, sys, dm.clone());
-            }
-        }
-        if sys == 0 && !transfers.is_empty() {
-            self.trace.record(frame, ProtocolEvent::DefinitionOfLocalDomains);
-        }
-
-        // The donations themselves.
-        for (donor, receiver, donated) in donations {
-            fr.balanced += (donated.len() as f64 * self.scale) as u64;
-            self.send_to(
-                donor,
-                receiver,
-                Msg::Particles { system: spec_id, batch: donated, scale: self.scale },
-            )?;
-        }
-        for t in &ordered {
-            let batch = expect_virt!(self, t.receiver, t.donor, frame,
-                Msg::Particles { batch, .. } => batch, "Particles");
-            self.net.advance(t.receiver, self.cost.pack_time(batch.len(), self.speeds[t.receiver]));
-            self.calcs[t.receiver].stores[sys].extend(batch);
-        }
-        if sys == 0 && !transfers.is_empty() {
-            self.trace.record(frame, ProtocolEvent::LoadBalanceBetweenCalculators);
-        }
-        Ok(())
-    }
-
-    /// Install an updated domain map at calculator `c`, reshaping its store
-    /// if its own slice changed.
-    fn apply_domains(&mut self, c: usize, sys: usize, dm: DomainMap) {
-        let new_slice = dm.slice(c);
-        self.calcs[c].domains[sys] = dm;
-        if self.calcs[c].stores[sys].slice() != new_slice {
-            let len = self.calcs[c].stores[sys].len();
-            self.net.advance(c, self.cost.exchange_check_time(len, self.speeds[c]));
-            let stray = self.calcs[c].stores[sys].reshape(new_slice);
-            // Out-of-space particles pool at the edge calculators
-            // (owner_of clamps); they stay here until a kill action removes
-            // them. In-space strays would mean a broken cut.
-            debug_assert!(
-                {
-                    let space = self.calcs[c].domains[sys].space();
-                    stray.iter().all(|p| {
-                        let v = p.position.along(AXIS);
-                        v < space.lo || v >= space.hi
-                    })
-                },
-                "in-space stray after reshape: rank {c} slice {new_slice} strays {:?}",
-                stray.iter().map(|p| p.position.x).collect::<Vec<_>>(),
-            );
-            self.calcs[c].stores[sys].extend(stray);
-        }
-    }
-
-    /// Ship render payloads to the image generator. The image generator
-    /// tolerates silent (crashed) calculators — every post-crash frame is
-    /// still rendered from the survivors' batches.
-    fn phase_ship(
-        &mut self,
-        frame: u64,
-        sys: usize,
-        fr: &mut FrameReport,
-    ) -> Result<(), ProtocolError> {
-        let spec_id = self.scene.systems[sys].spec.id;
-        for c in 0..self.n {
-            if self.crashed[c] {
-                continue;
-            }
-            let count = self.calcs[c].stores[sys].len();
-            self.net.advance(c, self.cost.pack_time(count, self.speeds[c]));
-            self.send_to(
-                c,
-                self.ig,
-                Msg::RenderBatch { system: spec_id, count, scale: self.scale },
-            )?;
-        }
-        let mut frame_particles = 0usize;
-        for c in 0..self.n {
-            match self.recv_from(self.ig, c)? {
-                Some(Msg::RenderBatch { count, .. }) => frame_particles += count,
-                Some(other) => {
-                    return Err(ProtocolError::UnexpectedMessage {
-                        role: "image generator",
-                        rank: self.ig,
-                        frame,
-                        expected: "RenderBatch",
-                        got: other.kind(),
-                    })
-                }
-                None => {} // crashed/dead calculator: render without it
-            }
-        }
-        self.net.advance(
-            self.ig,
-            self.cost.virt(frame_particles) * self.cost.per_render / self.fe_speed,
-        );
-        fr.alive += (frame_particles as f64 * self.scale) as u64;
-        if sys == 0 {
-            self.trace.record(frame, ProtocolEvent::ParticlesToImageGenerator);
-        }
-        Ok(())
-    }
-}
-
-/// Move every boundary between `donor` and `receiver` to `cut`. Adjacent
-/// pairs reduce to the single §3.2.5 `move_cut`; when declared-dead ranks
-/// sit between the pair, their collapsed zero-width slices ride along with
-/// the cut (every boundary strictly between an alive pair coincides at the
-/// shared edge, which makes the sweep range-safe in both directions).
-fn apply_cut_span(
-    dm: &mut DomainMap,
-    donor: usize,
-    receiver: usize,
-    cut: Scalar,
-) -> Result<(), psa_core::domain::DomainError> {
-    if donor < receiver {
-        (donor..receiver).try_for_each(|b| dm.move_cut(b, cut))
-    } else {
-        (receiver..donor).rev().try_for_each(|b| dm.move_cut(b, cut))
-    }
-}
-
-/// Compute the new domain cut after a donation (shared with the threaded
-/// executor).
-///
-/// `low_side` is true when donating toward the *left* (lower) neighbor.
-/// `kept` is the donor's remaining extent along the axis. The cut is placed
-/// midway between the donated extreme and the kept extreme, falling back to
-/// the old slice edge when one side is empty.
-pub fn donation_cut(
-    low_side: bool,
-    donated: &[Particle],
-    kept: Option<(Scalar, Scalar)>,
-    old_slice: Interval,
-) -> Scalar {
-    let axis = AXIS;
-    if donated.is_empty() {
-        return if low_side { old_slice.lo } else { old_slice.hi };
-    }
-    if low_side {
-        // Donor keeps [cut, hi): kept_min >= cut always holds for any cut
-        // <= kept_min, and donated particles at exactly `cut` are returned
-        // to the donor by the caller's tie guard.
-        let donated_max =
-            donated.iter().map(|p| p.position.along(axis)).fold(Scalar::NEG_INFINITY, Scalar::max);
-        match kept {
-            Some((kept_min, _)) => 0.5 * (donated_max + kept_min),
-            None => old_slice.hi,
-        }
-    } else {
-        // Donor keeps [lo, cut): the cut must be STRICTLY above kept_max or
-        // kept particles fall outside the half-open slice. When the
-        // midpoint collapses onto kept_max (tied positions — e.g. a whole
-        // emission cohort from a point source), fall back to the smallest
-        // donated coordinate strictly above kept_max; if none exists the
-        // donation degenerates and the boundary stays put (the caller's tie
-        // guard returns every donated particle to the donor).
-        let donated_min =
-            donated.iter().map(|p| p.position.along(axis)).fold(Scalar::INFINITY, Scalar::min);
-        match kept {
-            Some((_, kept_max)) => {
-                let mid = 0.5 * (kept_max + donated_min);
-                if mid > kept_max {
-                    mid
-                } else {
-                    let next = donated
-                        .iter()
-                        .map(|p| p.position.along(axis))
-                        .filter(|v| *v > kept_max)
-                        .fold(Scalar::INFINITY, Scalar::min);
-                    if next.is_finite() {
-                        next
-                    } else {
-                        old_slice.hi
-                    }
-                }
-            }
-            None => old_slice.lo,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use psa_math::Vec3;
-
-    #[test]
-    fn new_cut_midpoint_low_side() {
-        let donated = vec![Particle::at(Vec3::new(1.0, 0.0, 0.0))];
-        let cut = donation_cut(true, &donated, Some((3.0, 9.0)), Interval::new(0.0, 10.0));
-        assert_eq!(cut, 2.0);
-    }
-
-    #[test]
-    fn new_cut_midpoint_high_side() {
-        let donated = vec![Particle::at(Vec3::new(8.0, 0.0, 0.0))];
-        let cut = donation_cut(false, &donated, Some((1.0, 6.0)), Interval::new(0.0, 10.0));
-        assert_eq!(cut, 7.0);
-    }
-
-    #[test]
-    fn new_cut_empty_donation_keeps_edges() {
-        assert_eq!(donation_cut(true, &[], Some((1.0, 2.0)), Interval::new(0.0, 10.0)), 0.0);
-        assert_eq!(donation_cut(false, &[], None, Interval::new(0.0, 10.0)), 10.0);
-    }
-
-    #[test]
-    fn new_cut_high_side_tie_uses_next_distinct_value() {
-        // kept_max == donated_min (an emission cohort with identical
-        // positions was split): the cut must be strictly above kept_max.
-        let donated =
-            vec![Particle::at(Vec3::new(6.0, 0.0, 0.0)), Particle::at(Vec3::new(8.0, 0.0, 0.0))];
-        let cut = donation_cut(false, &donated, Some((1.0, 6.0)), Interval::new(0.0, 10.0));
-        assert!(cut > 6.0, "cut {cut} must exceed kept_max");
-        assert_eq!(cut, 8.0, "smallest strictly-greater donated value");
-    }
-
-    #[test]
-    fn new_cut_high_side_full_tie_degenerates_to_old_boundary() {
-        let donated = vec![Particle::at(Vec3::new(6.0, 0.0, 0.0))];
-        let cut = donation_cut(false, &donated, Some((1.0, 6.0)), Interval::new(0.0, 10.0));
-        assert_eq!(cut, 10.0, "no separating cut exists; boundary unchanged");
-    }
-
-    #[test]
-    fn new_cut_total_donation_takes_whole_slice() {
-        let donated = vec![Particle::at(Vec3::new(5.0, 0.0, 0.0))];
-        // donating low with nothing kept: slice collapses to its high edge
-        assert_eq!(donation_cut(true, &donated, None, Interval::new(0.0, 10.0)), 10.0);
-        assert_eq!(donation_cut(false, &donated, None, Interval::new(0.0, 10.0)), 0.0);
-    }
-
-    #[test]
-    fn cut_span_adjacent_matches_single_move() {
-        let mut a = DomainMap::split_even(Interval::new(0.0, 10.0), AXIS, 4);
-        let mut b = a.clone();
-        apply_cut_span(&mut a, 1, 2, 4.0).unwrap();
-        b.move_cut(1, 4.0).unwrap();
-        assert_eq!(a.cuts(), b.cuts());
-        // And the reverse orientation hits the same boundary.
-        let mut c = DomainMap::split_even(Interval::new(0.0, 10.0), AXIS, 4);
-        apply_cut_span(&mut c, 2, 1, 4.0).unwrap();
-        assert_eq!(a.cuts(), c.cuts());
-    }
-
-    #[test]
-    fn cut_span_rides_over_collapsed_dead_slices() {
-        // Ranks 1 and 2 are dead: their slices sit at zero width on rank
-        // 0's high edge (2.5) and rank 3 absorbed their space.
-        let mut dm = DomainMap::from_cuts(AXIS, vec![0.0, 2.5, 2.5, 2.5, 7.5, 10.0]).unwrap();
-        // Donor 3 donates low toward receiver 0: every boundary in the gap
-        // must land on the new cut.
-        apply_cut_span(&mut dm, 3, 0, 5.0).unwrap();
-        assert_eq!(dm.cuts(), &[0.0, 5.0, 5.0, 5.0, 7.5, 10.0]);
-        // And the upward direction from the low side.
-        let mut dm2 = DomainMap::from_cuts(AXIS, vec![0.0, 2.5, 2.5, 2.5, 7.5, 10.0]).unwrap();
-        apply_cut_span(&mut dm2, 0, 3, 1.0).unwrap();
-        assert_eq!(dm2.cuts(), &[0.0, 1.0, 1.0, 1.0, 7.5, 10.0]);
     }
 }

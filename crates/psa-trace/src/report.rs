@@ -73,6 +73,10 @@ impl FrameTrace {
     }
 }
 
+/// Largest rank count that still gets one table row per rank; above this
+/// the per-rank view collapses to min/median/max per phase.
+pub const RANK_DETAIL_LIMIT: usize = 16;
+
 /// The complete per-phase trace of one run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceReport {
@@ -138,8 +142,24 @@ impl TraceReport {
         Some(TraceReport { clock, ranks, frames, faults })
     }
 
+    /// Seconds per phase summed over every frame, kept per rank.
+    fn rank_totals(&self) -> Vec<[f64; PHASE_COUNT]> {
+        let mut out = vec![[0.0; PHASE_COUNT]; self.ranks];
+        for f in &self.frames {
+            for (acc, rp) in out.iter_mut().zip(f.rank_phase.iter()) {
+                for (a, v) in acc.iter_mut().zip(rp.iter()) {
+                    *a += v;
+                }
+            }
+        }
+        out
+    }
+
     /// A fixed-width per-phase breakdown table (totals over all frames,
-    /// share of the summed phase time, mean per frame).
+    /// share of the summed phase time, mean per frame), followed by a
+    /// per-rank view: one row per rank up to [`RANK_DETAIL_LIMIT`] ranks,
+    /// a min/median/max spread per phase beyond that (a 1,024-rank run
+    /// must summarize, not print a thousand rows).
     pub fn format_table(&self) -> String {
         let totals = self.phase_totals();
         let grand: f64 = totals.iter().sum();
@@ -164,6 +184,52 @@ impl TraceReport {
                 share,
                 t / nf
             ));
+        }
+        let per_rank = self.rank_totals();
+        if self.ranks <= RANK_DETAIL_LIMIT {
+            // Small runs: one row per rank, rank column sized to the count.
+            let w = self.ranks.saturating_sub(1).max(1).ilog10() as usize + 1;
+            let w = w.max(4);
+            out.push_str(&format!("{:>w$}", "rank", w = w));
+            for p in PHASES {
+                out.push_str(&format!(" {:>12}", p.name()));
+            }
+            out.push('\n');
+            for (r, rp) in per_rank.iter().enumerate() {
+                out.push_str(&format!("{r:>w$}"));
+                for t in rp {
+                    out.push_str(&format!(" {t:>12.6}"));
+                }
+                out.push('\n');
+            }
+        } else {
+            // Large runs: spread per phase instead of a row per rank.
+            out.push_str(&format!("per-rank spread over {} ranks\n", self.ranks));
+            out.push_str(&format!(
+                "{:<12} {:>12} {:>12} {:>12}\n",
+                "phase", "min_s", "median_s", "max_s"
+            ));
+            for (i, p) in PHASES.iter().enumerate() {
+                let mut col: Vec<f64> =
+                    per_rank.iter().map(|rp| rp.get(i).copied().unwrap_or(0.0)).collect();
+                col.sort_by(f64::total_cmp);
+                let min = col.first().copied().unwrap_or(0.0);
+                let max = col.last().copied().unwrap_or(0.0);
+                let mid = col.len() / 2;
+                let hi_mid = col.get(mid).copied().unwrap_or(0.0);
+                let median = if col.len() % 2 == 1 {
+                    hi_mid
+                } else {
+                    (col.get(mid.wrapping_sub(1)).copied().unwrap_or(hi_mid) + hi_mid) / 2.0
+                };
+                out.push_str(&format!(
+                    "{:<12} {:>12.6} {:>12.6} {:>12.6}\n",
+                    p.name(),
+                    min,
+                    median,
+                    max
+                ));
+            }
         }
         let c = self.counter_totals();
         out.push_str(&format!(
@@ -309,6 +375,42 @@ mod tests {
         for p in PHASES {
             assert!(table.contains(p.name()), "missing {}", p.name());
         }
+    }
+
+    #[test]
+    fn small_runs_get_one_row_per_rank() {
+        let table = sample().format_table();
+        assert!(table.contains("rank"), "per-rank header missing:\n{table}");
+        assert!(!table.contains("per-rank spread"), "3 ranks must not summarize");
+        // One line per rank plus headers/counters — nothing exploded.
+        for r in 0..3 {
+            assert!(
+                table.lines().any(|l| l.trim_start().starts_with(&r.to_string())),
+                "no row for rank {r}:\n{table}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_runs_summarize_instead_of_exploding() {
+        // A 1,024-rank instrumented run: the table must collapse the
+        // per-rank view to min/median/max and stay bounded in size.
+        let ranks = 1024;
+        let mut rec = Recorder::enabled(ranks, ClockKind::Virtual);
+        for r in 0..ranks {
+            rec.phase(0, r, Phase::Compute, 1.0 + r as f64);
+        }
+        let table = rec.finish().unwrap().format_table();
+        assert!(table.contains("per-rank spread over 1024 ranks"), "{table}");
+        for col in ["min_s", "median_s", "max_s"] {
+            assert!(table.contains(col), "missing {col}:\n{table}");
+        }
+        // min 1.0, median (1+511.5+1)=512.5... with 1024 samples the median
+        // of 1..=1024 is (512+513)/2 = 512.5; max 1024.
+        assert!(table.contains("1024.000000"), "max wrong:\n{table}");
+        assert!(table.contains("512.500000"), "median wrong:\n{table}");
+        let lines = table.lines().count();
+        assert!(lines < 40, "table exploded to {lines} lines");
     }
 
     #[test]

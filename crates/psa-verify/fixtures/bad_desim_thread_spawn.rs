@@ -1,0 +1,13 @@
+// psa-verify-fixture: expect(thread-confinement)
+// An "event-driven" executor that spawns one OS thread per rank defeats
+// the whole design: the scheduler decides which rank's events interleave
+// first, determinism is gone, and 1,024 ranks means 1,024 threads. The
+// event core runs every rank inside ONE loop over the virtual-time heap.
+
+pub fn run_ranks(ranks: usize) -> Vec<u64> {
+    let mut handles = Vec::new();
+    for r in 0..ranks {
+        handles.push(std::thread::spawn(move || (r as u64) * 3));
+    }
+    handles.into_iter().map(|h| h.join().unwrap_or(0)).collect()
+}

@@ -1,0 +1,26 @@
+// psa-verify-fixture: expect(unordered-collections)
+// An event-fabric inbox keyed by (to, from) in a HashMap: drain order then
+// depends on the hasher seed, so two same-seed event runs can deliver
+// concurrent arrivals in different orders and their fingerprints drift.
+// The real fabric keys its inboxes with a BTreeMap and drains by send
+// sequence number.
+
+use std::collections::HashMap;
+
+pub struct LossyInbox {
+    pending: HashMap<(usize, usize), Vec<u64>>,
+}
+
+impl LossyInbox {
+    pub fn deliver(&mut self, to: usize, from: usize, seq: u64) {
+        self.pending.entry((to, from)).or_default().push(seq);
+    }
+
+    pub fn drain_all(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (_link, seqs) in self.pending.drain() {
+            out.extend(seqs);
+        }
+        out
+    }
+}

@@ -1,0 +1,20 @@
+// psa-verify-fixture: expect(wall-clock)
+// An event loop that stamps arrivals with the host clock instead of the
+// cost model's virtual time: pop order now depends on machine load, the
+// heap's (time, seq) tie-break loses its meaning, and the BENCH_5 sweep
+// stops replaying. Virtual time must come from WireState charge math only.
+
+use std::time::Instant;
+
+pub struct WallClockQueue {
+    epoch: Option<Instant>,
+    events: Vec<(f64, u64)>,
+}
+
+impl WallClockQueue {
+    pub fn push(&mut self, seq: u64) {
+        let epoch = *self.epoch.get_or_insert_with(Instant::now);
+        let now = Instant::now().duration_since(epoch).as_secs_f64();
+        self.events.push((now, seq));
+    }
+}

@@ -28,6 +28,7 @@ pub const SIM_ROOTS: &[&str] = &[
     "crates/psa-runtime/src",
     "crates/psa-chaos/src",
     "crates/psa-trace/src",
+    "crates/psa-desim/src",
     "crates/netsim/src",
     "crates/cluster-sim/src",
 ];
@@ -72,6 +73,9 @@ pub const PANIC_ROOTS: &[&str] = &[
     "crates/psa-trace/src",
     "crates/psa-runtime/src/report.rs",
     "crates/psa-runtime/src/trace.rs",
+    "crates/psa-desim/src/fabric.rs",
+    "crates/psa-desim/src/queue.rs",
+    "crates/psa-desim/src/proc.rs",
 ];
 
 /// Phase entry points of the taint analysis (matched by function name):
@@ -99,10 +103,10 @@ pub const PHASE_ENTRIES: &[&str] = &[
 /// the Figure-2 conformance pass (fixtures bind via the `protocol-role`
 /// pragma instead).
 pub const ROLE_BINDINGS: &[(&str, &str, &str)] = &[
-    ("crates/psa-runtime/src/threaded.rs", "calculator", "calculator_main"),
-    ("crates/psa-runtime/src/threaded.rs", "manager", "manager_main"),
-    ("crates/psa-runtime/src/threaded.rs", "image-generator", "image_generator_main"),
-    ("crates/psa-runtime/src/virtual_exec.rs", "virtual-engine", "run_frames"),
+    ("crates/psa-runtime/src/protocol.rs", "calculator", "calculator_main"),
+    ("crates/psa-runtime/src/protocol.rs", "manager", "manager_main"),
+    ("crates/psa-runtime/src/protocol.rs", "image-generator", "image_generator_main"),
+    ("crates/psa-runtime/src/protocol.rs", "virtual-engine", "run_frames"),
 ];
 
 /// Units that take part in the call-graph analyses: crate sources, minus
@@ -216,6 +220,31 @@ mod tests {
         }
         for root in PANIC_ROOTS {
             assert!(root.starts_with("crates/"), "{root}");
+        }
+    }
+
+    #[test]
+    fn desim_crate_is_a_sim_root() {
+        // The event loop IS the scheduler: a HashMap drain, a host clock,
+        // or a stray thread in psa-desim breaks heap-order determinism.
+        for file in [
+            "crates/psa-desim/src/queue.rs",
+            "crates/psa-desim/src/fabric.rs",
+            "crates/psa-desim/src/exec.rs",
+        ] {
+            let got = ids(file);
+            assert!(got.contains(&"unordered-collections"), "{file}");
+            assert!(got.contains(&"wall-clock"), "{file}");
+            assert!(got.contains(&"thread-confinement"), "{file}");
+        }
+        // And the fabric/queue/proc trio are panic roots: every entry the
+        // engine calls mid-frame must come back as a typed error.
+        for root in [
+            "crates/psa-desim/src/fabric.rs",
+            "crates/psa-desim/src/queue.rs",
+            "crates/psa-desim/src/proc.rs",
+        ] {
+            assert!(PANIC_ROOTS.contains(&root), "{root} must be a panic root");
         }
     }
 

@@ -19,12 +19,14 @@ pub mod fireworks;
 pub mod fountain;
 pub mod smoke;
 pub mod snow;
+pub mod vortex;
 
 pub use clusters::{fe_icc, myrinet_gcc, table1_rows, table2_rows};
 pub use fireworks::fireworks_scene;
 pub use fountain::fountain_scene;
 pub use smoke::smoke_scene;
 pub use snow::snow_scene;
+pub use vortex::vortex_scene;
 
 use cluster_sim::CostModel;
 use psa_runtime::RunConfig;

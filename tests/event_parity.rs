@@ -1,0 +1,171 @@
+//! Parity gate between the two virtual executors.
+//!
+//! `EventSim` (psa-desim, discrete-event core) and `VirtualSim`
+//! (psa-runtime, queue-stepped core) drive the *same* shared protocol
+//! engine over different fabrics. These tests pin the contract that makes
+//! the event-driven executor trustworthy at scale: for every configuration
+//! both can express — all chaos scenarios, both paper workloads, 4/8/16
+//! calculators, both topologies, every balance mode — the two executors
+//! produce **fingerprint-identical** run reports. The BENCH_5 sweep can
+//! then use the fast executor knowing every number is the number the
+//! reference executor would have produced.
+
+use cluster_sim::Topology;
+use psa_chaos::{full_set, MatrixConfig};
+use psa_desim::EventSim;
+use psa_runtime::{BalanceMode, ExchangeMode, RunConfig, SystemSchedule, VirtualSim};
+use psa_workloads::{fountain_scene, myrinet_gcc, snow_scene, WorkloadSize};
+
+fn size() -> WorkloadSize {
+    WorkloadSize { systems: 2, particles_per_system: 300, scale: 25.0 }
+}
+
+fn config(seed: u64) -> RunConfig {
+    RunConfig { frames: 6, dt: 0.1, seed, warmup: 0, ..Default::default() }
+}
+
+/// The satellite's core assertion: EventSim fingerprints == VirtualSim
+/// fingerprints across the full existing scenario matrix at 4, 8, and 16
+/// calculators, for both paper workloads.
+#[test]
+fn event_sim_matches_virtual_sim_across_scenario_matrix() {
+    let mc = MatrixConfig::default();
+    let sz = size();
+    let mut cells = 0usize;
+    for calculators in [4usize, 8, 16] {
+        let cluster = myrinet_gcc(calculators, 1);
+        for scenario in full_set() {
+            let plan = scenario.plan(mc.seed, calculators, &cluster.net);
+            for (wl, scene) in [("snow", snow_scene(sz)), ("fountain", fountain_scene(sz))] {
+                let virt = VirtualSim::new(
+                    scene.clone(),
+                    config(mc.seed),
+                    cluster.clone(),
+                    sz.cost_model(),
+                )
+                .with_faults(plan.clone())
+                .try_run();
+                let event = EventSim::new(scene, config(mc.seed), cluster.clone(), sz.cost_model())
+                    .with_faults(plan.clone())
+                    .try_run();
+                match (virt, event) {
+                    (Ok(v), Ok(e)) => {
+                        assert_eq!(
+                            v.fingerprint(),
+                            e.fingerprint(),
+                            "{wl}/{}/{calculators}c fingerprints diverged",
+                            scenario.label()
+                        );
+                        assert_eq!(
+                            v.frames.iter().map(|f| f.checksum).collect::<Vec<_>>(),
+                            e.frames.iter().map(|f| f.checksum).collect::<Vec<_>>(),
+                            "{wl}/{}/{calculators}c frame checksums diverged",
+                            scenario.label()
+                        );
+                    }
+                    (Err(ve), Err(ee)) => assert_eq!(
+                        ve.to_string(),
+                        ee.to_string(),
+                        "{wl}/{}/{calculators}c failed differently",
+                        scenario.label()
+                    ),
+                    (v, e) => panic!(
+                        "{wl}/{}/{calculators}c: executors disagree on success: \
+                         virtual={v:?} event={e:?}",
+                        scenario.label()
+                    ),
+                }
+                cells += 1;
+            }
+        }
+    }
+    assert_eq!(cells, 3 * full_set().len() * 2, "matrix coverage shrank");
+}
+
+/// Parity must hold for every balance mode and schedule, not only the
+/// default FS-DLB path — the BENCH_5 sweep exercises SLB and DLB columns.
+#[test]
+fn event_sim_matches_virtual_sim_across_modes_and_topologies() {
+    let sz = size();
+    for topology in [Topology::Flat, Topology::FatTree { radix: 2 }] {
+        let mut cluster = myrinet_gcc(4, 1);
+        cluster.net = cluster.net.clone().with_topology(topology);
+        for balance in [BalanceMode::Static, BalanceMode::dynamic(), BalanceMode::decentralized()] {
+            for schedule in [SystemSchedule::PerSystem, SystemSchedule::Batched] {
+                let cfg = RunConfig { balance, schedule, ..config(0x5EED) };
+                let v = VirtualSim::new(
+                    fountain_scene(sz),
+                    cfg.clone(),
+                    cluster.clone(),
+                    sz.cost_model(),
+                )
+                .run();
+                let e =
+                    EventSim::new(fountain_scene(sz), cfg, cluster.clone(), sz.cost_model()).run();
+                assert_eq!(
+                    v.fingerprint(),
+                    e.fingerprint(),
+                    "{topology:?}/{}/{schedule:?} diverged",
+                    balance.label()
+                );
+            }
+        }
+    }
+}
+
+/// Same-seed event-driven runs are byte-identical — determinism of the
+/// event loop itself (heap tie-breaking, inbox FIFO, stats quietness).
+#[test]
+fn same_seed_event_runs_are_byte_identical() {
+    let sz = size();
+    let cluster = myrinet_gcc(8, 1);
+    let run = || {
+        let mut sim =
+            EventSim::new(fountain_scene(sz), config(0xD15C), cluster.clone(), sz.cost_model());
+        let r = sim.run();
+        (r, sim.sim_stats())
+    };
+    let (a, sa) = run();
+    let (b, sb) = run();
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(
+        a.frames.iter().map(|f| f.checksum).collect::<Vec<_>>(),
+        b.frames.iter().map(|f| f.checksum).collect::<Vec<_>>(),
+    );
+    assert_eq!(sa, sb, "event-loop stats must replay identically");
+    assert!(sa.events > 0 && sa.sends > 0, "the heap actually ran: {sa:?}");
+    assert!(sa.max_heap_depth > 0);
+}
+
+/// Sparse exchange is the at-scale mode: not fingerprint-comparable with
+/// dense (empty messages carry virtual cost), but it must be exactly as
+/// deterministic, render every frame, and conserve particles.
+#[test]
+fn sparse_exchange_is_deterministic_and_complete() {
+    let sz = size();
+    let cluster = myrinet_gcc(8, 1);
+    let cfg = RunConfig { exchange: ExchangeMode::Sparse, ..config(0x5EED) };
+    let run =
+        || EventSim::new(fountain_scene(sz), cfg.clone(), cluster.clone(), sz.cost_model()).run();
+    let a = run();
+    let b = run();
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.frames.len(), cfg.frames as usize);
+    assert_eq!(a.lost_particles, 0);
+    // Sparse must move strictly fewer messages than dense on a migrating
+    // workload (that is its entire reason to exist).
+    let dense =
+        EventSim::new(fountain_scene(sz), config(0x5EED), cluster.clone(), sz.cost_model()).run();
+    assert!(
+        a.traffic.messages < dense.traffic.messages,
+        "sparse {} !< dense {}",
+        a.traffic.messages,
+        dense.traffic.messages
+    );
+    // And the simulated physics is unchanged: identical frame checksums.
+    assert_eq!(
+        a.frames.iter().map(|f| f.checksum).collect::<Vec<_>>(),
+        dense.frames.iter().map(|f| f.checksum).collect::<Vec<_>>(),
+        "exchange mode may change timing, never state"
+    );
+}
