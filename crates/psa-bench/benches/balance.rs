@@ -35,7 +35,7 @@ fn bench_threshold_convergence() {
             let mut counts = vec![0usize; n];
             counts[0] = 1_000_000;
             let powers = vec![1.0; n];
-            let cfg = BalancerConfig { rel_threshold: threshold, min_transfer: 64 };
+            let cfg = BalancerConfig { rel_threshold: threshold, ..BalancerConfig::fixed(64) };
             let mut rounds = 0;
             for round in 0..1_000 {
                 let l: Vec<LoadInfo> =
@@ -63,7 +63,7 @@ fn bench_parity() {
         let mut counts = vec![1_000usize; n];
         counts[5] = 500_000;
         let powers = vec![1.0; n];
-        let cfg = BalancerConfig { rel_threshold: 0.1, min_transfer: 64 };
+        let cfg = BalancerConfig { rel_threshold: 0.1, ..BalancerConfig::fixed(64) };
         let mut rounds = 0u32;
         for round in 0..2_000usize {
             let l: Vec<LoadInfo> =

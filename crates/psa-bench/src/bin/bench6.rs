@@ -1,0 +1,100 @@
+//! `bench6` — emit the balancer-suite matrix export (`BENCH_6.json`).
+//!
+//! ```text
+//! bench6 [--ranks 8,32,128,512,1024] [--frames F] [--systems N]
+//!        [--particles P] [--scale S] [--out PATH]
+//! ```
+//!
+//! Runs the full (workload × scenario × strategy) matrix of
+//! `psa_bench::export6`: snow/fountain/vortex × {baseline, degraded
+//! manager links} × {SLB, DLB-paper, DLB-adapt, DEC, DIF, SFC} at every
+//! requested rank count. Exits non-zero if any metric is NaN or missing,
+//! or — whenever the sweep reaches 128 ranks — if the acceptance gates
+//! fail: the paper config must stay dead and inverted on vortex, every
+//! suite strategy must stay live, at least one must beat the SLB
+//! makespan, and a decentralized strategy must beat the centralized one
+//! under the degraded manager. The CI smoke tier runs `--ranks 8,64`
+//! with a trimmed workload (structure-only validation).
+
+use psa_bench::export6;
+
+struct Args {
+    ranks: Vec<usize>,
+    frames: u64,
+    systems: usize,
+    particles: usize,
+    scale: f64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut ranks: Vec<usize> = export6::BENCH6_RANKS.to_vec();
+    let mut frames = 60;
+    let mut systems = 1;
+    let mut particles = 700;
+    let mut scale = 500.0;
+    let mut out = "BENCH_6.json".to_string();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ranks" => {
+                let list = args.next().expect("--ranks needs a comma-separated list");
+                ranks = list
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--ranks entries must be integers"))
+                    .collect();
+            }
+            "--frames" => {
+                frames = args.next().and_then(|v| v.parse().ok()).expect("--frames needs a number");
+            }
+            "--systems" => {
+                systems =
+                    args.next().and_then(|v| v.parse().ok()).expect("--systems needs a number");
+            }
+            "--particles" => {
+                particles =
+                    args.next().and_then(|v| v.parse().ok()).expect("--particles needs a number");
+            }
+            "--scale" => {
+                scale = args.next().and_then(|v| v.parse().ok()).expect("--scale needs a number");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    Args { ranks, frames, systems, particles, scale, out }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "bench6: ranks {:?}, {} system(s) x {} particles, scale {}, {} frames",
+        args.ranks, args.systems, args.particles, args.scale, args.frames
+    );
+    let export =
+        export6::collect6(&args.ranks, args.frames, args.systems, args.particles, args.scale);
+    for e in &export.experiments {
+        for c in &e.cells {
+            eprintln!(
+                "{:<9} {:>5}r {:<12} {:<10} makespan {:>9.4}  orders {:>9}  imb {:>7.3} -> {:>7.3}  wall {:>6.2}s",
+                e.workload,
+                c.ranks,
+                c.scenario,
+                c.strategy,
+                c.makespan,
+                c.orders,
+                c.mean_imbalance,
+                c.final_imbalance,
+                c.wall_seconds
+            );
+        }
+    }
+    if let Err(e) = export.validate() {
+        eprintln!("bench6: validation failed: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(&args.out, export.to_json()).expect("write export");
+    eprintln!("wrote {}", args.out);
+}

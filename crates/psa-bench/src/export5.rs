@@ -9,6 +9,13 @@
 //!   sequential baseline at ranks ∈ {8, 32, 128, 512, 1024}, for snow,
 //!   fountain, and the deliberately imbalanced vortex workload, under both
 //!   SLB (static even split) and DLB (manager-driven rebalancing).
+//!
+//! The DLB cells are pinned to [`BalancerConfig::paper`] — the fixed
+//! `min_transfer = 32`, no-short-circuit §3.2.5 walk — on purpose: BENCH_5
+//! is the experiment that *measured* the dead zone past 32 ranks (zero
+//! orders, ~2× balance-phase overhead, DLB/SLB inversion), and the sweep
+//! keeps reproducing that defect so `BENCH_6.json` can show the balancer
+//! suite fixing it against an unchanged baseline.
 //! * **Balancer behaviour** — rounds in which the balancer actually moved
 //!   particles, total particles moved, and the mean imbalance the run
 //!   settled at; vortex is built so these columns separate SLB from DLB.
@@ -30,7 +37,9 @@ use std::time::Instant;
 
 use cluster_sim::{e800, Compiler, Topology};
 use psa_desim::EventSim;
-use psa_runtime::{run_sequential, BalanceMode, ExchangeMode, RunConfig, RunReport, Scene};
+use psa_runtime::{
+    run_sequential, BalanceMode, BalancerConfig, ExchangeMode, RunConfig, RunReport, Scene,
+};
 use psa_workloads::{
     fountain_scene, myrinet_gcc, paper_run_config, snow_scene, vortex_scene, WorkloadSize,
 };
@@ -182,8 +191,10 @@ pub fn collect5(
             run_sequential(&scene, &seq_cfg, &size.cost_model(), seq_speed).steady_time();
         let mut cells = Vec::new();
         for &r in ranks {
-            for (label, balance) in [("SLB", BalanceMode::Static), ("DLB", BalanceMode::dynamic())]
-            {
+            for (label, balance) in [
+                ("SLB", BalanceMode::Static),
+                ("DLB", BalanceMode::Dynamic(BalancerConfig::paper())),
+            ] {
                 let (report, events, wall) = run_cell(wl, size, frames, r, balance, Topology::Flat);
                 cells.push(Bench5Cell {
                     ranks: r,
@@ -202,14 +213,14 @@ pub fn collect5(
         }
         experiments.push(Bench5Experiment { workload: wl.name(), baseline_time: baseline, cells });
         if top_ranks > 0 {
-            let (flat, _, _) =
-                run_cell(wl, size, frames, top_ranks, BalanceMode::dynamic(), Topology::Flat);
+            let paper = || BalanceMode::Dynamic(BalancerConfig::paper());
+            let (flat, _, _) = run_cell(wl, size, frames, top_ranks, paper(), Topology::Flat);
             let (fat, _, _) = run_cell(
                 wl,
                 size,
                 frames,
                 top_ranks,
-                BalanceMode::dynamic(),
+                paper(),
                 Topology::FatTree { radix: BENCH5_FAT_TREE_RADIX },
             );
             topology.push(TopologyPoint {

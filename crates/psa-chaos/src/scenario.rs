@@ -44,6 +44,13 @@ pub enum Scenario {
     /// Both directions of calculator `rank`'s links run at `bw_scale`× the
     /// bandwidth cost and `lat_scale`× the latency.
     DegradedLink { rank: usize, bw_scale: f64, lat_scale: f64 },
+    /// Every link touching the *manager* runs at `bw_scale`× the bandwidth
+    /// cost and `lat_scale`× the latency. The manager node itself stays
+    /// healthy — this is the fabric around it failing, and it is the cell
+    /// where decentralized balance strategies (no per-frame manager
+    /// round-trip in the balance phase) should hold up better than the
+    /// centralized ones that serialize every order through the manager.
+    DegradedManager { bw_scale: f64, lat_scale: f64 },
     /// Seed-chosen combination: one slow calculator, one jittery-linked
     /// calculator, and (if `with_crash`) one mid-run crash, all distinct
     /// ranks when the cluster is big enough.
@@ -63,6 +70,7 @@ impl Scenario {
             Scenario::LossyLinks { prob } => format!("lossy-p{prob}"),
             Scenario::JitteryLinks { prob, .. } => format!("jitter-p{prob}"),
             Scenario::DegradedLink { rank, .. } => format!("degraded-c{rank}"),
+            Scenario::DegradedManager { .. } => "degraded-mgr".into(),
             Scenario::RandomMix { with_crash: true } => "mix+crash".into(),
             Scenario::RandomMix { with_crash: false } => "mix".into(),
         }
@@ -106,6 +114,11 @@ impl Scenario {
                     LinkFault::degraded(model, bw_scale, lat_scale),
                 );
             }
+            Scenario::DegradedManager { bw_scale, lat_scale } => {
+                // The manager sits at plan index `calculators` (the plan
+                // covers calculators + manager + image generator).
+                plan.set_links_of(calculators, LinkFault::degraded(model, bw_scale, lat_scale));
+            }
             Scenario::RandomMix { with_crash } => {
                 let slow = rng.below(calculators);
                 plan.rank_mut(slow).slowdown = 1.0 + f64::from(rng.unit()) * 2.0;
@@ -145,6 +158,7 @@ pub fn full_set() -> Vec<Scenario> {
         Scenario::StallCalculator { rank: 2, frame: 4, secs: 0.25 },
         Scenario::JitteryLinks { prob: 0.08, max_jitter: 2.0e-3 },
         Scenario::DegradedLink { rank: 1, bw_scale: 4.0, lat_scale: 8.0 },
+        Scenario::DegradedManager { bw_scale: 4.0, lat_scale: 8.0 },
         Scenario::RandomMix { with_crash: false },
         Scenario::RandomMix { with_crash: true },
     ]);
@@ -172,6 +186,19 @@ mod tests {
         assert_eq!(p.rank(1).crash_at, Some(5)); // 9 % 4
         assert!(p.rank(4).is_healthy(), "manager must never be faulted");
         assert!(p.rank(5).is_healthy(), "image generator must never be faulted");
+    }
+
+    #[test]
+    fn degraded_manager_hits_only_manager_links() {
+        let p = Scenario::DegradedManager { bw_scale: 4.0, lat_scale: 8.0 }.plan(7, 4, &net());
+        assert!(p.rank(4).is_healthy(), "the manager node itself must stay healthy");
+        for c in 0..4 {
+            assert!(!p.link(c, 4).is_healthy(), "calc {c} → manager must be degraded");
+            assert!(!p.link(4, c).is_healthy(), "manager → calc {c} must be degraded");
+            assert!(p.link(c, (c + 1) % 4).is_healthy(), "calc-to-calc links stay clean");
+        }
+        assert!(!p.link(4, 5).is_healthy(), "the manager↔IG link degrades too");
+        assert!(!p.is_quiet());
     }
 
     #[test]

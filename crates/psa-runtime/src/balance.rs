@@ -1,8 +1,8 @@
-//! The centralized neighbor-pair dynamic load balancer (paper §3.2.5).
+//! Load-balancing decision kernel (paper §3.2.5 and beyond).
 //!
-//! After each frame the manager receives `(count, time)` from every
-//! calculator and walks neighbor pairs, ordering redistributions. The rules,
-//! verbatim from the paper:
+//! After each frame the manager (or, for decentralized strategies, each
+//! neighbor pair) receives `(count, time)` reports and decides particle
+//! transfers. The paper's centralized neighbor-pair rules, verbatim:
 //!
 //! * balancing only happens between domain neighbors;
 //! * each process either sends or receives in one round, never both
@@ -16,8 +16,18 @@
 //!   processes (estimated from sequential calibration, §4);
 //! * transfers below a minimum size are not worth their cost and skipped.
 //!
-//! Everything here is pure — the executors feed reports in and carry the
-//! decisions out — which is what makes the rules property-testable.
+//! The minimum-transfer rule is where the paper's scheme dies at scale:
+//! BENCH_5 showed that past ~32 ranks every candidate move is smaller than
+//! the fixed constant, so the balancer issues zero orders while the balance
+//! phase keeps charging ~2× wall per frame. [`BalancerConfig`] therefore
+//! makes the minimum *adaptive* — a fraction of the mean particles per
+//! participating rank — with the paper's fixed constant preserved as the
+//! [`BalancerConfig::paper`] override.
+//!
+//! Strategies are pluggable behind the [`Balancer`] trait; the concrete
+//! implementations live in [`crate::balancers`]. Everything here is pure —
+//! the executors feed reports in and carry the decisions out — which is
+//! what makes the rules property-testable.
 
 /// A calculator's per-frame load report.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -29,20 +39,76 @@ pub struct LoadInfo {
     pub time: f64,
 }
 
-/// Balancer tuning.
+/// Balancer tuning, shared by every strategy.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BalancerConfig {
     /// Rebalance a pair when `|t_a - t_b| > rel_threshold × max(t_a, t_b)`.
     pub rel_threshold: f64,
-    /// Minimum particles per transfer; smaller moves are not worth the
-    /// message cost (paper: "depending on the amount of particles to be
-    /// moved … it may not be interesting to perform the transmission").
-    pub min_transfer: usize,
+    /// Fixed minimum particles per transfer (paper: "depending on the
+    /// amount of particles to be moved … it may not be interesting to
+    /// perform the transmission"; the reference implementation used 32).
+    /// `None` — the default — derives the minimum adaptively from the mean
+    /// particles per participating rank, which is what keeps balancing
+    /// alive past 32 ranks where slices hold a handful of particles each.
+    pub min_transfer: Option<usize>,
+    /// Adaptive minimum: this fraction of the mean particles per present
+    /// rank (ignored when `min_transfer` is `Some`).
+    pub min_transfer_frac: f64,
+    /// Adaptive minimum never falls below this floor.
+    pub min_transfer_floor: usize,
+    /// Diffusive strategy damping α: the fraction of a pair's excess moved
+    /// per round. Stable on a 1-D chain for α ≤ 1/2; the default 1/3 damps
+    /// simultaneous both-neighbor decisions.
+    pub diffusion_alpha: f64,
+    /// Hierarchical/SFC strategy: ranks per contiguous group along the 1-D
+    /// domain curve. `0` — the default — picks ≈√n automatically.
+    pub group_size: usize,
+    /// Short-circuit the balance phase after this many consecutive
+    /// zero-order rounds for a system (`0` disables the short-circuit —
+    /// the paper-faithful behavior of evaluating every frame).
+    pub idle_after: u32,
+    /// While short-circuited, re-probe the balancer every this many frames
+    /// so a late-developing imbalance is still caught.
+    pub reprobe_period: u64,
 }
 
 impl Default for BalancerConfig {
     fn default() -> Self {
-        BalancerConfig { rel_threshold: 0.15, min_transfer: 32 }
+        BalancerConfig {
+            rel_threshold: 0.15,
+            min_transfer: None,
+            min_transfer_frac: 0.01,
+            min_transfer_floor: 1,
+            diffusion_alpha: 1.0 / 3.0,
+            group_size: 0,
+            idle_after: 3,
+            reprobe_period: 8,
+        }
+    }
+}
+
+impl BalancerConfig {
+    /// The paper-faithful configuration: fixed minimum transfer of 32
+    /// particles, no balance-phase short-circuit. This reproduces the
+    /// BENCH_1..5 behavior bit-for-bit, dead-zone included.
+    pub fn paper() -> Self {
+        BalancerConfig { min_transfer: Some(32), idle_after: 0, ..Self::default() }
+    }
+
+    /// A fixed minimum-transfer override (test/tuning convenience).
+    pub fn fixed(min_transfer: usize) -> Self {
+        BalancerConfig { min_transfer: Some(min_transfer), ..Self::default() }
+    }
+
+    /// The minimum transfer size in effect for a round with `total`
+    /// particles spread over `ranks` participating ranks.
+    pub fn effective_min_transfer(&self, total: usize, ranks: usize) -> usize {
+        if let Some(fixed) = self.min_transfer {
+            return fixed;
+        }
+        let mean = total as f64 / ranks.max(1) as f64;
+        let adaptive = (mean * self.min_transfer_frac).round() as usize;
+        adaptive.max(self.min_transfer_floor)
     }
 }
 
@@ -64,6 +130,52 @@ pub struct Transfer {
     pub amount: usize,
 }
 
+/// One pluggable load-balancing strategy: decide one round of transfers.
+///
+/// `loads[i]` / `powers[i]` describe real rank `present[i]` (`present`
+/// ascends; after a crash the dead rank's slice is collapsed, so
+/// consecutive present ranks really share a domain boundary). `round` is
+/// the 0-based count of *evaluated* balance rounds, driving the paper's
+/// start-pair alternation and the hierarchical level alternation.
+///
+/// Implementations must return transfers
+///
+/// * in **real** rank space (mapped through `present`),
+/// * only between present-list neighbors,
+/// * with no donor ever ordered to move more than it holds,
+///
+/// and must be pure functions of their arguments — the same inputs decide
+/// the same transfers on every executor, which is what keeps same-seed
+/// fingerprints byte-identical. [`validate_round`] checks the structural
+/// contract (debug assertions + the trait-generic property suite).
+pub trait Balancer {
+    /// Stable strategy label (bench columns, trace annotations).
+    fn name(&self) -> &'static str;
+
+    /// `true` when decisions need only pair-local load information — no
+    /// manager round-trip. The engine executes such strategies with
+    /// donor-broadcast cuts instead of manager-mediated orders.
+    fn decentralized(&self) -> bool {
+        false
+    }
+
+    /// `true` when one rank may appear in several transfers of one round
+    /// (relaxing the paper's one-pair-per-process rule).
+    fn multi_pair(&self) -> bool {
+        false
+    }
+
+    /// Decide one balancing round.
+    fn decide(
+        &self,
+        loads: &[LoadInfo],
+        powers: &[f64],
+        present: &[usize],
+        round: u64,
+        cfg: &BalancerConfig,
+    ) -> Vec<Transfer>;
+}
+
 /// Is a neighbor pair imbalanced enough to act on?
 ///
 /// Times are the primary signal. When *both* times are zero — first frame
@@ -72,7 +184,7 @@ pub struct Transfer {
 /// real particle imbalance unaddressed until a nonzero time arrived. Fall
 /// back to the particle counts as the load signal in that case; two empty
 /// ranks still compare equal, so an all-zero cluster stays stable.
-fn pair_imbalanced(a: LoadInfo, b: LoadInfo, cfg: &BalancerConfig) -> bool {
+pub(crate) fn pair_imbalanced(a: LoadInfo, b: LoadInfo, cfg: &BalancerConfig) -> bool {
     let scale = a.time.max(b.time);
     if scale > 0.0 {
         return (a.time - b.time).abs() > cfg.rel_threshold * scale;
@@ -82,7 +194,26 @@ fn pair_imbalanced(a: LoadInfo, b: LoadInfo, cfg: &BalancerConfig) -> bool {
     cscale > 0.0 && (ca - cb).abs() > cfg.rel_threshold * cscale
 }
 
-/// Evaluate one balancing round.
+/// The power-proportional target for the first rank of a pair, and the
+/// resulting (donor, receiver, excess) move toward it.
+pub(crate) fn pair_move(
+    a: usize,
+    b: usize,
+    loads: &[LoadInfo],
+    powers: &[f64],
+) -> (usize, usize, usize) {
+    let total = loads[a].count + loads[b].count;
+    let (pa, pb) = (powers[a].max(1e-9), powers[b].max(1e-9));
+    let target_a = ((total as f64) * pa / (pa + pb)).round() as usize;
+    let target_a = target_a.min(total);
+    if loads[a].count > target_a {
+        (a, b, loads[a].count - target_a)
+    } else {
+        (b, a, target_a - loads[a].count)
+    }
+}
+
+/// Evaluate one centralized neighbor-pair round (paper §3.2.5).
 ///
 /// `loads[i]` is calculator `i`'s report; `powers[i]` its processing power
 /// (relative speed — the paper calibrates this from sequential runs);
@@ -103,20 +234,14 @@ pub fn evaluate(
     if n != powers.len() || n < 2 {
         return out;
     }
+    let total: usize = loads.iter().map(|l| l.count).sum();
+    let min_transfer = cfg.effective_min_transfer(total, n);
     let mut i = start.min(1); // paper alternates between the 1st and 2nd pair
     while i + 1 < n {
         let (a, b) = (i, i + 1);
         if pair_imbalanced(loads[a], loads[b], cfg) {
-            let total = loads[a].count + loads[b].count;
-            let (pa, pb) = (powers[a].max(1e-9), powers[b].max(1e-9));
-            let target_a = (total as f64 * pa / (pa + pb)).round() as usize;
-            let target_a = target_a.min(total);
-            let (donor, receiver, amount) = if loads[a].count > target_a {
-                (a, b, loads[a].count - target_a)
-            } else {
-                (b, a, target_a - loads[a].count)
-            };
-            if amount >= cfg.min_transfer {
+            let (donor, receiver, amount) = pair_move(a, b, loads, powers);
+            if amount >= min_transfer {
                 out.push(Transfer { donor, receiver, amount });
                 // Pair (i+1, i+2) is not evaluated this round.
                 i += 2;
@@ -128,14 +253,14 @@ pub fn evaluate(
     out
 }
 
-/// Evaluate one round of the *decentralized* balancer (paper future work,
-/// §6): every neighbor pair decides independently from the two reports it
-/// can see locally — no manager, no alternation, no one-pair-per-process
-/// rule. To damp the oscillation that simultaneous decisions invite, each
-/// pair moves only **half** the excess toward the power-proportional
-/// target. The returned set may involve one calculator in two transfers
-/// (sending left while receiving from the right), which is exactly the
-/// "alignment" the centralized rules forbid.
+/// Evaluate one round of the *decentralized* half-excess balancer (paper
+/// future work, §6): every neighbor pair decides independently from the two
+/// reports it can see locally — no manager, no alternation, no
+/// one-pair-per-process rule. To damp the oscillation that simultaneous
+/// decisions invite, each pair moves only **half** the excess toward the
+/// power-proportional target. The returned set may involve one calculator
+/// in two transfers (sending left while receiving from the right), which is
+/// exactly the "alignment" the centralized rules forbid.
 pub fn evaluate_decentralized(
     loads: &[LoadInfo],
     powers: &[f64],
@@ -146,22 +271,16 @@ pub fn evaluate_decentralized(
     if n != powers.len() {
         return out;
     }
+    let total: usize = loads.iter().map(|l| l.count).sum();
+    let min_transfer = cfg.effective_min_transfer(total, n);
     for a in 0..n.saturating_sub(1) {
         let b = a + 1;
         if !pair_imbalanced(loads[a], loads[b], cfg) {
             continue;
         }
-        let total = loads[a].count + loads[b].count;
-        let (pa, pb) = (powers[a].max(1e-9), powers[b].max(1e-9));
-        let target_a = ((total as f64) * pa / (pa + pb)).round() as usize;
-        let target_a = target_a.min(total);
-        let (donor, receiver, excess) = if loads[a].count > target_a {
-            (a, b, loads[a].count - target_a)
-        } else {
-            (b, a, target_a - loads[a].count)
-        };
+        let (donor, receiver, excess) = pair_move(a, b, loads, powers);
         let amount = excess / 2;
-        if amount >= cfg.min_transfer {
+        if amount >= min_transfer.max(1) {
             out.push(Transfer { donor, receiver, amount });
         }
     }
@@ -188,7 +307,12 @@ pub fn evaluate_present(
         return Vec::new();
     }
     debug_assert!(present.windows(2).all(|w| w[0] < w[1]), "present ranks must ascend");
-    evaluate(loads, powers, start, cfg)
+    map_to_present(evaluate(loads, powers, start, cfg), present)
+}
+
+/// Map transfers decided in present-index space back to real rank numbers.
+pub fn map_to_present(transfers: Vec<Transfer>, present: &[usize]) -> Vec<Transfer> {
+    transfers
         .into_iter()
         .map(|t| Transfer {
             donor: present[t.donor],
@@ -201,11 +325,19 @@ pub fn evaluate_present(
 /// [`validate_transfers`] for a degraded round: adjacency is checked in
 /// *present-list* space (consecutive present ranks are neighbors across any
 /// collapsed dead slices between them), plus the one-pair-per-process rule.
+///
+/// `present` must ascend (callers build it from an ordered rank walk; the
+/// ordering is also what [`evaluate_present`] asserts), which lets every
+/// endpoint resolve by binary search — a 1,024-rank round validates in
+/// O(t log n) instead of the O(t·n) a linear scan would cost.
 pub fn validate_transfers_mapped(transfers: &[Transfer], present: &[usize]) -> Result<(), String> {
-    let pos_of = |rank: usize| present.iter().position(|&r| r == rank);
+    if !present.windows(2).all(|w| w[0] < w[1]) {
+        return Err("present ranks must ascend".into());
+    }
     let mut involved = vec![0u8; present.len()];
     for t in transfers {
-        let (Some(d), Some(r)) = (pos_of(t.donor), pos_of(t.receiver)) else {
+        let (Ok(d), Ok(r)) = (present.binary_search(&t.donor), present.binary_search(&t.receiver))
+        else {
             return Err(format!("transfer {t:?} involves a rank not present"));
         };
         if d.abs_diff(r) != 1 {
@@ -218,6 +350,72 @@ pub fn validate_transfers_mapped(transfers: &[Transfer], present: &[usize]) -> R
         return Err(format!("rank {} participates in more than one pair", present[i]));
     }
     Ok(())
+}
+
+/// Structural validation for one decided round of **any** strategy: every
+/// endpoint present, every transfer between present-list neighbors, and no
+/// donor ordered to move more than it holds (summed across a multi-pair
+/// round). Strategies that keep the paper's one-pair-per-process rule
+/// (`multi_pair == false`) are additionally held to it.
+pub fn validate_round(
+    transfers: &[Transfer],
+    loads: &[LoadInfo],
+    present: &[usize],
+    multi_pair: bool,
+) -> Result<(), String> {
+    if !present.windows(2).all(|w| w[0] < w[1]) {
+        return Err("present ranks must ascend".into());
+    }
+    if loads.len() != present.len() {
+        return Err(format!("{} loads for {} present ranks", loads.len(), present.len()));
+    }
+    let mut outgoing = vec![0usize; present.len()];
+    let mut involved = vec![0u8; present.len()];
+    for t in transfers {
+        let (Ok(d), Ok(r)) = (present.binary_search(&t.donor), present.binary_search(&t.receiver))
+        else {
+            return Err(format!("transfer {t:?} involves a rank not present"));
+        };
+        if d.abs_diff(r) != 1 {
+            return Err(format!("transfer {t:?} is not between present-list neighbors"));
+        }
+        outgoing[d] += t.amount;
+        involved[d] += 1;
+        involved[r] += 1;
+    }
+    for (i, &out) in outgoing.iter().enumerate() {
+        if out > loads[i].count {
+            return Err(format!(
+                "rank {} ordered to donate {} of {} held",
+                present[i], out, loads[i].count
+            ));
+        }
+    }
+    if !multi_pair {
+        if let Some((i, _)) = involved.iter().enumerate().find(|(_, &c)| c > 1) {
+            return Err(format!("rank {} participates in more than one pair", present[i]));
+        }
+    }
+    Ok(())
+}
+
+/// Should this round's balance phase be short-circuited to a plain barrier?
+///
+/// After `idle_after` consecutive zero-order rounds the phase stops paying
+/// the full evaluation/order/broadcast round-trip — the cost that inverts
+/// DLB against SLB in the BENCH_5 dead zone — and degrades to the
+/// synchronization step static balancing needs, re-probing every
+/// `reprobe_period` frames so a workload that drifts back out of balance is
+/// picked up again. `idle_after == 0` disables the hysteresis (the paper's
+/// behavior); `reprobe_period == 0` means never re-probe.
+///
+/// The decision depends only on the decided-transfer history and the frame
+/// number, both pure functions of the simulation state, so every executor
+/// skips the same rounds and same-seed fingerprints stay byte-identical.
+pub fn should_skip_round(idle_rounds: u32, frame: u64, cfg: &BalancerConfig) -> bool {
+    cfg.idle_after > 0
+        && idle_rounds >= cfg.idle_after
+        && (cfg.reprobe_period == 0 || !frame.is_multiple_of(cfg.reprobe_period))
 }
 
 /// Expand transfers into per-calculator orders.
@@ -262,7 +460,7 @@ mod tests {
     }
 
     fn cfg() -> BalancerConfig {
-        BalancerConfig { rel_threshold: 0.15, min_transfer: 10 }
+        BalancerConfig::fixed(10)
     }
 
     #[test]
@@ -309,10 +507,39 @@ mod tests {
     #[test]
     fn min_transfer_suppresses_tiny_moves() {
         let loads = [li(16, 1.3), li(8, 0.8)];
-        let c = BalancerConfig { rel_threshold: 0.15, min_transfer: 10 };
+        let c = BalancerConfig::fixed(10);
         assert!(evaluate(&loads, &[1.0, 1.0], 0, &c).is_empty());
-        let c2 = BalancerConfig { rel_threshold: 0.15, min_transfer: 2 };
+        let c2 = BalancerConfig::fixed(2);
         assert_eq!(evaluate(&loads, &[1.0, 1.0], 0, &c2).len(), 1);
+    }
+
+    #[test]
+    fn adaptive_min_transfer_scales_with_mean_load() {
+        let c = BalancerConfig::default();
+        assert_eq!(c.min_transfer, None);
+        // Paper-scale slices: 1% of a 5,000-particle mean ≈ the old 32.
+        assert_eq!(c.effective_min_transfer(40_000, 8), 50);
+        // Thin slices at 1,024 ranks: the floor keeps balancing alive.
+        assert_eq!(c.effective_min_transfer(200, 128), 1);
+        assert_eq!(c.effective_min_transfer(0, 0), 1);
+        // The paper override is scale-blind (the BENCH_5 dead zone).
+        assert_eq!(BalancerConfig::paper().effective_min_transfer(200, 128), 32);
+    }
+
+    #[test]
+    fn adaptive_min_revives_thin_slice_balancing() {
+        // The BENCH_5 dead zone in miniature: 128 ranks averaging ~1.3
+        // particles each. The spike's pairwise excess (~19) sits under the
+        // paper's fixed 32, so it suppresses every order; the adaptive
+        // default still drains the spike.
+        let n = 128;
+        let mut loads = vec![li(1, 1e-6); n];
+        loads[40] = li(40, 40e-6);
+        let powers = vec![1.0; n];
+        assert!(evaluate(&loads, &powers, 0, &BalancerConfig::paper()).is_empty());
+        let t = evaluate(&loads, &powers, 0, &BalancerConfig::default());
+        assert!(!t.is_empty(), "adaptive minimum must keep thin-slice balancing alive");
+        assert!(t.iter().any(|t| t.donor == 40));
     }
 
     #[test]
@@ -410,11 +637,30 @@ mod tests {
     }
 
     #[test]
+    fn validate_round_checks_overdraw_and_pairing() {
+        let loads = [li(10, 1.0), li(0, 0.0), li(0, 0.0)];
+        let present = [0usize, 1, 2];
+        // A donor split across both sides is fine for multi-pair
+        // strategies as long as the sum stays within its holdings…
+        let split = vec![
+            Transfer { donor: 1, receiver: 0, amount: 0 },
+            Transfer { donor: 1, receiver: 2, amount: 0 },
+        ];
+        validate_round(&split, &loads, &present, true).unwrap();
+        assert!(validate_round(&split, &loads, &present, false).is_err());
+        // …but overdrawing is never fine.
+        let over = vec![Transfer { donor: 0, receiver: 1, amount: 11 }];
+        assert!(validate_round(&over, &loads, &present, true).is_err());
+        let absent = vec![Transfer { donor: 3, receiver: 1, amount: 1 }];
+        assert!(validate_round(&absent, &loads, &present, true).is_err());
+    }
+
+    #[test]
     fn decentralized_all_pairs_may_act() {
         // Staircase loads: centralized consumes neighbors, decentralized
         // lets every pair act — including a rank sending and receiving.
         let loads = [li(800, 8.0), li(400, 4.0), li(200, 2.0), li(100, 1.0)];
-        let cfg = BalancerConfig { rel_threshold: 0.1, min_transfer: 10 };
+        let cfg = BalancerConfig { rel_threshold: 0.1, ..BalancerConfig::fixed(10) };
         let dec = evaluate_decentralized(&loads, &[1.0; 4], &cfg);
         assert_eq!(dec.len(), 3, "all three pairs act: {dec:?}");
         // rank 1 both receives (from 0) and sends (to 2)
@@ -429,11 +675,12 @@ mod tests {
         // Even when a rank donates on both sides, half-excess per pair can
         // never exceed its holdings: each amount ≤ count/2.
         let loads = [li(0, 0.0), li(100, 1.0), li(0, 0.0)];
-        let cfg = BalancerConfig { rel_threshold: 0.1, min_transfer: 1 };
+        let cfg = BalancerConfig { rel_threshold: 0.1, ..BalancerConfig::fixed(1) };
         let dec = evaluate_decentralized(&loads, &[1.0; 3], &cfg);
         let total_from_1: usize = dec.iter().filter(|t| t.donor == 1).map(|t| t.amount).sum();
         assert!(total_from_1 <= 100, "overdraw: {dec:?}");
         assert_eq!(dec.len(), 2);
+        validate_round(&dec, &loads, &[0, 1, 2], true).unwrap();
     }
 
     #[test]
@@ -447,7 +694,7 @@ mod tests {
             let mut counts = vec![1_000usize; n];
             counts[0] = 200_000;
             let powers = vec![1.0; n];
-            let cfg = BalancerConfig { rel_threshold: 0.1, min_transfer: 32 };
+            let cfg = BalancerConfig { rel_threshold: 0.1, ..BalancerConfig::fixed(32) };
             for round in 0..2_000usize {
                 let l: Vec<LoadInfo> = counts.iter().map(|&c| li(c, c as f64 * 1e-6)).collect();
                 let ts = if decentralized {
@@ -500,6 +747,8 @@ mod tests {
             Transfer { donor: 2, receiver: 3, amount: 5 },
         ];
         assert!(validate_transfers_mapped(&double, &present).is_err());
+        let unsorted = [2usize, 0, 3];
+        assert!(validate_transfers_mapped(&[], &unsorted).is_err());
     }
 
     #[test]
@@ -520,7 +769,7 @@ mod tests {
         // The balancer must monotonically reduce imbalance to threshold.
         let mut counts = vec![1000usize, 10, 10, 10, 10, 10, 10, 10];
         let powers = vec![1.0; 8];
-        let c = BalancerConfig { rel_threshold: 0.1, min_transfer: 5 };
+        let c = BalancerConfig { rel_threshold: 0.1, ..BalancerConfig::fixed(5) };
         for round in 0..64 {
             let loads: Vec<LoadInfo> = counts.iter().map(|&n| li(n, n as f64 * 1e-3)).collect();
             let ts = evaluate(&loads, &powers, round % 2, &c);

@@ -14,6 +14,10 @@ pub enum SpaceMode {
 }
 
 /// Static (initial even split, never changed) vs dynamic load balancing.
+///
+/// Every dynamic variant carries a [`BalancerConfig`] and selects one
+/// strategy behind the [`crate::balance::Balancer`] trait (see
+/// [`crate::balancers::strategy_for`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum BalanceMode {
     /// SLB: domains stay at their initial even split.
@@ -25,6 +29,13 @@ pub enum BalanceMode {
     /// independently (half-excess diffusion), so a calculator may send and
     /// receive in the same round.
     Decentralized(BalancerConfig),
+    /// Damped first-order diffusion: every pair moves `α ×` its excess per
+    /// round, pair-locally like [`BalanceMode::Decentralized`].
+    Diffusive(BalancerConfig),
+    /// Hierarchical/SFC: contiguous rank groups along the 1-D domain curve,
+    /// balanced across groups (even rounds) then within (odd rounds);
+    /// manager-mediated like [`BalanceMode::Dynamic`].
+    Hierarchical(BalancerConfig),
 }
 
 impl BalanceMode {
@@ -36,16 +47,42 @@ impl BalanceMode {
         BalanceMode::Decentralized(BalancerConfig::default())
     }
 
-    pub fn is_dynamic(&self) -> bool {
-        matches!(self, BalanceMode::Dynamic(_) | BalanceMode::Decentralized(_))
+    pub fn diffusive() -> Self {
+        BalanceMode::Diffusive(BalancerConfig::default())
     }
 
-    /// Short label used in table headers: SLB / DLB / DEC.
+    pub fn hierarchical() -> Self {
+        BalanceMode::Hierarchical(BalancerConfig::default())
+    }
+
+    pub fn is_dynamic(&self) -> bool {
+        !matches!(self, BalanceMode::Static)
+    }
+
+    /// The strategy's tuning, `None` for static balancing.
+    pub fn balancer_config(&self) -> Option<&BalancerConfig> {
+        match self {
+            BalanceMode::Static => None,
+            BalanceMode::Dynamic(b)
+            | BalanceMode::Decentralized(b)
+            | BalanceMode::Diffusive(b)
+            | BalanceMode::Hierarchical(b) => Some(b),
+        }
+    }
+
+    /// Does this mode decide pair-locally, without a manager round-trip?
+    pub fn is_decentralized(&self) -> bool {
+        matches!(self, BalanceMode::Decentralized(_) | BalanceMode::Diffusive(_))
+    }
+
+    /// Short label used in table headers: SLB / DLB / DEC / DIF / SFC.
     pub fn label(&self) -> &'static str {
         match self {
             BalanceMode::Static => "SLB",
             BalanceMode::Dynamic(_) => "DLB",
             BalanceMode::Decentralized(_) => "DEC",
+            BalanceMode::Diffusive(_) => "DIF",
+            BalanceMode::Hierarchical(_) => "SFC",
         }
     }
 }
@@ -83,12 +120,39 @@ pub enum SystemSchedule {
 pub enum ExchangeMode {
     /// Figure 2 verbatim: every calculator messages every other calculator
     /// each system, empty batches included.
-    #[default]
     Dense,
     /// Only non-empty migration batches go on the wire; receivers drain
     /// queued senders instead of polling all peers. Required for 1,000+
     /// rank sweeps.
     Sparse,
+    /// Resolve by rank count when the run starts: [`ExchangeMode::Dense`]
+    /// below [`ExchangeMode::AUTO_SPARSE_THRESHOLD`] calculators (paper
+    /// scale — fingerprints reproduce `VirtualSim` exactly),
+    /// [`ExchangeMode::Sparse`] at or above it (the n² empty-message
+    /// pattern would dominate). A run that auto-selects sparse fingerprints
+    /// identically to one configured sparse explicitly.
+    #[default]
+    Auto,
+}
+
+impl ExchangeMode {
+    /// Calculator count at which `Auto` switches to `Sparse`.
+    pub const AUTO_SPARSE_THRESHOLD: usize = 64;
+
+    /// The concrete mode (`Dense` or `Sparse`) for a run with
+    /// `calculators` ranks.
+    pub fn resolved(self, calculators: usize) -> ExchangeMode {
+        match self {
+            ExchangeMode::Auto => {
+                if calculators >= Self::AUTO_SPARSE_THRESHOLD {
+                    ExchangeMode::Sparse
+                } else {
+                    ExchangeMode::Dense
+                }
+            }
+            m => m,
+        }
+    }
 }
 
 /// What a calculator reports as its per-frame processing "time" (§3.2.4).
@@ -183,7 +247,7 @@ impl Default for RunConfig {
             load_metric: LoadMetric::WallClock,
             recv_timeout_secs: 30.0,
             parallel: ParallelConfig::default(),
-            exchange: ExchangeMode::Dense,
+            exchange: ExchangeMode::Auto,
         }
     }
 }
@@ -216,7 +280,15 @@ mod tests {
     fn dynamic_detection() {
         assert!(BalanceMode::dynamic().is_dynamic());
         assert!(BalanceMode::decentralized().is_dynamic());
+        assert!(BalanceMode::diffusive().is_dynamic());
+        assert!(BalanceMode::hierarchical().is_dynamic());
         assert!(!BalanceMode::Static.is_dynamic());
+        assert!(BalanceMode::decentralized().is_decentralized());
+        assert!(BalanceMode::diffusive().is_decentralized());
+        assert!(!BalanceMode::dynamic().is_decentralized());
+        assert!(!BalanceMode::hierarchical().is_decentralized());
+        assert!(BalanceMode::Static.balancer_config().is_none());
+        assert!(BalanceMode::diffusive().balancer_config().is_some());
     }
 
     #[test]
@@ -224,6 +296,20 @@ mod tests {
         assert_eq!(BalanceMode::Static.label(), "SLB");
         assert_eq!(BalanceMode::dynamic().label(), "DLB");
         assert_eq!(BalanceMode::decentralized().label(), "DEC");
+        assert_eq!(BalanceMode::diffusive().label(), "DIF");
+        assert_eq!(BalanceMode::hierarchical().label(), "SFC");
         assert_eq!(SystemSchedule::default(), SystemSchedule::PerSystem);
+    }
+
+    #[test]
+    fn auto_exchange_resolves_by_rank_count() {
+        assert_eq!(RunConfig::default().exchange, ExchangeMode::Auto);
+        assert_eq!(ExchangeMode::Auto.resolved(8), ExchangeMode::Dense);
+        assert_eq!(ExchangeMode::Auto.resolved(63), ExchangeMode::Dense);
+        assert_eq!(ExchangeMode::Auto.resolved(64), ExchangeMode::Sparse);
+        assert_eq!(ExchangeMode::Auto.resolved(1024), ExchangeMode::Sparse);
+        // Explicit choices are never overridden.
+        assert_eq!(ExchangeMode::Dense.resolved(1024), ExchangeMode::Dense);
+        assert_eq!(ExchangeMode::Sparse.resolved(4), ExchangeMode::Sparse);
     }
 }

@@ -4,8 +4,12 @@
 //! paper's distributed model:
 //!
 //! * [`msg`] — the message vocabulary of the frame protocol (Figure 2);
-//! * [`balance`] — the centralized neighbor-pair dynamic load balancer
-//!   (§3.2.5) as pure, heavily-tested functions;
+//! * [`balance`] — the load-balancing decision kernel (§3.2.5 rules,
+//!   adaptive minimum transfer, the [`balance::Balancer`] trait) as pure,
+//!   heavily-tested functions;
+//! * [`balancers`] — the pluggable strategies behind the trait: the
+//!   paper's centralized neighbor-pair walk, decentralized half-excess,
+//!   damped diffusion, and hierarchical/SFC group balancing;
 //! * [`scene`] — a simulation scene: systems, action lists, external
 //!   objects;
 //! * [`config`] — run configuration (finite/infinite space, SLB/DLB,
@@ -26,6 +30,7 @@
 //!   ordering in tests.
 
 pub mod balance;
+pub mod balancers;
 pub mod config;
 pub mod msg;
 pub mod protocol;
@@ -36,7 +41,8 @@ pub mod threaded;
 pub mod trace;
 pub mod virtual_exec;
 
-pub use balance::{BalancerConfig, LoadInfo, Order};
+pub use balance::{Balancer, BalancerConfig, LoadInfo, Order, Transfer};
+pub use balancers::strategy_for;
 pub use config::{
     BalanceMode, ExchangeMode, LoadMetric, ParallelConfig, RunConfig, SpaceMode, SystemSchedule,
 };

@@ -38,7 +38,11 @@ pub enum Msg {
     /// piggy-backs the calculator's exchange count for run statistics.
     Load { system: SystemId, info: LoadInfo, migrated: usize },
     /// The manager's balancing orders for one calculator (possibly none).
-    Orders { system: SystemId, orders: Vec<Order> },
+    /// `round_orders` carries the round's *total* decided-transfer count so
+    /// every calculator tracks the zero-order streak (the balance-phase
+    /// short-circuit hysteresis) in lock-step with the manager; it rides in
+    /// the existing fixed header, so the wire size is unchanged.
+    Orders { system: SystemId, orders: Vec<Order>, round_orders: u32 },
     /// A donor's newly computed domain boundary (paper §3.2.5).
     NewCut { system: SystemId, boundary: usize, cut: Scalar },
     /// The manager's broadcast of updated domain boundaries.

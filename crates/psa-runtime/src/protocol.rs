@@ -43,7 +43,8 @@ use psa_render::{render_objects, render_particles, render_streaks, Framebuffer};
 use psa_trace::{ClockKind, Counter, FaultKind, Phase, Recorder};
 
 use crate::balance::{self, LoadInfo, Transfer};
-use crate::config::{BalanceMode, ExchangeMode, LoadMetric, RunConfig, SpaceMode, SystemSchedule};
+use crate::balancers;
+use crate::config::{ExchangeMode, LoadMetric, RunConfig, SpaceMode, SystemSchedule};
 use crate::msg::{Msg, ProtocolError};
 use crate::report::{FrameReport, RunReport};
 use crate::scene::Scene;
@@ -227,7 +228,17 @@ pub struct Engine<F: Fabric> {
     n: usize,
     mgr: usize,
     ig: usize,
-    parity: usize,
+    /// Evaluated (non-short-circuited) balance rounds so far; drives the
+    /// paper's start-pair alternation and the hierarchical level schedule.
+    round: u64,
+    /// Per-system consecutive zero-order rounds (balance short-circuit).
+    idle_rounds: Vec<u32>,
+    /// Balance rounds short-circuited in the current frame.
+    frame_skips: u64,
+    /// Exchange fan-out resolved against the rank count
+    /// ([`ExchangeMode::Auto`] picks dense below the threshold, sparse at
+    /// or above it).
+    sparse: bool,
     /// Rank `c` has fail-stopped (it no longer computes, sends or
     /// receives); peers may not have noticed yet.
     crashed: Vec<bool>,
@@ -309,7 +320,10 @@ impl<F: Fabric> Engine<F> {
             n,
             mgr: n,
             ig: n + 1,
-            parity: 0,
+            round: 0,
+            idle_rounds: vec![0; n_sys],
+            frame_skips: 0,
+            sparse: cfg.exchange.resolved(n) == ExchangeMode::Sparse,
             crashed: vec![false; n],
             dead: vec![false; n],
             missed: vec![0; n],
@@ -373,6 +387,7 @@ impl<F: Fabric> Engine<F> {
         let retries = std::mem::take(&mut self.frame_retries);
         let orders = std::mem::take(&mut self.frame_orders);
         let chunks = std::mem::take(&mut self.frame_chunks);
+        let skips = std::mem::take(&mut self.frame_skips);
         if !self.rec.is_enabled() {
             return;
         }
@@ -389,6 +404,7 @@ impl<F: Fabric> Engine<F> {
         self.rec.add(frame, Counter::SendRetries, retries);
         self.rec.add(frame, Counter::BalanceOrders, orders);
         self.rec.add(frame, Counter::ComputeChunks, chunks);
+        self.rec.add(frame, Counter::BalanceSkips, skips);
     }
 
     /// The ranks that still take part in barriers: running calculators plus
@@ -888,7 +904,7 @@ impl<F: Fabric> Engine<F> {
     ) -> Result<(), ProtocolError> {
         let n = self.n;
         let spec_id = self.scene.systems[sys].spec.id;
-        let sparse = self.cfg.exchange == ExchangeMode::Sparse;
+        let sparse = self.sparse;
         let lost_at_start = self.lost;
         let mut before = vec![0usize; n];
         let mut outgoing = vec![0usize; n];
@@ -1015,7 +1031,12 @@ impl<F: Fabric> Engine<F> {
     ) -> Result<Vec<Option<LoadInfo>>, ProtocolError> {
         let n = self.n;
         let spec_id = self.scene.systems[sys].spec.id;
-        let decentralized = matches!(self.cfg.balance, BalanceMode::Decentralized(_));
+        let decentralized = self.cfg.balance.is_decentralized();
+        // Gossip partners for the decentralized modes: the nearest
+        // non-dead rank on each side (a dead rank's slice is collapsed, so
+        // the next surviving rank really is the domain neighbor).
+        let left_of = |e: &Self, c: usize| (0..c).rev().find(|&d| !e.dead[d]);
+        let right_of = |e: &Self, c: usize| (c + 1..n).find(|&d| !e.dead[d]);
         for c in 0..n {
             if self.crashed[c] {
                 continue;
@@ -1025,12 +1046,9 @@ impl<F: Fabric> Engine<F> {
                 / self.calcs[c].pre_count[sys] as f64;
             let info = LoadInfo { count, time };
             self.send_to(c, self.mgr, Msg::Load { system: spec_id, info, migrated: 0 })?;
-            if decentralized {
-                if c > 0 {
-                    self.send_to(c, c - 1, Msg::Load { system: spec_id, info, migrated: 0 })?;
-                }
-                if c + 1 < n {
-                    self.send_to(c, c + 1, Msg::Load { system: spec_id, info, migrated: 0 })?;
+            if decentralized && !self.dead[c] {
+                for d in [left_of(self, c), right_of(self, c)].into_iter().flatten() {
+                    self.send_to(c, d, Msg::Load { system: spec_id, info, migrated: 0 })?;
                 }
             }
         }
@@ -1063,15 +1081,14 @@ impl<F: Fabric> Engine<F> {
         }
         if decentralized {
             // Each calculator consumes its neighbors' reports (the content
-            // equals `loads`; the receive charges the communication).
+            // equals `loads`; the receive charges the communication). The
+            // partner walk mirrors the send side exactly, so no report is
+            // left queued on a link.
             for c in 0..n {
-                if self.crashed[c] {
+                if self.crashed[c] || self.dead[c] {
                     continue;
                 }
-                for d in [c.wrapping_sub(1), c + 1] {
-                    if d >= n || d == c {
-                        continue;
-                    }
+                for d in [left_of(self, c), right_of(self, c)].into_iter().flatten() {
                     match self.recv_from(c, d)? {
                         Some(Msg::Load { .. }) | None => {}
                         Some(other) => {
@@ -1093,12 +1110,30 @@ impl<F: Fabric> Engine<F> {
         Ok(loads)
     }
 
-    /// The balancing phase: centralized (§3.2.5), decentralized (§6 future
-    /// work), or the plain synchronization step static balancing needs.
-    /// Degraded-mode domain reassignment rides the centralized mode's
-    /// every-round `Domains` broadcast; the static mode has no broadcast,
-    /// so a dead slice stays collapsed but survivors keep stale replicas
-    /// (their misdirected sends are counted as lost).
+    /// The balancing phase: one strategy round behind the
+    /// [`balance::Balancer`] trait — centralized strategies (neighbor-pair,
+    /// hierarchical/SFC) order via the manager, decentralized ones
+    /// (half-excess, diffusive) decide pair-locally from the reports
+    /// gossiped in [`Engine::phase_loads`] — or the plain synchronization
+    /// step static balancing needs. Degraded-mode domain reassignment rides
+    /// the centralized modes' every-round `Domains` broadcast; the static
+    /// mode has no broadcast, so a dead slice stays collapsed but survivors
+    /// keep stale replicas (their misdirected sends are counted as lost).
+    ///
+    /// Every strategy decides over the *present* set (the ranks whose
+    /// reports arrived), in present-index space, with transfers mapped back
+    /// to real ranks — the `evaluate_present` contract, checked per round
+    /// by [`balance::validate_round`].
+    ///
+    /// A dead balancer also stops charging for the phase: after
+    /// `idle_after` consecutive zero-order rounds the phase short-circuits
+    /// to the barrier static balancing pays (re-probing every
+    /// `reprobe_period` frames), so a configuration whose every candidate
+    /// move is suppressed — the BENCH_5 dead zone — recovers toward the SLB
+    /// makespan instead of paying the full order/broadcast round-trip for
+    /// nothing. The skip decision is a pure function of decided-transfer
+    /// history, so every executor skips the same rounds and same-seed
+    /// fingerprints stay aligned.
     fn phase_balance(
         &mut self,
         frame: u64,
@@ -1106,67 +1141,87 @@ impl<F: Fabric> Engine<F> {
         loads: &[Option<LoadInfo>],
         fr: &mut FrameReport,
     ) -> Result<(), ProtocolError> {
-        match self.cfg.balance {
-            BalanceMode::Dynamic(bcfg) => {
-                let present: Vec<usize> = (0..self.n).filter(|&c| loads[c].is_some()).collect();
-                let pl: Vec<LoadInfo> = present.iter().filter_map(|&c| loads[c]).collect();
-                let powers: Vec<f64> = present.iter().map(|&c| self.speeds[c]).collect();
-                let transfers = if present.len() >= 2 {
-                    balance::evaluate_present(&pl, &powers, &present, self.parity, &bcfg)
-                } else {
-                    Vec::new()
-                };
-                self.parity ^= 1;
-                debug_assert!(balance::validate_transfers_mapped(&transfers, &present).is_ok());
-                self.net.advance(
-                    self.mgr,
-                    self.cost.balance_eval_time(present.len().saturating_sub(1), self.fe_speed),
-                );
-                if sys == 0 {
-                    self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
-                }
-                let spec_id = self.scene.systems[sys].spec.id;
-                for &c in &present {
-                    self.send_to(
-                        self.mgr,
-                        c,
-                        Msg::Orders { system: spec_id, orders: balance::orders_for(&transfers, c) },
-                    )?;
-                }
-                for &c in &present {
-                    expect_virt!(self, c, self.mgr, frame, Msg::Orders { .. } => (), "Orders");
-                }
-                if sys == 0 {
-                    self.trace.record(frame, ProtocolEvent::LoadBalancingOrders);
-                }
-                self.execute_transfers(frame, sys, &transfers, fr, true)?;
-            }
-            BalanceMode::Decentralized(bcfg) => {
-                // Every pair decides from the reports exchanged in
-                // phase_loads; the computation is replicated and identical
-                // on both endpoints, so no orders are needed. Pairs with a
-                // silent endpoint skip their round.
-                let filled: Vec<LoadInfo> = loads.iter().map(|l| l.unwrap_or_default()).collect();
-                let mut transfers = balance::evaluate_decentralized(&filled, &self.speeds, &bcfg);
-                transfers.retain(|t| loads[t.donor].is_some() && loads[t.receiver].is_some());
-                for c in 0..self.n {
-                    if self.crashed[c] {
-                        continue;
-                    }
-                    self.net.advance(c, self.cost.balance_eval_time(2, self.speeds[c]));
-                }
-                if sys == 0 {
-                    self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
-                }
-                self.execute_transfers(frame, sys, &transfers, fr, false)?;
-            }
-            BalanceMode::Static => {
+        let strategy = match balancers::strategy_for(&self.cfg.balance) {
+            Some(s) => s,
+            None => {
                 // Without balancing the model still requires a
                 // synchronization step (paper §3.2) so a fast calculator
                 // cannot race a frame ahead.
                 let active = self.active_set();
                 self.net.barrier(&active);
+                return Ok(());
             }
+        };
+        let bcfg = *self.cfg.balance.balancer_config().expect("dynamic mode carries a config");
+        if balance::should_skip_round(self.idle_rounds[sys], frame, &bcfg) {
+            self.frame_skips += 1;
+            let active = self.active_set();
+            self.net.barrier(&active);
+            return Ok(());
+        }
+        let present: Vec<usize> = (0..self.n).filter(|&c| loads[c].is_some()).collect();
+        let pl: Vec<LoadInfo> = present.iter().filter_map(|&c| loads[c]).collect();
+        let powers: Vec<f64> = present.iter().map(|&c| self.speeds[c]).collect();
+        let transfers = if present.len() >= 2 {
+            strategy.decide(&pl, &powers, &present, self.round, &bcfg)
+        } else {
+            Vec::new()
+        };
+        self.round += 1;
+        self.idle_rounds[sys] =
+            if transfers.is_empty() { self.idle_rounds[sys].saturating_add(1) } else { 0 };
+        debug_assert!(
+            balance::validate_round(&transfers, &pl, &present, strategy.multi_pair()).is_ok(),
+            "{} produced an invalid round: {:?}",
+            strategy.name(),
+            balance::validate_round(&transfers, &pl, &present, strategy.multi_pair())
+        );
+        // The centralized branch comes first in token order: the Figure-2
+        // conformance pass inlines `execute_transfers` at its first call
+        // site, and the protocol order is Orders before NewCut/Domains.
+        if !strategy.decentralized() {
+            self.net.advance(
+                self.mgr,
+                self.cost.balance_eval_time(present.len().saturating_sub(1), self.fe_speed),
+            );
+            if sys == 0 {
+                self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
+            }
+            let spec_id = self.scene.systems[sys].spec.id;
+            let round_orders = transfers.len() as u32;
+            for &c in &present {
+                self.send_to(
+                    self.mgr,
+                    c,
+                    Msg::Orders {
+                        system: spec_id,
+                        orders: balance::orders_for(&transfers, c),
+                        round_orders,
+                    },
+                )?;
+            }
+            for &c in &present {
+                expect_virt!(self, c, self.mgr, frame, Msg::Orders { .. } => (), "Orders");
+            }
+            if sys == 0 {
+                self.trace.record(frame, ProtocolEvent::LoadBalancingOrders);
+            }
+            self.execute_transfers(frame, sys, &transfers, fr, true)?;
+        } else {
+            // Every pair decides from the reports exchanged in phase_loads;
+            // the computation is replicated and identical on both
+            // endpoints, so no orders are needed. Pairs with a silent
+            // endpoint skip their round.
+            for c in 0..self.n {
+                if self.crashed[c] {
+                    continue;
+                }
+                self.net.advance(c, self.cost.balance_eval_time(2, self.speeds[c]));
+            }
+            if sys == 0 {
+                self.trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
+            }
+            self.execute_transfers(frame, sys, &transfers, fr, false)?;
         }
         Ok(())
     }
@@ -1475,7 +1530,7 @@ pub fn donation_cut(
     if donated.is_empty() {
         return if low_side { old_slice.lo } else { old_slice.hi };
     }
-    if low_side {
+    let cut = if low_side {
         // Donor keeps [cut, hi): kept_min >= cut always holds for any cut
         // <= kept_min, and donated particles at exactly `cut` are returned
         // to the donor by the caller's tie guard.
@@ -1515,7 +1570,15 @@ pub fn donation_cut(
             }
             None => old_slice.lo,
         }
-    }
+    };
+    // Stray particles can sit *outside* the donor's slice (finite-space
+    // workloads let positions overshoot the space edge between exchanges),
+    // and a thin donation can then place the midpoint beyond the domain
+    // boundary's legal range — `move_cut` would reject the round. The new
+    // boundary always lies within the donor's old slice (donation only
+    // shrinks the donor), so clamping there is exact, and a no-op for
+    // infinite spaces.
+    cut.clamp(old_slice.lo, old_slice.hi)
 }
 
 // ---------------------------------------------------------------------------
@@ -1630,6 +1693,9 @@ pub(crate) fn calculator_main(
     // the exchange staging.
     let mut leavers: Vec<Particle> = Vec::new();
     let mut per_dest: Vec<Vec<Particle>> = (0..n).map(|_| Vec::new()).collect();
+    // Zero-order streak per system, kept in lock-step with the manager via
+    // the `round_orders` total each Orders message carries.
+    let mut idle_rounds = vec![0u32; n_sys];
 
     for frame in 0..cfg.frames {
         for sys in 0..n_sys {
@@ -1723,11 +1789,23 @@ pub(crate) fn calculator_main(
             trace.record(frame, ProtocolEvent::LoadInformation);
             mark(&mut rec, &mut last, &ep, frame, c, Phase::LoadReport);
 
-            // Balancing.
-            if cfg.balance.is_dynamic() {
-                let orders = expect_msg!(ep, deadline, mgr, "calculator", c, frame,
-                    Msg::Orders { orders, .. } => orders, "Orders");
-                let mut outgoing: Option<(usize, Vec<Particle>)> = None;
+            // Balancing. The skip test replicates the manager's: both sides
+            // track the zero-order streak (ours from `round_orders`), so a
+            // short-circuited round has no Orders message to wait for.
+            if cfg.balance.is_dynamic()
+                && !cfg
+                    .balance
+                    .balancer_config()
+                    .is_some_and(|b| balance::should_skip_round(idle_rounds[sys], frame, b))
+            {
+                let (orders, round_orders) = expect_msg!(ep, deadline, mgr, "calculator", c, frame,
+                    Msg::Orders { orders, round_orders, .. } => (orders, round_orders), "Orders");
+                idle_rounds[sys] =
+                    if round_orders == 0 { idle_rounds[sys].saturating_add(1) } else { 0 };
+                // Multi-pair strategies may have one donor serving both
+                // sides; donations stage in order and move only after the
+                // new domains are in force.
+                let mut outgoing: Vec<(usize, Vec<Particle>)> = Vec::new();
                 for o in &orders {
                     match *o {
                         balance::Order::Send { to, amount } => {
@@ -1761,7 +1839,7 @@ pub(crate) fn calculator_main(
                                 mgr,
                                 Msg::NewCut { system: setup.spec.id, boundary: c.min(to), cut },
                             )?;
-                            outgoing = Some((to, donated));
+                            outgoing.push((to, donated));
                         }
                         balance::Order::Receive { .. } => {}
                     }
@@ -1791,7 +1869,7 @@ pub(crate) fn calculator_main(
                 }
                 // Donations move only after the new domains are in force.
                 let mut transferred = false;
-                if let Some((to, donated)) = outgoing {
+                for (to, donated) in outgoing {
                     transferred = true;
                     ep.send(
                         to,
@@ -1844,7 +1922,8 @@ pub(crate) fn manager_main(
 ) -> Result<(Vec<FrameReport>, Recorder), ProtocolError> {
     let n_sys = scene.systems.len();
     let deadline = Duration::from_secs_f64(cfg.recv_timeout_secs);
-    let mut parity = 0usize;
+    let mut round = 0u64;
+    let mut idle_rounds = vec![0u32; n_sys];
     let mut frames = Vec::with_capacity(cfg.frames as usize);
     let mut last = ep.now();
     let mut trace = if invariants::ENABLED { Trace::enabled() } else { Trace::disabled() };
@@ -1859,6 +1938,7 @@ pub(crate) fn manager_main(
     for frame in 0..cfg.frames {
         let mut fr = FrameReport { frame, ..Default::default() };
         let mut orders_issued = 0u64;
+        let mut skips_issued = 0u64;
         for sys in 0..n_sys {
             let spec = &scene.systems[sys].spec;
             // Creation.
@@ -1896,17 +1976,53 @@ pub(crate) fn manager_main(
             trace.record(frame, ProtocolEvent::LoadInformation);
             mark(&mut rec, &mut phase_mark, &ep, frame, n, Phase::LoadReport);
 
-            // Balancing.
-            if let BalanceMode::Dynamic(bcfg) = cfg.balance {
+            // Balancing. The threaded executor is manager-mediated for
+            // every strategy: decentralized strategies reuse the same
+            // decision function but their transfers still travel the
+            // Orders/NewCut/Domains round-trip (the host threads share a
+            // process; the decentralized modes' gossip topology is a
+            // virtual-executor concern). The skip decision mirrors the
+            // calculators': both sides derive the zero-order streak from
+            // the same round history, so nobody blocks on a message the
+            // other side never sends.
+            if let Some(strategy) = balancers::strategy_for(&cfg.balance) {
+                let bcfg = *cfg.balance.balancer_config().expect("dynamic mode carries a config");
+                if balance::should_skip_round(idle_rounds[sys], frame, &bcfg) {
+                    skips_issued += 1;
+                    mark(&mut rec, &mut phase_mark, &ep, frame, n, Phase::Balance);
+                    continue;
+                }
                 let speeds = vec![1.0; n]; // host threads are homogeneous
-                let transfers = balance::evaluate(&loads, &speeds, parity, &bcfg);
-                parity ^= 1;
+                let present: Vec<usize> = (0..n).collect();
+                let mut transfers = if n >= 2 {
+                    strategy.decide(&loads, &speeds, &present, round, &bcfg)
+                } else {
+                    Vec::new()
+                };
+                round += 1;
+                idle_rounds[sys] =
+                    if transfers.is_empty() { idle_rounds[sys].saturating_add(1) } else { 0 };
+                debug_assert!(
+                    balance::validate_round(&transfers, &loads, &present, strategy.multi_pair())
+                        .is_ok(),
+                    "{} produced an invalid round",
+                    strategy.name()
+                );
+                // Same boundary order as the engine's execute_transfers, so
+                // a multi-pair donor's sequential donations line up across
+                // executors.
+                transfers.sort_by_key(|t| t.donor.min(t.receiver));
                 orders_issued += transfers.len() as u64;
                 trace.record(frame, ProtocolEvent::LoadBalancingEvaluation);
+                let round_orders = transfers.len() as u32;
                 for c in 0..n {
                     ep.send(
                         c,
-                        Msg::Orders { system: spec.id, orders: balance::orders_for(&transfers, c) },
+                        Msg::Orders {
+                            system: spec.id,
+                            orders: balance::orders_for(&transfers, c),
+                            round_orders,
+                        },
                     )?;
                 }
                 trace.record(frame, ProtocolEvent::LoadBalancingOrders);
@@ -1959,6 +2075,7 @@ pub(crate) fn manager_main(
             rec.add(frame, Counter::Migrated, fr.migrated);
             rec.add(frame, Counter::MigrationBytes, fr.migration_bytes);
             rec.add(frame, Counter::BalanceOrders, orders_issued);
+            rec.add(frame, Counter::BalanceSkips, skips_issued);
             traffic_mark = flush_traffic(&mut rec, &ep, frame, traffic_mark);
         }
         frames.push(fr);

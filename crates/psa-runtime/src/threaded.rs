@@ -35,7 +35,7 @@ use psa_math::Axis;
 use psa_render::{Camera, SplatConfig};
 use psa_trace::{Recorder, TraceReport};
 
-use crate::config::{BalanceMode, RunConfig};
+use crate::config::RunConfig;
 use crate::msg::ProtocolError;
 use crate::protocol::{calculator_main, image_generator_main, manager_main, space_for};
 use crate::report::RunReport;
@@ -102,17 +102,11 @@ pub fn run_threaded_traced(
     instrument: bool,
 ) -> Result<RunReport, ProtocolError> {
     assert!(n >= 1);
-    // The threaded executor implements the centralized protocol with the
-    // Figure-2 per-system schedule; the decentralized variant and batched
-    // schedule are virtual-executor studies (they change timing, which here
-    // is real wall clock anyway).
-    let cfg = &{
-        let mut c = cfg.clone();
-        if let BalanceMode::Decentralized(b) = c.balance {
-            c.balance = BalanceMode::Dynamic(b);
-        }
-        c
-    };
+    // The threaded executor runs every balancing strategy manager-mediated
+    // over the Figure-2 per-system schedule: decentralized strategies make
+    // the same per-round decisions, but their transfers still travel the
+    // Orders/NewCut/Domains round-trip (gossip topology is a
+    // virtual-executor timing study; here time is real wall clock anyway).
     let n_sys = scene.systems.len();
     let endpoints = ThreadNet::build::<crate::msg::Msg>(n + 2);
     let started = std::time::Instant::now();
@@ -232,7 +226,7 @@ pub fn run_threaded_traced(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::LoadMetric;
+    use crate::config::{BalanceMode, LoadMetric};
     use crate::msg::Msg;
     use crate::protocol::recv_within;
     use crate::scene::SystemSetup;

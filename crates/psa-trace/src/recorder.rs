@@ -80,6 +80,8 @@ pub enum Counter {
     /// Kernel chunks processed by the parallel compute phase (0 on the
     /// legacy serial path).
     ComputeChunks,
+    /// Balance rounds short-circuited by the zero-order hysteresis.
+    BalanceSkips,
 }
 
 /// What kind of injected fault an event records.
@@ -206,6 +208,7 @@ impl Recorder {
                 Counter::Timeouts => c.timeouts += n,
                 Counter::BalanceOrders => c.balance_orders += n,
                 Counter::ComputeChunks => c.compute_chunks += n,
+                Counter::BalanceSkips => c.balance_skips += n,
             }
         }
     }

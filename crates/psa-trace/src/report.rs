@@ -25,6 +25,8 @@ pub struct FrameCounters {
     pub balance_orders: u64,
     /// Kernel chunks processed by the parallel compute phase.
     pub compute_chunks: u64,
+    /// Balance rounds short-circuited by the zero-order hysteresis.
+    pub balance_skips: u64,
 }
 
 impl FrameCounters {
@@ -37,6 +39,7 @@ impl FrameCounters {
         self.timeouts += other.timeouts;
         self.balance_orders += other.balance_orders;
         self.compute_chunks += other.compute_chunks;
+        self.balance_skips += other.balance_skips;
     }
 }
 
@@ -233,7 +236,7 @@ impl TraceReport {
         }
         let c = self.counter_totals();
         out.push_str(&format!(
-            "counters: {} msgs, {} payload B, {} migrated ({} B), {} retries, {} timeouts, {} orders, {} chunks, {} faults\n",
+            "counters: {} msgs, {} payload B, {} migrated ({} B), {} retries, {} timeouts, {} orders, {} skips, {} chunks, {} faults\n",
             c.messages,
             c.payload_bytes,
             c.migrated,
@@ -241,6 +244,7 @@ impl TraceReport {
             c.send_retries,
             c.timeouts,
             c.balance_orders,
+            c.balance_skips,
             c.compute_chunks,
             self.faults.len()
         ));
@@ -275,7 +279,7 @@ impl TraceReport {
                 s.push_str(&format!("\"{}\": {}", p.name(), json_f64(t)));
             }
             s.push_str(&format!(
-                "}}, \"messages\": {}, \"payload_bytes\": {}, \"migrated\": {}, \"migration_bytes\": {}, \"send_retries\": {}, \"timeouts\": {}, \"balance_orders\": {}, \"compute_chunks\": {}}}{}\n",
+                "}}, \"messages\": {}, \"payload_bytes\": {}, \"migrated\": {}, \"migration_bytes\": {}, \"send_retries\": {}, \"timeouts\": {}, \"balance_orders\": {}, \"balance_skips\": {}, \"compute_chunks\": {}}}{}\n",
                 c.messages,
                 c.payload_bytes,
                 c.migrated,
@@ -283,6 +287,7 @@ impl TraceReport {
                 c.send_retries,
                 c.timeouts,
                 c.balance_orders,
+                c.balance_skips,
                 c.compute_chunks,
                 if i + 1 < self.frames.len() { "," } else { "" }
             ));

@@ -34,7 +34,10 @@ fn virtual_executor_conserves_particles() {
     let cfg = RunConfig {
         frames: 10,
         dt: 0.1,
-        balance: BalanceMode::Dynamic(BalancerConfig { rel_threshold: 0.05, min_transfer: 4 }),
+        balance: BalanceMode::Dynamic(BalancerConfig {
+            rel_threshold: 0.05,
+            ..BalancerConfig::fixed(4)
+        }),
         ..Default::default()
     };
     let mut sim = VirtualSim::new(scene, cfg, myrinet_gcc(6, 1), CostModel::default());
@@ -105,7 +108,10 @@ fn balancing_moves_but_never_loses() {
         sim.run()
     };
     let slb = mk(BalanceMode::Static);
-    let dlb = mk(BalanceMode::Dynamic(BalancerConfig { rel_threshold: 0.02, min_transfer: 2 }));
+    let dlb = mk(BalanceMode::Dynamic(BalancerConfig {
+        rel_threshold: 0.02,
+        ..BalancerConfig::fixed(2)
+    }));
     for (a, b) in slb.frames.iter().zip(dlb.frames.iter()) {
         assert_eq!(a.alive, b.alive, "balancing changed the population at frame {}", a.frame);
     }

@@ -115,3 +115,44 @@ fn fountain_runs_are_deterministic_too() {
     let (a, b) = (mk(), mk());
     assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
 }
+
+/// Every pluggable balancing strategy must keep the threaded executor
+/// bit-deterministic: same seed, same strategy ⇒ identical per-frame
+/// particle-state checksums. This is the cross-executor half of the
+/// fingerprint gate — the virtual/event-driven side is pinned by
+/// `tests/event_parity.rs` over the same mode list.
+#[test]
+fn threaded_runs_are_bit_identical_for_every_balancer() {
+    use particle_cluster_anim::runtime::{BalanceMode, LoadMetric};
+    let size = WorkloadSize { systems: 2, particles_per_system: 600, scale: 25.0 };
+    for balance in [
+        BalanceMode::dynamic(),
+        BalanceMode::decentralized(),
+        BalanceMode::diffusive(),
+        BalanceMode::hierarchical(),
+    ] {
+        let mk = || {
+            let scene = snow_scene(size);
+            let cfg = RunConfig {
+                frames: 6,
+                dt: 0.15,
+                seed: 23,
+                balance,
+                load_metric: LoadMetric::CountProportional,
+                ..Default::default()
+            };
+            run_threaded(&scene, &cfg, 4, None).expect("threaded run failed")
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.frames.len(), b.frames.len(), "{}", balance.label());
+        for (fa, fb) in a.frames.iter().zip(b.frames.iter()) {
+            assert_eq!(
+                fa.checksum,
+                fb.checksum,
+                "{}: frame {} checksum drift",
+                balance.label(),
+                fa.frame
+            );
+        }
+    }
+}

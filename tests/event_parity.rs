@@ -90,7 +90,13 @@ fn event_sim_matches_virtual_sim_across_modes_and_topologies() {
     for topology in [Topology::Flat, Topology::FatTree { radix: 2 }] {
         let mut cluster = myrinet_gcc(4, 1);
         cluster.net = cluster.net.clone().with_topology(topology);
-        for balance in [BalanceMode::Static, BalanceMode::dynamic(), BalanceMode::decentralized()] {
+        for balance in [
+            BalanceMode::Static,
+            BalanceMode::dynamic(),
+            BalanceMode::decentralized(),
+            BalanceMode::diffusive(),
+            BalanceMode::hierarchical(),
+        ] {
             for schedule in [SystemSchedule::PerSystem, SystemSchedule::Batched] {
                 let cfg = RunConfig { balance, schedule, ..config(0x5EED) };
                 let v = VirtualSim::new(

@@ -99,7 +99,7 @@ fn decentralized_conserves_particles() {
         dt: 0.1,
         balance: BalanceMode::Decentralized(BalancerConfig {
             rel_threshold: 0.05,
-            min_transfer: 4,
+            ..BalancerConfig::fixed(4)
         }),
         ..Default::default()
     };

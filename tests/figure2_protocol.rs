@@ -32,7 +32,10 @@ fn frame_events_match_figure2_order() {
     let cfg = RunConfig {
         frames: 4,
         dt: 0.05,
-        balance: BalanceMode::Dynamic(BalancerConfig { rel_threshold: 0.05, min_transfer: 8 }),
+        balance: BalanceMode::Dynamic(BalancerConfig {
+            rel_threshold: 0.05,
+            ..BalancerConfig::fixed(8)
+        }),
         ..Default::default()
     };
     let cluster = myrinet_gcc(4, 1);

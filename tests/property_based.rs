@@ -72,11 +72,11 @@ fn balancer_rules_hold() {
         let loads: Vec<LoadInfo> =
             counts.iter().map(|&c| LoadInfo { count: c, time: c as f64 * 1e-4 }).collect();
         let powers = vec![1.0; loads.len()];
-        let cfg = BalancerConfig { rel_threshold: threshold, min_transfer: 8 };
+        let cfg = BalancerConfig { rel_threshold: threshold, ..BalancerConfig::fixed(8) };
         let transfers = evaluate(&loads, &powers, start, &cfg);
         assert!(validate_transfers(&transfers, loads.len()).is_ok());
         for t in &transfers {
-            assert!(t.amount >= cfg.min_transfer);
+            assert!(t.amount >= 8);
             assert!(loads[t.donor].count >= t.amount, "donor cannot give what it lacks");
             // donor must actually be the slower/larger side
             assert!(loads[t.donor].time >= loads[t.receiver].time);
@@ -177,5 +177,152 @@ fn rng_split_streams_diverge() {
         let mut child = Rng64::new(seed).split(salt);
         let same = (0..16).filter(|_| parent.next_u64() == child.next_u64()).count();
         assert!(same <= 1, "streams nearly identical (seed {seed}, salt {salt})");
+    }
+}
+
+/// Trait-generic suite: the [`Balancer`] round contract holds for *every*
+/// shipped strategy over arbitrary loads and degraded present-subsets —
+/// donors never overdraw (even summed across a multi-pair round), a round
+/// conserves particles, decisions are pure functions of their inputs, and
+/// transfers decided in present-index space come back naming real ranks.
+#[test]
+fn every_strategy_satisfies_the_round_contract() {
+    use particle_cluster_anim::runtime::balance::validate_round;
+    use particle_cluster_anim::runtime::balancers::all_strategies;
+    let mut rng = Rng64::new(0xB_A1A2);
+    for case in 0..CASES {
+        let world = 2 + rng.below(40);
+        // A degraded round: each real rank is present with p ≈ 0.8, with
+        // at least two survivors so pairs exist.
+        let mut present: Vec<usize> = (0..world).filter(|_| rng.unit() < 0.8).collect();
+        while present.len() < 2 {
+            present = (0..world).collect();
+        }
+        let n = present.len();
+        let loads: Vec<LoadInfo> = (0..n)
+            .map(|_| {
+                let c = rng.below(5_000);
+                LoadInfo { count: c, time: c as f64 * rng.range(0.5e-6, 2.0e-6) as f64 }
+            })
+            .collect();
+        let powers: Vec<f64> = (0..n).map(|_| rng.range(0.5, 2.0) as f64).collect();
+        let round = case as u64;
+        let cfg = BalancerConfig::default();
+        for s in all_strategies() {
+            let ts = s.decide(&loads, &powers, &present, round, &cfg);
+            validate_round(&ts, &loads, &present, s.multi_pair())
+                .unwrap_or_else(|e| panic!("{} case {case}: {e}", s.name()));
+            // Determinism: identical inputs decide identical transfers.
+            assert_eq!(
+                ts,
+                s.decide(&loads, &powers, &present, round, &cfg),
+                "{} case {case}: decision not deterministic",
+                s.name()
+            );
+            // Conservation: applying the round moves particles, never
+            // creates or destroys them.
+            let before: usize = loads.iter().map(|l| l.count).sum();
+            let mut counts: Vec<usize> = loads.iter().map(|l| l.count).collect();
+            for t in &ts {
+                let d = present.binary_search(&t.donor).expect("donor is present");
+                let r = present.binary_search(&t.receiver).expect("receiver is present");
+                counts[d] = counts[d].checked_sub(t.amount).expect("donor overdrawn");
+                counts[r] += t.amount;
+            }
+            assert_eq!(
+                counts.iter().sum::<usize>(),
+                before,
+                "{} case {case}: round does not conserve particles",
+                s.name()
+            );
+        }
+    }
+}
+
+/// Every strategy drains the point-spike harness at a post-dead-zone rank
+/// count: one rank holding everything, 64 thin peers. Convergence means a
+/// full cycle of empty rounds (strategies alternate round types), bounded
+/// imbalance at the end, and a valid round every step of the way.
+#[test]
+fn every_strategy_drains_a_spike_at_scale() {
+    use particle_cluster_anim::runtime::balance::validate_round;
+    use particle_cluster_anim::runtime::balancers::all_strategies;
+    let n = 64usize;
+    let present: Vec<usize> = (0..n).collect();
+    let powers = vec![1.0; n];
+    let cfg = BalancerConfig::default();
+    for s in all_strategies() {
+        let mut counts = vec![5usize; n];
+        counts[n / 2] = 50_000;
+        let mut converged = false;
+        let mut empty_streak = 0;
+        for round in 0..6_000u64 {
+            let loads: Vec<LoadInfo> =
+                counts.iter().map(|&c| LoadInfo { count: c, time: c as f64 * 1e-6 }).collect();
+            let ts = s.decide(&loads, &powers, &present, round, &cfg);
+            validate_round(&ts, &loads, &present, s.multi_pair())
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            if ts.is_empty() {
+                empty_streak += 1;
+                if empty_streak >= 4 {
+                    converged = true;
+                    break;
+                }
+            } else {
+                empty_streak = 0;
+            }
+            for t in ts {
+                counts[t.donor] -= t.amount;
+                counts[t.receiver] += t.amount;
+            }
+        }
+        assert!(converged, "{} did not converge on the spike harness", s.name());
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / n as f64;
+        // Pair-local thresholds leave a residual hill (each neighbor pair
+        // within 15% still compounds over 64 ranks), so "drained" means
+        // bounded by a small multiple of the mean, not flat — the paper
+        // walks settle at ~3.2×/~4.6×, diffusive and hierarchical under 2×.
+        // A stuck spike would sit at ~64×.
+        assert!(
+            max / mean < 5.0,
+            "{} left the spike standing: max/mean = {}",
+            s.name(),
+            max / mean
+        );
+    }
+}
+
+/// The rank→position fast path in `validate_transfers_mapped` must accept
+/// a full 1,024-rank round and reject every malformed shape, at a cost
+/// that stays O(t log n) — the O(t·n) scan it replaced was a real
+/// per-round tax at BENCH_5 scale.
+#[test]
+fn mapped_validation_handles_1024_rank_rounds() {
+    use particle_cluster_anim::runtime::balance::{validate_transfers_mapped, Transfer};
+    let mut rng = Rng64::new(0x10_24);
+    for _ in 0..64 {
+        // A degraded 1,024-rank present set (~1% dead), and one transfer
+        // across every surviving present-list pair — far denser than any
+        // strategy emits, so acceptance here covers every real round.
+        let present: Vec<usize> = (0..1024).filter(|_| rng.unit() < 0.99).collect();
+        let transfers: Vec<Transfer> = present
+            .windows(2)
+            .map(|w| Transfer { donor: w[0], receiver: w[1], amount: 1 + rng.below(100) })
+            .collect();
+        // One rank per pair violates one-pair-per-process; check only the
+        // shape rules here by splitting into odd/even pair sets.
+        let evens: Vec<Transfer> = transfers.iter().step_by(2).copied().collect();
+        let odds: Vec<Transfer> = transfers.iter().skip(1).step_by(2).copied().collect();
+        validate_transfers_mapped(&evens, &present).expect("even pairs are a legal round");
+        validate_transfers_mapped(&odds, &present).expect("odd pairs are a legal round");
+        // Absent endpoint: a dead rank in a transfer must be rejected.
+        if let Some(dead) = (0..1024).find(|r| present.binary_search(r).is_err()) {
+            let bad = vec![Transfer { donor: dead, receiver: present[0], amount: 1 }];
+            assert!(validate_transfers_mapped(&bad, &present).is_err());
+        }
+        // Non-neighbor endpoints must be rejected.
+        let far = vec![Transfer { donor: present[0], receiver: present[5], amount: 1 }];
+        assert!(validate_transfers_mapped(&far, &present).is_err());
     }
 }
