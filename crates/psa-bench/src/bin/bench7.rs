@@ -1,0 +1,97 @@
+//! `bench7` — emit the session-pool service export (`BENCH_7.json`).
+//!
+//! ```text
+//! bench7 [--sessions 100,300,1000] [--frames F] [--particles P]
+//!        [--seed S] [--out PATH]
+//! ```
+//!
+//! Runs the `psa_sessions::SessionManager` service sweep (see
+//! `psa_bench::export7`): session counts × {snow, vortex} pools of 8
+//! worker lanes, recording sessions/sec, p50/p99 frame latency, mean
+//! queue wait, and slot-arena health, with one solo-parity spot check per
+//! cell. Exits non-zero if any metric is NaN/degenerate, any pool left a
+//! session unfinished, or any parity check failed. The CI smoke tier runs
+//! `--sessions 20,50` with a trimmed workload; the full defaults reach
+//! the 1,000-session point.
+
+use psa_bench::export7;
+
+struct Args {
+    sessions: Vec<usize>,
+    frames: u64,
+    particles: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut sessions: Vec<usize> = export7::BENCH7_SESSIONS.to_vec();
+    let mut frames = 10;
+    let mut particles = 300;
+    let mut seed = 0xBE7C_0007;
+    let mut out = "BENCH_7.json".to_string();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sessions" => {
+                let list = args.next().expect("--sessions needs a comma-separated list");
+                sessions = list
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--sessions entries must be integers"))
+                    .collect();
+            }
+            "--frames" => {
+                frames = args.next().and_then(|v| v.parse().ok()).expect("--frames needs a number");
+            }
+            "--particles" => {
+                particles =
+                    args.next().and_then(|v| v.parse().ok()).expect("--particles needs a number");
+            }
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).expect("--seed needs a number");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if sessions.is_empty() {
+        eprintln!("--sessions must name at least one pool size");
+        std::process::exit(2);
+    }
+    Args { sessions, frames, particles, seed, out }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "collecting BENCH_7 (sessions {:?}, {} frames x {} particles/system, seed {:#x})",
+        args.sessions, args.frames, args.particles, args.seed
+    );
+    let data = export7::collect7(&args.sessions, args.frames, args.particles, args.seed);
+    if let Err(e) = data.validate() {
+        eprintln!("BENCH_7 validation failed: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&args.out, data.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    for c in &data.cells {
+        eprintln!(
+            "{:<8} {:>5} sessions  {:>8.2} sessions/s  p50 {:>8.4}s  p99 {:>8.4}s  wait {:>8.4}s  wall {:>6.2}s",
+            c.workload,
+            c.sessions,
+            c.sessions_per_sec,
+            c.p50_latency,
+            c.p99_latency,
+            c.mean_queue_wait,
+            c.wall_seconds
+        );
+    }
+    println!("wrote {}", args.out);
+}

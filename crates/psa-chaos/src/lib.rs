@@ -9,7 +9,11 @@
 //! * [`matrix`] — the scenario-matrix runner: each (workload, scenario)
 //!   cell simulates twice, checks every frame rendered, the Figure-2 order
 //!   held, crashes were declared and absorbed, and gates on the replay
-//!   fingerprints being byte-identical.
+//!   fingerprints being byte-identical;
+//! * [`sessions`] — pool-level chaos against `psa-sessions`: a worker
+//!   lane dies mid-dispatch, the victim session is re-queued from frame
+//!   0, and the gate checks completion, solo-fingerprint parity under the
+//!   fault, and byte-identical replay of the whole pool run.
 //!
 //! Determinism discipline is identical to the rest of the workspace: plans
 //! derive from `psa_math::Rng64` streams, delivery draws inside a run come
@@ -19,6 +23,8 @@
 
 pub mod matrix;
 pub mod scenario;
+pub mod sessions;
 
 pub use matrix::{run_case, run_matrix, CaseOutcome, MatrixConfig, Workload};
 pub use scenario::{full_set, smoke_set, Scenario};
+pub use sessions::{run_session_chaos, SessionChaosConfig, SessionChaosOutcome};

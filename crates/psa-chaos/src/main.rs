@@ -11,7 +11,9 @@
 
 use std::process::ExitCode;
 
-use psa_chaos::{full_set, run_matrix, smoke_set, MatrixConfig};
+use psa_chaos::{
+    full_set, run_matrix, run_session_chaos, smoke_set, MatrixConfig, SessionChaosConfig,
+};
 
 fn main() -> ExitCode {
     let mut mc = MatrixConfig::default();
@@ -88,8 +90,29 @@ fn main() -> ExitCode {
             println!("    !! {f}");
         }
     }
+    // Pool-level gate: a session-pool worker dies mid-run; every session
+    // must still complete with solo-parity fingerprints and replay exactly.
+    let sc = SessionChaosConfig { seed: mc.seed ^ 0x5E55, ..SessionChaosConfig::default() };
+    let session_outcome = run_session_chaos(&sc);
+    println!(
+        "sessions   worker-loss        {:>6} {:>8} {:>6} {:>9} {:>18x}  {}",
+        session_outcome.completed,
+        "-",
+        session_outcome.lanes_lost,
+        session_outcome.requeues,
+        session_outcome.fingerprints.first().copied().unwrap_or(0),
+        if session_outcome.passed() { "ok" } else { "FAIL" }
+    );
+    for f in &session_outcome.failures {
+        failed += 1;
+        println!("    !! {f}");
+    }
+
     if failed == 0 {
-        println!("chaos: all {} cells passed (replay byte-identical)", outcomes.len());
+        println!(
+            "chaos: all {} cells passed (replay byte-identical, session pool included)",
+            outcomes.len() + 1
+        );
         ExitCode::SUCCESS
     } else {
         println!("chaos: {failed} failure(s)");

@@ -19,7 +19,7 @@
 //!    [`ActionOutcome`]s are folded in ascending chunk index.
 //!
 //! Actions that must see the whole store at once (the `retain`-based
-//! killers) opt out via [`Action::apply_chunk`] returning `None`; the
+//! killers) opt out via `Action::apply_chunk` returning `None`; the
 //! kernel runs them serially on the per-action stream, which is equally
 //! worker-independent.
 //!

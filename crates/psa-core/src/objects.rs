@@ -71,8 +71,8 @@ impl ExternalObject {
     }
 
     /// Resolve a bounce: reflect the velocity about the contact normal with
-    /// `restitution` ∈ [0,1] scaling the normal component and `friction`
-    /// ∈ [0,1] damping the tangential component, and push the position out
+    /// `restitution` ∈ \[0,1\] scaling the normal component and `friction`
+    /// ∈ \[0,1\] damping the tangential component, and push the position out
     /// of penetration.
     pub fn bounce(
         &self,

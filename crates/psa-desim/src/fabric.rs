@@ -1,7 +1,7 @@
 //! The event-heap message fabric.
 //!
 //! [`EventFabric`] implements the shared engine's
-//! [`Fabric`](psa_runtime::protocol::Fabric) contract over a discrete-event
+//! [`Fabric`] contract over a discrete-event
 //! core: every accepted send becomes an *arrival event* on the
 //! [`EventQueue`], stamped with the exact delivery time the
 //! [`WireState`] cost model charged (sender CPU, NIC/medium occupancy,

@@ -106,7 +106,7 @@ pub fn render_streaks(
 }
 
 /// Render external objects as flat-shaded silhouettes (the image generator
-/// is also responsible for "render[ing] external objects that exist in the
+/// is also responsible for "render\[ing\] external objects that exist in the
 /// simulation", paper §3.2.4). A coarse screen-space point-membership test
 /// is plenty for scene context.
 pub fn render_objects(fb: &mut Framebuffer, camera: &Camera, objects: &[(ExternalObject, Vec3)]) {

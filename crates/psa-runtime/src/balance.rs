@@ -148,6 +148,27 @@ pub struct Transfer {
 /// the same transfers on every executor, which is what keeps same-seed
 /// fingerprints byte-identical. [`validate_round`] checks the structural
 /// contract (debug assertions + the trait-generic property suite).
+///
+/// ```
+/// use psa_runtime::{Balancer, BalancerConfig, LoadInfo};
+///
+/// // The paper's §3.2.5 walk on a 4-rank chain with rank 0 overloaded:
+/// let strategy = psa_runtime::strategy_for(&psa_runtime::BalanceMode::dynamic())
+///     .expect("dynamic mode selects the neighbor-pair strategy");
+/// let loads = [
+///     LoadInfo { count: 400, time: 4.0e-3 },
+///     LoadInfo { count: 100, time: 1.0e-3 },
+///     LoadInfo { count: 100, time: 1.0e-3 },
+///     LoadInfo { count: 100, time: 1.0e-3 },
+/// ];
+/// let present = [0, 1, 2, 3]; // nobody crashed
+/// let transfers =
+///     strategy.decide(&loads, &[1.0; 4], &present, 0, &BalancerConfig::fixed(10));
+/// // Round 0 starts at pair (0, 1): the overloaded rank donates downhill.
+/// assert_eq!(transfers.len(), 1);
+/// assert_eq!((transfers[0].donor, transfers[0].receiver), (0, 1));
+/// assert!(transfers[0].amount <= loads[0].count);
+/// ```
 pub trait Balancer {
     /// Stable strategy label (bench columns, trace annotations).
     fn name(&self) -> &'static str;

@@ -24,6 +24,8 @@
 //! real ranks, so degraded rounds (dead ranks collapsed out of `present`)
 //! work identically for every strategy — the `evaluate_present` contract.
 
+#![deny(missing_docs)]
+
 use crate::balance::{
     evaluate, evaluate_decentralized, map_to_present, pair_move, Balancer, BalancerConfig,
     LoadInfo, Transfer,

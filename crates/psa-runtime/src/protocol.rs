@@ -12,9 +12,9 @@
 //!   event-heap fabric. Both charge costs through the identical
 //!   `netsim::WireState` arithmetic, which is why their reports are
 //!   fingerprint-identical.
-//! * [`calculator_main`] / [`manager_main`] / [`image_generator_main`] are
+//! * `calculator_main` / `manager_main` / `image_generator_main` are
 //!   the SPMD role bodies the threaded executor spawns on real threads.
-//! * [`stream`] and the RNG tags are the one definition of the seed → RNG
+//! * `stream` and the RNG tags are the one definition of the seed → RNG
 //!   derivation every executor shares (a copy that drifted would silently
 //!   fork the particle trajectories).
 //!
@@ -253,6 +253,12 @@ pub struct Engine<F: Fabric> {
     lost: u64,
     /// Deadline-expired receives in the current frame.
     frame_timeouts: u64,
+    /// Next frame [`Engine::step_frame`] will run (== `cfg.frames` once the
+    /// animation is complete).
+    next_frame: u64,
+    /// Makespan at the end of the previous stepped frame (per-frame time
+    /// deltas are computed against this).
+    prev_makespan: f64,
     trace: Trace,
     /// Per-phase observability recorder (quiet: reads clocks, never moves
     /// them). Disabled unless the executor asked for phases.
@@ -330,6 +336,8 @@ impl<F: Fabric> Engine<F> {
             dead_events: Vec::new(),
             lost: 0,
             frame_timeouts: 0,
+            next_frame: 0,
+            prev_makespan: 0.0,
             scene,
             cfg,
             cost,
@@ -576,30 +584,58 @@ impl<F: Fabric> Engine<F> {
         let mut frames = Vec::with_capacity(self.cfg.frames as usize);
         let outcome = self.run_frames(&mut frames);
         let trace = std::mem::take(&mut self.trace);
-        let phases = std::mem::replace(&mut self.rec, Recorder::disabled()).finish();
-        let result = outcome.map(|()| {
-            let kept: Vec<FrameReport> =
-                frames.into_iter().filter(|f| f.frame >= self.cfg.warmup).collect();
-            RunReport {
-                label: self.cfg.label(),
-                cluster: cluster_label,
-                calculators: self.n,
-                total_time: self.net.makespan(),
-                frames: kept,
-                traffic: self.net.stats(),
-                dead_ranks: self.dead_events.clone(),
-                lost_particles: (self.lost as f64 * self.scale) as u64,
-                phases,
-            }
-        });
+        let result = outcome.map(|()| self.finish_report(cluster_label, frames));
         (result, trace)
     }
 
-    fn run_frames(&mut self, frames: &mut Vec<FrameReport>) -> Result<(), ProtocolError> {
-        let n_sys = self.scene.systems.len();
-        let mut prev_makespan = 0.0;
+    /// Assemble the [`RunReport`] after every frame has been stepped (the
+    /// caller holds the per-frame reports [`Engine::step_frame`] returned).
+    /// Warm-up frames are filtered here, exactly as [`Engine::run`] does.
+    pub fn finish_report(&mut self, cluster_label: String, frames: Vec<FrameReport>) -> RunReport {
+        let phases = std::mem::replace(&mut self.rec, Recorder::disabled()).finish();
+        let kept: Vec<FrameReport> =
+            frames.into_iter().filter(|f| f.frame >= self.cfg.warmup).collect();
+        RunReport {
+            label: self.cfg.label(),
+            cluster: cluster_label,
+            calculators: self.n,
+            total_time: self.net.makespan(),
+            frames: kept,
+            traffic: self.net.stats(),
+            dead_ranks: self.dead_events.clone(),
+            lost_particles: (self.lost as f64 * self.scale) as u64,
+            phases,
+        }
+    }
 
-        for frame in 0..self.cfg.frames {
+    /// Frames still to run before the animation completes.
+    pub fn frames_remaining(&self) -> u64 {
+        self.cfg.frames - self.next_frame
+    }
+
+    fn run_frames(&mut self, frames: &mut Vec<FrameReport>) -> Result<(), ProtocolError> {
+        while let Some(fr) = self.step_frame()? {
+            frames.push(fr);
+        }
+        Ok(())
+    }
+
+    /// Run the next frame of the animation and return its report, or
+    /// `Ok(None)` once every configured frame has run.
+    ///
+    /// This is the cooperative-scheduling entry point: the session layer
+    /// interleaves many engines by stepping each a frame (or a slice of
+    /// frames) at a time. A full run is exactly `step_frame` until `None`
+    /// ([`Engine::run`] is implemented that way), so a stepped engine's
+    /// state — and therefore its report fingerprint — is byte-identical to
+    /// a solo run's no matter how steps interleave with other engines.
+    pub fn step_frame(&mut self) -> Result<Option<FrameReport>, ProtocolError> {
+        if self.next_frame >= self.cfg.frames {
+            return Ok(None);
+        }
+        let frame = self.next_frame;
+        let n_sys = self.scene.systems.len();
+        {
             if self.rec.is_enabled() {
                 self.frame_stats_mark = self.net.stats();
             }
@@ -676,14 +712,14 @@ impl<F: Fabric> Engine<F> {
                 .collect();
             fr.imbalance = imbalance(&counts);
             let mk = self.net.makespan();
-            fr.frame_time = mk - prev_makespan;
-            prev_makespan = mk;
+            fr.frame_time = mk - self.prev_makespan;
+            self.prev_makespan = mk;
             fr.timeouts = self.frame_timeouts;
             self.frame_timeouts = 0;
             self.flush_frame_counters(frame, &fr);
-            frames.push(fr);
+            self.next_frame += 1;
+            Ok(Some(fr))
         }
-        Ok(())
     }
 
     /// Creation at the manager (paper §3.2.1): emit, route by domain, ship

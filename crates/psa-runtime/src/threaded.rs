@@ -7,9 +7,9 @@
 //! that the model parallelizes — the virtual executor is the instrument
 //! that reproduces the paper's cluster numbers.
 //!
-//! The role bodies themselves — [`crate::protocol::calculator_main`],
-//! [`crate::protocol::manager_main`],
-//! [`crate::protocol::image_generator_main`] — live in the shared protocol
+//! The role bodies themselves — `crate::protocol::calculator_main`,
+//! `crate::protocol::manager_main`,
+//! `crate::protocol::image_generator_main` — live in the shared protocol
 //! module next to the virtual engine, so all executors evolve one protocol
 //! implementation. This file owns only what is thread-specific: spawning,
 //! joining, error aggregation, and the render sink.

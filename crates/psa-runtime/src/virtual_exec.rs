@@ -10,7 +10,7 @@
 //! The protocol itself lives in [`crate::protocol`]: `VirtualSim` is the
 //! thin shell that builds the queue-stepped [`FaultyVirtualNet`] fabric
 //! from the cluster's network model and hands it to the shared
-//! [`Engine`](crate::protocol::Engine). The event-driven executor in
+//! [`Engine`]. The event-driven executor in
 //! `psa-desim` drives the *same* engine over an event-heap fabric; the two
 //! produce fingerprint-identical reports.
 //!

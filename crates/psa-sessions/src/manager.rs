@@ -1,0 +1,707 @@
+//! The session manager: admission, the cooperative dispatch rotation, and
+//! the worker-lane clock arithmetic.
+//!
+//! The pool multiplexes *sessions* (whole seeded animation runs) over a
+//! fixed set of worker lanes. Scheduling is cooperative frame-slicing: a
+//! dispatch gives one session at most [`PoolConfig::slice_frames`] frames
+//! on the earliest-free lane, then the session goes to the back of the
+//! rotation — so a 1,000-frame epic never starves a 30-frame clip, and
+//! every session's frame-completion times are a pure function of the
+//! admission sequence. Each session drives its own [`Engine`] over its
+//! own [`EventFabric`] (the engine state never leaks
+//! between sessions), which is why a session's report is byte-identical
+//! to a solo run of its derived seed no matter what ran next to it.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use netsim::{FaultPlan, FaultPolicy};
+use psa_desim::EventFabric;
+use psa_runtime::msg::ProtocolError;
+use psa_runtime::protocol::{node_layout, Engine};
+use psa_runtime::report::FrameReport;
+use psa_runtime::trace::Trace;
+use psa_trace::SessionCounters;
+
+use crate::admission::{AdmissionConfig, AdmissionError};
+use crate::session::{derive_session_seed, SessionId, SessionOutcome, SessionSpec, SessionState};
+use crate::slot::{SlotPool, SlotStats, SlotTicket};
+
+/// Pool-level configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Worker lanes. A lane runs one session's frames at a time; the
+    /// session's own cluster spec models the parallelism *inside* a run.
+    pub workers: usize,
+    /// Frames a session may run per dispatch before yielding the lane.
+    pub slice_frames: u64,
+    /// Admission bounds (queue, slots, per-tenant caps).
+    pub admission: AdmissionConfig,
+    /// Pool base seed; session `k` runs under
+    /// [`derive_session_seed`]`(base_seed, k)`.
+    pub base_seed: u64,
+    /// Record per-session phase timings (quiet: fingerprints unchanged).
+    pub instrument: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 4,
+            slice_frames: 2,
+            admission: AdmissionConfig::default(),
+            base_seed: 0x5E55_0000,
+            instrument: false,
+        }
+    }
+}
+
+/// A deterministic pool-level fault, injected by the chaos layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolFault {
+    /// The lane chosen for dispatch number `at_dispatch` (1-based) dies at
+    /// that moment. The in-flight slice is lost with it: the session's
+    /// partial run is discarded and the session re-queued from frame 0
+    /// (no checkpoint layer yet — restart is the recovery). The pool
+    /// never kills its last lane; a loss that would is ignored.
+    WorkerLoss {
+        /// 1-based dispatch count the loss strikes at.
+        at_dispatch: u64,
+    },
+}
+
+/// One worker lane: a virtual clock plus liveness.
+#[derive(Clone, Copy, Debug)]
+struct Lane {
+    busy_until: f64,
+    alive: bool,
+}
+
+/// Book-keeping for one admitted session.
+struct SessionEntry {
+    spec: SessionSpec,
+    seed: u64,
+    state: SessionState,
+    ticket: Option<SlotTicket>,
+    first_dispatch: Option<f64>,
+    /// Pool time the session's latest frame completed at.
+    last_done: f64,
+    counters: SessionCounters,
+}
+
+/// Everything a finished pool run reports.
+#[derive(Clone, Debug, Default)]
+pub struct PoolReport {
+    /// Completed sessions, in completion order.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Sessions ended by a protocol error (healthy specs never do).
+    pub failed: Vec<(SessionId, ProtocolError)>,
+    /// Sessions the admission controller dropped.
+    pub rejected: Vec<SessionId>,
+    /// Pool-virtual time the last session completed at.
+    pub makespan: f64,
+    /// Total frame-slice dispatches.
+    pub dispatches: u64,
+    /// Lanes lost to [`PoolFault::WorkerLoss`].
+    pub lanes_lost: usize,
+    /// Slot-arena statistics (recycle count, high water).
+    pub slot_stats: SlotStats,
+}
+
+impl PoolReport {
+    /// Completed sessions.
+    pub fn completed(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Completed sessions per pool-virtual second; `0.0` on a degenerate
+    /// pool run (nothing completed or zero makespan).
+    pub fn sessions_per_sec(&self) -> f64 {
+        if self.outcomes.is_empty() || self.makespan.is_nan() || self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / self.makespan
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of frame latency across every
+    /// completed session's frames; `0.0` when no frames were recorded.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        let mut all: Vec<f64> =
+            self.outcomes.iter().flat_map(|o| o.frame_latencies.iter().copied()).collect();
+        if all.is_empty() {
+            return 0.0;
+        }
+        all.sort_by(f64::total_cmp);
+        let last = all.len() - 1;
+        let pos = (q.clamp(0.0, 1.0) * last as f64).round() as usize;
+        all.get(pos.min(last)).copied().unwrap_or(0.0)
+    }
+
+    /// Mean admission-queue wait over completed sessions; `0.0` when none
+    /// completed.
+    pub fn mean_queue_wait(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| o.counters.queue_wait).sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// The outcome of one session, if it completed.
+    pub fn outcome_for(&self, id: SessionId) -> Option<&SessionOutcome> {
+        self.outcomes.iter().find(|o| o.id == id)
+    }
+}
+
+/// The multi-tenant session scheduler.
+pub struct SessionManager {
+    cfg: PoolConfig,
+    lanes: Vec<Lane>,
+    entries: Vec<SessionEntry>,
+    /// Dispatch rotation: sessions holding a slot, in yield order.
+    ready: VecDeque<usize>,
+    /// The bounded admission queue: sessions waiting for a slot.
+    pending: VecDeque<usize>,
+    slots: SlotPool,
+    tenant_running: BTreeMap<u32, usize>,
+    tenant_queued: BTreeMap<u32, usize>,
+    faults: VecDeque<PoolFault>,
+    dispatches: u64,
+    lanes_lost: usize,
+    report: PoolReport,
+}
+
+impl SessionManager {
+    /// A pool with `cfg.workers` idle lanes and an empty slot arena of
+    /// `cfg.admission.max_in_flight` slots.
+    pub fn new(cfg: PoolConfig) -> Self {
+        assert!(cfg.workers >= 1, "a pool needs at least one worker lane");
+        assert!(cfg.slice_frames >= 1, "a dispatch must run at least one frame");
+        assert!(
+            cfg.admission.per_tenant_in_flight >= 1,
+            "a zero in-flight cap would deadlock every tenant"
+        );
+        SessionManager {
+            lanes: vec![Lane { busy_until: 0.0, alive: true }; cfg.workers],
+            entries: Vec::new(),
+            ready: VecDeque::new(),
+            pending: VecDeque::new(),
+            slots: SlotPool::new(cfg.admission.max_in_flight),
+            tenant_running: BTreeMap::new(),
+            tenant_queued: BTreeMap::new(),
+            faults: VecDeque::new(),
+            dispatches: 0,
+            lanes_lost: 0,
+            report: PoolReport::default(),
+            cfg,
+        }
+    }
+
+    /// Inject a deterministic pool fault (chaos scenarios).
+    pub fn with_fault(mut self, fault: PoolFault) -> Self {
+        self.faults.push_back(fault);
+        self
+    }
+
+    /// Admit a session.
+    ///
+    /// Returns `Ok(id)` when the session starts immediately. Both
+    /// backpressure outcomes are typed errors: [`AdmissionError::Queued`]
+    /// means the session is waiting in the bounded queue (it *will* run —
+    /// the error carries its id), [`AdmissionError::Rejected`] means it
+    /// was dropped at an admission bound.
+    ///
+    /// ```
+    /// use psa_sessions::{AdmissionConfig, AdmissionError, PoolConfig, SessionManager, SessionSpec, TenantId};
+    /// use psa_workloads::{paper_run_config, snow_scene, myrinet_gcc, WorkloadSize};
+    ///
+    /// let size = WorkloadSize::test();
+    /// let spec = SessionSpec {
+    ///     tenant: TenantId(0),
+    ///     scene: snow_scene(size),
+    ///     cfg: paper_run_config(4, 0.04),
+    ///     cluster: myrinet_gcc(2, 1),
+    ///     cost: size.cost_model(),
+    ///     arrival: 0.0,
+    /// };
+    /// // One slot: the first session runs, the second queues behind it.
+    /// let admission = AdmissionConfig { max_in_flight: 1, ..AdmissionConfig::unbounded(1) };
+    /// let mut pool = SessionManager::new(PoolConfig { admission, ..PoolConfig::default() });
+    /// let first = pool.admit(spec.clone()).expect("slot is free");
+    /// match pool.admit(spec) {
+    ///     Err(AdmissionError::Queued { id, position: 0 }) => assert_ne!(id, first),
+    ///     other => panic!("expected backpressure, got {other:?}"),
+    /// }
+    /// let report = pool.run_to_completion();
+    /// assert_eq!(report.completed(), 2);
+    /// ```
+    pub fn admit(&mut self, spec: SessionSpec) -> Result<SessionId, AdmissionError> {
+        let id = SessionId(self.entries.len() as u64);
+        let seed = derive_session_seed(self.cfg.base_seed, id);
+        let tenant = spec.tenant;
+        let running = self.tenant_running.get(&tenant.0).copied().unwrap_or(0);
+        let queued = self.tenant_queued.get(&tenant.0).copied().unwrap_or(0);
+        let decision =
+            self.cfg.admission.decide(running, queued, self.pending.len(), self.slots.has_free());
+        let arrival = spec.arrival;
+        let mut entry = SessionEntry {
+            spec,
+            seed,
+            state: SessionState::Admitted,
+            ticket: None,
+            first_dispatch: None,
+            last_done: arrival,
+            counters: SessionCounters::default(),
+        };
+        let index = self.entries.len();
+        match decision {
+            Ok(true) => {
+                entry.ticket = self.slots.acquire();
+                debug_assert!(entry.ticket.is_some(), "decide() saw a free slot");
+                entry.state = SessionState::Running;
+                self.entries.push(entry);
+                self.ready.push_back(index);
+                *self.tenant_running.entry(tenant.0).or_insert(0) += 1;
+                Ok(id)
+            }
+            Ok(false) => {
+                entry.state = SessionState::Queued;
+                self.entries.push(entry);
+                self.pending.push_back(index);
+                *self.tenant_queued.entry(tenant.0).or_insert(0) += 1;
+                Err(AdmissionError::Queued { id, position: self.pending.len() - 1 })
+            }
+            Err(reason) => {
+                entry.state = SessionState::Rejected;
+                self.entries.push(entry);
+                self.report.rejected.push(id);
+                Err(AdmissionError::Rejected { id, tenant, reason })
+            }
+        }
+    }
+
+    /// The lifecycle state of a session (admitted or rejected ids only).
+    pub fn state_of(&self, id: SessionId) -> Option<SessionState> {
+        self.entries.get(id.0 as usize).map(|e| e.state)
+    }
+
+    /// Drive the pool until every admitted session has completed (or
+    /// failed), then hand back the report. Deterministic: the outcome is a
+    /// pure function of the admission sequence, the pool config, and the
+    /// injected faults.
+    pub fn run_to_completion(mut self) -> PoolReport {
+        loop {
+            if self.ready.is_empty() {
+                if self.pending.is_empty() || !self.promote_queued() {
+                    break;
+                }
+                continue;
+            }
+            let lane = self.earliest_lane();
+            self.dispatches += 1;
+            if self.worker_loss_strikes() {
+                self.kill_lane(lane);
+                continue;
+            }
+            self.dispatch(lane);
+            self.promote_queued();
+        }
+        self.report.dispatches = self.dispatches;
+        self.report.lanes_lost = self.lanes_lost;
+        self.report.slot_stats = self.slots.stats();
+        self.report
+    }
+
+    /// The alive lane that frees up first (ties break to the lowest
+    /// index, so the loop is deterministic).
+    fn earliest_lane(&self) -> usize {
+        let mut best = usize::MAX;
+        let mut best_t = f64::INFINITY;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if lane.alive && lane.busy_until.total_cmp(&best_t).is_lt() {
+                best = i;
+                best_t = lane.busy_until;
+            }
+        }
+        debug_assert!(best != usize::MAX, "the pool never loses its last lane");
+        best
+    }
+
+    /// Does a `WorkerLoss` fault strike the current dispatch? (Consumes
+    /// the fault; losses that would kill the last lane are dropped.)
+    fn worker_loss_strikes(&mut self) -> bool {
+        let strikes = matches!(
+            self.faults.front(),
+            Some(PoolFault::WorkerLoss { at_dispatch }) if *at_dispatch == self.dispatches
+        );
+        if !strikes {
+            return false;
+        }
+        self.faults.pop_front();
+        self.lanes.iter().filter(|l| l.alive).count() > 1
+    }
+
+    /// Lane death: the dispatched slice is lost, its session restarts from
+    /// frame 0 at the back of the rotation.
+    fn kill_lane(&mut self, lane: usize) {
+        if let Some(l) = self.lanes.get_mut(lane) {
+            l.alive = false;
+        }
+        self.lanes_lost += 1;
+        let Some(index) = self.ready.pop_front() else {
+            return;
+        };
+        if let Some(entry) = self.entries.get_mut(index) {
+            entry.counters.requeues += 1;
+            entry.counters.frames = 0;
+            if let Some(slot) = entry.ticket.and_then(|t| self.slots.get_mut(t)) {
+                slot.engine = None;
+                slot.frames.clear();
+                slot.latencies.clear();
+            }
+        }
+        self.ready.push_back(index);
+    }
+
+    /// Run one frame slice of the rotation head on `lane`.
+    fn dispatch(&mut self, lane: usize) {
+        let Some(index) = self.ready.pop_front() else {
+            return;
+        };
+        let Some(entry) = self.entries.get_mut(index) else {
+            return;
+        };
+        let Some(ticket) = entry.ticket else {
+            return;
+        };
+        let t0 = self.lanes.get(lane).map(|l| l.busy_until).unwrap_or(0.0);
+        if entry.first_dispatch.is_none() {
+            entry.first_dispatch = Some(t0);
+            entry.counters.queue_wait = t0 - entry.spec.arrival;
+        }
+        entry.counters.slices += 1;
+        let instrument = self.cfg.instrument;
+        let Some(slot) = self.slots.get_mut(ticket) else {
+            return;
+        };
+        let engine =
+            slot.engine.get_or_insert_with(|| build_engine(&entry.spec, entry.seed, instrument));
+        let mut t = t0;
+        let mut outcome = SliceOutcome::Yielded;
+        for _ in 0..self.cfg.slice_frames {
+            match engine.step_frame() {
+                Ok(Some(fr)) => {
+                    t += fr.frame_time;
+                    let latency = if slot.latencies.is_empty() {
+                        t - entry.spec.arrival
+                    } else {
+                        t - entry.last_done
+                    };
+                    slot.latencies.push(latency);
+                    slot.frames.push(fr);
+                    entry.last_done = t;
+                    entry.counters.frames += 1;
+                }
+                Ok(None) => {
+                    outcome = SliceOutcome::Finished;
+                    break;
+                }
+                Err(e) => {
+                    outcome = SliceOutcome::Failed(e);
+                    break;
+                }
+            }
+        }
+        if matches!(outcome, SliceOutcome::Yielded) && engine.frames_remaining() == 0 {
+            outcome = SliceOutcome::Finished;
+        }
+        if let Some(l) = self.lanes.get_mut(lane) {
+            l.busy_until = t;
+        }
+        self.report.makespan = self.report.makespan.max(t);
+        match outcome {
+            SliceOutcome::Yielded => self.ready.push_back(index),
+            SliceOutcome::Finished => self.finish_session(index, t),
+            SliceOutcome::Failed(e) => {
+                let id = SessionId(index as u64);
+                self.report.failed.push((id, e));
+                self.release(index, SessionState::Recycled);
+            }
+        }
+    }
+
+    /// Drain a completed session into its outcome and recycle its slot.
+    fn finish_session(&mut self, index: usize, finished_at: f64) {
+        let Some(entry) = self.entries.get_mut(index) else {
+            return;
+        };
+        entry.state = SessionState::Draining;
+        let Some(ticket) = entry.ticket else {
+            return;
+        };
+        let label = entry.spec.cluster.describe();
+        let Some(slot) = self.slots.get_mut(ticket) else {
+            return;
+        };
+        // Copy the staging spines out (drain keeps the slot's capacity for
+        // the next occupant — the arena's whole point).
+        let frames: Vec<FrameReport> = slot.frames.drain(..).collect();
+        let frame_latencies: Vec<f64> = slot.latencies.drain(..).collect();
+        let report = match slot.engine.as_mut() {
+            Some(engine) => engine.finish_report(label, frames),
+            None => return,
+        };
+        if let Some(phases) = &report.phases {
+            entry.counters.add_phase_totals(&phases.phase_totals());
+        }
+        let outcome = SessionOutcome {
+            id: SessionId(index as u64),
+            tenant: entry.spec.tenant,
+            seed: entry.seed,
+            fingerprint: report.fingerprint(),
+            report,
+            finished_at,
+            frame_latencies,
+            counters: entry.counters.clone(),
+        };
+        self.report.outcomes.push(outcome);
+        self.release(index, SessionState::Recycled);
+    }
+
+    /// Return a session's slot and tenant token.
+    fn release(&mut self, index: usize, state: SessionState) {
+        let Some(entry) = self.entries.get_mut(index) else {
+            return;
+        };
+        entry.state = state;
+        if let Some(ticket) = entry.ticket.take() {
+            self.slots.recycle(ticket);
+        }
+        if let Some(n) = self.tenant_running.get_mut(&entry.spec.tenant.0) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Move queued sessions into the rotation while slots and tenant
+    /// headroom allow — FIFO among tenants with headroom (a capped
+    /// tenant's backlog never blocks the others). Returns whether any
+    /// session was promoted.
+    fn promote_queued(&mut self) -> bool {
+        let mut promoted = false;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if !self.slots.has_free() {
+                break;
+            }
+            let Some(&index) = self.pending.get(i) else {
+                break;
+            };
+            let tenant = match self.entries.get(index) {
+                Some(e) => e.spec.tenant,
+                None => break,
+            };
+            let running = self.tenant_running.get(&tenant.0).copied().unwrap_or(0);
+            if running >= self.cfg.admission.per_tenant_in_flight {
+                i += 1;
+                continue;
+            }
+            self.pending.remove(i);
+            if let Some(n) = self.tenant_queued.get_mut(&tenant.0) {
+                *n = n.saturating_sub(1);
+            }
+            if let Some(entry) = self.entries.get_mut(index) {
+                entry.ticket = self.slots.acquire();
+                entry.state = SessionState::Running;
+            }
+            *self.tenant_running.entry(tenant.0).or_insert(0) += 1;
+            self.ready.push_back(index);
+            promoted = true;
+        }
+        promoted
+    }
+}
+
+/// What one dispatched slice ended as.
+enum SliceOutcome {
+    Yielded,
+    Finished,
+    Failed(ProtocolError),
+}
+
+/// Build a session's engine exactly the way a solo `EventSim` run would,
+/// with the derived seed substituted in — byte-identical state evolution
+/// is what the parity suite pins.
+fn build_engine(spec: &SessionSpec, seed: u64, instrument: bool) -> Engine<EventFabric> {
+    let placement = spec.cluster.placement();
+    let n = placement.calculators();
+    let mut cfg = spec.cfg.clone();
+    cfg.seed = seed;
+    let plan = FaultPlan::none(seed, n + 2);
+    let (node_of, node_count) = node_layout(&placement);
+    let fabric = EventFabric::new(spec.cluster.net.clone(), node_of, node_count, plan);
+    Engine::new(
+        spec.scene.clone(),
+        cfg,
+        &placement,
+        spec.cost.clone(),
+        fabric,
+        FaultPolicy::default(),
+        Trace::disabled(),
+        instrument,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::RejectReason;
+    use psa_workloads::{myrinet_gcc, paper_run_config, snow_scene, WorkloadSize};
+
+    fn spec(tenant: u32) -> SessionSpec {
+        let size = WorkloadSize { systems: 1, particles_per_system: 120, scale: 1.0 };
+        SessionSpec {
+            tenant: TenantId(tenant),
+            scene: snow_scene(size),
+            cfg: paper_run_config(4, 0.04),
+            cluster: myrinet_gcc(2, 1),
+            cost: size.cost_model(),
+            arrival: 0.0,
+        }
+    }
+
+    use crate::session::TenantId;
+
+    fn pool(workers: usize, admission: AdmissionConfig) -> SessionManager {
+        SessionManager::new(PoolConfig {
+            workers,
+            slice_frames: 2,
+            admission,
+            base_seed: 0xABCD,
+            instrument: false,
+        })
+    }
+
+    #[test]
+    fn all_sessions_complete_and_recycle_slots() {
+        let mut p = pool(2, AdmissionConfig::unbounded(3));
+        for i in 0..6 {
+            let _ = p.admit(spec(i % 2));
+        }
+        let r = p.run_to_completion();
+        assert_eq!(r.completed(), 6);
+        assert!(r.failed.is_empty() && r.rejected.is_empty());
+        assert_eq!(r.slot_stats.recycled, 6, "every session recycled its slot");
+        assert!(r.slot_stats.high_water <= 3);
+        assert!(r.makespan > 0.0);
+        assert!(r.sessions_per_sec() > 0.0);
+        // Frame latencies: every session reported one per frame.
+        for o in &r.outcomes {
+            assert_eq!(o.frame_latencies.len() as u64, 4);
+            assert!(o.frame_latencies.iter().all(|l| *l > 0.0));
+        }
+    }
+
+    #[test]
+    fn admission_queues_then_rejects_at_bounds() {
+        let admission = AdmissionConfig {
+            max_in_flight: 1,
+            per_tenant_in_flight: 1,
+            queue_capacity: 1,
+            per_tenant_backlog: 1,
+        };
+        let mut p = pool(1, admission);
+        assert!(p.admit(spec(0)).is_ok());
+        match p.admit(spec(0)) {
+            Err(AdmissionError::Queued { id, position }) => {
+                assert_eq!(id, SessionId(1));
+                assert_eq!(position, 0);
+                assert_eq!(p.state_of(id), Some(SessionState::Queued));
+            }
+            other => panic!("expected Queued, got {other:?}"),
+        }
+        match p.admit(spec(0)) {
+            Err(AdmissionError::Rejected { reason, .. }) => {
+                assert_eq!(reason, RejectReason::QueueFull { capacity: 1 });
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        let r = p.run_to_completion();
+        assert_eq!(r.completed(), 2, "queued session ran after the first recycled");
+        assert_eq!(r.rejected.len(), 1);
+        // The queued session's queue_wait covers the head session's run.
+        let queued = r.outcome_for(SessionId(1)).unwrap();
+        assert!(queued.counters.queue_wait > 0.0);
+    }
+
+    #[test]
+    fn tenant_cap_holds_even_with_free_slots() {
+        let admission = AdmissionConfig {
+            max_in_flight: 4,
+            per_tenant_in_flight: 1,
+            queue_capacity: 16,
+            per_tenant_backlog: 16,
+        };
+        let mut p = pool(2, admission);
+        assert!(p.admit(spec(7)).is_ok());
+        // Same tenant: must queue despite three free slots.
+        assert!(matches!(p.admit(spec(7)), Err(AdmissionError::Queued { .. })));
+        let r = p.run_to_completion();
+        assert_eq!(r.completed(), 2);
+        assert!(r.slot_stats.high_water <= 2, "tenant cap kept the arena half-empty");
+    }
+
+    #[test]
+    fn cooperative_slicing_interleaves_sessions() {
+        // One lane, two sessions: with cooperative slicing the second
+        // session's first frame completes before the first session's last.
+        let mut p = pool(1, AdmissionConfig::unbounded(2));
+        let a = p.admit(spec(0)).unwrap();
+        let b = p.admit(spec(1)).unwrap();
+        let r = p.run_to_completion();
+        let a = r.outcome_for(a).unwrap();
+        let b = r.outcome_for(b).unwrap();
+        let a_last = a.finished_at;
+        let b_first = b.finished_at - b.frame_latencies.iter().skip(1).sum::<f64>();
+        assert!(
+            b_first < a_last,
+            "session b's first frame ({b_first}) must land before a's last ({a_last})"
+        );
+    }
+
+    #[test]
+    fn worker_loss_requeues_and_still_completes() {
+        let mut p = pool(2, AdmissionConfig::unbounded(4));
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            ids.push(p.admit(spec(i)).unwrap());
+        }
+        let p = p.with_fault(PoolFault::WorkerLoss { at_dispatch: 3 });
+        let r = p.run_to_completion();
+        assert_eq!(r.completed(), 4, "the re-queued session must still finish");
+        assert_eq!(r.lanes_lost, 1);
+        let requeued: u64 = r.outcomes.iter().map(|o| o.counters.requeues).sum();
+        assert_eq!(requeued, 1, "exactly one session restarted");
+    }
+
+    #[test]
+    fn last_lane_never_dies() {
+        let mut p = pool(1, AdmissionConfig::unbounded(2));
+        let _ = p.admit(spec(0));
+        let p = p.with_fault(PoolFault::WorkerLoss { at_dispatch: 1 });
+        let r = p.run_to_completion();
+        assert_eq!(r.completed(), 1);
+        assert_eq!(r.lanes_lost, 0, "a loss that would kill the last lane is dropped");
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_finite() {
+        let mut p = pool(2, AdmissionConfig::unbounded(4));
+        for i in 0..8 {
+            let _ = p.admit(spec(i));
+        }
+        let r = p.run_to_completion();
+        let p50 = r.latency_percentile(0.50);
+        let p99 = r.latency_percentile(0.99);
+        assert!(p50 > 0.0 && p50.is_finite());
+        assert!(p99 >= p50);
+    }
+}

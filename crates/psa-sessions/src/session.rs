@@ -1,0 +1,124 @@
+//! Session identity, specification, lifecycle, and per-session seeds.
+
+use cluster_sim::{ClusterSpec, CostModel};
+use psa_math::Rng64;
+use psa_runtime::{RunConfig, RunReport, Scene};
+use psa_trace::SessionCounters;
+
+/// Identifies one session for the lifetime of a [`SessionManager`]
+/// (admission order, starting at 0).
+///
+/// [`SessionManager`]: crate::SessionManager
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// Identifies the tenant (user/account) a session bills to. Backpressure
+/// is enforced per tenant so one heavy tenant cannot starve the others.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+/// Everything one session needs to run: whose it is, what it animates, and
+/// the resources its run is entitled to.
+///
+/// The spec's `cfg.seed` is ignored — the pool overwrites it with the seed
+/// derived from the pool's base seed and the session's id (see
+/// [`derive_session_seed`]), which is what makes multiplexed runs
+/// reproducible against solo runs.
+#[derive(Clone)]
+pub struct SessionSpec {
+    /// The tenant the session bills to.
+    pub tenant: TenantId,
+    /// The scene the session animates.
+    pub scene: Scene,
+    /// Run configuration (frames, balance mode, …); `seed` is overwritten.
+    pub cfg: RunConfig,
+    /// The simulated cluster the session's protocol engine runs on.
+    pub cluster: ClusterSpec,
+    /// The cost model matching the scene's workload size.
+    pub cost: CostModel,
+    /// Pool-virtual arrival time (0.0 = present at pool start). Queue
+    /// waits and first-frame latencies are measured from this.
+    pub arrival: f64,
+}
+
+/// Where a session is in its lifecycle.
+///
+/// The successful path is `Admitted → Queued → Running → Draining →
+/// Recycled`; `Admitted` sessions with a free slot and tenant headroom
+/// skip `Queued`. `Rejected` is the terminal state of a session the
+/// admission controller refused (its id is never dispatched).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// Accepted by admission control; not yet queued or scheduled.
+    Admitted,
+    /// Waiting in the bounded admission queue for a slot.
+    Queued,
+    /// Holding a slot; in the cooperative dispatch rotation.
+    Running,
+    /// All frames done; report being assembled, slot still held.
+    Draining,
+    /// Finished; the slot has been returned to the pool.
+    Recycled,
+    /// Refused by admission control (queue full or tenant over its
+    /// backlog cap).
+    Rejected,
+}
+
+/// Derive the seed session `id` runs under from the pool's base seed.
+///
+/// The recipe is the kernel's chunk-keyed RNG split (`base.split(key)`,
+/// see `psa_core::kernel`) applied at session granularity: every session
+/// gets a statistically independent stream that is a pure function of
+/// `(base_seed, session id)` — independent of admission order, worker
+/// count, slice length, and whatever else the pool multiplexes around it.
+/// A solo run configured with this seed is byte-identical to the session's
+/// multiplexed run; `tests/session_parity.rs` pins that.
+pub fn derive_session_seed(base_seed: u64, id: SessionId) -> u64 {
+    let mut stream = Rng64::new(base_seed).split(id.0);
+    stream.next_u64()
+}
+
+/// The result of one completed session.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// The session this outcome belongs to.
+    pub id: SessionId,
+    /// The tenant it billed to.
+    pub tenant: TenantId,
+    /// The seed the run actually used (derived, not the spec's).
+    pub seed: u64,
+    /// The run report, exactly as a solo run of `seed` would produce it.
+    pub report: RunReport,
+    /// [`RunReport::fingerprint`] of `report`, precomputed for gates.
+    pub fingerprint: u64,
+    /// Pool-virtual time the session's final frame completed at.
+    pub finished_at: f64,
+    /// Pool-virtual gap between consecutive frame completions as the
+    /// viewer sees them; the first entry is measured from `arrival`, so it
+    /// includes the admission-queue wait. Cleared on a worker-loss
+    /// restart — the latencies describe the playback that succeeded.
+    pub frame_latencies: Vec<f64>,
+    /// Scheduler and per-phase counters (phase times are all zero unless
+    /// the pool ran instrumented).
+    pub counters: SessionCounters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        let a = derive_session_seed(0x5EED, SessionId(0));
+        let b = derive_session_seed(0x5EED, SessionId(1));
+        assert_eq!(a, derive_session_seed(0x5EED, SessionId(0)));
+        assert_ne!(a, b);
+        assert_ne!(a, derive_session_seed(0x5EEE, SessionId(0)));
+    }
+
+    #[test]
+    fn derived_seed_matches_the_split_recipe() {
+        let mut by_hand = Rng64::new(42).split(7);
+        assert_eq!(derive_session_seed(42, SessionId(7)), by_hand.next_u64());
+    }
+}

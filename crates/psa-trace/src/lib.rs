@@ -26,8 +26,10 @@ pub mod clock;
 pub mod phase;
 pub mod recorder;
 pub mod report;
+pub mod session;
 
 pub use clock::{ClockKind, VirtualClock, WallClock};
 pub use phase::{Phase, PHASES, PHASE_COUNT};
 pub use recorder::{Counter, FaultEvent, FaultKind, Recorder, TraceError};
 pub use report::{FrameCounters, FrameTrace, TraceReport};
+pub use session::SessionCounters;

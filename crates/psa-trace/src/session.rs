@@ -1,0 +1,104 @@
+//! Per-session counters for the multi-tenant scheduler.
+//!
+//! A session (one seeded animation run multiplexed over the shared worker
+//! pool — see `psa-sessions`) is observed on two layers: the engine's
+//! per-phase virtual timings, aggregated here from the run's
+//! [`TraceReport`](crate::TraceReport), and scheduler-level counters the
+//! pool itself maintains — how long the session waited in the admission
+//! queue, how many frame slices it was dispatched in, and how often a lost
+//! worker forced it to restart. Like every trace type, the counters are
+//! derived measurement: they never feed back into scheduling decisions, so
+//! instrumented pools stay fingerprint-identical to bare ones.
+
+use crate::phase::{PHASES, PHASE_COUNT};
+
+/// Scheduler- and phase-level counters of one session.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionCounters {
+    /// Pool-virtual seconds between arrival and the first dispatch.
+    pub queue_wait: f64,
+    /// Frame slices the scheduler dispatched for this session.
+    pub slices: u64,
+    /// Times the session was re-queued from scratch after a worker loss.
+    pub requeues: u64,
+    /// Frames the session completed (restarted frames count once).
+    pub frames: u64,
+    /// Virtual seconds per protocol phase, summed over the session's run
+    /// (all zero when the pool ran uninstrumented).
+    pub phase_time: [f64; PHASE_COUNT],
+}
+
+impl SessionCounters {
+    /// Fold a run's per-phase totals into the session's accumulators.
+    pub fn add_phase_totals(&mut self, totals: &[f64; PHASE_COUNT]) {
+        for (acc, v) in self.phase_time.iter_mut().zip(totals.iter()) {
+            *acc += v;
+        }
+    }
+
+    /// Virtual seconds the session spent across all phases.
+    pub fn busy_time(&self) -> f64 {
+        self.phase_time.iter().sum()
+    }
+
+    /// One fixed-width table row: scheduler counters, then each phase's
+    /// share of the session's busy time (blank when uninstrumented).
+    pub fn format_row(&self, label: &str) -> String {
+        let mut row = format!(
+            "{label:<12} wait {:>9.4}s  slices {:>5}  requeues {:>2}  frames {:>5}",
+            self.queue_wait, self.slices, self.requeues, self.frames
+        );
+        let busy = self.busy_time();
+        if busy > 0.0 {
+            for (phase, t) in PHASES.iter().zip(self.phase_time.iter()) {
+                row.push_str(&format!("  {} {:>5.1}%", phase.name(), 100.0 * t / busy));
+            }
+        }
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    #[test]
+    fn phase_totals_accumulate() {
+        let mut c = SessionCounters::default();
+        let mut totals = [0.0; PHASE_COUNT];
+        totals[Phase::Compute.index()] = 2.0;
+        totals[Phase::Render.index()] = 1.0;
+        c.add_phase_totals(&totals);
+        c.add_phase_totals(&totals);
+        assert_eq!(c.busy_time(), 6.0);
+        assert_eq!(c.phase_time[Phase::Compute.index()], 4.0);
+    }
+
+    #[test]
+    fn row_formats_scheduler_counters_without_phases() {
+        let c = SessionCounters {
+            queue_wait: 0.25,
+            slices: 3,
+            requeues: 1,
+            frames: 12,
+            ..Default::default()
+        };
+        let row = c.format_row("s-7");
+        assert!(row.contains("s-7"));
+        assert!(row.contains("slices     3"));
+        assert!(!row.contains('%'), "uninstrumented sessions print no phase shares");
+    }
+
+    #[test]
+    fn row_includes_phase_shares_when_instrumented() {
+        let mut c = SessionCounters::default();
+        let mut totals = [0.0; PHASE_COUNT];
+        totals[Phase::Compute.index()] = 3.0;
+        totals[Phase::Exchange.index()] = 1.0;
+        c.add_phase_totals(&totals);
+        let row = c.format_row("s-0");
+        assert!(row.contains("compute  75.0%"), "{row}");
+        assert!(row.contains("exchange  25.0%"), "{row}");
+    }
+}

@@ -1,0 +1,30 @@
+// psa-verify-fixture: expect(unordered-collections)
+// Per-tenant in-flight accounting in a HashMap: queue promotion scans
+// "each tenant" in hasher order, so which queued session gets the freed
+// slot depends on the process's hash seed — two same-seed pool runs then
+// dispatch different sessions first and every latency percentile drifts.
+// The real pool keys its tenant tables with BTreeMap and promotes in
+// queue order.
+
+use std::collections::HashMap;
+
+pub struct TenantTable {
+    in_flight: HashMap<u32, usize>,
+}
+
+impl TenantTable {
+    pub fn release(&mut self, tenant: u32) {
+        if let Some(n) = self.in_flight.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    pub fn first_idle_tenant(&self) -> Option<u32> {
+        for (tenant, n) in &self.in_flight {
+            if *n == 0 {
+                return Some(*tenant);
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,28 @@
+// psa-verify-fixture: expect(wall-clock)
+// A session pool that measures queue wait with the host clock: the wait a
+// session reports now depends on machine load and admission wall timing,
+// so the same admission sequence produces different latency tables on
+// every run — and BENCH_7 stops replaying. Queue waits must be computed
+// from the pool-virtual lane clocks (`busy_until`), which advance only by
+// the virtual frame times the sessions' own fabrics report.
+
+use std::time::Instant;
+
+pub struct TimedAdmission {
+    arrivals: Vec<(u64, Instant)>,
+}
+
+impl TimedAdmission {
+    pub fn admit(&mut self, session: u64) {
+        self.arrivals.push((session, Instant::now()));
+    }
+
+    pub fn queue_wait_secs(&self, session: u64) -> f64 {
+        for (id, arrived) in &self.arrivals {
+            if *id == session {
+                return arrived.elapsed().as_secs_f64();
+            }
+        }
+        0.0
+    }
+}

@@ -29,6 +29,7 @@ pub const SIM_ROOTS: &[&str] = &[
     "crates/psa-chaos/src",
     "crates/psa-trace/src",
     "crates/psa-desim/src",
+    "crates/psa-sessions/src",
     "crates/netsim/src",
     "crates/cluster-sim/src",
 ];
@@ -76,6 +77,9 @@ pub const PANIC_ROOTS: &[&str] = &[
     "crates/psa-desim/src/fabric.rs",
     "crates/psa-desim/src/queue.rs",
     "crates/psa-desim/src/proc.rs",
+    "crates/psa-sessions/src/admission.rs",
+    "crates/psa-sessions/src/session.rs",
+    "crates/psa-sessions/src/slot.rs",
 ];
 
 /// Phase entry points of the taint analysis (matched by function name):
@@ -243,6 +247,34 @@ mod tests {
             "crates/psa-desim/src/fabric.rs",
             "crates/psa-desim/src/queue.rs",
             "crates/psa-desim/src/proc.rs",
+        ] {
+            assert!(PANIC_ROOTS.contains(&root), "{root} must be a panic root");
+        }
+    }
+
+    #[test]
+    fn sessions_crate_is_a_sim_root() {
+        // The pool multiplexes runs whose fingerprints must stay
+        // byte-identical to solo runs: a HashMap in the tenant tables, a
+        // wall clock in the lane arithmetic, or a stray thread would make
+        // scheduling order (and with it latency numbers) host-dependent.
+        for file in [
+            "crates/psa-sessions/src/manager.rs",
+            "crates/psa-sessions/src/slot.rs",
+            "crates/psa-sessions/src/main.rs",
+        ] {
+            let got = ids(file);
+            assert!(got.contains(&"unordered-collections"), "{file}");
+            assert!(got.contains(&"wall-clock"), "{file}");
+            assert!(got.contains(&"thread-confinement"), "{file}");
+        }
+        // Admission decisions, seed derivation, and the slot arena are
+        // called from inside the dispatch loop: a panic there takes the
+        // whole pool down, so they are panic roots like the fabric trio.
+        for root in [
+            "crates/psa-sessions/src/admission.rs",
+            "crates/psa-sessions/src/session.rs",
+            "crates/psa-sessions/src/slot.rs",
         ] {
             assert!(PANIC_ROOTS.contains(&root), "{root} must be a panic root");
         }
