@@ -211,6 +211,19 @@ pub trait FaultInjector {
     fn crash_frame(&self, _rank: usize) -> Option<u64> {
         None
     }
+
+    /// Raw states of the injector's draw streams, for checkpointing. The
+    /// plan itself is construction-time configuration and is *not* captured;
+    /// only the mutable stream cursors are. Stateless injectors return an
+    /// empty vec.
+    fn stream_states(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Rewind the injector's draw streams to previously captured states.
+    /// Must accept exactly what [`stream_states`](Self::stream_states)
+    /// produced for an injector of the same shape.
+    fn restore_stream_states(&mut self, _states: &[u64]) {}
 }
 
 /// An injector that never injects anything (the identity adapter).
@@ -285,6 +298,17 @@ impl FaultInjector for PlanInjector {
 
     fn crash_frame(&self, rank: usize) -> Option<u64> {
         self.plan.rank(rank).crash_at
+    }
+
+    fn stream_states(&self) -> Vec<u64> {
+        self.streams.iter().map(Rng64::state).collect()
+    }
+
+    fn restore_stream_states(&mut self, states: &[u64]) {
+        assert_eq!(states.len(), self.streams.len(), "injector stream count mismatch");
+        for (s, &st) in self.streams.iter_mut().zip(states) {
+            *s = Rng64::new(st);
+        }
     }
 }
 
@@ -433,6 +457,20 @@ impl<M: WireSize, I: FaultInjector> FaultyVirtualNet<M, I> {
 
     pub fn inner_mut(&mut self) -> &mut VirtualNet<M> {
         &mut self.net
+    }
+
+    /// Capture the fabric's mutable state: the wire checkpoint plus the
+    /// injector's draw-stream cursors (see [`VirtualNet::wire_checkpoint`]
+    /// for why message queues are deliberately excluded).
+    pub fn fabric_checkpoint(&self) -> (crate::virtual_net::WireCheckpoint, Vec<u64>) {
+        (self.net.wire_checkpoint(), self.inj.stream_states())
+    }
+
+    /// Rewind wire and injector streams to a captured checkpoint, dropping
+    /// any queued messages.
+    pub fn restore_fabric(&mut self, wire: &crate::virtual_net::WireCheckpoint, streams: &[u64]) {
+        self.net.restore_wire(wire);
+        self.inj.restore_stream_states(streams);
     }
 }
 
@@ -629,6 +667,25 @@ mod tests {
         let failed = faulty.send(1, vec![1, 2, 3]).expect_err("p≈1 must drop");
         assert_eq!(failed.msg, vec![1, 2, 3]);
         assert_eq!(failed.error, TransportError::SendFailed { rank: 0, peer: 1 });
+    }
+
+    #[test]
+    fn stream_states_checkpoint_and_resume_fates_exactly() {
+        let mut live = PlanInjector::new(lossy_plan(0.5));
+        for i in 0..37 {
+            let _ = live.on_send(0, 1, i);
+        }
+        let states = live.stream_states();
+        let tail: Vec<_> = (0..64).map(|i| live.on_send(0, 1, i)).collect();
+        // Rewind a diverged twin back to the captured cursor: the fate
+        // sequence from that point must repeat bit-for-bit.
+        let mut twin = PlanInjector::new(lossy_plan(0.5));
+        for _ in 0..99 {
+            let _ = twin.on_send(0, 1, 5);
+        }
+        twin.restore_stream_states(&states);
+        let replay: Vec<_> = (0..64).map(|i| twin.on_send(0, 1, i)).collect();
+        assert_eq!(tail, replay);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub use fault::{
     LinkFault, NoFaults, PlanInjector, RankFault, SendFate,
 };
 pub use thread_net::{ThreadEndpoint, ThreadNet, TransportError};
-pub use virtual_net::{TrafficStats, VirtualNet, WireState};
+pub use virtual_net::{TrafficStats, VirtualNet, WireCheckpoint, WireState};
 
 /// Bytes a message would occupy on the wire.
 ///

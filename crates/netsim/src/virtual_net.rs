@@ -183,6 +183,55 @@ impl WireState {
     pub fn model(&self) -> &NetworkModel {
         &self.net
     }
+
+    /// Capture every mutable field of the wire — clocks, NIC/medium
+    /// occupancy, traffic counters — into a [`WireCheckpoint`]. The network
+    /// model and rank→node placement are construction constants and are
+    /// *not* captured: a checkpoint only makes sense against a fabric built
+    /// from the same topology, which [`restore_checkpoint`] asserts.
+    ///
+    /// [`restore_checkpoint`]: Self::restore_checkpoint
+    pub fn checkpoint(&self) -> WireCheckpoint {
+        WireCheckpoint {
+            clocks: self.clocks.clone(),
+            link_free: self.link_free.clone(),
+            shared_free: self.shared_free,
+            stats: self.stats,
+            rank_stats: self.rank_stats.clone(),
+        }
+    }
+
+    /// Rewind the wire to a previously captured [`WireCheckpoint`].
+    ///
+    /// Panics if the checkpoint's rank/node shape does not match this
+    /// wire's — restoring across topologies is always a caller bug.
+    pub fn restore_checkpoint(&mut self, ck: &WireCheckpoint) {
+        assert_eq!(ck.clocks.len(), self.clocks.len(), "checkpoint rank count mismatch");
+        assert_eq!(ck.link_free.len(), self.link_free.len(), "checkpoint node count mismatch");
+        self.clocks.copy_from_slice(&ck.clocks);
+        self.link_free.copy_from_slice(&ck.link_free);
+        self.shared_free = ck.shared_free;
+        self.stats = ck.stats;
+        self.rank_stats.copy_from_slice(&ck.rank_stats);
+    }
+}
+
+/// The mutable half of a [`WireState`], captured at a point in virtual
+/// time: per-rank clocks, per-node NIC occupancy, the shared-medium cursor,
+/// and both layers of traffic counters. Produced by
+/// [`WireState::checkpoint`], consumed by [`WireState::restore_checkpoint`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireCheckpoint {
+    /// Virtual clock per rank, seconds.
+    pub clocks: Vec<f64>,
+    /// Time each node's NIC becomes free.
+    pub link_free: Vec<f64>,
+    /// Time the shared medium becomes free (Fast-Ethernet mode).
+    pub shared_free: f64,
+    /// Aggregate traffic counters at capture time.
+    pub stats: TrafficStats,
+    /// Per-sender traffic counters at capture time.
+    pub rank_stats: Vec<TrafficStats>,
 }
 
 struct Envelope<M> {
@@ -328,6 +377,28 @@ impl<M: WireSize> VirtualNet<M> {
     /// The network model in use.
     pub fn model(&self) -> &NetworkModel {
         self.wire.model()
+    }
+
+    /// Capture the wire's mutable state (clocks, occupancy, counters).
+    ///
+    /// The fabric's message queues are *not* part of a checkpoint. At a
+    /// frame boundary every healthy link is drained by the protocol's
+    /// lock-step schedule; the one exception is traffic queued toward a
+    /// crashed-but-undeclared rank, and dropping it is *correct* by
+    /// design — a later death declaration would purge those queues, and a
+    /// recovery rolls back to before the sends happened and replays them.
+    /// [`restore_wire`](Self::restore_wire) therefore clears all queues.
+    pub fn wire_checkpoint(&self) -> WireCheckpoint {
+        self.wire.checkpoint()
+    }
+
+    /// Rewind the wire to `ck` and drop any queued messages (replay from a
+    /// frame boundary regenerates all traffic deterministically).
+    pub fn restore_wire(&mut self, ck: &WireCheckpoint) {
+        self.wire.restore_checkpoint(ck);
+        for q in &mut self.queues {
+            q.clear();
+        }
     }
 }
 
@@ -529,6 +600,36 @@ mod tests {
         assert!(w.observe_delivery(1, stamp));
         assert_eq!(v.now(1).to_bits(), w.now(1).to_bits());
         assert_eq!(v.stats(), w.stats());
+    }
+
+    #[test]
+    fn wire_checkpoint_rewinds_clocks_and_counters_exactly() {
+        let drive = |n: &mut VirtualNet<Blob>| {
+            n.advance(0, 0.123);
+            n.send(0, 1, Blob(4096));
+            n.recv(1, 0).unwrap();
+            n.barrier(&[0, 1]);
+        };
+        let mut n = net2();
+        drive(&mut n);
+        let ck = n.wire_checkpoint();
+        let (t0, t1, stats) = (n.now(0), n.now(1), n.stats());
+        // Diverge, then rewind: every observable must come back bit-equal.
+        n.send(1, 0, Blob(65536));
+        n.recv(0, 1).unwrap();
+        n.advance(0, 9.0);
+        n.restore_wire(&ck);
+        assert_eq!(n.now(0).to_bits(), t0.to_bits());
+        assert_eq!(n.now(1).to_bits(), t1.to_bits());
+        assert_eq!(n.stats(), stats);
+        assert!(!n.has_message(0, 1), "restore drops queued messages");
+        // Replay after restore charges identical costs.
+        let mut fresh = net2();
+        drive(&mut fresh);
+        n.send(0, 1, Blob(64));
+        fresh.send(0, 1, Blob(64));
+        assert_eq!(n.now(0).to_bits(), fresh.now(0).to_bits());
+        assert_eq!(n.makespan().to_bits(), fresh.makespan().to_bits());
     }
 
     #[test]

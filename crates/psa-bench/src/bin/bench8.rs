@@ -1,0 +1,116 @@
+//! `bench8` — emit the crash-recovery cost export (`BENCH_8.json`).
+//!
+//! ```text
+//! bench8 [--calculators 4,8] [--intervals 2,3,4] [--crash-frames 2,4,5,8,11]
+//!        [--frames F] [--particles P] [--seed S] [--out PATH]
+//! ```
+//!
+//! Prices checkpoint recovery against restart-from-frame-0 (see
+//! `psa_bench::export8`): for every (calculators, snapshot interval,
+//! crash frame) cell, a calculator fail-stops mid-run and the engine
+//! restores the last snapshot and replays. Exits non-zero if any metric
+//! is NaN/degenerate, any recovered cell diverged from its uninterrupted
+//! reference, or recovery failed to beat the restart cost for a crash at
+//! or past the first snapshot. The CI smoke tier trims every axis; the
+//! full defaults sweep 30 cells.
+
+use psa_bench::export8;
+
+struct Args {
+    calculators: Vec<usize>,
+    intervals: Vec<u64>,
+    crash_frames: Vec<u64>,
+    frames: u64,
+    particles: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, raw: Option<String>) -> Vec<T> {
+    raw.unwrap_or_else(|| panic!("{flag} needs a comma-separated list"))
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} entries must be integers, got `{v}`"))
+        })
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut calculators = export8::BENCH8_CALCULATORS.to_vec();
+    let mut intervals = export8::BENCH8_INTERVALS.to_vec();
+    let mut crash_frames = export8::BENCH8_CRASH_FRAMES.to_vec();
+    let mut frames = 12;
+    let mut particles = 300;
+    let mut seed = 0xBE7C_0008;
+    let mut out = "BENCH_8.json".to_string();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--calculators" => calculators = parse_list("--calculators", args.next()),
+            "--intervals" => intervals = parse_list("--intervals", args.next()),
+            "--crash-frames" => crash_frames = parse_list("--crash-frames", args.next()),
+            "--frames" => {
+                frames = args.next().and_then(|v| v.parse().ok()).expect("--frames needs a number");
+            }
+            "--particles" => {
+                particles =
+                    args.next().and_then(|v| v.parse().ok()).expect("--particles needs a number");
+            }
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).expect("--seed needs a number");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if calculators.is_empty() || intervals.is_empty() || crash_frames.is_empty() {
+        eprintln!("every sweep axis needs at least one entry");
+        std::process::exit(2);
+    }
+    Args { calculators, intervals, crash_frames, frames, particles, seed, out }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "collecting BENCH_8 (calculators {:?} x intervals {:?} x crashes {:?}, {} frames x {} particles/system, seed {:#x})",
+        args.calculators, args.intervals, args.crash_frames, args.frames, args.particles, args.seed
+    );
+    let data = export8::collect8(
+        &args.calculators,
+        &args.intervals,
+        &args.crash_frames,
+        args.frames,
+        args.particles,
+        args.seed,
+    );
+    if let Err(e) = data.validate() {
+        eprintln!("BENCH_8 validation failed: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&args.out, data.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    for c in &data.cells {
+        eprintln!(
+            "{:>2}c interval {:>2} crash@{:>2}  {}  replayed {:>2}  recovery {:>9.4}s  restart {:>9.4}s  saved {:>9.4}s",
+            c.calculators,
+            c.interval,
+            c.crash_frame,
+            if c.recovered { "recovered" } else { "degraded " },
+            c.frames_replayed,
+            c.recovery_cost,
+            c.restart_cost,
+            c.saved
+        );
+    }
+    println!("wrote {}", args.out);
+}

@@ -144,6 +144,7 @@ fn run_cell(
         slice_frames: 2,
         admission,
         base_seed,
+        checkpoint_interval: 0,
         instrument: false,
     });
     for i in 0..sessions {

@@ -10,10 +10,15 @@
 //!   cell simulates twice, checks every frame rendered, the Figure-2 order
 //!   held, crashes were declared and absorbed, and gates on the replay
 //!   fingerprints being byte-identical;
+//! * [`recovery`] — the recovered-cell gate: the same kill scenarios with
+//!   engine checkpointing on, gating on zero deaths, zero lost particles,
+//!   and the recovered run fingerprinting byte-identical to the
+//!   crash-free reference;
 //! * [`sessions`] — pool-level chaos against `psa-sessions`: a worker
-//!   lane dies mid-dispatch, the victim session is re-queued from frame
-//!   0, and the gate checks completion, solo-fingerprint parity under the
-//!   fault, and byte-identical replay of the whole pool run.
+//!   lane dies mid-dispatch, the victim session is re-queued (resuming
+//!   from its last pool checkpoint), and the gate checks completion,
+//!   solo-fingerprint parity under the fault, bounded frame loss, and
+//!   byte-identical replay of the whole pool run.
 //!
 //! Determinism discipline is identical to the rest of the workspace: plans
 //! derive from `psa_math::Rng64` streams, delivery draws inside a run come
@@ -22,9 +27,11 @@
 //! debuggable.
 
 pub mod matrix;
+pub mod recovery;
 pub mod scenario;
 pub mod sessions;
 
 pub use matrix::{run_case, run_matrix, CaseOutcome, MatrixConfig, Workload};
+pub use recovery::{run_recovery_case, run_recovery_matrix, RecoveryConfig, RecoveryOutcome};
 pub use scenario::{full_set, smoke_set, Scenario};
 pub use sessions::{run_session_chaos, SessionChaosConfig, SessionChaosOutcome};

@@ -12,7 +12,8 @@
 use std::process::ExitCode;
 
 use psa_chaos::{
-    full_set, run_matrix, run_session_chaos, smoke_set, MatrixConfig, SessionChaosConfig,
+    full_set, run_matrix, run_recovery_matrix, run_session_chaos, smoke_set, MatrixConfig,
+    RecoveryConfig, SessionChaosConfig,
 };
 
 fn main() -> ExitCode {
@@ -90,6 +91,29 @@ fn main() -> ExitCode {
             println!("    !! {f}");
         }
     }
+    // Recovered-mode gate: the kill cells again, this time with engine
+    // checkpointing on — nobody may die, nothing may be lost, and the
+    // recovered run must fingerprint identically to the crash-free
+    // reference.
+    let rc = RecoveryConfig { mc, ..RecoveryConfig::default() };
+    let recovered = run_recovery_matrix(&scenarios, &rc);
+    for c in &recovered {
+        println!(
+            "{:<10} {:<18} {:>6} {:>8} {:>6} {:>9} {:>18x}  {}",
+            c.workload,
+            format!("{}+ckpt", c.scenario),
+            c.recoveries,
+            c.frames_replayed,
+            0,
+            c.particles_restored,
+            c.fingerprint,
+            if c.passed() { "ok" } else { "FAIL" }
+        );
+        for f in &c.failures {
+            failed += 1;
+            println!("    !! {f}");
+        }
+    }
     // Pool-level gate: a session-pool worker dies mid-run; every session
     // must still complete with solo-parity fingerprints and replay exactly.
     let sc = SessionChaosConfig { seed: mc.seed ^ 0x5E55, ..SessionChaosConfig::default() };
@@ -110,8 +134,8 @@ fn main() -> ExitCode {
 
     if failed == 0 {
         println!(
-            "chaos: all {} cells passed (replay byte-identical, session pool included)",
-            outcomes.len() + 1
+            "chaos: all {} cells passed (replay byte-identical, recovery and session pool included)",
+            outcomes.len() + recovered.len() + 1
         );
         ExitCode::SUCCESS
     } else {

@@ -31,7 +31,8 @@ impl Workload {
         }
     }
 
-    fn scene(&self, size: WorkloadSize) -> Scene {
+    /// Build the workload's scene at the given size.
+    pub fn scene(&self, size: WorkloadSize) -> Scene {
         match self {
             Workload::Snow => snow_scene(size),
             Workload::Fountain => fountain_scene(size),
@@ -82,12 +83,25 @@ impl CaseOutcome {
     }
 }
 
+impl MatrixConfig {
+    /// The `RunConfig` every cell runs under (shared with the recovery
+    /// gate, which layers a checkpoint policy on top).
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig { frames: self.frames, dt: 0.1, seed: self.seed, warmup: 0, ..Default::default() }
+    }
+
+    /// The workload size every cell animates (×25 cost scale, paper-style).
+    pub fn workload_size(&self) -> WorkloadSize {
+        WorkloadSize { systems: 2, particles_per_system: self.particles, scale: 25.0 }
+    }
+}
+
 fn run_config(mc: &MatrixConfig) -> RunConfig {
-    RunConfig { frames: mc.frames, dt: 0.1, seed: mc.seed, warmup: 0, ..Default::default() }
+    mc.run_config()
 }
 
 fn size(mc: &MatrixConfig) -> WorkloadSize {
-    WorkloadSize { systems: 2, particles_per_system: mc.particles, scale: 25.0 }
+    mc.workload_size()
 }
 
 /// Run one cell: simulate, check the hardening invariants, replay, compare.

@@ -3,8 +3,9 @@
 //! The scenario matrix ([`crate::matrix`]) attacks the protocol *inside*
 //! one run; this module attacks the layer above it — the multi-tenant
 //! session pool (`psa-sessions`). The fault shape is a worker lane dying
-//! mid-dispatch: the slice in flight is lost, the victim session is
-//! re-queued and restarts from frame 0 on the surviving lanes.
+//! mid-dispatch: the slice in flight is lost and the victim session is
+//! re-queued on the surviving lanes, resuming from its last pool
+//! checkpoint (from frame 0 when `checkpoint_interval` is 0).
 //!
 //! Gates, in order of importance:
 //!
@@ -12,9 +13,10 @@
 //!    survivors (exactly one records a restart);
 //! 2. **parity under fault** — every session's fingerprint, including the
 //!    restarted one's, is byte-identical to a solo `EventSim` run of its
-//!    derived seed (restart-from-scratch keeps the determinism contract
-//!    without a checkpoint layer);
-//! 3. **replay** — the whole chaotic pool run replays byte-identically.
+//!    derived seed (checkpoint/restore keeps the determinism contract);
+//! 3. **bounded loss** — with checkpointing on, the victim discards fewer
+//!    than `checkpoint_interval` completed frames;
+//! 4. **replay** — the whole chaotic pool run replays byte-identically.
 
 use psa_sessions::{
     derive_session_seed, AdmissionConfig, PoolConfig, PoolFault, PoolReport, SessionId,
@@ -35,6 +37,8 @@ pub struct SessionChaosConfig {
     pub seed: u64,
     /// 1-based dispatch count the worker loss strikes at.
     pub lose_at_dispatch: u64,
+    /// Pool checkpoint cadence in completed frames (0 = restart from 0).
+    pub checkpoint_interval: u64,
 }
 
 impl Default for SessionChaosConfig {
@@ -45,6 +49,7 @@ impl Default for SessionChaosConfig {
             frames: 8,
             seed: 0xC4A0_5E55,
             lose_at_dispatch: 5,
+            checkpoint_interval: 2,
         }
     }
 }
@@ -78,6 +83,7 @@ fn pool_run(cfg: &SessionChaosConfig) -> PoolReport {
         slice_frames: 2,
         admission: AdmissionConfig::unbounded(cfg.sessions.max(1)),
         base_seed: cfg.seed,
+        checkpoint_interval: cfg.checkpoint_interval,
         instrument: false,
     })
     .with_fault(PoolFault::WorkerLoss { at_dispatch: cfg.lose_at_dispatch });
@@ -127,6 +133,16 @@ pub fn run_session_chaos(cfg: &SessionChaosConfig) -> SessionChaosOutcome {
     let requeues: u64 = report.outcomes.iter().map(|o| o.counters.requeues).sum();
     if requeues != 1 {
         failures.push(format!("expected exactly 1 session restart, saw {requeues}"));
+    }
+    if cfg.checkpoint_interval > 0 {
+        for o in report.outcomes.iter().filter(|o| o.counters.requeues > 0) {
+            if o.counters.lost_frames >= cfg.checkpoint_interval {
+                failures.push(format!(
+                    "session {} lost {} frames; checkpoints every {} bound the loss below that",
+                    o.id.0, o.counters.lost_frames, cfg.checkpoint_interval
+                ));
+            }
+        }
     }
 
     for outcome in &report.outcomes {

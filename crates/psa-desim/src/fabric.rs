@@ -36,6 +36,7 @@ use netsim::{
     FailedSend, FaultInjector, FaultPlan, PlanInjector, SendFate, TrafficStats, TransportError,
     WireSize, WireState,
 };
+use psa_runtime::checkpoint::FabricCheckpoint;
 use psa_runtime::msg::Msg;
 use psa_runtime::protocol::Fabric;
 
@@ -225,6 +226,38 @@ impl Fabric for EventFabric {
 
     fn crash_frame(&self, rank: usize) -> Option<u64> {
         self.inj.crash_frame(rank)
+    }
+
+    fn save_fabric(&self) -> FabricCheckpoint {
+        FabricCheckpoint {
+            wire: self.wire.checkpoint(),
+            injector_streams: self.inj.stream_states(),
+            // Event-loop counters ride in the opaque extras so a restored
+            // fabric keeps honest cumulative stats. The heap's max depth
+            // cannot be restored into a fresh EventQueue and is accepted as
+            // an observability loss (sim stats are never fingerprinted).
+            extra: vec![
+                self.stats.events,
+                self.stats.sends,
+                self.stats.fast_forwards,
+                self.stats.blocked_recvs,
+            ],
+        }
+    }
+
+    fn load_fabric(&mut self, ck: &FabricCheckpoint) {
+        self.wire.restore_checkpoint(&ck.wire);
+        self.inj.restore_stream_states(&ck.injector_streams);
+        // Frame-boundary checkpoints never capture in-flight traffic:
+        // drop the heap, the inboxes, and any parked proc state.
+        self.queue = EventQueue::new();
+        self.inboxes.clear();
+        self.procs = ProcTable::new(self.wire.ranks());
+        let mut extra = ck.extra.iter().copied();
+        self.stats.events = extra.next().unwrap_or(0);
+        self.stats.sends = extra.next().unwrap_or(0);
+        self.stats.fast_forwards = extra.next().unwrap_or(0);
+        self.stats.blocked_recvs = extra.next().unwrap_or(0);
     }
 }
 

@@ -1,6 +1,7 @@
 //! Run configuration.
 
 use crate::balance::BalancerConfig;
+use crate::checkpoint::CheckpointConfig;
 
 /// Whether the simulated space is restricted to the particle systems'
 /// extent (paper: "FS", finite space) or left unbounded ("IS", infinite
@@ -231,6 +232,9 @@ pub struct RunConfig {
     pub parallel: ParallelConfig,
     /// Exchange-phase fan-out (dense reproduces the paper; sparse scales).
     pub exchange: ExchangeMode,
+    /// Snapshot cadence and crash-recovery policy (off by default — the
+    /// paper's runs restart from frame 0 on failure).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for RunConfig {
@@ -248,6 +252,7 @@ impl Default for RunConfig {
             recv_timeout_secs: 30.0,
             parallel: ParallelConfig::default(),
             exchange: ExchangeMode::Auto,
+            checkpoint: CheckpointConfig::default(),
         }
     }
 }

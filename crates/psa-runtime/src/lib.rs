@@ -31,6 +31,7 @@
 
 pub mod balance;
 pub mod balancers;
+pub mod checkpoint;
 pub mod config;
 pub mod msg;
 pub mod protocol;
@@ -43,6 +44,7 @@ pub mod virtual_exec;
 
 pub use balance::{Balancer, BalancerConfig, LoadInfo, Order, Transfer};
 pub use balancers::strategy_for;
+pub use checkpoint::{CheckpointConfig, EngineSnapshot, FabricCheckpoint, RecoveryEvent};
 pub use config::{
     BalanceMode, ExchangeMode, LoadMetric, ParallelConfig, RunConfig, SpaceMode, SystemSchedule,
 };

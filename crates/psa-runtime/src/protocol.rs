@@ -44,9 +44,12 @@ use psa_trace::{ClockKind, Counter, FaultKind, Phase, Recorder};
 
 use crate::balance::{self, LoadInfo, Transfer};
 use crate::balancers;
+use crate::checkpoint::{
+    CalcSnapshot, EngineSnapshot, FabricCheckpoint, RecoveryEvent, StoreSnapshot,
+};
 use crate::config::{ExchangeMode, LoadMetric, RunConfig, SpaceMode, SystemSchedule};
 use crate::msg::{Msg, ProtocolError};
-use crate::report::{FrameReport, RunReport};
+use crate::report::{scale_count, FrameReport, RunReport};
 use crate::scene::Scene;
 use crate::threaded::RenderSink;
 use crate::trace::{figure2_passes, ProtocolEvent, Trace};
@@ -105,6 +108,15 @@ pub trait Fabric {
     fn stall_seconds(&self, rank: usize, frame: u64) -> f64;
     /// Frame at which `rank` fail-stops, if the plan crashes it.
     fn crash_frame(&self, rank: usize) -> Option<u64>;
+    /// Capture the fabric's frame-boundary state: the shared wire model
+    /// (clocks, occupancy, traffic counters) plus the injector's draw-stream
+    /// cursors and any fabric-specific extras. In-flight messages are never
+    /// captured — see [`crate::checkpoint::FabricCheckpoint`].
+    fn save_fabric(&self) -> FabricCheckpoint;
+    /// Rewind the fabric to a previously captured checkpoint, dropping any
+    /// queued messages (replay from a frame boundary regenerates traffic
+    /// deterministically).
+    fn load_fabric(&mut self, ck: &FabricCheckpoint);
 }
 
 impl Fabric for FaultyVirtualNet<Msg, PlanInjector> {
@@ -164,6 +176,15 @@ impl Fabric for FaultyVirtualNet<Msg, PlanInjector> {
 
     fn crash_frame(&self, rank: usize) -> Option<u64> {
         self.injector().crash_frame(rank)
+    }
+
+    fn save_fabric(&self) -> FabricCheckpoint {
+        let (wire, injector_streams) = self.fabric_checkpoint();
+        FabricCheckpoint { wire, injector_streams, extra: Vec::new() }
+    }
+
+    fn load_fabric(&mut self, ck: &FabricCheckpoint) {
+        self.restore_fabric(&ck.wire, &ck.injector_streams);
     }
 }
 
@@ -247,6 +268,16 @@ pub struct Engine<F: Fabric> {
     dead: Vec<bool>,
     /// Consecutive missed load reports per calculator.
     missed: Vec<u32>,
+    /// Rank `c` has been recovered from a snapshot (or its crash predates
+    /// the snapshot and is unrecoverable): its planned crash — a permanent
+    /// plan entry — must not trip again after the rollback. Recovery
+    /// metadata, deliberately *not* part of snapshots.
+    recovered: Vec<bool>,
+    /// The most recent frame-boundary snapshot, refreshed every
+    /// `cfg.checkpoint.interval` frames when checkpointing is on.
+    last_snapshot: Option<EngineSnapshot>,
+    /// Recoveries performed so far (reported, fingerprint-exempt).
+    recoveries: Vec<RecoveryEvent>,
     /// `(rank, frame)` death declarations, in order.
     dead_events: Vec<(usize, u64)>,
     /// Real (unscaled) particles lost to crashed/dead ranks.
@@ -333,6 +364,9 @@ impl<F: Fabric> Engine<F> {
             crashed: vec![false; n],
             dead: vec![false; n],
             missed: vec![0; n],
+            recovered: vec![false; n],
+            last_snapshot: None,
+            recoveries: Vec::new(),
             dead_events: Vec::new(),
             lost: 0,
             frame_timeouts: 0,
@@ -495,7 +529,7 @@ impl<F: Fabric> Engine<F> {
             if self.crashed[c] {
                 continue;
             }
-            if self.net.crash_frame(c).is_some_and(|k| frame >= k) {
+            if !self.recovered[c] && self.net.crash_frame(c).is_some_and(|k| frame >= k) {
                 self.crashed[c] = true;
                 self.rec.fault(frame, c, FaultKind::Crash);
                 continue;
@@ -603,14 +637,260 @@ impl<F: Fabric> Engine<F> {
             frames: kept,
             traffic: self.net.stats(),
             dead_ranks: self.dead_events.clone(),
-            lost_particles: (self.lost as f64 * self.scale) as u64,
+            // Round to the nearest real particle: the truncating cast this
+            // replaces dropped up to one particle per run at fractional
+            // scale factors, making zero-loss gates flaky.
+            lost_particles: scale_count(self.lost, self.scale),
             phases,
+            recoveries: self.recoveries.clone(),
         }
     }
 
     /// Frames still to run before the animation completes.
     pub fn frames_remaining(&self) -> u64 {
         self.cfg.frames - self.next_frame
+    }
+
+    /// Recoveries performed so far (also carried on the finished report).
+    pub fn recoveries(&self) -> &[RecoveryEvent] {
+        &self.recoveries
+    }
+
+    /// Capture a complete frame-boundary snapshot: per-system store
+    /// contents, every domain map (the manager's authoritative copy and
+    /// each calculator's replica — they diverge under static balancing with
+    /// dead ranks), the degraded-mode sets, the frame cursor, and the
+    /// fabric's wire/injector state. Frame-local tallies (`frame_retries`
+    /// and friends) are provably zero at a frame boundary and per-frame RNG
+    /// re-derives from the frame cursor, so neither is captured — see
+    /// [`crate::checkpoint`] for the full exclusion argument.
+    ///
+    /// Callers snapshot between [`Engine::step_frame`] calls (or let
+    /// `cfg.checkpoint.interval` do it); a mid-phase snapshot is
+    /// meaningless and unreachable from outside.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            next_frame: self.next_frame,
+            round: self.round,
+            prev_makespan: self.prev_makespan,
+            lost: self.lost,
+            idle_rounds: self.idle_rounds.clone(),
+            crashed: self.crashed.clone(),
+            dead: self.dead.clone(),
+            missed: self.missed.clone(),
+            dead_events: self.dead_events.clone(),
+            mgr_cuts: self.mgr_domains.iter().map(|d| d.cuts().to_vec()).collect(),
+            calcs: self
+                .calcs
+                .iter()
+                .map(|cs| CalcSnapshot {
+                    stores: cs
+                        .stores
+                        .iter()
+                        .map(|st| StoreSnapshot {
+                            slice: st.slice(),
+                            buckets: st.bucket_count(),
+                            particles: st.iter().copied().collect(),
+                        })
+                        .collect(),
+                    cuts: cs.domains.iter().map(|d| d.cuts().to_vec()).collect(),
+                    compute_time: cs.compute_time.clone(),
+                    pre_count: cs.pre_count.clone(),
+                })
+                .collect(),
+            fabric: self.net.save_fabric(),
+        }
+    }
+
+    /// Rewind the engine to a previously captured snapshot.
+    ///
+    /// The engine must have been built from the same scene, config, and
+    /// placement the snapshot was taken under (the session layer revives an
+    /// evicted engine exactly this way: rebuild, then restore). Stores are
+    /// rebuilt by re-inserting the snapshot's particles in captured order —
+    /// bucket assignment is a pure function of position and within-bucket
+    /// order is append order, so the layout comes back byte-identical.
+    /// Queued fabric messages are dropped; replay regenerates them.
+    pub fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), ProtocolError> {
+        let n_sys = self.scene.systems.len();
+        let mgr = self.mgr;
+        let shape_err = |detail: String| ProtocolError::Domain {
+            role: "checkpoint",
+            rank: mgr,
+            frame: snap.next_frame,
+            detail,
+        };
+        if snap.calcs.len() != self.n
+            || snap.crashed.len() != self.n
+            || snap.dead.len() != self.n
+            || snap.missed.len() != self.n
+            || snap.idle_rounds.len() != n_sys
+            || snap.mgr_cuts.len() != n_sys
+        {
+            return Err(shape_err(format!(
+                "snapshot shape mismatch: {} calculators / {} systems captured, engine has {} / {}",
+                snap.calcs.len(),
+                snap.mgr_cuts.len(),
+                self.n,
+                n_sys,
+            )));
+        }
+        for (c, cs) in snap.calcs.iter().enumerate() {
+            if cs.stores.len() != n_sys
+                || cs.cuts.len() != n_sys
+                || cs.compute_time.len() != n_sys
+                || cs.pre_count.len() != n_sys
+            {
+                return Err(shape_err(format!(
+                    "snapshot calculator {c} covers {} systems, engine has {n_sys}",
+                    cs.stores.len(),
+                )));
+            }
+        }
+        let domain_err = |what: &str, e: psa_core::domain::DomainError| ProtocolError::Domain {
+            role: "checkpoint",
+            rank: mgr,
+            frame: snap.next_frame,
+            detail: format!("restoring {what}: {e}"),
+        };
+        let mut mgr_domains = Vec::with_capacity(n_sys);
+        for (sys, cuts) in snap.mgr_cuts.iter().enumerate() {
+            mgr_domains.push(
+                DomainMap::from_cuts(AXIS, cuts.clone())
+                    .map_err(|e| domain_err(&format!("manager domains for system {sys}"), e))?,
+            );
+        }
+        let mut calc_domains = Vec::with_capacity(self.n);
+        for (c, cs) in snap.calcs.iter().enumerate() {
+            let mut per_sys = Vec::with_capacity(n_sys);
+            for (sys, cuts) in cs.cuts.iter().enumerate() {
+                per_sys.push(Arc::new(DomainMap::from_cuts(AXIS, cuts.clone()).map_err(|e| {
+                    domain_err(&format!("calculator {c} domains for system {sys}"), e)
+                })?));
+            }
+            calc_domains.push(per_sys);
+        }
+        // All inputs validated — mutate.
+        self.mgr_domains = mgr_domains;
+        for ((calc, cs), domains) in self.calcs.iter_mut().zip(&snap.calcs).zip(calc_domains) {
+            for (store, ss) in calc.stores.iter_mut().zip(&cs.stores) {
+                let mut rebuilt = SubDomainStore::new(ss.slice, AXIS, ss.buckets.max(1));
+                for p in &ss.particles {
+                    rebuilt.insert(*p);
+                }
+                *store = rebuilt;
+            }
+            calc.domains = domains;
+            calc.compute_time.clone_from(&cs.compute_time);
+            calc.pre_count.clone_from(&cs.pre_count);
+        }
+        self.next_frame = snap.next_frame;
+        self.round = snap.round;
+        self.prev_makespan = snap.prev_makespan;
+        self.lost = snap.lost;
+        self.idle_rounds.clone_from(&snap.idle_rounds);
+        self.crashed.clone_from(&snap.crashed);
+        self.dead.clone_from(&snap.dead);
+        self.missed.clone_from(&snap.missed);
+        self.dead_events.clone_from(&snap.dead_events);
+        self.net.load_fabric(&snap.fabric);
+        // Frame-local tallies are zero at every frame boundary; scratch is
+        // drained by construction.
+        self.frame_timeouts = 0;
+        self.frame_retries = 0;
+        self.frame_orders = 0;
+        self.frame_chunks = 0;
+        self.frame_skips = 0;
+        self.newborn_scratch.clear();
+        self.leavers_scratch.clear();
+        self.touched_scratch.clear();
+        for b in &mut self.create_batches {
+            b.clear();
+        }
+        for b in &mut self.exchange_dests {
+            b.clear();
+        }
+        if self.rec.is_enabled() {
+            self.frame_stats_mark = self.net.stats();
+        }
+        Ok(())
+    }
+
+    /// Whole-engine rollback-replay recovery (`cfg.checkpoint.recover`):
+    /// restore the last snapshot — which resurrects every rank that crashed
+    /// after it — and deterministically re-run the frames up to `frame`
+    /// with the trace and recorder suppressed, then re-apply the current
+    /// frame's boundary faults. Replay regenerates byte-identical state
+    /// *and* virtual time (the clocks rewind and recharge), so the finished
+    /// run fingerprints exactly like an uninterrupted one; what recovery
+    /// actually cost is reported separately as [`RecoveryEvent`]s.
+    fn recover_crashed(&mut self, frame: u64) -> Result<(), ProtocolError> {
+        let Some(snap) = self.last_snapshot.clone() else {
+            return Ok(());
+        };
+        // Ranks that crashed after the snapshot can be resurrected; a rank
+        // already crashed *in* the snapshot cannot (its state predates every
+        // surviving checkpoint) and stays degraded. Both sets are marked
+        // recovered so the planned crash — a permanent plan entry — never
+        // re-trips and recovery never re-runs for them.
+        let victims: Vec<usize> = (0..self.n)
+            .filter(|&c| self.crashed[c] && !self.dead[c] && !self.recovered[c] && !snap.crashed[c])
+            .collect();
+        for c in 0..self.n {
+            if self.crashed[c] && !self.dead[c] {
+                self.recovered[c] = true;
+            }
+        }
+        if victims.is_empty() {
+            return Ok(());
+        }
+        let particles_restored: Vec<u64> = victims
+            .iter()
+            .map(|&c| snap.calcs[c].stores.iter().map(|s| s.particles.len() as u64).sum())
+            .collect();
+        self.restore(&snap)?;
+        let mk0 = self.net.makespan();
+        // Replay quietly: the trace and recorder must describe the run
+        // once, not the rolled-back window twice.
+        let saved_trace = std::mem::take(&mut self.trace);
+        let saved_rec = std::mem::replace(&mut self.rec, Recorder::disabled());
+        let mut replayed = 0u64;
+        let mut replay_result = Ok(());
+        while self.next_frame < frame {
+            match self.step_frame() {
+                Ok(_) => replayed += 1,
+                Err(e) => {
+                    replay_result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.trace = saved_trace;
+        self.rec = saved_rec;
+        replay_result?;
+        // Re-apply the current frame's boundary faults the rollback wiped
+        // (stalls on healthy ranks; the victims now skip their crash via
+        // the recovered flag). Quiet: the pre-rollback begin_frame already
+        // recorded these fault events once.
+        let saved_rec = std::mem::replace(&mut self.rec, Recorder::disabled());
+        self.begin_frame(frame);
+        self.rec = saved_rec;
+        let replay_virtual_secs = self.net.makespan() - mk0;
+        self.rec.add(frame, Counter::Restores, 1);
+        if self.rec.is_enabled() {
+            self.frame_stats_mark = self.net.stats();
+        }
+        for (&rank, &restored) in victims.iter().zip(&particles_restored) {
+            self.recoveries.push(RecoveryEvent {
+                rank,
+                frame,
+                snapshot_frame: snap.next_frame,
+                frames_replayed: replayed,
+                particles_restored: restored,
+                replay_virtual_secs,
+            });
+        }
+        Ok(())
     }
 
     fn run_frames(&mut self, frames: &mut Vec<FrameReport>) -> Result<(), ProtocolError> {
@@ -633,6 +913,11 @@ impl<F: Fabric> Engine<F> {
         if self.next_frame >= self.cfg.frames {
             return Ok(None);
         }
+        let interval = self.cfg.checkpoint.interval;
+        if interval > 0 && self.next_frame > 0 && self.next_frame.is_multiple_of(interval) {
+            self.rec.add(self.next_frame, Counter::Snapshots, 1);
+            self.last_snapshot = Some(self.snapshot());
+        }
         let frame = self.next_frame;
         let n_sys = self.scene.systems.len();
         {
@@ -640,6 +925,12 @@ impl<F: Fabric> Engine<F> {
                 self.frame_stats_mark = self.net.stats();
             }
             self.begin_frame(frame);
+            if self.cfg.checkpoint.recover
+                && self.last_snapshot.is_some()
+                && (0..self.n).any(|c| self.crashed[c] && !self.dead[c] && !self.recovered[c])
+            {
+                self.recover_crashed(frame)?;
+            }
             let mut fr = FrameReport { frame, ..Default::default() };
 
             match self.cfg.schedule {

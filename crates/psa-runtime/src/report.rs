@@ -1,8 +1,21 @@
 //! Run reports.
 
+use crate::checkpoint::RecoveryEvent;
 use netsim::TrafficStats;
 use psa_math::stats::Running;
 use psa_trace::TraceReport;
+
+/// Scale a particle count by the population scale factor, rounding to the
+/// nearest real particle instead of truncating toward zero.
+///
+/// The engine counts *scaled-down* particles and multiplies back up for
+/// reporting; the old truncating cast silently dropped up to one particle
+/// per count at fractional scale factors (e.g. `7 × 12.5 = 87.5 → 87`),
+/// which made "zero particles lost" gates flaky. Rust's saturating float →
+/// int cast clamps any overflow to `u64::MAX` and maps NaN to 0.
+pub(crate) fn scale_count(count: u64, scale: f64) -> u64 {
+    (count as f64 * scale).round() as u64
+}
 
 /// Per-frame aggregate measurements.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -57,6 +70,14 @@ pub struct RunReport {
     /// the trace is derived measurement, not run output, and instrumented
     /// runs must fingerprint identically to bare runs.
     pub phases: Option<TraceReport>,
+    /// Crash recoveries the engine performed (rollback to the last snapshot
+    /// plus deterministic replay), in occurrence order. Empty unless
+    /// [`crate::CheckpointConfig::recover`] is on and a crash tripped.
+    /// Deliberately **excluded** from [`fingerprint`](Self::fingerprint)
+    /// for the same reason as `phases`: recovery is machinery *around* the
+    /// run, and the recovery gate's whole point is that a recovered run
+    /// fingerprints identically to an uninterrupted one.
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl RunReport {
@@ -219,6 +240,7 @@ mod tests {
             dead_ranks: Vec::new(),
             lost_particles: 0,
             phases: None,
+            recoveries: Vec::new(),
         }
     }
 
@@ -313,5 +335,39 @@ mod tests {
         traced.phases = rec.finish();
         assert!(traced.phases.is_some());
         assert_eq!(bare.fingerprint(), traced.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_blind_to_recoveries() {
+        // The recovery gate's foundation: a recovered run must fingerprint
+        // identically to the uninterrupted run it replayed, so the recovery
+        // log (like the phase trace) stays outside the fingerprint.
+        let bare = report();
+        let mut recovered = report();
+        recovered.recoveries.push(RecoveryEvent {
+            rank: 2,
+            frame: 7,
+            snapshot_frame: 5,
+            frames_replayed: 2,
+            particles_restored: 123,
+            replay_virtual_secs: 0.25,
+        });
+        assert_eq!(bare.fingerprint(), recovered.fingerprint());
+    }
+
+    #[test]
+    fn scale_count_rounds_to_nearest_instead_of_truncating() {
+        // 7 lost scaled particles at scale 12.5 are 87.5 real particles;
+        // the old truncating cast reported 87 and dropped one.
+        assert_eq!(scale_count(7, 12.5), 88);
+        assert_eq!(scale_count(3, 1.0 / 3.0), 1);
+        // Exact multiples stay exact.
+        assert_eq!(scale_count(10, 4.0), 40);
+        assert_eq!(scale_count(0, 12.5), 0);
+        // Scale 1.0 (no scaling) is the identity.
+        assert_eq!(scale_count(41, 1.0), 41);
+        // Degenerate scales saturate instead of wrapping or panicking.
+        assert_eq!(scale_count(u64::MAX, 2.0), u64::MAX);
+        assert_eq!(scale_count(5, f64::NAN), 0);
     }
 }

@@ -101,6 +101,7 @@ pub fn run_sequential(scene: &Scene, cfg: &RunConfig, cost: &CostModel, speed: f
         dead_ranks: Vec::new(),
         lost_particles: 0,
         phases: None,
+        recoveries: Vec::new(),
     }
 }
 

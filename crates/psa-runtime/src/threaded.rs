@@ -220,6 +220,7 @@ pub fn run_threaded_traced(
         dead_ranks: Vec::new(),
         lost_particles: 0,
         phases,
+        recoveries: Vec::new(),
     })
 }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! sessions [--sessions N] [--workers W] [--tenants T] [--scene NAME]
 //!          [--frames F] [--slice K] [--seed S] [--max-in-flight M]
-//!          [--per-tenant C] [--particles P] [--instrument]
+//!          [--per-tenant C] [--particles P] [--checkpoint I] [--instrument]
 //! ```
 //!
 //! Admits `N` seeded animation sessions (tenants assigned round-robin),
@@ -30,6 +30,7 @@ struct Args {
     max_in_flight: usize,
     per_tenant: usize,
     particles: usize,
+    checkpoint: u64,
     instrument: bool,
 }
 
@@ -46,6 +47,7 @@ fn parse_args() -> Args {
         max_in_flight: 32,
         per_tenant: 8,
         particles: 400,
+        checkpoint: 0,
         instrument: false,
     };
     while let Some(a) = args.next() {
@@ -64,6 +66,7 @@ fn parse_args() -> Args {
             "--max-in-flight" => parsed.max_in_flight = num("--max-in-flight") as usize,
             "--per-tenant" => parsed.per_tenant = num("--per-tenant") as usize,
             "--particles" => parsed.particles = num("--particles") as usize,
+            "--checkpoint" => parsed.checkpoint = num("--checkpoint"),
             "--scene" => parsed.scene = args.next().expect("--scene needs a name"),
             "--instrument" => parsed.instrument = true,
             other => {
@@ -101,6 +104,7 @@ fn main() {
         slice_frames: args.slice,
         admission,
         base_seed: args.seed,
+        checkpoint_interval: args.checkpoint,
         instrument: args.instrument,
     });
     let mut queued = 0usize;

@@ -39,6 +39,11 @@ pub struct PoolConfig {
     /// Pool base seed; session `k` runs under
     /// [`derive_session_seed`]`(base_seed, k)`.
     pub base_seed: u64,
+    /// Checkpoint a running session's engine every this many completed
+    /// frames; a worker-loss restart then resumes from the last snapshot
+    /// instead of frame 0. `0` disables checkpointing (the pre-recovery
+    /// restart-from-scratch behavior).
+    pub checkpoint_interval: u64,
     /// Record per-session phase timings (quiet: fingerprints unchanged).
     pub instrument: bool,
 }
@@ -50,6 +55,7 @@ impl Default for PoolConfig {
             slice_frames: 2,
             admission: AdmissionConfig::default(),
             base_seed: 0x5E55_0000,
+            checkpoint_interval: 0,
             instrument: false,
         }
     }
@@ -60,9 +66,12 @@ impl Default for PoolConfig {
 pub enum PoolFault {
     /// The lane chosen for dispatch number `at_dispatch` (1-based) dies at
     /// that moment. The in-flight slice is lost with it: the session's
-    /// partial run is discarded and the session re-queued from frame 0
-    /// (no checkpoint layer yet — restart is the recovery). The pool
-    /// never kills its last lane; a loss that would is ignored.
+    /// engine is discarded and the session re-queued — resuming from its
+    /// last pool checkpoint when [`PoolConfig::checkpoint_interval`] is
+    /// set, from frame 0 otherwise. Work completed since the checkpoint
+    /// is counted in [`SessionCounters::lost_frames`] /
+    /// [`SessionCounters::restart_lost_secs`]. The pool never kills its
+    /// last lane; a loss that would is ignored.
     WorkerLoss {
         /// 1-based dispatch count the loss strikes at.
         at_dispatch: u64,
@@ -340,8 +349,10 @@ impl SessionManager {
         self.lanes.iter().filter(|l| l.alive).count() > 1
     }
 
-    /// Lane death: the dispatched slice is lost, its session restarts from
-    /// frame 0 at the back of the rotation.
+    /// Lane death: the dispatched slice is lost and its session goes to
+    /// the back of the rotation. With a checkpoint the session rewinds
+    /// only to the last snapshot — frames completed since are discarded
+    /// and accounted as lost; without one it restarts from frame 0.
     fn kill_lane(&mut self, lane: usize) {
         if let Some(l) = self.lanes.get_mut(lane) {
             l.alive = false;
@@ -352,11 +363,28 @@ impl SessionManager {
         };
         if let Some(entry) = self.entries.get_mut(index) {
             entry.counters.requeues += 1;
-            entry.counters.frames = 0;
             if let Some(slot) = entry.ticket.and_then(|t| self.slots.get_mut(t)) {
                 slot.engine = None;
-                slot.frames.clear();
-                slot.latencies.clear();
+                // Rewind the completed-frame spines to the checkpoint (to
+                // nothing when checkpoints are off). The dropped latency
+                // gaps sum to the virtual time the session pays again on
+                // replay, and walking `last_done` back by that sum leaves
+                // it at the last *kept* frame's completion time.
+                let keep = slot.snapshot.as_ref().map_or(0, |s| s.next_frame as usize);
+                let keep = keep.min(slot.frames.len());
+                let dropped_secs: f64 =
+                    slot.latencies.get(keep..).map_or(0.0, |tail| tail.iter().sum());
+                let dropped = (slot.frames.len() - keep) as u64;
+                slot.frames.truncate(keep);
+                slot.latencies.truncate(keep);
+                entry.counters.lost_frames += dropped;
+                entry.counters.restart_lost_secs += dropped_secs;
+                entry.counters.frames = keep as u64;
+                if keep > 0 {
+                    entry.last_done -= dropped_secs;
+                }
+            } else {
+                entry.counters.frames = 0;
             }
         }
         self.ready.push_back(index);
@@ -380,11 +408,28 @@ impl SessionManager {
         }
         entry.counters.slices += 1;
         let instrument = self.cfg.instrument;
+        let interval = self.cfg.checkpoint_interval;
         let Some(slot) = self.slots.get_mut(ticket) else {
             return;
         };
-        let engine =
-            slot.engine.get_or_insert_with(|| build_engine(&entry.spec, entry.seed, instrument));
+        if slot.engine.is_none() {
+            let mut engine = build_engine(&entry.spec, entry.seed, instrument);
+            // After a worker loss the rebuilt engine resumes from the last
+            // pool checkpoint. A snapshot taken from this very spec always
+            // fits; a mismatch is surfaced as a typed session failure, not
+            // a panic.
+            if let Some(snap) = slot.snapshot.as_ref() {
+                if let Err(e) = engine.restore(snap) {
+                    self.report.failed.push((SessionId(index as u64), e));
+                    self.release(index, SessionState::Recycled);
+                    return;
+                }
+            }
+            slot.engine = Some(engine);
+        }
+        let Some(engine) = slot.engine.as_mut() else {
+            return;
+        };
         let mut t = t0;
         let mut outcome = SliceOutcome::Yielded;
         for _ in 0..self.cfg.slice_frames {
@@ -400,6 +445,9 @@ impl SessionManager {
                     slot.frames.push(fr);
                     entry.last_done = t;
                     entry.counters.frames += 1;
+                    if interval > 0 && entry.counters.frames % interval == 0 {
+                        slot.snapshot = Some(engine.snapshot());
+                    }
                 }
                 Ok(None) => {
                     outcome = SliceOutcome::Finished;
@@ -576,6 +624,7 @@ mod tests {
             slice_frames: 2,
             admission,
             base_seed: 0xABCD,
+            checkpoint_interval: 0,
             instrument: false,
         })
     }

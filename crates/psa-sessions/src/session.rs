@@ -95,8 +95,11 @@ pub struct SessionOutcome {
     pub finished_at: f64,
     /// Pool-virtual gap between consecutive frame completions as the
     /// viewer sees them; the first entry is measured from `arrival`, so it
-    /// includes the admission-queue wait. Cleared on a worker-loss
-    /// restart — the latencies describe the playback that succeeded.
+    /// includes the admission-queue wait. On a worker-loss restart the
+    /// entries past the last pool checkpoint are dropped (all of them when
+    /// checkpointing is off) — the latencies describe the playback that
+    /// succeeded, with the replay's cost folded into the first
+    /// post-restart gap.
     pub frame_latencies: Vec<f64>,
     /// Scheduler and per-phase counters (phase times are all zero unless
     /// the pool ran instrumented).

@@ -12,6 +12,7 @@
 //! session's state.
 
 use psa_desim::EventFabric;
+use psa_runtime::checkpoint::EngineSnapshot;
 use psa_runtime::protocol::Engine;
 use psa_runtime::report::FrameReport;
 
@@ -32,6 +33,12 @@ pub struct SessionSlot {
     /// The session's protocol engine over the event fabric; `None` until
     /// first dispatch and after a worker-loss restart dropped it.
     pub engine: Option<Engine<EventFabric>>,
+    /// Last pool-level checkpoint of the session's engine, taken every
+    /// [`PoolConfig::checkpoint_interval`](crate::PoolConfig) completed
+    /// frames. A worker-loss restart rebuilds the engine and restores this
+    /// instead of replaying from frame 0. Cleared on recycle — a snapshot
+    /// never outlives its session.
+    pub snapshot: Option<EngineSnapshot>,
     /// Per-frame reports in frame order (capacity survives recycling).
     pub frames: Vec<FrameReport>,
     /// Pool-virtual frame-completion gaps (capacity survives recycling).
@@ -103,6 +110,7 @@ impl SlotPool {
         }
         slot.generation += 1;
         slot.engine = None;
+        slot.snapshot = None;
         slot.frames.clear();
         slot.latencies.clear();
         self.stats.in_use -= 1;

@@ -82,6 +82,10 @@ pub enum Counter {
     ComputeChunks,
     /// Balance rounds short-circuited by the zero-order hysteresis.
     BalanceSkips,
+    /// Engine checkpoints taken at this frame boundary.
+    Snapshots,
+    /// Crash recoveries performed (rollback to a snapshot plus replay).
+    Restores,
 }
 
 /// What kind of injected fault an event records.
@@ -209,6 +213,8 @@ impl Recorder {
                 Counter::BalanceOrders => c.balance_orders += n,
                 Counter::ComputeChunks => c.compute_chunks += n,
                 Counter::BalanceSkips => c.balance_skips += n,
+                Counter::Snapshots => c.snapshots += n,
+                Counter::Restores => c.restores += n,
             }
         }
     }

@@ -27,6 +27,10 @@ pub struct FrameCounters {
     pub compute_chunks: u64,
     /// Balance rounds short-circuited by the zero-order hysteresis.
     pub balance_skips: u64,
+    /// Engine checkpoints taken at this frame boundary.
+    pub snapshots: u64,
+    /// Crash recoveries performed (rollback to a snapshot plus replay).
+    pub restores: u64,
 }
 
 impl FrameCounters {
@@ -40,6 +44,8 @@ impl FrameCounters {
         self.balance_orders += other.balance_orders;
         self.compute_chunks += other.compute_chunks;
         self.balance_skips += other.balance_skips;
+        self.snapshots += other.snapshots;
+        self.restores += other.restores;
     }
 }
 
@@ -236,7 +242,7 @@ impl TraceReport {
         }
         let c = self.counter_totals();
         out.push_str(&format!(
-            "counters: {} msgs, {} payload B, {} migrated ({} B), {} retries, {} timeouts, {} orders, {} skips, {} chunks, {} faults\n",
+            "counters: {} msgs, {} payload B, {} migrated ({} B), {} retries, {} timeouts, {} orders, {} skips, {} chunks, {} snapshots, {} restores, {} faults\n",
             c.messages,
             c.payload_bytes,
             c.migrated,
@@ -246,6 +252,8 @@ impl TraceReport {
             c.balance_orders,
             c.balance_skips,
             c.compute_chunks,
+            c.snapshots,
+            c.restores,
             self.faults.len()
         ));
         out
@@ -279,7 +287,7 @@ impl TraceReport {
                 s.push_str(&format!("\"{}\": {}", p.name(), json_f64(t)));
             }
             s.push_str(&format!(
-                "}}, \"messages\": {}, \"payload_bytes\": {}, \"migrated\": {}, \"migration_bytes\": {}, \"send_retries\": {}, \"timeouts\": {}, \"balance_orders\": {}, \"balance_skips\": {}, \"compute_chunks\": {}}}{}\n",
+                "}}, \"messages\": {}, \"payload_bytes\": {}, \"migrated\": {}, \"migration_bytes\": {}, \"send_retries\": {}, \"timeouts\": {}, \"balance_orders\": {}, \"balance_skips\": {}, \"compute_chunks\": {}, \"snapshots\": {}, \"restores\": {}}}{}\n",
                 c.messages,
                 c.payload_bytes,
                 c.migrated,
@@ -289,6 +297,8 @@ impl TraceReport {
                 c.balance_orders,
                 c.balance_skips,
                 c.compute_chunks,
+                c.snapshots,
+                c.restores,
                 if i + 1 < self.frames.len() { "," } else { "" }
             ));
         }

@@ -23,6 +23,14 @@ pub struct SessionCounters {
     pub requeues: u64,
     /// Frames the session completed (restarted frames count once).
     pub frames: u64,
+    /// Frames of finished work discarded by worker losses: the distance
+    /// from the last checkpoint (or frame 0 when the pool checkpoints are
+    /// off) back to where the session had actually progressed.
+    pub lost_frames: u64,
+    /// Pool-virtual seconds of finished work discarded by worker losses —
+    /// the latency of every frame in `lost_frames`, i.e. the time the
+    /// session pays again on replay.
+    pub restart_lost_secs: f64,
     /// Virtual seconds per protocol phase, summed over the session's run
     /// (all zero when the pool ran uninstrumented).
     pub phase_time: [f64; PHASE_COUNT],
@@ -48,6 +56,15 @@ impl SessionCounters {
             "{label:<12} wait {:>9.4}s  slices {:>5}  requeues {:>2}  frames {:>5}",
             self.queue_wait, self.slices, self.requeues, self.frames
         );
+        // Loss accounting only appears when a worker loss actually cost the
+        // session work, keeping healthy rows (and the tests that pin their
+        // exact shape) unchanged.
+        if self.lost_frames > 0 || self.restart_lost_secs > 0.0 {
+            row.push_str(&format!(
+                "  lost {:>3} frames ({:.4}s)",
+                self.lost_frames, self.restart_lost_secs
+            ));
+        }
         let busy = self.busy_time();
         if busy > 0.0 {
             for (phase, t) in PHASES.iter().zip(self.phase_time.iter()) {
@@ -88,6 +105,22 @@ mod tests {
         assert!(row.contains("s-7"));
         assert!(row.contains("slices     3"));
         assert!(!row.contains('%'), "uninstrumented sessions print no phase shares");
+        assert!(!row.contains("lost"), "no worker loss, no loss column");
+    }
+
+    #[test]
+    fn row_shows_loss_accounting_only_after_a_worker_loss() {
+        let c = SessionCounters {
+            queue_wait: 0.25,
+            slices: 4,
+            requeues: 1,
+            frames: 9,
+            lost_frames: 2,
+            restart_lost_secs: 0.125,
+            ..Default::default()
+        };
+        let row = c.format_row("s-2");
+        assert!(row.contains("lost   2 frames (0.1250s)"), "{row}");
     }
 
     #[test]

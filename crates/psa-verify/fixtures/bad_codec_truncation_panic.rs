@@ -1,0 +1,19 @@
+// psa-verify-fixture: expect(index-panic)
+// A snapshot decoder that trusts the length it just read: a truncated or
+// corrupt checkpoint buffer panics the decode — which is exactly the
+// moment recovery is trying to restore a crashed rank, so the rollback
+// dies instead of the run degrading with a typed CodecError. The real
+// codec (psa-runtime/src/checkpoint.rs) is a panic root for this reason.
+// psa-verify: panic-entry(decode_snapshot)
+
+pub fn decode_snapshot(bytes: &[u8]) -> u64 {
+    read_word(bytes, 8)
+}
+
+fn read_word(bytes: &[u8], pos: usize) -> u64 {
+    let mut w = 0u64;
+    for i in 0..8 {
+        w = (w << 8) | bytes[pos + i] as u64;
+    }
+    w
+}

@@ -1,0 +1,17 @@
+// The fallible twin of bad_codec_truncation_panic, shaped like the real
+// checkpoint codec: every read is a get() and truncation surfaces as a
+// typed error the recovery path can report instead of dying on. Must
+// produce zero violations.
+// psa-verify: panic-entry(decode_snapshot)
+
+pub fn decode_snapshot(bytes: &[u8]) -> Result<u64, String> {
+    read_word(bytes, 8).ok_or_else(|| "truncated snapshot".to_string())
+}
+
+fn read_word(bytes: &[u8], pos: usize) -> Option<u64> {
+    let mut w = 0u64;
+    for i in 0..8 {
+        w = (w << 8) | bytes.get(pos + i).copied()? as u64;
+    }
+    Some(w)
+}

@@ -70,6 +70,7 @@ pub const SKIP_PREFIXES: &[&str] = &["crates/psa-verify/"];
 /// a protocol panic would.
 pub const PANIC_ROOTS: &[&str] = &[
     "crates/psa-runtime/src/msg.rs",
+    "crates/psa-runtime/src/checkpoint.rs",
     "crates/netsim/src",
     "crates/psa-trace/src",
     "crates/psa-runtime/src/report.rs",
@@ -278,6 +279,20 @@ mod tests {
         ] {
             assert!(PANIC_ROOTS.contains(&root), "{root} must be a panic root");
         }
+    }
+
+    #[test]
+    fn checkpoint_codec_is_a_panic_root() {
+        // The snapshot codec runs on the recovery path: a decode panic on a
+        // corrupt or truncated checkpoint would kill the rollback at the
+        // exact moment it is supposed to save the run. Every decode failure
+        // must come back as a typed `CodecError` instead.
+        assert!(PANIC_ROOTS.contains(&"crates/psa-runtime/src/checkpoint.rs"));
+        // And as psa-runtime source it keeps the determinism lints too —
+        // snapshots are fingerprinted, so encode order must be stable.
+        let got = ids("crates/psa-runtime/src/checkpoint.rs");
+        assert!(got.contains(&"unordered-collections"));
+        assert!(got.contains(&"wall-clock"));
     }
 
     #[test]

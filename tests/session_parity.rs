@@ -53,6 +53,7 @@ fn run_pool(sessions: usize, workers: usize, slice_frames: u64, slots: usize) ->
         slice_frames,
         admission: AdmissionConfig::unbounded(slots),
         base_seed: BASE_SEED,
+        checkpoint_interval: 0,
         instrument: false,
     });
     for i in 0..sessions {
@@ -118,6 +119,8 @@ fn fingerprints_survive_admission_backpressure() {
 
 /// A worker lane dying mid-run re-queues its session from frame 0 on the
 /// survivors — and even the restarted session reproduces its solo bytes.
+/// The restart's cost is no longer silent: the victim's counters carry the
+/// discarded frames and the virtual seconds it pays again on replay.
 #[test]
 fn worker_loss_requeue_preserves_parity() {
     let sessions = 16;
@@ -126,6 +129,7 @@ fn worker_loss_requeue_preserves_parity() {
         slice_frames: 2,
         admission: AdmissionConfig::unbounded(8),
         base_seed: BASE_SEED,
+        checkpoint_interval: 0,
         instrument: false,
     });
     for i in 0..sessions {
@@ -137,11 +141,23 @@ fn worker_loss_requeue_preserves_parity() {
             );
         }
     }
-    let report = pool.with_fault(PoolFault::WorkerLoss { at_dispatch: 7 }).run_to_completion();
+    // Dispatches 1..=8 are the eight slot-holders' first slices; striking
+    // at 13 hits a session mid-run, with completed frames to lose.
+    let report = pool.with_fault(PoolFault::WorkerLoss { at_dispatch: 13 }).run_to_completion();
     assert_eq!(report.completed(), sessions);
     assert_eq!(report.lanes_lost, 1);
     let restarts: u64 = report.outcomes.iter().map(|o| o.counters.requeues).sum();
     assert_eq!(restarts, 1, "the lost slice must have re-queued one session");
+    let victim = report
+        .outcomes
+        .iter()
+        .find(|o| o.counters.requeues == 1)
+        .expect("exactly one session restarted");
+    assert!(
+        victim.counters.lost_frames > 0,
+        "restart-from-0 discards every completed frame — lost_frames must say so"
+    );
+    assert!(victim.counters.restart_lost_secs > 0.0, "the discarded frames cost real virtual time");
     let fps = fingerprints(&report);
     for i in 0..sessions {
         assert_eq!(
@@ -149,6 +165,72 @@ fn worker_loss_requeue_preserves_parity() {
             Some(solo_fingerprint(i)),
             "session {i} diverged after the worker loss"
         );
+    }
+}
+
+/// The recovery tentpole at the pool layer: with `checkpoint_interval` set,
+/// a worker loss resumes the victim from its last snapshot instead of
+/// frame 0. Against the identical pool + fault with checkpoints off, the
+/// victim loses strictly fewer frames and strictly less virtual time — and
+/// parity still holds for every session, restored or not.
+#[test]
+fn worker_loss_resumes_from_last_checkpoint() {
+    let sessions = 16;
+    let run = |checkpoint_interval: u64| {
+        let mut pool = SessionManager::new(PoolConfig {
+            workers: 4,
+            slice_frames: 3,
+            admission: AdmissionConfig::unbounded(8),
+            base_seed: BASE_SEED,
+            checkpoint_interval,
+            instrument: false,
+        });
+        for i in 0..sessions {
+            if let Err(e) = pool.admit(spec_for(i)) {
+                assert!(matches!(e, psa_sessions::AdmissionError::Queued { .. }), "{e}");
+            }
+        }
+        pool.with_fault(PoolFault::WorkerLoss { at_dispatch: 11 }).run_to_completion()
+    };
+    let restart = run(0);
+    let resumed = run(2);
+    let victim_of = |r: &PoolReport| {
+        r.outcomes
+            .iter()
+            .find(|o| o.counters.requeues == 1)
+            .cloned()
+            .expect("exactly one session restarted")
+    };
+    let (rv, cv) = (victim_of(&restart), victim_of(&resumed));
+    // Checkpointing never changes scheduling, so the loss strikes the same
+    // session in both pools, at the same point in its run.
+    assert_eq!(rv.id, cv.id, "checkpointing must not change who the fault hits");
+    assert!(rv.counters.lost_frames >= 2, "victim had completed at least one 3-frame slice");
+    assert!(
+        cv.counters.lost_frames < rv.counters.lost_frames,
+        "resume-from-checkpoint ({}) must beat restart-from-0 ({})",
+        cv.counters.lost_frames,
+        rv.counters.lost_frames
+    );
+    assert!(
+        cv.counters.lost_frames < 2,
+        "interval 2 bounds the loss to under one interval, got {}",
+        cv.counters.lost_frames
+    );
+    assert!(cv.counters.restart_lost_secs < rv.counters.restart_lost_secs);
+    // Both victims still completed every frame of their spec...
+    assert_eq!(rv.counters.frames, cv.counters.frames);
+    // ...and every session in both pools reproduces its solo bytes.
+    for (label, report) in [("restart", &restart), ("resumed", &resumed)] {
+        assert_eq!(report.completed(), sessions, "{label}");
+        let fps = fingerprints(report);
+        for i in 0..sessions {
+            assert_eq!(
+                fps.get(&(i as u64)).copied(),
+                Some(solo_fingerprint(i)),
+                "{label}: session {i} diverged after the worker loss"
+            );
+        }
     }
 }
 
